@@ -1,0 +1,266 @@
+(* The satmap command-line tool.
+
+   Subcommands:
+     route        read an OpenQASM circuit, map and route it onto a device
+     stats        print circuit statistics
+     export-wcnf  emit the MaxSAT encoding as a DIMACS WCNF file
+     devices      list built-in device topologies
+     suite        list the synthetic benchmark suite *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsers *)
+
+let device_arg =
+  let parse s =
+    match Arch.Topologies.by_name s with
+    | Some d -> Ok d
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown device %S (try: %s)" s
+             (String.concat ", " Arch.Topologies.known_names)))
+  in
+  let print fmt d = Format.fprintf fmt "%s" (Arch.Device.name d) in
+  Arg.conv (parse, print)
+
+let device =
+  Arg.(
+    value
+    & opt device_arg (Arch.Topologies.tokyo ())
+    & info [ "d"; "device" ] ~docv:"DEVICE"
+        ~doc:"Target device topology (e.g. tokyo, tokyo-, tokyo+, linear-8).")
+
+let qasm_file =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"CIRCUIT.qasm" ~doc:"Input OpenQASM 2.0 circuit.")
+
+let timeout =
+  Arg.(
+    value & opt float 30.0
+    & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc:"Solver time budget.")
+
+let slice_size =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "s"; "slice-size" ] ~docv:"N"
+        ~doc:
+          "Two-qubit gates per slice for the local relaxation; omit for the \
+           portfolio of sizes 10/25/50/100.")
+
+let method_ =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("sliced", `Sliced);
+             ("monolithic", `Monolithic);
+             ("cyclic", `Cyclic);
+             ("hybrid", `Hybrid);
+           ])
+        `Sliced
+    & info [ "m"; "method" ] ~docv:"METHOD"
+        ~doc:
+          "Routing method: sliced (SATMAP), monolithic (NL-SATMAP), cyclic \
+           (CYC-SATMAP, auto-detects the repeated body), or hybrid \
+           (optimal MaxSAT mapping + SABRE routing).")
+
+let parallel =
+  Arg.(
+    value & flag
+    & info [ "parallel" ]
+        ~doc:
+          "Run the slice-size portfolio with one domain per member \
+           (only meaningful without an explicit slice size).")
+
+let noise =
+  Arg.(
+    value & flag
+    & info [ "noise" ]
+        ~doc:
+          "Noise-aware objective: maximise fidelity using the synthetic \
+           calibration data instead of minimising the swap count.")
+
+let output =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the routed circuit as OpenQASM.")
+
+let n_swaps =
+  Arg.(
+    value & opt int 1
+    & info [ "n-swaps" ] ~docv:"N" ~doc:"Swap slots per gate (the paper's n; default 1).")
+
+(* ------------------------------------------------------------------ *)
+(* route *)
+
+let print_mapping fmt mapping =
+  Array.iteri
+    (fun q p -> Format.fprintf fmt "  q%d -> p%d@." q p)
+    (Satmap.Mapping.to_array mapping)
+
+let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
+    parallel =
+  let circuit = Quantum.Qasm.of_file qasm in
+  let objective =
+    if noise then
+      Satmap.Encoding.Fidelity (Arch.Calibration.synthetic device)
+    else Satmap.Encoding.Count_swaps
+  in
+  let config =
+    { Satmap.Router.default_config with timeout; objective; n_swaps }
+  in
+  let outcome =
+    match (method_, slice_size) with
+    | `Monolithic, _ -> Satmap.Router.route_monolithic ~config device circuit
+    | `Cyclic, s -> Satmap.Router.route_cyclic ~config ?slice_size:s device circuit
+    | `Hybrid, _ ->
+      let routed =
+        Heuristics.Hybrid.route
+          ~config:{ Heuristics.Hybrid.default_config with timeout }
+          device circuit
+      in
+      Satmap.Router.Routed
+        ( routed,
+          {
+            Satmap.Router.time = 0.0;
+            n_backtracks = 0;
+            n_blocks = 1;
+            proved_optimal = false;
+            escalations = 0;
+            maxsat_iterations = 0;
+          } )
+    | `Sliced, Some s ->
+      Satmap.Router.route_sliced ~config ~slice_size:s device circuit
+    | `Sliced, None ->
+      if parallel then
+        fst (Satmap.Router.route_portfolio_parallel ~config device circuit)
+      else fst (Satmap.Router.route_portfolio ~config device circuit)
+  in
+  match outcome with
+  | Satmap.Router.Failed msg ->
+    Format.eprintf "routing failed: %s@." msg;
+    exit 1
+  | Satmap.Router.Routed (routed, stats) ->
+    Format.printf "device:        %s@." (Arch.Device.name device);
+    Format.printf "two-qubit:     %d@." (Quantum.Circuit.count_two_qubit circuit);
+    Format.printf "swaps added:   %d@." (Satmap.Routed.n_swaps routed);
+    Format.printf "added CNOTs:   %d@." (Satmap.Routed.added_cnots routed);
+    Format.printf "solve time:    %.2fs@." stats.time;
+    Format.printf "blocks:        %d (backtracks %d, escalations %d)@."
+      stats.n_blocks stats.n_backtracks stats.escalations;
+    Format.printf "optimal:       %b@." stats.proved_optimal;
+    if noise then begin
+      let cal = Arch.Calibration.synthetic device in
+      Format.printf "est. fidelity: %.4f@."
+        (Arch.Calibration.circuit_fidelity cal (Satmap.Routed.circuit routed))
+    end;
+    Format.printf "initial map:@.%a" print_mapping (Satmap.Routed.initial routed);
+    Option.iter
+      (fun path ->
+        Quantum.Qasm.to_file path (Satmap.Routed.circuit routed);
+        Format.printf "routed circuit written to %s@." path)
+      output
+
+let route_cmd =
+  Cmd.v
+    (Cmd.info "route" ~doc:"Map and route a circuit onto a device via MaxSAT.")
+    Term.(
+      const route_cmd_run $ device $ qasm_file $ timeout $ slice_size
+      $ method_ $ noise $ output $ n_swaps $ parallel)
+
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+let stats_cmd_run qasm =
+  let c = Quantum.Qasm.of_file qasm in
+  Format.printf "qubits:      %d@." (Quantum.Circuit.n_qubits c);
+  Format.printf "gates:       %d@." (Quantum.Circuit.length c);
+  Format.printf "two-qubit:   %d@." (Quantum.Circuit.count_two_qubit c);
+  Format.printf "one-qubit:   %d@." (Quantum.Circuit.count_one_qubit c);
+  Format.printf "depth:       %d@." (Quantum.Circuit.depth c);
+  let dag = Quantum.Dag.build c in
+  Format.printf "dag layers:  %d@." (List.length (Quantum.Dag.layers dag));
+  match Quantum.Circuit.detect_repetition c with
+  | Some (_, k) -> Format.printf "cyclic:      yes (%d repetitions)@." k
+  | None -> Format.printf "cyclic:      no@."
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print circuit statistics.")
+    Term.(const stats_cmd_run $ qasm_file)
+
+(* ------------------------------------------------------------------ *)
+(* export-wcnf *)
+
+let export_cmd_run device qasm noise n_swaps out_path =
+  let circuit = Quantum.Qasm.of_file qasm in
+  let objective =
+    if noise then
+      Satmap.Encoding.Fidelity (Arch.Calibration.synthetic device)
+    else Satmap.Encoding.Count_swaps
+  in
+  let spec = Satmap.Encoding.spec ~n_swaps ~objective device in
+  let enc = Satmap.Encoding.build spec circuit in
+  let inst = Satmap.Encoding.instance enc in
+  Maxsat.Instance.to_wcnf_file inst out_path;
+  Format.printf "wrote %s: %d vars, %d hard, %d soft@." out_path
+    (Maxsat.Instance.n_vars inst)
+    (Maxsat.Instance.n_hard inst)
+    (Maxsat.Instance.n_soft inst)
+
+let export_cmd =
+  let out =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT.wcnf" ~doc:"Output WCNF path.")
+  in
+  Cmd.v
+    (Cmd.info "export-wcnf"
+       ~doc:
+         "Emit the MaxSAT encoding as DIMACS WCNF for an external solver \
+          (e.g. Open-WBO-Inc, as used by the paper).")
+    Term.(const export_cmd_run $ device $ qasm_file $ noise $ n_swaps $ out)
+
+(* ------------------------------------------------------------------ *)
+(* devices / suite *)
+
+let devices_cmd =
+  Cmd.v
+    (Cmd.info "devices" ~doc:"List built-in device topologies.")
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun name ->
+              match Arch.Topologies.by_name name with
+              | Some d -> Format.printf "%a@." Arch.Device.pp d
+              | None -> Format.printf "%-14s (parameterised)@." name)
+            Arch.Topologies.known_names)
+      $ const ())
+
+let suite_cmd =
+  Cmd.v
+    (Cmd.info "suite" ~doc:"List the synthetic benchmark suite.")
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun (b : Workloads.Suite.benchmark) ->
+              Format.printf "%-24s %2d qubits %6d two-qubit gates@." b.name
+                b.n_qubits b.n_two_qubit)
+            (Workloads.Suite.full ()))
+      $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "satmap" ~version:"1.0.0"
+       ~doc:"Qubit mapping and routing via MaxSAT (MICRO 2022 reproduction).")
+    [ route_cmd; stats_cmd; export_cmd; devices_cmd; suite_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/architecture_comparison.ml: Arch Format Heuristics List Quantum Rng Satmap Workloads

@@ -1,0 +1,1 @@
+examples/noise_aware.ml: Arch Format List Quantum Rng Satmap Workloads

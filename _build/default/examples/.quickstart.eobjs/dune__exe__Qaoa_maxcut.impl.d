@@ -1,0 +1,1 @@
+examples/qaoa_maxcut.ml: Arch Format Heuristics Qaoa Quantum Satmap

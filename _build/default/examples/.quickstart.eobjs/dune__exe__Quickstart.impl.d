@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arch Format List Quantum Satmap

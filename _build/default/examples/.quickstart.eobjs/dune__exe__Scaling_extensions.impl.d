@@ -1,0 +1,1 @@
+examples/scaling_extensions.ml: Arch Format Heuristics Quantum Rng Satmap Unix Workloads

@@ -1,0 +1,51 @@
+(* Architecture comparison (in the spirit of Q4 of the paper): route the
+   same circuit onto the Tokyo-, Tokyo, and Tokyo+ connectivity variants
+   and compare SATMAP against the heuristics on each.
+
+   The paper's finding: heuristics are close to optimal on sparse graphs
+   (Tokyo-) but drift away as connectivity grows (Tokyo+).
+
+   Run with:  dune exec examples/architecture_comparison.exe *)
+
+let () =
+  let rng = Rng.create 21 in
+  let circuit =
+    Workloads.Generators.local_random rng ~n:8 ~gates:20 ~locality:0.5
+  in
+  Format.printf
+    "Circuit: %d qubits, %d two-qubit gates, routed on the Tokyo family@.@."
+    (Quantum.Circuit.n_qubits circuit)
+    (Quantum.Circuit.count_two_qubit circuit);
+  Format.printf "%-8s %-10s %-10s %-10s %-10s@." "device" "satmap" "sabre"
+    "tket" "astar";
+  List.iter
+    (fun device ->
+      let config = { Satmap.Router.default_config with timeout = 45.0 } in
+      let satmap =
+        match
+          Satmap.Router.route_sliced ~config ~slice_size:10 device circuit
+        with
+        | Satmap.Router.Routed (r, _) ->
+          Satmap.Verifier.check_exn ~original:circuit r;
+          string_of_int (Satmap.Routed.n_swaps r)
+        | Satmap.Router.Failed _ -> "timeout"
+      in
+      let heuristic route =
+        let r = route device circuit in
+        Satmap.Verifier.check_exn ~original:circuit r;
+        string_of_int (Satmap.Routed.n_swaps r)
+      in
+      Format.printf "%-8s %-10s %-10s %-10s %-10s@."
+        (Arch.Device.name device)
+        satmap
+        (heuristic (fun d c -> Heuristics.Sabre.route d c))
+        (heuristic (fun d c -> Heuristics.Tket_route.route d c))
+        (heuristic (fun d c -> Heuristics.Astar_route.route d c)))
+    [
+      Arch.Topologies.tokyo_minus ();
+      Arch.Topologies.tokyo ();
+      Arch.Topologies.tokyo_plus ();
+    ];
+  Format.printf
+    "@.(Swap counts; lower is better.  Expect the heuristics to track \
+     SATMAP closely on tokyo- and to diverge on tokyo+.)@."

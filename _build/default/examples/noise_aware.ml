@@ -1,0 +1,78 @@
+(* Noise-aware routing (Q6 of the paper): instead of minimising the swap
+   count, maximise the estimated fidelity of the routed circuit using a
+   weighted MaxSAT encoding whose soft-clause weights come from per-edge
+   calibration data.
+
+   Run with:  dune exec examples/noise_aware.exe *)
+
+let route_and_report ~label ~config ~cal device circuit =
+  match Satmap.Router.route_sliced ~config ~slice_size:10 device circuit with
+  | Satmap.Router.Failed msg ->
+    Format.printf "%s failed: %s@." label msg;
+    None
+  | Satmap.Router.Routed (routed, stats) ->
+    Satmap.Verifier.check_exn ~original:circuit routed;
+    let fidelity =
+      Arch.Calibration.circuit_fidelity cal (Satmap.Routed.circuit routed)
+    in
+    Format.printf "%-22s swaps=%-3d est. fidelity=%.4f time=%.2fs@." label
+      (Satmap.Routed.n_swaps routed)
+      fidelity stats.time;
+    Some fidelity
+
+let () =
+  (* Synthetic calibration data in the role of Qiskit's FakeTokyo: every
+     edge has its own two-qubit error rate. *)
+  let cal = Arch.Calibration.fake_tokyo () in
+  let device = Arch.Calibration.device cal in
+  Format.printf "Calibration snapshot (worst and best edges):@.";
+  let by_error =
+    List.sort
+      (fun a b ->
+        compare
+          (Arch.Calibration.two_qubit_error cal a)
+          (Arch.Calibration.two_qubit_error cal b))
+      (Arch.Device.edges device)
+  in
+  let show (a, b) =
+    Format.printf "  edge (p%d, p%d): two-qubit error %.4f@." a b
+      (Arch.Calibration.two_qubit_error cal (a, b))
+  in
+  show (List.hd by_error);
+  show (List.nth by_error (List.length by_error - 1));
+
+  let rng = Rng.create 11 in
+  let circuit =
+    Workloads.Generators.local_random rng ~n:6 ~gates:10 ~locality:0.7
+  in
+  Format.printf "@.Routing a %d-qubit, %d-gate circuit both ways:@."
+    (Quantum.Circuit.n_qubits circuit)
+    (Quantum.Circuit.count_two_qubit circuit);
+
+  let swap_config = { Satmap.Router.default_config with timeout = 60.0 } in
+  let noise_config =
+    {
+      swap_config with
+      objective = Satmap.Encoding.Fidelity cal;
+    }
+  in
+  let f_swap =
+    route_and_report ~label:"swap-count objective" ~config:swap_config ~cal
+      device circuit
+  in
+  let f_noise =
+    route_and_report ~label:"fidelity objective" ~config:noise_config ~cal
+      device circuit
+  in
+  match (f_swap, f_noise) with
+  | Some a, Some b when b >= a ->
+    Format.printf
+      "@.The noise-aware objective matched or improved the estimated \
+       fidelity (%+.4f).@."
+      (b -. a)
+  | Some a, Some b ->
+    Format.printf
+      "@.Note: swap-minimal won this instance by %.4f — the two objectives \
+       coincide when error rates are uniform enough.@."
+      (a -. b)
+  | _ -> ()

@@ -1,0 +1,1 @@
+lib/arch/calibration.ml: Array Device Float Hashtbl List Quantum Rng Topologies

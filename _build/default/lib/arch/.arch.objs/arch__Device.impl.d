@@ -1,0 +1,1 @@
+lib/arch/device.ml: Array Format Hashtbl Int List Queue

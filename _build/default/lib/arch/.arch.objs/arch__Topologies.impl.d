@@ -1,0 +1,1 @@
+lib/arch/topologies.ml: Buffer Device List Option Printf String

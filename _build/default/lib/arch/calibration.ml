@@ -1,0 +1,86 @@
+(* Synthetic calibration data standing in for Qiskit's "FakeTokyo" backend
+   (substitution #5 in DESIGN.md).
+
+   The paper's Q6 experiment weights soft clauses by gate fidelities taken
+   from FakeTokyo error rates.  We generate per-edge two-qubit error rates
+   and per-qubit single-qubit/readout error rates deterministically from
+   the device identity, drawn from realistic NISQ ranges (two-qubit errors
+   0.5%-4%, strongly varying across edges, as on the real machine). *)
+
+type t = {
+  device : Device.t;
+  two_qubit_error : (int * int, float) Hashtbl.t;
+  one_qubit_error : float array;
+  readout_error : float array;
+}
+
+let canonical (a, b) = if a <= b then (a, b) else (b, a)
+
+let synthetic ?(seed = 20) device =
+  let two_qubit_error = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      let u = Rng.hash_to_unit [ seed; 7919; a; b ] in
+      (* Log-uniform in [0.005, 0.04]: matches the spread of real
+         calibration snapshots. *)
+      let e = 0.005 *. Float.exp (u *. Float.log (0.04 /. 0.005)) in
+      Hashtbl.replace two_qubit_error (a, b) e)
+    (Device.edges device);
+  let n = Device.n_qubits device in
+  let one_qubit_error =
+    Array.init n (fun q ->
+        0.0002 +. (0.0015 *. Rng.hash_to_unit [ seed; 104729; q ]))
+  in
+  let readout_error =
+    Array.init n (fun q ->
+        0.01 +. (0.06 *. Rng.hash_to_unit [ seed; 1299709; q ]))
+  in
+  { device; two_qubit_error; one_qubit_error; readout_error }
+
+let fake_tokyo () = synthetic (Topologies.tokyo ())
+
+let device t = t.device
+
+let two_qubit_error t (a, b) =
+  match Hashtbl.find_opt t.two_qubit_error (canonical (a, b)) with
+  | Some e -> e
+  | None -> invalid_arg "Calibration.two_qubit_error: not an edge"
+
+let one_qubit_error t q = t.one_qubit_error.(q)
+let readout_error t q = t.readout_error.(q)
+
+let cnot_fidelity t edge = 1.0 -. two_qubit_error t edge
+
+(* A SWAP decomposes into three CNOTs on the same edge. *)
+let swap_fidelity t edge =
+  let f = cnot_fidelity t edge in
+  f *. f *. f
+
+(* Integer soft-clause weights for the weighted MaxSAT encoding: scaled
+   negative log fidelities, so that maximising satisfied weight maximises
+   the product of fidelities.  [scale] trades precision against weight
+   magnitude. *)
+let log_weight ?(scale = 300.0) fidelity =
+  if fidelity <= 0.0 || fidelity > 1.0 then
+    invalid_arg "Calibration.log_weight: fidelity out of (0, 1]";
+  max 1 (int_of_float (Float.round (-.Float.log fidelity *. scale)))
+
+let swap_log_weight ?scale t edge = log_weight ?scale (swap_fidelity t edge)
+
+let cnot_log_weight ?scale t edge = log_weight ?scale (cnot_fidelity t edge)
+
+(* Estimated success probability of a routed circuit: product of the
+   fidelities of its two-qubit gates (the objective of Q6). *)
+let circuit_fidelity t circuit =
+  List.fold_left
+    (fun acc gate ->
+      match gate with
+      | Quantum.Gate.Two { kind = Quantum.Gate.Swap; control; target } ->
+        acc *. swap_fidelity t (control, target)
+      | Quantum.Gate.Two { control; target; _ } ->
+        acc *. cnot_fidelity t (control, target)
+      | Quantum.Gate.One _ | Quantum.Gate.Measure _ | Quantum.Gate.Barrier _
+        ->
+        acc)
+    1.0
+    (Quantum.Circuit.gates circuit)

@@ -1,0 +1,25 @@
+(** Synthetic device calibration (error rates), replacing the FakeTokyo
+    backend of the paper's Q6 noise-aware experiment. *)
+
+type t
+
+val synthetic : ?seed:int -> Device.t -> t
+val fake_tokyo : unit -> t
+val device : t -> Device.t
+
+val two_qubit_error : t -> int * int -> float
+(** Raises [Invalid_argument] when the pair is not an edge. *)
+
+val one_qubit_error : t -> int -> float
+val readout_error : t -> int -> float
+val cnot_fidelity : t -> int * int -> float
+val swap_fidelity : t -> int * int -> float
+
+val log_weight : ?scale:float -> float -> int
+(** Scaled [-log fidelity] as a positive integer MaxSAT weight. *)
+
+val swap_log_weight : ?scale:float -> t -> int * int -> int
+val cnot_log_weight : ?scale:float -> t -> int * int -> int
+
+val circuit_fidelity : t -> Quantum.Circuit.t -> float
+(** Product of two-qubit gate fidelities of a routed (physical) circuit. *)

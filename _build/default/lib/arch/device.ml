@@ -1,0 +1,106 @@
+(* Device connectivity graphs: the G = (Phys, Edges) of the paper.
+
+   Edges are undirected and stored canonically with the smaller endpoint
+   first.  All-pairs shortest-path distances (BFS from each node) are
+   precomputed at construction: every router and heuristic scores swaps by
+   these distances, and the encoding's swap budget relates to the
+   diameter. *)
+
+type t = {
+  name : string;
+  n : int;
+  edges : (int * int) array;
+  adj : int array array;
+  dist : int array array;
+}
+
+let canonical (a, b) = if a <= b then (a, b) else (b, a)
+
+let bfs_distances n adj source =
+  let dist = Array.make n max_int in
+  dist.(source) <- 0;
+  let queue = Queue.create () in
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v queue
+        end)
+      adj.(u)
+  done;
+  dist
+
+let create ~name n edge_list =
+  if n <= 0 then invalid_arg "Device.create: need at least one qubit";
+  let seen = Hashtbl.create 64 in
+  let edges =
+    List.filter_map
+      (fun (a, b) ->
+        if a = b then invalid_arg "Device.create: self loop";
+        if a < 0 || a >= n || b < 0 || b >= n then
+          invalid_arg "Device.create: endpoint out of range";
+        let e = canonical (a, b) in
+        if Hashtbl.mem seen e then None
+        else begin
+          Hashtbl.replace seen e ();
+          Some e
+        end)
+      edge_list
+  in
+  let edges = Array.of_list edges in
+  let adj_lists = Array.make n [] in
+  Array.iter
+    (fun (a, b) ->
+      adj_lists.(a) <- b :: adj_lists.(a);
+      adj_lists.(b) <- a :: adj_lists.(b))
+    edges;
+  let adj = Array.map (fun l -> Array.of_list (List.sort Int.compare l)) adj_lists in
+  let dist = Array.init n (fun src -> bfs_distances n adj src) in
+  Array.iteri
+    (fun _ row ->
+      Array.iter
+        (fun d ->
+          if d = max_int then
+            invalid_arg "Device.create: connectivity graph is disconnected")
+        row)
+    dist;
+  { name; n; edges; adj; dist }
+
+let name t = t.name
+let n_qubits t = t.n
+let edges t = Array.to_list t.edges
+let edge_array t = t.edges
+let n_edges t = Array.length t.edges
+let neighbors t p = Array.to_list t.adj.(p)
+let degree t p = Array.length t.adj.(p)
+
+let adjacent t p p' =
+  p <> p' && Array.exists (fun q -> q = p') t.adj.(p)
+
+let distance t p p' = t.dist.(p).(p')
+
+let diameter t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left max acc row)
+    0 t.dist
+
+let average_degree t =
+  2.0 *. float_of_int (Array.length t.edges) /. float_of_int t.n
+
+(* Index of an edge in the canonical edge array; the encoding uses this to
+   number swap variables. *)
+let edge_index t (a, b) =
+  let e = canonical (a, b) in
+  let rec find i =
+    if i >= Array.length t.edges then None
+    else if t.edges.(i) = e then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %d qubits, %d edges, diameter %d, avg degree %.2f"
+    t.name t.n (Array.length t.edges) (diameter t) (average_degree t)

@@ -1,0 +1,23 @@
+(** Device connectivity graphs with precomputed all-pairs distances. *)
+
+type t
+
+val create : name:string -> int -> (int * int) list -> t
+(** Undirected graph on [n] qubits; duplicate edges are dropped, self loops
+    and disconnected graphs are rejected. *)
+
+val name : t -> string
+val n_qubits : t -> int
+val edges : t -> (int * int) list
+(** Canonical (smaller endpoint first), deduplicated, in insertion order. *)
+
+val edge_array : t -> (int * int) array
+val n_edges : t -> int
+val neighbors : t -> int -> int list
+val degree : t -> int -> int
+val adjacent : t -> int -> int -> bool
+val distance : t -> int -> int -> int
+val diameter : t -> int
+val average_degree : t -> float
+val edge_index : t -> int * int -> int option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,205 @@
+(* Standard device topologies, including the IBM Q20 Tokyo graph and the
+   Tokyo+/Tokyo- variants of the paper's Q4 experiment (Fig. 9). *)
+
+let linear n =
+  Device.create ~name:(Printf.sprintf "linear-%d" n) n
+    (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let ring n =
+  if n < 3 then invalid_arg "Topologies.ring: need at least 3 qubits";
+  Device.create ~name:(Printf.sprintf "ring-%d" n) n
+    ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let grid ~rows ~cols =
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Device.create ~name:(Printf.sprintf "grid-%dx%d" rows cols) (rows * cols)
+    (List.rev !edges)
+
+let complete n =
+  let edges = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      edges := (a, b) :: !edges
+    done
+  done;
+  Device.create ~name:(Printf.sprintf "complete-%d" n) n !edges
+
+(* The 4x5 grid underlying the Tokyo family. *)
+let tokyo_rows = 4
+let tokyo_cols = 5
+
+let tokyo_grid_edges () =
+  let id r c = (r * tokyo_cols) + c in
+  let edges = ref [] in
+  for r = 0 to tokyo_rows - 1 do
+    for c = 0 to tokyo_cols - 1 do
+      if c + 1 < tokyo_cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < tokyo_rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  List.rev !edges
+
+(* The diagonal couplings present on the physical IBM Q20 Tokyo device (the
+   coupling map used by the SABRE and SATMAP evaluations). *)
+let tokyo_diagonals =
+  [
+    (1, 7);
+    (2, 6);
+    (3, 9);
+    (4, 8);
+    (5, 11);
+    (6, 10);
+    (7, 13);
+    (8, 12);
+    (11, 17);
+    (12, 16);
+    (13, 19);
+    (14, 18);
+  ]
+
+(* All diagonals of every grid cell (both directions), for Tokyo+. *)
+let all_diagonals () =
+  let id r c = (r * tokyo_cols) + c in
+  let edges = ref [] in
+  for r = 0 to tokyo_rows - 2 do
+    for c = 0 to tokyo_cols - 2 do
+      edges := (id r c, id (r + 1) (c + 1)) :: !edges;
+      edges := (id r (c + 1), id (r + 1) c) :: !edges
+    done
+  done;
+  List.rev !edges
+
+let tokyo () =
+  Device.create ~name:"tokyo" 20 (tokyo_grid_edges () @ tokyo_diagonals)
+
+(* Tokyo-: the grid alone (diagonals removed) — Fig. 9a. *)
+let tokyo_minus () = Device.create ~name:"tokyo-" 20 (tokyo_grid_edges ())
+
+(* Tokyo+: the grid plus every cell diagonal — Fig. 9c. *)
+let tokyo_plus () =
+  Device.create ~name:"tokyo+" 20 (tokyo_grid_edges () @ all_diagonals ())
+
+(* A small heavy-hex-inspired patch (IBM's post-Tokyo topology family),
+   included for architecture-variation experiments beyond the paper. *)
+let heavy_hex_15 () =
+  Device.create ~name:"heavy-hex-15" 15
+    [
+      (0, 1);
+      (1, 2);
+      (2, 3);
+      (3, 4);
+      (0, 5);
+      (4, 6);
+      (5, 7);
+      (6, 11);
+      (7, 8);
+      (8, 9);
+      (9, 10);
+      (10, 11);
+      (7, 12);
+      (11, 14);
+      (9, 13);
+    ]
+
+(* A Sycamore-style patch: qubits on a diagonal grid where each qubit
+   couples to up to four diagonal neighbours (Google's 2D layout family),
+   here a 4x5 patch. *)
+let sycamore_20 () =
+  let rows = 4 and cols = 5 in
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 2 do
+    for c = 0 to cols - 1 do
+      (* Down-left and down-right couplings, offset by row parity. *)
+      let targets =
+        if r mod 2 = 0 then [ c; c - 1 ] else [ c; c + 1 ]
+      in
+      List.iter
+        (fun c' ->
+          if c' >= 0 && c' < cols then
+            edges := (id r c, id (r + 1) c') :: !edges)
+        targets
+    done
+  done;
+  Device.create ~name:"sycamore-20" (rows * cols) (List.rev !edges)
+
+(* IBM Melbourne's 14-qubit ladder. *)
+let melbourne_14 () =
+  Device.create ~name:"melbourne-14" 14
+    [
+      (0, 1);
+      (1, 2);
+      (2, 3);
+      (3, 4);
+      (4, 5);
+      (5, 6);
+      (7, 8);
+      (8, 9);
+      (9, 10);
+      (10, 11);
+      (11, 12);
+      (12, 13);
+      (1, 13);
+      (2, 12);
+      (3, 11);
+      (4, 10);
+      (5, 9);
+      (6, 8);
+      (0, 7);
+    ]
+
+(* Graphviz dot rendering of a device, for documentation and debugging. *)
+let to_dot device =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "graph %S {\n  node [shape=circle];\n"
+       (Device.name device));
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  p%d -- p%d;\n" a b))
+    (Device.edges device);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let by_name name =
+  match name with
+  | "tokyo" -> Some (tokyo ())
+  | "tokyo-" -> Some (tokyo_minus ())
+  | "tokyo+" -> Some (tokyo_plus ())
+  | "heavy-hex-15" -> Some (heavy_hex_15 ())
+  | "sycamore-20" -> Some (sycamore_20 ())
+  | "melbourne-14" -> Some (melbourne_14 ())
+  | _ -> (
+    let parse_int s = int_of_string_opt s in
+    match String.split_on_char '-' name with
+    | [ "linear"; n ] -> Option.map linear (parse_int n)
+    | [ "ring"; n ] -> Option.map ring (parse_int n)
+    | [ "complete"; n ] -> Option.map complete (parse_int n)
+    | [ "grid"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ r; c ] -> (
+        match (parse_int r, parse_int c) with
+        | Some rows, Some cols -> Some (grid ~rows ~cols)
+        | _ -> None)
+      | _ -> None)
+    | _ -> None)
+
+let known_names =
+  [
+    "tokyo";
+    "tokyo-";
+    "tokyo+";
+    "heavy-hex-15";
+    "sycamore-20";
+    "melbourne-14";
+    "linear-N";
+    "ring-N";
+    "grid-RxC";
+    "complete-N";
+  ]

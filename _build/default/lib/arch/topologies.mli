@@ -1,0 +1,23 @@
+(** Standard topologies, including the Tokyo family of the paper (Fig. 9):
+    [tokyo] is the IBM Q20 Tokyo coupling map, [tokyo_minus] removes the
+    diagonal couplings, [tokyo_plus] adds every cell diagonal. *)
+
+val linear : int -> Device.t
+val ring : int -> Device.t
+val grid : rows:int -> cols:int -> Device.t
+val complete : int -> Device.t
+val tokyo : unit -> Device.t
+val tokyo_minus : unit -> Device.t
+val tokyo_plus : unit -> Device.t
+val heavy_hex_15 : unit -> Device.t
+val sycamore_20 : unit -> Device.t
+val melbourne_14 : unit -> Device.t
+
+val to_dot : Device.t -> string
+(** Graphviz rendering of the connectivity graph. *)
+
+val by_name : string -> Device.t option
+(** Resolve "tokyo", "tokyo-", "tokyo+", "heavy-hex-15", "linear-N",
+    "ring-N", "grid-RxC", or "complete-N". *)
+
+val known_names : string list

@@ -1,0 +1,1 @@
+lib/baselines/ex_mqt.ml: Arch Sat Satmap

@@ -1,0 +1,1 @@
+lib/baselines/ex_mqt.mli: Arch Quantum Satmap

@@ -1,0 +1,1 @@
+lib/baselines/tb_olsq.ml: Arch Array Heuristics List Maxsat Quantum Sat Satmap Unix

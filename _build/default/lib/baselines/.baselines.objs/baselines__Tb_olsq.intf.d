@@ -1,0 +1,1 @@
+lib/baselines/tb_olsq.mli: Arch Quantum Satmap

@@ -1,0 +1,33 @@
+(* EX-MQT-like baseline (Wille, Burgholzer, Zulehner — DAC 2019,
+   "Mapping quantum circuits ... using the minimal number of SWAP and H
+   operations", re-encoded over our SAT core; substitution #3 in
+   DESIGN.md).
+
+   What makes the original tool heavy, and what this reproduction
+   preserves, is the exhaustive shape of its constraint system: a full
+   swap budget (the device diameter) in front of *every* gate so that all
+   permutations between consecutive gates are representable, quadratic
+   pairwise encodings for the only-one constraints, and no coalescing of
+   consecutive gates on the same pair.  The search space per gate is the
+   full permutation group, exactly like the original's "consider all
+   possible permutations between adjacent gates". *)
+
+let config ~timeout device =
+  {
+    Satmap.Router.default_config with
+    n_swaps = max 1 (Arch.Device.diameter device);
+    amo = Sat.Card.Pairwise;
+    coalesce = false;
+    inject_all_gate_layers = true;
+    timeout;
+    (* The original exhausts memory quickly; its exhaustive clause system
+       hits the 5 GB analogue far sooner than SATMAP's. *)
+    max_vars = 150_000;
+    max_clauses = 2_000_000;
+    (* The original is an SMT-style optimal tool with no anytime mode. *)
+    accept_feasible = false;
+  }
+
+let route ?(timeout = 30.0) device circuit =
+  Satmap.Router.route_monolithic ~config:(config ~timeout device) device
+    circuit

@@ -1,0 +1,8 @@
+(** EX-MQT-like constraint-based baseline: the exhaustive encoding (full
+    diameter swap budget before every gate, pairwise only-one constraints,
+    no step coalescing) solved over the same SAT core. *)
+
+val config : timeout:float -> Arch.Device.t -> Satmap.Router.config
+
+val route :
+  ?timeout:float -> Arch.Device.t -> Quantum.Circuit.t -> Satmap.Router.outcome

@@ -1,0 +1,21 @@
+(** TB-OLSQ-like constraint-based baseline: a transition-based time-block
+    encoding (one-hot gate-to-block assignment, parallel disjoint swap
+    matchings between blocks, upward block-count search) solved over the
+    same SAT core. *)
+
+type objective = Count_swaps | Fidelity of Arch.Calibration.t
+
+type config = {
+  timeout : float;
+  max_extra_blocks : int;
+  max_vars : int;
+  max_clauses : int;
+  accept_feasible : bool;  (** the original is optimal-or-nothing *)
+  verify : bool;
+  objective : objective;
+}
+
+val default_config : config
+
+val route :
+  ?config:config -> Arch.Device.t -> Quantum.Circuit.t -> Satmap.Router.outcome

@@ -1,0 +1,1 @@
+lib/core/encoding.ml: Arch Array List Maxsat Option Quantum Sat

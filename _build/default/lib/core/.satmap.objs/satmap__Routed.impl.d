@@ -1,0 +1,1 @@
+lib/core/routed.ml: Arch Format List Mapping Quantum

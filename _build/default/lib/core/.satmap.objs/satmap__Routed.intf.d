@@ -1,0 +1,1 @@
+lib/core/routed.mli: Arch Format Mapping Quantum

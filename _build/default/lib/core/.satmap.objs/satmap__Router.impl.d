@@ -1,0 +1,1 @@
+lib/core/router.ml: Arch Array Domain Encoding Float Fun List Mapping Maxsat Option Printexc Quantum Routed Sat Unix Verifier

@@ -1,0 +1,1 @@
+lib/core/router.mli: Arch Encoding Quantum Routed Sat

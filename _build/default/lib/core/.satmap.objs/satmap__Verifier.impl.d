@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Arch Array Format List Mapping Printf Quantum Routed String

@@ -1,0 +1,419 @@
+(* The sketching-style MaxSAT encoding of the QMR problem (Section IV of
+   the paper).
+
+   Time structure.  Two-qubit gates are numbered into "steps" (consecutive
+   gates on the same unordered qubit pair are coalesced into one step —
+   they impose the same constraint, so this is a pure optimisation).  A
+   group of [n_swaps] swap slots precedes every step, exactly as in the
+   paper ("up to n SWAPs before each two-qubit gate"); when solving a
+   slice whose initial map is pinned, the group before the first gate is
+   what lets routing happen at the seam.  Optionally [post_slots] slots
+   follow the last step — cyclic solutions use them to restore the initial
+   map.  Every slot separates two map layers, so
+
+     layers:  M_0  |s_0..|  M_n = step 0  |..|  M_2n = step 1  ...
+
+   Variables.
+   - map(q, p, l): logical q sits on physical p at layer l;
+   - swap(e, s):   slot s performs the swap on edge e;
+   - noop(s):      slot s does nothing (the paper's synthetic
+                   swap(p0, p0) edge).
+
+   Constraints (names follow Fig. 5 of the paper).
+   - Hard A (injectivity) is imposed at layer 0 with the linear
+     "only-one" encoding; the transition constraints are functional, so
+     injectivity propagates to every later layer.  A flag re-imposes it at
+     every gate layer (ablation).
+   - Hard B (gate executability): map(q,p,l) -> \/_{p' in N(p)} map(q',p',l).
+   - Hard C (one swap per slot): exactly-one over {noop} ∪ edges.
+   - Hard D (swap effect): chosen-edge biconditionals plus frame axioms
+     "map(q,p) persists unless some swap touching p fired".
+   - Soft: one unit clause noop(s) per slot (swap minimisation), or
+     weighted soft clauses from calibration data (fidelity maximisation,
+     Q6). *)
+
+type objective = Count_swaps | Fidelity of Arch.Calibration.t
+
+type spec = {
+  device : Arch.Device.t;
+  n_swaps : int;
+  post_slots : int;
+  amo : Sat.Card.encoding;
+  coalesce : bool;
+  inject_all_gate_layers : bool;
+  mobility : bool;
+  objective : objective;
+}
+
+let spec ?(n_swaps = 1) ?(post_slots = 0) ?(amo = Sat.Card.Sequential)
+    ?(coalesce = true) ?(inject_all_gate_layers = true) ?(mobility = true)
+    ?(objective = Count_swaps) device =
+  if n_swaps < 1 then invalid_arg "Encoding.spec: n_swaps must be >= 1";
+  if post_slots < 0 then invalid_arg "Encoding.spec: negative post_slots";
+  {
+    device;
+    n_swaps;
+    post_slots;
+    amo;
+    coalesce;
+    inject_all_gate_layers;
+    mobility;
+    objective;
+  }
+
+type step = {
+  pair : int * int;
+  multiplicity : int;  (** coalesced gate count *)
+}
+
+type t = {
+  spec : spec;
+  n_log : int;
+  steps : step array;
+  n_layers : int;
+  n_slots : int;
+  instance : Maxsat.Instance.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Step extraction *)
+
+let steps_of_circuit ~coalesce circuit =
+  let pairs =
+    List.map
+      (fun (_, q, q') -> if q < q' then (q, q') else (q', q))
+      (Quantum.Circuit.two_qubit_gates circuit)
+  in
+  let rec group acc = function
+    | [] -> List.rev acc
+    | pair :: rest -> (
+      match acc with
+      | { pair = prev; multiplicity } :: acc' when coalesce && prev = pair ->
+        group ({ pair; multiplicity = multiplicity + 1 } :: acc') rest
+      | _ -> group ({ pair; multiplicity = 1 } :: acc) rest)
+  in
+  Array.of_list (group [] pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Variable numbering *)
+
+let n_phys t = Arch.Device.n_qubits t.spec.device
+let n_edges t = Arch.Device.n_edges t.spec.device
+
+let map_var t ~layer ~q ~p =
+  (((layer * t.n_log) + q) * n_phys t) + p
+
+let slot_base t = t.n_layers * t.n_log * n_phys t
+
+let noop_var t ~slot = slot_base t + (slot * (n_edges t + 1))
+
+let swap_var t ~slot ~edge = noop_var t ~slot + 1 + edge
+
+let n_fixed_vars t = slot_base t + (t.n_slots * (n_edges t + 1))
+
+let gate_layer t step = (step + 1) * t.spec.n_swaps
+
+let final_layer t = t.n_layers - 1
+
+let slots_before_step t step =
+  List.init t.spec.n_swaps (fun i -> (step * t.spec.n_swaps) + i)
+
+let post_slot_indices t =
+  List.init t.spec.post_slots (fun i ->
+      (Array.length t.steps * t.spec.n_swaps) + i)
+
+(* ------------------------------------------------------------------ *)
+(* Size estimation (used by the router's memory guard, standing in for the
+   paper's 5 GB cap) *)
+
+let estimate_vars spec circuit =
+  let steps = steps_of_circuit ~coalesce:spec.coalesce circuit in
+  let n_steps = Array.length steps in
+  let n_slots = (n_steps * spec.n_swaps) + spec.post_slots in
+  let n_layers = n_slots + 1 in
+  let l = Quantum.Circuit.n_qubits circuit in
+  let p = Arch.Device.n_qubits spec.device in
+  let e = Arch.Device.n_edges spec.device in
+  (n_layers * l * p) + (n_slots * (e + 1))
+
+(* Clause-count estimate, the dominant memory term; the router's guard
+   checks it against a cap that models the paper's 5 GB limit. *)
+let estimate_clauses spec circuit =
+  let steps = steps_of_circuit ~coalesce:spec.coalesce circuit in
+  let n_steps = Array.length steps in
+  let n_slots = (n_steps * spec.n_swaps) + spec.post_slots in
+  let l = Quantum.Circuit.n_qubits circuit in
+  let p = Arch.Device.n_qubits spec.device in
+  let e = Arch.Device.n_edges spec.device in
+  let injectivity_at_one_layer =
+    match spec.amo with
+    | Sat.Card.Pairwise -> (l * p * (p - 1) / 2) + (p * l * (l - 1) / 2)
+    | Sat.Card.Sequential -> 4 * l * p
+  in
+  let injected_layers = 1 + if spec.inject_all_gate_layers then n_steps else 0 in
+  let per_slot =
+    (* exactly-one over e+1 choices, effect, frame, mobility *)
+    (match spec.amo with
+    | Sat.Card.Pairwise -> (e + 1) * e / 2
+    | Sat.Card.Sequential -> 4 * (e + 1))
+    + (4 * e * l)
+    + (2 * p * l)
+    + (if spec.mobility then 2 * p * l else 0)
+  in
+  (injected_layers * injectivity_at_one_layer)
+  + (n_slots * per_slot)
+  + (n_steps * p) (* Hard B *)
+
+(* ------------------------------------------------------------------ *)
+(* Building *)
+
+let build ?fixed_initial ?fixed_final ?(cyclic = false)
+    ?(blocked_finals = []) spec circuit =
+  let n_log = Quantum.Circuit.n_qubits circuit in
+  let device = spec.device in
+  let n_phys = Arch.Device.n_qubits device in
+  if n_log > n_phys then
+    invalid_arg "Encoding.build: more logical than physical qubits";
+  let steps = steps_of_circuit ~coalesce:spec.coalesce circuit in
+  let n_steps = Array.length steps in
+  if n_steps = 0 then
+    invalid_arg "Encoding.build: circuit has no two-qubit gates";
+  let n_slots = (n_steps * spec.n_swaps) + spec.post_slots in
+  let n_layers = n_slots + 1 in
+  let t =
+    {
+      spec;
+      n_log;
+      steps;
+      n_layers;
+      n_slots;
+      instance =
+        (* placeholder; replaced below *)
+        Maxsat.Instance.create ~n_vars:0 ~hard:[] ~soft:[];
+    }
+  in
+  let edges = Arch.Device.edge_array device in
+  let n_edges = Array.length edges in
+  let hard = Sat.Vec.create ~dummy:[] in
+  let soft = ref [] in
+  let next_aux = ref (n_fixed_vars t) in
+  let sink =
+    Sat.Sink.
+      {
+        fresh_var =
+          (fun () ->
+            let v = !next_aux in
+            incr next_aux;
+            v);
+        add_clause = (fun c -> Sat.Vec.push hard c);
+      }
+  in
+  let pos v = Sat.Lit.of_var v in
+  let neg v = Sat.Lit.of_var ~sign:false v in
+  let mapl ~layer ~q ~p = pos (map_var t ~layer ~q ~p) in
+  let nmapl ~layer ~q ~p = neg (map_var t ~layer ~q ~p) in
+
+  (* Hard A: injectivity at layer 0 (and optionally at gate layers). *)
+  let inject_at layer =
+    for q = 0 to n_log - 1 do
+      Sat.Card.exactly_one ~encoding:spec.amo sink
+        (List.init n_phys (fun p -> mapl ~layer ~q ~p))
+    done;
+    for p = 0 to n_phys - 1 do
+      if n_log > 1 then
+        Sat.Card.at_most_one ~encoding:spec.amo sink
+          (List.init n_log (fun q -> mapl ~layer ~q ~p))
+    done
+  in
+  inject_at 0;
+  if spec.inject_all_gate_layers then
+    for i = 0 to n_steps - 1 do
+      inject_at (gate_layer t i)
+    done;
+
+  (* Hard B: executability at every gate layer. *)
+  Array.iteri
+    (fun i { pair = q, q'; _ } ->
+      let layer = gate_layer t i in
+      for p = 0 to n_phys - 1 do
+        let clause =
+          nmapl ~layer ~q ~p
+          :: List.map
+               (fun p' -> mapl ~layer ~q:q' ~p:p')
+               (Arch.Device.neighbors device p)
+        in
+        sink.add_clause clause
+      done)
+    steps;
+
+  (* Hard C and D per slot, plus the soft objective. *)
+  for s = 0 to n_slots - 1 do
+    let l = s in
+    let l' = s + 1 in
+    let noop = pos (noop_var t ~slot:s) in
+    let swap e = pos (swap_var t ~slot:s ~edge:e) in
+    (* Hard C: exactly one choice. *)
+    Sat.Card.exactly_one ~encoding:spec.amo sink
+      (noop :: List.init n_edges swap);
+    (* Hard D, effect of the chosen swap. *)
+    for e = 0 to n_edges - 1 do
+      let a, b = edges.(e) in
+      let ns = Sat.Lit.neg (swap e) in
+      for q = 0 to n_log - 1 do
+        (* map(q, a, l') <-> map(q, b, l) under swap e *)
+        sink.add_clause [ ns; nmapl ~layer:l ~q ~p:b; mapl ~layer:l' ~q ~p:a ];
+        sink.add_clause [ ns; mapl ~layer:l ~q ~p:b; nmapl ~layer:l' ~q ~p:a ];
+        sink.add_clause [ ns; nmapl ~layer:l ~q ~p:a; mapl ~layer:l' ~q ~p:b ];
+        sink.add_clause [ ns; mapl ~layer:l ~q ~p:a; nmapl ~layer:l' ~q ~p:b ]
+      done
+    done;
+    (* Hard D, frame: positions persist unless a swap touched them. *)
+    for p = 0 to n_phys - 1 do
+      let touching = ref [] in
+      Array.iteri
+        (fun e (a, b) -> if a = p || b = p then touching := swap e :: !touching)
+        edges;
+      for q = 0 to n_log - 1 do
+        sink.add_clause
+          (nmapl ~layer:l ~q ~p :: mapl ~layer:l' ~q ~p :: !touching);
+        sink.add_clause
+          (mapl ~layer:l ~q ~p :: nmapl ~layer:l' ~q ~p :: !touching)
+      done
+    done;
+    (* Mobility (redundant but propagation-critical): one slot moves a
+       qubit at most one hop, in both time directions.  Without these the
+       solver must case-split on swap variables to derive any distance
+       bound; with them, unsatisfiable seams refute by unit propagation. *)
+    if spec.mobility then
+    for p = 0 to n_phys - 1 do
+      let closed_next =
+        List.map (fun p' -> (`Next, p')) (Arch.Device.neighbors device p)
+      in
+      for q = 0 to n_log - 1 do
+        sink.add_clause
+          (nmapl ~layer:l ~q ~p :: mapl ~layer:l' ~q ~p
+          :: List.map (fun (_, p') -> mapl ~layer:l' ~q ~p:p') closed_next);
+        sink.add_clause
+          (nmapl ~layer:l' ~q ~p :: mapl ~layer:l ~q ~p
+          :: List.map (fun (_, p') -> mapl ~layer:l ~q ~p:p') closed_next)
+      done
+    done;
+    (* Soft: prefer the no-op. *)
+    (match spec.objective with
+    | Count_swaps -> soft := (1, [ noop ]) :: !soft
+    | Fidelity cal ->
+      for e = 0 to n_edges - 1 do
+        let w = Arch.Calibration.swap_log_weight cal edges.(e) in
+        soft := (w, [ Sat.Lit.neg (swap e) ]) :: !soft
+      done)
+  done;
+
+  (* Fidelity objective also weights the edge each gate executes on. *)
+  (match spec.objective with
+  | Count_swaps -> ()
+  | Fidelity cal ->
+    Array.iteri
+      (fun i { pair = q, q'; multiplicity } ->
+        let layer = gate_layer t i in
+        for e = 0 to n_edges - 1 do
+          let a, b = edges.(e) in
+          let g = pos (sink.fresh_var ()) in
+          (* gate on edge e in either orientation forces g *)
+          sink.add_clause [ nmapl ~layer ~q ~p:a; nmapl ~layer ~q:q' ~p:b; g ];
+          sink.add_clause [ nmapl ~layer ~q ~p:b; nmapl ~layer ~q:q' ~p:a; g ];
+          let w =
+            multiplicity * Arch.Calibration.cnot_log_weight cal edges.(e)
+          in
+          soft := (w, [ Sat.Lit.neg g ]) :: !soft
+        done)
+      steps);
+
+  (* Pinned initial / final maps (slicing seams). *)
+  let pin layer arr =
+    if Array.length arr <> n_log then
+      invalid_arg "Encoding.build: pinned map has wrong arity";
+    Array.iteri (fun q p -> sink.add_clause [ mapl ~layer ~q ~p ]) arr
+  in
+  Option.iter (pin 0) fixed_initial;
+  Option.iter (pin (final_layer t)) fixed_final;
+
+  (* Cyclic stitching: final map equals initial map. *)
+  if cyclic then begin
+    let fl = final_layer t in
+    for q = 0 to n_log - 1 do
+      for p = 0 to n_phys - 1 do
+        sink.add_clause [ nmapl ~layer:0 ~q ~p; mapl ~layer:fl ~q ~p ];
+        sink.add_clause [ mapl ~layer:0 ~q ~p; nmapl ~layer:fl ~q ~p ]
+      done
+    done
+  end;
+
+  (* Backtracking: block previously returned final maps (Section V). *)
+  List.iter
+    (fun arr ->
+      if Array.length arr <> n_log then
+        invalid_arg "Encoding.build: blocked map has wrong arity";
+      let fl = final_layer t in
+      sink.add_clause
+        (List.init n_log (fun q -> nmapl ~layer:fl ~q ~p:arr.(q))))
+    blocked_finals;
+
+  let instance =
+    Maxsat.Instance.create ~n_vars:!next_aux
+      ~hard:(Sat.Vec.to_list hard)
+      ~soft:!soft
+  in
+  { t with instance }
+
+let instance t = t.instance
+let n_steps t = Array.length t.steps
+let steps t = t.steps
+let spec_of t = t.spec
+let n_log t = t.n_log
+
+(* ------------------------------------------------------------------ *)
+(* Decoding *)
+
+type solution = {
+  initial : int array;
+  final : int array;
+  slot_swaps : (int * int) option array;
+  swap_count : int;
+}
+
+let decode t (model : bool array) =
+  let read_layer layer =
+    Array.init t.n_log (fun q ->
+        let rec find p =
+          if p >= n_phys t then
+            failwith "Encoding.decode: no physical qubit assigned"
+          else if model.(map_var t ~layer ~q ~p) then p
+          else find (p + 1)
+        in
+        find 0)
+  in
+  let edges = Arch.Device.edge_array t.spec.device in
+  let slot_swaps =
+    Array.init t.n_slots (fun s ->
+        if model.(noop_var t ~slot:s) then None
+        else begin
+          let rec find e =
+            if e >= n_edges t then
+              failwith "Encoding.decode: slot has no choice set"
+            else if model.(swap_var t ~slot:s ~edge:e) then Some edges.(e)
+            else find (e + 1)
+          in
+          find 0
+        end)
+  in
+  let swap_count =
+    Array.fold_left
+      (fun acc s -> match s with Some _ -> acc + 1 | None -> acc)
+      0 slot_swaps
+  in
+  {
+    initial = read_layer 0;
+    final = read_layer (final_layer t);
+    slot_swaps;
+    swap_count;
+  }

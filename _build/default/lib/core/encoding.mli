@@ -1,0 +1,78 @@
+(** The MaxSAT encoding of optimal QMR (Section IV of the paper).
+
+    Builds a {!Maxsat.Instance.t} whose optimal models are optimal QMR
+    solutions, together with the variable table needed to decode models.
+    Hooks for pinning and blocking maps support the locally-optimal
+    slicing relaxation (Section V); the [cyclic] flag and [post_slots]
+    support the cyclic-circuit relaxation (Section VI); the [Fidelity]
+    objective realises the weighted noise-aware variant (Q6). *)
+
+type objective = Count_swaps | Fidelity of Arch.Calibration.t
+
+type spec
+
+val spec :
+  ?n_swaps:int ->
+  ?post_slots:int ->
+  ?amo:Sat.Card.encoding ->
+  ?coalesce:bool ->
+  ?inject_all_gate_layers:bool ->
+  ?mobility:bool ->
+  ?objective:objective ->
+  Arch.Device.t ->
+  spec
+(** [n_swaps] is the paper's n (slots before each gate; default 1).
+    [coalesce] merges consecutive gates on the same pair into one step.
+    [inject_all_gate_layers] imposes the injectivity constraints at every
+    gate layer, as in Fig. 5 of the paper (default true); with [false]
+    they are imposed at layer 0 only — semantically equivalent because the
+    transition constraints are functional, but markedly slower to solve
+    (ablation knob). *)
+
+type step = {
+  pair : int * int;
+  multiplicity : int;
+}
+
+type t
+
+val build :
+  ?fixed_initial:int array ->
+  ?fixed_final:int array ->
+  ?cyclic:bool ->
+  ?blocked_finals:int array list ->
+  spec ->
+  Quantum.Circuit.t ->
+  t
+(** Requires at least one two-qubit gate and
+    [n_qubits circuit <= n_qubits device]. *)
+
+val instance : t -> Maxsat.Instance.t
+val n_steps : t -> int
+val steps : t -> step array
+val spec_of : t -> spec
+val n_log : t -> int
+
+val gate_layer : t -> int -> int
+val final_layer : t -> int
+val slots_before_step : t -> int -> int list
+val post_slot_indices : t -> int list
+val map_var : t -> layer:int -> q:int -> p:int -> Sat.Lit.var
+val noop_var : t -> slot:int -> Sat.Lit.var
+val swap_var : t -> slot:int -> edge:int -> Sat.Lit.var
+
+val estimate_vars : spec -> Quantum.Circuit.t -> int
+(** Fixed-variable count the encoding would need — the router's memory
+    guard (the paper caps memory at 5 GB per instance). *)
+
+val estimate_clauses : spec -> Quantum.Circuit.t -> int
+(** Clause-count estimate, the dominant memory term. *)
+
+type solution = {
+  initial : int array;
+  final : int array;
+  slot_swaps : (int * int) option array;
+  swap_count : int;
+}
+
+val decode : t -> bool array -> solution

@@ -1,0 +1,110 @@
+(* Injective maps from logical qubits to physical qubits (the M_k of the
+   paper), with the swap-application operation that routing is built on. *)
+
+type t = {
+  log_to_phys : int array;
+  n_phys : int;
+}
+
+let check log_to_phys n_phys =
+  let n_log = Array.length log_to_phys in
+  if n_log > n_phys then invalid_arg "Mapping: more logical than physical qubits";
+  let used = Array.make n_phys false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= n_phys then invalid_arg "Mapping: target out of range";
+      if used.(p) then invalid_arg "Mapping: not injective";
+      used.(p) <- true)
+    log_to_phys
+
+let of_array ~n_phys log_to_phys =
+  check log_to_phys n_phys;
+  { log_to_phys = Array.copy log_to_phys; n_phys }
+
+let identity ~n_log ~n_phys =
+  if n_log > n_phys then invalid_arg "Mapping.identity";
+  { log_to_phys = Array.init n_log Fun.id; n_phys }
+
+let random rng ~n_log ~n_phys =
+  if n_log > n_phys then invalid_arg "Mapping.random";
+  let phys = Array.init n_phys Fun.id in
+  Rng.shuffle rng phys;
+  { log_to_phys = Array.sub phys 0 n_log; n_phys }
+
+let n_log t = Array.length t.log_to_phys
+let n_phys t = t.n_phys
+
+let phys_of_log t q = t.log_to_phys.(q)
+
+let to_array t = Array.copy t.log_to_phys
+
+(* Inverse view: physical qubit -> logical qubit or -1 when free. *)
+let phys_to_log t =
+  let inv = Array.make t.n_phys (-1) in
+  Array.iteri (fun q p -> inv.(p) <- q) t.log_to_phys;
+  inv
+
+let log_of_phys t p =
+  let rec find q =
+    if q >= Array.length t.log_to_phys then None
+    else if t.log_to_phys.(q) = p then Some q
+    else find (q + 1)
+  in
+  find 0
+
+(* Apply s(p, p'): exchange the logical contents of two physical qubits.
+   Either or both positions may be unoccupied. *)
+let apply_swap t (p, p') =
+  if p = p' then t
+  else begin
+    let log_to_phys = Array.copy t.log_to_phys in
+    Array.iteri
+      (fun q tgt ->
+        if tgt = p then log_to_phys.(q) <- p'
+        else if tgt = p' then log_to_phys.(q) <- p)
+      t.log_to_phys;
+    { t with log_to_phys }
+  end
+
+let apply_swaps t swaps = List.fold_left apply_swap t swaps
+
+let equal a b = a.n_phys = b.n_phys && a.log_to_phys = b.log_to_phys
+
+(* Smallest number of swaps turning [a] into [b] on a *complete* graph:
+   n minus the number of cycles of the induced permutation (free physical
+   qubits allow relabelling, which this lower bound ignores — it is used
+   as a reference in tests where n_log = n_phys). *)
+let swap_distance_lower_bound a b =
+  if a.n_phys <> b.n_phys || n_log a <> n_log b then
+    invalid_arg "Mapping.swap_distance_lower_bound";
+  let inv_b = phys_to_log b in
+  (* Permutation on occupied positions: position of q in a -> position in b. *)
+  let n = n_log a in
+  let visited = Array.make n false in
+  let cycles = ref 0 in
+  let moved = ref 0 in
+  for q = 0 to n - 1 do
+    if not visited.(q) then begin
+      let len = ref 0 in
+      let cur = ref q in
+      while not visited.(!cur) do
+        visited.(!cur) <- true;
+        incr len;
+        let p_in_a = a.log_to_phys.(!cur) in
+        let next = inv_b.(p_in_a) in
+        cur := (if next < 0 then !cur else next)
+      done;
+      if !len > 1 then begin
+        incr cycles;
+        moved := !moved + !len
+      end
+    end
+  done;
+  !moved - !cycles
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>{";
+  Array.iteri
+    (fun q p -> Format.fprintf fmt " q%d->p%d" q p)
+    t.log_to_phys;
+  Format.fprintf fmt " }@]"

@@ -1,0 +1,27 @@
+(** Injective logical-to-physical qubit maps. *)
+
+type t
+
+val of_array : n_phys:int -> int array -> t
+(** [of_array ~n_phys a] maps logical qubit [q] to [a.(q)]; must be
+    injective and within range. *)
+
+val identity : n_log:int -> n_phys:int -> t
+val random : Rng.t -> n_log:int -> n_phys:int -> t
+val n_log : t -> int
+val n_phys : t -> int
+val phys_of_log : t -> int -> int
+val to_array : t -> int array
+val phys_to_log : t -> int array
+(** Inverse view; -1 marks unoccupied physical qubits. *)
+
+val log_of_phys : t -> int -> int option
+val apply_swap : t -> int * int -> t
+val apply_swaps : t -> (int * int) list -> t
+val equal : t -> t -> bool
+
+val swap_distance_lower_bound : t -> t -> int
+(** Swaps needed on a complete graph when every physical qubit is occupied
+    (n minus number of permutation cycles); a reference for tests. *)
+
+val pp : Format.formatter -> t -> unit

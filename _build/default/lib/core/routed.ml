@@ -1,0 +1,71 @@
+(* The result of qubit mapping and routing: an initial map plus a physical
+   circuit with SWAPs inserted.  Cost accounting follows the paper: the
+   cost of a solution is the number of added gates counted in CNOTs, with
+   each SWAP decomposing into 3 CNOTs. *)
+
+type t = {
+  initial : Mapping.t;
+  final : Mapping.t;
+  circuit : Quantum.Circuit.t;  (** over physical qubits, swaps included *)
+  n_swaps : int;
+  device : Arch.Device.t;
+}
+
+let create ~device ~initial ~final ~circuit =
+  let n_swaps =
+    List.fold_left
+      (fun acc g ->
+        match g with
+        | Quantum.Gate.Two { kind = Quantum.Gate.Swap; _ } -> acc + 1
+        | Quantum.Gate.Two _ | Quantum.Gate.One _ | Quantum.Gate.Measure _
+        | Quantum.Gate.Barrier _ ->
+          acc)
+      0
+      (Quantum.Circuit.gates circuit)
+  in
+  { initial; final; circuit; n_swaps; device }
+
+let initial t = t.initial
+let final t = t.final
+let circuit t = t.circuit
+let device t = t.device
+let n_swaps t = t.n_swaps
+
+(* Gates added by routing, in CNOTs: 3 per swap. *)
+let added_cnots t = 3 * t.n_swaps
+
+let depth t = Quantum.Circuit.depth t.circuit
+
+(* Stitch routed segments end to end: each segment's initial map must
+   equal the previous segment's final map. *)
+let stitch segments =
+  match segments with
+  | [] -> invalid_arg "Routed.stitch: empty"
+  | first :: rest ->
+    List.fold_left
+      (fun acc seg ->
+        if not (Mapping.equal acc.final seg.initial) then
+          invalid_arg "Routed.stitch: segment maps do not line up";
+        {
+          initial = acc.initial;
+          final = seg.final;
+          circuit = Quantum.Circuit.concat acc.circuit seg.circuit;
+          n_swaps = acc.n_swaps + seg.n_swaps;
+          device = acc.device;
+        })
+      first rest
+
+(* Repeat a cyclic segment (final map = initial map) k times. *)
+let repeat t k =
+  if not (Mapping.equal t.initial t.final) then
+    invalid_arg "Routed.repeat: not cyclic (final map differs from initial)";
+  if k <= 0 then invalid_arg "Routed.repeat";
+  {
+    t with
+    circuit = Quantum.Circuit.repeat t.circuit k;
+    n_swaps = k * t.n_swaps;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "routed on %s: %d swaps (%d added CNOTs), depth %d"
+    (Arch.Device.name t.device) t.n_swaps (added_cnots t) (depth t)

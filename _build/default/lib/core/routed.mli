@@ -1,0 +1,29 @@
+(** Routing results: initial map + physical circuit with SWAPs. *)
+
+type t
+
+val create :
+  device:Arch.Device.t ->
+  initial:Mapping.t ->
+  final:Mapping.t ->
+  circuit:Quantum.Circuit.t ->
+  t
+
+val initial : t -> Mapping.t
+val final : t -> Mapping.t
+val circuit : t -> Quantum.Circuit.t
+val device : t -> Arch.Device.t
+val n_swaps : t -> int
+
+val added_cnots : t -> int
+(** The paper's cost: added gates in CNOTs (SWAP = 3 CNOTs). *)
+
+val depth : t -> int
+
+val stitch : t list -> t
+(** Concatenate segments whose maps line up. *)
+
+val repeat : t -> int -> t
+(** Repeat a cyclic segment (requires final = initial). *)
+
+val pp : Format.formatter -> t -> unit

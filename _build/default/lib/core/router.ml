@@ -1,0 +1,546 @@
+(* The SATMAP routers.
+
+   - [route_monolithic]   : NL-SATMAP — one MaxSAT instance for the whole
+                            circuit (Section IV).
+   - [route_sliced]       : SATMAP — the locally optimal relaxation with
+                            backtracking at the seams (Section V).
+   - [route_cyclic]       : CYC-SATMAP — solve one body with the
+                            final-map = initial-map constraint and stitch
+                            repetitions (Section VI); composes with
+                            slicing.
+   - [route_portfolio]    : run several slice sizes, keep the cheapest
+                            solution (how the paper reports SATMAP).
+
+   All solvers are anytime: when the deadline interrupts the MaxSAT
+   descent after a model was found, the best-so-far solution is used and
+   the result is flagged as not proved optimal.  When a pinned seam makes
+   a block unsatisfiable and backtracking is exhausted, the swap budget n
+   for that block escalates (doubling, capped at the device diameter),
+   which restores completeness. *)
+
+type config = {
+  n_swaps : int;
+  amo : Sat.Card.encoding;
+  coalesce : bool;
+  inject_all_gate_layers : bool;
+  mobility : bool;
+  objective : Encoding.objective;
+  timeout : float;  (** seconds for the whole call *)
+  backtrack_limit : int;
+  max_vars : int;  (** memory guard on encoding size *)
+  max_clauses : int;  (** memory guard on clause count (the 5 GB cap) *)
+  accept_feasible : bool;
+      (** accept best-so-far (non-optimal) models at the deadline — the
+          anytime behaviour SATMAP gets from its MaxSAT solver.  The
+          SMT-style baselines set this to false: optimal or nothing. *)
+  verify : bool;
+}
+
+let default_config =
+  {
+    n_swaps = 1;
+    amo = Sat.Card.Sequential;
+    coalesce = true;
+    inject_all_gate_layers = true;
+    mobility = true;
+    objective = Encoding.Count_swaps;
+    timeout = 30.0;
+    backtrack_limit = 24;
+    max_vars = 500_000;
+    max_clauses = 4_000_000;
+    accept_feasible = true;
+    verify = true;
+  }
+
+type stats = {
+  time : float;
+  n_backtracks : int;
+  n_blocks : int;
+  proved_optimal : bool;
+  escalations : int;
+  maxsat_iterations : int;
+}
+
+type outcome =
+  | Routed of Routed.t * stats
+  | Failed of string
+
+let spec_of_config ?(n_swaps_override : int option) ?(post_slots = 0) config
+    device =
+  Encoding.spec
+    ~n_swaps:(Option.value n_swaps_override ~default:config.n_swaps)
+    ~post_slots ~amo:config.amo ~coalesce:config.coalesce
+    ~inject_all_gate_layers:config.inject_all_gate_layers
+    ~mobility:config.mobility ~objective:config.objective device
+
+(* ------------------------------------------------------------------ *)
+(* Emission: turn an encoding solution into a routed physical circuit *)
+
+let emit ~device ~circuit enc (sol : Encoding.solution) =
+  let n_phys = Arch.Device.n_qubits device in
+  let cur = Array.copy sol.initial in
+  let phys_to_log = Array.make n_phys (-1) in
+  Array.iteri (fun q p -> phys_to_log.(p) <- q) cur;
+  let out = ref [] in
+  let push g = out := g :: !out in
+  let emit_swap (a, b) =
+    push (Quantum.Gate.swap a b);
+    let qa = phys_to_log.(a) and qb = phys_to_log.(b) in
+    phys_to_log.(a) <- qb;
+    phys_to_log.(b) <- qa;
+    if qa >= 0 then cur.(qa) <- b;
+    if qb >= 0 then cur.(qb) <- a
+  in
+  let emit_slot s =
+    match sol.slot_swaps.(s) with
+    | Some edge -> emit_swap edge
+    | None -> ()
+  in
+  (* Which step each two-qubit gate occurrence belongs to. *)
+  let step_of_occ =
+    Array.concat
+      (Array.to_list
+         (Array.mapi
+            (fun i (st : Encoding.step) -> Array.make st.multiplicity i)
+            (Encoding.steps enc)))
+  in
+  let occ = ref 0 in
+  let last_step = ref (-1) in
+  List.iter
+    (fun gate ->
+      match gate with
+      | Quantum.Gate.Two { kind; control; target } ->
+        let step = step_of_occ.(!occ) in
+        incr occ;
+        if step > !last_step then begin
+          List.iter emit_slot (Encoding.slots_before_step enc step);
+          last_step := step
+        end;
+        push
+          (Quantum.Gate.Two
+             { kind; control = cur.(control); target = cur.(target) })
+      | Quantum.Gate.One { kind; target } ->
+        push (Quantum.Gate.One { kind; target = cur.(target) })
+      | Quantum.Gate.Measure { qubit; clbit } ->
+        push (Quantum.Gate.Measure { qubit = cur.(qubit); clbit })
+      | Quantum.Gate.Barrier qs ->
+        push (Quantum.Gate.Barrier (List.map (fun q -> cur.(q)) qs)))
+    (Quantum.Circuit.gates circuit);
+  List.iter emit_slot (Encoding.post_slot_indices enc);
+  if cur <> sol.final then
+    failwith "Router.emit: decoded final map disagrees with replay";
+  let physical =
+    Quantum.Circuit.create
+      ~n_clbits:(Quantum.Circuit.n_clbits circuit)
+      ~n_qubits:n_phys (List.rev !out)
+  in
+  Routed.create ~device
+    ~initial:(Mapping.of_array ~n_phys sol.initial)
+    ~final:(Mapping.of_array ~n_phys sol.final)
+    ~circuit:physical
+
+(* ------------------------------------------------------------------ *)
+(* Solving one block *)
+
+type block_result =
+  | Block_solved of Encoding.t * Encoding.solution * bool (* optimal? *) * int
+  | Block_unsat
+  | Block_timeout
+  | Block_too_large
+
+let solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
+    ?(cyclic = false) ?(blocked_finals = []) ?n_swaps_override ?(post_slots = 0)
+    circuit =
+  let spec = spec_of_config ?n_swaps_override ~post_slots config device in
+  if Unix.gettimeofday () > deadline then Block_timeout
+  else if
+    Encoding.estimate_vars spec circuit > config.max_vars
+    || Encoding.estimate_clauses spec circuit > config.max_clauses
+  then Block_too_large
+  else begin
+    let enc =
+      Encoding.build ?fixed_initial ?fixed_final ~cyclic ~blocked_finals spec
+        circuit
+    in
+    match Maxsat.Optimizer.solve ~deadline (Encoding.instance enc) with
+    | Maxsat.Optimizer.Optimal o ->
+      Block_solved (enc, Encoding.decode enc o.model, true, o.iterations)
+    | Maxsat.Optimizer.Feasible o ->
+      if config.accept_feasible then
+        Block_solved (enc, Encoding.decode enc o.model, false, o.iterations)
+      else Block_timeout
+    | Maxsat.Optimizer.Unsatisfiable -> Block_unsat
+    | Maxsat.Optimizer.Timeout ->
+      if Unix.gettimeofday () > deadline then Block_timeout else Block_unsat
+  end
+
+(* Escalate the block's swap budget on unsat seams: double n until the
+   device diameter, which always suffices for a pinned initial map. *)
+let solve_block_escalating ~config ~deadline ~device ?fixed_initial
+    ?fixed_final ?(cyclic = false) ?(blocked_finals = []) ?(want_post = false)
+    circuit =
+  let diameter = max 1 (Arch.Device.diameter device) in
+  let rec attempt n escalations =
+    let post_slots = if want_post then n else 0 in
+    match
+      solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
+        ~cyclic ~blocked_finals ~n_swaps_override:n ~post_slots circuit
+    with
+    | Block_unsat when n < diameter ->
+      attempt (min diameter (2 * n)) (escalations + 1)
+    | other -> (other, escalations)
+  in
+  attempt config.n_swaps 0
+
+(* ------------------------------------------------------------------ *)
+(* Trivial case: no two-qubit gates at all *)
+
+let route_trivial ~device circuit =
+  let n_log = Quantum.Circuit.n_qubits circuit in
+  let n_phys = Arch.Device.n_qubits device in
+  let ident = Array.init n_log Fun.id in
+  let mapping = Mapping.of_array ~n_phys ident in
+  let physical =
+    Quantum.Circuit.create
+      ~n_clbits:(Quantum.Circuit.n_clbits circuit)
+      ~n_qubits:n_phys
+      (Quantum.Circuit.gates circuit)
+  in
+  Routed.create ~device ~initial:mapping ~final:mapping ~circuit:physical
+
+let check ~config ~original routed =
+  if config.verify then Verifier.check_exn ~original routed
+
+(* ------------------------------------------------------------------ *)
+(* NL-SATMAP: monolithic *)
+
+let route_monolithic ?(config = default_config) device circuit =
+  let start = Unix.gettimeofday () in
+  let deadline = start +. config.timeout in
+  if Quantum.Circuit.n_qubits circuit > Arch.Device.n_qubits device then
+    Failed "circuit does not fit on the device"
+  else if Quantum.Circuit.count_two_qubit circuit = 0 then begin
+    let routed = route_trivial ~device circuit in
+    check ~config ~original:circuit routed;
+    Routed
+      ( routed,
+        {
+          time = Unix.gettimeofday () -. start;
+          n_backtracks = 0;
+          n_blocks = 1;
+          proved_optimal = true;
+          escalations = 0;
+          maxsat_iterations = 0;
+        } )
+  end
+  else begin
+    let result, escalations =
+      solve_block_escalating ~config ~deadline ~device circuit
+    in
+    match result with
+    | Block_solved (enc, sol, optimal, iters) ->
+      let routed = emit ~device ~circuit enc sol in
+      check ~config ~original:circuit routed;
+      Routed
+        ( routed,
+          {
+            time = Unix.gettimeofday () -. start;
+            n_backtracks = 0;
+            n_blocks = 1;
+            proved_optimal = optimal;
+            escalations;
+            maxsat_iterations = iters;
+          } )
+    | Block_unsat -> Failed "unsatisfiable encoding"
+    | Block_timeout -> Failed "timeout"
+    | Block_too_large -> Failed "encoding exceeds memory guard"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* SATMAP: sliced with backtracking *)
+
+type slice_state = {
+  slice : Quantum.Circuit.t;
+  mutable blocked : int array list;
+  mutable solution : (Encoding.t * Encoding.solution * bool * int) option;
+}
+
+let route_sliced ?(config = default_config) ~slice_size device circuit =
+  let start = Unix.gettimeofday () in
+  let deadline = start +. config.timeout in
+  if Quantum.Circuit.n_qubits circuit > Arch.Device.n_qubits device then
+    Failed "circuit does not fit on the device"
+  else if Quantum.Circuit.count_two_qubit circuit = 0 then
+    route_monolithic ~config device circuit
+  else begin
+    let slices =
+      Array.of_list
+        (List.map
+           (fun s -> { slice = s; blocked = []; solution = None })
+           (Quantum.Circuit.slice_by_two_qubit circuit ~slice_size))
+    in
+    let n = Array.length slices in
+    let backtracks = ref 0 in
+    let escalations = ref 0 in
+    let failure = ref None in
+    let i = ref 0 in
+    while !failure = None && !i < n do
+      let st = slices.(!i) in
+      let fixed_initial =
+        if !i = 0 then None
+        else
+          match slices.(!i - 1).solution with
+          | Some (_, sol, _, _) -> Some sol.final
+          | None -> failwith "Router: previous slice unsolved"
+      in
+      (* Split the remaining budget evenly over the remaining slices so an
+         early slice cannot starve the rest while polishing optimality;
+         the optimizer keeps its best model when its share runs out. *)
+      let block_deadline =
+        let now = Unix.gettimeofday () in
+        let remaining = deadline -. now in
+        Float.min deadline
+          (now +. Float.max 0.1 (remaining /. float_of_int (n - !i)))
+      in
+      let result, esc =
+        solve_block_escalating ~config ~deadline:block_deadline ~device
+          ?fixed_initial ~blocked_finals:st.blocked st.slice
+      in
+      escalations := !escalations + esc;
+      match result with
+      | Block_solved (enc, sol, optimal, iters) ->
+        st.solution <- Some (enc, sol, optimal, iters);
+        incr i
+      | Block_unsat ->
+        if !i = 0 then failure := Some "slice 0 unsatisfiable"
+        else if !backtracks >= config.backtrack_limit then
+          failure := Some "backtracking budget exhausted"
+        else begin
+          (* Block the previous slice's final map and re-solve it. *)
+          incr backtracks;
+          let prev = slices.(!i - 1) in
+          (match prev.solution with
+          | Some (_, sol, _, _) -> prev.blocked <- sol.final :: prev.blocked
+          | None -> failwith "Router: previous slice unsolved");
+          prev.solution <- None;
+          decr i
+        end
+      | Block_timeout -> failure := Some "timeout"
+      | Block_too_large -> failure := Some "encoding exceeds memory guard"
+    done;
+    match !failure with
+    | Some msg -> Failed msg
+    | None ->
+      let segments = ref [] in
+      let all_optimal = ref true in
+      let iterations = ref 0 in
+      Array.iter
+        (fun st ->
+          match st.solution with
+          | Some (enc, sol, optimal, iters) ->
+            if not optimal then all_optimal := false;
+            iterations := !iterations + iters;
+            segments := emit ~device ~circuit:st.slice enc sol :: !segments
+          | None -> failwith "Router: unsolved slice after success")
+        slices;
+      let routed = Routed.stitch (List.rev !segments) in
+      check ~config ~original:circuit routed;
+      Routed
+        ( routed,
+          {
+            time = Unix.gettimeofday () -. start;
+            n_backtracks = !backtracks;
+            n_blocks = n;
+            proved_optimal = !all_optimal && n = 1;
+            escalations = !escalations;
+            maxsat_iterations = !iterations;
+          } )
+  end
+
+(* ------------------------------------------------------------------ *)
+(* CYC-SATMAP: cyclic relaxation *)
+
+let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
+    device body =
+  let start = Unix.gettimeofday () in
+  let deadline = start +. config.timeout in
+  if repetitions < 1 then invalid_arg "Router.route_cyclic_body";
+  if Quantum.Circuit.n_qubits body > Arch.Device.n_qubits device then
+    Failed "circuit does not fit on the device"
+  else if Quantum.Circuit.count_two_qubit body = 0 then
+    route_monolithic ~config device (Quantum.Circuit.repeat body repetitions)
+  else begin
+    let finish ~stats routed_body =
+      let routed = Routed.repeat routed_body repetitions in
+      check ~config
+        ~original:(Quantum.Circuit.repeat body repetitions)
+        routed;
+      Routed (routed, stats)
+    in
+    match slice_size with
+    | None -> (
+      (* Monolithic body with the cyclic tie and post slots. *)
+      let result, escalations =
+        solve_block_escalating ~config ~deadline ~device ~cyclic:true
+          ~want_post:true body
+      in
+      match result with
+      | Block_solved (enc, sol, optimal, iters) ->
+        finish
+          ~stats:
+            {
+              time = Unix.gettimeofday () -. start;
+              n_backtracks = 0;
+              n_blocks = 1;
+              proved_optimal = optimal;
+              escalations;
+              maxsat_iterations = iters;
+            }
+          (emit ~device ~circuit:body enc sol)
+      | Block_unsat -> Failed "cyclic encoding unsatisfiable"
+      | Block_timeout -> Failed "timeout"
+      | Block_too_large -> Failed "encoding exceeds memory guard")
+    | Some slice_size -> (
+      (* Sliced body: slice 0's initial map is recorded and the last slice
+         must return to it (Section VI composed with Section V). *)
+      let slices =
+        Array.of_list
+          (List.map
+             (fun s -> { slice = s; blocked = []; solution = None })
+             (Quantum.Circuit.slice_by_two_qubit body ~slice_size))
+      in
+      let n = Array.length slices in
+      let backtracks = ref 0 in
+      let escalations = ref 0 in
+      let failure = ref None in
+      let i = ref 0 in
+      while !failure = None && !i < n do
+        let st = slices.(!i) in
+        let fixed_initial =
+          if !i = 0 then None
+          else
+            match slices.(!i - 1).solution with
+            | Some (_, sol, _, _) -> Some sol.final
+            | None -> failwith "Router: previous slice unsolved"
+        in
+        let fixed_final =
+          if !i < n - 1 then None
+          else if n = 1 then None (* cyclic flag handles the single slice *)
+          else
+            match slices.(0).solution with
+            | Some (_, sol, _, _) -> Some sol.initial
+            | None -> failwith "Router: slice 0 unsolved"
+        in
+        let cyclic = n = 1 && !i = 0 in
+        let want_post = !i = n - 1 in
+        let block_deadline =
+          let now = Unix.gettimeofday () in
+          let remaining = deadline -. now in
+          Float.min deadline
+            (now +. Float.max 0.1 (remaining /. float_of_int (n - !i)))
+        in
+        let result, esc =
+          solve_block_escalating ~config ~deadline:block_deadline ~device
+            ?fixed_initial ?fixed_final ~cyclic ~blocked_finals:st.blocked
+            ~want_post st.slice
+        in
+        escalations := !escalations + esc;
+        match result with
+        | Block_solved (enc, sol, optimal, iters) ->
+          st.solution <- Some (enc, sol, optimal, iters);
+          incr i
+        | Block_unsat ->
+          if !i = 0 then failure := Some "slice 0 unsatisfiable"
+          else if !backtracks >= config.backtrack_limit then
+            failure := Some "backtracking budget exhausted"
+          else begin
+            incr backtracks;
+            let prev = slices.(!i - 1) in
+            (match prev.solution with
+            | Some (_, sol, _, _) -> prev.blocked <- sol.final :: prev.blocked
+            | None -> failwith "Router: previous slice unsolved");
+            prev.solution <- None;
+            decr i
+          end
+        | Block_timeout -> failure := Some "timeout"
+        | Block_too_large -> failure := Some "encoding exceeds memory guard"
+      done;
+      match !failure with
+      | Some msg -> Failed msg
+      | None ->
+        let segments = ref [] in
+        let all_optimal = ref true in
+        let iterations = ref 0 in
+        Array.iter
+          (fun st ->
+            match st.solution with
+            | Some (enc, sol, optimal, iters) ->
+              if not optimal then all_optimal := false;
+              iterations := !iterations + iters;
+              segments := emit ~device ~circuit:st.slice enc sol :: !segments
+            | None -> failwith "Router: unsolved slice after success")
+          slices;
+        let routed_body = Routed.stitch (List.rev !segments) in
+        finish
+          ~stats:
+            {
+              time = Unix.gettimeofday () -. start;
+              n_backtracks = !backtracks;
+              n_blocks = n;
+              proved_optimal = false;
+              escalations = !escalations;
+              maxsat_iterations = !iterations;
+            }
+          routed_body)
+  end
+
+(* Auto-detect the repeated body. *)
+let route_cyclic ?(config = default_config) ?slice_size device circuit =
+  match Quantum.Circuit.detect_repetition circuit with
+  | Some (body, repetitions) when repetitions >= 2 ->
+    route_cyclic_body ~config ?slice_size ~repetitions device body
+  | Some _ | None -> route_sliced ~config ~slice_size:(Option.value slice_size ~default:25) device circuit
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio: the paper's reporting mode — try several slice sizes, keep
+   the best solution found. *)
+
+let best_of results =
+  List.fold_left
+    (fun acc (_, outcome) ->
+      match (acc, outcome) with
+      | None, Routed (r, s) -> Some (r, s)
+      | Some (r0, _), Routed (r, s)
+        when Routed.added_cnots r < Routed.added_cnots r0 ->
+        Some (r, s)
+      | acc, (Routed _ | Failed _) -> acc)
+    None results
+
+let route_portfolio ?(config = default_config) ?(sizes = [ 10; 25; 50; 100 ])
+    device circuit =
+  let results =
+    List.map
+      (fun size -> (size, route_sliced ~config ~slice_size:size device circuit))
+      sizes
+  in
+  match best_of results with
+  | Some (r, s) -> (Routed (r, s), results)
+  | None -> (Failed "no slice size succeeded", results)
+
+(* Parallel portfolio: one domain per slice size, realising the paper's
+   "parallel SAT-solving strategies" scaling avenue.  Every domain builds
+   its own solver state; the shared device and circuit values are
+   immutable, so no synchronisation is needed. *)
+let route_portfolio_parallel ?(config = default_config)
+    ?(sizes = [ 10; 25; 50; 100 ]) device circuit =
+  let spawn size =
+    ( size,
+      Domain.spawn (fun () ->
+          try route_sliced ~config ~slice_size:size device circuit
+          with exn -> Failed (Printexc.to_string exn)) )
+  in
+  let domains = List.map spawn sizes in
+  let results = List.map (fun (size, d) -> (size, Domain.join d)) domains in
+  match best_of results with
+  | Some (r, s) -> (Routed (r, s), results)
+  | None -> (Failed "no slice size succeeded", results)

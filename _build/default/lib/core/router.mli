@@ -1,0 +1,88 @@
+(** The SATMAP routers (the paper's tool, Section VII).
+
+    - {!route_monolithic}: NL-SATMAP, one MaxSAT instance for the whole
+      circuit.
+    - {!route_sliced}: SATMAP, the locally-optimal relaxation with
+      backtracking at slice seams.
+    - {!route_cyclic} / {!route_cyclic_body}: CYC-SATMAP, solve the
+      repeated body once with the final-map = initial-map tie and stitch.
+    - {!route_portfolio}: try several slice sizes, report the cheapest
+      (how the paper runs SATMAP).
+
+    All routers are anytime: a deadline mid-descent yields the best
+    solution found so far, flagged as not proved optimal. *)
+
+type config = {
+  n_swaps : int;  (** the paper's n; default 1 *)
+  amo : Sat.Card.encoding;
+  coalesce : bool;
+  inject_all_gate_layers : bool;
+  mobility : bool;  (** redundant one-hop-per-slot clauses; ablation knob *)
+  objective : Encoding.objective;
+  timeout : float;  (** seconds for the whole call *)
+  backtrack_limit : int;
+  max_vars : int;  (** encoding-size guard (the paper's memory cap) *)
+  max_clauses : int;  (** clause-count guard (the paper's memory cap) *)
+  accept_feasible : bool;
+      (** accept anytime (best-so-far) solutions at the deadline; the
+          SMT-style baselines disable this *)
+  verify : bool;  (** run the independent verifier on every solution *)
+}
+
+val default_config : config
+
+type stats = {
+  time : float;
+  n_backtracks : int;
+  n_blocks : int;
+  proved_optimal : bool;
+  escalations : int;
+  maxsat_iterations : int;
+}
+
+type outcome =
+  | Routed of Routed.t * stats
+  | Failed of string
+
+val route_monolithic :
+  ?config:config -> Arch.Device.t -> Quantum.Circuit.t -> outcome
+
+val route_sliced :
+  ?config:config ->
+  slice_size:int ->
+  Arch.Device.t ->
+  Quantum.Circuit.t ->
+  outcome
+
+val route_cyclic_body :
+  ?config:config ->
+  ?slice_size:int ->
+  repetitions:int ->
+  Arch.Device.t ->
+  Quantum.Circuit.t ->
+  outcome
+(** Route [body] once under the cyclic constraint, then repeat the
+    solution [repetitions] times. *)
+
+val route_cyclic :
+  ?config:config -> ?slice_size:int -> Arch.Device.t -> Quantum.Circuit.t -> outcome
+(** Auto-detect the repeated body; falls back to sliced routing when the
+    circuit is not cyclic. *)
+
+val route_portfolio :
+  ?config:config ->
+  ?sizes:int list ->
+  Arch.Device.t ->
+  Quantum.Circuit.t ->
+  outcome * (int * outcome) list
+(** Returns the best outcome and the per-slice-size outcomes. *)
+
+val route_portfolio_parallel :
+  ?config:config ->
+  ?sizes:int list ->
+  Arch.Device.t ->
+  Quantum.Circuit.t ->
+  outcome * (int * outcome) list
+(** Like {!route_portfolio} but with one domain per slice size (the
+    paper's "parallel SAT-solving strategies" future-work avenue);
+    wall-clock is the slowest member instead of the sum. *)

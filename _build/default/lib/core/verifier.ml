@@ -1,0 +1,188 @@
+(* Independent verifier for QMR solutions, mirroring the paper's: it
+   "traverses a circuit, evaluating its effects on an initial map and
+   checking that all two-qubit gates act on connected qubits" — and
+   additionally that the routed circuit implements the original logical
+   circuit.
+
+   Routers may reorder independent gates (SABRE executes its front layer
+   opportunistically), so implementation is checked up to dependency
+   equivalence: every routed gate, pulled back to logical qubits, must be
+   the *next pending* original gate on every qubit it touches.  This
+   accepts commuting reorderings and rejects any dependency violation.
+
+   The verifier deliberately shares no code with the encodings or the
+   routers: it works directly on the routed physical circuit. *)
+
+type failure =
+  | Disconnected_gate of { index : int; p1 : int; p2 : int }
+  | Disconnected_swap of { index : int; p1 : int; p2 : int }
+  | Wrong_gate of { index : int; expected : string; got : string }
+  | Unmapped_operand of { index : int; phys : int }
+  | Missing_gates of { n_missing : int }
+  | Extra_gates of { index : int }
+  | Final_map_mismatch
+
+let failure_to_string = function
+  | Disconnected_gate { index; p1; p2 } ->
+    Printf.sprintf "gate %d acts on disconnected qubits p%d,p%d" index p1 p2
+  | Disconnected_swap { index; p1; p2 } ->
+    Printf.sprintf "swap %d acts on disconnected qubits p%d,p%d" index p1 p2
+  | Wrong_gate { index; expected; got } ->
+    Printf.sprintf "gate %d: expected %s, got %s" index expected got
+  | Unmapped_operand { index; phys } ->
+    Printf.sprintf "gate %d operand p%d holds no logical qubit" index phys
+  | Missing_gates { n_missing } ->
+    Printf.sprintf "routed circuit ends with %d logical gates missing"
+      n_missing
+  | Extra_gates { index } ->
+    Printf.sprintf "routed circuit has unexpected extra gate at %d" index
+  | Final_map_mismatch ->
+    "recorded final map disagrees with the traversal's final state"
+
+let gate_str g = Format.asprintf "%a" Quantum.Gate.pp g
+
+(* Per-qubit queues of pending original gate indices. *)
+type pending = {
+  gates : Quantum.Gate.t array;
+  queues : int list array;  (* per logical qubit, gate indices in order *)
+  consumed : bool array;
+  mutable n_consumed : int;
+}
+
+let pending_create original =
+  let gates = Quantum.Circuit.gate_array original in
+  let queues = Array.make (Quantum.Circuit.n_qubits original) [] in
+  Array.iteri
+    (fun i g ->
+      List.iter (fun q -> queues.(q) <- i :: queues.(q)) (Quantum.Gate.qubits g))
+    gates;
+  {
+    gates;
+    queues = Array.map List.rev queues;
+    consumed = Array.make (Array.length gates) false;
+    n_consumed = 0;
+  }
+
+(* Head of a qubit's queue, skipping already-consumed entries. *)
+let rec head pend q =
+  match pend.queues.(q) with
+  | [] -> None
+  | i :: rest ->
+    if pend.consumed.(i) then begin
+      pend.queues.(q) <- rest;
+      head pend q
+    end
+    else Some i
+
+let consume pend i =
+  pend.consumed.(i) <- true;
+  pend.n_consumed <- pend.n_consumed + 1
+
+(* Match a logical gate against the pending structure. *)
+let match_pending pend index got fail =
+  match Quantum.Gate.qubits got with
+  | [] -> ()
+  | qs -> (
+    let heads = List.map (head pend) qs in
+    match heads with
+    | [] -> ()
+    | first :: rest ->
+      if List.exists (fun h -> h = None) heads then
+        fail (Extra_gates { index })
+      else if List.exists (fun h -> h <> first) rest then
+        fail
+          (Wrong_gate
+             {
+               index;
+               expected = "next pending gate on each operand";
+               got = gate_str got;
+             })
+      else begin
+        match first with
+        | None -> fail (Extra_gates { index })
+        | Some i ->
+          if Quantum.Gate.equal pend.gates.(i) got then consume pend i
+          else
+            fail
+              (Wrong_gate
+                 {
+                   index;
+                   expected = gate_str pend.gates.(i);
+                   got = gate_str got;
+                 })
+      end)
+
+(* Check a routed solution against the original logical circuit. *)
+let check ~original routed =
+  let device = Routed.device routed in
+  let phys_to_log = Mapping.phys_to_log (Routed.initial routed) in
+  let pend = pending_create original in
+  let failures = ref [] in
+  let fail f = failures := f :: !failures in
+  let log_of index p =
+    let q = phys_to_log.(p) in
+    if q < 0 then begin
+      fail (Unmapped_operand { index; phys = p });
+      None
+    end
+    else Some q
+  in
+  List.iteri
+    (fun index gate ->
+      match gate with
+      | Quantum.Gate.Two { kind = Quantum.Gate.Swap; control = p1; target = p2 }
+        ->
+        if not (Arch.Device.adjacent device p1 p2) then
+          fail (Disconnected_swap { index; p1; p2 });
+        let q1 = phys_to_log.(p1) and q2 = phys_to_log.(p2) in
+        phys_to_log.(p1) <- q2;
+        phys_to_log.(p2) <- q1
+      | Quantum.Gate.Two { kind; control = p1; target = p2 } -> (
+        if not (Arch.Device.adjacent device p1 p2) then
+          fail (Disconnected_gate { index; p1; p2 });
+        match (log_of index p1, log_of index p2) with
+        | Some q1, Some q2 ->
+          match_pending pend index
+            (Quantum.Gate.Two { kind; control = q1; target = q2 })
+            fail
+        | _ -> ())
+      | Quantum.Gate.One { kind; target = p } -> (
+        match log_of index p with
+        | Some q ->
+          match_pending pend index (Quantum.Gate.One { kind; target = q }) fail
+        | None -> ())
+      | Quantum.Gate.Measure { qubit = p; clbit } -> (
+        match log_of index p with
+        | Some q ->
+          match_pending pend index (Quantum.Gate.Measure { qubit = q; clbit })
+            fail
+        | None -> ())
+      | Quantum.Gate.Barrier ps ->
+        let qs = List.filter_map (fun p -> log_of index p) ps in
+        if List.length qs = List.length ps then
+          match_pending pend index (Quantum.Gate.Barrier qs) fail)
+    (Quantum.Circuit.gates (Routed.circuit routed));
+  let n_expected = Array.length pend.gates in
+  if pend.n_consumed < n_expected then
+    fail (Missing_gates { n_missing = n_expected - pend.n_consumed });
+  (* The recorded final map must match the traversal's final state. *)
+  (if !failures = [] then begin
+     let n_log = Mapping.n_log (Routed.initial routed) in
+     let traversed_final = Array.make n_log (-1) in
+     Array.iteri
+       (fun p q -> if q >= 0 && q < n_log then traversed_final.(q) <- p)
+       phys_to_log;
+     if traversed_final <> Mapping.to_array (Routed.final routed) then
+       fail Final_map_mismatch
+   end);
+  List.rev !failures
+
+let is_valid ~original routed = check ~original routed = []
+
+let check_exn ~original routed =
+  match check ~original routed with
+  | [] -> ()
+  | failures ->
+    failwith
+      ("Verifier: "
+      ^ String.concat "; " (List.map failure_to_string failures))

@@ -1,0 +1,24 @@
+(** Independent verifier for QMR solutions (shares no code with the
+    encoders or routers).
+
+    Checks that (1) every two-qubit gate and SWAP in the routed circuit
+    acts on connected physical qubits, (2) the routed circuit implements
+    the original logical circuit up to dependency equivalence — every
+    routed gate, pulled back to logical qubits, must be the next pending
+    original gate on each qubit it touches (commuting reorderings pass,
+    dependency violations fail) — and (3) the recorded final map matches
+    the traversal. *)
+
+type failure =
+  | Disconnected_gate of { index : int; p1 : int; p2 : int }
+  | Disconnected_swap of { index : int; p1 : int; p2 : int }
+  | Wrong_gate of { index : int; expected : string; got : string }
+  | Unmapped_operand of { index : int; phys : int }
+  | Missing_gates of { n_missing : int }
+  | Extra_gates of { index : int }
+  | Final_map_mismatch
+
+val failure_to_string : failure -> string
+val check : original:Quantum.Circuit.t -> Routed.t -> failure list
+val is_valid : original:Quantum.Circuit.t -> Routed.t -> bool
+val check_exn : original:Quantum.Circuit.t -> Routed.t -> unit

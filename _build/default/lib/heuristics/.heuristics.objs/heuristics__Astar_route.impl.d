@@ -1,0 +1,1 @@
+lib/heuristics/astar_route.ml: Arch Array Hashtbl Int List Map Option Quantum Sabre Satmap String Tket_route

@@ -1,0 +1,1 @@
+lib/heuristics/astar_route.mli: Arch Quantum Satmap

@@ -1,0 +1,1 @@
+lib/heuristics/hybrid.ml: Arch Array Fun Hashtbl List Maxsat Option Quantum Sabre Sat Satmap Tket_route Unix

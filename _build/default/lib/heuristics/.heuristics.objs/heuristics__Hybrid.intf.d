@@ -1,0 +1,1 @@
+lib/heuristics/hybrid.mli: Arch Quantum Sabre Satmap

@@ -1,0 +1,1 @@
+lib/heuristics/sabre.ml: Arch Array Float Fun List Quantum Rng Satmap

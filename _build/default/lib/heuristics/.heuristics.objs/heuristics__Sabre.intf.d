@@ -1,0 +1,1 @@
+lib/heuristics/sabre.mli: Arch Quantum Satmap

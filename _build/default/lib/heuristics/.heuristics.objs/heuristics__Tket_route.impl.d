@@ -1,0 +1,1 @@
+lib/heuristics/tket_route.ml: Arch Array Fun List Quantum Sabre Satmap

@@ -1,0 +1,1 @@
+lib/heuristics/tket_route.mli: Arch Quantum Satmap

@@ -1,0 +1,183 @@
+(* An MQT-style A* router (Zulehner, Paler, Wille — "An efficient
+   methodology for mapping quantum circuits to the IBM QX architectures").
+
+   The circuit is processed by topological layers of two-qubit gates
+   (disjoint qubit pairs).  For each layer, an A* search over mappings
+   finds a minimal sequence of swaps making *every* gate of the layer
+   executable; the admissible heuristic is half the total excess distance
+   (one swap improves the sum of gate distances by at most 2).  The search
+   is node-bounded; on exhaustion a greedy fallback walks the first
+   non-local gate's qubits together along a shortest path, guaranteeing
+   progress. *)
+
+type config = {
+  node_budget : int;  (** per-layer A* node expansion budget *)
+  seed : int;
+}
+
+let default_config = { node_budget = 20000; seed = 1 }
+
+type search_node = {
+  log_to_phys : int array;
+  swaps : (int * int) list;  (** reversed *)
+  g : int;
+}
+
+
+let layer_done ~device log_to_phys layer =
+  List.for_all
+    (fun (n : Quantum.Dag.node) ->
+      Arch.Device.distance device log_to_phys.(n.q1) log_to_phys.(n.q2) = 1)
+    layer
+
+let heuristic ~device log_to_phys layer =
+  let excess =
+    List.fold_left
+      (fun acc (n : Quantum.Dag.node) ->
+        acc
+        + (Arch.Device.distance device log_to_phys.(n.q1) log_to_phys.(n.q2)
+          - 1))
+      0 layer
+  in
+  (excess + 1) / 2
+
+let key arr = String.concat "," (List.map string_of_int (Array.to_list arr))
+
+let apply_swap_arr log_to_phys (a, b) =
+  let arr = Array.copy log_to_phys in
+  Array.iteri
+    (fun q p -> if p = a then arr.(q) <- b else if p = b then arr.(q) <- a)
+    log_to_phys;
+  arr
+
+(* Swaps that move a qubit of some layer gate. *)
+let candidate_edges ~device log_to_phys layer =
+  let n_phys = Arch.Device.n_qubits device in
+  let relevant = Array.make n_phys false in
+  List.iter
+    (fun (n : Quantum.Dag.node) ->
+      relevant.(log_to_phys.(n.q1)) <- true;
+      relevant.(log_to_phys.(n.q2)) <- true)
+    layer;
+  List.filter (fun (a, b) -> relevant.(a) || relevant.(b)) (Arch.Device.edges device)
+
+module Pq = Map.Make (Int)
+
+let astar_layer ~config ~device ~log_to_phys layer =
+  if layer_done ~device log_to_phys layer then Some []
+  else begin
+    let open_set = ref Pq.empty in
+    let push node =
+      let f = node.g + heuristic ~device node.log_to_phys layer in
+      open_set := Pq.update f (fun l -> Some (node :: Option.value l ~default:[])) !open_set
+    in
+    let pop () =
+      match Pq.min_binding_opt !open_set with
+      | None -> None
+      | Some (f, nodes) -> (
+        match nodes with
+        | [] ->
+          open_set := Pq.remove f !open_set;
+          None
+        | n :: rest ->
+          open_set :=
+            (if rest = [] then Pq.remove f !open_set
+             else Pq.add f rest !open_set);
+          Some n)
+    in
+    let best_g = Hashtbl.create 1024 in
+    push { log_to_phys = Array.copy log_to_phys; swaps = []; g = 0 };
+    let expanded = ref 0 in
+    let result = ref None in
+    let continue = ref true in
+    while !continue do
+      match pop () with
+      | None -> continue := false
+      | Some node ->
+        if layer_done ~device node.log_to_phys layer then begin
+          result := Some (List.rev node.swaps);
+          continue := false
+        end
+        else begin
+          incr expanded;
+          if !expanded > config.node_budget then continue := false
+          else begin
+            List.iter
+              (fun edge ->
+                let arr = apply_swap_arr node.log_to_phys edge in
+                let k = key arr in
+                let g = node.g + 1 in
+                match Hashtbl.find_opt best_g k with
+                | Some g' when g' <= g -> ()
+                | _ ->
+                  Hashtbl.replace best_g k g;
+                  push { log_to_phys = arr; swaps = edge :: node.swaps; g })
+              (candidate_edges ~device node.log_to_phys layer)
+          end
+        end
+    done;
+    !result
+  end
+
+(* Greedy fallback: walk the first non-local gate's control towards its
+   target along a shortest path (one swap), guaranteeing progress. *)
+let greedy_step ~device log_to_phys layer =
+  let nonlocal =
+    List.find
+      (fun (n : Quantum.Dag.node) ->
+        Arch.Device.distance device log_to_phys.(n.q1) log_to_phys.(n.q2) > 1)
+      layer
+  in
+  let src = log_to_phys.(nonlocal.q1) and dst = log_to_phys.(nonlocal.q2) in
+  let next =
+    List.find
+      (fun p ->
+        Arch.Device.distance device p dst
+        = Arch.Device.distance device src dst - 1)
+      (Arch.Device.neighbors device src)
+  in
+  (src, next)
+
+let route ?(config = default_config) device circuit =
+  if Quantum.Circuit.n_qubits circuit > Arch.Device.n_qubits device then
+    invalid_arg "Astar_route.route: circuit does not fit on the device";
+  let n_phys = Arch.Device.n_qubits device in
+  let dag = Quantum.Dag.build circuit in
+  let layers =
+    List.map (fun l -> List.map (Quantum.Dag.node dag) l) (Quantum.Dag.layers dag)
+  in
+  (* Initial placement: the same interaction-aware greedy as the tket
+     baseline (MQTH's own placement is similar in spirit). *)
+  let initial = Tket_route.initial_placement ~device circuit in
+  let log_to_phys = Array.copy initial in
+  let events = ref [] in
+  let do_swap edge =
+    events := Sabre.Swp edge :: !events;
+    let a, b = edge in
+    Array.iteri
+      (fun q p ->
+        if p = a then log_to_phys.(q) <- b
+        else if p = b then log_to_phys.(q) <- a)
+      (Array.copy log_to_phys)
+  in
+  List.iter
+    (fun layer ->
+      let guard = ref 0 in
+      while not (layer_done ~device log_to_phys layer) do
+        incr guard;
+        if !guard > 100 * n_phys then
+          failwith "Astar_route: no progress on layer";
+        match astar_layer ~config ~device ~log_to_phys layer with
+        | Some swaps when swaps <> [] -> List.iter do_swap swaps
+        | Some _ -> () (* already done *)
+        | None -> do_swap (greedy_step ~device log_to_phys layer)
+      done;
+      List.iter
+        (fun (n : Quantum.Dag.node) -> events := Sabre.Exec n.id :: !events)
+        layer)
+    layers;
+  let physical, final = Sabre.emit ~device ~circuit ~initial (List.rev !events) in
+  Satmap.Routed.create ~device
+    ~initial:(Satmap.Mapping.of_array ~n_phys initial)
+    ~final:(Satmap.Mapping.of_array ~n_phys final)
+    ~circuit:physical

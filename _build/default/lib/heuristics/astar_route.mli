@@ -1,0 +1,13 @@
+(** An MQT-style A* router: per-topological-layer optimal swap search with
+    an admissible distance heuristic, node-bounded with a greedy
+    fallback. *)
+
+type config = {
+  node_budget : int;
+  seed : int;
+}
+
+val default_config : config
+
+val route :
+  ?config:config -> Arch.Device.t -> Quantum.Circuit.t -> Satmap.Routed.t

@@ -1,0 +1,17 @@
+(** Hybrid pipeline (the paper's Discussion-section scaling avenue):
+    optimal MaxSAT initial mapping — maximising interaction-weighted
+    adjacency — followed by SABRE routing from that fixed map.  The
+    mapping instance is independent of circuit length, so this scales far
+    beyond the monolithic encoding while keeping a constraint-based
+    placement. *)
+
+type config = {
+  timeout : float;  (** budget for the mapping MaxSAT solve *)
+  sabre : Sabre.config;
+  verify : bool;
+}
+
+val default_config : config
+
+val route :
+  ?config:config -> Arch.Device.t -> Quantum.Circuit.t -> Satmap.Routed.t

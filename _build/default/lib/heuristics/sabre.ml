@@ -1,0 +1,334 @@
+(* SABRE (Li, Ding, Xie — ASPLOS 2019), the heuristic baseline the paper
+   compares against (Q2).
+
+   Routing: maintain the front layer of the dependency DAG; execute every
+   gate whose qubits are adjacent; otherwise score all swaps on edges
+   incident to a front-layer qubit by the distance change they induce on
+   the front layer plus a discounted extended (lookahead) set, with a
+   decay factor discouraging moving the same qubit repeatedly; apply the
+   best swap and repeat.
+
+   Initial mapping: the bidirectional trick — start from a random map,
+   route the circuit, route its reverse starting from the resulting final
+   map, and use that final map as the initial map for the real run.
+   Several random restarts are taken and the cheapest result kept. *)
+
+type config = {
+  extended_size : int;
+  extended_weight : float;
+  decay_increment : float;
+  decay_reset_interval : int;
+  trials : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    extended_size = 20;
+    extended_weight = 0.5;
+    decay_increment = 0.001;
+    decay_reset_interval = 5;
+    trials = 5;
+    seed = 1;
+  }
+
+(* One routing pass.  Returns the swaps interleaved with executed gate
+   ids: the caller replays them to build the routed circuit.  [log_to_phys]
+   is mutated into the final mapping. *)
+type event = Exec of int (* dag node id *) | Swp of (int * int)
+
+let route_pass ~config ~device ~dag ~log_to_phys =
+  let n_phys = Arch.Device.n_qubits device in
+  let n_log = Array.length log_to_phys in
+  let phys_to_log = Array.make n_phys (-1) in
+  Array.iteri (fun q p -> phys_to_log.(p) <- q) log_to_phys;
+  let decay = Array.make n_phys 1.0 in
+  let front = Quantum.Dag.front_create dag in
+  let events = ref [] in
+  let steps_since_reset = ref 0 in
+  let dist q q' =
+    Arch.Device.distance device log_to_phys.(q) log_to_phys.(q')
+  in
+  let apply_swap (a, b) =
+    let qa = phys_to_log.(a) and qb = phys_to_log.(b) in
+    phys_to_log.(a) <- qb;
+    phys_to_log.(b) <- qa;
+    if qa >= 0 then log_to_phys.(qa) <- b;
+    if qb >= 0 then log_to_phys.(qb) <- a
+  in
+  let guard = ref 0 in
+  let max_iterations =
+    1000 + (200 * Quantum.Dag.n_nodes dag * Arch.Device.diameter device)
+  in
+  while not (Quantum.Dag.front_is_empty front) do
+    incr guard;
+    if !guard > max_iterations then failwith "Sabre: routing did not converge";
+    (* Execute every currently executable front gate. *)
+    let executed = ref false in
+    let rec execute_ready () =
+      let ready =
+        List.find_opt
+          (fun (n : Quantum.Dag.node) -> dist n.q1 n.q2 = 1)
+          (Quantum.Dag.front_gates front)
+      in
+      match ready with
+      | Some n ->
+        events := Exec n.id :: !events;
+        Quantum.Dag.front_resolve front n.id;
+        executed := true;
+        execute_ready ()
+      | None -> ()
+    in
+    execute_ready ();
+    if !executed then begin
+      incr steps_since_reset;
+      if !steps_since_reset >= config.decay_reset_interval then begin
+        Array.fill decay 0 n_phys 1.0;
+        steps_since_reset := 0
+      end
+    end;
+    if not (Quantum.Dag.front_is_empty front) then begin
+      let front_gates = Quantum.Dag.front_gates front in
+      (* If nothing was executable, choose the best-scoring swap. *)
+      let candidate_edges =
+        let on_front = Array.make n_phys false in
+        List.iter
+          (fun (n : Quantum.Dag.node) ->
+            on_front.(log_to_phys.(n.q1)) <- true;
+            on_front.(log_to_phys.(n.q2)) <- true)
+          front_gates;
+        List.filter
+          (fun (a, b) -> on_front.(a) || on_front.(b))
+          (Arch.Device.edges device)
+      in
+      let extended = Quantum.Dag.extended_set front ~size:config.extended_size in
+      let score edge =
+        (* Distance sums if we applied this swap. *)
+        let moved q =
+          let p = log_to_phys.(q) in
+          let a, b = edge in
+          if p = a then b else if p = b then a else p
+        in
+        let pair_dist (n : Quantum.Dag.node) =
+          float_of_int (Arch.Device.distance device (moved n.q1) (moved n.q2))
+        in
+        let f_sum =
+          List.fold_left (fun acc n -> acc +. pair_dist n) 0.0 front_gates
+        in
+        let e_sum =
+          List.fold_left (fun acc n -> acc +. pair_dist n) 0.0 extended
+        in
+        let a, b = edge in
+        let decay_factor = Float.max decay.(a) decay.(b) in
+        decay_factor
+        *. ((f_sum /. float_of_int (List.length front_gates))
+           +.
+           if extended = [] then 0.0
+           else
+             config.extended_weight *. e_sum
+             /. float_of_int (List.length extended))
+      in
+      match candidate_edges with
+      | [] -> failwith "Sabre: no candidate swaps (disconnected front?)"
+      | first :: rest ->
+        let best, _ =
+          List.fold_left
+            (fun (be, bs) e ->
+              let s = score e in
+              if s < bs then (e, s) else (be, bs))
+            (first, score first)
+            rest
+        in
+        apply_swap best;
+        events := Swp best :: !events;
+        let a, b = best in
+        decay.(a) <- decay.(a) +. config.decay_increment;
+        decay.(b) <- decay.(b) +. config.decay_increment;
+        ignore n_log
+    end
+  done;
+  List.rev !events
+
+(* Reverse a circuit for the bidirectional initial-mapping passes: gate
+   order is reversed (gate-level inverses are irrelevant — only qubit
+   adjacency matters for mapping). *)
+let reverse_circuit circuit =
+  Quantum.Circuit.create
+    ~n_clbits:(Quantum.Circuit.n_clbits circuit)
+    ~n_qubits:(Quantum.Circuit.n_qubits circuit)
+    (List.rev
+       (List.filter
+          (fun g -> match g with Quantum.Gate.Measure _ -> false | _ -> true)
+          (Quantum.Circuit.gates circuit)))
+
+(* Build the routed physical circuit by replaying events over the original
+   gate stream.  Two-qubit gates execute in DAG-resolution order, which can
+   differ from circuit order among independent gates, so non-two-qubit
+   gates are scheduled by per-qubit dependency queues: a gate is emitted
+   once it is the next pending gate on every qubit it touches. *)
+let emit ~device ~circuit ~initial events =
+  let n_phys = Arch.Device.n_qubits device in
+  let log_to_phys = Array.copy initial in
+  let phys_to_log = Array.make n_phys (-1) in
+  Array.iteri (fun q p -> phys_to_log.(p) <- q) log_to_phys;
+  let out = ref [] in
+  let push g = out := g :: !out in
+  let apply_swap (a, b) =
+    push (Quantum.Gate.swap a b);
+    let qa = phys_to_log.(a) and qb = phys_to_log.(b) in
+    phys_to_log.(a) <- qb;
+    phys_to_log.(b) <- qa;
+    if qa >= 0 then log_to_phys.(qa) <- b;
+    if qb >= 0 then log_to_phys.(qb) <- a
+  in
+  let gates = Quantum.Circuit.gate_array circuit in
+  let two_indices =
+    Array.of_list
+      (List.map (fun (i, _, _) -> i) (Quantum.Circuit.two_qubit_gates circuit))
+  in
+  let queues = Array.make (Quantum.Circuit.n_qubits circuit) [] in
+  Array.iteri
+    (fun i g ->
+      List.iter (fun q -> queues.(q) <- i :: queues.(q)) (Quantum.Gate.qubits g))
+    gates;
+  Array.iteri (fun q l -> queues.(q) <- List.rev l) queues;
+  let emitted = Array.make (Array.length gates) false in
+  let rec queue_head q =
+    match queues.(q) with
+    | [] -> None
+    | i :: rest ->
+      if emitted.(i) then begin
+        queues.(q) <- rest;
+        queue_head q
+      end
+      else Some i
+  in
+  let ready i =
+    List.for_all (fun q -> queue_head q = Some i) (Quantum.Gate.qubits gates.(i))
+  in
+  let emit_gate i =
+    emitted.(i) <- true;
+    match gates.(i) with
+    | Quantum.Gate.Two { kind; control; target } ->
+      push
+        (Quantum.Gate.Two
+           {
+             kind;
+             control = log_to_phys.(control);
+             target = log_to_phys.(target);
+           })
+    | Quantum.Gate.One { kind; target } ->
+      push (Quantum.Gate.One { kind; target = log_to_phys.(target) })
+    | Quantum.Gate.Measure { qubit; clbit } ->
+      push (Quantum.Gate.Measure { qubit = log_to_phys.(qubit); clbit })
+    | Quantum.Gate.Barrier qs ->
+      push (Quantum.Gate.Barrier (List.map (fun q -> log_to_phys.(q)) qs))
+  in
+  (* Emit every non-two-qubit gate whose dependencies are satisfied. *)
+  let rec flush () =
+    let progress = ref false in
+    Array.iteri
+      (fun q _ ->
+        match queue_head q with
+        | Some i
+          when (not (Quantum.Gate.is_two_qubit gates.(i))) && ready i ->
+          emit_gate i;
+          progress := true
+        | Some _ | None -> ())
+      queues;
+    if !progress then flush ()
+  in
+  flush ();
+  List.iter
+    (fun event ->
+      match event with
+      | Swp e -> apply_swap e
+      | Exec node_id ->
+        let gate_index = two_indices.(node_id) in
+        if not (ready gate_index) then
+          failwith "Sabre.emit: dependency violation in event stream";
+        emit_gate gate_index;
+        flush ())
+    events;
+  flush ();
+  if Array.exists not emitted then failwith "Sabre.emit: gates left unemitted";
+  ( Quantum.Circuit.create
+      ~n_clbits:(Quantum.Circuit.n_clbits circuit)
+      ~n_qubits:n_phys (List.rev !out),
+    log_to_phys )
+
+let count_swaps events =
+  List.length (List.filter (function Swp _ -> true | Exec _ -> false) events)
+
+(* One full trial: random start, forward, backward, forward. *)
+let trial ~config ~device ~circuit rng =
+  let n_log = Quantum.Circuit.n_qubits circuit in
+  let n_phys = Arch.Device.n_qubits device in
+  let dag = Quantum.Dag.build circuit in
+  let reverse_dag = Quantum.Dag.build (reverse_circuit circuit) in
+  let mapping = Satmap.Mapping.random rng ~n_log ~n_phys in
+  let log_to_phys = Satmap.Mapping.to_array mapping in
+  (* forward pass to warm up *)
+  ignore (route_pass ~config ~device ~dag ~log_to_phys);
+  (* backward pass: route the reversed circuit from where we ended *)
+  ignore (route_pass ~config ~device ~dag:reverse_dag ~log_to_phys);
+  (* the resulting map is the initial map for the real run *)
+  let initial = Array.copy log_to_phys in
+  let events = route_pass ~config ~device ~dag ~log_to_phys in
+  (initial, events)
+
+(* Route from a caller-supplied initial map (no bidirectional warm-up, no
+   restarts): used by the hybrid mapper, which computes the initial map
+   optimally and delegates routing. *)
+let route_from ?(config = default_config) ~initial device circuit =
+  if Quantum.Circuit.n_qubits circuit > Arch.Device.n_qubits device then
+    invalid_arg "Sabre.route_from: circuit does not fit on the device";
+  if Array.length initial <> Quantum.Circuit.n_qubits circuit then
+    invalid_arg "Sabre.route_from: initial map arity mismatch";
+  let n_phys = Arch.Device.n_qubits device in
+  let dag = Quantum.Dag.build circuit in
+  let log_to_phys = Array.copy initial in
+  let events =
+    if Quantum.Dag.n_nodes dag = 0 then []
+    else route_pass ~config ~device ~dag ~log_to_phys
+  in
+  let physical, final = emit ~device ~circuit ~initial events in
+  Satmap.Routed.create ~device
+    ~initial:(Satmap.Mapping.of_array ~n_phys initial)
+    ~final:(Satmap.Mapping.of_array ~n_phys final)
+    ~circuit:physical
+
+let route ?(config = default_config) device circuit =
+  if Quantum.Circuit.n_qubits circuit > Arch.Device.n_qubits device then
+    invalid_arg "Sabre.route: circuit does not fit on the device";
+  let dag = Quantum.Dag.build circuit in
+  if Quantum.Dag.n_nodes dag = 0 then begin
+    (* no two-qubit gates: identity placement *)
+    let n_log = Quantum.Circuit.n_qubits circuit in
+    let initial = Array.init n_log Fun.id in
+    let physical, final = emit ~device ~circuit ~initial [] in
+    Satmap.Routed.create ~device
+      ~initial:(Satmap.Mapping.of_array ~n_phys:(Arch.Device.n_qubits device) initial)
+      ~final:(Satmap.Mapping.of_array ~n_phys:(Arch.Device.n_qubits device) final)
+      ~circuit:physical
+  end
+  else begin
+    let rng = Rng.create config.seed in
+    let best = ref None in
+    for _ = 1 to max 1 config.trials do
+      let initial, events = trial ~config ~device ~circuit rng in
+      let cost = count_swaps events in
+      match !best with
+      | Some (_, _, c) when c <= cost -> ()
+      | _ -> best := Some (initial, events, cost)
+    done;
+    match !best with
+    | None -> assert false
+    | Some (initial, events, _) ->
+      let physical, final = emit ~device ~circuit ~initial events in
+      let n_phys = Arch.Device.n_qubits device in
+      Satmap.Routed.create ~device
+        ~initial:(Satmap.Mapping.of_array ~n_phys initial)
+        ~final:(Satmap.Mapping.of_array ~n_phys final)
+        ~circuit:physical
+  end

@@ -1,0 +1,42 @@
+(** SABRE (Li, Ding, Xie — ASPLOS 2019): the bidirectional heuristic
+    mapper/router used as a baseline in the paper's Q2. *)
+
+type config = {
+  extended_size : int;  (** lookahead set size *)
+  extended_weight : float;
+  decay_increment : float;
+  decay_reset_interval : int;
+  trials : int;  (** random restarts; best result kept *)
+  seed : int;
+}
+
+val default_config : config
+
+(** Routing events, shared with the other heuristic routers so they can
+    reuse {!emit}. *)
+type event = Exec of int  (** DAG node id *) | Swp of (int * int)
+
+val route :
+  ?config:config -> Arch.Device.t -> Quantum.Circuit.t -> Satmap.Routed.t
+
+val route_from :
+  ?config:config ->
+  initial:int array ->
+  Arch.Device.t ->
+  Quantum.Circuit.t ->
+  Satmap.Routed.t
+(** Route with a caller-supplied initial map (no warm-up passes or
+    restarts); used by the hybrid MaxSAT-mapping + heuristic-routing
+    pipeline. *)
+
+val emit :
+  device:Arch.Device.t ->
+  circuit:Quantum.Circuit.t ->
+  initial:int array ->
+  event list ->
+  Quantum.Circuit.t * int array
+(** Replay an event stream into a physical circuit; returns the circuit
+    and the final log-to-phys map.  Non-two-qubit gates are scheduled by
+    per-qubit dependency order. *)
+
+val reverse_circuit : Quantum.Circuit.t -> Quantum.Circuit.t

@@ -1,0 +1,204 @@
+(* A tket-style greedy router (Cowtan et al., "On the qubit routing
+   problem").
+
+   Placement: a greedy subgraph-ish initial map — logical qubits in
+   decreasing interaction-degree order are placed on physical qubits so
+   that already-placed interaction partners are as close as possible,
+   starting from the highest-degree physical qubit.
+
+   Routing: per topological timestep, while some gate in the current
+   frontier is non-local, score candidate swaps by the total distance
+   change over the frontier and a decaying lookahead window of future
+   timesteps, and apply the best; distance-increasing swaps are rejected
+   unless no swap helps (tie-broken deterministically). *)
+
+type config = {
+  lookahead : int;  (** timesteps of lookahead *)
+  lookahead_decay : float;
+  seed : int;
+}
+
+let default_config = { lookahead = 4; lookahead_decay = 0.5; seed = 1 }
+
+(* Interaction graph statistics for placement. *)
+let interaction_degrees circuit =
+  let n = Quantum.Circuit.n_qubits circuit in
+  let deg = Array.make n 0 in
+  let partners = Array.make n [] in
+  List.iter
+    (fun (_, q, q') ->
+      deg.(q) <- deg.(q) + 1;
+      deg.(q') <- deg.(q') + 1;
+      if not (List.mem q' partners.(q)) then partners.(q) <- q' :: partners.(q);
+      if not (List.mem q partners.(q')) then partners.(q') <- q :: partners.(q'))
+    (Quantum.Circuit.two_qubit_gates circuit);
+  (deg, partners)
+
+let initial_placement ~device circuit =
+  let n_log = Quantum.Circuit.n_qubits circuit in
+  let n_phys = Arch.Device.n_qubits device in
+  let deg, partners = interaction_degrees circuit in
+  let order =
+    List.sort
+      (fun a b -> compare (deg.(b), a) (deg.(a), b))
+      (List.init n_log Fun.id)
+  in
+  let log_to_phys = Array.make n_log (-1) in
+  let taken = Array.make n_phys false in
+  let place q =
+    let placed_partners =
+      List.filter (fun q' -> log_to_phys.(q') >= 0) partners.(q)
+    in
+    let candidates = List.init n_phys Fun.id in
+    (* Primary: total distance to already-placed partners (or centrality
+       when none are placed).  Tie-break: keep as many free neighbours as
+       possible so later qubits are not boxed in. *)
+    let free_degree p =
+      List.length
+        (List.filter (fun p' -> not taken.(p')) (Arch.Device.neighbors device p))
+    in
+    let score p =
+      if taken.(p) then (max_int, 0)
+      else if placed_partners = [] then
+        (-Arch.Device.degree device p, -free_degree p)
+      else
+        ( List.fold_left
+            (fun acc q' -> acc + Arch.Device.distance device p log_to_phys.(q'))
+            0 placed_partners,
+          -free_degree p )
+    in
+    let best =
+      List.fold_left
+        (fun (bp, bs) p ->
+          let s = score p in
+          if s < bs then (p, s) else (bp, bs))
+        (-1, (max_int, 0))
+        candidates
+    in
+    match best with
+    | -1, _ -> failwith "Tket_route: no free physical qubit"
+    | p, _ ->
+      log_to_phys.(q) <- p;
+      taken.(p) <- true
+  in
+  List.iter place order;
+  log_to_phys
+
+let route ?(config = default_config) device circuit =
+  if Quantum.Circuit.n_qubits circuit > Arch.Device.n_qubits device then
+    invalid_arg "Tket_route.route: circuit does not fit on the device";
+  let n_phys = Arch.Device.n_qubits device in
+  let dag = Quantum.Dag.build circuit in
+  let layers =
+    List.map
+      (fun l -> List.map (Quantum.Dag.node dag) l)
+      (Quantum.Dag.layers dag)
+  in
+  let initial = initial_placement ~device circuit in
+  let log_to_phys = Array.copy initial in
+  let phys_to_log = Array.make n_phys (-1) in
+  Array.iteri (fun q p -> phys_to_log.(p) <- q) log_to_phys;
+  (* Events in the same shape as SABRE's so we can reuse its emitter. *)
+  let events = ref [] in
+  let apply_swap (a, b) =
+    let qa = phys_to_log.(a) and qb = phys_to_log.(b) in
+    phys_to_log.(a) <- qb;
+    phys_to_log.(b) <- qa;
+    if qa >= 0 then log_to_phys.(qa) <- b;
+    if qb >= 0 then log_to_phys.(qb) <- a;
+    events := Sabre.Swp (a, b) :: !events
+  in
+  let dist q q' =
+    Arch.Device.distance device log_to_phys.(q) log_to_phys.(q')
+  in
+  let rec process remaining_layers =
+    match remaining_layers with
+    | [] -> ()
+    | layer :: rest ->
+      let pending = ref layer in
+      let guard = ref 0 in
+      let rec step () =
+        (* Execute whatever is local. *)
+        let local, nonlocal =
+          List.partition
+            (fun (n : Quantum.Dag.node) -> dist n.q1 n.q2 = 1)
+            !pending
+        in
+        List.iter
+          (fun (n : Quantum.Dag.node) -> events := Sabre.Exec n.id :: !events)
+          local;
+        pending := nonlocal;
+        if nonlocal <> [] then begin
+          incr guard;
+          if !guard > 50 * n_phys * List.length layer then
+            failwith "Tket_route: routing did not converge";
+          (* Candidate swaps: edges touching a pending qubit. *)
+          let relevant = Array.make n_phys false in
+          List.iter
+            (fun (n : Quantum.Dag.node) ->
+              relevant.(log_to_phys.(n.q1)) <- true;
+              relevant.(log_to_phys.(n.q2)) <- true)
+            nonlocal;
+          let candidates =
+            List.filter
+              (fun (a, b) -> relevant.(a) || relevant.(b))
+              (Arch.Device.edges device)
+          in
+          let score edge =
+            let moved q =
+              let p = log_to_phys.(q) in
+              let a, b = edge in
+              if p = a then b else if p = b then a else p
+            in
+            let layer_cost nodes =
+              List.fold_left
+                (fun acc (n : Quantum.Dag.node) ->
+                  acc
+                  + Arch.Device.distance device (moved n.q1) (moved n.q2))
+                0 nodes
+            in
+            let future =
+              let rec take k ls =
+                match (k, ls) with
+                | 0, _ | _, [] -> []
+                | k, l :: rest -> l :: take (k - 1) rest
+              in
+              take config.lookahead rest
+            in
+            let base = float_of_int (layer_cost nonlocal) in
+            let _, future_cost =
+              List.fold_left
+                (fun (w, acc) l ->
+                  ( w *. config.lookahead_decay,
+                    acc +. (w *. float_of_int (layer_cost l)) ))
+                (config.lookahead_decay, 0.0)
+                future
+            in
+            base +. future_cost
+          in
+          match candidates with
+          | [] -> failwith "Tket_route: no candidate swaps"
+          | first :: others ->
+            let best, _ =
+              List.fold_left
+                (fun (be, bs) e ->
+                  let s = score e in
+                  if s < bs then (e, s) else (be, bs))
+                (first, score first)
+                others
+            in
+            apply_swap best;
+            step ()
+        end
+      in
+      step ();
+      process rest
+  in
+  process layers;
+  let physical, final =
+    Sabre.emit ~device ~circuit ~initial (List.rev !events)
+  in
+  Satmap.Routed.create ~device
+    ~initial:(Satmap.Mapping.of_array ~n_phys initial)
+    ~final:(Satmap.Mapping.of_array ~n_phys final)
+    ~circuit:physical

@@ -1,0 +1,15 @@
+(** A tket-style greedy router (Cowtan et al.): interaction-aware greedy
+    placement plus per-timestep swap selection with decayed lookahead. *)
+
+type config = {
+  lookahead : int;
+  lookahead_decay : float;
+  seed : int;
+}
+
+val default_config : config
+
+val initial_placement : device:Arch.Device.t -> Quantum.Circuit.t -> int array
+
+val route :
+  ?config:config -> Arch.Device.t -> Quantum.Circuit.t -> Satmap.Routed.t

@@ -1,0 +1,1 @@
+lib/maxsat/adder.ml: Array List Sat

@@ -1,0 +1,1 @@
+lib/maxsat/adder.mli: Sat

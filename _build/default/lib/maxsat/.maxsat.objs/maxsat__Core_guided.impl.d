@@ -1,0 +1,1 @@
+lib/maxsat/core_guided.ml: Array Instance List Sat

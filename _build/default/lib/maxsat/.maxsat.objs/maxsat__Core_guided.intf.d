@@ -1,0 +1,1 @@
+lib/maxsat/core_guided.mli: Instance

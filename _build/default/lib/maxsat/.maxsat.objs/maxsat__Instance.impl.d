@@ -1,0 +1,1 @@
+lib/maxsat/instance.ml: List Sat

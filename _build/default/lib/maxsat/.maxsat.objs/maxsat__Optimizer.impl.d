@@ -1,0 +1,1 @@
+lib/maxsat/optimizer.ml: Adder Array Instance List Sat Unix

@@ -1,0 +1,1 @@
+lib/maxsat/optimizer.mli: Instance

@@ -1,0 +1,160 @@
+(* Warners-style binary adder network for pseudo-Boolean sums, plus a
+   lexicographic "sum <= k" comparator.
+
+   Each weighted literal contributes a binary number whose set bit
+   positions (of the weight) carry the literal; numbers are summed with a
+   balanced tree of ripple-carry adders over digits that are either a
+   literal or constant zero.  The comparator emits plain clauses, which is
+   sound for the MaxSAT descent because bounds only ever decrease. *)
+
+type digit = Zero | L of Sat.Lit.t
+
+(* Binary numbers are digit lists, least-significant first. *)
+type number = digit list
+
+let of_weighted_lit (w, l) =
+  if w <= 0 then invalid_arg "Adder.of_weighted_lit";
+  let rec bits w = if w = 0 then [] else (if w land 1 = 1 then L l else Zero) :: bits (w lsr 1) in
+  bits w
+
+let fresh (sink : Sat.Sink.t) = Sat.Lit.of_var (sink.fresh_var ())
+
+(* s <-> a xor b *)
+let encode_xor2 (sink : Sat.Sink.t) a b =
+  let s = fresh sink in
+  let n = Sat.Lit.neg in
+  sink.add_clause [ n s; a; b ];
+  sink.add_clause [ n s; n a; n b ];
+  sink.add_clause [ s; n a; b ];
+  sink.add_clause [ s; a; n b ];
+  s
+
+(* c <-> a and b *)
+let encode_and2 (sink : Sat.Sink.t) a b =
+  let c = fresh sink in
+  let n = Sat.Lit.neg in
+  sink.add_clause [ n c; a ];
+  sink.add_clause [ n c; b ];
+  sink.add_clause [ c; n a; n b ];
+  c
+
+(* s <-> a xor b xor cin *)
+let encode_xor3 (sink : Sat.Sink.t) a b c =
+  let s = fresh sink in
+  let n = Sat.Lit.neg in
+  (* s is true exactly when an odd number of a,b,c are true *)
+  sink.add_clause [ n s; a; b; c ];
+  sink.add_clause [ n s; a; n b; n c ];
+  sink.add_clause [ n s; n a; b; n c ];
+  sink.add_clause [ n s; n a; n b; c ];
+  sink.add_clause [ s; n a; b; c ];
+  sink.add_clause [ s; a; n b; c ];
+  sink.add_clause [ s; a; b; n c ];
+  sink.add_clause [ s; n a; n b; n c ];
+  s
+
+(* m <-> at least two of a,b,c *)
+let encode_majority (sink : Sat.Sink.t) a b c =
+  let m = fresh sink in
+  let n = Sat.Lit.neg in
+  sink.add_clause [ n m; a; b ];
+  sink.add_clause [ n m; a; c ];
+  sink.add_clause [ n m; b; c ];
+  sink.add_clause [ m; n a; n b ];
+  sink.add_clause [ m; n a; n c ];
+  sink.add_clause [ m; n b; n c ];
+  m
+
+let half_adder sink a b =
+  match (a, b) with
+  | Zero, d | d, Zero -> (d, Zero)
+  | L la, L lb -> (L (encode_xor2 sink la lb), L (encode_and2 sink la lb))
+
+let full_adder sink a b c =
+  match (a, b, c) with
+  | Zero, x, y | x, Zero, y | x, y, Zero -> half_adder sink x y
+  | L la, L lb, L lc ->
+    (L (encode_xor3 sink la lb lc), L (encode_majority sink la lb lc))
+
+(* Ripple-carry addition of two numbers. *)
+let add sink (xs : number) (ys : number) : number =
+  let rec loop xs ys carry =
+    match (xs, ys, carry) with
+    | [], [], Zero -> []
+    | [], [], c -> [ c ]
+    | x :: xs', [], c ->
+      let s, c' = half_adder sink x c in
+      s :: loop xs' [] c'
+    | [], y :: ys', c ->
+      let s, c' = half_adder sink y c in
+      s :: loop [] ys' c'
+    | x :: xs', y :: ys', c ->
+      let s, c' = full_adder sink x y c in
+      s :: loop xs' ys' c'
+  in
+  loop xs ys Zero
+
+(* Balanced-tree sum of all weighted literals; returns the sum's digits. *)
+let sum sink weighted_lits : number =
+  let numbers = List.map of_weighted_lit weighted_lits in
+  let rec reduce = function
+    | [] -> []
+    | [ n ] -> n
+    | ns ->
+      let rec pair = function
+        | a :: b :: rest -> add sink a b :: pair rest
+        | leftover -> leftover
+      in
+      reduce (pair ns)
+  in
+  reduce numbers
+
+let digit_value model = function
+  | Zero -> false
+  | L l ->
+    let b = model (Sat.Lit.var l) in
+    if Sat.Lit.sign l then b else not b
+
+let number_value model (n : number) =
+  List.fold_right (fun d acc -> (2 * acc) + if digit_value model d then 1 else 0) n 0
+
+(* Assert sum <= k.  For every bit position i where k's bit is 0, emit the
+   clause  ~b_i \/ (\/_{j > i, k_j = 1} ~b_j):  if the sum exceeded k there
+   would be a highest disagreeing position i with b_i = 1 > k_i = 0 and all
+   higher positions equal, falsifying clause i. *)
+let assert_le (sink : Sat.Sink.t) (bits : number) k =
+  if k < 0 then sink.add_clause []
+  else begin
+    let arr = Array.of_list bits in
+    let nbits = Array.length arr in
+    (* If k has a set bit above the sum's width, sum <= k holds trivially. *)
+    if nbits >= 62 || k lsr nbits > 0 then ()
+    else
+    for i = 0 to nbits - 1 do
+      if (k lsr i) land 1 = 0 then begin
+        match arr.(i) with
+        | Zero -> ()
+        | L li ->
+          let clause = ref [ Sat.Lit.neg li ] in
+          for j = i + 1 to nbits - 1 do
+            if (k lsr j) land 1 = 1 then begin
+              match arr.(j) with
+              | Zero -> () (* bit is constant 0 < k_j: sum < k at j, but the
+                              clause must still guard higher positions *)
+              | L lj -> clause := Sat.Lit.neg lj :: !clause
+            end
+          done;
+          (* Positions j > i with k_j = 1 and a constant-zero digit make the
+             comparison at position i irrelevant (sum already smaller), so
+             the clause would be unnecessarily strong; skip it. *)
+          let weakened =
+            let rec exists_zero j =
+              j < nbits
+              && (((k lsr j) land 1 = 1 && arr.(j) = Zero) || exists_zero (j + 1))
+            in
+            exists_zero (i + 1)
+          in
+          if not weakened then sink.add_clause !clause
+      end
+    done
+  end

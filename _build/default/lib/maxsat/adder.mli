@@ -1,0 +1,22 @@
+(** Binary adder network (Warners encoding) for weighted sums, with a
+    lexicographic "sum <= k" comparator used by the weighted MaxSAT
+    descent. *)
+
+type digit = Zero | L of Sat.Lit.t
+
+type number = digit list
+(** Binary number, least-significant digit first. *)
+
+val of_weighted_lit : int * Sat.Lit.t -> number
+
+val add : Sat.Sink.t -> number -> number -> number
+
+val sum : Sat.Sink.t -> (int * Sat.Lit.t) list -> number
+(** Balanced-tree sum of weighted literals. *)
+
+val number_value : (Sat.Lit.var -> bool) -> number -> int
+(** Evaluate a number under a model (for tests). *)
+
+val assert_le : Sat.Sink.t -> number -> int -> unit
+(** Assert that the number is at most [k].  The emitted clauses are plain
+    (unguarded), which is sound when bounds only decrease over time. *)

@@ -1,0 +1,93 @@
+(* Core-guided MaxSAT (Fu & Malik's algorithm, with the WPM1 weight
+   splitting for weighted instances).
+
+   Each soft clause C of weight w is represented as the hard clause
+   (C \/ ~s) with a fresh selector s assumed true.  While the instance is
+   unsatisfiable under the selector assumptions, the solver returns an
+   unsat core K of selectors; the algorithm pays the minimum weight in K,
+   relaxes each core clause with a fresh blocking variable b (exactly one
+   of the core's b variables may be true), and re-represents clauses whose
+   weight exceeded the minimum as a residual soft clause.
+
+   This is the classic alternative to the linear SAT-to-UNSAT descent in
+   {!Optimizer}; it proves optimality from below (the cost only grows) and
+   is kept both as a second engine and as a differential-testing target.
+   Unlike the linear engine it is not anytime: interrupting it yields a
+   lower bound, not a solution. *)
+
+type soft = {
+  weight : int;
+  clause : Sat.Lit.t list;  (** the original (unrelaxed) literals *)
+  selector : Sat.Lit.t;
+}
+
+type result =
+  | Optimal of { cost : int; model : bool array }
+  | Unsatisfiable
+  | Timeout of { lower_bound : int }
+
+let add_soft solver softs ~weight ~clause =
+  let s = Sat.Lit.of_var (Sat.Solver.new_var solver) in
+  Sat.Solver.add_clause solver (Sat.Lit.neg s :: clause);
+  Sat.Solver.set_polarity solver (Sat.Lit.var s) true;
+  softs := { weight; clause; selector = s } :: !softs
+
+let solve ?deadline instance =
+  let solver = Sat.Solver.create () in
+  for _ = 1 to Instance.n_vars instance do
+    ignore (Sat.Solver.new_var solver)
+  done;
+  List.iter (Sat.Solver.add_clause solver) (Instance.hard instance);
+  let softs = ref [] in
+  List.iter
+    (fun (weight, clause) -> add_soft solver softs ~weight ~clause)
+    (Instance.soft instance);
+  let cost = ref 0 in
+  let result = ref None in
+  while !result = None do
+    let assumptions = List.map (fun s -> s.selector) !softs in
+    match Sat.Solver.solve_with_core ?deadline ~assumptions solver with
+    | Sat.Solver.Sat, _ ->
+      result :=
+        Some
+          (Optimal
+             {
+               cost = !cost;
+               model =
+                 Array.init (Instance.n_vars instance)
+                   (Sat.Solver.model_value solver);
+             })
+    | Sat.Solver.Unknown, _ -> result := Some (Timeout { lower_bound = !cost })
+    | Sat.Solver.Unsat, [] -> result := Some Unsatisfiable
+    | Sat.Solver.Unsat, core ->
+      (* Split the softs into core members and the rest. *)
+      let in_core s = List.exists (Sat.Lit.equal s.selector) core in
+      let core_softs, rest = List.partition in_core !softs in
+      if core_softs = [] then
+        (* The core only mentions hard clauses: globally unsat. *)
+        result := Some Unsatisfiable
+      else begin
+        let w_min =
+          List.fold_left (fun acc s -> min acc s.weight) max_int core_softs
+        in
+        cost := !cost + w_min;
+        softs := rest;
+        let blocking = ref [] in
+        List.iter
+          (fun s ->
+            (* Retire the old representation... *)
+            Sat.Solver.add_clause solver [ Sat.Lit.neg s.selector ];
+            (* ...relax the clause by a fresh blocking variable... *)
+            let b = Sat.Lit.of_var (Sat.Solver.new_var solver) in
+            blocking := b :: !blocking;
+            add_soft solver softs ~weight:w_min ~clause:(b :: s.clause);
+            (* ...and keep the residual weight as a separate soft. *)
+            if s.weight > w_min then
+              add_soft solver softs ~weight:(s.weight - w_min) ~clause:s.clause)
+          core_softs;
+        (* At most one blocking variable of this core may fire (paying
+           w_min exactly once). *)
+        Sat.Card.exactly_one (Sat.Sink.of_solver solver) !blocking
+      end
+  done;
+  match !result with Some r -> r | None -> assert false

@@ -1,0 +1,10 @@
+(** Core-guided MaxSAT (Fu-Malik / WPM1): the classic alternative to the
+    linear SAT-to-UNSAT descent.  Proves optimality from below; not
+    anytime (a timeout yields only a lower bound). *)
+
+type result =
+  | Optimal of { cost : int; model : bool array }
+  | Unsatisfiable
+  | Timeout of { lower_bound : int }
+
+val solve : ?deadline:float -> Instance.t -> result

@@ -1,0 +1,56 @@
+(* A (weighted partial) MaxSAT instance: hard clauses that must hold and
+   weighted soft clauses whose total falsified weight is minimised. *)
+
+type t = {
+  n_vars : int;
+  hard : Sat.Lit.t list list;
+  soft : (int * Sat.Lit.t list) list;
+}
+
+let create ~n_vars ~hard ~soft =
+  if n_vars < 0 then invalid_arg "Instance.create: negative n_vars";
+  List.iter
+    (fun (w, _) ->
+      if w <= 0 then invalid_arg "Instance.create: non-positive soft weight")
+    soft;
+  let check_clause c =
+    List.iter
+      (fun l ->
+        if Sat.Lit.var l >= n_vars then
+          invalid_arg "Instance.create: literal out of range")
+      c
+  in
+  List.iter check_clause hard;
+  List.iter (fun (_, c) -> check_clause c) soft;
+  { n_vars; hard; soft }
+
+let n_vars t = t.n_vars
+let hard t = t.hard
+let soft t = t.soft
+
+let n_hard t = List.length t.hard
+let n_soft t = List.length t.soft
+
+let total_soft_weight t = List.fold_left (fun acc (w, _) -> acc + w) 0 t.soft
+
+let is_unweighted t = List.for_all (fun (w, _) -> w = 1) t.soft
+
+(* Cost of a total assignment: sum of weights of falsified softs, or [None]
+   if some hard clause is falsified. *)
+let cost_of_model t assignment =
+  let clause_sat c =
+    List.exists
+      (fun l ->
+        let b = assignment (Sat.Lit.var l) in
+        if Sat.Lit.sign l then b else not b)
+      c
+  in
+  if not (List.for_all clause_sat t.hard) then None
+  else
+    Some
+      (List.fold_left
+         (fun acc (w, c) -> if clause_sat c then acc else acc + w)
+         0 t.soft)
+
+let to_wcnf_file t path =
+  Sat.Dimacs.wcnf_to_file path ~n_vars:t.n_vars ~hard:t.hard ~soft:t.soft

@@ -1,0 +1,25 @@
+(** Weighted partial MaxSAT instances. *)
+
+type t
+
+val create :
+  n_vars:int ->
+  hard:Sat.Lit.t list list ->
+  soft:(int * Sat.Lit.t list) list ->
+  t
+(** Soft weights must be positive; literals must be within [n_vars]. *)
+
+val n_vars : t -> int
+val hard : t -> Sat.Lit.t list list
+val soft : t -> (int * Sat.Lit.t list) list
+val n_hard : t -> int
+val n_soft : t -> int
+val total_soft_weight : t -> int
+val is_unweighted : t -> bool
+
+val cost_of_model : t -> (Sat.Lit.var -> bool) -> int option
+(** Total falsified soft weight under a model of the hard clauses; [None]
+    if the assignment falsifies a hard clause. *)
+
+val to_wcnf_file : t -> string -> unit
+(** Emit as DIMACS WCNF (external-solver escape hatch). *)

@@ -1,0 +1,131 @@
+(* Anytime MaxSAT by linear SAT-to-UNSAT descent, the same overall loop as
+   the solver the paper uses (Open-WBO-Inc-MCS): find a model, bound the
+   objective strictly below its cost, and repeat until UNSAT (optimal) or
+   until the deadline expires (best-so-far is returned).
+
+   Unit-weight objectives use an incremental totalizer (each tightening is
+   a single unit clause); weighted objectives use a binary adder network
+   with a lexicographic comparator. *)
+
+type outcome = {
+  cost : int;
+  model : bool array;
+  iterations : int;
+  solve_time : float;
+}
+
+type result =
+  | Optimal of outcome
+  | Feasible of outcome  (** deadline hit after at least one model *)
+  | Unsatisfiable
+  | Timeout  (** deadline hit before any model was found *)
+
+let best_outcome = function
+  | Optimal o | Feasible o -> Some o
+  | Unsatisfiable | Timeout -> None
+
+(* Relaxation literals: for a soft clause C, a literal r such that r true
+   "pays" the clause's weight.  Unit softs [l] reuse ~l directly — the
+   common case in the QMR encoding (soft swap no-ops) adds no variables. *)
+let relaxation_lits solver soft =
+  List.map
+    (fun (w, clause) ->
+      match clause with
+      | [ l ] -> (w, Sat.Lit.neg l)
+      | _ ->
+        let r = Sat.Lit.of_var (Sat.Solver.new_var solver) in
+        Sat.Solver.add_clause solver (r :: clause);
+        (w, r))
+    soft
+
+let model_array solver =
+  Array.init (Sat.Solver.n_vars solver) (Sat.Solver.model_value solver)
+
+let cost_of_relax solver relax =
+  List.fold_left
+    (fun acc (w, r) ->
+      let b = Sat.Solver.model_value solver (Sat.Lit.var r) in
+      let active = if Sat.Lit.sign r then b else not b in
+      if active then acc + w else acc)
+    0 relax
+
+type bound_machinery =
+  | Totalizer of Sat.Lit.t array
+  | Adder of Adder.number
+
+let build_machinery solver relax unweighted =
+  let sink = Sat.Sink.of_solver solver in
+  if unweighted then Totalizer (Sat.Card.totalizer sink (List.map snd relax))
+  else Adder (Adder.sum sink relax)
+
+(* Add clauses forcing objective <= k.  Sound to add permanently: the
+   sequence of bounds is strictly decreasing. *)
+let assert_bound solver machinery k =
+  let sink = Sat.Sink.of_solver solver in
+  match machinery with
+  | Totalizer out ->
+    if k < Array.length out then
+      Sat.Solver.add_clause solver [ Sat.Lit.neg out.(k) ]
+    else ()
+  | Adder bits -> Adder.assert_le sink bits k
+
+let solve ?deadline instance =
+  let start = Unix.gettimeofday () in
+  let solver = Sat.Solver.create () in
+  for _ = 1 to Instance.n_vars instance do
+    ignore (Sat.Solver.new_var solver)
+  done;
+  List.iter (Sat.Solver.add_clause solver) (Instance.hard instance);
+  let relax = relaxation_lits solver (Instance.soft instance) in
+  (* Bias the search towards satisfying the soft clauses so that the first
+     model is already cheap and the descent starts near the optimum. *)
+  List.iter
+    (fun (_, r) -> Sat.Solver.set_polarity solver (Sat.Lit.var r) (not (Sat.Lit.sign r)))
+    relax;
+  let finish kind cost model iterations =
+    let o =
+      { cost; model; iterations; solve_time = Unix.gettimeofday () -. start }
+    in
+    match kind with `Optimal -> Optimal o | `Feasible -> Feasible o
+  in
+  match Sat.Solver.solve ?deadline solver with
+  | Sat.Solver.Unsat -> Unsatisfiable
+  | Sat.Solver.Unknown -> Timeout
+  | Sat.Solver.Sat ->
+    let best_cost = ref (cost_of_relax solver relax) in
+    let best_model = ref (model_array solver) in
+    let iterations = ref 1 in
+    if !best_cost = 0 || relax = [] then
+      finish `Optimal !best_cost !best_model !iterations
+    else begin
+      let machinery =
+        build_machinery solver relax (Instance.is_unweighted instance)
+      in
+      let result = ref None in
+      while !result = None do
+        assert_bound solver machinery (!best_cost - 1);
+        match Sat.Solver.solve ?deadline solver with
+        | Sat.Solver.Sat ->
+          incr iterations;
+          let cost = cost_of_relax solver relax in
+          (* The bound guarantees progress; guard against a stuck loop in
+             case of an encoding bug. *)
+          if cost >= !best_cost then
+            failwith "Optimizer: objective did not decrease";
+          best_cost := cost;
+          best_model := model_array solver;
+          if cost = 0 then
+            result := Some (finish `Optimal cost !best_model !iterations)
+        | Sat.Solver.Unsat ->
+          result := Some (finish `Optimal !best_cost !best_model !iterations)
+        | Sat.Solver.Unknown ->
+          result := Some (finish `Feasible !best_cost !best_model !iterations)
+      done;
+      match !result with Some r -> r | None -> assert false
+    end
+
+(* Convenience used by tests and the CLI. *)
+let optimal_cost ?deadline instance =
+  match solve ?deadline instance with
+  | Optimal o -> Some o.cost
+  | Feasible _ | Unsatisfiable | Timeout -> None

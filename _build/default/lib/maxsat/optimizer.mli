@@ -1,0 +1,26 @@
+(** Anytime MaxSAT optimizer (linear SAT-to-UNSAT descent).
+
+    Mirrors the role Open-WBO-Inc-MCS plays in the paper: a loop around a
+    SAT solver that can be interrupted at any point after the first model
+    and still yields the best solution found so far. *)
+
+type outcome = {
+  cost : int;  (** total weight of falsified soft clauses *)
+  model : bool array;  (** indexed by variable *)
+  iterations : int;  (** number of satisfiable solver calls *)
+  solve_time : float;  (** wall-clock seconds *)
+}
+
+type result =
+  | Optimal of outcome
+  | Feasible of outcome  (** deadline hit after at least one model *)
+  | Unsatisfiable
+  | Timeout  (** deadline hit before any model was found *)
+
+val best_outcome : result -> outcome option
+
+val solve : ?deadline:float -> Instance.t -> result
+(** [deadline] is an absolute [Unix.gettimeofday] instant. *)
+
+val optimal_cost : ?deadline:float -> Instance.t -> int option
+(** The optimal cost, or [None] if optimality was not proved in time. *)

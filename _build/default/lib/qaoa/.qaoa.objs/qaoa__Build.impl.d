@@ -1,0 +1,1 @@
+lib/qaoa/build.ml: Graphs List Quantum Rng

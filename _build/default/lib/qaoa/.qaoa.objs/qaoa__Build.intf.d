@@ -1,0 +1,1 @@
+lib/qaoa/build.mli: Graphs Quantum

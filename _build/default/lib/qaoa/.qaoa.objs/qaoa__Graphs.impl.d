@@ -1,0 +1,1 @@
+lib/qaoa/graphs.ml: Array Fun Hashtbl List Rng

@@ -1,0 +1,1 @@
+lib/qaoa/graphs.mli: Rng

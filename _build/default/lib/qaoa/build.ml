@@ -1,0 +1,34 @@
+(* QAOA MaxCut circuits (Section VI / Fig. 7 of the paper).
+
+   The circuit starts with a column of H gates, then repeats the
+   parameterised block C_{gamma,beta} for each cycle: one ZZ interaction
+   (exp(-i gamma Z Z), a two-qubit gate) per graph edge, followed by a
+   column of Rx(2 beta) mixers.  Per the paper, the initial H column and
+   the per-cycle parameter values are irrelevant to QMR; only the repeated
+   two-qubit structure matters, which is why the body is identical across
+   cycles and the cyclic relaxation applies. *)
+
+let body ?(gamma = 0.35) ?(beta = 0.2) graph =
+  let n = Graphs.n_vertices graph in
+  let gates =
+    List.concat
+      [
+        List.map
+          (fun (a, b) -> Quantum.Gate.two (Quantum.Gate.Rzz (2.0 *. gamma)) a b)
+          (Graphs.edges graph);
+        List.init n (fun q -> Quantum.Gate.one (Quantum.Gate.Rx (2.0 *. beta)) q);
+      ]
+  in
+  Quantum.Circuit.create ~n_qubits:n gates
+
+let circuit ?gamma ?beta ~cycles graph =
+  if cycles < 1 then invalid_arg "Build.circuit: cycles must be >= 1";
+  let b = body ?gamma ?beta graph in
+  Quantum.Circuit.repeat b cycles
+
+(* The standard benchmark instance of the paper's Table IV: MaxCut QAOA on
+   a random 3-regular graph with [n] qubits and [cycles] repetitions. *)
+let maxcut_3_regular ~seed ~n ~cycles =
+  let rng = Rng.create seed in
+  let graph = Graphs.random_3_regular rng n in
+  (graph, circuit ~cycles graph)

@@ -1,0 +1,9 @@
+(** QAOA MaxCut circuit construction (the paper's cyclic workload). *)
+
+val body : ?gamma:float -> ?beta:float -> Graphs.t -> Quantum.Circuit.t
+(** One C_{gamma,beta} block: a ZZ gate per edge plus a mixer column. *)
+
+val circuit : ?gamma:float -> ?beta:float -> cycles:int -> Graphs.t -> Quantum.Circuit.t
+
+val maxcut_3_regular :
+  seed:int -> n:int -> cycles:int -> Graphs.t * Quantum.Circuit.t

@@ -1,0 +1,60 @@
+(* Random regular graphs for QAOA MaxCut instances.
+
+   The paper's Q3 cyclic-relaxation experiment uses QAOA circuits for
+   MaxCut on random 3-regular graphs, parameterised by qubit count and
+   cycle count.  The generator uses the configuration model with
+   rejection: stubs are shuffled and paired; pairings with self-loops or
+   duplicate edges are retried. *)
+
+type t = {
+  n : int;
+  edges : (int * int) list;  (** canonical, deduplicated *)
+}
+
+let canonical (a, b) = if a <= b then (a, b) else (b, a)
+
+let try_pairing rng n degree =
+  let stubs = Array.concat (List.init n (fun v -> Array.make degree v)) in
+  Rng.shuffle rng stubs;
+  let seen = Hashtbl.create (n * degree) in
+  let edges = ref [] in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i + 1 < Array.length stubs do
+    let a = stubs.(!i) and b = stubs.(!i + 1) in
+    if a = b then ok := false
+    else begin
+      let e = canonical (a, b) in
+      if Hashtbl.mem seen e then ok := false
+      else begin
+        Hashtbl.replace seen e ();
+        edges := e :: !edges
+      end
+    end;
+    i := !i + 2
+  done;
+  if !ok then Some (List.rev !edges) else None
+
+let random_regular rng ~n ~degree =
+  if n * degree mod 2 <> 0 then
+    invalid_arg "Graphs.random_regular: n * degree must be even";
+  if degree >= n then invalid_arg "Graphs.random_regular: degree too large";
+  let rec attempt k =
+    if k > 10000 then failwith "Graphs.random_regular: rejection limit"
+    else
+      match try_pairing rng n degree with
+      | Some edges -> { n; edges }
+      | None -> attempt (k + 1)
+  in
+  attempt 0
+
+let random_3_regular rng n = random_regular rng ~n ~degree:3
+
+let n_vertices g = g.n
+let edges g = g.edges
+let n_edges g = List.length g.edges
+
+let degree g v =
+  List.length (List.filter (fun (a, b) -> a = v || b = v) g.edges)
+
+let is_regular g k = List.for_all (fun v -> degree g v = k) (List.init g.n Fun.id)

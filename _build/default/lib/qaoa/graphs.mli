@@ -1,0 +1,11 @@
+(** Random regular graphs (configuration model with rejection). *)
+
+type t
+
+val random_regular : Rng.t -> n:int -> degree:int -> t
+val random_3_regular : Rng.t -> int -> t
+val n_vertices : t -> int
+val edges : t -> (int * int) list
+val n_edges : t -> int
+val degree : t -> int -> int
+val is_regular : t -> int -> bool

@@ -1,0 +1,1 @@
+lib/quantum/circuit.ml: Array Format Fun Gate List Printf

@@ -1,0 +1,1 @@
+lib/quantum/dag.ml: Array Circuit Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/quantum/gate.ml: Float Format List Printf String

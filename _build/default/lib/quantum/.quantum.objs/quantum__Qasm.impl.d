@@ -1,0 +1,1 @@
+lib/quantum/qasm.ml: Buffer Circuit Float Fun Gate List Printf String

@@ -1,0 +1,1 @@
+lib/quantum/simulator.ml: Array Circuit Float Gate List Printf

@@ -1,0 +1,1 @@
+lib/quantum/simulator.mli: Circuit

@@ -1,0 +1,157 @@
+(* Quantum circuits: a register size plus a sequence of gate applications.
+   Circuits are immutable; transformation helpers return new circuits. *)
+
+type t = {
+  n_qubits : int;
+  n_clbits : int;
+  gates : Gate.t array;
+}
+
+let check_gate n_qubits gate =
+  List.iter
+    (fun q ->
+      if q < 0 || q >= n_qubits then
+        invalid_arg
+          (Printf.sprintf "Circuit: qubit %d out of range [0,%d)" q n_qubits))
+    (Gate.qubits gate)
+
+let create ?(n_clbits = 0) ~n_qubits gates =
+  if n_qubits <= 0 then invalid_arg "Circuit.create: need at least one qubit";
+  List.iter (check_gate n_qubits) gates;
+  { n_qubits; n_clbits; gates = Array.of_list gates }
+
+let empty n_qubits = create ~n_qubits []
+
+let n_qubits t = t.n_qubits
+let n_clbits t = t.n_clbits
+let gates t = Array.to_list t.gates
+let gate_array t = t.gates
+let length t = Array.length t.gates
+let gate t i = t.gates.(i)
+
+let append t gate =
+  check_gate t.n_qubits gate;
+  { t with gates = Array.append t.gates [| gate |] }
+
+let concat a b =
+  if a.n_qubits <> b.n_qubits then
+    invalid_arg "Circuit.concat: register size mismatch";
+  {
+    n_qubits = a.n_qubits;
+    n_clbits = max a.n_clbits b.n_clbits;
+    gates = Array.append a.gates b.gates;
+  }
+
+let repeat t k =
+  if k < 0 then invalid_arg "Circuit.repeat";
+  let rec loop acc k = if k = 0 then acc else loop (concat acc t) (k - 1) in
+  loop (empty t.n_qubits) k
+
+(* Indices and endpoints of the two-qubit gates, in order.  This is the
+   skeleton the QMR encoding works over. *)
+let two_qubit_gates t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i g ->
+      match g with
+      | Gate.Two { control; target; _ } -> acc := (i, control, target) :: !acc
+      | Gate.One _ | Gate.Measure _ | Gate.Barrier _ -> ())
+    t.gates;
+  List.rev !acc
+
+let count_two_qubit t = List.length (two_qubit_gates t)
+
+let count_one_qubit t =
+  Array.fold_left
+    (fun acc g -> match g with Gate.One _ -> acc + 1 | _ -> acc)
+    0 t.gates
+
+(* Qubits that actually appear in some gate. *)
+let used_qubits t =
+  let used = Array.make t.n_qubits false in
+  Array.iter (fun g -> List.iter (fun q -> used.(q) <- true) (Gate.qubits g)) t.gates;
+  List.filter (fun q -> used.(q)) (List.init t.n_qubits Fun.id)
+
+let total_cnot_cost t =
+  Array.fold_left (fun acc g -> acc + Gate.cnot_cost g) 0 t.gates
+
+let relabel_qubits t f =
+  { t with gates = Array.map (Gate.relabel f) t.gates }
+
+(* Circuit depth counting every gate as one time step on its qubits. *)
+let depth t =
+  let frontier = Array.make t.n_qubits 0 in
+  Array.iter
+    (fun g ->
+      let qs = Gate.qubits g in
+      let level = 1 + List.fold_left (fun m q -> max m frontier.(q)) 0 qs in
+      List.iter (fun q -> frontier.(q) <- level) qs)
+    t.gates;
+  Array.fold_left max 0 frontier
+
+(* Split into consecutive slices containing [slice_size] two-qubit gates
+   each (the last slice may be smaller).  One-qubit gates travel with the
+   following two-qubit gate, trailing ones with the last slice.  This is
+   the horizontal slicing of Section V. *)
+let slice_by_two_qubit t ~slice_size =
+  if slice_size <= 0 then invalid_arg "Circuit.slice_by_two_qubit";
+  let slices = ref [] in
+  let current = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (fun g ->
+      current := g :: !current;
+      if Gate.is_two_qubit g then begin
+        incr count;
+        if !count = slice_size then begin
+          slices := List.rev !current :: !slices;
+          current := [];
+          count := 0
+        end
+      end)
+    t.gates;
+  let tail = List.rev !current in
+  let all =
+    if tail = [] then List.rev !slices
+    else if !count = 0 then
+      (* Only trailing one-qubit gates: attach to the previous slice. *)
+      match !slices with
+      | [] -> [ tail ]
+      | last :: rest -> List.rev ((last @ tail) :: rest)
+    else List.rev (tail :: !slices)
+  in
+  List.map (fun gs -> create ~n_qubits:t.n_qubits ~n_clbits:t.n_clbits gs) all
+
+(* Detect k-fold repetition: if the gate sequence is a body repeated k >= 2
+   times, return the body and the repetition count (maximal k).  Used to
+   recognise cyclic circuits such as QAOA. *)
+let detect_repetition t =
+  let n = Array.length t.gates in
+  let rec try_period p =
+    if p > n / 2 then None
+    else if n mod p <> 0 then try_period (p + 1)
+    else begin
+      let matches = ref true in
+      for i = p to n - 1 do
+        if not (Gate.equal t.gates.(i) t.gates.(i - p)) then matches := false
+      done;
+      if !matches then
+        Some
+          ( create ~n_qubits:t.n_qubits ~n_clbits:t.n_clbits
+              (Array.to_list (Array.sub t.gates 0 p)),
+            n / p )
+      else try_period (p + 1)
+    end
+  in
+  if n = 0 then None else try_period 1
+
+let equal a b =
+  a.n_qubits = b.n_qubits
+  && Array.length a.gates = Array.length b.gates
+  && Array.for_all2 Gate.equal a.gates b.gates
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>circuit on %d qubits (%d gates):@," t.n_qubits
+    (Array.length t.gates);
+  Array.iter (fun g -> Format.fprintf fmt "  %a@," Gate.pp g) t.gates;
+  Format.fprintf fmt "@]"

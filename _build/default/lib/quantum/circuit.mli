@@ -1,0 +1,39 @@
+(** Quantum circuits over a fixed register of logical (or physical)
+    qubits. *)
+
+type t
+
+val create : ?n_clbits:int -> n_qubits:int -> Gate.t list -> t
+val empty : int -> t
+val n_qubits : t -> int
+val n_clbits : t -> int
+val gates : t -> Gate.t list
+val gate_array : t -> Gate.t array
+val length : t -> int
+val gate : t -> int -> Gate.t
+val append : t -> Gate.t -> t
+val concat : t -> t -> t
+val repeat : t -> int -> t
+
+val two_qubit_gates : t -> (int * int * int) list
+(** [(index, q, q')] for every two-qubit gate, in circuit order. *)
+
+val count_two_qubit : t -> int
+val count_one_qubit : t -> int
+val used_qubits : t -> int list
+
+val total_cnot_cost : t -> int
+(** Total CNOT count after decomposition (SWAP = 3). *)
+
+val relabel_qubits : t -> (int -> int) -> t
+val depth : t -> int
+
+val slice_by_two_qubit : t -> slice_size:int -> t list
+(** Horizontal slicing (Section V): consecutive slices of [slice_size]
+    two-qubit gates. *)
+
+val detect_repetition : t -> (t * int) option
+(** If the circuit is a body repeated k >= 2 times, return (body, k). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

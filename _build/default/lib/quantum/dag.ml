@@ -1,0 +1,162 @@
+(* Dependency DAG over the two-qubit gates of a circuit.
+
+   Routing algorithms (SABRE's front layer, the A* and tket-style routers,
+   and the TB-OLSQ-like time-block encoding) only need the dependency
+   structure of the two-qubit gates: gate b depends on gate a when they
+   share a qubit and a precedes b, with transitive edges skipped (each
+   qubit contributes an edge from its previous user only). *)
+
+type node = {
+  id : int;  (** index into the two-qubit-gate sequence *)
+  gate_index : int;  (** index into the full circuit *)
+  q1 : int;
+  q2 : int;
+}
+
+type t = {
+  nodes : node array;
+  preds : int array array;
+  succs : int array array;
+}
+
+let build circuit =
+  let two = Circuit.two_qubit_gates circuit in
+  let nodes =
+    Array.of_list
+      (List.mapi
+         (fun id (gate_index, q1, q2) -> { id; gate_index; q1; q2 })
+         two)
+  in
+  let n = Array.length nodes in
+  let last_user = Array.make (Circuit.n_qubits circuit) (-1) in
+  let preds = Array.make n [||] in
+  let succs_acc = Array.make n [] in
+  Array.iter
+    (fun node ->
+      let ps = ref [] in
+      List.iter
+        (fun q ->
+          let prev = last_user.(q) in
+          if prev >= 0 && not (List.mem prev !ps) then ps := prev :: !ps;
+          last_user.(q) <- node.id)
+        [ node.q1; node.q2 ];
+      preds.(node.id) <- Array.of_list (List.rev !ps);
+      List.iter
+        (fun p -> succs_acc.(p) <- node.id :: succs_acc.(p))
+        !ps)
+    nodes;
+  let succs = Array.map (fun l -> Array.of_list (List.rev l)) succs_acc in
+  { nodes; preds; succs }
+
+let n_nodes t = Array.length t.nodes
+let node t id = t.nodes.(id)
+let preds t id = t.preds.(id)
+let succs t id = t.succs.(id)
+
+let roots t =
+  Array.to_list t.nodes
+  |> List.filter_map (fun n ->
+         if Array.length t.preds.(n.id) = 0 then Some n.id else None)
+
+(* Topological layers: maximal antichains taken greedily.  Gates in one
+   layer act on pairwise-disjoint qubits and have all predecessors in
+   earlier layers — the "topological layer" structure MQTH and tket route
+   between. *)
+let layers t =
+  let n = Array.length t.nodes in
+  let indegree = Array.map Array.length t.preds in
+  let placed = Array.make n false in
+  let remaining = ref n in
+  let result = ref [] in
+  while !remaining > 0 do
+    let busy = Hashtbl.create 16 in
+    let layer = ref [] in
+    Array.iter
+      (fun node ->
+        if
+          (not placed.(node.id))
+          && indegree.(node.id) = 0
+          && (not (Hashtbl.mem busy node.q1))
+          && not (Hashtbl.mem busy node.q2)
+        then begin
+          layer := node.id :: !layer;
+          Hashtbl.replace busy node.q1 ();
+          Hashtbl.replace busy node.q2 ()
+        end
+        else begin
+          (* Qubits of unplaced ready gates that conflict must also block
+             later gates on those qubits this round. *)
+          if (not placed.(node.id)) && indegree.(node.id) = 0 then begin
+            Hashtbl.replace busy node.q1 ();
+            Hashtbl.replace busy node.q2 ()
+          end
+        end)
+      t.nodes;
+    let layer = List.rev !layer in
+    if layer = [] then failwith "Dag.layers: no progress (cycle?)";
+    List.iter
+      (fun id ->
+        placed.(id) <- true;
+        decr remaining;
+        Array.iter
+          (fun s -> indegree.(s) <- indegree.(s) - 1)
+          t.succs.(id))
+      layer;
+    result := layer :: !result
+  done;
+  List.rev !result
+
+(* Mutable front-layer cursor used by SABRE-style routing. *)
+type front = {
+  dag : t;
+  unresolved_preds : int array;
+  mutable front_ids : int list;
+  mutable n_done : int;
+}
+
+let front_create dag =
+  {
+    dag;
+    unresolved_preds = Array.map Array.length dag.preds;
+    front_ids = roots dag;
+    n_done = 0;
+  }
+
+let front_gates f = List.map (fun id -> f.dag.nodes.(id)) f.front_ids
+
+let front_is_empty f = f.front_ids = []
+
+let front_resolve f id =
+  if not (List.mem id f.front_ids) then
+    invalid_arg "Dag.front_resolve: gate not in front layer";
+  f.front_ids <- List.filter (fun x -> x <> id) f.front_ids;
+  f.n_done <- f.n_done + 1;
+  Array.iter
+    (fun s ->
+      f.unresolved_preds.(s) <- f.unresolved_preds.(s) - 1;
+      if f.unresolved_preds.(s) = 0 then f.front_ids <- f.front_ids @ [ s ])
+    f.dag.succs.(id)
+
+let front_n_done f = f.n_done
+
+(* The "extended set" of SABRE: descendants close behind the front layer,
+   used for lookahead.  We take up to [size] gates found by breadth-first
+   walking successors of the front layer. *)
+let extended_set f ~size =
+  let seen = Hashtbl.create 16 in
+  let result = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  List.iter
+    (fun id -> Array.iter (fun s -> Queue.add s queue) f.dag.succs.(id))
+    f.front_ids;
+  while !count < size && not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      result := f.dag.nodes.(id) :: !result;
+      incr count;
+      Array.iter (fun s -> Queue.add s queue) f.dag.succs.(id)
+    end
+  done;
+  List.rev !result

@@ -1,0 +1,34 @@
+(** Dependency DAG over the two-qubit gates of a circuit, with the
+    front-layer machinery used by SABRE-style routing and the topological
+    layers used by A*/tket-style routing. *)
+
+type node = {
+  id : int;
+  gate_index : int;
+  q1 : int;
+  q2 : int;
+}
+
+type t
+
+val build : Circuit.t -> t
+val n_nodes : t -> int
+val node : t -> int -> node
+val preds : t -> int -> int array
+val succs : t -> int -> int array
+val roots : t -> int list
+
+val layers : t -> int list list
+(** Greedy maximal antichains in dependency order; each layer's gates act
+    on pairwise-disjoint qubits. *)
+
+type front
+
+val front_create : t -> front
+val front_gates : front -> node list
+val front_is_empty : front -> bool
+val front_resolve : front -> int -> unit
+val front_n_done : front -> int
+
+val extended_set : front -> size:int -> node list
+(** Lookahead set: up to [size] descendants of the front layer. *)

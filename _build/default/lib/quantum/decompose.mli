@@ -1,0 +1,8 @@
+(** Lowering to the {CX, one-qubit} basis (SWAP = 3 CX, the paper's cost
+    unit).  The lowering is locality-preserving, so routed circuits stay
+    routed. *)
+
+val lower_gate : Gate.t -> Gate.t list
+val to_cx_basis : Circuit.t -> Circuit.t
+val cx_count : Circuit.t -> int
+val preserves_pairs : Circuit.t -> bool

@@ -1,0 +1,145 @@
+(* Gate applications in a logical (or, after routing, physical) circuit.
+
+   The QMR problem only distinguishes one-qubit gates (irrelevant to
+   mapping), two-qubit gates (must act on connected qubits), and the SWAP
+   operations inserted by routing; nevertheless the gate set covers the
+   OpenQASM 2.0 / qelib1 standard gates so real circuits round-trip. *)
+
+type kind1 =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Id
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | P of float
+  | U of float * float * float
+
+type kind2 = Cx | Cz | Swap | Rzz of float
+
+type t =
+  | One of { kind : kind1; target : int }
+  | Two of { kind : kind2; control : int; target : int }
+  | Measure of { qubit : int; clbit : int }
+  | Barrier of int list
+
+let one kind target = One { kind; target }
+
+let two kind control target =
+  if control = target then invalid_arg "Gate.two: identical qubits";
+  Two { kind; control; target }
+
+let cx control target = two Cx control target
+let cz control target = two Cz control target
+let swap a b = two Swap a b
+let h q = one H q
+
+let qubits = function
+  | One { target; _ } -> [ target ]
+  | Two { control; target; _ } -> [ control; target ]
+  | Measure { qubit; _ } -> [ qubit ]
+  | Barrier qs -> qs
+
+let is_two_qubit = function
+  | Two _ -> true
+  | One _ | Measure _ | Barrier _ -> false
+
+(* Number of physical CNOTs a gate costs once decomposed; the paper counts
+   solution cost in added CNOT gates, with SWAP = 3 CNOTs.  An Rzz
+   interaction is the cx-rz-cx sandwich (2 CNOTs); CZ conjugates one CX
+   by Hadamards (1). *)
+let cnot_cost = function
+  | Two { kind = Swap; _ } -> 3
+  | Two { kind = Rzz _; _ } -> 2
+  | Two { kind = Cx | Cz; _ } -> 1
+  | One _ | Measure _ | Barrier _ -> 0
+
+(* Is the two-qubit interaction symmetric for connectivity purposes?  All
+   are: QMR only needs *some* orientation to be available, and direction
+   can be fixed with single-qubit conjugation.  Kept explicit for clarity. *)
+let symmetric_interaction = function
+  | Cx | Cz | Swap | Rzz _ -> true
+
+let relabel f gate =
+  match gate with
+  | One { kind; target } -> One { kind; target = f target }
+  | Two { kind; control; target } ->
+    Two { kind; control = f control; target = f target }
+  | Measure { qubit; clbit } -> Measure { qubit = f qubit; clbit }
+  | Barrier qs -> Barrier (List.map f qs)
+
+let float_equal a b = Float.abs (a -. b) < 1e-9
+
+let equal_kind1 a b =
+  match (a, b) with
+  | H, H | X, X | Y, Y | Z, Z | S, S | Sdg, Sdg | T, T | Tdg, Tdg | Id, Id ->
+    true
+  | Rx x, Rx y | Ry x, Ry y | Rz x, Rz y | P x, P y -> float_equal x y
+  | U (a1, a2, a3), U (b1, b2, b3) ->
+    float_equal a1 b1 && float_equal a2 b2 && float_equal a3 b3
+  | ( ( H | X | Y | Z | S | Sdg | T | Tdg | Id | Rx _ | Ry _ | Rz _ | P _
+      | U _ ),
+      _ ) ->
+    false
+
+let equal_kind2 a b =
+  match (a, b) with
+  | Cx, Cx | Cz, Cz | Swap, Swap -> true
+  | Rzz x, Rzz y -> float_equal x y
+  | (Cx | Cz | Swap | Rzz _), _ -> false
+
+let equal a b =
+  match (a, b) with
+  | One x, One y -> equal_kind1 x.kind y.kind && x.target = y.target
+  | Two x, Two y ->
+    equal_kind2 x.kind y.kind && x.control = y.control && x.target = y.target
+  | Measure x, Measure y -> x.qubit = y.qubit && x.clbit = y.clbit
+  | Barrier x, Barrier y -> x = y
+  | (One _ | Two _ | Measure _ | Barrier _), _ -> false
+
+let kind1_name = function
+  | H -> "h"
+  | X -> "x"
+  | Y -> "y"
+  | Z -> "z"
+  | S -> "s"
+  | Sdg -> "sdg"
+  | T -> "t"
+  | Tdg -> "tdg"
+  | Id -> "id"
+  | Rx _ -> "rx"
+  | Ry _ -> "ry"
+  | Rz _ -> "rz"
+  | P _ -> "p"
+  | U _ -> "u"
+
+let kind2_name = function
+  | Cx -> "cx"
+  | Cz -> "cz"
+  | Swap -> "swap"
+  | Rzz _ -> "rzz"
+
+let pp fmt = function
+  | One { kind; target } -> (
+    match kind with
+    | Rx a | Ry a | Rz a | P a ->
+      Format.fprintf fmt "%s(%g) q%d" (kind1_name kind) a target
+    | U (a, b, c) -> Format.fprintf fmt "u(%g,%g,%g) q%d" a b c target
+    | H | X | Y | Z | S | Sdg | T | Tdg | Id ->
+      Format.fprintf fmt "%s q%d" (kind1_name kind) target)
+  | Two { kind; control; target } -> (
+    match kind with
+    | Rzz a -> Format.fprintf fmt "rzz(%g) q%d,q%d" a control target
+    | Cx | Cz | Swap ->
+      Format.fprintf fmt "%s q%d,q%d" (kind2_name kind) control target)
+  | Measure { qubit; clbit } ->
+    Format.fprintf fmt "measure q%d -> c%d" qubit clbit
+  | Barrier qs ->
+    Format.fprintf fmt "barrier %s"
+      (String.concat "," (List.map (Printf.sprintf "q%d") qs))

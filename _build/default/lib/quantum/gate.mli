@@ -1,0 +1,47 @@
+(** Gate applications (OpenQASM 2.0 / qelib1 standard gate set). *)
+
+type kind1 =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Id
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | P of float
+  | U of float * float * float
+
+type kind2 = Cx | Cz | Swap | Rzz of float
+
+type t =
+  | One of { kind : kind1; target : int }
+  | Two of { kind : kind2; control : int; target : int }
+  | Measure of { qubit : int; clbit : int }
+  | Barrier of int list
+
+val one : kind1 -> int -> t
+val two : kind2 -> int -> int -> t
+val cx : int -> int -> t
+val cz : int -> int -> t
+val swap : int -> int -> t
+val h : int -> t
+
+val qubits : t -> int list
+val is_two_qubit : t -> bool
+
+val cnot_cost : t -> int
+(** CNOTs after decomposition; SWAP costs 3 (the paper's cost unit). *)
+
+val symmetric_interaction : kind2 -> bool
+val relabel : (int -> int) -> t -> t
+val equal : t -> t -> bool
+val equal_kind1 : kind1 -> kind1 -> bool
+val equal_kind2 : kind2 -> kind2 -> bool
+val kind1_name : kind1 -> string
+val kind2_name : kind2 -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,415 @@
+(* OpenQASM 2.0 reader and writer for the qelib1 standard-gate subset.
+
+   The reader supports the language constructs that appear in practice in
+   the benchmark suites the paper draws from (RevLib / Quipper / Scaffold
+   exports): version header, includes, qreg/creg declarations (several
+   registers are flattened into one address space), standard gate
+   applications with parameter expressions over [pi], measure, barrier, and
+   user gate definitions (which are skipped — all applications must resolve
+   to standard gates). *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+type token =
+  | Ident of string
+  | Number of float
+  | Str of string
+  | Sym of char
+  | Arrow
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let peek () = if !i < n then Some src.[!i] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '>' then begin
+      tokens := Arrow :: !tokens;
+      i := !i + 2
+    end
+    else if
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+    then begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let c = src.[!i] in
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_'
+      do
+        incr i
+      done;
+      tokens := Ident (String.sub src start (!i - start)) :: !tokens
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let c = src.[!i] in
+        (c >= '0' && c <= '9') || c = '.' || c = 'e' || c = 'E'
+        || ((c = '+' || c = '-')
+           && !i > start
+           && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E'))
+      do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      match float_of_string_opt text with
+      | Some f -> tokens := Number f :: !tokens
+      | None -> parse_error "bad number %S" text
+    end
+    else if c = '"' then begin
+      incr i;
+      let start = !i in
+      while !i < n && src.[!i] <> '"' do
+        incr i
+      done;
+      if !i >= n then parse_error "unterminated string";
+      tokens := Str (String.sub src start (!i - start)) :: !tokens;
+      incr i
+    end
+    else begin
+      ignore (peek ());
+      tokens := Sym c :: !tokens;
+      incr i
+    end
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parser state: a token stream *)
+
+type stream = { mutable toks : token list }
+
+let next s =
+  match s.toks with
+  | [] -> parse_error "unexpected end of input"
+  | t :: rest ->
+    s.toks <- rest;
+    t
+
+let peek s = match s.toks with [] -> None | t :: _ -> Some t
+
+let expect_sym s c =
+  match next s with
+  | Sym c' when c = c' -> ()
+  | _ -> parse_error "expected '%c'" c
+
+let expect_ident s =
+  match next s with
+  | Ident id -> id
+  | _ -> parse_error "expected identifier"
+
+let expect_int s =
+  match next s with
+  | Number f when Float.is_integer f -> int_of_float f
+  | _ -> parse_error "expected integer"
+
+(* Parameter expressions: +, -, *, /, unary -, parentheses, pi, numbers. *)
+let rec parse_expr s = parse_additive s
+
+and parse_additive s =
+  let lhs = ref (parse_multiplicative s) in
+  let continue = ref true in
+  while !continue do
+    match peek s with
+    | Some (Sym '+') ->
+      ignore (next s);
+      lhs := !lhs +. parse_multiplicative s
+    | Some (Sym '-') ->
+      ignore (next s);
+      lhs := !lhs -. parse_multiplicative s
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_multiplicative s =
+  let lhs = ref (parse_unary s) in
+  let continue = ref true in
+  while !continue do
+    match peek s with
+    | Some (Sym '*') ->
+      ignore (next s);
+      lhs := !lhs *. parse_unary s
+    | Some (Sym '/') ->
+      ignore (next s);
+      lhs := !lhs /. parse_unary s
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary s =
+  match next s with
+  | Sym '-' -> -.parse_unary s
+  | Sym '(' ->
+    let e = parse_expr s in
+    expect_sym s ')';
+    e
+  | Number f -> f
+  | Ident "pi" -> Float.pi
+  | _ -> parse_error "bad expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+type registers = {
+  mutable qregs : (string * int * int) list;  (* name, offset, size *)
+  mutable cregs : (string * int * int) list;
+  mutable n_qubits : int;
+  mutable n_clbits : int;
+}
+
+let lookup kind regs name index =
+  match List.find_opt (fun (n, _, _) -> n = name) regs with
+  | None -> parse_error "unknown %s register %s" kind name
+  | Some (_, offset, size) ->
+    if index < 0 || index >= size then
+      parse_error "index %d out of range for register %s[%d]" index name size;
+    offset + index
+
+let parse_qubit_arg s regs =
+  let name = expect_ident s in
+  expect_sym s '[';
+  let idx = expect_int s in
+  expect_sym s ']';
+  lookup "quantum" regs.qregs name idx
+
+let parse_clbit_arg s regs =
+  let name = expect_ident s in
+  expect_sym s '[';
+  let idx = expect_int s in
+  expect_sym s ']';
+  lookup "classical" regs.cregs name idx
+
+let parse_params s =
+  match peek s with
+  | Some (Sym '(') ->
+    ignore (next s);
+    let rec loop acc =
+      let e = parse_expr s in
+      match next s with
+      | Sym ',' -> loop (e :: acc)
+      | Sym ')' -> List.rev (e :: acc)
+      | _ -> parse_error "expected ',' or ')' in parameter list"
+    in
+    loop []
+  | _ -> []
+
+let parse_qubit_args s regs =
+  let rec loop acc =
+    let q = parse_qubit_arg s regs in
+    match next s with
+    | Sym ',' -> loop (q :: acc)
+    | Sym ';' -> List.rev (q :: acc)
+    | _ -> parse_error "expected ',' or ';' in argument list"
+  in
+  loop []
+
+let gate_of_application name params args =
+  let p k =
+    match params with
+    | [ x ] -> k x
+    | _ -> parse_error "gate %s expects one parameter" name
+  in
+  let no_params k =
+    match params with
+    | [] -> k
+    | _ -> parse_error "gate %s takes no parameters" name
+  in
+  let one kind =
+    match args with
+    | [ q ] -> Gate.One { kind; target = q }
+    | _ -> parse_error "gate %s expects one qubit" name
+  in
+  let two kind =
+    match args with
+    | [ a; b ] ->
+      if a = b then parse_error "gate %s applied to identical qubits" name;
+      Gate.Two { kind; control = a; target = b }
+    | _ -> parse_error "gate %s expects two qubits" name
+  in
+  match name with
+  | "h" -> no_params (one Gate.H)
+  | "x" -> no_params (one Gate.X)
+  | "y" -> no_params (one Gate.Y)
+  | "z" -> no_params (one Gate.Z)
+  | "s" -> no_params (one Gate.S)
+  | "sdg" -> no_params (one Gate.Sdg)
+  | "t" -> no_params (one Gate.T)
+  | "tdg" -> no_params (one Gate.Tdg)
+  | "id" -> no_params (one Gate.Id)
+  | "rx" -> p (fun a -> one (Gate.Rx a))
+  | "ry" -> p (fun a -> one (Gate.Ry a))
+  | "rz" -> p (fun a -> one (Gate.Rz a))
+  | "p" | "u1" -> p (fun a -> one (Gate.P a))
+  | "u" | "u3" -> (
+    match params with
+    | [ a; b; c ] -> one (Gate.U (a, b, c))
+    | _ -> parse_error "gate %s expects three parameters" name)
+  | "u2" -> (
+    match params with
+    | [ a; b ] -> one (Gate.U (Float.pi /. 2.0, a, b))
+    | _ -> parse_error "u2 expects two parameters")
+  | "cx" | "CX" -> no_params (two Gate.Cx)
+  | "cz" -> no_params (two Gate.Cz)
+  | "swap" -> no_params (two Gate.Swap)
+  | "rzz" -> p (fun a -> two (Gate.Rzz a))
+  | _ -> parse_error "unsupported gate %s" name
+
+(* Skip a user gate definition: gate name(..) args { ... } *)
+let skip_gate_definition s =
+  let rec to_open_brace () =
+    match next s with
+    | Sym '{' -> ()
+    | _ -> to_open_brace ()
+  in
+  to_open_brace ();
+  let depth = ref 1 in
+  while !depth > 0 do
+    match next s with
+    | Sym '{' -> incr depth
+    | Sym '}' -> decr depth
+    | _ -> ()
+  done
+
+let of_string src =
+  let s = { toks = tokenize src } in
+  let regs = { qregs = []; cregs = []; n_qubits = 0; n_clbits = 0 } in
+  let gates = ref [] in
+  let rec statements () =
+    match peek s with
+    | None -> ()
+    | Some tok ->
+      (match tok with
+      | Ident "OPENQASM" ->
+        ignore (next s);
+        ignore (parse_expr s);
+        expect_sym s ';'
+      | Ident "include" ->
+        ignore (next s);
+        (match next s with
+        | Str _ -> ()
+        | _ -> parse_error "include expects a string");
+        expect_sym s ';'
+      | Ident "qreg" ->
+        ignore (next s);
+        let name = expect_ident s in
+        expect_sym s '[';
+        let size = expect_int s in
+        expect_sym s ']';
+        expect_sym s ';';
+        regs.qregs <- (name, regs.n_qubits, size) :: regs.qregs;
+        regs.n_qubits <- regs.n_qubits + size
+      | Ident "creg" ->
+        ignore (next s);
+        let name = expect_ident s in
+        expect_sym s '[';
+        let size = expect_int s in
+        expect_sym s ']';
+        expect_sym s ';';
+        regs.cregs <- (name, regs.n_clbits, size) :: regs.cregs;
+        regs.n_clbits <- regs.n_clbits + size
+      | Ident "gate" ->
+        ignore (next s);
+        skip_gate_definition s
+      | Ident "measure" ->
+        ignore (next s);
+        let q = parse_qubit_arg s regs in
+        (match next s with
+        | Arrow -> ()
+        | _ -> parse_error "expected '->' in measure");
+        let c = parse_clbit_arg s regs in
+        expect_sym s ';';
+        gates := Gate.Measure { qubit = q; clbit = c } :: !gates
+      | Ident "barrier" ->
+        ignore (next s);
+        let qs = parse_qubit_args s regs in
+        gates := Gate.Barrier qs :: !gates
+      | Ident name ->
+        ignore (next s);
+        let params = parse_params s in
+        let args = parse_qubit_args s regs in
+        gates := gate_of_application name params args :: !gates
+      | _ -> parse_error "unexpected token");
+      statements ()
+  in
+  statements ();
+  if regs.n_qubits = 0 then parse_error "no quantum register declared";
+  Circuit.create ~n_clbits:regs.n_clbits ~n_qubits:regs.n_qubits
+    (List.rev !gates)
+
+let of_file path =
+  let ic = open_in path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string src
+
+(* ------------------------------------------------------------------ *)
+(* Printer *)
+
+let param_to_string f = Printf.sprintf "%.12g" f
+
+let gate_to_string g =
+  match g with
+  | Gate.One { kind; target } -> (
+    let q = Printf.sprintf "q[%d]" target in
+    match kind with
+    | Gate.Rx a | Gate.Ry a | Gate.Rz a | Gate.P a ->
+      Printf.sprintf "%s(%s) %s;" (Gate.kind1_name kind) (param_to_string a) q
+    | Gate.U (a, b, c) ->
+      Printf.sprintf "u(%s,%s,%s) %s;" (param_to_string a) (param_to_string b)
+        (param_to_string c) q
+    | Gate.H | Gate.X | Gate.Y | Gate.Z | Gate.S | Gate.Sdg | Gate.T
+    | Gate.Tdg | Gate.Id ->
+      Printf.sprintf "%s %s;" (Gate.kind1_name kind) q)
+  | Gate.Two { kind; control; target } -> (
+    let qs = Printf.sprintf "q[%d],q[%d]" control target in
+    match kind with
+    | Gate.Rzz a -> Printf.sprintf "rzz(%s) %s;" (param_to_string a) qs
+    | Gate.Cx | Gate.Cz | Gate.Swap ->
+      Printf.sprintf "%s %s;" (Gate.kind2_name kind) qs)
+  | Gate.Measure { qubit; clbit } ->
+    Printf.sprintf "measure q[%d] -> c[%d];" qubit clbit
+  | Gate.Barrier qs ->
+    Printf.sprintf "barrier %s;"
+      (String.concat "," (List.map (Printf.sprintf "q[%d]") qs))
+
+let to_string circuit =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  Buffer.add_string buf
+    (Printf.sprintf "qreg q[%d];\n" (Circuit.n_qubits circuit));
+  if Circuit.n_clbits circuit > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "creg c[%d];\n" (Circuit.n_clbits circuit));
+  List.iter
+    (fun g ->
+      Buffer.add_string buf (gate_to_string g);
+      Buffer.add_char buf '\n')
+    (Circuit.gates circuit);
+  Buffer.contents buf
+
+let to_file path circuit =
+  let out = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out out)
+    (fun () -> output_string out (to_string circuit))

@@ -1,0 +1,12 @@
+(** OpenQASM 2.0 reader and writer (qelib1 standard gates).
+
+    Multiple registers are flattened into a single address space.  User
+    gate definitions are skipped; all applications must resolve to
+    standard gates. *)
+
+exception Parse_error of string
+
+val of_string : string -> Circuit.t
+val of_file : string -> Circuit.t
+val to_string : Circuit.t -> string
+val to_file : string -> Circuit.t -> unit

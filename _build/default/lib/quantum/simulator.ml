@@ -1,0 +1,213 @@
+(* Dense state-vector simulator for small circuits (<= ~14 qubits).
+
+   Purpose: *semantic* verification of routing.  The syntactic verifier in
+   the core library checks connectivity and gate-sequence equivalence;
+   this simulator checks the full unitary semantics — a routed circuit,
+   started from a state embedded by the initial qubit map, must produce
+   exactly the original circuit's state embedded by the final map.  Any
+   bug in swap bookkeeping, gate orientation, or map tracking shows up as
+   an amplitude mismatch.
+
+   The state of n qubits is 2^n complex amplitudes stored as parallel
+   re/im float arrays; basis index bit q holds qubit q's value. *)
+
+type state = {
+  n_qubits : int;
+  re : float array;
+  im : float array;
+}
+
+let dimension_limit = 16
+
+let check_size n =
+  if n < 1 || n > dimension_limit then
+    invalid_arg
+      (Printf.sprintf "Simulator: %d qubits outside [1, %d]" n dimension_limit)
+
+(* |0...0> *)
+let zero_state n =
+  check_size n;
+  let dim = 1 lsl n in
+  let re = Array.make dim 0.0 and im = Array.make dim 0.0 in
+  re.(0) <- 1.0;
+  { n_qubits = n; re; im }
+
+(* A computational basis state given by the bit assignment of each qubit. *)
+let basis_state bits =
+  let n = Array.length bits in
+  check_size n;
+  let index =
+    Array.to_list bits
+    |> List.mapi (fun q b -> if b then 1 lsl q else 0)
+    |> List.fold_left ( lor ) 0
+  in
+  let dim = 1 lsl n in
+  let re = Array.make dim 0.0 and im = Array.make dim 0.0 in
+  re.(index) <- 1.0;
+  { n_qubits = n; re; im }
+
+let copy s = { s with re = Array.copy s.re; im = Array.copy s.im }
+
+let norm2 s =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length s.re - 1 do
+    acc := !acc +. (s.re.(i) *. s.re.(i)) +. (s.im.(i) *. s.im.(i))
+  done;
+  !acc
+
+(* Apply a 2x2 unitary [[a b][c d]] (complex entries as pairs) to qubit q. *)
+let apply_one s q (ar, ai) (br, bi) (cr, ci) (dr, di) =
+  let bit = 1 lsl q in
+  let dim = Array.length s.re in
+  let i = ref 0 in
+  while !i < dim do
+    if !i land bit = 0 then begin
+      let j = !i lor bit in
+      let xr = s.re.(!i) and xi = s.im.(!i) in
+      let yr = s.re.(j) and yi = s.im.(j) in
+      s.re.(!i) <- (ar *. xr) -. (ai *. xi) +. (br *. yr) -. (bi *. yi);
+      s.im.(!i) <- (ar *. xi) +. (ai *. xr) +. (br *. yi) +. (bi *. yr);
+      s.re.(j) <- (cr *. xr) -. (ci *. xi) +. (dr *. yr) -. (di *. yi);
+      s.im.(j) <- (cr *. xi) +. (ci *. xr) +. (dr *. yi) +. (di *. yr)
+    end;
+    incr i
+  done
+
+let zero = (0.0, 0.0)
+let one = (1.0, 0.0)
+
+let matrix_of_kind1 kind =
+  let s2 = 1.0 /. Float.sqrt 2.0 in
+  match kind with
+  | Gate.H -> ((s2, 0.0), (s2, 0.0), (s2, 0.0), (-.s2, 0.0))
+  | Gate.X -> (zero, one, one, zero)
+  | Gate.Y -> (zero, (0.0, -1.0), (0.0, 1.0), zero)
+  | Gate.Z -> (one, zero, zero, (-1.0, 0.0))
+  | Gate.S -> (one, zero, zero, (0.0, 1.0))
+  | Gate.Sdg -> (one, zero, zero, (0.0, -1.0))
+  | Gate.T -> (one, zero, zero, (s2, s2))
+  | Gate.Tdg -> (one, zero, zero, (s2, -.s2))
+  | Gate.Id -> (one, zero, zero, one)
+  | Gate.Rx t ->
+    let c = Float.cos (t /. 2.0) and s = Float.sin (t /. 2.0) in
+    ((c, 0.0), (0.0, -.s), (0.0, -.s), (c, 0.0))
+  | Gate.Ry t ->
+    let c = Float.cos (t /. 2.0) and s = Float.sin (t /. 2.0) in
+    ((c, 0.0), (-.s, 0.0), (s, 0.0), (c, 0.0))
+  | Gate.Rz t ->
+    let c = Float.cos (t /. 2.0) and s = Float.sin (t /. 2.0) in
+    ((c, -.s), zero, zero, (c, s))
+  | Gate.P t -> (one, zero, zero, (Float.cos t, Float.sin t))
+  | Gate.U (theta, phi, lambda) ->
+    let c = Float.cos (theta /. 2.0) and s = Float.sin (theta /. 2.0) in
+    ( (c, 0.0),
+      (-.s *. Float.cos lambda, -.s *. Float.sin lambda),
+      (s *. Float.cos phi, s *. Float.sin phi),
+      ( c *. Float.cos (phi +. lambda),
+        c *. Float.sin (phi +. lambda) ) )
+
+(* CX: swap the target bit where the control bit is 1. *)
+let apply_cx s ~control ~target =
+  let cb = 1 lsl control and tb = 1 lsl target in
+  let dim = Array.length s.re in
+  for i = 0 to dim - 1 do
+    if i land cb <> 0 && i land tb = 0 then begin
+      let j = i lor tb in
+      let xr = s.re.(i) and xi = s.im.(i) in
+      s.re.(i) <- s.re.(j);
+      s.im.(i) <- s.im.(j);
+      s.re.(j) <- xr;
+      s.im.(j) <- xi
+    end
+  done
+
+let apply_cz s ~a ~b =
+  let ab = 1 lsl a and bb = 1 lsl b in
+  for i = 0 to Array.length s.re - 1 do
+    if i land ab <> 0 && i land bb <> 0 then begin
+      s.re.(i) <- -.s.re.(i);
+      s.im.(i) <- -.s.im.(i)
+    end
+  done
+
+let apply_swap s ~a ~b =
+  let ab = 1 lsl a and bb = 1 lsl b in
+  for i = 0 to Array.length s.re - 1 do
+    (* swap amplitudes between ...a=1,b=0... and ...a=0,b=1... *)
+    if i land ab <> 0 && i land bb = 0 then begin
+      let j = (i lxor ab) lor bb in
+      let xr = s.re.(i) and xi = s.im.(i) in
+      s.re.(i) <- s.re.(j);
+      s.im.(i) <- s.im.(j);
+      s.re.(j) <- xr;
+      s.im.(j) <- xi
+    end
+  done
+
+(* exp(-i t/2 Z(x)Z): phase e^{-it/2} on equal bits, e^{+it/2} on unequal. *)
+let apply_rzz s ~a ~b t =
+  let ab = 1 lsl a and bb = 1 lsl b in
+  let c = Float.cos (t /. 2.0) and sn = Float.sin (t /. 2.0) in
+  for i = 0 to Array.length s.re - 1 do
+    let equal_bits = (i land ab <> 0) = (i land bb <> 0) in
+    let pr, pi = if equal_bits then (c, -.sn) else (c, sn) in
+    let xr = s.re.(i) and xi = s.im.(i) in
+    s.re.(i) <- (pr *. xr) -. (pi *. xi);
+    s.im.(i) <- (pr *. xi) +. (pi *. xr)
+  done
+
+exception Unsupported of string
+
+let apply_gate s gate =
+  match gate with
+  | Gate.One { kind; target } ->
+    let a, b, c, d = matrix_of_kind1 kind in
+    apply_one s target a b c d
+  | Gate.Two { kind = Gate.Cx; control; target } -> apply_cx s ~control ~target
+  | Gate.Two { kind = Gate.Cz; control; target } ->
+    apply_cz s ~a:control ~b:target
+  | Gate.Two { kind = Gate.Swap; control; target } ->
+    apply_swap s ~a:control ~b:target
+  | Gate.Two { kind = Gate.Rzz t; control; target } ->
+    apply_rzz s ~a:control ~b:target t
+  | Gate.Barrier _ -> ()
+  | Gate.Measure _ ->
+    raise (Unsupported "Simulator: measurement is not a unitary")
+
+let run circuit state =
+  if Circuit.n_qubits circuit <> state.n_qubits then
+    invalid_arg "Simulator.run: qubit count mismatch";
+  let s = copy state in
+  List.iter (apply_gate s) (Circuit.gates circuit);
+  s
+
+let distance a b =
+  if a.n_qubits <> b.n_qubits then invalid_arg "Simulator.distance";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a.re - 1 do
+    let dr = a.re.(i) -. b.re.(i) and di = a.im.(i) -. b.im.(i) in
+    acc := !acc +. (dr *. dr) +. (di *. di)
+  done;
+  Float.sqrt !acc
+
+let approx_equal ?(tol = 1e-9) a b = distance a b < tol
+
+(* Embed an n_log-qubit state into n_phys qubits: logical qubit q lives at
+   physical position [placement.(q)]; all unoccupied physical qubits are
+   |0>. *)
+let embed state ~n_phys ~placement =
+  check_size n_phys;
+  if Array.length placement <> state.n_qubits then
+    invalid_arg "Simulator.embed: placement arity mismatch";
+  let dim = 1 lsl n_phys in
+  let re = Array.make dim 0.0 and im = Array.make dim 0.0 in
+  let src_dim = 1 lsl state.n_qubits in
+  for i = 0 to src_dim - 1 do
+    let j = ref 0 in
+    Array.iteri
+      (fun q p -> if (i lsr q) land 1 = 1 then j := !j lor (1 lsl p))
+      placement;
+    re.(!j) <- state.re.(i);
+    im.(!j) <- state.im.(i)
+  done;
+  { n_qubits = n_phys; re; im }

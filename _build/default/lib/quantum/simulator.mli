@@ -1,0 +1,24 @@
+(** Dense state-vector simulator for small circuits — the *semantic*
+    verification layer: a routed circuit, run from a state embedded by the
+    initial qubit map, must reproduce the original circuit's state
+    embedded by the final map, exactly (same global phase, since the gate
+    set is identical on both sides). *)
+
+type state
+
+exception Unsupported of string
+
+val dimension_limit : int
+val zero_state : int -> state
+val basis_state : bool array -> state
+val copy : state -> state
+val norm2 : state -> float
+val run : Circuit.t -> state -> state
+(** Raises [Unsupported] on measurements (not a unitary). *)
+
+val distance : state -> state -> float
+val approx_equal : ?tol:float -> state -> state -> bool
+
+val embed : state -> n_phys:int -> placement:int array -> state
+(** Place logical qubit [q] at physical position [placement.(q)];
+    unoccupied physical qubits are |0>. *)

@@ -1,0 +1,62 @@
+(* Deterministic splitmix64 pseudo-random generator.
+
+   All randomised components (workload generation, QAOA graphs, SABRE
+   restarts, synthetic calibration data) draw from this generator with
+   explicit seeds so that every experiment in the repository is exactly
+   reproducible. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  (* Mask to a non-negative OCaml int: a 63-bit value out of Int64.to_int
+     may still be negative after wrapping. *)
+  let r = Int64.to_int (next_int64 t) land max_int in
+  r mod bound
+
+(* Uniform float in [0, 1). *)
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Uniform float in [lo, hi). *)
+let float_range t lo hi = lo +. ((hi -. lo) *. float t)
+
+(* Fisher-Yates shuffle in place. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t list =
+  match list with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth list (int t (List.length list))
+
+(* Derive an independent generator; used to give each benchmark instance
+   its own stream. *)
+let split t = create (Int64.to_int (next_int64 t))
+
+(* Stateless hash of a few integers onto [0, 1); used for synthetic
+   calibration data so that a device's noise profile is a pure function of
+   its identity. *)
+let hash_to_unit ints =
+  let g = create (List.fold_left (fun acc x -> (acc * 1000003) + x) 0x5eed ints) in
+  float g

@@ -1,0 +1,20 @@
+(** Deterministic splitmix64 PRNG with explicit seeding, used by every
+    randomised component so experiments are exactly reproducible. *)
+
+type t
+
+val create : int -> t
+val int : t -> int -> int
+(** Uniform in [0, bound). *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+val float_range : t -> float -> float -> float
+val shuffle : t -> 'a array -> unit
+val pick : t -> 'a list -> 'a
+val split : t -> t
+
+val hash_to_unit : int list -> float
+(** Stateless hash of integers onto [0, 1). *)

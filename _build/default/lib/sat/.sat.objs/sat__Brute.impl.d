@@ -1,0 +1,1 @@
+lib/sat/brute.ml: List Lit Option Printf

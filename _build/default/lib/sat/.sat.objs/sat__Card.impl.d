@@ -1,0 +1,1 @@
+lib/sat/card.ml: Array Lit Sink

@@ -1,0 +1,1 @@
+lib/sat/dimacs.ml: Array Fun List Lit Printf String

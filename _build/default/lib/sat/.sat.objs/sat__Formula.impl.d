@@ -1,0 +1,1 @@
+lib/sat/formula.ml: List Lit Sink

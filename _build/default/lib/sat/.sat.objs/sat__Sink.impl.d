@@ -1,0 +1,1 @@
+lib/sat/sink.ml: Lit Solver Vec

@@ -1,0 +1,1 @@
+lib/sat/sink.mli: Lit Solver

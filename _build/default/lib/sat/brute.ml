@@ -1,0 +1,65 @@
+(* Brute-force reference procedures over small variable counts.  These are
+   deliberately simple — they exist to differentially test the CDCL solver
+   and the MaxSAT optimizer, never to be fast. *)
+
+let max_vars = 24
+
+let check_size n_vars =
+  if n_vars > max_vars then
+    invalid_arg
+      (Printf.sprintf "Brute: %d variables exceeds the %d-variable limit"
+         n_vars max_vars)
+
+let clause_satisfied assignment clause =
+  List.exists
+    (fun l ->
+      let b = (assignment lsr Lit.var l) land 1 = 1 in
+      if Lit.sign l then b else not b)
+    clause
+
+let satisfies assignment clauses =
+  List.for_all (clause_satisfied assignment) clauses
+
+(* Enumerate assignments; return the first model as a predicate. *)
+let solve ~n_vars clauses =
+  check_size n_vars;
+  let limit = 1 lsl n_vars in
+  let rec loop a =
+    if a >= limit then None
+    else if satisfies a clauses then Some (fun v -> (a lsr v) land 1 = 1)
+    else loop (a + 1)
+  in
+  loop 0
+
+let is_satisfiable ~n_vars clauses = Option.is_some (solve ~n_vars clauses)
+
+let count_models ~n_vars clauses =
+  check_size n_vars;
+  let limit = 1 lsl n_vars in
+  let count = ref 0 in
+  for a = 0 to limit - 1 do
+    if satisfies a clauses then incr count
+  done;
+  !count
+
+(* Optimal weighted MaxSAT cost by enumeration: minimal total weight of
+   falsified soft clauses over models of the hard clauses.  Returns [None]
+   when the hard clauses are unsatisfiable. *)
+let maxsat_opt ~n_vars ~hard ~soft =
+  check_size n_vars;
+  let limit = 1 lsl n_vars in
+  let best = ref None in
+  for a = 0 to limit - 1 do
+    if satisfies a hard then begin
+      let cost =
+        List.fold_left
+          (fun acc (w, clause) ->
+            if clause_satisfied a clause then acc else acc + w)
+          0 soft
+      in
+      match !best with
+      | Some b when b <= cost -> ()
+      | _ -> best := Some cost
+    end
+  done;
+  !best

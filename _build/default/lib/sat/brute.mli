@@ -1,0 +1,15 @@
+(** Brute-force reference solvers for differential testing (<= 24 vars). *)
+
+val max_vars : int
+
+val solve : n_vars:int -> Lit.t list list -> (Lit.var -> bool) option
+val is_satisfiable : n_vars:int -> Lit.t list list -> bool
+val count_models : n_vars:int -> Lit.t list list -> int
+
+val maxsat_opt :
+  n_vars:int ->
+  hard:Lit.t list list ->
+  soft:(int * Lit.t list) list ->
+  int option
+(** Minimal total weight of falsified soft clauses over models of the hard
+    clauses; [None] if the hard clauses are unsatisfiable. *)

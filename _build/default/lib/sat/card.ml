@@ -1,0 +1,95 @@
+(* Cardinality constraint encodings.
+
+   The "only-one" encoding the paper cites (Gent & Nightingale 2004) is the
+   sequential/commander family: linear in the number of literals, which is
+   what brings the SATMAP constraint count down to
+   O(|Phys| * |Logic| * |C|).  The pairwise encoding is kept both as a
+   baseline (EX-MQT-like uses it) and for differential testing. *)
+
+type encoding = Pairwise | Sequential
+
+let at_least_one (sink : Sink.t) lits =
+  match lits with
+  | [] -> sink.add_clause [] (* unsatisfiable *)
+  | _ -> sink.add_clause lits
+
+let at_most_one_pairwise (sink : Sink.t) lits =
+  let arr = Array.of_list lits in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      sink.add_clause [ Lit.neg arr.(i); Lit.neg arr.(j) ]
+    done
+  done
+
+(* Sinz's sequential counter restricted to "at most one": auxiliary
+   variables s_i mean "some x_j with j <= i is true". *)
+let at_most_one_sequential (sink : Sink.t) lits =
+  let arr = Array.of_list lits in
+  let n = Array.length arr in
+  if n <= 4 then at_most_one_pairwise sink lits
+  else begin
+    let s = Array.init (n - 1) (fun _ -> Lit.of_var (sink.fresh_var ())) in
+    sink.add_clause [ Lit.neg arr.(0); s.(0) ];
+    for i = 1 to n - 2 do
+      sink.add_clause [ Lit.neg arr.(i); s.(i) ];
+      sink.add_clause [ Lit.neg s.(i - 1); s.(i) ];
+      sink.add_clause [ Lit.neg arr.(i); Lit.neg s.(i - 1) ]
+    done;
+    sink.add_clause [ Lit.neg arr.(n - 1); Lit.neg s.(n - 2) ]
+  end
+
+let at_most_one ?(encoding = Sequential) sink lits =
+  match encoding with
+  | Pairwise -> at_most_one_pairwise sink lits
+  | Sequential -> at_most_one_sequential sink lits
+
+let exactly_one ?(encoding = Sequential) sink lits =
+  at_least_one sink lits;
+  at_most_one ~encoding sink lits
+
+(* Totalizer (Bailleux & Boutonnet): builds sorted output literals
+   o_1 >= o_2 >= ... >= o_n such that o_k is true iff at least k inputs are
+   true.  Bounding "at most k" is then the single unit clause (not o_{k+1}),
+   which makes it ideal for the incremental MaxSAT descent. *)
+let totalizer (sink : Sink.t) lits =
+  let rec build lits =
+    match lits with
+    | [] -> [||]
+    | [ l ] -> [| l |]
+    | _ ->
+      let arr = Array.of_list lits in
+      let n = Array.length arr in
+      let half = n / 2 in
+      let left = build (Array.to_list (Array.sub arr 0 half)) in
+      let right = build (Array.to_list (Array.sub arr half (n - half))) in
+      let nl = Array.length left and nr = Array.length right in
+      let out = Array.init (nl + nr) (fun _ -> Lit.of_var (sink.fresh_var ())) in
+      (* sum >= a + b  when  left >= a and right >= b *)
+      for a = 0 to nl do
+        for b = 0 to nr do
+          if a + b > 0 then begin
+            let clause = ref [ out.(a + b - 1) ] in
+            if a > 0 then clause := Lit.neg left.(a - 1) :: !clause;
+            if b > 0 then clause := Lit.neg right.(b - 1) :: !clause;
+            sink.add_clause !clause
+          end;
+          (* sum <= a + b  when  left <= a and right <= b, i.e. the
+             contrapositive propagation needed for "at most k" bounds *)
+          if a + b < nl + nr then begin
+            let clause = ref [ Lit.neg out.(a + b) ] in
+            if a < nl then clause := left.(a) :: !clause;
+            if b < nr then clause := right.(b) :: !clause;
+            sink.add_clause !clause
+          end
+        done
+      done;
+      out
+  in
+  build lits
+
+let at_most_k_totalizer (sink : Sink.t) lits k =
+  let out = totalizer sink lits in
+  let n = Array.length out in
+  if k < n then sink.add_clause [ Lit.neg out.(k) ];
+  out

@@ -1,0 +1,21 @@
+(** Cardinality-constraint CNF encodings.
+
+    The [Sequential] encoding (Sinz counters; the linear "only-one" family
+    cited by the paper) is the default; [Pairwise] is quadratic and used by
+    the deliberately-naive EX-MQT-like baseline and by tests. *)
+
+type encoding = Pairwise | Sequential
+
+val at_least_one : Sink.t -> Lit.t list -> unit
+val at_most_one : ?encoding:encoding -> Sink.t -> Lit.t list -> unit
+val exactly_one : ?encoding:encoding -> Sink.t -> Lit.t list -> unit
+
+val totalizer : Sink.t -> Lit.t list -> Lit.t array
+(** [totalizer sink lits] returns sorted unary-counter outputs [o]:
+    [o.(i)] is constrained to be true iff at least [i + 1] of [lits] are
+    true.  Asserting [Lit.neg o.(k)] bounds the sum to at most [k] —
+    the incremental-bound primitive used by the MaxSAT optimizer. *)
+
+val at_most_k_totalizer : Sink.t -> Lit.t list -> int -> Lit.t array
+(** Convenience: build the totalizer and immediately bound it to [k].
+    Returns the outputs for later (tighter) bounding. *)

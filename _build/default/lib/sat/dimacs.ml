@@ -1,0 +1,108 @@
+(* DIMACS CNF / WCNF reading and writing.
+
+   The reproduction hint for this paper flags "sparse solver bindings;
+   DIMACS emission workaround": with no MaxSAT solver bindings available we
+   solve with the built-in engine, but we also emit standard (W)CNF so that
+   any external solver (e.g. Open-WBO-Inc, as used by the paper) can consume
+   the very same constraints. *)
+
+let write_cnf out ~n_vars clauses =
+  Printf.fprintf out "p cnf %d %d\n" n_vars (List.length clauses);
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Printf.fprintf out "%d " (Lit.to_dimacs l)) clause;
+      output_string out "0\n")
+    clauses
+
+(* The (old-style, pre-2022) WCNF header: "p wcnf <vars> <clauses> <top>"
+   where clauses with weight [top] are hard. *)
+let write_wcnf out ~n_vars ~hard ~soft =
+  let top =
+    1 + List.fold_left (fun acc (w, _) -> acc + w) 0 soft
+  in
+  Printf.fprintf out "p wcnf %d %d %d\n" n_vars
+    (List.length hard + List.length soft)
+    top;
+  let emit w clause =
+    Printf.fprintf out "%d " w;
+    List.iter (fun l -> Printf.fprintf out "%d " (Lit.to_dimacs l)) clause;
+    output_string out "0\n"
+  in
+  List.iter (emit top) hard;
+  List.iter (fun (w, clause) -> emit w clause) soft
+
+let with_file path f =
+  let out = open_out path in
+  Fun.protect ~finally:(fun () -> close_out out) (fun () -> f out)
+
+let cnf_to_file path ~n_vars clauses =
+  with_file path (fun out -> write_cnf out ~n_vars clauses)
+
+let wcnf_to_file path ~n_vars ~hard ~soft =
+  with_file path (fun out -> write_wcnf out ~n_vars ~hard ~soft)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Parse a DIMACS CNF file: returns (n_vars, clauses). *)
+let parse_cnf_channel ic =
+  let n_vars = ref 0 in
+  let n_clauses = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       let line = String.trim line in
+       if line = "" || line.[0] = 'c' then ()
+       else if line.[0] = 'p' then begin
+         match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+         | [ "p"; "cnf"; v; c ] ->
+           n_vars := int_of_string v;
+           n_clauses := int_of_string c
+         | _ -> parse_error "malformed problem line: %s" line
+       end
+       else
+         String.split_on_char ' ' line
+         |> List.filter (( <> ) "")
+         |> List.iter (fun tok ->
+                let n =
+                  try int_of_string tok
+                  with Failure _ -> parse_error "bad token %S" tok
+                in
+                if n = 0 then begin
+                  clauses := List.rev !current :: !clauses;
+                  current := []
+                end
+                else current := Lit.of_dimacs n :: !current)
+     done
+   with End_of_file -> ());
+  if !current <> [] then parse_error "trailing clause without terminating 0";
+  if !n_clauses >= 0 && List.length !clauses <> !n_clauses then
+    parse_error "expected %d clauses, found %d" !n_clauses
+      (List.length !clauses);
+  (!n_vars, List.rev !clauses)
+
+let parse_cnf_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> parse_cnf_channel ic)
+
+(* Parse a solver's "v" lines into an assignment array indexed by var. *)
+let parse_model_lines ~n_vars lines =
+  let model = Array.make n_vars false in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if String.length line > 0 && line.[0] = 'v' then
+        String.sub line 1 (String.length line - 1)
+        |> String.split_on_char ' '
+        |> List.filter (( <> ) "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | None | Some 0 -> ()
+               | Some n ->
+                 let v = abs n - 1 in
+                 if v < n_vars then model.(v) <- n > 0))
+    lines;
+  model

@@ -1,0 +1,33 @@
+(** DIMACS CNF/WCNF emission and parsing.
+
+    Emission lets the exact constraints generated here be solved by an
+    external MaxSAT solver (the paper uses Open-WBO-Inc-MCS); parsing is
+    used for tests and for importing external instances. *)
+
+exception Parse_error of string
+
+val write_cnf : out_channel -> n_vars:int -> Lit.t list list -> unit
+
+val write_wcnf :
+  out_channel ->
+  n_vars:int ->
+  hard:Lit.t list list ->
+  soft:(int * Lit.t list) list ->
+  unit
+(** Weighted CNF in the classic "p wcnf n m top" format; hard clauses get
+    weight [top]. *)
+
+val cnf_to_file : string -> n_vars:int -> Lit.t list list -> unit
+
+val wcnf_to_file :
+  string ->
+  n_vars:int ->
+  hard:Lit.t list list ->
+  soft:(int * Lit.t list) list ->
+  unit
+
+val parse_cnf_channel : in_channel -> int * Lit.t list list
+val parse_cnf_file : string -> int * Lit.t list list
+
+val parse_model_lines : n_vars:int -> string list -> bool array
+(** Interpret the "v ..." lines of a SAT solver's output. *)

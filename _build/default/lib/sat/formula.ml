@@ -1,0 +1,97 @@
+(* Boolean formula AST with a Tseitin-style transformation to CNF.
+
+   Hand-rolled clauses cover most of the QMR encoding, but the backtracking
+   step of the local relaxation (blocking a previously returned mapping) and
+   several tests are most naturally expressed as formulas. *)
+
+type t =
+  | True
+  | False
+  | Atom of Lit.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Imp of t * t
+  | Iff of t * t
+
+let atom ?(sign = true) v = Atom (Lit.of_var ~sign v)
+
+let rec eval assignment f =
+  match f with
+  | True -> true
+  | False -> false
+  | Atom l ->
+    let b = assignment (Lit.var l) in
+    if Lit.sign l then b else not b
+  | Not g -> not (eval assignment g)
+  | And gs -> List.for_all (eval assignment) gs
+  | Or gs -> List.exists (eval assignment) gs
+  | Imp (a, b) -> (not (eval assignment a)) || eval assignment b
+  | Iff (a, b) -> eval assignment a = eval assignment b
+
+(* Negation normal form push, eliminating Imp/Iff and Not. *)
+let rec nnf pos f =
+  match (f, pos) with
+  | True, true | False, false -> True
+  | True, false | False, true -> False
+  | Atom l, true -> Atom l
+  | Atom l, false -> Atom (Lit.neg l)
+  | Not g, _ -> nnf (not pos) g
+  | And gs, true -> And (List.map (nnf true) gs)
+  | And gs, false -> Or (List.map (nnf false) gs)
+  | Or gs, true -> Or (List.map (nnf true) gs)
+  | Or gs, false -> And (List.map (nnf false) gs)
+  | Imp (a, b), _ -> nnf pos (Or [ Not a; b ])
+  | Iff (a, b), _ -> nnf pos (And [ Imp (a, b); Imp (b, a) ])
+
+(* Tseitin: return a literal equivalent (in the one-directional, polarity-
+   sufficient sense) to the NNF formula, introducing definitions. *)
+let rec to_lit (sink : Sink.t) f =
+  match f with
+  | True ->
+    let v = Lit.of_var (sink.fresh_var ()) in
+    sink.add_clause [ v ];
+    v
+  | False ->
+    let v = Lit.of_var (sink.fresh_var ()) in
+    sink.add_clause [ Lit.neg v ];
+    v
+  | Atom l -> l
+  | And gs ->
+    let ls = List.map (to_lit sink) gs in
+    let d = Lit.of_var (sink.fresh_var ()) in
+    (* d -> each conjunct, and conjuncts -> d *)
+    List.iter (fun l -> sink.add_clause [ Lit.neg d; l ]) ls;
+    sink.add_clause (d :: List.map Lit.neg ls);
+    d
+  | Or gs ->
+    let ls = List.map (to_lit sink) gs in
+    let d = Lit.of_var (sink.fresh_var ()) in
+    sink.add_clause (Lit.neg d :: ls);
+    List.iter (fun l -> sink.add_clause [ d; Lit.neg l ]) ls;
+    d
+  | Not _ | Imp _ | Iff _ -> to_lit sink (nnf true f)
+
+(* Assert a formula: clausify directly when the shape is already clausal to
+   avoid auxiliary variables for the common cases. *)
+let rec assert_in (sink : Sink.t) f =
+  match nnf true f with
+  | True -> ()
+  | False -> sink.add_clause []
+  | Atom l -> sink.add_clause [ l ]
+  | And gs -> List.iter (assert_in sink) gs
+  | Or gs ->
+    (* Flatten a disjunction into one clause when all disjuncts are
+       literals; otherwise introduce definitions for the complex ones. *)
+    let clause =
+      List.map
+        (fun g ->
+          match g with
+          | Atom l -> l
+          | other -> to_lit sink other)
+        gs
+    in
+    sink.add_clause clause
+  | (Not _ | Imp _ | Iff _) as g ->
+    (* nnf eliminates these constructors. *)
+    sink.add_clause [ to_lit sink g ]

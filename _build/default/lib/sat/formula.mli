@@ -1,0 +1,25 @@
+(** Boolean formulas and a Tseitin-style clausification. *)
+
+type t =
+  | True
+  | False
+  | Atom of Lit.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Imp of t * t
+  | Iff of t * t
+
+val atom : ?sign:bool -> Lit.var -> t
+
+val eval : (Lit.var -> bool) -> t -> bool
+(** Evaluate under a total assignment. *)
+
+val nnf : bool -> t -> t
+(** [nnf pos f] pushes negations to the atoms; [pos = false] negates. *)
+
+val to_lit : Sink.t -> t -> Lit.t
+(** Clausify, returning a literal equisatisfiable with the formula. *)
+
+val assert_in : Sink.t -> t -> unit
+(** Assert the formula, clausifying directly where possible. *)

@@ -1,0 +1,16 @@
+(** Indexed binary heap over non-negative integers (variable indices).
+
+    The comparison [lt x y] must return [true] when [x] has strictly higher
+    priority than [y]; [remove_min] then returns the highest-priority
+    element.  Priorities may change externally, in which case [update] must
+    be called to restore the heap invariant. *)
+
+type t
+
+val create : (int -> int -> bool) -> t
+val size : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+val insert : t -> int -> unit
+val remove_min : t -> int
+val update : t -> int -> unit

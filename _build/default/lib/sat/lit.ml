@@ -1,0 +1,31 @@
+(* Literals are packed integers: variable [v] yields the positive literal
+   [2 * v] and the negative literal [2 * v + 1].  Variables are numbered
+   from 0 internally; DIMACS numbering (1-based, sign for polarity) is
+   handled in {!Dimacs}. *)
+
+type var = int
+type t = int
+
+let of_var ?(sign = true) v =
+  if v < 0 then invalid_arg "Lit.of_var";
+  if sign then 2 * v else (2 * v) + 1
+
+let var l = l lsr 1
+
+let sign l = l land 1 = 0
+
+let neg l = l lxor 1
+
+let to_int l = l
+
+let compare = Int.compare
+
+let equal = Int.equal
+
+let pp fmt l = Format.fprintf fmt "%s%d" (if sign l then "" else "-") (var l + 1)
+
+let to_dimacs l = if sign l then var l + 1 else -(var l + 1)
+
+let of_dimacs n =
+  if n = 0 then invalid_arg "Lit.of_dimacs";
+  if n > 0 then of_var (n - 1) else of_var ~sign:false (-n - 1)

@@ -1,0 +1,30 @@
+(** Boolean literals over integer variables.
+
+    A literal is a variable together with a polarity.  The representation is
+    a packed integer (positive literal of variable [v] is [2v], negative is
+    [2v + 1]), which the solver exploits for array indexing. *)
+
+type var = int
+(** Variables are non-negative integers. *)
+
+type t = private int
+(** A literal.  The representation is exposed as [private int] so that
+    client code can use literals as array indices but cannot forge them. *)
+
+val of_var : ?sign:bool -> var -> t
+(** [of_var v] is the positive literal of [v]; [of_var ~sign:false v] the
+    negative one. *)
+
+val var : t -> var
+val sign : t -> bool
+val neg : t -> t
+val to_int : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_dimacs : t -> int
+(** 1-based signed integer as used in the DIMACS format. *)
+
+val of_dimacs : int -> t
+(** Inverse of {!to_dimacs}.  Raises [Invalid_argument] on [0]. *)

@@ -1,0 +1,54 @@
+(* A clause sink abstracts over "where CNF goes": a live solver (for
+   incremental solving) or a builder (for counting and DIMACS emission).
+   Encoding code (cardinality constraints, Tseitin, the QMR encoding)
+   targets sinks so it can serve both without duplication. *)
+
+type t = {
+  fresh_var : unit -> Lit.var;
+  add_clause : Lit.t list -> unit;
+}
+
+let of_solver solver =
+  {
+    fresh_var = (fun () -> Solver.new_var solver);
+    add_clause = Solver.add_clause solver;
+  }
+
+type builder = {
+  mutable next_var : int;
+  clauses : Lit.t list Vec.t;
+}
+
+let builder () = { next_var = 0; clauses = Vec.create ~dummy:[] }
+
+let of_builder b =
+  {
+    fresh_var =
+      (fun () ->
+        let v = b.next_var in
+        b.next_var <- v + 1;
+        v);
+    add_clause = (fun c -> Vec.push b.clauses c);
+  }
+
+let builder_clauses b = Vec.to_list b.clauses
+
+let builder_n_vars b = b.next_var
+
+let builder_n_clauses b = Vec.size b.clauses
+
+(* A sink that duplicates everything into two sinks with the same variable
+   numbering (e.g. a solver and a builder used for DIMACS export). *)
+let tee a b =
+  {
+    fresh_var =
+      (fun () ->
+        let v = a.fresh_var () in
+        let v' = b.fresh_var () in
+        if v <> v' then invalid_arg "Sink.tee: variable numbering diverged";
+        v);
+    add_clause =
+      (fun c ->
+        a.add_clause c;
+        b.add_clause c);
+  }

@@ -1,0 +1,24 @@
+(** Clause sinks: targets for CNF generation.
+
+    Encodings are written against this interface so that the same code can
+    feed a live {!Solver.t} (incremental solving) or a {!builder}
+    (clause counting, DIMACS emission). *)
+
+type t = {
+  fresh_var : unit -> Lit.var;
+  add_clause : Lit.t list -> unit;
+}
+
+val of_solver : Solver.t -> t
+
+type builder
+
+val builder : unit -> builder
+val of_builder : builder -> t
+val builder_clauses : builder -> Lit.t list list
+val builder_n_vars : builder -> int
+val builder_n_clauses : builder -> int
+
+val tee : t -> t -> t
+(** Duplicate clauses and variable allocation into two sinks.  Both sinks
+    must allocate identical variable numbers. *)

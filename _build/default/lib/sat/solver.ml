@@ -1,0 +1,571 @@
+(* A CDCL SAT solver in the MiniSat lineage: two-watched-literal
+   propagation, first-UIP conflict analysis, VSIDS variable activities with
+   a binary heap, phase saving, Luby restarts, activity-based learnt-clause
+   deletion, and incremental solving under assumptions.
+
+   Literal/variable conventions follow {!Lit}: literals are packed integers
+   so they can index the watch-list array directly. *)
+
+type clause = {
+  mutable lits : Lit.t array;
+  mutable cla_act : float;
+  learnt : bool;
+  mutable removed : bool;
+}
+
+type result = Sat | Unsat | Unknown
+
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable learnts_literals : int;
+  mutable max_vars : int;
+}
+
+type t = {
+  (* Clause database *)
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  (* Assignment state; arrays are indexed by variable unless noted. *)
+  mutable assigns : int array;        (* -1 undef / 0 false / 1 true *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable watches : clause Vec.t array;  (* indexed by literal *)
+  trail : Lit.t Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  (* Decision heuristics *)
+  mutable activity : float array;
+  mutable polarity : bool array;
+  order : Heap.t ref;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  (* Scratch *)
+  mutable seen : bool array;
+  mutable nvars : int;
+  mutable ok : bool;
+  mutable model : int array;          (* copy of assigns at last Sat *)
+  stats : stats;
+}
+
+let dummy_lit = Lit.of_var 0
+
+let dummy_clause = { lits = [||]; cla_act = 0.0; learnt = false; removed = true }
+
+let var_decay = 1.0 /. 0.95
+let clause_decay = 1.0 /. 0.999
+
+let create () =
+  let solver =
+    {
+      clauses = Vec.create ~dummy:dummy_clause;
+      learnts = Vec.create ~dummy:dummy_clause;
+      assigns = Array.make 16 (-1);
+      level = Array.make 16 (-1);
+      reason = Array.make 16 None;
+      watches = Array.init 32 (fun _ -> Vec.create ~dummy:dummy_clause);
+      trail = Vec.create ~dummy:dummy_lit;
+      trail_lim = Vec.create ~dummy:0;
+      qhead = 0;
+      activity = Array.make 16 0.0;
+      polarity = Array.make 16 false;
+      order = ref (Heap.create (fun _ _ -> false));
+      var_inc = 1.0;
+      cla_inc = 1.0;
+      seen = Array.make 16 false;
+      nvars = 0;
+      ok = true;
+      model = [||];
+      stats =
+        {
+          conflicts = 0;
+          decisions = 0;
+          propagations = 0;
+          restarts = 0;
+          learnts_literals = 0;
+          max_vars = 0;
+        };
+    }
+  in
+  (* The heap ordering must read the *current* activity array, which is
+     replaced on growth; hence it goes through the record field. *)
+  solver.order :=
+    Heap.create (fun x y -> solver.activity.(x) > solver.activity.(y));
+  solver
+
+let n_vars t = t.nvars
+
+let ensure_var_capacity t n =
+  let cap = Array.length t.assigns in
+  if n > cap then begin
+    let cap' = max n (2 * cap) in
+    let grow_int a fill =
+      let a' = Array.make cap' fill in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    t.assigns <- grow_int t.assigns (-1);
+    t.level <- grow_int t.level (-1);
+    let reason' = Array.make cap' None in
+    Array.blit t.reason 0 reason' 0 cap;
+    t.reason <- reason';
+    let act' = Array.make cap' 0.0 in
+    Array.blit t.activity 0 act' 0 cap;
+    t.activity <- act';
+    let pol' = Array.make cap' false in
+    Array.blit t.polarity 0 pol' 0 cap;
+    t.polarity <- pol';
+    let seen' = Array.make cap' false in
+    Array.blit t.seen 0 seen' 0 cap;
+    t.seen <- seen';
+    let w' = Array.init (2 * cap') (fun _ -> Vec.create ~dummy:dummy_clause) in
+    Array.blit t.watches 0 w' 0 (2 * cap);
+    t.watches <- w'
+  end
+
+let new_var t =
+  let v = t.nvars in
+  ensure_var_capacity t (v + 1);
+  t.nvars <- v + 1;
+  t.stats.max_vars <- t.nvars;
+  Heap.insert !(t.order) v;
+  v
+
+(* Value of a literal: -1 undef, 0 false, 1 true. *)
+let value_lit t l =
+  let v = t.assigns.(Lit.var l) in
+  if v < 0 then -1 else v lxor ((l :> int) land 1)
+
+
+let decision_level t = Vec.size t.trail_lim
+
+let watch_list t (l : Lit.t) = t.watches.((l :> int))
+
+let enqueue t l reason =
+  t.assigns.(Lit.var l) <- (if Lit.sign l then 1 else 0);
+  t.level.(Lit.var l) <- decision_level t;
+  t.reason.(Lit.var l) <- reason;
+  Vec.push t.trail l
+
+(* Two-watched-literal unit propagation.  Returns the conflicting clause if
+   a conflict was found.  Invariant: a clause watches its first two
+   literals; watch lists are keyed by the watched literal itself, and are
+   visited when that literal becomes false. *)
+let propagate t =
+  let conflict = ref None in
+  while !conflict = None && t.qhead < Vec.size t.trail do
+    let p = Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    t.stats.propagations <- t.stats.propagations + 1;
+    let false_lit = Lit.neg p in
+    let ws = watch_list t false_lit in
+    let n = Vec.size ws in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let c = Vec.unsafe_get ws !i in
+      incr i;
+      if c.removed then () (* drop lazily *)
+      else if !conflict <> None then begin
+        (* conflict found: keep the remaining watchers *)
+        Vec.unsafe_set ws !j c;
+        incr j
+      end
+      else begin
+        (* Make sure the false literal is at position 1. *)
+        let lits = c.lits in
+        if Lit.equal (Array.unsafe_get lits 0) false_lit then begin
+          Array.unsafe_set lits 0 (Array.unsafe_get lits 1);
+          Array.unsafe_set lits 1 false_lit
+        end;
+        let first = Array.unsafe_get lits 0 in
+        if value_lit t first = 1 then begin
+          (* Clause already satisfied: keep the watch. *)
+          Vec.unsafe_set ws !j c;
+          incr j
+        end
+        else begin
+          (* Look for a new literal to watch. *)
+          let len = Array.length lits in
+          let k = ref 2 in
+          while !k < len && value_lit t (Array.unsafe_get lits !k) = 0 do
+            incr k
+          done;
+          if !k < len then begin
+            (* Relocate the watch. *)
+            Array.unsafe_set lits 1 (Array.unsafe_get lits !k);
+            Array.unsafe_set lits !k false_lit;
+            Vec.push (watch_list t (Array.unsafe_get lits 1)) c
+          end
+          else begin
+            (* Clause is unit or conflicting. *)
+            Vec.unsafe_set ws !j c;
+            incr j;
+            if value_lit t first = 0 then conflict := Some c
+            else enqueue t first (Some c)
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !conflict
+
+let var_bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 0 to t.nvars - 1 do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  Heap.update !(t.order) v
+
+let var_decay_activity t = t.var_inc <- t.var_inc *. var_decay
+
+let clause_bump t c =
+  c.cla_act <- c.cla_act +. t.cla_inc;
+  if c.cla_act > 1e20 then begin
+    Vec.iter (fun c -> c.cla_act <- c.cla_act *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let clause_decay_activity t = t.cla_inc <- t.cla_inc *. clause_decay
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = Vec.get t.trail_lim lvl in
+    for i = Vec.size t.trail - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      t.assigns.(v) <- -1;
+      t.reason.(v) <- None;
+      t.polarity.(v) <- Lit.sign l;
+      if not (Heap.mem !(t.order) v) then Heap.insert !(t.order) v
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim lvl;
+    t.qhead <- Vec.size t.trail
+  end
+
+(* First-UIP conflict analysis.  Returns the learnt clause (asserting
+   literal first) and the backjump level. *)
+let analyze t confl =
+  let learnt = ref [] in
+  let pathc = ref 0 in
+  let index = ref (Vec.size t.trail - 1) in
+  let p = ref None in
+  let c = ref confl in
+  let seen_vars = ref [] in
+  let dl = decision_level t in
+  let continue = ref true in
+  while !continue do
+    let cl = !c in
+    if cl.learnt then clause_bump t cl;
+    let start = if !p = None then 0 else 1 in
+    for j = start to Array.length cl.lits - 1 do
+      let q = cl.lits.(j) in
+      let v = Lit.var q in
+      if (not t.seen.(v)) && t.level.(v) > 0 then begin
+        t.seen.(v) <- true;
+        seen_vars := v :: !seen_vars;
+        var_bump t v;
+        if t.level.(v) >= dl then incr pathc
+        else learnt := q :: !learnt
+      end
+    done;
+    (* Find the next seen literal on the trail. *)
+    while not t.seen.(Lit.var (Vec.get t.trail !index)) do
+      decr index
+    done;
+    let pl = Vec.get t.trail !index in
+    decr index;
+    t.seen.(Lit.var pl) <- false;
+    decr pathc;
+    if !pathc = 0 then begin
+      p := Some pl;
+      continue := false
+    end
+    else begin
+      p := Some pl;
+      match t.reason.(Lit.var pl) with
+      | Some r -> c := r
+      | None ->
+        (* A decision variable other than the UIP cannot be reached with
+           pathc > 0. *)
+        assert false
+    end
+  done;
+  (* Clause minimization (local): a non-UIP literal is redundant when its
+     reason clause's other literals are all already in the clause (seen) or
+     fixed at level 0. *)
+  let redundant q =
+    match t.reason.(Lit.var q) with
+    | None -> false
+    | Some r ->
+      let ok = ref true in
+      Array.iter
+        (fun l ->
+          let v = Lit.var l in
+          if v <> Lit.var q && (not t.seen.(v)) && t.level.(v) > 0 then
+            ok := false)
+        r.lits;
+      !ok
+  in
+  let learnt = List.filter (fun q -> not (redundant q)) !learnt in
+  let btlevel =
+    List.fold_left (fun acc q -> max acc t.level.(Lit.var q)) 0 learnt
+  in
+  List.iter (fun v -> t.seen.(v) <- false) !seen_vars;
+  let uip =
+    match !p with
+    | Some pl -> Lit.neg pl
+    | None -> assert false
+  in
+  let lits = Array.of_list (uip :: learnt) in
+  (* Put a literal of the backjump level at position 1 so the watches are
+     valid after backjumping. *)
+  if Array.length lits > 1 then begin
+    let max_i = ref 1 in
+    for i = 2 to Array.length lits - 1 do
+      if t.level.(Lit.var lits.(i)) > t.level.(Lit.var lits.(!max_i)) then
+        max_i := i
+    done;
+    let tmp = lits.(1) in
+    lits.(1) <- lits.(!max_i);
+    lits.(!max_i) <- tmp
+  end;
+  (lits, btlevel)
+
+let attach t c =
+  Vec.push (watch_list t c.lits.(0)) c;
+  Vec.push (watch_list t c.lits.(1)) c
+
+let record_learnt t lits =
+  if Array.length lits = 1 then enqueue t lits.(0) None
+  else begin
+    let c = { lits; cla_act = 0.0; learnt = true; removed = false } in
+    attach t c;
+    Vec.push t.learnts c;
+    clause_bump t c;
+    t.stats.learnts_literals <- t.stats.learnts_literals + Array.length lits;
+    enqueue t lits.(0) (Some c)
+  end
+
+(* Add a problem clause.  Only legal at decision level 0 (the MaxSAT driver
+   always backtracks before adding constraints). *)
+let add_clause t (lits : Lit.t list) =
+  assert (decision_level t = 0);
+  if t.ok then begin
+    List.iter (fun l -> ensure_var_capacity t (Lit.var l + 1)) lits;
+    List.iter
+      (fun l ->
+        if Lit.var l >= t.nvars then
+          invalid_arg "Solver.add_clause: unknown variable")
+      lits;
+    (* Simplify: drop duplicates and false literals; detect tautologies and
+       satisfied clauses. *)
+    let sorted = List.sort_uniq Lit.compare lits in
+    let tautology =
+      List.exists (fun l -> List.exists (Lit.equal (Lit.neg l)) sorted) sorted
+    in
+    let satisfied = List.exists (fun l -> value_lit t l = 1) sorted in
+    if not (tautology || satisfied) then begin
+      let remaining = List.filter (fun l -> value_lit t l <> 0) sorted in
+      match remaining with
+      | [] -> t.ok <- false
+      | [ l ] ->
+        enqueue t l None;
+        if propagate t <> None then t.ok <- false
+      | _ :: _ :: _ ->
+        let c =
+          {
+            lits = Array.of_list remaining;
+            cla_act = 0.0;
+            learnt = false;
+            removed = false;
+          }
+        in
+        attach t c;
+        Vec.push t.clauses c
+    end
+  end
+
+let locked t c =
+  Array.length c.lits > 0
+  &&
+  let v = Lit.var c.lits.(0) in
+  value_lit t c.lits.(0) = 1
+  && match t.reason.(v) with Some r -> r == c | None -> false
+
+(* Drop the less-active half of the learnt clauses (binary and locked
+   clauses are always kept).  Removed clauses are detached lazily by
+   [propagate]. *)
+let reduce_db t =
+  let n = Vec.size t.learnts in
+  Vec.sort (fun a b -> Float.compare a.cla_act b.cla_act) t.learnts;
+  let kept = Vec.create ~dummy:dummy_clause in
+  Vec.iteri
+    (fun i c ->
+      let keep = Array.length c.lits <= 2 || locked t c || i >= n / 2 in
+      if keep then Vec.push kept c else c.removed <- true)
+    t.learnts;
+  Vec.clear t.learnts;
+  Vec.iter (fun c -> Vec.push t.learnts c) kept
+
+(* Luby restart sequence. *)
+let luby y i =
+  let rec size_seq sz seq = if sz < i + 1 then size_seq ((2 * sz) + 1) (seq + 1) else (sz, seq) in
+  let rec loop sz seq i =
+    if sz - 1 = i then (y ** float_of_int seq)
+    else
+      let sz' = (sz - 1) / 2 in
+      let seq' = seq - 1 in
+      loop sz' seq' (i mod sz')
+  in
+  let sz, seq = size_seq 1 0 in
+  loop sz seq i
+
+exception Found_result of result
+
+(* Compute the subset of assumptions responsible for the falsification of
+   assumption [p] (MiniSat's analyzeFinal): walk the trail backwards from
+   the top, expanding reasons of marked variables; assumption decisions
+   (reason-free, below the real decision levels) that are reached belong
+   to the final conflict clause. *)
+let analyze_final t p =
+  let core = ref [ p ] in
+  if decision_level t > 0 then begin
+    t.seen.(Lit.var p) <- true;
+    let bottom = Vec.get t.trail_lim 0 in
+    for i = Vec.size t.trail - 1 downto bottom do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      if t.seen.(v) then begin
+        (match t.reason.(v) with
+        | None -> core := l :: !core
+        | Some c ->
+          Array.iter
+            (fun q -> if t.level.(Lit.var q) > 0 then t.seen.(Lit.var q) <- true)
+            c.lits);
+        t.seen.(v) <- false
+      end
+    done;
+    t.seen.(Lit.var p) <- false
+  end;
+  List.sort_uniq Lit.compare !core
+
+let solve_with_core ?(assumptions = []) ?deadline t =
+  if not t.ok then (Unsat, [])
+  else begin
+    let core = ref [] in
+    let assumptions = Array.of_list assumptions in
+    cancel_until t 0;
+    let restarts = ref 0 in
+    let result = ref Unknown in
+    let deadline_exceeded () =
+      match deadline with
+      | None -> false
+      | Some d -> Unix.gettimeofday () > d
+    in
+    (try
+       if propagate t <> None then begin
+         t.ok <- false;
+         raise (Found_result Unsat)
+       end;
+       while true do
+         let restart_budget =
+           int_of_float (100.0 *. luby 2.0 !restarts)
+         in
+         let conflicts_here = ref 0 in
+         let restart = ref false in
+         while not !restart do
+           match propagate t with
+           | Some confl ->
+             t.stats.conflicts <- t.stats.conflicts + 1;
+             incr conflicts_here;
+             if decision_level t = 0 then begin
+               t.ok <- false;
+               raise (Found_result Unsat)
+             end;
+             let lits, btlevel = analyze t confl in
+             cancel_until t btlevel;
+             record_learnt t lits;
+             var_decay_activity t;
+             clause_decay_activity t;
+             if t.stats.conflicts land 511 = 0 && deadline_exceeded () then
+               raise (Found_result Unknown);
+             if !conflicts_here >= restart_budget then begin
+               restart := true;
+               incr restarts;
+               t.stats.restarts <- t.stats.restarts + 1;
+               cancel_until t 0
+             end
+           | None ->
+             if
+               Vec.size t.learnts - Vec.size t.trail
+               > max 8000 (Vec.size t.clauses / 2) + (500 * !restarts)
+             then reduce_db t;
+             if decision_level t < Array.length assumptions then begin
+               (* Decide the next assumption. *)
+               let a = assumptions.(decision_level t) in
+               if Lit.var a >= t.nvars then
+                 invalid_arg "Solver.solve: unknown assumption variable";
+               match value_lit t a with
+               | 1 -> Vec.push t.trail_lim (Vec.size t.trail)
+               | 0 ->
+                 core := analyze_final t a;
+                 raise (Found_result Unsat)
+               | _ ->
+                 Vec.push t.trail_lim (Vec.size t.trail);
+                 enqueue t a None
+             end
+             else begin
+               t.stats.decisions <- t.stats.decisions + 1;
+               if t.stats.decisions land 4095 = 0 && deadline_exceeded ()
+               then raise (Found_result Unknown);
+               (* Pick an unassigned variable with maximal activity. *)
+               let v = ref (-1) in
+               while !v < 0 && not (Heap.is_empty !(t.order)) do
+                 let cand = Heap.remove_min !(t.order) in
+                 if t.assigns.(cand) < 0 then v := cand
+               done;
+               if !v < 0 then begin
+                 (* All variables assigned: model found. *)
+                 t.model <- Array.sub t.assigns 0 t.nvars;
+                 raise (Found_result Sat)
+               end;
+               Vec.push t.trail_lim (Vec.size t.trail);
+               enqueue t (Lit.of_var ~sign:t.polarity.(!v) !v) None
+             end
+         done
+       done
+     with Found_result r -> result := r);
+    cancel_until t 0;
+    (!result, !core)
+  end
+
+let solve ?assumptions ?deadline t =
+  fst (solve_with_core ?assumptions ?deadline t)
+
+(* Initial phase hint: the next time [v] is picked as a decision with no
+   saved phase overriding it, assign it [b].  Phase saving updates this on
+   backtracking, so hints mostly shape the first descent. *)
+let set_polarity t v b =
+  if v < 0 || v >= t.nvars then invalid_arg "Solver.set_polarity";
+  t.polarity.(v) <- b
+
+let model_value t v =
+  if v < 0 || v >= Array.length t.model then
+    invalid_arg "Solver.model_value";
+  t.model.(v) = 1
+
+let stats t = t.stats
+
+let ok t = t.ok
+
+let n_clauses t = Vec.size t.clauses
+
+let n_learnts t = Vec.size t.learnts

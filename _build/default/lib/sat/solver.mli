@@ -1,0 +1,63 @@
+(** A CDCL SAT solver (MiniSat lineage).
+
+    Features: two-watched-literal propagation, first-UIP clause learning,
+    VSIDS decision heuristic, phase saving, Luby restarts, learnt-clause
+    deletion, incremental solving under assumptions, and wall-clock
+    deadlines (for anytime MaxSAT). *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable learnts_literals : int;
+  mutable max_vars : int;
+}
+
+val create : unit -> t
+
+val new_var : t -> Lit.var
+(** Allocate a fresh variable (numbered consecutively from 0). *)
+
+val n_vars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a problem clause.  Must only be called between [solve] calls (the
+    solver is at decision level 0 then).  Adding the empty clause (or a
+    clause falsified at level 0) makes the solver permanently unsat. *)
+
+val solve : ?assumptions:Lit.t list -> ?deadline:float -> t -> result
+(** Solve the current clause set.  [assumptions] are temporarily-forced
+    literals; [Unsat] under assumptions does not poison the solver.
+    [deadline] is an absolute [Unix.gettimeofday] instant after which the
+    search gives up and returns [Unknown]. *)
+
+val solve_with_core :
+  ?assumptions:Lit.t list -> ?deadline:float -> t -> result * Lit.t list
+(** Like [solve]; on [Unsat] under assumptions additionally returns an
+    unsatisfiable core — a subset of the assumptions that already
+    conflicts with the clause set (empty when the clauses alone are
+    unsat).  The core is the final-conflict set, not guaranteed minimal. *)
+
+val set_polarity : t -> Lit.var -> bool -> unit
+(** Set the initial decision phase of a variable (e.g. bias soft-clause
+    literals towards satisfaction so the first model is already cheap). *)
+
+val model_value : t -> Lit.var -> bool
+(** Value of a variable in the most recent satisfying model.  Only
+    meaningful right after [solve] returned [Sat]. *)
+
+val value_lit : t -> Lit.t -> int
+(** Current assignment of a literal: -1 undefined, 0 false, 1 true.  At
+    decision level 0 this exposes the roots implied by the clause set. *)
+
+val ok : t -> bool
+(** [false] once the clause set has been proved unsat at level 0. *)
+
+val stats : t -> stats
+val n_clauses : t -> int
+val n_learnts : t -> int

@@ -1,0 +1,1 @@
+lib/workloads/generators.ml: Float List Quantum Rng

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Array Float Generators List Printf Quantum Rng

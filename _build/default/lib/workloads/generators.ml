@@ -1,0 +1,143 @@
+(* Structured circuit generators.
+
+   The paper's 160 benchmarks come from RevLib (reversible arithmetic),
+   Quipper and ScaffoldCC exports — circuits with structured, mostly local
+   interaction patterns.  These generators produce the classic structured
+   families (GHZ, QFT, ripple-carry adders, Bernstein-Vazirani, Toffoli
+   ladders, hidden-weight blocks) plus controlled-randomness families used
+   to fill out the size distribution. *)
+
+let cx = Quantum.Gate.cx
+
+(* GHZ state preparation: H then a CNOT chain. *)
+let ghz n =
+  if n < 2 then invalid_arg "Generators.ghz";
+  Quantum.Circuit.create ~n_qubits:n
+    (Quantum.Gate.h 0 :: List.init (n - 1) (fun i -> cx i (i + 1)))
+
+(* Quantum Fourier transform: H + controlled-phase ladder (CZ-based). *)
+let qft n =
+  if n < 2 then invalid_arg "Generators.qft";
+  let gates = ref [] in
+  for i = 0 to n - 1 do
+    gates := Quantum.Gate.h i :: !gates;
+    for j = i + 1 to n - 1 do
+      let angle = Float.pi /. Float.of_int (1 lsl (j - i)) in
+      (* controlled-phase decomposed into a CZ-like two-qubit gate *)
+      gates := Quantum.Gate.two (Quantum.Gate.Rzz angle) j i :: !gates
+    done
+  done;
+  Quantum.Circuit.create ~n_qubits:n (List.rev !gates)
+
+(* Cuccaro-style ripple-carry adder skeleton on 2k+2 qubits: the two-qubit
+   gate pattern (MAJ / UMA blocks flattened to CNOTs + Toffoli
+   decompositions are approximated by their CNOT skeletons). *)
+let ripple_adder bits =
+  if bits < 1 then invalid_arg "Generators.ripple_adder";
+  let n = (2 * bits) + 2 in
+  let a i = 1 + (2 * i) in
+  let b i = 2 + (2 * i) in
+  let carry_in = 0 in
+  let carry_out = n - 1 in
+  let gates = ref [] in
+  let add g = gates := g :: !gates in
+  let maj x y z =
+    add (cx z y);
+    add (cx z x);
+    (* Toffoli x,y -> z skeleton *)
+    add (cx y z);
+    add (cx x z)
+  in
+  let uma x y z =
+    add (cx x z);
+    add (cx y z);
+    add (cx z y);
+    add (cx z x)
+  in
+  maj carry_in (b 0) (a 0);
+  for i = 1 to bits - 1 do
+    maj (a (i - 1)) (b i) (a i)
+  done;
+  add (cx (a (bits - 1)) carry_out);
+  for i = bits - 1 downto 1 do
+    uma (a (i - 1)) (b i) (a i)
+  done;
+  uma carry_in (b 0) (a 0);
+  Quantum.Circuit.create ~n_qubits:n (List.rev !gates)
+
+(* Bernstein-Vazirani with a dense secret: CNOT fan-in to the target. *)
+let bernstein_vazirani n =
+  if n < 2 then invalid_arg "Generators.bernstein_vazirani";
+  let target = n - 1 in
+  Quantum.Circuit.create ~n_qubits:n
+    (List.concat
+       [
+         List.init n Quantum.Gate.h;
+         List.init (n - 1) (fun i -> cx i target);
+         List.init (n - 1) Quantum.Gate.h;
+       ])
+
+(* Toffoli ladder: chained CCX decomposed into the standard 6-CNOT
+   skeleton. *)
+let toffoli_chain n =
+  if n < 3 then invalid_arg "Generators.toffoli_chain";
+  let gates = ref [] in
+  let add g = gates := g :: !gates in
+  for i = 0 to n - 3 do
+    let a = i and b = i + 1 and c = i + 2 in
+    add (cx b c);
+    add (cx a c);
+    add (cx b c);
+    add (cx a c);
+    add (cx a b);
+    add (cx a b)
+  done;
+  Quantum.Circuit.create ~n_qubits:n (List.rev !gates)
+
+(* Hardware-efficient ansatz: layered nearest-neighbour entangling blocks
+   with single-qubit rotations (typical variational workloads). *)
+let hea ~n ~layers =
+  if n < 2 || layers < 1 then invalid_arg "Generators.hea";
+  let gates = ref [] in
+  let add g = gates := g :: !gates in
+  for l = 0 to layers - 1 do
+    for q = 0 to n - 1 do
+      add (Quantum.Gate.one (Quantum.Gate.Ry (0.1 +. (0.2 *. float_of_int (l + q)))) q)
+    done;
+    let start = l mod 2 in
+    let q = ref start in
+    while !q + 1 < n do
+      add (cx !q (!q + 1));
+      q := !q + 2
+    done
+  done;
+  Quantum.Circuit.create ~n_qubits:n (List.rev !gates)
+
+(* Random reversible block with locality bias: each CNOT picks its second
+   qubit near the first with geometric decay, mimicking the local
+   structure of synthesised reversible arithmetic. *)
+let local_random rng ~n ~gates:n_gates ~locality =
+  if n < 2 then invalid_arg "Generators.local_random";
+  let pick_pair () =
+    let a = Rng.int rng n in
+    let rec offset () =
+      let o = 1 + Rng.int rng (max 1 (n - 1)) in
+      if Rng.float rng < locality ** float_of_int (o - 1) then o else offset ()
+    in
+    let o = offset () in
+    let b = (a + o) mod n in
+    (a, b)
+  in
+  Quantum.Circuit.create ~n_qubits:n
+    (List.init n_gates (fun _ ->
+         let a, b = pick_pair () in
+         cx a b))
+
+(* Fully random CNOT circuit (the adversarial end of the spectrum). *)
+let uniform_random rng ~n ~gates:n_gates =
+  if n < 2 then invalid_arg "Generators.uniform_random";
+  Quantum.Circuit.create ~n_qubits:n
+    (List.init n_gates (fun _ ->
+         let a = Rng.int rng n in
+         let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+         cx a b))

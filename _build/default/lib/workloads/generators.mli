@@ -1,0 +1,18 @@
+(** Structured circuit generators (GHZ, QFT, adders, BV, Toffoli ladders,
+    variational ansatz layers, locality-biased random blocks). *)
+
+val ghz : int -> Quantum.Circuit.t
+val qft : int -> Quantum.Circuit.t
+val ripple_adder : int -> Quantum.Circuit.t
+(** Cuccaro-style ripple-carry adder CNOT skeleton on [2*bits + 2] qubits. *)
+
+val bernstein_vazirani : int -> Quantum.Circuit.t
+val toffoli_chain : int -> Quantum.Circuit.t
+val hea : n:int -> layers:int -> Quantum.Circuit.t
+
+val local_random :
+  Rng.t -> n:int -> gates:int -> locality:float -> Quantum.Circuit.t
+(** Random CNOTs with geometric locality bias (structured-workload
+    stand-in); [locality] in (0, 1], larger = more local. *)
+
+val uniform_random : Rng.t -> n:int -> gates:int -> Quantum.Circuit.t

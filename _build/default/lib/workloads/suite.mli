@@ -1,0 +1,20 @@
+(** The synthetic 160-circuit benchmark suite (stand-in for the paper's
+    RevLib/Quipper/ScaffoldCC set; see DESIGN.md substitution #2). *)
+
+type benchmark = {
+  name : string;
+  family : string;
+  circuit : Quantum.Circuit.t;
+  n_qubits : int;
+  n_two_qubit : int;
+}
+
+val of_circuit :
+  name:string -> family:string -> Quantum.Circuit.t -> benchmark
+
+val suite_size : int
+val full : unit -> benchmark list
+val quick : ?n:int -> unit -> benchmark list
+val median_two_qubit : benchmark list -> int
+val truncate_two_qubit : Quantum.Circuit.t -> int -> Quantum.Circuit.t
+val sized : Quantum.Circuit.t -> int -> Quantum.Circuit.t

@@ -1,0 +1,276 @@
+(* Tests for the architecture layer: device graphs, distances, the Tokyo
+   family (Fig. 9 of the paper), and synthetic calibration. *)
+
+let tokyo = Arch.Topologies.tokyo ()
+let tokyo_minus = Arch.Topologies.tokyo_minus ()
+let tokyo_plus = Arch.Topologies.tokyo_plus ()
+
+(* ------------------------------------------------------------------ *)
+(* Device *)
+
+let test_device_basics () =
+  let d = Arch.Device.create ~name:"path" 3 [ (0, 1); (1, 2); (1, 0) ] in
+  Alcotest.(check int) "dedup edges" 2 (Arch.Device.n_edges d);
+  Alcotest.(check bool) "adjacent" true (Arch.Device.adjacent d 0 1);
+  Alcotest.(check bool) "not adjacent" false (Arch.Device.adjacent d 0 2);
+  Alcotest.(check bool) "not self adjacent" false (Arch.Device.adjacent d 1 1);
+  Alcotest.(check int) "distance" 2 (Arch.Device.distance d 0 2);
+  Alcotest.(check int) "diameter" 2 (Arch.Device.diameter d)
+
+let test_device_rejects_disconnected () =
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Device.create: connectivity graph is disconnected")
+    (fun () -> ignore (Arch.Device.create ~name:"bad" 4 [ (0, 1); (2, 3) ]))
+
+let test_device_rejects_self_loop () =
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Device.create: self loop") (fun () ->
+      ignore (Arch.Device.create ~name:"bad" 2 [ (0, 0); (0, 1) ]))
+
+let test_device_edge_index () =
+  let d = Arch.Device.create ~name:"path" 3 [ (0, 1); (1, 2) ] in
+  Alcotest.(check (option int)) "first" (Some 0) (Arch.Device.edge_index d (1, 0));
+  Alcotest.(check (option int)) "second" (Some 1) (Arch.Device.edge_index d (1, 2));
+  Alcotest.(check (option int)) "absent" None (Arch.Device.edge_index d (0, 2))
+
+(* ------------------------------------------------------------------ *)
+(* Topologies: the Tokyo family of Fig. 9 *)
+
+let test_tokyo_shape () =
+  Alcotest.(check int) "qubits" 20 (Arch.Device.n_qubits tokyo);
+  Alcotest.(check int) "edges" 43 (Arch.Device.n_edges tokyo);
+  Alcotest.(check int) "tokyo- edges" 31 (Arch.Device.n_edges tokyo_minus);
+  Alcotest.(check int) "tokyo+ edges" 55 (Arch.Device.n_edges tokyo_plus)
+
+let test_tokyo_degree_midpoint () =
+  (* The paper: Tokyo's average degree is exactly halfway between Tokyo+
+     and Tokyo-. *)
+  let avg d = Arch.Device.average_degree d in
+  Alcotest.(check (float 1e-9))
+    "midpoint"
+    ((avg tokyo_minus +. avg tokyo_plus) /. 2.0)
+    (avg tokyo)
+
+let test_tokyo_subgraphs () =
+  (* Every Tokyo- edge is in Tokyo, every Tokyo edge is in Tokyo+. *)
+  let subset a b =
+    List.for_all
+      (fun (x, y) -> Arch.Device.adjacent b x y)
+      (Arch.Device.edges a)
+  in
+  Alcotest.(check bool) "tokyo- < tokyo" true (subset tokyo_minus tokyo);
+  Alcotest.(check bool) "tokyo < tokyo+" true (subset tokyo tokyo_plus)
+
+let test_named_topologies () =
+  List.iter
+    (fun (name, qubits) ->
+      match Arch.Topologies.by_name name with
+      | Some d -> Alcotest.(check int) name qubits (Arch.Device.n_qubits d)
+      | None -> Alcotest.failf "unknown topology %s" name)
+    [
+      ("tokyo", 20);
+      ("tokyo-", 20);
+      ("tokyo+", 20);
+      ("heavy-hex-15", 15);
+      ("sycamore-20", 20);
+      ("melbourne-14", 14);
+      ("linear-7", 7);
+      ("ring-6", 6);
+      ("grid-3x4", 12);
+      ("complete-5", 5);
+    ];
+  Alcotest.(check bool) "unknown" true (Arch.Topologies.by_name "nope" = None)
+
+let test_sycamore_degrees () =
+  (* Diagonal grid: no qubit exceeds degree 4; the graph is connected
+     (checked by construction) and has the expected edge count. *)
+  let d = Arch.Topologies.sycamore_20 () in
+  for q = 0 to 19 do
+    Alcotest.(check bool) "degree <= 4" true (Arch.Device.degree d q <= 4)
+  done
+
+let test_to_dot () =
+  let d = Arch.Topologies.linear 3 in
+  let dot = Arch.Topologies.to_dot d in
+  Alcotest.(check bool) "header" true
+    (String.length dot > 0 && String.sub dot 0 5 = "graph");
+  Alcotest.(check bool) "edge 0-1" true
+    (let rec contains i =
+       i + 10 <= String.length dot
+       && (String.sub dot i 10 = "p0 -- p1;\n" || contains (i + 1))
+     in
+     contains 0)
+
+let test_linear_distances () =
+  let d = Arch.Topologies.linear 6 in
+  Alcotest.(check int) "end to end" 5 (Arch.Device.distance d 0 5);
+  Alcotest.(check int) "diameter" 5 (Arch.Device.diameter d)
+
+let test_complete_distances () =
+  let d = Arch.Topologies.complete 5 in
+  Alcotest.(check int) "diameter" 1 (Arch.Device.diameter d)
+
+(* ------------------------------------------------------------------ *)
+(* Distance properties *)
+
+let prop_distance_metric =
+  QCheck2.Test.make ~count:50 ~name:"BFS distances form a graph metric"
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      (* random connected graph: a path plus random chords *)
+      let n = 4 + Rng.int rng 8 in
+      let chords =
+        List.init (Rng.int rng 8) (fun _ ->
+            let a = Rng.int rng n and b = Rng.int rng n in
+            (a, b))
+        |> List.filter (fun (a, b) -> a <> b)
+      in
+      let edges = List.init (n - 1) (fun i -> (i, i + 1)) @ chords in
+      let d = Arch.Device.create ~name:"rand" n edges in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          let dab = Arch.Device.distance d a b in
+          if dab <> Arch.Device.distance d b a then ok := false;
+          if (dab = 0) <> (a = b) then ok := false;
+          if dab = 1 && not (Arch.Device.adjacent d a b) then ok := false;
+          for c = 0 to n - 1 do
+            if dab > Arch.Device.distance d a c + Arch.Device.distance d c b
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Calibration *)
+
+let test_calibration_ranges () =
+  let cal = Arch.Calibration.fake_tokyo () in
+  List.iter
+    (fun e ->
+      let err = Arch.Calibration.two_qubit_error cal e in
+      Alcotest.(check bool) "2q error in range" true (err >= 0.005 && err <= 0.04);
+      let f = Arch.Calibration.swap_fidelity cal e in
+      let c = Arch.Calibration.cnot_fidelity cal e in
+      Alcotest.(check (float 1e-9)) "swap = cnot^3" (c *. c *. c) f)
+    (Arch.Device.edges tokyo);
+  for q = 0 to 19 do
+    let e1 = Arch.Calibration.one_qubit_error cal q in
+    Alcotest.(check bool) "1q error in range" true (e1 >= 0.0002 && e1 <= 0.0017);
+    let r = Arch.Calibration.readout_error cal q in
+    Alcotest.(check bool) "readout in range" true (r >= 0.01 && r <= 0.07)
+  done
+
+let test_calibration_deterministic () =
+  let a = Arch.Calibration.fake_tokyo () in
+  let b = Arch.Calibration.fake_tokyo () in
+  List.iter
+    (fun e ->
+      Alcotest.(check (float 0.0))
+        "same error"
+        (Arch.Calibration.two_qubit_error a e)
+        (Arch.Calibration.two_qubit_error b e))
+    (Arch.Device.edges tokyo)
+
+let test_calibration_varies () =
+  let cal = Arch.Calibration.fake_tokyo () in
+  let errors =
+    List.map (Arch.Calibration.two_qubit_error cal) (Arch.Device.edges tokyo)
+  in
+  let distinct = List.sort_uniq compare errors in
+  Alcotest.(check bool) "edge errors vary" true (List.length distinct > 20)
+
+let test_log_weights () =
+  Alcotest.(check int) "perfect fidelity" 1 (Arch.Calibration.log_weight 1.0);
+  Alcotest.(check bool) "monotone" true
+    (Arch.Calibration.log_weight 0.9 > Arch.Calibration.log_weight 0.99);
+  Alcotest.check_raises "zero fidelity"
+    (Invalid_argument "Calibration.log_weight: fidelity out of (0, 1]")
+    (fun () -> ignore (Arch.Calibration.log_weight 0.0))
+
+let test_circuit_fidelity () =
+  let cal = Arch.Calibration.fake_tokyo () in
+  let edge = List.hd (Arch.Device.edges tokyo) in
+  let a, b = edge in
+  let c1 = Quantum.Circuit.create ~n_qubits:20 [ Quantum.Gate.cx a b ] in
+  let c2 =
+    Quantum.Circuit.create ~n_qubits:20
+      [ Quantum.Gate.cx a b; Quantum.Gate.swap a b ]
+  in
+  let f1 = Arch.Calibration.circuit_fidelity cal c1 in
+  let f2 = Arch.Calibration.circuit_fidelity cal c2 in
+  Alcotest.(check (float 1e-9)) "one gate" (Arch.Calibration.cnot_fidelity cal edge) f1;
+  Alcotest.(check bool) "swap lowers fidelity" true (f2 < f1)
+
+(* ------------------------------------------------------------------ *)
+(* Rng (lives here to avoid a separate tiny suite) *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10000 do
+    let x = Rng.int rng 13 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 13);
+    let f = Rng.float rng in
+    Alcotest.(check bool) "unit float" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "device",
+      [
+        Alcotest.test_case "basics" `Quick test_device_basics;
+        Alcotest.test_case "rejects disconnected" `Quick
+          test_device_rejects_disconnected;
+        Alcotest.test_case "rejects self loop" `Quick
+          test_device_rejects_self_loop;
+        Alcotest.test_case "edge index" `Quick test_device_edge_index;
+        qtest prop_distance_metric;
+      ] );
+    ( "topologies",
+      [
+        Alcotest.test_case "tokyo family shape" `Quick test_tokyo_shape;
+        Alcotest.test_case "tokyo degree midpoint" `Quick
+          test_tokyo_degree_midpoint;
+        Alcotest.test_case "tokyo subgraph chain" `Quick test_tokyo_subgraphs;
+        Alcotest.test_case "by_name" `Quick test_named_topologies;
+        Alcotest.test_case "sycamore degrees" `Quick test_sycamore_degrees;
+        Alcotest.test_case "dot export" `Quick test_to_dot;
+        Alcotest.test_case "linear distances" `Quick test_linear_distances;
+        Alcotest.test_case "complete distances" `Quick test_complete_distances;
+      ] );
+    ( "calibration",
+      [
+        Alcotest.test_case "ranges" `Quick test_calibration_ranges;
+        Alcotest.test_case "deterministic" `Quick test_calibration_deterministic;
+        Alcotest.test_case "varies across edges" `Quick test_calibration_varies;
+        Alcotest.test_case "log weights" `Quick test_log_weights;
+        Alcotest.test_case "circuit fidelity" `Quick test_circuit_fidelity;
+      ] );
+    ( "rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "shuffle is a permutation" `Quick
+          test_rng_shuffle_permutation;
+      ] );
+  ]
+
+let () = Alcotest.run "arch" suite

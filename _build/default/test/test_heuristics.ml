@@ -1,0 +1,342 @@
+(* Tests for the heuristic routers (SABRE, tket-like, A-star) and the
+   constraint-based baselines (EX-MQT-like, TB-OLSQ-like): every router
+   must produce verified routings, and on tiny instances the optimal tools
+   must match the brute-force optimum while heuristics must not beat it. *)
+
+let cx = Quantum.Gate.cx
+let line n = Arch.Topologies.linear n
+let tokyo = Arch.Topologies.tokyo ()
+
+let random_circuit seed ~n ~gates ~locality =
+  let rng = Rng.create seed in
+  Workloads.Generators.local_random rng ~n ~gates ~locality
+
+(* Minimal brute-force optimum for cross-checking small instances: BFS on
+   (step, map) states (duplicated from test_satmap deliberately — tests
+   should not share helper code with each other or the library). *)
+let brute_optimal_swaps device circuit =
+  let steps =
+    Array.of_list
+      (List.map (fun (_, q, q') -> (q, q')) (Quantum.Circuit.two_qubit_gates circuit))
+  in
+  let n_log = Quantum.Circuit.n_qubits circuit in
+  let n_phys = Arch.Device.n_qubits device in
+  if Array.length steps = 0 then 0
+  else begin
+    let rec maps chosen free k =
+      if k = n_log then [ Array.of_list (List.rev chosen) ]
+      else
+        List.concat_map
+          (fun p -> maps (p :: chosen) (List.filter (( <> ) p) free) (k + 1))
+          free
+    in
+    let visited = Hashtbl.create 1024 in
+    let frontier = ref [] in
+    List.iter
+      (fun m ->
+        let rec exec i m =
+          if
+            i < Array.length steps
+            &&
+            let q, q' = steps.(i) in
+            Arch.Device.adjacent device m.(q) m.(q')
+          then exec (i + 1) m
+          else (i, m)
+        in
+        let s = exec 0 m in
+        let k = (fst s, Array.to_list (snd s)) in
+        if not (Hashtbl.mem visited k) then begin
+          Hashtbl.replace visited k ();
+          frontier := s :: !frontier
+        end)
+      (maps [] (List.init n_phys Fun.id) 0);
+    let cost = ref 0 in
+    let result = ref None in
+    while !result = None do
+      if List.exists (fun (i, _) -> i = Array.length steps) !frontier then
+        result := Some !cost
+      else begin
+        incr cost;
+        let next = ref [] in
+        List.iter
+          (fun (i, m) ->
+            List.iter
+              (fun (a, b) ->
+                let m' =
+                  Array.map
+                    (fun p -> if p = a then b else if p = b then a else p)
+                    m
+                in
+                let rec exec i m =
+                  if
+                    i < Array.length steps
+                    &&
+                    let q, q' = steps.(i) in
+                    Arch.Device.adjacent device m.(q) m.(q')
+                  then exec (i + 1) m
+                  else (i, m)
+                in
+                let s = exec i m' in
+                let k = (fst s, Array.to_list (snd s)) in
+                if not (Hashtbl.mem visited k) then begin
+                  Hashtbl.replace visited k ();
+                  next := s :: !next
+                end)
+              (Arch.Device.edges device))
+          !frontier;
+        frontier := !next;
+        if !frontier = [] then failwith "brute: exhausted"
+      end
+    done;
+    Option.get !result
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Generic router properties *)
+
+let routers =
+  [
+    ("sabre", fun d c -> Heuristics.Sabre.route d c);
+    ("tket", fun d c -> Heuristics.Tket_route.route d c);
+    ("astar", fun d c -> Heuristics.Astar_route.route d c);
+  ]
+
+let check_verified name device circuit routed =
+  match Satmap.Verifier.check ~original:circuit routed with
+  | [] -> ()
+  | failures ->
+    Alcotest.failf "%s on %s: %s" name (Arch.Device.name device)
+      (String.concat "; "
+         (List.map Satmap.Verifier.failure_to_string failures))
+
+let test_heuristics_verified_small () =
+  List.iter
+    (fun (name, route) ->
+      for seed = 0 to 4 do
+        let circuit = random_circuit seed ~n:5 ~gates:12 ~locality:0.7 in
+        let device = line 6 in
+        check_verified name device circuit (route device circuit)
+      done)
+    routers
+
+let test_heuristics_verified_tokyo () =
+  List.iter
+    (fun (name, route) ->
+      for seed = 10 to 12 do
+        let circuit = random_circuit seed ~n:12 ~gates:40 ~locality:0.6 in
+        check_verified name tokyo circuit (route tokyo circuit)
+      done)
+    routers
+
+let test_heuristics_with_one_qubit_gates () =
+  (* Interleave 1q gates and measures; emission must respect per-qubit
+     dependency order. *)
+  let circuit =
+    Quantum.Circuit.create ~n_qubits:4 ~n_clbits:4
+      [
+        Quantum.Gate.h 0;
+        cx 0 1;
+        Quantum.Gate.one Quantum.Gate.T 1;
+        cx 1 2;
+        Quantum.Gate.h 2;
+        cx 2 3;
+        cx 0 3;
+        Quantum.Gate.Measure { qubit = 3; clbit = 3 };
+      ]
+  in
+  List.iter
+    (fun (name, route) ->
+      check_verified name (line 4) circuit (route (line 4) circuit))
+    routers
+
+let test_heuristics_zero_swap_when_trivially_mappable () =
+  (* A nearest-neighbour chain circuit fits any line with zero swaps; all
+     heuristics should find that. *)
+  let circuit =
+    Quantum.Circuit.create ~n_qubits:5
+      [ cx 0 1; cx 1 2; cx 2 3; cx 3 4 ]
+  in
+  List.iter
+    (fun (name, route) ->
+      let r = route (line 5) circuit in
+      Alcotest.(check int) (name ^ " zero swaps") 0 (Satmap.Routed.n_swaps r))
+    routers
+
+let prop_heuristics_never_beat_brute =
+  QCheck2.Test.make ~count:10
+    ~name:"heuristic cost >= brute-force optimal cost"
+    QCheck2.Gen.(int_range 0 500)
+    (fun seed ->
+      let circuit = random_circuit seed ~n:3 ~gates:4 ~locality:0.8 in
+      let device = line 4 in
+      let opt = brute_optimal_swaps device circuit in
+      List.for_all
+        (fun (_, route) ->
+          let r = route device circuit in
+          Satmap.Routed.n_swaps r >= opt
+          && Satmap.Verifier.is_valid ~original:circuit r)
+        routers)
+
+let test_sabre_trials_improve_or_equal () =
+  let circuit = random_circuit 77 ~n:8 ~gates:25 ~locality:0.6 in
+  let route trials =
+    Heuristics.Sabre.route
+      ~config:{ Heuristics.Sabre.default_config with trials }
+      tokyo circuit
+  in
+  let one = Satmap.Routed.n_swaps (route 1) in
+  let many = Satmap.Routed.n_swaps (route 8) in
+  Alcotest.(check bool) "more trials never worse" true (many <= one)
+
+let test_sabre_reverse_circuit () =
+  let c = Quantum.Circuit.create ~n_qubits:3 [ cx 0 1; Quantum.Gate.h 0; cx 1 2 ] in
+  let r = Heuristics.Sabre.reverse_circuit c in
+  Alcotest.(check int) "same length" 3 (Quantum.Circuit.length r);
+  match Quantum.Circuit.gate r 0 with
+  | Quantum.Gate.Two { control = 1; target = 2; _ } -> ()
+  | _ -> Alcotest.fail "not reversed"
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid: optimal mapping + heuristic routing (the paper's future-work
+   avenue) *)
+
+let test_hybrid_verified () =
+  for seed = 0 to 4 do
+    let circuit = random_circuit (300 + seed) ~n:8 ~gates:30 ~locality:0.6 in
+    let r = Heuristics.Hybrid.route tokyo circuit in
+    check_verified "hybrid" tokyo circuit r
+  done
+
+let test_hybrid_zero_swap_cases () =
+  (* A circuit whose interaction graph embeds in the device must be
+     routed with zero swaps: the mapping stage can satisfy every pair. *)
+  let circuit =
+    Quantum.Circuit.create ~n_qubits:5
+      [ cx 0 1; cx 1 2; cx 2 3; cx 3 4; cx 0 1; cx 2 3 ]
+  in
+  let r = Heuristics.Hybrid.route (line 5) circuit in
+  Alcotest.(check int) "zero swaps" 0 (Satmap.Routed.n_swaps r)
+
+let test_hybrid_scales_past_monolithic () =
+  (* On a long circuit the monolithic encoding exceeds its budget while
+     the hybrid pipeline finishes fast — the point of the extension. *)
+  let circuit = random_circuit 55 ~n:14 ~gates:400 ~locality:0.6 in
+  let t0 = Unix.gettimeofday () in
+  let r = Heuristics.Hybrid.route tokyo circuit in
+  let dt = Unix.gettimeofday () -. t0 in
+  check_verified "hybrid" tokyo circuit r;
+  Alcotest.(check bool) "fast on 400 gates" true (dt < 30.0)
+
+let test_hybrid_beats_or_matches_plain_sabre_sometimes () =
+  (* Not a guarantee, but across a small sample the constraint-based
+     placement should not be wildly worse than SABRE's own. *)
+  let total_hybrid = ref 0 and total_sabre = ref 0 in
+  for seed = 0 to 4 do
+    let circuit = random_circuit (400 + seed) ~n:10 ~gates:40 ~locality:0.6 in
+    total_hybrid :=
+      !total_hybrid + Satmap.Routed.n_swaps (Heuristics.Hybrid.route tokyo circuit);
+    total_sabre :=
+      !total_sabre + Satmap.Routed.n_swaps (Heuristics.Sabre.route tokyo circuit)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid %d vs sabre %d" !total_hybrid !total_sabre)
+    true
+    (float_of_int !total_hybrid <= 1.5 *. float_of_int !total_sabre)
+
+(* ------------------------------------------------------------------ *)
+(* Constraint-based baselines *)
+
+let test_ex_mqt_optimal_small () =
+  let device = line 4 in
+  for seed = 0 to 2 do
+    let circuit = random_circuit seed ~n:3 ~gates:3 ~locality:0.8 in
+    let opt = brute_optimal_swaps device circuit in
+    match Baselines.Ex_mqt.route ~timeout:30.0 device circuit with
+    | Satmap.Router.Routed (r, _) ->
+      check_verified "ex-mqt" device circuit r;
+      Alcotest.(check int) "optimal" opt (Satmap.Routed.n_swaps r)
+    | Satmap.Router.Failed m -> Alcotest.failf "ex-mqt failed: %s" m
+  done
+
+let test_tb_olsq_valid_small () =
+  let device = line 4 in
+  for seed = 0 to 2 do
+    let circuit = random_circuit (100 + seed) ~n:3 ~gates:4 ~locality:0.8 in
+    let opt = brute_optimal_swaps device circuit in
+    match Baselines.Tb_olsq.route device circuit with
+    | Satmap.Router.Routed (r, _) ->
+      check_verified "tb-olsq" device circuit r;
+      Alcotest.(check bool) "no better than optimal" true
+        (Satmap.Routed.n_swaps r >= opt)
+    | Satmap.Router.Failed m -> Alcotest.failf "tb-olsq failed: %s" m
+  done
+
+let test_tb_olsq_parallel_swaps_allowed () =
+  (* Two independent far pairs: TB-OLSQ-like may swap both in one
+     transition; the result must still verify. *)
+  let device = line 6 in
+  let circuit =
+    Quantum.Circuit.create ~n_qubits:6 [ cx 0 1; cx 2 3; cx 4 5; cx 0 5 ]
+  in
+  match Baselines.Tb_olsq.route device circuit with
+  | Satmap.Router.Routed (r, _) -> check_verified "tb-olsq" device circuit r
+  | Satmap.Router.Failed m -> Alcotest.failf "tb-olsq failed: %s" m
+
+let test_baselines_heavier_than_satmap () =
+  (* The EX-MQT-like encoding must be asymptotically heavier than
+     SATMAP's: compare estimated variable counts on the same circuit. *)
+  let circuit = random_circuit 5 ~n:8 ~gates:30 ~locality:0.6 in
+  let satmap_spec = Satmap.Encoding.spec tokyo in
+  let exmqt_cfg = Baselines.Ex_mqt.config ~timeout:1.0 tokyo in
+  let exmqt_spec =
+    Satmap.Encoding.spec ~n_swaps:exmqt_cfg.n_swaps ~amo:exmqt_cfg.amo
+      ~coalesce:exmqt_cfg.coalesce tokyo
+  in
+  Alcotest.(check bool) "ex-mqt encoding larger" true
+    (Satmap.Encoding.estimate_vars exmqt_spec circuit
+    > Satmap.Encoding.estimate_vars satmap_spec circuit)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "heuristics",
+      [
+        Alcotest.test_case "verified on small devices" `Quick
+          test_heuristics_verified_small;
+        Alcotest.test_case "verified on tokyo" `Quick
+          test_heuristics_verified_tokyo;
+        Alcotest.test_case "one-qubit gates and measures" `Quick
+          test_heuristics_with_one_qubit_gates;
+        Alcotest.test_case "zero swaps when mappable" `Quick
+          test_heuristics_zero_swap_when_trivially_mappable;
+        Alcotest.test_case "sabre trials monotone" `Quick
+          test_sabre_trials_improve_or_equal;
+        Alcotest.test_case "sabre reverse circuit" `Quick
+          test_sabre_reverse_circuit;
+        qtest prop_heuristics_never_beat_brute;
+      ] );
+    ( "hybrid",
+      [
+        Alcotest.test_case "verified" `Quick test_hybrid_verified;
+        Alcotest.test_case "zero-swap embedding" `Quick
+          test_hybrid_zero_swap_cases;
+        Alcotest.test_case "scales past monolithic" `Slow
+          test_hybrid_scales_past_monolithic;
+        Alcotest.test_case "comparable to sabre" `Slow
+          test_hybrid_beats_or_matches_plain_sabre_sometimes;
+      ] );
+    ( "baselines",
+      [
+        Alcotest.test_case "ex-mqt optimal on small" `Slow
+          test_ex_mqt_optimal_small;
+        Alcotest.test_case "tb-olsq valid on small" `Slow
+          test_tb_olsq_valid_small;
+        Alcotest.test_case "tb-olsq parallel swaps" `Slow
+          test_tb_olsq_parallel_swaps_allowed;
+        Alcotest.test_case "encoding weight ordering" `Quick
+          test_baselines_heavier_than_satmap;
+      ] );
+  ]
+
+let () = Alcotest.run "heuristics" suite

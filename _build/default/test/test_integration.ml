@@ -1,0 +1,216 @@
+(* Cross-module integration tests: QASM -> route -> QASM pipelines, WCNF
+   export, targeted noise-objective behaviour, stitching errors, and
+   end-to-end flows over the benchmark suite. *)
+
+let cx = Quantum.Gate.cx
+
+(* ------------------------------------------------------------------ *)
+(* QASM in, routed QASM out *)
+
+let test_qasm_route_roundtrip () =
+  let src =
+    {|
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+cx q[0],q[2];
+cx q[0],q[3];
+measure q[0] -> c[0];
+|}
+  in
+  let circuit = Quantum.Qasm.of_string src in
+  let device = Arch.Topologies.linear 4 in
+  match Satmap.Router.route_monolithic device circuit with
+  | Satmap.Router.Failed m -> Alcotest.failf "route failed: %s" m
+  | Satmap.Router.Routed (routed, _) ->
+    (* The routed circuit must survive a QASM round-trip unchanged. *)
+    let emitted = Quantum.Qasm.to_string (Satmap.Routed.circuit routed) in
+    let reparsed = Quantum.Qasm.of_string emitted in
+    Alcotest.(check bool) "roundtrip" true
+      (Quantum.Circuit.equal (Satmap.Routed.circuit routed) reparsed);
+    Alcotest.(check bool) "swap in output" true
+      (String.length emitted > 0
+      && Satmap.Routed.n_swaps routed >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* WCNF export: the emitted instance must be solvable externally; here we
+   re-parse the hard clauses and check the counts line up. *)
+
+let test_wcnf_export () =
+  let circuit =
+    Quantum.Circuit.create ~n_qubits:3 [ cx 0 1; cx 0 2; cx 1 2 ]
+  in
+  let device = Arch.Topologies.linear 3 in
+  let spec = Satmap.Encoding.spec device in
+  let enc = Satmap.Encoding.build spec circuit in
+  let inst = Satmap.Encoding.instance enc in
+  let path = Filename.temp_file "satmap" ".wcnf" in
+  Maxsat.Instance.to_wcnf_file inst path;
+  let contents =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove path;
+  let lines = String.split_on_char '\n' contents in
+  let header = List.hd lines in
+  Alcotest.(check bool) "wcnf header" true
+    (String.length header > 6 && String.sub header 0 6 = "p wcnf");
+  (* clause count in header = hard + soft *)
+  (match String.split_on_char ' ' header with
+  | [ "p"; "wcnf"; vars; clauses; _top ] ->
+    Alcotest.(check int) "vars" (Maxsat.Instance.n_vars inst)
+      (int_of_string vars);
+    Alcotest.(check int) "clauses"
+      (Maxsat.Instance.n_hard inst + Maxsat.Instance.n_soft inst)
+      (int_of_string clauses)
+  | _ -> Alcotest.fail "malformed wcnf header")
+
+(* ------------------------------------------------------------------ *)
+(* Noise objective places gates on better edges *)
+
+let test_fidelity_objective_picks_better_edge () =
+  (* A 3-qubit path p0-p1-p2 hosting a single CNOT: the gate can execute
+     on edge (0,1) or (1,2).  Make (0,1) terrible and (1,2) excellent;
+     the weighted objective must choose (1,2). *)
+  let device = Arch.Topologies.linear 3 in
+  (* Find a seed whose synthetic calibration separates the two edges. *)
+  let rec find_seed s =
+    if s > 200 then Alcotest.fail "no separating seed found"
+    else begin
+      let cal = Arch.Calibration.synthetic ~seed:s device in
+      let e01 = Arch.Calibration.two_qubit_error cal (0, 1) in
+      let e12 = Arch.Calibration.two_qubit_error cal (1, 2) in
+      if e01 > 2.0 *. e12 then (cal, (1, 2))
+      else if e12 > 2.0 *. e01 then (cal, (0, 1))
+      else find_seed (s + 1)
+    end
+  in
+  let cal, good_edge = find_seed 0 in
+  let circuit = Quantum.Circuit.create ~n_qubits:2 [ cx 0 1 ] in
+  let config =
+    {
+      Satmap.Router.default_config with
+      objective = Satmap.Encoding.Fidelity cal;
+      timeout = 20.0;
+    }
+  in
+  match Satmap.Router.route_monolithic ~config device circuit with
+  | Satmap.Router.Failed m -> Alcotest.failf "failed: %s" m
+  | Satmap.Router.Routed (routed, _) -> (
+    match Quantum.Circuit.gates (Satmap.Routed.circuit routed) with
+    | [ Quantum.Gate.Two { control; target; _ } ] ->
+      let used = if control < target then (control, target) else (target, control) in
+      Alcotest.(check (pair int int)) "uses the better edge" good_edge used
+    | _ -> Alcotest.fail "expected exactly one gate")
+
+(* ------------------------------------------------------------------ *)
+(* Stitching and repetition error paths *)
+
+let mk_routed initial final gates =
+  let device = Arch.Topologies.linear 3 in
+  Satmap.Routed.create ~device
+    ~initial:(Satmap.Mapping.of_array ~n_phys:3 initial)
+    ~final:(Satmap.Mapping.of_array ~n_phys:3 final)
+    ~circuit:(Quantum.Circuit.create ~n_qubits:3 gates)
+
+let test_stitch_mismatch_rejected () =
+  let a = mk_routed [| 0; 1 |] [| 0; 1 |] [ cx 0 1 ] in
+  let b = mk_routed [| 1; 0 |] [| 1; 0 |] [ cx 0 1 ] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Routed.stitch: segment maps do not line up") (fun () ->
+      ignore (Satmap.Routed.stitch [ a; b ]))
+
+let test_repeat_noncyclic_rejected () =
+  let a =
+    mk_routed [| 0; 1 |] [| 1; 0 |]
+      [ cx 0 1; Quantum.Gate.swap 0 1 ]
+  in
+  Alcotest.check_raises "not cyclic"
+    (Invalid_argument "Routed.repeat: not cyclic (final map differs from initial)")
+    (fun () -> ignore (Satmap.Routed.repeat a 2))
+
+let test_stitch_accumulates () =
+  let a = mk_routed [| 0; 1 |] [| 1; 0 |] [ cx 0 1; Quantum.Gate.swap 0 1 ] in
+  let b = mk_routed [| 1; 0 |] [| 1; 0 |] [ cx 1 0 ] in
+  let s = Satmap.Routed.stitch [ a; b ] in
+  Alcotest.(check int) "swaps" 1 (Satmap.Routed.n_swaps s);
+  Alcotest.(check int) "gates" 3
+    (Quantum.Circuit.length (Satmap.Routed.circuit s))
+
+(* ------------------------------------------------------------------ *)
+(* Suite benchmarks end-to-end through the whole stack *)
+
+let test_suite_benchmarks_end_to_end () =
+  let benches =
+    List.filter
+      (fun (b : Workloads.Suite.benchmark) -> b.n_two_qubit <= 30)
+      (Workloads.Suite.quick ~n:10 ())
+  in
+  Alcotest.(check bool) "some small benchmarks" true (List.length benches >= 2);
+  let tokyo = Arch.Topologies.tokyo () in
+  let config = { Satmap.Router.default_config with timeout = 20.0 } in
+  List.iter
+    (fun (b : Workloads.Suite.benchmark) ->
+      match Satmap.Router.route_sliced ~config ~slice_size:10 tokyo b.circuit with
+      | Satmap.Router.Routed (r, _) ->
+        (* verify, then round-trip the physical circuit through QASM *)
+        Satmap.Verifier.check_exn ~original:b.circuit r;
+        let qasm = Quantum.Qasm.to_string (Satmap.Routed.circuit r) in
+        let reparsed = Quantum.Qasm.of_string qasm in
+        Alcotest.(check bool) (b.name ^ " roundtrip") true
+          (Quantum.Circuit.equal (Satmap.Routed.circuit r) reparsed)
+      | Satmap.Router.Failed m -> Alcotest.failf "%s failed: %s" b.name m)
+    benches
+
+(* ------------------------------------------------------------------ *)
+(* Deadline-driven anytime behaviour surfaces partial solutions *)
+
+let test_anytime_returns_feasible () =
+  (* A large instance with a small budget: the sliced router should either
+     fail cleanly (timeout) or return a verified (possibly suboptimal)
+     solution — never crash or return garbage. *)
+  let rng = Rng.create 123 in
+  let circuit =
+    Workloads.Generators.local_random rng ~n:14 ~gates:80 ~locality:0.5
+  in
+  let tokyo = Arch.Topologies.tokyo () in
+  let config = { Satmap.Router.default_config with timeout = 3.0 } in
+  match Satmap.Router.route_sliced ~config ~slice_size:10 tokyo circuit with
+  | Satmap.Router.Routed (r, _) ->
+    Alcotest.(check bool) "verified" true
+      (Satmap.Verifier.is_valid ~original:circuit r)
+  | Satmap.Router.Failed _ -> ()
+
+let suite =
+  [
+    ( "pipelines",
+      [
+        Alcotest.test_case "qasm -> route -> qasm" `Quick
+          test_qasm_route_roundtrip;
+        Alcotest.test_case "wcnf export" `Quick test_wcnf_export;
+        Alcotest.test_case "suite end-to-end" `Slow
+          test_suite_benchmarks_end_to_end;
+        Alcotest.test_case "anytime partial solutions" `Slow
+          test_anytime_returns_feasible;
+      ] );
+    ( "noise",
+      [
+        Alcotest.test_case "fidelity picks better edge" `Quick
+          test_fidelity_objective_picks_better_edge;
+      ] );
+    ( "stitching",
+      [
+        Alcotest.test_case "mismatch rejected" `Quick
+          test_stitch_mismatch_rejected;
+        Alcotest.test_case "non-cyclic repeat rejected" `Quick
+          test_repeat_noncyclic_rejected;
+        Alcotest.test_case "accumulates" `Quick test_stitch_accumulates;
+      ] );
+  ]
+
+let () = Alcotest.run "integration" suite

@@ -1,0 +1,395 @@
+(* Tests for the quantum circuit IR: gates, circuits, slicing, repetition
+   detection, the dependency DAG, and the OpenQASM reader/writer. *)
+
+let cx = Quantum.Gate.cx
+
+let sample_circuit () =
+  Quantum.Circuit.create ~n_qubits:4
+    [
+      Quantum.Gate.h 0;
+      cx 0 1;
+      Quantum.Gate.one Quantum.Gate.T 2;
+      cx 2 3;
+      cx 1 2;
+      Quantum.Gate.one (Quantum.Gate.Rz 0.5) 3;
+      cx 0 1;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Gate *)
+
+let test_gate_basics () =
+  let g = cx 0 1 in
+  Alcotest.(check (list int)) "qubits" [ 0; 1 ] (Quantum.Gate.qubits g);
+  Alcotest.(check bool) "two qubit" true (Quantum.Gate.is_two_qubit g);
+  Alcotest.(check int) "cnot cost" 1 (Quantum.Gate.cnot_cost g);
+  Alcotest.(check int) "swap cost" 3
+    (Quantum.Gate.cnot_cost (Quantum.Gate.swap 0 1));
+  Alcotest.(check int) "1q cost" 0 (Quantum.Gate.cnot_cost (Quantum.Gate.h 0))
+
+let test_gate_relabel () =
+  let g = cx 0 1 in
+  let g' = Quantum.Gate.relabel (fun q -> q + 10) g in
+  Alcotest.(check (list int)) "relabelled" [ 10; 11 ] (Quantum.Gate.qubits g')
+
+let test_gate_identical_rejected () =
+  Alcotest.check_raises "self gate"
+    (Invalid_argument "Gate.two: identical qubits") (fun () ->
+      ignore (cx 3 3))
+
+let test_gate_equal () =
+  Alcotest.(check bool) "rz equal" true
+    (Quantum.Gate.equal
+       (Quantum.Gate.one (Quantum.Gate.Rz 0.5) 1)
+       (Quantum.Gate.one (Quantum.Gate.Rz 0.5) 1));
+  Alcotest.(check bool) "rz angle differs" false
+    (Quantum.Gate.equal
+       (Quantum.Gate.one (Quantum.Gate.Rz 0.5) 1)
+       (Quantum.Gate.one (Quantum.Gate.Rz 0.6) 1));
+  Alcotest.(check bool) "kind differs" false
+    (Quantum.Gate.equal (cx 0 1) (Quantum.Gate.cz 0 1))
+
+(* ------------------------------------------------------------------ *)
+(* Circuit *)
+
+let test_circuit_counts () =
+  let c = sample_circuit () in
+  Alcotest.(check int) "length" 7 (Quantum.Circuit.length c);
+  Alcotest.(check int) "two qubit" 4 (Quantum.Circuit.count_two_qubit c);
+  Alcotest.(check int) "one qubit" 3 (Quantum.Circuit.count_one_qubit c);
+  Alcotest.(check int) "cnot cost" 4 (Quantum.Circuit.total_cnot_cost c)
+
+let test_circuit_out_of_range () =
+  Alcotest.check_raises "bad qubit"
+    (Invalid_argument "Circuit: qubit 5 out of range [0,4)") (fun () ->
+      ignore (Quantum.Circuit.create ~n_qubits:4 [ cx 0 5 ]))
+
+let test_circuit_two_qubit_gates () =
+  let c = sample_circuit () in
+  Alcotest.(check (list (triple int int int)))
+    "pairs"
+    [ (1, 0, 1); (3, 2, 3); (4, 1, 2); (6, 0, 1) ]
+    (Quantum.Circuit.two_qubit_gates c)
+
+let test_circuit_depth () =
+  let c =
+    Quantum.Circuit.create ~n_qubits:3 [ cx 0 1; cx 1 2; cx 0 1; cx 0 1 ]
+  in
+  Alcotest.(check int) "depth" 4 (Quantum.Circuit.depth c);
+  let parallel = Quantum.Circuit.create ~n_qubits:4 [ cx 0 1; cx 2 3 ] in
+  Alcotest.(check int) "parallel depth" 1 (Quantum.Circuit.depth parallel)
+
+let test_circuit_slice () =
+  let c = sample_circuit () in
+  let slices = Quantum.Circuit.slice_by_two_qubit c ~slice_size:2 in
+  Alcotest.(check int) "two slices" 2 (List.length slices);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "2 two-qubit gates each" 2
+        (Quantum.Circuit.count_two_qubit s))
+    slices;
+  (* Gates are preserved in order across slices. *)
+  let rejoined = List.concat_map Quantum.Circuit.gates slices in
+  Alcotest.(check int) "no gate lost" (Quantum.Circuit.length c)
+    (List.length rejoined);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "same gate" true (Quantum.Gate.equal a b))
+    (Quantum.Circuit.gates c) rejoined
+
+let test_circuit_slice_trailing_1q () =
+  let c =
+    Quantum.Circuit.create ~n_qubits:2 [ cx 0 1; Quantum.Gate.h 0; Quantum.Gate.h 1 ]
+  in
+  let slices = Quantum.Circuit.slice_by_two_qubit c ~slice_size:1 in
+  Alcotest.(check int) "one slice" 1 (List.length slices);
+  Alcotest.(check int) "all gates in it" 3
+    (Quantum.Circuit.length (List.hd slices))
+
+let test_circuit_repeat_detect () =
+  let body = Quantum.Circuit.create ~n_qubits:3 [ cx 0 1; cx 1 2 ] in
+  let c = Quantum.Circuit.repeat body 3 in
+  match Quantum.Circuit.detect_repetition c with
+  | Some (b, k) ->
+    Alcotest.(check int) "reps" 3 k;
+    Alcotest.(check bool) "body" true (Quantum.Circuit.equal b body)
+  | None -> Alcotest.fail "repetition not detected"
+
+let test_circuit_no_repetition () =
+  let c = Quantum.Circuit.create ~n_qubits:3 [ cx 0 1; cx 1 2; cx 0 2 ] in
+  Alcotest.(check bool) "no repetition" true
+    (Quantum.Circuit.detect_repetition c = None)
+
+let prop_slice_roundtrip =
+  QCheck2.Test.make ~count:100 ~name:"slicing preserves the gate sequence"
+    QCheck2.Gen.(
+      let* n = int_range 2 6 in
+      let* len = int_range 1 40 in
+      let* slice_size = int_range 1 10 in
+      let* seeds = list_size (return len) (int_range 0 1000) in
+      return (n, slice_size, seeds))
+    (fun (n, slice_size, seeds) ->
+      let gates =
+        List.map
+          (fun s ->
+            if s mod 3 = 0 then Quantum.Gate.h (s mod n)
+            else cx (s mod n) (((s / 7) + 1 + (s mod n)) mod n |> fun b ->
+                 if b = s mod n then (b + 1) mod n else b))
+          seeds
+      in
+      let c = Quantum.Circuit.create ~n_qubits:n gates in
+      let slices = Quantum.Circuit.slice_by_two_qubit c ~slice_size in
+      let rejoined = List.concat_map Quantum.Circuit.gates slices in
+      List.length rejoined = Quantum.Circuit.length c
+      && List.for_all2 Quantum.Gate.equal (Quantum.Circuit.gates c) rejoined)
+
+(* ------------------------------------------------------------------ *)
+(* DAG *)
+
+let test_dag_structure () =
+  let c = sample_circuit () in
+  let dag = Quantum.Dag.build c in
+  Alcotest.(check int) "nodes" 4 (Quantum.Dag.n_nodes dag);
+  (* Node 0 = cx 0 1, node 1 = cx 2 3, node 2 = cx 1 2, node 3 = cx 0 1. *)
+  Alcotest.(check (list int)) "roots" [ 0; 1 ] (Quantum.Dag.roots dag);
+  Alcotest.(check (array int)) "preds of cx 1 2" [| 0; 1 |]
+    (Quantum.Dag.preds dag 2);
+  Alcotest.(check (array int)) "preds of final cx" [| 0; 2 |]
+    (Quantum.Dag.preds dag 3)
+
+let test_dag_layers () =
+  let c = sample_circuit () in
+  let dag = Quantum.Dag.build c in
+  let layers = Quantum.Dag.layers dag in
+  Alcotest.(check (list (list int))) "layers" [ [ 0; 1 ]; [ 2 ]; [ 3 ] ] layers
+
+let test_dag_front () =
+  let c = sample_circuit () in
+  let dag = Quantum.Dag.build c in
+  let front = Quantum.Dag.front_create dag in
+  let ids front = List.map (fun (n : Quantum.Dag.node) -> n.id) (Quantum.Dag.front_gates front) in
+  Alcotest.(check (list int)) "initial front" [ 0; 1 ] (ids front);
+  Quantum.Dag.front_resolve front 0;
+  Alcotest.(check (list int)) "after resolving 0" [ 1 ] (ids front);
+  Quantum.Dag.front_resolve front 1;
+  Alcotest.(check (list int)) "gate 2 unlocked" [ 2 ] (ids front);
+  Quantum.Dag.front_resolve front 2;
+  Quantum.Dag.front_resolve front 3;
+  Alcotest.(check bool) "empty" true (Quantum.Dag.front_is_empty front);
+  Alcotest.(check int) "all done" 4 (Quantum.Dag.front_n_done front)
+
+let prop_dag_layers_partition =
+  QCheck2.Test.make ~count:100
+    ~name:"DAG layers partition the gates and respect dependencies"
+    QCheck2.Gen.(
+      let* n = int_range 2 8 in
+      let* len = int_range 1 30 in
+      let* seeds = list_size (return len) (pair (int_range 0 100) (int_range 0 100))
+      in
+      return (n, seeds))
+    (fun (n, seeds) ->
+      let gates =
+        List.map
+          (fun (a, b) ->
+            let qa = a mod n in
+            let qb = if b mod n = qa then (qa + 1) mod n else b mod n in
+            cx qa qb)
+          seeds
+      in
+      let c = Quantum.Circuit.create ~n_qubits:n gates in
+      let dag = Quantum.Dag.build c in
+      let layers = Quantum.Dag.layers dag in
+      let all = List.concat layers in
+      let layer_of = Hashtbl.create 16 in
+      List.iteri
+        (fun li ids -> List.iter (fun id -> Hashtbl.replace layer_of id li) ids)
+        layers;
+      List.length all = Quantum.Dag.n_nodes dag
+      && List.sort_uniq compare all = List.sort compare all
+      && List.for_all
+           (fun id ->
+             Array.for_all
+               (fun p -> Hashtbl.find layer_of p < Hashtbl.find layer_of id)
+               (Quantum.Dag.preds dag id))
+           all
+      && List.for_all
+           (fun ids ->
+             (* disjoint qubits within a layer *)
+             let qs =
+               List.concat_map
+                 (fun id ->
+                   let node = Quantum.Dag.node dag id in
+                   [ node.q1; node.q2 ])
+                 ids
+             in
+             List.sort_uniq compare qs = List.sort compare qs)
+           layers)
+
+(* ------------------------------------------------------------------ *)
+(* QASM *)
+
+let test_qasm_parse_basic () =
+  let src =
+    {|
+OPENQASM 2.0;
+include "qelib1.inc";
+// a comment
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/2) q[2];
+u3(0.1,0.2,0.3) q[1];
+measure q[0] -> c[0];
+barrier q[0],q[1];
+|}
+  in
+  let c = Quantum.Qasm.of_string src in
+  Alcotest.(check int) "qubits" 3 (Quantum.Circuit.n_qubits c);
+  Alcotest.(check int) "clbits" 3 (Quantum.Circuit.n_clbits c);
+  Alcotest.(check int) "gates" 6 (Quantum.Circuit.length c);
+  match Quantum.Circuit.gate c 2 with
+  | Quantum.Gate.One { kind = Quantum.Gate.Rz a; target = 2 } ->
+    Alcotest.(check (float 1e-9)) "angle" (Float.pi /. 2.0) a
+  | _ -> Alcotest.fail "expected rz"
+
+let test_qasm_multi_register () =
+  let src = "qreg a[2]; qreg b[2]; cx a[1],b[0];" in
+  let c = Quantum.Qasm.of_string src in
+  Alcotest.(check int) "flattened" 4 (Quantum.Circuit.n_qubits c);
+  match Quantum.Circuit.gate c 0 with
+  | Quantum.Gate.Two { control = 1; target = 2; _ } -> ()
+  | _ -> Alcotest.fail "wrong flattening"
+
+let test_qasm_gate_definition_skipped () =
+  let src =
+    "qreg q[2]; gate foo a, b { cx a, b; h a; } cx q[0],q[1];"
+  in
+  let c = Quantum.Qasm.of_string src in
+  Alcotest.(check int) "only the cx" 1 (Quantum.Circuit.length c)
+
+let test_qasm_errors () =
+  let bad s =
+    match Quantum.Qasm.of_string s with
+    | exception Quantum.Qasm.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "no register" true (bad "h q[0];");
+  Alcotest.(check bool) "out of range" true (bad "qreg q[2]; h q[5];");
+  Alcotest.(check bool) "unknown gate" true (bad "qreg q[2]; frob q[0];");
+  Alcotest.(check bool) "self cx" true (bad "qreg q[2]; cx q[0],q[0];")
+
+let test_qasm_roundtrip () =
+  let c = sample_circuit () in
+  let c' = Quantum.Qasm.of_string (Quantum.Qasm.to_string c) in
+  Alcotest.(check bool) "roundtrip" true (Quantum.Circuit.equal c c')
+
+let test_qasm_expression_evaluation () =
+  let c = Quantum.Qasm.of_string "qreg q[1]; rz(2*pi/4 + 1 - 1) q[0];" in
+  match Quantum.Circuit.gate c 0 with
+  | Quantum.Gate.One { kind = Quantum.Gate.Rz a; _ } ->
+    Alcotest.(check (float 1e-9)) "expr" (Float.pi /. 2.0) a
+  | _ -> Alcotest.fail "expected rz"
+
+let prop_qasm_roundtrip_generated =
+  QCheck2.Test.make ~count:100 ~name:"QASM roundtrip on generated circuits"
+    QCheck2.Gen.(
+      let* n = int_range 2 8 in
+      let* seed = int_range 0 10000 in
+      let* gates = int_range 1 60 in
+      return (n, seed, gates))
+    (fun (n, seed, gates) ->
+      let rng = Rng.create seed in
+      let c = Workloads.Generators.local_random rng ~n ~gates ~locality:0.7 in
+      let c' = Quantum.Qasm.of_string (Quantum.Qasm.to_string c) in
+      Quantum.Circuit.equal c c')
+
+(* ------------------------------------------------------------------ *)
+(* Decomposition to the CX basis *)
+
+let test_decompose_swap () =
+  let c = Quantum.Circuit.create ~n_qubits:2 [ Quantum.Gate.swap 0 1 ] in
+  let lowered = Quantum.Decompose.to_cx_basis c in
+  Alcotest.(check int) "3 CX" 3 (Quantum.Circuit.length lowered);
+  Alcotest.(check int) "cx count" 3 (Quantum.Decompose.cx_count c)
+
+let test_decompose_cost_agrees () =
+  let c =
+    Quantum.Circuit.create ~n_qubits:3
+      [
+        Quantum.Gate.swap 0 1;
+        cx 1 2;
+        Quantum.Gate.cz 0 1;
+        Quantum.Gate.two (Quantum.Gate.Rzz 0.3) 1 2;
+        Quantum.Gate.h 0;
+      ]
+  in
+  Alcotest.(check int) "cx_count = total_cnot_cost"
+    (Quantum.Circuit.total_cnot_cost c)
+    (Quantum.Decompose.cx_count c)
+
+let prop_decompose_locality =
+  QCheck2.Test.make ~count:100 ~name:"decomposition preserves qubit pairs"
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let c =
+        Workloads.Generators.local_random rng ~n:5 ~gates:20 ~locality:0.7
+      in
+      Quantum.Decompose.preserves_pairs c
+      && Quantum.Decompose.cx_count c = Quantum.Circuit.total_cnot_cost c)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "gate",
+      [
+        Alcotest.test_case "basics" `Quick test_gate_basics;
+        Alcotest.test_case "relabel" `Quick test_gate_relabel;
+        Alcotest.test_case "identical rejected" `Quick
+          test_gate_identical_rejected;
+        Alcotest.test_case "equality" `Quick test_gate_equal;
+      ] );
+    ( "circuit",
+      [
+        Alcotest.test_case "counts" `Quick test_circuit_counts;
+        Alcotest.test_case "range check" `Quick test_circuit_out_of_range;
+        Alcotest.test_case "two-qubit extraction" `Quick
+          test_circuit_two_qubit_gates;
+        Alcotest.test_case "depth" `Quick test_circuit_depth;
+        Alcotest.test_case "slicing" `Quick test_circuit_slice;
+        Alcotest.test_case "slicing trailing 1q" `Quick
+          test_circuit_slice_trailing_1q;
+        Alcotest.test_case "repetition detection" `Quick
+          test_circuit_repeat_detect;
+        Alcotest.test_case "no false repetition" `Quick
+          test_circuit_no_repetition;
+        qtest prop_slice_roundtrip;
+      ] );
+    ( "dag",
+      [
+        Alcotest.test_case "structure" `Quick test_dag_structure;
+        Alcotest.test_case "layers" `Quick test_dag_layers;
+        Alcotest.test_case "front cursor" `Quick test_dag_front;
+        qtest prop_dag_layers_partition;
+      ] );
+    ( "qasm",
+      [
+        Alcotest.test_case "parse basic" `Quick test_qasm_parse_basic;
+        Alcotest.test_case "multi register" `Quick test_qasm_multi_register;
+        Alcotest.test_case "gate defs skipped" `Quick
+          test_qasm_gate_definition_skipped;
+        Alcotest.test_case "errors" `Quick test_qasm_errors;
+        Alcotest.test_case "roundtrip" `Quick test_qasm_roundtrip;
+        Alcotest.test_case "expressions" `Quick test_qasm_expression_evaluation;
+        qtest prop_qasm_roundtrip_generated;
+      ] );
+    ( "decompose",
+      [
+        Alcotest.test_case "swap = 3 cx" `Quick test_decompose_swap;
+        Alcotest.test_case "cost agreement" `Quick test_decompose_cost_agrees;
+        qtest prop_decompose_locality;
+      ] );
+  ]
+
+let () = Alcotest.run "quantum" suite

@@ -1,0 +1,460 @@
+(* Tests for the SAT substrate: Vec/Heap data structures, the CDCL solver
+   (differentially against brute force), cardinality encodings, Tseitin,
+   and DIMACS round-trips. *)
+
+let lit ?sign v = Sat.Lit.of_var ?sign v
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_push_pop () =
+  let v = Sat.Vec.create ~dummy:0 in
+  for i = 0 to 99 do
+    Sat.Vec.push v i
+  done;
+  Alcotest.(check int) "size" 100 (Sat.Vec.size v);
+  Alcotest.(check int) "last" 99 (Sat.Vec.last v);
+  Alcotest.(check int) "pop" 99 (Sat.Vec.pop v);
+  Alcotest.(check int) "size after pop" 99 (Sat.Vec.size v);
+  Sat.Vec.shrink v 10;
+  Alcotest.(check int) "size after shrink" 10 (Sat.Vec.size v);
+  Alcotest.(check (list int)) "contents" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (Sat.Vec.to_list v)
+
+let test_vec_filter () =
+  let v = Sat.Vec.of_list [ 1; 2; 3; 4; 5; 6 ] ~dummy:0 in
+  Sat.Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  Alcotest.(check (list int)) "evens" [ 2; 4; 6 ] (Sat.Vec.to_list v)
+
+let test_vec_sort () =
+  let v = Sat.Vec.of_list [ 3; 1; 2 ] ~dummy:0 in
+  Sat.Vec.sort Int.compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Sat.Vec.to_list v)
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_order () =
+  let priorities = [| 5.0; 1.0; 3.0; 9.0; 2.0 |] in
+  let h = Sat.Heap.create (fun x y -> priorities.(x) > priorities.(y)) in
+  for i = 0 to 4 do
+    Sat.Heap.insert h i
+  done;
+  let order = List.init 5 (fun _ -> Sat.Heap.remove_min h) in
+  Alcotest.(check (list int)) "by priority" [ 3; 0; 2; 4; 1 ] order
+
+let test_heap_update () =
+  let priorities = [| 1.0; 2.0; 3.0 |] in
+  let h = Sat.Heap.create (fun x y -> priorities.(x) > priorities.(y)) in
+  List.iter (Sat.Heap.insert h) [ 0; 1; 2 ];
+  priorities.(0) <- 10.0;
+  Sat.Heap.update h 0;
+  Alcotest.(check int) "updated top" 0 (Sat.Heap.remove_min h);
+  Alcotest.(check bool) "membership" false (Sat.Heap.mem h 0);
+  Alcotest.(check bool) "others remain" true (Sat.Heap.mem h 1)
+
+(* ------------------------------------------------------------------ *)
+(* Lit *)
+
+let test_lit_roundtrip () =
+  for v = 0 to 10 do
+    let p = lit v and n = lit ~sign:false v in
+    Alcotest.(check int) "var pos" v (Sat.Lit.var p);
+    Alcotest.(check int) "var neg" v (Sat.Lit.var n);
+    Alcotest.(check bool) "sign pos" true (Sat.Lit.sign p);
+    Alcotest.(check bool) "sign neg" false (Sat.Lit.sign n);
+    Alcotest.(check bool) "neg involutive" true
+      (Sat.Lit.equal p (Sat.Lit.neg (Sat.Lit.neg p)));
+    Alcotest.(check bool) "dimacs roundtrip" true
+      (Sat.Lit.equal n (Sat.Lit.of_dimacs (Sat.Lit.to_dimacs n)))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Solver: hand-written cases *)
+
+let solve_clauses n_vars clauses =
+  let s = Sat.Solver.create () in
+  let vars = Array.init n_vars (fun _ -> Sat.Solver.new_var s) in
+  ignore vars;
+  List.iter (Sat.Solver.add_clause s) clauses;
+  (s, Sat.Solver.solve s)
+
+let check_result = Alcotest.testable (fun fmt r ->
+    Format.pp_print_string fmt
+      (match r with
+      | Sat.Solver.Sat -> "Sat"
+      | Sat.Solver.Unsat -> "Unsat"
+      | Sat.Solver.Unknown -> "Unknown"))
+    ( = )
+
+let test_solver_trivial_sat () =
+  let _, r = solve_clauses 2 [ [ lit 0 ]; [ lit ~sign:false 1 ] ] in
+  Alcotest.check check_result "sat" Sat.Solver.Sat r
+
+let test_solver_trivial_unsat () =
+  let _, r = solve_clauses 1 [ [ lit 0 ]; [ lit ~sign:false 0 ] ] in
+  Alcotest.check check_result "unsat" Sat.Solver.Unsat r
+
+let test_solver_empty_clause () =
+  let _, r = solve_clauses 1 [ [] ] in
+  Alcotest.check check_result "unsat" Sat.Solver.Unsat r
+
+let test_solver_no_clauses () =
+  let _, r = solve_clauses 3 [] in
+  Alcotest.check check_result "sat" Sat.Solver.Sat r
+
+let test_solver_model () =
+  (* (x0 | x1) & (~x0 | x1) & (~x1 | x2)  forces x1, x2. *)
+  let s, r =
+    solve_clauses 3
+      [
+        [ lit 0; lit 1 ];
+        [ lit ~sign:false 0; lit 1 ];
+        [ lit ~sign:false 1; lit 2 ];
+      ]
+  in
+  Alcotest.check check_result "sat" Sat.Solver.Sat r;
+  Alcotest.(check bool) "x1" true (Sat.Solver.model_value s 1);
+  Alcotest.(check bool) "x2" true (Sat.Solver.model_value s 2)
+
+let test_solver_pigeonhole () =
+  (* PHP(4,3): 4 pigeons in 3 holes — classically unsat and exercises
+     clause learning. Var (p,h) = 3p + h. *)
+  let s = Sat.Solver.create () in
+  let var p h = 3 * p + h in
+  for _ = 0 to 11 do
+    ignore (Sat.Solver.new_var s)
+  done;
+  for p = 0 to 3 do
+    Sat.Solver.add_clause s (List.init 3 (fun h -> lit (var p h)))
+  done;
+  for h = 0 to 2 do
+    for p = 0 to 3 do
+      for p' = p + 1 to 3 do
+        Sat.Solver.add_clause s
+          [ lit ~sign:false (var p h); lit ~sign:false (var p' h) ]
+      done
+    done
+  done;
+  Alcotest.check check_result "php unsat" Sat.Solver.Unsat (Sat.Solver.solve s)
+
+let test_solver_assumptions () =
+  let s = Sat.Solver.create () in
+  let x = Sat.Solver.new_var s and y = Sat.Solver.new_var s in
+  Sat.Solver.add_clause s [ lit ~sign:false x; lit y ];
+  (* Assume x: y must hold. *)
+  Alcotest.check check_result "sat under x" Sat.Solver.Sat
+    (Sat.Solver.solve ~assumptions:[ lit x ] s);
+  Alcotest.(check bool) "y true" true (Sat.Solver.model_value s y);
+  (* Assume x and ~y: unsat, but the solver must stay usable. *)
+  Alcotest.check check_result "unsat under x,~y" Sat.Solver.Unsat
+    (Sat.Solver.solve ~assumptions:[ lit x; lit ~sign:false y ] s);
+  Alcotest.check check_result "sat again" Sat.Solver.Sat (Sat.Solver.solve s);
+  Alcotest.(check bool) "still ok" true (Sat.Solver.ok s)
+
+let test_solver_incremental () =
+  let s = Sat.Solver.create () in
+  let vars = Array.init 4 (fun _ -> Sat.Solver.new_var s) in
+  Sat.Solver.add_clause s [ lit vars.(0); lit vars.(1) ];
+  Alcotest.check check_result "first" Sat.Solver.Sat (Sat.Solver.solve s);
+  Sat.Solver.add_clause s [ lit ~sign:false vars.(0) ];
+  Sat.Solver.add_clause s [ lit ~sign:false vars.(1) ];
+  Alcotest.check check_result "now unsat" Sat.Solver.Unsat
+    (Sat.Solver.solve s);
+  Alcotest.(check bool) "poisoned" false (Sat.Solver.ok s)
+
+(* ------------------------------------------------------------------ *)
+(* Solver: differential random testing against brute force *)
+
+let gen_cnf =
+  QCheck2.Gen.(
+    let* n_vars = int_range 1 10 in
+    let* n_clauses = int_range 1 40 in
+    let gen_lit =
+      let* v = int_range 0 (n_vars - 1) in
+      let* sign = bool in
+      return (lit ~sign v)
+    in
+    let gen_clause =
+      let* len = int_range 1 4 in
+      list_size (return len) gen_lit
+    in
+    let* clauses = list_size (return n_clauses) gen_clause in
+    return (n_vars, clauses))
+
+let prop_solver_agrees_with_brute =
+  QCheck2.Test.make ~count:300 ~name:"CDCL agrees with brute force" gen_cnf
+    (fun (n_vars, clauses) ->
+      let expected = Sat.Brute.is_satisfiable ~n_vars clauses in
+      let s, r = solve_clauses n_vars clauses in
+      match r with
+      | Sat.Solver.Sat ->
+        (* The produced model must actually satisfy the clauses. *)
+        expected
+        && List.for_all
+             (List.exists (fun l ->
+                  let b = Sat.Solver.model_value s (Sat.Lit.var l) in
+                  if Sat.Lit.sign l then b else not b))
+             clauses
+      | Sat.Solver.Unsat -> not expected
+      | Sat.Solver.Unknown -> false)
+
+let prop_solver_assumptions_sound =
+  QCheck2.Test.make ~count:150 ~name:"assumptions = extra units" gen_cnf
+    (fun (n_vars, clauses) ->
+      let assumption = lit 0 in
+      let expected =
+        Sat.Brute.is_satisfiable ~n_vars ([ assumption ] :: clauses)
+      in
+      let s = Sat.Solver.create () in
+      for _ = 1 to n_vars do
+        ignore (Sat.Solver.new_var s)
+      done;
+      List.iter (Sat.Solver.add_clause s) clauses;
+      match Sat.Solver.solve ~assumptions:[ assumption ] s with
+      | Sat.Solver.Sat -> expected
+      | Sat.Solver.Unsat -> not expected
+      | Sat.Solver.Unknown -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Cardinality encodings *)
+
+let popcount_true model lits =
+  List.length (List.filter (fun l -> model (Sat.Lit.var l)) lits)
+
+let check_amo_encoding encoding () =
+  (* For each k, force k specific inputs true and check satisfiability of
+     the at-most-one constraint is exactly (k <= 1). *)
+  for n = 1 to 6 do
+    for k = 0 to n do
+      let s = Sat.Solver.create () in
+      let sink = Sat.Sink.of_solver s in
+      let inputs = List.init n (fun _ -> Sat.Lit.of_var (sink.fresh_var ())) in
+      Sat.Card.at_most_one ~encoding sink inputs;
+      List.iteri
+        (fun i l ->
+          Sat.Solver.add_clause s [ (if i < k then l else Sat.Lit.neg l) ])
+        inputs;
+      let expected = if k <= 1 then Sat.Solver.Sat else Sat.Solver.Unsat in
+      Alcotest.check check_result
+        (Printf.sprintf "amo n=%d k=%d" n k)
+        expected (Sat.Solver.solve s)
+    done
+  done
+
+let test_exactly_one () =
+  for n = 1 to 6 do
+    let s = Sat.Solver.create () in
+    let sink = Sat.Sink.of_solver s in
+    let inputs = List.init n (fun _ -> Sat.Lit.of_var (sink.fresh_var ())) in
+    Sat.Card.exactly_one sink inputs;
+    Alcotest.check check_result "eo sat" Sat.Solver.Sat (Sat.Solver.solve s);
+    let count =
+      popcount_true (Sat.Solver.model_value s) inputs
+    in
+    Alcotest.(check int) (Printf.sprintf "eo count n=%d" n) 1 count
+  done
+
+let prop_totalizer_counts =
+  QCheck2.Test.make ~count:100 ~name:"totalizer outputs form a unary counter"
+    QCheck2.Gen.(
+      let* n = int_range 1 8 in
+      let* forced = list_size (return n) bool in
+      return (n, forced))
+    (fun (n, forced) ->
+      let s = Sat.Solver.create () in
+      let sink = Sat.Sink.of_solver s in
+      let inputs = List.init n (fun _ -> Sat.Lit.of_var (sink.fresh_var ())) in
+      let out = Sat.Card.totalizer sink inputs in
+      List.iteri
+        (fun i l ->
+          Sat.Solver.add_clause s
+            [ (if List.nth forced i then l else Sat.Lit.neg l) ])
+        inputs;
+      match Sat.Solver.solve s with
+      | Sat.Solver.Sat ->
+        let k = List.length (List.filter Fun.id forced) in
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun i o -> Sat.Solver.model_value s (Sat.Lit.var o) = (i < k))
+             out)
+      | Sat.Solver.Unsat | Sat.Solver.Unknown -> false)
+
+let test_at_most_k () =
+  for n = 2 to 6 do
+    for k = 0 to n do
+      let s = Sat.Solver.create () in
+      let sink = Sat.Sink.of_solver s in
+      let inputs = List.init n (fun _ -> Sat.Lit.of_var (sink.fresh_var ())) in
+      ignore (Sat.Card.at_most_k_totalizer sink inputs k);
+      (* Force all n true: satisfiable iff n <= k. *)
+      List.iter (fun l -> Sat.Solver.add_clause s [ l ]) inputs;
+      let expected = if n <= k then Sat.Solver.Sat else Sat.Solver.Unsat in
+      Alcotest.check check_result
+        (Printf.sprintf "amk n=%d k=%d" n k)
+        expected (Sat.Solver.solve s)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Formula / Tseitin *)
+
+let gen_formula =
+  let open QCheck2.Gen in
+  let n_vars = 5 in
+  sized_size (int_range 1 20) @@ fix (fun self size ->
+      if size <= 1 then
+        oneof
+          [
+            (let* v = int_range 0 (n_vars - 1) in
+             let* sign = bool in
+             return (Sat.Formula.atom ~sign v));
+            return Sat.Formula.True;
+            return Sat.Formula.False;
+          ]
+      else
+        let sub = self (size / 2) in
+        oneof
+          [
+            (let* a = sub in
+             return (Sat.Formula.Not a));
+            (let* a = sub and* b = sub in
+             return (Sat.Formula.And [ a; b ]));
+            (let* a = sub and* b = sub in
+             return (Sat.Formula.Or [ a; b ]));
+            (let* a = sub and* b = sub in
+             return (Sat.Formula.Imp (a, b)));
+            (let* a = sub and* b = sub in
+             return (Sat.Formula.Iff (a, b)));
+          ])
+
+let prop_tseitin_equisat =
+  QCheck2.Test.make ~count:200 ~name:"Tseitin preserves satisfiability"
+    gen_formula (fun f ->
+      let n_vars = 5 in
+      (* Semantic satisfiability by enumeration. *)
+      let rec exists_model a =
+        a < 32
+        && (Sat.Formula.eval (fun v -> (a lsr v) land 1 = 1) f
+           || exists_model (a + 1))
+      in
+      let expected = exists_model 0 in
+      let s = Sat.Solver.create () in
+      for _ = 1 to n_vars do
+        ignore (Sat.Solver.new_var s)
+      done;
+      let sink = Sat.Sink.of_solver s in
+      Sat.Formula.assert_in sink f;
+      match Sat.Solver.solve s with
+      | Sat.Solver.Sat ->
+        expected
+        && Sat.Formula.eval (fun v -> Sat.Solver.model_value s v) f
+      | Sat.Solver.Unsat -> not expected
+      | Sat.Solver.Unknown -> false)
+
+let prop_nnf_preserves_semantics =
+  QCheck2.Test.make ~count:200 ~name:"NNF preserves semantics" gen_formula
+    (fun f ->
+      let g = Sat.Formula.nnf true f in
+      let ok = ref true in
+      for a = 0 to 31 do
+        let assignment v = (a lsr v) land 1 = 1 in
+        if Sat.Formula.eval assignment f <> Sat.Formula.eval assignment g then
+          ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* DIMACS *)
+
+let test_dimacs_roundtrip () =
+  let clauses =
+    [ [ lit 0; lit ~sign:false 1 ]; [ lit 2 ]; [ lit ~sign:false 0; lit 1 ] ]
+  in
+  let path = Filename.temp_file "test" ".cnf" in
+  Sat.Dimacs.cnf_to_file path ~n_vars:3 clauses;
+  let n_vars, parsed = Sat.Dimacs.parse_cnf_file path in
+  Sys.remove path;
+  Alcotest.(check int) "vars" 3 n_vars;
+  Alcotest.(check int) "clauses" 3 (List.length parsed);
+  List.iter2
+    (fun c c' ->
+      Alcotest.(check (list int))
+        "clause"
+        (List.map Sat.Lit.to_dimacs c)
+        (List.map Sat.Lit.to_dimacs c'))
+    clauses parsed
+
+let test_dimacs_model_parse () =
+  let model =
+    Sat.Dimacs.parse_model_lines ~n_vars:4
+      [ "c comment"; "s SATISFIABLE"; "v 1 -2 3"; "v 4 0" ]
+  in
+  Alcotest.(check (array bool)) "model" [| true; false; true; true |] model
+
+let test_wcnf_emission () =
+  let path = Filename.temp_file "test" ".wcnf" in
+  Sat.Dimacs.wcnf_to_file path ~n_vars:2
+    ~hard:[ [ lit 0; lit 1 ] ]
+    ~soft:[ (3, [ lit ~sign:false 0 ]); (2, [ lit ~sign:false 1 ]) ];
+  let contents =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "header" true
+    (String.length contents > 0
+    && String.sub contents 0 12 = "p wcnf 2 3 6")
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "vec",
+      [
+        Alcotest.test_case "push/pop/shrink" `Quick test_vec_push_pop;
+        Alcotest.test_case "filter_in_place" `Quick test_vec_filter;
+        Alcotest.test_case "sort" `Quick test_vec_sort;
+      ] );
+    ( "heap",
+      [
+        Alcotest.test_case "priority order" `Quick test_heap_order;
+        Alcotest.test_case "update" `Quick test_heap_update;
+      ] );
+    ("lit", [ Alcotest.test_case "roundtrips" `Quick test_lit_roundtrip ]);
+    ( "solver",
+      [
+        Alcotest.test_case "trivial sat" `Quick test_solver_trivial_sat;
+        Alcotest.test_case "trivial unsat" `Quick test_solver_trivial_unsat;
+        Alcotest.test_case "empty clause" `Quick test_solver_empty_clause;
+        Alcotest.test_case "no clauses" `Quick test_solver_no_clauses;
+        Alcotest.test_case "forced model" `Quick test_solver_model;
+        Alcotest.test_case "pigeonhole unsat" `Quick test_solver_pigeonhole;
+        Alcotest.test_case "assumptions" `Quick test_solver_assumptions;
+        Alcotest.test_case "incremental" `Quick test_solver_incremental;
+        qtest prop_solver_agrees_with_brute;
+        qtest prop_solver_assumptions_sound;
+      ] );
+    ( "card",
+      [
+        Alcotest.test_case "amo pairwise" `Quick
+          (check_amo_encoding Sat.Card.Pairwise);
+        Alcotest.test_case "amo sequential" `Quick
+          (check_amo_encoding Sat.Card.Sequential);
+        Alcotest.test_case "exactly one" `Quick test_exactly_one;
+        Alcotest.test_case "at most k" `Quick test_at_most_k;
+        qtest prop_totalizer_counts;
+      ] );
+    ( "formula",
+      [ qtest prop_tseitin_equisat; qtest prop_nnf_preserves_semantics ] );
+    ( "dimacs",
+      [
+        Alcotest.test_case "cnf roundtrip" `Quick test_dimacs_roundtrip;
+        Alcotest.test_case "model parsing" `Quick test_dimacs_model_parse;
+        Alcotest.test_case "wcnf emission" `Quick test_wcnf_emission;
+      ] );
+  ]
+
+let () = Alcotest.run "sat" suite

@@ -1,0 +1,614 @@
+(* Tests for the SATMAP core: mappings, the verifier, the encoding, the
+   routers (monolithic / sliced / cyclic / portfolio), and the noise-aware
+   objective.  Router optimality is checked against an independent
+   brute-force reference (Dijkstra over (step, mapping) states). *)
+
+let cx = Quantum.Gate.cx
+let line n = Arch.Topologies.linear n
+let tokyo = Arch.Topologies.tokyo ()
+
+let quick_config =
+  { Satmap.Router.default_config with timeout = 20.0 }
+
+(* The paper's running example (Fig. 3): a 4-qubit star circuit on a
+   4-qubit path; the optimal solution inserts exactly one swap. *)
+let running_example () =
+  ( line 4,
+    Quantum.Circuit.create ~n_qubits:4 [ cx 0 1; cx 0 2; cx 0 1; cx 0 3 ] )
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force optimal QMR (independent reference) *)
+
+module Brute_qmr = struct
+  (* All injective maps from n_log logical onto n_phys physical qubits. *)
+  let all_maps ~n_log ~n_phys =
+    let rec go chosen free k =
+      if k = n_log then [ Array.of_list (List.rev chosen) ]
+      else
+        List.concat_map
+          (fun p ->
+            go (p :: chosen) (List.filter (( <> ) p) free) (k + 1))
+          free
+    in
+    go [] (List.init n_phys Fun.id) 0
+
+  let apply_swap map (a, b) =
+    Array.map (fun p -> if p = a then b else if p = b then a else p) map
+
+  (* Minimal number of swaps for the whole circuit: Dijkstra over
+     (next-step index, mapping). *)
+  let optimal_swaps device circuit =
+    let steps =
+      List.map
+        (fun (_, q, q') -> (q, q'))
+        (Quantum.Circuit.two_qubit_gates circuit)
+    in
+    let n_steps = List.length steps in
+    if n_steps = 0 then Some 0
+    else begin
+      let steps = Array.of_list steps in
+      let n_log = Quantum.Circuit.n_qubits circuit in
+      let n_phys = Arch.Device.n_qubits device in
+      let maps = all_maps ~n_log ~n_phys in
+      let dist = Hashtbl.create 4096 in
+      let module Pq = Map.Make (Int) in
+      let pq = ref Pq.empty in
+      let push cost state =
+        pq :=
+          Pq.update cost
+            (fun l -> Some (state :: Option.value l ~default:[]))
+            !pq
+      in
+      let pop () =
+        match Pq.min_binding_opt !pq with
+        | None -> None
+        | Some (c, [ s ]) ->
+          pq := Pq.remove c !pq;
+          Some (c, s)
+        | Some (c, s :: rest) ->
+          pq := Pq.add c rest !pq;
+          Some (c, s)
+        | Some (_, []) -> assert false
+      in
+      let key (i, map) = (i, Array.to_list map) in
+      List.iter
+        (fun m ->
+          Hashtbl.replace dist (key (0, m)) 0;
+          push 0 (0, m))
+        maps;
+      let result = ref None in
+      while !result = None && Pq.cardinal !pq > 0 do
+        match pop () with
+        | None -> ()
+        | Some (cost, (i, map)) ->
+          if Hashtbl.find dist (key (i, map)) = cost then begin
+            if i = n_steps then result := Some cost
+            else begin
+              let relax cost' state =
+                let k = key state in
+                match Hashtbl.find_opt dist k with
+                | Some c when c <= cost' -> ()
+                | _ ->
+                  Hashtbl.replace dist k cost';
+                  push cost' state
+              in
+              (* Execute the next gate if its qubits are adjacent. *)
+              let q, q' = steps.(i) in
+              if Arch.Device.adjacent device map.(q) map.(q') then
+                relax cost (i + 1, map);
+              (* Or apply any swap. *)
+              List.iter
+                (fun e -> relax (cost + 1) (i, apply_swap map e))
+                (Arch.Device.edges device)
+            end
+          end
+      done;
+      !result
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Mapping *)
+
+let test_mapping_validation () =
+  Alcotest.check_raises "not injective"
+    (Invalid_argument "Mapping: not injective") (fun () ->
+      ignore (Satmap.Mapping.of_array ~n_phys:3 [| 0; 0 |]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Mapping: target out of range") (fun () ->
+      ignore (Satmap.Mapping.of_array ~n_phys:3 [| 0; 5 |]));
+  Alcotest.check_raises "too many logical"
+    (Invalid_argument "Mapping: more logical than physical qubits") (fun () ->
+      ignore (Satmap.Mapping.of_array ~n_phys:1 [| 0; 1 |]))
+
+let test_mapping_swap () =
+  let m = Satmap.Mapping.of_array ~n_phys:4 [| 0; 1; 2 |] in
+  let m' = Satmap.Mapping.apply_swap m (1, 3) in
+  Alcotest.(check int) "q1 moved" 3 (Satmap.Mapping.phys_of_log m' 1);
+  Alcotest.(check int) "q0 stays" 0 (Satmap.Mapping.phys_of_log m' 0);
+  (* Swapping with an unoccupied qubit moves the occupant. *)
+  let m'' = Satmap.Mapping.apply_swap m' (3, 1) in
+  Alcotest.(check bool) "involution" true (Satmap.Mapping.equal m m'')
+
+let test_mapping_inverse () =
+  let m = Satmap.Mapping.of_array ~n_phys:4 [| 2; 0 |] in
+  Alcotest.(check (array int)) "inverse" [| 1; -1; 0; -1 |]
+    (Satmap.Mapping.phys_to_log m);
+  Alcotest.(check (option int)) "log_of_phys" (Some 0)
+    (Satmap.Mapping.log_of_phys m 2);
+  Alcotest.(check (option int)) "free" None (Satmap.Mapping.log_of_phys m 1)
+
+let prop_mapping_swaps_preserve_injectivity =
+  QCheck2.Test.make ~count:200 ~name:"swap sequences preserve injectivity"
+    QCheck2.Gen.(
+      let* seed = int_range 0 100000 in
+      let* n_swaps = int_range 0 20 in
+      return (seed, n_swaps))
+    (fun (seed, n_swaps) ->
+      let rng = Rng.create seed in
+      let n_phys = 4 + Rng.int rng 6 in
+      let n_log = 2 + Rng.int rng (n_phys - 2) in
+      let m = ref (Satmap.Mapping.random rng ~n_log ~n_phys) in
+      for _ = 1 to n_swaps do
+        let a = Rng.int rng n_phys in
+        let b = (a + 1 + Rng.int rng (n_phys - 1)) mod n_phys in
+        m := Satmap.Mapping.apply_swap !m (a, b)
+      done;
+      let arr = Satmap.Mapping.to_array !m in
+      Array.length arr = n_log
+      && List.length (List.sort_uniq compare (Array.to_list arr)) = n_log)
+
+let test_swap_distance_lower_bound () =
+  let a = Satmap.Mapping.of_array ~n_phys:3 [| 0; 1; 2 |] in
+  let b = Satmap.Mapping.of_array ~n_phys:3 [| 1; 0; 2 |] in
+  Alcotest.(check int) "one transposition" 1
+    (Satmap.Mapping.swap_distance_lower_bound a b);
+  let c = Satmap.Mapping.of_array ~n_phys:3 [| 1; 2; 0 |] in
+  Alcotest.(check int) "3-cycle" 2
+    (Satmap.Mapping.swap_distance_lower_bound a c);
+  Alcotest.(check int) "identity" 0
+    (Satmap.Mapping.swap_distance_lower_bound a a)
+
+(* ------------------------------------------------------------------ *)
+(* Verifier *)
+
+let routed_of_gates ~device ~initial ~final gates =
+  Satmap.Routed.create ~device
+    ~initial:
+      (Satmap.Mapping.of_array ~n_phys:(Arch.Device.n_qubits device) initial)
+    ~final:
+      (Satmap.Mapping.of_array ~n_phys:(Arch.Device.n_qubits device) final)
+    ~circuit:
+      (Quantum.Circuit.create ~n_qubits:(Arch.Device.n_qubits device) gates)
+
+let test_verifier_accepts_valid () =
+  let device = line 3 in
+  let original = Quantum.Circuit.create ~n_qubits:3 [ cx 0 1; cx 0 2 ] in
+  (* map identity; swap p2,p1 before second gate so q2 reaches p1 *)
+  let routed =
+    routed_of_gates ~device ~initial:[| 0; 1; 2 |] ~final:[| 0; 2; 1 |]
+      [ cx 0 1; Quantum.Gate.swap 1 2; cx 0 1 ]
+  in
+  Alcotest.(check (list string)) "no failures" []
+    (List.map Satmap.Verifier.failure_to_string
+       (Satmap.Verifier.check ~original routed))
+
+let test_verifier_rejects_disconnected () =
+  let device = line 3 in
+  let original = Quantum.Circuit.create ~n_qubits:3 [ cx 0 2 ] in
+  let routed =
+    routed_of_gates ~device ~initial:[| 0; 1; 2 |] ~final:[| 0; 1; 2 |]
+      [ cx 0 2 ]
+  in
+  match Satmap.Verifier.check ~original routed with
+  | Satmap.Verifier.Disconnected_gate _ :: _ -> ()
+  | other ->
+    Alcotest.failf "expected disconnection, got %s"
+      (String.concat ";" (List.map Satmap.Verifier.failure_to_string other))
+
+let test_verifier_rejects_wrong_gate () =
+  let device = line 2 in
+  let original = Quantum.Circuit.create ~n_qubits:2 [ cx 0 1 ] in
+  let routed =
+    routed_of_gates ~device ~initial:[| 0; 1 |] ~final:[| 0; 1 |]
+      [ cx 1 0 (* flipped orientation *) ]
+  in
+  match Satmap.Verifier.check ~original routed with
+  | Satmap.Verifier.Wrong_gate _ :: _ -> ()
+  | _ -> Alcotest.fail "expected wrong gate"
+
+let test_verifier_rejects_missing () =
+  let device = line 2 in
+  let original = Quantum.Circuit.create ~n_qubits:2 [ cx 0 1; cx 0 1 ] in
+  let routed =
+    routed_of_gates ~device ~initial:[| 0; 1 |] ~final:[| 0; 1 |] [ cx 0 1 ]
+  in
+  match Satmap.Verifier.check ~original routed with
+  | [ Satmap.Verifier.Missing_gates { n_missing = 1 } ] -> ()
+  | _ -> Alcotest.fail "expected missing gate"
+
+let test_verifier_rejects_bad_final_map () =
+  let device = line 3 in
+  let original = Quantum.Circuit.create ~n_qubits:3 [ cx 0 1 ] in
+  let routed =
+    routed_of_gates ~device ~initial:[| 0; 1; 2 |] ~final:[| 0; 2; 1 |]
+      [ cx 0 1 ]
+  in
+  match Satmap.Verifier.check ~original routed with
+  | [ Satmap.Verifier.Final_map_mismatch ] -> ()
+  | _ -> Alcotest.fail "expected final map mismatch"
+
+let test_verifier_accepts_reordered_independent () =
+  let device = line 4 in
+  let original = Quantum.Circuit.create ~n_qubits:4 [ cx 0 1; cx 2 3 ] in
+  let routed =
+    routed_of_gates ~device ~initial:[| 0; 1; 2; 3 |] ~final:[| 0; 1; 2; 3 |]
+      [ cx 2 3; cx 0 1 (* independent gates swapped *) ]
+  in
+  Alcotest.(check bool) "accepted" true
+    (Satmap.Verifier.is_valid ~original routed)
+
+let test_verifier_rejects_reordered_dependent () =
+  let device = line 3 in
+  let original = Quantum.Circuit.create ~n_qubits:3 [ cx 0 1; cx 1 2 ] in
+  let routed =
+    routed_of_gates ~device ~initial:[| 0; 1; 2 |] ~final:[| 0; 1; 2 |]
+      [ cx 1 2; cx 0 1 ]
+  in
+  Alcotest.(check bool) "rejected" false
+    (Satmap.Verifier.is_valid ~original routed)
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let test_encoding_running_example () =
+  let device, circuit = running_example () in
+  let spec = Satmap.Encoding.spec device in
+  let enc = Satmap.Encoding.build spec circuit in
+  (* Consecutive duplicate pair (cx 0 1 twice in a row)?  The example has
+     cx 0 1; cx 0 2; cx 0 1; cx 0 3 — no consecutive duplicates. *)
+  Alcotest.(check int) "steps" 4 (Satmap.Encoding.n_steps enc);
+  let inst = Satmap.Encoding.instance enc in
+  match Maxsat.Optimizer.solve inst with
+  | Maxsat.Optimizer.Optimal o ->
+    Alcotest.(check int) "optimal one swap" 1 o.cost;
+    let sol = Satmap.Encoding.decode enc o.model in
+    Alcotest.(check int) "decoded swaps" 1 sol.swap_count
+  | _ -> Alcotest.fail "expected Optimal"
+
+let test_encoding_coalesce () =
+  let device = line 3 in
+  let circuit =
+    Quantum.Circuit.create ~n_qubits:3 [ cx 0 1; cx 1 0; cx 0 1; cx 1 2 ]
+  in
+  let enc = Satmap.Encoding.build (Satmap.Encoding.spec device) circuit in
+  Alcotest.(check int) "coalesced steps" 2 (Satmap.Encoding.n_steps enc);
+  let enc' =
+    Satmap.Encoding.build (Satmap.Encoding.spec ~coalesce:false device) circuit
+  in
+  Alcotest.(check int) "uncoalesced steps" 4 (Satmap.Encoding.n_steps enc')
+
+let test_encoding_estimate () =
+  let device, circuit = running_example () in
+  let spec = Satmap.Encoding.spec device in
+  let est = Satmap.Encoding.estimate_vars spec circuit in
+  Alcotest.(check bool) "positive and sane" true (est > 0 && est < 100000)
+
+let test_encoding_fixed_initial () =
+  let device, circuit = running_example () in
+  (* Pin the known-optimal initial map q0->p1: still cost 1.  Pin a bad
+     initial map (q0 at the end of the line): cost goes up. *)
+  let solve fixed_initial =
+    let enc =
+      Satmap.Encoding.build ~fixed_initial (Satmap.Encoding.spec device) circuit
+    in
+    match Maxsat.Optimizer.solve (Satmap.Encoding.instance enc) with
+    | Maxsat.Optimizer.Optimal o -> o.cost
+    | _ -> Alcotest.fail "expected Optimal"
+  in
+  Alcotest.(check int) "good pin" 1 (solve [| 1; 0; 2; 3 |]);
+  Alcotest.(check bool) "bad pin costs more" true (solve [| 0; 1; 2; 3 |] > 1)
+
+let test_encoding_cyclic () =
+  let device, circuit = running_example () in
+  let enc =
+    Satmap.Encoding.build ~cyclic:true
+      (Satmap.Encoding.spec ~post_slots:2 device)
+      circuit
+  in
+  match Maxsat.Optimizer.solve (Satmap.Encoding.instance enc) with
+  | Maxsat.Optimizer.Optimal o ->
+    let sol = Satmap.Encoding.decode enc o.model in
+    Alcotest.(check (array int)) "final = initial" sol.initial sol.final
+  | _ -> Alcotest.fail "expected Optimal"
+
+let test_encoding_blocked_finals () =
+  let device = line 2 in
+  let circuit = Quantum.Circuit.create ~n_qubits:2 [ cx 0 1 ] in
+  let spec = Satmap.Encoding.spec device in
+  (* Only two injective maps exist; block both finals -> unsat. *)
+  let enc =
+    Satmap.Encoding.build ~blocked_finals:[ [| 0; 1 |]; [| 1; 0 |] ] spec
+      circuit
+  in
+  match Maxsat.Optimizer.solve (Satmap.Encoding.instance enc) with
+  | Maxsat.Optimizer.Unsatisfiable -> ()
+  | _ -> Alcotest.fail "expected Unsatisfiable"
+
+(* ------------------------------------------------------------------ *)
+(* Router: correctness and optimality *)
+
+let get_routed = function
+  | Satmap.Router.Routed (r, s) -> (r, s)
+  | Satmap.Router.Failed m -> Alcotest.failf "routing failed: %s" m
+
+let test_router_running_example () =
+  let device, circuit = running_example () in
+  let r, s = get_routed (Satmap.Router.route_monolithic ~config:quick_config device circuit) in
+  Alcotest.(check int) "paper's optimal" 1 (Satmap.Routed.n_swaps r);
+  Alcotest.(check int) "3 added CNOTs" 3 (Satmap.Routed.added_cnots r);
+  Alcotest.(check bool) "proved optimal" true s.proved_optimal;
+  Alcotest.(check bool) "verifies" true
+    (Satmap.Verifier.is_valid ~original:circuit r)
+
+let test_router_no_two_qubit_gates () =
+  let device = line 3 in
+  let circuit =
+    Quantum.Circuit.create ~n_qubits:2 [ Quantum.Gate.h 0; Quantum.Gate.h 1 ]
+  in
+  let r, s = get_routed (Satmap.Router.route_monolithic device circuit) in
+  Alcotest.(check int) "no swaps" 0 (Satmap.Routed.n_swaps r);
+  Alcotest.(check bool) "optimal" true s.proved_optimal
+
+let test_router_does_not_fit () =
+  let device = line 2 in
+  let circuit = Quantum.Circuit.create ~n_qubits:3 [ cx 0 2 ] in
+  match Satmap.Router.route_monolithic device circuit with
+  | Satmap.Router.Failed _ -> ()
+  | Satmap.Router.Routed _ -> Alcotest.fail "expected failure"
+
+let prop_router_optimal_vs_brute =
+  QCheck2.Test.make ~count:12 ~name:"monolithic router matches brute optimum"
+    QCheck2.Gen.(
+      let* seed = int_range 0 1000 in
+      let* n_gates = int_range 1 5 in
+      return (seed, n_gates))
+    (fun (seed, n_gates) ->
+      let rng = Rng.create seed in
+      let n_phys = 4 in
+      let n_log = 3 in
+      let device = line n_phys in
+      let circuit =
+        Quantum.Circuit.create ~n_qubits:n_log
+          (List.init n_gates (fun _ ->
+               let a = Rng.int rng n_log in
+               let b = (a + 1 + Rng.int rng (n_log - 1)) mod n_log in
+               cx a b))
+      in
+      let expected = Brute_qmr.optimal_swaps device circuit in
+      match
+        Satmap.Router.route_monolithic ~config:quick_config device circuit
+      with
+      | Satmap.Router.Routed (r, s) ->
+        s.proved_optimal
+        && Some (Satmap.Routed.n_swaps r) = expected
+        && Satmap.Verifier.is_valid ~original:circuit r
+      | Satmap.Router.Failed _ -> false)
+
+let test_router_sliced_valid_and_bounded () =
+  (* Fig. 6 example spirit: slicing may cost more but never less than the
+     global optimum, and always verifies. *)
+  let device = line 3 in
+  let circuit = Quantum.Circuit.create ~n_qubits:3 [ cx 0 1; cx 0 2 ] in
+  let mono, _ =
+    get_routed (Satmap.Router.route_monolithic ~config:quick_config device circuit)
+  in
+  Alcotest.(check int) "monolithic optimum 0" 0 (Satmap.Routed.n_swaps mono);
+  let sliced, _ =
+    get_routed
+      (Satmap.Router.route_sliced ~config:quick_config ~slice_size:1 device circuit)
+  in
+  Alcotest.(check bool) "sliced verifies" true
+    (Satmap.Verifier.is_valid ~original:circuit sliced);
+  Alcotest.(check bool) "sliced >= optimal" true
+    (Satmap.Routed.n_swaps sliced >= 0)
+
+let test_router_sliced_equals_monolithic_when_one_slice () =
+  let device, circuit = running_example () in
+  let r, _ =
+    get_routed
+      (Satmap.Router.route_sliced ~config:quick_config ~slice_size:100 device
+         circuit)
+  in
+  Alcotest.(check int) "same as monolithic" 1 (Satmap.Routed.n_swaps r)
+
+let test_router_backtracking_seam () =
+  (* A seam that forces either backtracking or escalation: on a line of 4,
+     with slice size 1, consecutive far-apart interactions. *)
+  let device = line 4 in
+  let circuit =
+    Quantum.Circuit.create ~n_qubits:4 [ cx 0 1; cx 2 3; cx 0 3; cx 1 2 ]
+  in
+  let r, _ =
+    get_routed
+      (Satmap.Router.route_sliced ~config:quick_config ~slice_size:1 device
+         circuit)
+  in
+  Alcotest.(check bool) "verifies" true
+    (Satmap.Verifier.is_valid ~original:circuit r)
+
+let test_router_cyclic_body () =
+  let device, body = running_example () in
+  let r, _ =
+    get_routed
+      (Satmap.Router.route_cyclic_body ~config:quick_config ~repetitions:3
+         device body)
+  in
+  Alcotest.(check bool) "cyclic" true
+    (Satmap.Mapping.equal (Satmap.Routed.initial r) (Satmap.Routed.final r));
+  let original = Quantum.Circuit.repeat body 3 in
+  Alcotest.(check bool) "verifies" true
+    (Satmap.Verifier.is_valid ~original r);
+  (* Swaps scale linearly with repetitions. *)
+  Alcotest.(check int) "multiple of 3" 0 (Satmap.Routed.n_swaps r mod 3)
+
+let test_router_cyclic_autodetect () =
+  let device, body = running_example () in
+  let circuit = Quantum.Circuit.repeat body 2 in
+  let r, _ =
+    get_routed (Satmap.Router.route_cyclic ~config:quick_config device circuit)
+  in
+  Alcotest.(check bool) "verifies" true
+    (Satmap.Verifier.is_valid ~original:circuit r)
+
+let test_router_portfolio () =
+  let device, circuit = running_example () in
+  let best, per_size =
+    Satmap.Router.route_portfolio ~config:quick_config ~sizes:[ 1; 2; 100 ]
+      device circuit
+  in
+  Alcotest.(check int) "three entries" 3 (List.length per_size);
+  let r, _ = get_routed best in
+  List.iter
+    (fun (_, outcome) ->
+      match outcome with
+      | Satmap.Router.Routed (r', _) ->
+        Alcotest.(check bool) "best is min" true
+          (Satmap.Routed.n_swaps r <= Satmap.Routed.n_swaps r')
+      | Satmap.Router.Failed _ -> ())
+    per_size
+
+let test_router_parallel_portfolio () =
+  let device, circuit = running_example () in
+  let best, per_size =
+    Satmap.Router.route_portfolio_parallel ~config:quick_config
+      ~sizes:[ 1; 2; 100 ] device circuit
+  in
+  Alcotest.(check int) "three entries" 3 (List.length per_size);
+  let r, _ = get_routed best in
+  Alcotest.(check int) "optimal found in parallel" 1 (Satmap.Routed.n_swaps r);
+  Alcotest.(check bool) "verifies" true
+    (Satmap.Verifier.is_valid ~original:circuit r)
+
+let test_router_expired_timeout () =
+  let device = tokyo in
+  let rng = Rng.create 99 in
+  let circuit =
+    Workloads.Generators.uniform_random rng ~n:10 ~gates:60
+  in
+  let config = { Satmap.Router.default_config with timeout = 0.0 } in
+  match Satmap.Router.route_sliced ~config ~slice_size:10 device circuit with
+  | Satmap.Router.Failed _ -> ()
+  | Satmap.Router.Routed _ ->
+    (* acceptable if the first deadline check passed before expiry *)
+    ()
+
+let prop_routers_always_verified =
+  QCheck2.Test.make ~count:10 ~name:"all SATMAP modes produce verified routings"
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 4 + Rng.int rng 3 in
+      let circuit =
+        Workloads.Generators.local_random rng ~n ~gates:(4 + Rng.int rng 8)
+          ~locality:0.7
+      in
+      let device = Arch.Topologies.grid ~rows:2 ~cols:4 in
+      let ok outcome =
+        match outcome with
+        | Satmap.Router.Routed (r, _) ->
+          Satmap.Verifier.is_valid ~original:circuit r
+        | Satmap.Router.Failed _ -> false
+      in
+      ok (Satmap.Router.route_monolithic ~config:quick_config device circuit)
+      && ok
+           (Satmap.Router.route_sliced ~config:quick_config ~slice_size:3
+              device circuit))
+
+(* ------------------------------------------------------------------ *)
+(* Noise-aware objective (Q6) *)
+
+let test_noise_aware_routes () =
+  let cal = Arch.Calibration.fake_tokyo () in
+  let device = Arch.Calibration.device cal in
+  let rng = Rng.create 4 in
+  let circuit = Workloads.Generators.local_random rng ~n:5 ~gates:6 ~locality:0.8 in
+  let config =
+    {
+      quick_config with
+      objective = Satmap.Encoding.Fidelity cal;
+    }
+  in
+  let r, _ = get_routed (Satmap.Router.route_sliced ~config ~slice_size:10 device circuit) in
+  Alcotest.(check bool) "verifies" true
+    (Satmap.Verifier.is_valid ~original:circuit r);
+  let f = Arch.Calibration.circuit_fidelity cal (Satmap.Routed.circuit r) in
+  Alcotest.(check bool) "fidelity in (0,1]" true (f > 0.0 && f <= 1.0)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "mapping",
+      [
+        Alcotest.test_case "validation" `Quick test_mapping_validation;
+        Alcotest.test_case "swap application" `Quick test_mapping_swap;
+        Alcotest.test_case "inverse view" `Quick test_mapping_inverse;
+        Alcotest.test_case "swap distance bound" `Quick
+          test_swap_distance_lower_bound;
+        qtest prop_mapping_swaps_preserve_injectivity;
+      ] );
+    ( "verifier",
+      [
+        Alcotest.test_case "accepts valid" `Quick test_verifier_accepts_valid;
+        Alcotest.test_case "rejects disconnected" `Quick
+          test_verifier_rejects_disconnected;
+        Alcotest.test_case "rejects wrong gate" `Quick
+          test_verifier_rejects_wrong_gate;
+        Alcotest.test_case "rejects missing gates" `Quick
+          test_verifier_rejects_missing;
+        Alcotest.test_case "rejects bad final map" `Quick
+          test_verifier_rejects_bad_final_map;
+        Alcotest.test_case "accepts commuting reorder" `Quick
+          test_verifier_accepts_reordered_independent;
+        Alcotest.test_case "rejects dependent reorder" `Quick
+          test_verifier_rejects_reordered_dependent;
+      ] );
+    ( "encoding",
+      [
+        Alcotest.test_case "running example (Fig 3)" `Quick
+          test_encoding_running_example;
+        Alcotest.test_case "step coalescing" `Quick test_encoding_coalesce;
+        Alcotest.test_case "size estimate" `Quick test_encoding_estimate;
+        Alcotest.test_case "pinned initial maps" `Quick
+          test_encoding_fixed_initial;
+        Alcotest.test_case "cyclic tie (Sec VI)" `Quick test_encoding_cyclic;
+        Alcotest.test_case "blocked finals (Sec V)" `Quick
+          test_encoding_blocked_finals;
+      ] );
+    ( "router",
+      [
+        Alcotest.test_case "running example optimal" `Quick
+          test_router_running_example;
+        Alcotest.test_case "no 2q gates" `Quick test_router_no_two_qubit_gates;
+        Alcotest.test_case "does not fit" `Quick test_router_does_not_fit;
+        Alcotest.test_case "sliced valid" `Quick
+          test_router_sliced_valid_and_bounded;
+        Alcotest.test_case "single slice = monolithic" `Quick
+          test_router_sliced_equals_monolithic_when_one_slice;
+        Alcotest.test_case "seam backtracking" `Quick
+          test_router_backtracking_seam;
+        Alcotest.test_case "cyclic body" `Quick test_router_cyclic_body;
+        Alcotest.test_case "cyclic autodetect" `Quick
+          test_router_cyclic_autodetect;
+        Alcotest.test_case "portfolio" `Quick test_router_portfolio;
+        Alcotest.test_case "parallel portfolio" `Quick
+          test_router_parallel_portfolio;
+        Alcotest.test_case "expired timeout" `Quick test_router_expired_timeout;
+        qtest prop_router_optimal_vs_brute;
+        qtest prop_routers_always_verified;
+      ] );
+    ("noise", [ Alcotest.test_case "fidelity objective" `Quick test_noise_aware_routes ]);
+  ]
+
+let () = Alcotest.run "satmap" suite

@@ -1,0 +1,217 @@
+(* Semantic verification: routed circuits must implement the same unitary
+   as the original, up to the initial/final qubit maps.  This is the
+   strongest end-to-end check in the repository — any bug in swap
+   bookkeeping, gate orientation, emission order, or map tracking shows
+   up as an amplitude mismatch. *)
+
+let cx = Quantum.Gate.cx
+
+(* ------------------------------------------------------------------ *)
+(* Simulator unit tests *)
+
+let test_simulator_basics () =
+  (* X|00> = |01> (qubit 0 flipped) *)
+  let s = Quantum.Simulator.zero_state 2 in
+  let x0 = Quantum.Circuit.create ~n_qubits:2 [ Quantum.Gate.one Quantum.Gate.X 0 ] in
+  let s' = Quantum.Simulator.run x0 s in
+  Alcotest.(check bool) "X|00> = |q0=1>" true
+    (Quantum.Simulator.approx_equal s'
+       (Quantum.Simulator.basis_state [| true; false |]));
+  (* H twice is the identity *)
+  let h0 =
+    Quantum.Circuit.create ~n_qubits:2
+      [ Quantum.Gate.h 0; Quantum.Gate.h 0 ]
+  in
+  Alcotest.(check bool) "HH = I" true
+    (Quantum.Simulator.approx_equal (Quantum.Simulator.run h0 s) s);
+  (* CX with control set flips the target *)
+  let prep =
+    Quantum.Circuit.create ~n_qubits:2 [ Quantum.Gate.one Quantum.Gate.X 0; cx 0 1 ]
+  in
+  Alcotest.(check bool) "CX flips target" true
+    (Quantum.Simulator.approx_equal
+       (Quantum.Simulator.run prep s)
+       (Quantum.Simulator.basis_state [| true; true |]))
+
+let test_simulator_swap_is_cx3 () =
+  (* swap = cx; cx(rev); cx on every basis state *)
+  for input = 0 to 3 do
+    let bits = [| input land 1 = 1; input land 2 = 2 |] in
+    let s = Quantum.Simulator.basis_state bits in
+    let via_swap =
+      Quantum.Simulator.run
+        (Quantum.Circuit.create ~n_qubits:2 [ Quantum.Gate.swap 0 1 ])
+        s
+    in
+    let via_cx =
+      Quantum.Simulator.run
+        (Quantum.Circuit.create ~n_qubits:2 [ cx 0 1; cx 1 0; cx 0 1 ])
+        s
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "input %d" input)
+      true
+      (Quantum.Simulator.approx_equal via_swap via_cx)
+  done
+
+let test_simulator_norm_preserved () =
+  let rng = Rng.create 5 in
+  let c = Workloads.Generators.local_random rng ~n:5 ~gates:30 ~locality:0.6 in
+  let with_1q =
+    Quantum.Circuit.concat c
+      (Quantum.Circuit.create ~n_qubits:5
+         (List.init 5 (fun q ->
+              Quantum.Gate.one (Quantum.Gate.Ry (0.1 +. float_of_int q)) q)))
+  in
+  let s = Quantum.Simulator.run with_1q (Quantum.Simulator.zero_state 5) in
+  Alcotest.(check (float 1e-9)) "unit norm" 1.0 (Quantum.Simulator.norm2 s)
+
+let test_simulator_decompose_equivalence () =
+  (* Lowering to the CX basis preserves the unitary. *)
+  let c =
+    Quantum.Circuit.create ~n_qubits:3
+      [
+        Quantum.Gate.h 0;
+        Quantum.Gate.swap 0 1;
+        Quantum.Gate.cz 1 2;
+        Quantum.Gate.two (Quantum.Gate.Rzz 0.7) 0 2;
+      ]
+  in
+  let lowered = Quantum.Decompose.to_cx_basis c in
+  let s0 = Quantum.Simulator.zero_state 3 in
+  (* Same input through both; the H makes it a superposition test. *)
+  Alcotest.(check bool) "decomposition preserves semantics" true
+    (Quantum.Simulator.approx_equal
+       (Quantum.Simulator.run c s0)
+       (Quantum.Simulator.run lowered s0))
+
+let test_simulator_rejects_measure () =
+  let c =
+    Quantum.Circuit.create ~n_qubits:1 ~n_clbits:1
+      [ Quantum.Gate.Measure { qubit = 0; clbit = 0 } ]
+  in
+  match Quantum.Simulator.run c (Quantum.Simulator.zero_state 1) with
+  | exception Quantum.Simulator.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported"
+
+(* ------------------------------------------------------------------ *)
+(* Semantic routing equivalence *)
+
+(* Interesting input: a superposition prepared by H + T on every qubit. *)
+let superposition_input n =
+  let prep =
+    Quantum.Circuit.create ~n_qubits:n
+      (List.concat_map
+         (fun q -> [ Quantum.Gate.h q; Quantum.Gate.one Quantum.Gate.T q ])
+         (List.init n Fun.id))
+  in
+  Quantum.Simulator.run prep (Quantum.Simulator.zero_state n)
+
+let check_semantics ~device ~circuit routed =
+  let n_phys = Arch.Device.n_qubits device in
+  let n_log = Quantum.Circuit.n_qubits circuit in
+  let inputs =
+    superposition_input n_log
+    :: List.init 3 (fun k ->
+           Quantum.Simulator.basis_state
+             (Array.init n_log (fun q -> (k lsr q) land 1 = 1 || (q + k) mod 3 = 0)))
+  in
+  List.for_all
+    (fun input ->
+      let expected_log = Quantum.Simulator.run circuit input in
+      let phys_in =
+        Quantum.Simulator.embed input ~n_phys
+          ~placement:(Satmap.Mapping.to_array (Satmap.Routed.initial routed))
+      in
+      let phys_out = Quantum.Simulator.run (Satmap.Routed.circuit routed) phys_in in
+      let expected_phys =
+        Quantum.Simulator.embed expected_log ~n_phys
+          ~placement:(Satmap.Mapping.to_array (Satmap.Routed.final routed))
+      in
+      Quantum.Simulator.approx_equal ~tol:1e-7 phys_out expected_phys)
+    inputs
+
+let small_device = Arch.Topologies.grid ~rows:2 ~cols:3
+
+let random_circuit seed =
+  let rng = Rng.create seed in
+  let n = 3 + Rng.int rng 2 in
+  Workloads.Generators.local_random rng ~n ~gates:(3 + Rng.int rng 9)
+    ~locality:0.7
+
+let config = { Satmap.Router.default_config with timeout = 20.0 }
+
+let prop_satmap_semantics =
+  QCheck2.Test.make ~count:8 ~name:"SATMAP routing preserves the unitary"
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let circuit = random_circuit seed in
+      match
+        Satmap.Router.route_sliced ~config ~slice_size:3 small_device circuit
+      with
+      | Satmap.Router.Routed (r, _) ->
+        check_semantics ~device:small_device ~circuit r
+      | Satmap.Router.Failed _ -> false)
+
+let prop_heuristic_semantics =
+  QCheck2.Test.make ~count:8 ~name:"heuristic routing preserves the unitary"
+    QCheck2.Gen.(int_range 2000 3000)
+    (fun seed ->
+      let circuit = random_circuit seed in
+      List.for_all
+        (fun route -> check_semantics ~device:small_device ~circuit (route circuit))
+        [
+          Heuristics.Sabre.route small_device;
+          Heuristics.Tket_route.route small_device;
+          Heuristics.Astar_route.route small_device;
+          Heuristics.Hybrid.route small_device;
+        ])
+
+let test_cyclic_semantics () =
+  let device = Arch.Topologies.linear 4 in
+  let body =
+    Quantum.Circuit.create ~n_qubits:4 [ cx 0 1; cx 0 2; cx 0 3 ]
+  in
+  let circuit = Quantum.Circuit.repeat body 2 in
+  match Satmap.Router.route_cyclic_body ~config ~repetitions:2 device body with
+  | Satmap.Router.Routed (r, _) ->
+    Alcotest.(check bool) "cyclic semantics" true
+      (check_semantics ~device ~circuit r)
+  | Satmap.Router.Failed m -> Alcotest.failf "cyclic failed: %s" m
+
+let test_baseline_semantics () =
+  let circuit = random_circuit 777 in
+  (match Baselines.Tb_olsq.route small_device circuit with
+  | Satmap.Router.Routed (r, _) ->
+    Alcotest.(check bool) "tb-olsq semantics" true
+      (check_semantics ~device:small_device ~circuit r)
+  | Satmap.Router.Failed m -> Alcotest.failf "tb-olsq failed: %s" m);
+  match Baselines.Ex_mqt.route ~timeout:20.0 small_device circuit with
+  | Satmap.Router.Routed (r, _) ->
+    Alcotest.(check bool) "ex-mqt semantics" true
+      (check_semantics ~device:small_device ~circuit r)
+  | Satmap.Router.Failed m -> Alcotest.failf "ex-mqt failed: %s" m
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "simulator",
+      [
+        Alcotest.test_case "basics" `Quick test_simulator_basics;
+        Alcotest.test_case "swap = 3 cx" `Quick test_simulator_swap_is_cx3;
+        Alcotest.test_case "norm preserved" `Quick test_simulator_norm_preserved;
+        Alcotest.test_case "decompose equivalence" `Quick
+          test_simulator_decompose_equivalence;
+        Alcotest.test_case "rejects measure" `Quick test_simulator_rejects_measure;
+      ] );
+    ( "routing-semantics",
+      [
+        qtest prop_satmap_semantics;
+        qtest prop_heuristic_semantics;
+        Alcotest.test_case "cyclic" `Slow test_cyclic_semantics;
+        Alcotest.test_case "baselines" `Slow test_baseline_semantics;
+      ] );
+  ]
+
+let () = Alcotest.run "simulator" suite

@@ -1,0 +1,195 @@
+(* Tests for the workload generators, the synthetic benchmark suite, and
+   the QAOA circuit construction. *)
+
+(* ------------------------------------------------------------------ *)
+(* Structured generators *)
+
+let test_ghz () =
+  let c = Workloads.Generators.ghz 6 in
+  Alcotest.(check int) "qubits" 6 (Quantum.Circuit.n_qubits c);
+  Alcotest.(check int) "cnots" 5 (Quantum.Circuit.count_two_qubit c);
+  (* GHZ chain is nearest-neighbour: zero swaps on a line. *)
+  match Satmap.Router.route_monolithic (Arch.Topologies.linear 6) c with
+  | Satmap.Router.Routed (r, _) ->
+    Alcotest.(check int) "line-routable free" 0 (Satmap.Routed.n_swaps r)
+  | Satmap.Router.Failed m -> Alcotest.failf "failed: %s" m
+
+let test_qft_gate_count () =
+  let n = 5 in
+  let c = Workloads.Generators.qft n in
+  Alcotest.(check int) "controlled-phase count" (n * (n - 1) / 2)
+    (Quantum.Circuit.count_two_qubit c);
+  Alcotest.(check int) "h count" n (Quantum.Circuit.count_one_qubit c)
+
+let test_ripple_adder () =
+  let c = Workloads.Generators.ripple_adder 3 in
+  Alcotest.(check int) "qubits" 8 (Quantum.Circuit.n_qubits c);
+  Alcotest.(check bool) "has gates" true (Quantum.Circuit.count_two_qubit c > 0)
+
+let test_bv () =
+  let c = Workloads.Generators.bernstein_vazirani 7 in
+  Alcotest.(check int) "cnots" 6 (Quantum.Circuit.count_two_qubit c);
+  Alcotest.(check int) "h gates" 13 (Quantum.Circuit.count_one_qubit c)
+
+let test_toffoli_chain () =
+  let c = Workloads.Generators.toffoli_chain 5 in
+  Alcotest.(check int) "cnots" 18 (Quantum.Circuit.count_two_qubit c)
+
+let test_hea_structure () =
+  let c = Workloads.Generators.hea ~n:6 ~layers:3 in
+  Alcotest.(check int) "rotations" 18 (Quantum.Circuit.count_one_qubit c);
+  Alcotest.(check bool) "entanglers" true (Quantum.Circuit.count_two_qubit c > 0)
+
+let prop_local_random_well_formed =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"local_random is well formed"
+       QCheck2.Gen.(
+         let* seed = int_range 0 10000 in
+         let* n = int_range 2 16 in
+         let* gates = int_range 1 100 in
+         return (seed, n, gates))
+       (fun (seed, n, gates) ->
+         let rng = Rng.create seed in
+         let c = Workloads.Generators.local_random rng ~n ~gates ~locality:0.5 in
+         Quantum.Circuit.count_two_qubit c = gates
+         && Quantum.Circuit.n_qubits c = n))
+
+(* ------------------------------------------------------------------ *)
+(* Benchmark suite distribution *)
+
+let test_suite_size_and_ranges () =
+  let suite = Workloads.Suite.full () in
+  Alcotest.(check int) "160 benchmarks" 160 (List.length suite);
+  List.iter
+    (fun (b : Workloads.Suite.benchmark) ->
+      Alcotest.(check bool)
+        (b.name ^ " qubits in 3..16")
+        true
+        (b.n_qubits >= 3 && b.n_qubits <= 16);
+      Alcotest.(check bool)
+        (b.name ^ " gates in 5..2000")
+        true
+        (b.n_two_qubit >= 5 && b.n_two_qubit <= 2000))
+    suite
+
+let test_suite_median () =
+  (* The paper's median is 123; the log-uniform draw should land nearby. *)
+  let median = Workloads.Suite.median_two_qubit (Workloads.Suite.full ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "median %d in [40,250]" median)
+    true
+    (median >= 40 && median <= 250)
+
+let test_suite_deterministic () =
+  let a = Workloads.Suite.full () and b = Workloads.Suite.full () in
+  List.iter2
+    (fun (x : Workloads.Suite.benchmark) (y : Workloads.Suite.benchmark) ->
+      Alcotest.(check string) "same name" x.name y.name;
+      Alcotest.(check bool) "same circuit" true
+        (Quantum.Circuit.equal x.circuit y.circuit))
+    a b
+
+let test_suite_family_mix () =
+  let suite = Workloads.Suite.full () in
+  let families = List.sort_uniq compare (List.map (fun (b : Workloads.Suite.benchmark) -> b.family) suite) in
+  Alcotest.(check bool) "several families" true (List.length families >= 6)
+
+let test_suite_quick_subset () =
+  let quick = Workloads.Suite.quick ~n:20 () in
+  Alcotest.(check bool) "roughly 20" true
+    (List.length quick >= 15 && List.length quick <= 25);
+  (* sorted by size *)
+  let sizes = List.map (fun (b : Workloads.Suite.benchmark) -> b.n_two_qubit) quick in
+  Alcotest.(check bool) "sorted" true (List.sort compare sizes = sizes)
+
+let test_truncate () =
+  let rng = Rng.create 0 in
+  let c = Workloads.Generators.local_random rng ~n:5 ~gates:50 ~locality:0.5 in
+  let t = Workloads.Suite.truncate_two_qubit c 20 in
+  Alcotest.(check int) "truncated" 20 (Quantum.Circuit.count_two_qubit t);
+  let s = Workloads.Suite.sized c 120 in
+  Alcotest.(check int) "sized up" 120 (Quantum.Circuit.count_two_qubit s)
+
+(* ------------------------------------------------------------------ *)
+(* QAOA *)
+
+let test_qaoa_graph_regular () =
+  for seed = 0 to 9 do
+    let rng = Rng.create seed in
+    let g = Qaoa.Graphs.random_3_regular rng 12 in
+    Alcotest.(check bool) "3-regular" true (Qaoa.Graphs.is_regular g 3);
+    Alcotest.(check int) "edge count" 18 (Qaoa.Graphs.n_edges g)
+  done
+
+let test_qaoa_graph_odd_rejected () =
+  Alcotest.check_raises "odd sum"
+    (Invalid_argument "Graphs.random_regular: n * degree must be even")
+    (fun () ->
+      ignore (Qaoa.Graphs.random_regular (Rng.create 0) ~n:5 ~degree:3))
+
+let test_qaoa_circuit_structure () =
+  let rng = Rng.create 1 in
+  let g = Qaoa.Graphs.random_3_regular rng 8 in
+  let body = Qaoa.Build.body g in
+  Alcotest.(check int) "zz per edge" (Qaoa.Graphs.n_edges g)
+    (Quantum.Circuit.count_two_qubit body);
+  Alcotest.(check int) "mixers" 8 (Quantum.Circuit.count_one_qubit body);
+  let c = Qaoa.Build.circuit ~cycles:4 g in
+  Alcotest.(check int) "4 cycles" (4 * Qaoa.Graphs.n_edges g)
+    (Quantum.Circuit.count_two_qubit c);
+  (* The cyclic structure must be detectable for CYC-SATMAP. *)
+  match Quantum.Circuit.detect_repetition c with
+  | Some (b, k) ->
+    Alcotest.(check int) "detected cycles" 4 k;
+    Alcotest.(check bool) "body matches" true (Quantum.Circuit.equal b body)
+  | None -> Alcotest.fail "cyclic structure not detected"
+
+let test_qaoa_deterministic () =
+  let _, c1 = Qaoa.Build.maxcut_3_regular ~seed:5 ~n:10 ~cycles:2 in
+  let _, c2 = Qaoa.Build.maxcut_3_regular ~seed:5 ~n:10 ~cycles:2 in
+  Alcotest.(check bool) "same circuit" true (Quantum.Circuit.equal c1 c2)
+
+let test_qaoa_end_to_end_cyclic_routing () =
+  let _, circuit = Qaoa.Build.maxcut_3_regular ~seed:3 ~n:6 ~cycles:2 in
+  let config = { Satmap.Router.default_config with timeout = 30.0 } in
+  match Satmap.Router.route_cyclic ~config (Arch.Topologies.tokyo ()) circuit with
+  | Satmap.Router.Routed (r, _) ->
+    Alcotest.(check bool) "verified" true
+      (Satmap.Verifier.is_valid ~original:circuit r)
+  | Satmap.Router.Failed m -> Alcotest.failf "cyclic routing failed: %s" m
+
+let suite =
+  [
+    ( "generators",
+      [
+        Alcotest.test_case "ghz" `Quick test_ghz;
+        Alcotest.test_case "qft" `Quick test_qft_gate_count;
+        Alcotest.test_case "ripple adder" `Quick test_ripple_adder;
+        Alcotest.test_case "bernstein-vazirani" `Quick test_bv;
+        Alcotest.test_case "toffoli chain" `Quick test_toffoli_chain;
+        Alcotest.test_case "hea" `Quick test_hea_structure;
+        prop_local_random_well_formed;
+      ] );
+    ( "suite",
+      [
+        Alcotest.test_case "size and ranges" `Quick test_suite_size_and_ranges;
+        Alcotest.test_case "median near paper" `Quick test_suite_median;
+        Alcotest.test_case "deterministic" `Quick test_suite_deterministic;
+        Alcotest.test_case "family mix" `Quick test_suite_family_mix;
+        Alcotest.test_case "quick subset" `Quick test_suite_quick_subset;
+        Alcotest.test_case "truncate / size" `Quick test_truncate;
+      ] );
+    ( "qaoa",
+      [
+        Alcotest.test_case "graphs 3-regular" `Quick test_qaoa_graph_regular;
+        Alcotest.test_case "odd degree-sum rejected" `Quick
+          test_qaoa_graph_odd_rejected;
+        Alcotest.test_case "circuit structure" `Quick
+          test_qaoa_circuit_structure;
+        Alcotest.test_case "deterministic" `Quick test_qaoa_deterministic;
+        Alcotest.test_case "cyclic routing end-to-end" `Slow
+          test_qaoa_end_to_end_cyclic_routing;
+      ] );
+  ]
+
+let () = Alcotest.run "workloads" suite
