@@ -21,6 +21,8 @@ let opt_suite_n = ref 12
 let opt_full = ref false
 let opt_list = ref false
 let opt_no_micro = ref false
+let opt_json : string option ref = ref None
+let opt_smoke = ref false
 
 let args =
   [
@@ -31,6 +33,13 @@ let args =
     ("--full", Arg.Set opt_full, " paper-scale: all 160 benchmarks, 30s budgets");
     ("--list", Arg.Set opt_list, " list experiment ids and exit");
     ("--no-micro", Arg.Set opt_no_micro, " skip the Bechamel micro-benchmarks");
+    ("--json", Arg.String (fun s -> opt_json := Some s),
+     "FILE write a machine-readable snapshot of the main set (per-benchmark \
+      wall time, swaps, solver conflicts/s and propagations/s)");
+    ("--smoke", Arg.Set opt_smoke,
+     " 3-benchmark, seconds-scale slice of the harness (used by the \
+      @bench-smoke dune alias, so the perf plumbing is exercised by \
+      `dune runtest`)");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -150,12 +159,20 @@ let run_tket ?(device = tokyo) (b : Workloads.Suite.benchmark) =
 let run_astar ?(device = tokyo) (b : Workloads.Suite.benchmark) =
   time_heuristic (Heuristics.Astar_route.route device) b
 
+(* Delta of the process-wide SAT-solver counters around [f], attributing
+   solver work (conflicts, propagations, learnt clauses) to one tool run. *)
+let with_sat_totals f =
+  let before = Sat.Solver.totals () in
+  let r = f () in
+  (r, Sat.Solver.sub_totals (Sat.Solver.totals ()) before)
+
 (* Memoised runs of the main dataset, shared across experiments. *)
 type main_row = {
   bench : Workloads.Suite.benchmark;
   ex_mqt : run;
   tb_olsq : run;
   satmap : run;
+  satmap_sat : Sat.Solver.totals;  (** solver counters of the SATMAP run *)
   nl_satmap : run;
   sabre : run;
   tket : run;
@@ -168,11 +185,13 @@ let main_rows : main_row list Lazy.t =
        (fun (b : Workloads.Suite.benchmark) ->
          Printf.eprintf "[bench] main set: %s (%d two-qubit gates)\n%!" b.name
            b.n_two_qubit;
+         let satmap, satmap_sat = with_sat_totals (fun () -> run_satmap b) in
          {
            bench = b;
            ex_mqt = run_ex_mqt b;
            tb_olsq = run_tb_olsq b;
-           satmap = run_satmap b;
+           satmap;
+           satmap_sat;
            nl_satmap = run_nl_satmap b;
            sabre = run_sabre b;
            tket = run_tket b;
@@ -723,7 +742,138 @@ let ablation () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable snapshot (--json): per-benchmark wall time, swaps, and
+   SAT-core throughput, so successive PRs can regress against a recorded
+   perf trajectory (BENCH_sat.json). *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  if Float.is_nan x || Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" (if Float.is_nan x then 0.0 else x)
+  else Printf.sprintf "%.6g" x
+
+let json_of_totals (t : Sat.Solver.totals) ~wall =
+  let conflicts_per_s =
+    if wall > 0.0 then float_of_int t.total_conflicts /. wall else 0.0
+  in
+  Printf.sprintf
+    "{\"conflicts\": %d, \"decisions\": %d, \"propagations\": %d, \
+     \"restarts\": %d, \"learnts\": %d, \"avg_lbd\": %s, \"glue\": %d, \
+     \"deleted\": %d, \"reductions\": %d, \"solve_time_s\": %s, \
+     \"conflicts_per_s\": %s, \"propagations_per_s\": %s}"
+    t.total_conflicts t.total_decisions t.total_propagations t.total_restarts
+    t.total_learnts
+    (json_float (Sat.Solver.totals_avg_lbd t))
+    t.total_glue t.total_deleted t.total_reductions
+    (json_float t.total_solve_time)
+    (json_float conflicts_per_s)
+    (json_float (Sat.Solver.totals_props_per_second t))
+
+let write_json path =
+  let rows = Lazy.force main_rows in
+  let oc = open_out path in
+  let row_json (r : main_row) =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"family\": \"%s\", \"two_qubit\": %d, \
+       \"solved\": %b, \"swaps\": %d, \"seconds\": %s, \"optimal\": %b,\n\
+      \     \"solver\": %s}"
+      (json_escape r.bench.Workloads.Suite.name)
+      (json_escape r.bench.family)
+      r.bench.n_two_qubit r.satmap.solved
+      (if r.satmap.solved then r.satmap.swaps else 0)
+      (json_float r.satmap.seconds)
+      r.satmap.optimal
+      (json_of_totals r.satmap_sat ~wall:r.satmap.seconds)
+  in
+  let total_wall =
+    List.fold_left (fun acc r -> acc +. r.satmap.seconds) 0.0 rows
+  in
+  let sum =
+    List.fold_left
+      (fun acc r ->
+        let d = r.satmap_sat in
+        Sat.Solver.
+          {
+            total_propagations = acc.total_propagations + d.total_propagations;
+            total_conflicts = acc.total_conflicts + d.total_conflicts;
+            total_decisions = acc.total_decisions + d.total_decisions;
+            total_restarts = acc.total_restarts + d.total_restarts;
+            total_learnts = acc.total_learnts + d.total_learnts;
+            total_lbd_sum = acc.total_lbd_sum + d.total_lbd_sum;
+            total_glue = acc.total_glue + d.total_glue;
+            total_deleted = acc.total_deleted + d.total_deleted;
+            total_reductions = acc.total_reductions + d.total_reductions;
+            total_solve_time = acc.total_solve_time +. d.total_solve_time;
+          })
+      Sat.Solver.
+        {
+          total_propagations = 0;
+          total_conflicts = 0;
+          total_decisions = 0;
+          total_restarts = 0;
+          total_learnts = 0;
+          total_lbd_sum = 0;
+          total_glue = 0;
+          total_deleted = 0;
+          total_reductions = 0;
+          total_solve_time = 0.0;
+        }
+      rows
+  in
+  let solved = List.length (List.filter (fun r -> r.satmap.solved) rows) in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"satmap-bench/v1\",\n\
+    \  \"scale\": \"%s\",\n\
+    \  \"per_tool_budget_s\": %s,\n\
+    \  \"suite_size\": %d,\n\
+    \  \"solved\": %d,\n\
+    \  \"solver_totals\": %s,\n\
+    \  \"benchmarks\": [\n%s\n  ]\n\
+     }\n"
+    (if !opt_smoke then "smoke" else if !opt_full then "full" else "quick")
+    (json_float (timeout ()))
+    (List.length rows) solved
+    (json_of_totals sum ~wall:total_wall)
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc;
+  Printf.printf "\nwrote %s: %d benchmarks, %d solved, %.0f props/s\n" path
+    (List.length rows) solved
+    (Sat.Solver.totals_props_per_second sum)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of per-experiment kernels *)
+
+(* A long binary implication chain plus a few long clauses: assuming the
+   chain's root forces one propagation per variable, nearly all of it
+   through the binary watch lists, so this kernel isolates raw
+   propagation throughput of the SAT core. *)
+let binary_chain_solver n =
+  let s = Sat.Solver.create () in
+  let v = Array.init n (fun _ -> Sat.Lit.of_var (Sat.Solver.new_var s)) in
+  for i = 0 to n - 2 do
+    Sat.Solver.add_clause s [ Sat.Lit.neg v.(i); v.(i + 1) ]
+  done;
+  (* A sprinkle of long clauses so the blocker path is exercised too. *)
+  for i = 0 to (n / 8) - 1 do
+    Sat.Solver.add_clause s
+      [ Sat.Lit.neg v.(8 * i); v.((8 * i) + 3); v.((8 * i) + 5) ]
+  done;
+  (s, v.(0))
 
 let micro () =
   section "Micro-benchmarks (Bechamel) — per-table kernels";
@@ -736,9 +886,15 @@ let micro () =
   let big_circuit =
     Workloads.Generators.local_random rng ~n:12 ~gates:100 ~locality:0.6
   in
+  let chain, chain_root = binary_chain_solver 4000 in
+  let micro_before = Sat.Solver.totals () in
   let tests =
     Test.make_grouped ~name:"kernels" ~fmt:"%s %s"
       [
+        Test.make ~name:"sat:binary-chain-propagation"
+          (Staged.stage (fun () ->
+               ignore
+                 (Sat.Solver.solve ~assumptions:[ chain_root ] chain)));
         Test.make ~name:"table1:encoding-build"
           (Staged.stage (fun () -> ignore (Satmap.Encoding.build spec circuit)));
         Test.make ~name:"table2:slicing"
@@ -794,7 +950,14 @@ let micro () =
     results;
   List.iter
     (fun (name, est) -> Printf.printf "%-44s %14.0f ns/run\n" name est)
-    (List.sort compare !rows)
+    (List.sort compare !rows);
+  let d = Sat.Solver.sub_totals (Sat.Solver.totals ()) micro_before in
+  Printf.printf
+    "SAT core across all kernels: %d propagations, %d conflicts in %.2fs \
+     solver time — %.2e props/s\n"
+    d.Sat.Solver.total_propagations d.Sat.Solver.total_conflicts
+    d.Sat.Solver.total_solve_time
+    (Sat.Solver.totals_props_per_second d)
 
 (* ------------------------------------------------------------------ *)
 (* Registry and main *)
@@ -827,6 +990,23 @@ let () =
     Printf.printf "%-10s %s\n" "micro" "Bechamel micro-benchmarks";
     exit 0
   end;
+  (* Fail on an unwritable snapshot path now, not after the bench budget. *)
+  Option.iter
+    (fun path ->
+      match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+      | oc -> close_out oc
+      | exception Sys_error msg ->
+        Printf.eprintf "cannot write --json snapshot: %s\n" msg;
+        exit 1)
+    !opt_json;
+  if !opt_smoke then begin
+    (* Seconds-scale slice for `dune runtest`: 3 benchmarks, 1s budgets,
+       just the main comparison (which is what --json snapshots). *)
+    opt_suite_n := 3;
+    opt_timeout := 1.0;
+    opt_full := false;
+    if !opt_experiments = [] then opt_experiments := [ "table1" ]
+  end;
   let t0 = Unix.gettimeofday () in
   let selected =
     match !opt_experiments with
@@ -835,7 +1015,7 @@ let () =
   in
   Printf.printf
     "SATMAP experiment harness — scale: %s (per-tool budget %.1fs)\n"
-    (if !opt_full then "full" else "quick")
+    (if !opt_smoke then "smoke" else if !opt_full then "full" else "quick")
     (timeout ());
   List.iter
     (fun id ->
@@ -849,4 +1029,5 @@ let () =
           Printf.eprintf "unknown experiment %S (use --list)\n" id;
           exit 1)
     selected;
+  Option.iter write_json !opt_json;
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -97,6 +97,14 @@ let n_swaps =
     value & opt int 1
     & info [ "n-swaps" ] ~docv:"N" ~doc:"Swap slots per gate (the paper's n; default 1).")
 
+let solver_stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print SAT-solver and optimizer statistics (conflicts, decisions, \
+           propagations/s, restarts, learnt-clause LBD) after routing.")
+
 (* ------------------------------------------------------------------ *)
 (* route *)
 
@@ -105,8 +113,25 @@ let print_mapping fmt mapping =
     (fun q p -> Format.fprintf fmt "  q%d -> p%d@." q p)
     (Satmap.Mapping.to_array mapping)
 
+let print_solver_stats () =
+  let tot = Sat.Solver.totals () in
+  Format.printf "--- solver statistics ---@.";
+  Format.printf "conflicts:     %d@." tot.Sat.Solver.total_conflicts;
+  Format.printf "decisions:     %d@." tot.Sat.Solver.total_decisions;
+  Format.printf "propagations:  %d (%.0f/s)@." tot.Sat.Solver.total_propagations
+    (Sat.Solver.totals_props_per_second tot);
+  Format.printf "restarts:      %d@." tot.Sat.Solver.total_restarts;
+  Format.printf "learnt:        %d (avg LBD %.2f, glue %d)@."
+    tot.Sat.Solver.total_learnts
+    (Sat.Solver.totals_avg_lbd tot)
+    tot.Sat.Solver.total_glue;
+  Format.printf "deleted:       %d (in %d reductions)@."
+    tot.Sat.Solver.total_deleted tot.Sat.Solver.total_reductions;
+  Format.printf "solver time:   %.2fs@." tot.Sat.Solver.total_solve_time
+
 let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
-    parallel =
+    parallel stats_flag =
+  Sat.Solver.reset_totals ();
   let circuit = Quantum.Qasm.of_file qasm in
   let objective =
     if noise then
@@ -146,6 +171,7 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
   match outcome with
   | Satmap.Router.Failed msg ->
     Format.eprintf "routing failed: %s@." msg;
+    if stats_flag then print_solver_stats ();
     exit 1
   | Satmap.Router.Routed (routed, stats) ->
     Format.printf "device:        %s@." (Arch.Device.name device);
@@ -162,6 +188,8 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
         (Arch.Calibration.circuit_fidelity cal (Satmap.Routed.circuit routed))
     end;
     Format.printf "initial map:@.%a" print_mapping (Satmap.Routed.initial routed);
+    Format.printf "maxsat iters:  %d@." stats.maxsat_iterations;
+    if stats_flag then print_solver_stats ();
     Option.iter
       (fun path ->
         Quantum.Qasm.to_file path (Satmap.Routed.circuit routed);
@@ -173,7 +201,7 @@ let route_cmd =
     (Cmd.info "route" ~doc:"Map and route a circuit onto a device via MaxSAT.")
     Term.(
       const route_cmd_run $ device $ qasm_file $ timeout $ slice_size
-      $ method_ $ noise $ output $ n_swaps $ parallel)
+      $ method_ $ noise $ output $ n_swaps $ parallel $ solver_stats)
 
 (* ------------------------------------------------------------------ *)
 (* stats *)

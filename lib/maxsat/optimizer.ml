@@ -12,6 +12,7 @@ type outcome = {
   model : bool array;
   iterations : int;
   solve_time : float;
+  solver_stats : Sat.Solver.stats;
 }
 
 type result =
@@ -69,9 +70,14 @@ let assert_bound solver machinery k =
     else ()
   | Adder bits -> Adder.assert_le sink bits k
 
-let solve ?deadline instance =
+let solve ?deadline ?report instance =
   let start = Unix.gettimeofday () in
   let solver = Sat.Solver.create () in
+  let report_iteration iteration cost =
+    match report with
+    | None -> ()
+    | Some f -> f ~iteration ~cost ~stats:(Sat.Solver.stats solver)
+  in
   for _ = 1 to Instance.n_vars instance do
     ignore (Sat.Solver.new_var solver)
   done;
@@ -84,7 +90,13 @@ let solve ?deadline instance =
     relax;
   let finish kind cost model iterations =
     let o =
-      { cost; model; iterations; solve_time = Unix.gettimeofday () -. start }
+      {
+        cost;
+        model;
+        iterations;
+        solve_time = Unix.gettimeofday () -. start;
+        solver_stats = Sat.Solver.copy_stats (Sat.Solver.stats solver);
+      }
     in
     match kind with `Optimal -> Optimal o | `Feasible -> Feasible o
   in
@@ -95,6 +107,7 @@ let solve ?deadline instance =
     let best_cost = ref (cost_of_relax solver relax) in
     let best_model = ref (model_array solver) in
     let iterations = ref 1 in
+    report_iteration !iterations !best_cost;
     if !best_cost = 0 || relax = [] then
       finish `Optimal !best_cost !best_model !iterations
     else begin
@@ -114,6 +127,7 @@ let solve ?deadline instance =
             failwith "Optimizer: objective did not decrease";
           best_cost := cost;
           best_model := model_array solver;
+          report_iteration !iterations cost;
           if cost = 0 then
             result := Some (finish `Optimal cost !best_model !iterations)
         | Sat.Solver.Unsat ->

@@ -9,6 +9,9 @@ type outcome = {
   model : bool array;  (** indexed by variable *)
   iterations : int;  (** number of satisfiable solver calls *)
   solve_time : float;  (** wall-clock seconds *)
+  solver_stats : Sat.Solver.stats;
+      (** snapshot of the underlying CDCL solver's counters at the end of
+          the descent (conflicts, propagations, learnt-LBD totals, ...) *)
 }
 
 type result =
@@ -19,8 +22,15 @@ type result =
 
 val best_outcome : result -> outcome option
 
-val solve : ?deadline:float -> Instance.t -> result
-(** [deadline] is an absolute [Unix.gettimeofday] instant. *)
+val solve :
+  ?deadline:float ->
+  ?report:(iteration:int -> cost:int -> stats:Sat.Solver.stats -> unit) ->
+  Instance.t ->
+  result
+(** [deadline] is an absolute [Unix.gettimeofday] instant.  [report] is
+    invoked after every satisfiable iteration of the descent with the
+    iteration number, the model's cost, and the {e live} solver stats
+    (snapshot with {!Sat.Solver.copy_stats} if retained). *)
 
 val optimal_cost : ?deadline:float -> Instance.t -> int option
 (** The optimal cost, or [None] if optimality was not proved in time. *)

@@ -1,17 +1,42 @@
-(* A CDCL SAT solver in the MiniSat lineage: two-watched-literal
-   propagation, first-UIP conflict analysis, VSIDS variable activities with
-   a binary heap, phase saving, Luby restarts, activity-based learnt-clause
-   deletion, and incremental solving under assumptions.
+(* A CDCL SAT solver, upgraded from the MiniSat-2005 baseline to a
+   Glucose-class engine:
 
-   Literal/variable conventions follow {!Lit}: literals are packed integers
-   so they can index the watch-list array directly. *)
+   - watch lists hold {clause; blocker} records, so clauses already
+     satisfied by the blocker literal are skipped without touching clause
+     memory;
+   - binary clauses live in dedicated implication lists and propagate
+     without any clause inspection;
+   - every learnt clause carries its literal-block distance (LBD); the
+     learnt database is reduced glucose-style (glue clauses with LBD <= 2
+     are kept forever, evictions sorted by LBD then activity);
+   - conflict clauses are minimized recursively (MiniSat ccmin=2) with an
+     explicit stack;
+   - deadlines are also checked inside [propagate] (every
+     [deadline_check_interval] propagations), so long conflict-free runs
+     on huge trails cannot overshoot an anytime budget.
+
+   Literal/variable conventions follow {!Lit}: literals are packed
+   integers so they can index the watch-list arrays directly.  A clause
+   watches its first two literals; a watch list is keyed by the watched
+   literal itself and visited when that literal becomes false. *)
 
 type clause = {
   mutable lits : Lit.t array;
   mutable cla_act : float;
+  mutable lbd : int;  (* literal-block distance; 0 for problem clauses *)
   learnt : bool;
   mutable removed : bool;
 }
+
+(* A watcher for clauses of length >= 3.  [blocker] is some literal of the
+   clause (initially the other watched literal): when it is true the
+   clause is satisfied and the watcher is kept without loading the clause. *)
+type watcher = { cref : clause; mutable blocker : Lit.t }
+
+(* A binary-clause watcher: when the keying literal becomes false,
+   [implied] must become true.  The clause itself is only consulted when a
+   reason or conflict clause is needed. *)
+type bin_watcher = { implied : Lit.t; bin_cref : clause }
 
 type result = Sat | Unsat | Unknown
 
@@ -22,7 +47,111 @@ type stats = {
   mutable restarts : int;
   mutable learnts_literals : int;
   mutable max_vars : int;
+  mutable solve_time : float;
+  mutable learnt_clauses : int;
+  mutable learnt_lbd_sum : int;
+  mutable glue_clauses : int;
+  mutable deleted_clauses : int;
+  mutable db_reductions : int;
 }
+
+let copy_stats (s : stats) = { s with conflicts = s.conflicts }
+
+let props_per_second (s : stats) =
+  if s.solve_time <= 0.0 then 0.0
+  else float_of_int s.propagations /. s.solve_time
+
+let avg_learnt_lbd (s : stats) =
+  if s.learnt_clauses = 0 then 0.0
+  else float_of_int s.learnt_lbd_sum /. float_of_int s.learnt_clauses
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide totals, aggregated over every solver instance.  The
+   benchmark harness and the CLI read deltas of these around a routing
+   call, which avoids threading a stats channel through every layer of
+   router/optimizer plumbing.  Atomics keep the parallel portfolio
+   (one solver per domain) race-free. *)
+
+type totals = {
+  total_propagations : int;
+  total_conflicts : int;
+  total_decisions : int;
+  total_restarts : int;
+  total_learnts : int;
+  total_lbd_sum : int;
+  total_glue : int;
+  total_deleted : int;
+  total_reductions : int;
+  total_solve_time : float;
+}
+
+let g_props = Atomic.make 0
+let g_conflicts = Atomic.make 0
+let g_decisions = Atomic.make 0
+let g_restarts = Atomic.make 0
+let g_learnts = Atomic.make 0
+let g_lbd_sum = Atomic.make 0
+let g_glue = Atomic.make 0
+let g_deleted = Atomic.make 0
+let g_reductions = Atomic.make 0
+let g_time = Atomic.make 0.0
+
+let add_time x =
+  let rec go () =
+    let cur = Atomic.get g_time in
+    if not (Atomic.compare_and_set g_time cur (cur +. x)) then go ()
+  in
+  go ()
+
+let totals () =
+  {
+    total_propagations = Atomic.get g_props;
+    total_conflicts = Atomic.get g_conflicts;
+    total_decisions = Atomic.get g_decisions;
+    total_restarts = Atomic.get g_restarts;
+    total_learnts = Atomic.get g_learnts;
+    total_lbd_sum = Atomic.get g_lbd_sum;
+    total_glue = Atomic.get g_glue;
+    total_deleted = Atomic.get g_deleted;
+    total_reductions = Atomic.get g_reductions;
+    total_solve_time = Atomic.get g_time;
+  }
+
+let reset_totals () =
+  Atomic.set g_props 0;
+  Atomic.set g_conflicts 0;
+  Atomic.set g_decisions 0;
+  Atomic.set g_restarts 0;
+  Atomic.set g_learnts 0;
+  Atomic.set g_lbd_sum 0;
+  Atomic.set g_glue 0;
+  Atomic.set g_deleted 0;
+  Atomic.set g_reductions 0;
+  Atomic.set g_time 0.0
+
+let sub_totals a b =
+  {
+    total_propagations = a.total_propagations - b.total_propagations;
+    total_conflicts = a.total_conflicts - b.total_conflicts;
+    total_decisions = a.total_decisions - b.total_decisions;
+    total_restarts = a.total_restarts - b.total_restarts;
+    total_learnts = a.total_learnts - b.total_learnts;
+    total_lbd_sum = a.total_lbd_sum - b.total_lbd_sum;
+    total_glue = a.total_glue - b.total_glue;
+    total_deleted = a.total_deleted - b.total_deleted;
+    total_reductions = a.total_reductions - b.total_reductions;
+    total_solve_time = a.total_solve_time -. b.total_solve_time;
+  }
+
+let totals_props_per_second (t : totals) =
+  if t.total_solve_time <= 0.0 then 0.0
+  else float_of_int t.total_propagations /. t.total_solve_time
+
+let totals_avg_lbd (t : totals) =
+  if t.total_learnts = 0 then 0.0
+  else float_of_int t.total_lbd_sum /. float_of_int t.total_learnts
+
+(* ------------------------------------------------------------------ *)
 
 type t = {
   (* Clause database *)
@@ -32,7 +161,8 @@ type t = {
   mutable assigns : int array;        (* -1 undef / 0 false / 1 true *)
   mutable level : int array;
   mutable reason : clause option array;
-  mutable watches : clause Vec.t array;  (* indexed by literal *)
+  mutable watches : watcher Vec.t array;        (* indexed by literal *)
+  mutable bin_watches : bin_watcher Vec.t array;  (* indexed by literal *)
   trail : Lit.t Vec.t;
   trail_lim : int Vec.t;
   mutable qhead : int;
@@ -44,18 +174,34 @@ type t = {
   mutable cla_inc : float;
   (* Scratch *)
   mutable seen : bool array;
+  mutable lbd_stamp : int array;      (* indexed by decision level *)
+  mutable lbd_gen : int;
   mutable nvars : int;
   mutable ok : bool;
   mutable model : int array;          (* copy of assigns at last Sat *)
+  (* Deadline plumbing for [propagate] *)
+  mutable deadline : float;           (* 0.0 = none *)
+  mutable stop : bool;
+  mutable prop_countdown : int;
   stats : stats;
 }
 
 let dummy_lit = Lit.of_var 0
 
-let dummy_clause = { lits = [||]; cla_act = 0.0; learnt = false; removed = true }
+let dummy_clause =
+  { lits = [||]; cla_act = 0.0; lbd = 0; learnt = false; removed = true }
+
+let dummy_watcher = { cref = dummy_clause; blocker = dummy_lit }
+
+let dummy_bin_watcher = { implied = dummy_lit; bin_cref = dummy_clause }
 
 let var_decay = 1.0 /. 0.95
 let clause_decay = 1.0 /. 0.999
+
+(* How many propagations between wall-clock deadline checks: small enough
+   that a deadline overshoot stays well under 100ms, large enough that the
+   clock read is invisible in the propagation rate. *)
+let deadline_check_interval = 2048
 
 let create () =
   let solver =
@@ -65,7 +211,9 @@ let create () =
       assigns = Array.make 16 (-1);
       level = Array.make 16 (-1);
       reason = Array.make 16 None;
-      watches = Array.init 32 (fun _ -> Vec.create ~dummy:dummy_clause);
+      watches = Array.init 32 (fun _ -> Vec.create ~dummy:dummy_watcher);
+      bin_watches =
+        Array.init 32 (fun _ -> Vec.create ~dummy:dummy_bin_watcher);
       trail = Vec.create ~dummy:dummy_lit;
       trail_lim = Vec.create ~dummy:0;
       qhead = 0;
@@ -75,9 +223,14 @@ let create () =
       var_inc = 1.0;
       cla_inc = 1.0;
       seen = Array.make 16 false;
+      lbd_stamp = Array.make 17 0;
+      lbd_gen = 0;
       nvars = 0;
       ok = true;
       model = [||];
+      deadline = 0.0;
+      stop = false;
+      prop_countdown = deadline_check_interval;
       stats =
         {
           conflicts = 0;
@@ -86,6 +239,12 @@ let create () =
           restarts = 0;
           learnts_literals = 0;
           max_vars = 0;
+          solve_time = 0.0;
+          learnt_clauses = 0;
+          learnt_lbd_sum = 0;
+          glue_clauses = 0;
+          deleted_clauses = 0;
+          db_reductions = 0;
         };
     }
   in
@@ -120,9 +279,18 @@ let ensure_var_capacity t n =
     let seen' = Array.make cap' false in
     Array.blit t.seen 0 seen' 0 cap;
     t.seen <- seen';
-    let w' = Array.init (2 * cap') (fun _ -> Vec.create ~dummy:dummy_clause) in
+    (* One decision level per variable at most, hence cap' + 1 slots. *)
+    let stamp' = Array.make (cap' + 1) 0 in
+    Array.blit t.lbd_stamp 0 stamp' 0 (Array.length t.lbd_stamp);
+    t.lbd_stamp <- stamp';
+    let w' = Array.init (2 * cap') (fun _ -> Vec.create ~dummy:dummy_watcher) in
     Array.blit t.watches 0 w' 0 (2 * cap);
-    t.watches <- w'
+    t.watches <- w';
+    let bw' =
+      Array.init (2 * cap') (fun _ -> Vec.create ~dummy:dummy_bin_watcher)
+    in
+    Array.blit t.bin_watches 0 bw' 0 (2 * cap);
+    t.bin_watches <- bw'
   end
 
 let new_var t =
@@ -141,75 +309,119 @@ let value_lit t l =
 
 let decision_level t = Vec.size t.trail_lim
 
-let watch_list t (l : Lit.t) = t.watches.((l :> int))
-
 let enqueue t l reason =
   t.assigns.(Lit.var l) <- (if Lit.sign l then 1 else 0);
   t.level.(Lit.var l) <- decision_level t;
   t.reason.(Lit.var l) <- reason;
   Vec.push t.trail l
 
-(* Two-watched-literal unit propagation.  Returns the conflicting clause if
-   a conflict was found.  Invariant: a clause watches its first two
-   literals; watch lists are keyed by the watched literal itself, and are
-   visited when that literal becomes false. *)
+(* Literal-block distance of a (fully assigned) set of literals: the
+   number of distinct non-root decision levels it spans.  Uses a
+   generation-stamped per-level scratch array, so each call is O(|lits|). *)
+let compute_lbd t (lits : Lit.t array) =
+  t.lbd_gen <- t.lbd_gen + 1;
+  let g = t.lbd_gen in
+  let n = ref 0 in
+  Array.iter
+    (fun l ->
+      let lv = t.level.(Lit.var l) in
+      if lv > 0 && t.lbd_stamp.(lv) <> g then begin
+        t.lbd_stamp.(lv) <- g;
+        incr n
+      end)
+    lits;
+  !n
+
+(* Unit propagation.  Returns the conflicting clause if a conflict was
+   found.  Binary clauses propagate straight off their implication lists;
+   longer clauses go through blocker-guarded two-watched-literal lists. *)
 let propagate t =
   let conflict = ref None in
-  while !conflict = None && t.qhead < Vec.size t.trail do
+  while !conflict = None && (not t.stop) && t.qhead < Vec.size t.trail do
     let p = Vec.get t.trail t.qhead in
     t.qhead <- t.qhead + 1;
     t.stats.propagations <- t.stats.propagations + 1;
+    t.prop_countdown <- t.prop_countdown - 1;
+    if t.prop_countdown <= 0 then begin
+      t.prop_countdown <- deadline_check_interval;
+      if t.deadline > 0.0 && Unix.gettimeofday () > t.deadline then
+        t.stop <- true
+    end;
     let false_lit = Lit.neg p in
-    let ws = watch_list t false_lit in
-    let n = Vec.size ws in
-    let j = ref 0 in
-    let i = ref 0 in
-    while !i < n do
-      let c = Vec.unsafe_get ws !i in
-      incr i;
-      if c.removed then () (* drop lazily *)
-      else if !conflict <> None then begin
-        (* conflict found: keep the remaining watchers *)
-        Vec.unsafe_set ws !j c;
-        incr j
-      end
-      else begin
-        (* Make sure the false literal is at position 1. *)
-        let lits = c.lits in
-        if Lit.equal (Array.unsafe_get lits 0) false_lit then begin
-          Array.unsafe_set lits 0 (Array.unsafe_get lits 1);
-          Array.unsafe_set lits 1 false_lit
-        end;
-        let first = Array.unsafe_get lits 0 in
-        if value_lit t first = 1 then begin
-          (* Clause already satisfied: keep the watch. *)
-          Vec.unsafe_set ws !j c;
+    (* Binary implication lists: no clause memory touched, no watch
+       relocation ever needed. *)
+    let bws = t.bin_watches.((false_lit :> int)) in
+    let nb = Vec.size bws in
+    let bi = ref 0 in
+    while !conflict = None && !bi < nb do
+      let bw = Vec.unsafe_get bws !bi in
+      incr bi;
+      match value_lit t bw.implied with
+      | -1 -> enqueue t bw.implied (Some bw.bin_cref)
+      | 0 -> conflict := Some bw.bin_cref
+      | _ -> ()
+    done;
+    if !conflict = None then begin
+      let ws = t.watches.((false_lit :> int)) in
+      let n = Vec.size ws in
+      let j = ref 0 in
+      let i = ref 0 in
+      while !i < n do
+        let w = Vec.unsafe_get ws !i in
+        incr i;
+        if w.cref.removed then () (* drop lazily *)
+        else if !conflict <> None then begin
+          (* conflict found: keep the remaining watchers *)
+          Vec.unsafe_set ws !j w;
+          incr j
+        end
+        else if value_lit t w.blocker = 1 then begin
+          (* Satisfied via the blocker: clause memory never loaded. *)
+          Vec.unsafe_set ws !j w;
           incr j
         end
         else begin
-          (* Look for a new literal to watch. *)
-          let len = Array.length lits in
-          let k = ref 2 in
-          while !k < len && value_lit t (Array.unsafe_get lits !k) = 0 do
-            incr k
-          done;
-          if !k < len then begin
-            (* Relocate the watch. *)
-            Array.unsafe_set lits 1 (Array.unsafe_get lits !k);
-            Array.unsafe_set lits !k false_lit;
-            Vec.push (watch_list t (Array.unsafe_get lits 1)) c
+          let c = w.cref in
+          (* Make sure the false literal is at position 1. *)
+          let lits = c.lits in
+          if Lit.equal (Array.unsafe_get lits 0) false_lit then begin
+            Array.unsafe_set lits 0 (Array.unsafe_get lits 1);
+            Array.unsafe_set lits 1 false_lit
+          end;
+          let first = Array.unsafe_get lits 0 in
+          if value_lit t first = 1 then begin
+            (* Clause already satisfied: keep the watch, remember the
+               satisfying literal as the new blocker. *)
+            w.blocker <- first;
+            Vec.unsafe_set ws !j w;
+            incr j
           end
           else begin
-            (* Clause is unit or conflicting. *)
-            Vec.unsafe_set ws !j c;
-            incr j;
-            if value_lit t first = 0 then conflict := Some c
-            else enqueue t first (Some c)
+            (* Look for a new literal to watch. *)
+            let len = Array.length lits in
+            let k = ref 2 in
+            while !k < len && value_lit t (Array.unsafe_get lits !k) = 0 do
+              incr k
+            done;
+            if !k < len then begin
+              (* Relocate the watch (reusing the watcher record). *)
+              Array.unsafe_set lits 1 (Array.unsafe_get lits !k);
+              Array.unsafe_set lits !k false_lit;
+              w.blocker <- first;
+              Vec.push t.watches.(((Array.unsafe_get lits 1) :> int)) w
+            end
+            else begin
+              (* Clause is unit or conflicting. *)
+              Vec.unsafe_set ws !j w;
+              incr j;
+              if value_lit t first = 0 then conflict := Some c
+              else enqueue t first (Some c)
+            end
           end
         end
-      end
-    done;
-    Vec.shrink ws !j
+      done;
+      Vec.shrink ws !j
+    end
   done;
   !conflict
 
@@ -250,8 +462,10 @@ let cancel_until t lvl =
     t.qhead <- Vec.size t.trail
   end
 
-(* First-UIP conflict analysis.  Returns the learnt clause (asserting
-   literal first) and the backjump level. *)
+(* First-UIP conflict analysis with recursive clause minimization
+   (MiniSat ccmin=2).  Returns the learnt clause (asserting literal
+   first), the backjump level, and the clause's LBD (computed before
+   backjumping, while all its literals are still assigned). *)
 let analyze t confl =
   let learnt = ref [] in
   let pathc = ref 0 in
@@ -263,19 +477,30 @@ let analyze t confl =
   let continue = ref true in
   while !continue do
     let cl = !c in
-    if cl.learnt then clause_bump t cl;
-    let start = if !p = None then 0 else 1 in
-    for j = start to Array.length cl.lits - 1 do
-      let q = cl.lits.(j) in
-      let v = Lit.var q in
-      if (not t.seen.(v)) && t.level.(v) > 0 then begin
-        t.seen.(v) <- true;
-        seen_vars := v :: !seen_vars;
-        var_bump t v;
-        if t.level.(v) >= dl then incr pathc
-        else learnt := q :: !learnt
+    if cl.learnt then begin
+      clause_bump t cl;
+      (* Glucose: tighten the stored LBD when the clause takes part in a
+         conflict — cheap and keeps glue detection honest. *)
+      if cl.lbd > 2 then begin
+        let l' = compute_lbd t cl.lits in
+        if l' < cl.lbd then cl.lbd <- l'
       end
-    done;
+    end;
+    (* Skip the implied literal when expanding a reason.  Binary reasons
+       do not maintain the implied-literal-first invariant, so the skip is
+       by variable rather than by position. *)
+    let skip_var = match !p with None -> -1 | Some pl -> Lit.var pl in
+    Array.iter
+      (fun q ->
+        let v = Lit.var q in
+        if v <> skip_var && (not t.seen.(v)) && t.level.(v) > 0 then begin
+          t.seen.(v) <- true;
+          seen_vars := v :: !seen_vars;
+          var_bump t v;
+          if t.level.(v) >= dl then incr pathc
+          else learnt := q :: !learnt
+        end)
+      cl.lits;
     (* Find the next seen literal on the trail. *)
     while not t.seen.(Lit.var (Vec.get t.trail !index)) do
       decr index
@@ -298,33 +523,72 @@ let analyze t confl =
         assert false
     end
   done;
-  (* Clause minimization (local): a non-UIP literal is redundant when its
-     reason clause's other literals are all already in the clause (seen) or
-     fixed at level 0. *)
-  let redundant q =
+  (* Recursive clause minimization: a literal is redundant when every path
+     from its reason bottoms out in literals already in the clause (seen)
+     or fixed at level 0.  The abstract-level filter prunes walks that
+     could only fail; the explicit stack replaces MiniSat's recursion. *)
+  let abstract_level v = 1 lsl (t.level.(v) land 31) in
+  let abstract_levels =
+    List.fold_left
+      (fun acc q -> acc lor abstract_level (Lit.var q))
+      0 !learnt
+  in
+  let to_clear = ref [] in
+  let lit_redundant q =
     match t.reason.(Lit.var q) with
     | None -> false
-    | Some r ->
-      let ok = ref true in
-      Array.iter
-        (fun l ->
+    | Some _ ->
+      let stack = ref [ q ] in
+      let marked_here = ref [] in
+      let failed = ref false in
+      while (not !failed) && !stack <> [] do
+        let pl = List.hd !stack in
+        stack := List.tl !stack;
+        let r =
+          match t.reason.(Lit.var pl) with
+          | Some r -> r
+          | None -> assert false (* only literals with reasons are pushed *)
+        in
+        let rl = r.lits in
+        let len = Array.length rl in
+        let idx = ref 0 in
+        while (not !failed) && !idx < len do
+          let l = rl.(!idx) in
+          incr idx;
           let v = Lit.var l in
-          if v <> Lit.var q && (not t.seen.(v)) && t.level.(v) > 0 then
-            ok := false)
-        r.lits;
-      !ok
+          if v <> Lit.var pl && (not t.seen.(v)) && t.level.(v) > 0 then begin
+            if
+              t.reason.(v) <> None
+              && abstract_level v land abstract_levels <> 0
+            then begin
+              t.seen.(v) <- true;
+              marked_here := v :: !marked_here;
+              to_clear := v :: !to_clear;
+              stack := l :: !stack
+            end
+            else failed := true
+          end
+        done
+      done;
+      if !failed then
+        (* Undo only this walk's marks; marks from successful walks stay
+           and speed up later redundancy checks. *)
+        List.iter (fun v -> t.seen.(v) <- false) !marked_here;
+      not !failed
   in
-  let learnt = List.filter (fun q -> not (redundant q)) !learnt in
+  let learnt = List.filter (fun q -> not (lit_redundant q)) !learnt in
   let btlevel =
     List.fold_left (fun acc q -> max acc t.level.(Lit.var q)) 0 learnt
   in
-  List.iter (fun v -> t.seen.(v) <- false) !seen_vars;
   let uip =
     match !p with
     | Some pl -> Lit.neg pl
     | None -> assert false
   in
   let lits = Array.of_list (uip :: learnt) in
+  let lbd = compute_lbd t lits in
+  List.iter (fun v -> t.seen.(v) <- false) !seen_vars;
+  List.iter (fun v -> t.seen.(v) <- false) !to_clear;
   (* Put a literal of the backjump level at position 1 so the watches are
      valid after backjumping. *)
   if Array.length lits > 1 then begin
@@ -337,16 +601,30 @@ let analyze t confl =
     lits.(1) <- lits.(!max_i);
     lits.(!max_i) <- tmp
   end;
-  (lits, btlevel)
+  (lits, btlevel, lbd)
 
 let attach t c =
-  Vec.push (watch_list t c.lits.(0)) c;
-  Vec.push (watch_list t c.lits.(1)) c
+  if Array.length c.lits = 2 then begin
+    Vec.push
+      t.bin_watches.((c.lits.(0) :> int))
+      { implied = c.lits.(1); bin_cref = c };
+    Vec.push
+      t.bin_watches.((c.lits.(1) :> int))
+      { implied = c.lits.(0); bin_cref = c }
+  end
+  else begin
+    Vec.push t.watches.((c.lits.(0) :> int)) { cref = c; blocker = c.lits.(1) };
+    Vec.push t.watches.((c.lits.(1) :> int)) { cref = c; blocker = c.lits.(0) }
+  end
 
-let record_learnt t lits =
+let record_learnt t lits lbd =
+  t.stats.learnt_clauses <- t.stats.learnt_clauses + 1;
+  let lbd = max 1 lbd in
+  t.stats.learnt_lbd_sum <- t.stats.learnt_lbd_sum + lbd;
+  if lbd <= 2 then t.stats.glue_clauses <- t.stats.glue_clauses + 1;
   if Array.length lits = 1 then enqueue t lits.(0) None
   else begin
-    let c = { lits; cla_act = 0.0; learnt = true; removed = false } in
+    let c = { lits; cla_act = 0.0; lbd; learnt = true; removed = false } in
     attach t c;
     Vec.push t.learnts c;
     clause_bump t c;
@@ -384,6 +662,7 @@ let add_clause t (lits : Lit.t list) =
           {
             lits = Array.of_list remaining;
             cla_act = 0.0;
+            lbd = 0;
             learnt = false;
             removed = false;
           }
@@ -400,17 +679,29 @@ let locked t c =
   value_lit t c.lits.(0) = 1
   && match t.reason.(v) with Some r -> r == c | None -> false
 
-(* Drop the less-active half of the learnt clauses (binary and locked
-   clauses are always kept).  Removed clauses are detached lazily by
-   [propagate]. *)
+(* Glucose-style learnt-clause management: glue clauses (LBD <= 2),
+   binary clauses, and locked clauses survive forever; the worst half of
+   the rest — highest LBD first, lowest activity as the tiebreak — is
+   dropped.  Removed clauses are detached lazily by [propagate]. *)
 let reduce_db t =
+  t.stats.db_reductions <- t.stats.db_reductions + 1;
   let n = Vec.size t.learnts in
-  Vec.sort (fun a b -> Float.compare a.cla_act b.cla_act) t.learnts;
+  Vec.sort
+    (fun a b ->
+      if a.lbd <> b.lbd then Int.compare b.lbd a.lbd
+      else Float.compare a.cla_act b.cla_act)
+    t.learnts;
   let kept = Vec.create ~dummy:dummy_clause in
   Vec.iteri
     (fun i c ->
-      let keep = Array.length c.lits <= 2 || locked t c || i >= n / 2 in
-      if keep then Vec.push kept c else c.removed <- true)
+      let keep =
+        Array.length c.lits <= 2 || c.lbd <= 2 || locked t c || i >= n / 2
+      in
+      if keep then Vec.push kept c
+      else begin
+        c.removed <- true;
+        t.stats.deleted_clauses <- t.stats.deleted_clauses + 1
+      end)
     t.learnts;
   Vec.clear t.learnts;
   Vec.iter (fun c -> Vec.push t.learnts c) kept
@@ -457,24 +748,39 @@ let analyze_final t p =
   end;
   List.sort_uniq Lit.compare !core
 
+let record_solve_totals t ~before ~elapsed =
+  let s = t.stats in
+  let add a d = if d <> 0 then ignore (Atomic.fetch_and_add a d) in
+  add g_props (s.propagations - before.propagations);
+  add g_conflicts (s.conflicts - before.conflicts);
+  add g_decisions (s.decisions - before.decisions);
+  add g_restarts (s.restarts - before.restarts);
+  add g_learnts (s.learnt_clauses - before.learnt_clauses);
+  add g_lbd_sum (s.learnt_lbd_sum - before.learnt_lbd_sum);
+  add g_glue (s.glue_clauses - before.glue_clauses);
+  add g_deleted (s.deleted_clauses - before.deleted_clauses);
+  add g_reductions (s.db_reductions - before.db_reductions);
+  add_time elapsed
+
 let solve_with_core ?(assumptions = []) ?deadline t =
   if not t.ok then (Unsat, [])
   else begin
+    let t0 = Unix.gettimeofday () in
+    let before = copy_stats t.stats in
+    t.deadline <- (match deadline with None -> 0.0 | Some d -> d);
+    t.stop <- false;
+    t.prop_countdown <- deadline_check_interval;
     let core = ref [] in
     let assumptions = Array.of_list assumptions in
     cancel_until t 0;
     let restarts = ref 0 in
     let result = ref Unknown in
-    let deadline_exceeded () =
-      match deadline with
-      | None -> false
-      | Some d -> Unix.gettimeofday () > d
-    in
     (try
        if propagate t <> None then begin
          t.ok <- false;
          raise (Found_result Unsat)
        end;
+       if t.stop then raise (Found_result Unknown);
        while true do
          let restart_budget =
            int_of_float (100.0 *. luby 2.0 !restarts)
@@ -490,13 +796,18 @@ let solve_with_core ?(assumptions = []) ?deadline t =
                t.ok <- false;
                raise (Found_result Unsat)
              end;
-             let lits, btlevel = analyze t confl in
+             let lits, btlevel, lbd = analyze t confl in
              cancel_until t btlevel;
-             record_learnt t lits;
+             record_learnt t lits lbd;
              var_decay_activity t;
              clause_decay_activity t;
-             if t.stats.conflicts land 511 = 0 && deadline_exceeded () then
-               raise (Found_result Unknown);
+             (* The propagation countdown covers long conflict-free runs;
+                this covers analysis-heavy stretches of short ones. *)
+             if
+               t.stats.conflicts land 255 = 0
+               && t.deadline > 0.0
+               && Unix.gettimeofday () > t.deadline
+             then raise (Found_result Unknown);
              if !conflicts_here >= restart_budget then begin
                restart := true;
                incr restarts;
@@ -504,6 +815,7 @@ let solve_with_core ?(assumptions = []) ?deadline t =
                cancel_until t 0
              end
            | None ->
+             if t.stop then raise (Found_result Unknown);
              if
                Vec.size t.learnts - Vec.size t.trail
                > max 8000 (Vec.size t.clauses / 2) + (500 * !restarts)
@@ -524,8 +836,6 @@ let solve_with_core ?(assumptions = []) ?deadline t =
              end
              else begin
                t.stats.decisions <- t.stats.decisions + 1;
-               if t.stats.decisions land 4095 = 0 && deadline_exceeded ()
-               then raise (Found_result Unknown);
                (* Pick an unassigned variable with maximal activity. *)
                let v = ref (-1) in
                while !v < 0 && not (Heap.is_empty !(t.order)) do
@@ -544,6 +854,11 @@ let solve_with_core ?(assumptions = []) ?deadline t =
        done
      with Found_result r -> result := r);
     cancel_until t 0;
+    t.deadline <- 0.0;
+    t.stop <- false;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    t.stats.solve_time <- t.stats.solve_time +. elapsed;
+    record_solve_totals t ~before ~elapsed;
     (!result, !core)
   end
 

@@ -1,9 +1,12 @@
-(** A CDCL SAT solver (MiniSat lineage).
+(** A CDCL SAT solver (Glucose-class, grown out of the MiniSat lineage).
 
-    Features: two-watched-literal propagation, first-UIP clause learning,
-    VSIDS decision heuristic, phase saving, Luby restarts, learnt-clause
-    deletion, incremental solving under assumptions, and wall-clock
-    deadlines (for anytime MaxSAT). *)
+    Features: two-watched-literal propagation with blocker literals,
+    dedicated binary-clause implication lists, first-UIP clause learning
+    with recursive conflict-clause minimization, LBD ("glue")-based
+    learnt-clause management, VSIDS decision heuristic, phase saving,
+    Luby restarts, incremental solving under assumptions, and wall-clock
+    deadlines (for anytime MaxSAT) that are honored even inside long
+    conflict-free propagation runs. *)
 
 type t
 
@@ -16,7 +19,53 @@ type stats = {
   mutable restarts : int;
   mutable learnts_literals : int;
   mutable max_vars : int;
+  mutable solve_time : float;
+      (** cumulative wall-clock seconds spent inside [solve] *)
+  mutable learnt_clauses : int;  (** learnt clauses recorded (incl. units) *)
+  mutable learnt_lbd_sum : int;  (** sum of LBD over learnt clauses *)
+  mutable glue_clauses : int;  (** learnt clauses with LBD <= 2 *)
+  mutable deleted_clauses : int;  (** learnts evicted by [reduce_db] *)
+  mutable db_reductions : int;  (** number of [reduce_db] passes *)
 }
+
+val copy_stats : stats -> stats
+(** A snapshot: [stats t] is live and mutated by the solver. *)
+
+val props_per_second : stats -> float
+(** Propagations per second of solve time; 0 when no time was recorded. *)
+
+val avg_learnt_lbd : stats -> float
+(** Mean LBD over all learnt clauses; 0 when nothing was learnt. *)
+
+(** {2 Process-wide totals}
+
+    Counters aggregated across every solver instance in the process
+    (updated once per [solve] call, atomically, so the parallel portfolio
+    is accounted correctly).  Benchmarks and the CLI read deltas of these
+    around a routing call instead of threading a stats channel through
+    every layer. *)
+
+type totals = {
+  total_propagations : int;
+  total_conflicts : int;
+  total_decisions : int;
+  total_restarts : int;
+  total_learnts : int;
+  total_lbd_sum : int;
+  total_glue : int;
+  total_deleted : int;
+  total_reductions : int;
+  total_solve_time : float;
+}
+
+val totals : unit -> totals
+val reset_totals : unit -> unit
+
+val sub_totals : totals -> totals -> totals
+(** [sub_totals after before] is the component-wise difference. *)
+
+val totals_props_per_second : totals -> float
+val totals_avg_lbd : totals -> float
 
 val create : unit -> t
 
@@ -54,6 +103,12 @@ val model_value : t -> Lit.var -> bool
 val value_lit : t -> Lit.t -> int
 (** Current assignment of a literal: -1 undefined, 0 false, 1 true.  At
     decision level 0 this exposes the roots implied by the clause set. *)
+
+val reduce_db : t -> unit
+(** Force a learnt-database reduction pass (glucose retention: glue,
+    binary and locked clauses survive; the worst half of the rest by
+    LBD-then-activity is dropped).  Normally triggered automatically
+    during search; exposed for tests and tuning experiments. *)
 
 val ok : t -> bool
 (** [false] once the clause set has been proved unsat at level 0. *)

@@ -216,6 +216,165 @@ let prop_solver_assumptions_sound =
       | Sat.Solver.Unsat -> not expected
       | Sat.Solver.Unknown -> false)
 
+(* Random assumptions: up to 3 literals over the CNF's variables, signs
+   free, duplicates and contradictory pairs allowed (both are legal inputs
+   to [solve] and must be handled). *)
+let gen_cnf_with_assumptions =
+  QCheck2.Gen.(
+    let* n_vars, clauses = gen_cnf in
+    let gen_lit =
+      let* v = int_range 0 (n_vars - 1) in
+      let* sign = bool in
+      return (lit ~sign v)
+    in
+    let* n_assumps = int_range 0 3 in
+    let* assumptions = list_size (return n_assumps) gen_lit in
+    return (n_vars, clauses, assumptions))
+
+let holds_in_model s l =
+  let b = Sat.Solver.model_value s (Sat.Lit.var l) in
+  if Sat.Lit.sign l then b else not b
+
+let prop_solver_differential_core =
+  QCheck2.Test.make ~count:500
+    ~name:"CDCL under assumptions agrees with brute force; cores are unsat"
+    gen_cnf_with_assumptions (fun (n_vars, clauses, assumptions) ->
+      let expected =
+        Sat.Brute.is_satisfiable ~n_vars
+          (List.map (fun l -> [ l ]) assumptions @ clauses)
+      in
+      let s = Sat.Solver.create () in
+      for _ = 1 to n_vars do
+        ignore (Sat.Solver.new_var s)
+      done;
+      List.iter (Sat.Solver.add_clause s) clauses;
+      match Sat.Solver.solve_with_core ~assumptions s with
+      | Sat.Solver.Sat, _ ->
+        expected
+        && List.for_all (List.exists (holds_in_model s)) clauses
+        && List.for_all (holds_in_model s) assumptions
+      | Sat.Solver.Unsat, core ->
+        (not expected)
+        (* The core must be a subset of the assumptions... *)
+        && List.for_all
+             (fun c -> List.exists (Sat.Lit.equal c) assumptions)
+             core
+        (* ... that genuinely conflicts with the clause set. *)
+        && not
+             (Sat.Brute.is_satisfiable ~n_vars
+                (List.map (fun l -> [ l ]) core @ clauses))
+      | Sat.Solver.Unknown, _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Solver: binary implication lists *)
+
+(* A pure implication chain x0 -> x1 -> ... -> x9 routed entirely through
+   the dedicated binary watch lists. *)
+let binary_chain s n =
+  let vars = Array.init n (fun _ -> Sat.Solver.new_var s) in
+  for i = 0 to n - 2 do
+    Sat.Solver.add_clause s [ lit ~sign:false vars.(i); lit vars.(i + 1) ]
+  done;
+  vars
+
+let test_binary_chain_propagation () =
+  let s = Sat.Solver.create () in
+  let vars = binary_chain s 10 in
+  Sat.Solver.add_clause s [ lit vars.(0) ];
+  Alcotest.check check_result "sat" Sat.Solver.Sat (Sat.Solver.solve s);
+  (* The whole chain is forced at level 0; value_lit exposes the roots
+     even after the post-solve backtrack. *)
+  Array.iter
+    (fun v ->
+      Alcotest.(check int) "root implied" 1 (Sat.Solver.value_lit s (lit v)))
+    vars
+
+let test_binary_chain_unsat () =
+  let s = Sat.Solver.create () in
+  let vars = binary_chain s 10 in
+  Sat.Solver.add_clause s [ lit vars.(0) ];
+  Sat.Solver.add_clause s [ lit ~sign:false vars.(9) ];
+  Alcotest.check check_result "unsat through binaries" Sat.Solver.Unsat
+    (Sat.Solver.solve s)
+
+let test_binary_conflict_under_assumptions () =
+  (* a -> b and a -> ~b: assuming a conflicts purely inside the binary
+     lists; the core must report a and the solver must stay usable. *)
+  let s = Sat.Solver.create () in
+  let a = Sat.Solver.new_var s and b = Sat.Solver.new_var s in
+  Sat.Solver.add_clause s [ lit ~sign:false a; lit b ];
+  Sat.Solver.add_clause s [ lit ~sign:false a; lit ~sign:false b ];
+  let r, core = Sat.Solver.solve_with_core ~assumptions:[ lit a ] s in
+  Alcotest.check check_result "unsat under a" Sat.Solver.Unsat r;
+  Alcotest.(check bool) "core = {a}" true
+    (List.exists (Sat.Lit.equal (lit a)) core);
+  Alcotest.check check_result "sat without assumptions" Sat.Solver.Sat
+    (Sat.Solver.solve s);
+  Alcotest.(check int) "a forced false" 0 (Sat.Solver.value_lit s (lit a))
+
+(* ------------------------------------------------------------------ *)
+(* Solver: LBD bookkeeping and learnt-database reduction *)
+
+let pigeonhole_solver ~pigeons ~holes =
+  let s = Sat.Solver.create () in
+  let var p h = (holes * p) + h in
+  for _ = 1 to pigeons * holes do
+    ignore (Sat.Solver.new_var s)
+  done;
+  for p = 0 to pigeons - 1 do
+    Sat.Solver.add_clause s (List.init holes (fun h -> lit (var p h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p = 0 to pigeons - 1 do
+      for p' = p + 1 to pigeons - 1 do
+        Sat.Solver.add_clause s
+          [ lit ~sign:false (var p h); lit ~sign:false (var p' h) ]
+      done
+    done
+  done;
+  s
+
+let test_lbd_invariants () =
+  let s = pigeonhole_solver ~pigeons:5 ~holes:4 in
+  Alcotest.check check_result "php(5,4) unsat" Sat.Solver.Unsat
+    (Sat.Solver.solve s);
+  let st = Sat.Solver.stats s in
+  Alcotest.(check bool) "learnt something" true (st.learnt_clauses > 0);
+  Alcotest.(check bool) "every learnt has LBD >= 1" true
+    (st.learnt_lbd_sum >= st.learnt_clauses);
+  Alcotest.(check bool) "glue subset of learnts" true
+    (st.glue_clauses <= st.learnt_clauses);
+  Alcotest.(check bool) "avg LBD >= 1" true
+    (Sat.Solver.avg_learnt_lbd st >= 1.0);
+  Alcotest.(check bool) "solve time recorded" true (st.solve_time > 0.0);
+  Alcotest.(check bool) "props/s computable" true
+    (Sat.Solver.props_per_second st > 0.0)
+
+let test_reduce_db () =
+  let s = pigeonhole_solver ~pigeons:5 ~holes:4 in
+  Alcotest.check check_result "unsat" Sat.Solver.Unsat (Sat.Solver.solve s);
+  let before = Sat.Solver.n_learnts s in
+  let st = Sat.Solver.copy_stats (Sat.Solver.stats s) in
+  Sat.Solver.reduce_db s;
+  let after = Sat.Solver.n_learnts s in
+  let st' = Sat.Solver.stats s in
+  Alcotest.(check bool) "learnt count did not grow" true (after <= before);
+  Alcotest.(check int) "one more reduction pass" (st.db_reductions + 1)
+    st'.db_reductions;
+  Alcotest.(check int) "deleted counter matches eviction"
+    (st.deleted_clauses + (before - after))
+    st'.deleted_clauses
+
+let test_deadline_returns_unknown () =
+  (* An already-expired deadline must stop the search almost immediately,
+     even though php(7,6) takes thousands of conflicts to refute. *)
+  let s = pigeonhole_solver ~pigeons:7 ~holes:6 in
+  let r = Sat.Solver.solve ~deadline:(Unix.gettimeofday () -. 1.0) s in
+  Alcotest.check check_result "unknown" Sat.Solver.Unknown r;
+  (* Without a deadline the same solver finishes the refutation. *)
+  Alcotest.check check_result "still refutable" Sat.Solver.Unsat
+    (Sat.Solver.solve s)
+
 (* ------------------------------------------------------------------ *)
 (* Cardinality encodings *)
 
@@ -436,6 +595,22 @@ let suite =
         Alcotest.test_case "incremental" `Quick test_solver_incremental;
         qtest prop_solver_agrees_with_brute;
         qtest prop_solver_assumptions_sound;
+        qtest prop_solver_differential_core;
+      ] );
+    ( "solver-binary",
+      [
+        Alcotest.test_case "chain propagation" `Quick
+          test_binary_chain_propagation;
+        Alcotest.test_case "chain unsat" `Quick test_binary_chain_unsat;
+        Alcotest.test_case "conflict under assumptions" `Quick
+          test_binary_conflict_under_assumptions;
+      ] );
+    ( "solver-learnts",
+      [
+        Alcotest.test_case "LBD invariants" `Quick test_lbd_invariants;
+        Alcotest.test_case "reduce_db" `Quick test_reduce_db;
+        Alcotest.test_case "expired deadline" `Quick
+          test_deadline_returns_unknown;
       ] );
     ( "card",
       [
