@@ -23,6 +23,7 @@ let opt_list = ref false
 let opt_no_micro = ref false
 let opt_json : string option ref = ref None
 let opt_smoke = ref false
+let opt_certify = ref false
 
 let args =
   [
@@ -40,6 +41,10 @@ let args =
      " 3-benchmark, seconds-scale slice of the harness (used by the \
       @bench-smoke dune alias, so the perf plumbing is exercised by \
       `dune runtest`)");
+    ("--certify", Arg.Set opt_certify,
+     " log DRUP proofs in the SATMAP runs and re-check every infeasible \
+      bound with the independent checker; trace sizes and checking time \
+      land in the --json snapshot (on by default under --smoke)");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -67,9 +72,21 @@ type run = {
   swaps : int;  (** meaningful only when solved *)
   seconds : float;
   optimal : bool;
+  certified : bool;
+  proof_events : int;
+  certify_seconds : float;
 }
 
-let failed_run seconds = { solved = false; swaps = 0; seconds; optimal = false }
+let failed_run seconds =
+  {
+    solved = false;
+    swaps = 0;
+    seconds;
+    optimal = false;
+    certified = false;
+    proof_events = 0;
+    certify_seconds = 0.;
+  }
 
 let run_of_outcome = function
   | Satmap.Router.Routed (r, (s : Satmap.Router.stats)) ->
@@ -78,13 +95,20 @@ let run_of_outcome = function
       swaps = Satmap.Routed.n_swaps r;
       seconds = s.time;
       optimal = s.proved_optimal;
+      certified = s.certified;
+      proof_events = s.proof_events;
+      certify_seconds = s.certify_time;
     }
   | Satmap.Router.Failed _ -> failed_run (timeout ())
 
 let added_gates run = 3 * run.swaps
 
 let satmap_config () =
-  { Satmap.Router.default_config with timeout = timeout () }
+  {
+    Satmap.Router.default_config with
+    timeout = timeout ();
+    certify = !opt_certify;
+  }
 
 (* Tool wrappers over the shared benchmark type.  Without an explicit
    slice size, SATMAP runs as the paper reports it: best over a small
@@ -122,10 +146,9 @@ let time_heuristic f (b : Workloads.Suite.benchmark) =
   let t0 = Unix.gettimeofday () in
   let routed = f b.circuit in
   {
+    (failed_run (Unix.gettimeofday () -. t0)) with
     solved = true;
     swaps = Satmap.Routed.n_swaps routed;
-    seconds = Unix.gettimeofday () -. t0;
-    optimal = false;
   }
 
 (* SABRE is randomised: the paper takes the mean of 20 runs; we take the
@@ -147,10 +170,9 @@ let run_sabre ?(device = tokyo) (b : Workloads.Suite.benchmark) =
     /. float_of_int (List.length seeds)
   in
   {
+    (failed_run (Unix.gettimeofday () -. t0)) with
     solved = true;
     swaps = int_of_float (Float.round mean_cost);
-    seconds = Unix.gettimeofday () -. t0;
-    optimal = false;
   }
 
 let run_tket ?(device = tokyo) (b : Workloads.Suite.benchmark) =
@@ -783,6 +805,12 @@ let json_of_totals (t : Sat.Solver.totals) ~wall =
     (json_float conflicts_per_s)
     (json_float (Sat.Solver.totals_props_per_second t))
 
+let json_of_proof (r : run) =
+  Printf.sprintf
+    "{\"certified\": %b, \"trace_events\": %d, \"check_time_s\": %s}"
+    r.certified r.proof_events
+    (json_float r.certify_seconds)
+
 let write_json path =
   let rows = Lazy.force main_rows in
   let oc = open_out path in
@@ -790,7 +818,8 @@ let write_json path =
     Printf.sprintf
       "    {\"name\": \"%s\", \"family\": \"%s\", \"two_qubit\": %d, \
        \"solved\": %b, \"swaps\": %d, \"seconds\": %s, \"optimal\": %b,\n\
-      \     \"solver\": %s}"
+      \     \"solver\": %s,\n\
+      \     \"proof\": %s}"
       (json_escape r.bench.Workloads.Suite.name)
       (json_escape r.bench.family)
       r.bench.n_two_qubit r.satmap.solved
@@ -798,6 +827,7 @@ let write_json path =
       (json_float r.satmap.seconds)
       r.satmap.optimal
       (json_of_totals r.satmap_sat ~wall:r.satmap.seconds)
+      (json_of_proof r.satmap)
   in
   let total_wall =
     List.fold_left (fun acc r -> acc +. r.satmap.seconds) 0.0 rows
@@ -835,6 +865,18 @@ let write_json path =
       rows
   in
   let solved = List.length (List.filter (fun r -> r.satmap.solved) rows) in
+  let proof_totals =
+    let solved_rows = List.filter (fun r -> r.satmap.solved) rows in
+    Printf.sprintf
+      "{\"enabled\": %b, \"certified\": %b, \"trace_events\": %d, \
+       \"check_time_s\": %s}"
+      !opt_certify
+      (!opt_certify && solved_rows <> []
+      && List.for_all (fun r -> r.satmap.certified) solved_rows)
+      (List.fold_left (fun acc r -> acc + r.satmap.proof_events) 0 rows)
+      (json_float
+         (List.fold_left (fun acc r -> acc +. r.satmap.certify_seconds) 0. rows))
+  in
   Printf.fprintf oc
     "{\n\
     \  \"schema\": \"satmap-bench/v1\",\n\
@@ -843,12 +885,14 @@ let write_json path =
     \  \"suite_size\": %d,\n\
     \  \"solved\": %d,\n\
     \  \"solver_totals\": %s,\n\
+    \  \"proof_totals\": %s,\n\
     \  \"benchmarks\": [\n%s\n  ]\n\
      }\n"
     (if !opt_smoke then "smoke" else if !opt_full then "full" else "quick")
     (json_float (timeout ()))
     (List.length rows) solved
     (json_of_totals sum ~wall:total_wall)
+    proof_totals
     (String.concat ",\n" (List.map row_json rows));
   close_out oc;
   Printf.printf "\nwrote %s: %d benchmarks, %d solved, %.0f props/s\n" path
@@ -1001,10 +1045,13 @@ let () =
     !opt_json;
   if !opt_smoke then begin
     (* Seconds-scale slice for `dune runtest`: 3 benchmarks, 1s budgets,
-       just the main comparison (which is what --json snapshots). *)
+       just the main comparison (which is what --json snapshots).
+       Certification is on so the snapshot tracks proof-trace sizes and
+       checking overhead alongside solver throughput. *)
     opt_suite_n := 3;
     opt_timeout := 1.0;
     opt_full := false;
+    opt_certify := true;
     if !opt_experiments = [] then opt_experiments := [ "table1" ]
   end;
   let t0 = Unix.gettimeofday () in

@@ -105,6 +105,15 @@ let solver_stats =
           "Print SAT-solver and optimizer statistics (conflicts, decisions, \
            propagations/s, restarts, learnt-clause LBD) after routing.")
 
+let certify =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Log DRUP proofs in the MaxSAT engine and re-check every \
+           infeasible bound with the independent proof checker; reports \
+           whether the optimum is certified and the checking overhead.")
+
 (* ------------------------------------------------------------------ *)
 (* route *)
 
@@ -130,7 +139,7 @@ let print_solver_stats () =
   Format.printf "solver time:   %.2fs@." tot.Sat.Solver.total_solve_time
 
 let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
-    parallel stats_flag =
+    parallel stats_flag certify =
   Sat.Solver.reset_totals ();
   let circuit = Quantum.Qasm.of_file qasm in
   let objective =
@@ -139,7 +148,7 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
     else Satmap.Encoding.Count_swaps
   in
   let config =
-    { Satmap.Router.default_config with timeout; objective; n_swaps }
+    { Satmap.Router.default_config with timeout; objective; n_swaps; certify }
   in
   let outcome =
     match (method_, slice_size) with
@@ -160,6 +169,9 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
             proved_optimal = false;
             escalations = 0;
             maxsat_iterations = 0;
+            certified = false;
+            proof_events = 0;
+            certify_time = 0.;
           } )
     | `Sliced, Some s ->
       Satmap.Router.route_sliced ~config ~slice_size:s device circuit
@@ -182,6 +194,9 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
     Format.printf "blocks:        %d (backtracks %d, escalations %d)@."
       stats.n_blocks stats.n_backtracks stats.escalations;
     Format.printf "optimal:       %b@." stats.proved_optimal;
+    if certify then
+      Format.printf "certified:     %b (%d proof events, check %.3fs)@."
+        stats.certified stats.proof_events stats.certify_time;
     if noise then begin
       let cal = Arch.Calibration.synthetic device in
       Format.printf "est. fidelity: %.4f@."
@@ -201,7 +216,8 @@ let route_cmd =
     (Cmd.info "route" ~doc:"Map and route a circuit onto a device via MaxSAT.")
     Term.(
       const route_cmd_run $ device $ qasm_file $ timeout $ slice_size
-      $ method_ $ noise $ output $ n_swaps $ parallel $ solver_stats)
+      $ method_ $ noise $ output $ n_swaps $ parallel $ solver_stats
+      $ certify)
 
 (* ------------------------------------------------------------------ *)
 (* stats *)

@@ -324,6 +324,9 @@ let route ?(config = default_config) device circuit =
                     proved_optimal;
                     escalations = extra;
                     maxsat_iterations = o.iterations;
+                    certified = false;
+                    proof_events = 0;
+                    certify_time = 0.;
                   } )
             | Maxsat.Optimizer.Unsatisfiable ->
               attempt (extra + 1) "block budget exhausted"

@@ -34,6 +34,9 @@ type config = {
           anytime behaviour SATMAP gets from its MaxSAT solver.  The
           SMT-style baselines set this to false: optimal or nothing. *)
   verify : bool;
+  certify : bool;
+      (** log DRUP proofs in the MaxSAT engine and re-check every
+          infeasible bound with the independent proof checker *)
 }
 
 let default_config =
@@ -50,6 +53,7 @@ let default_config =
     max_clauses = 4_000_000;
     accept_feasible = true;
     verify = true;
+    certify = false;
   }
 
 type stats = {
@@ -59,6 +63,12 @@ type stats = {
   proved_optimal : bool;
   escalations : int;
   maxsat_iterations : int;
+  certified : bool;
+      (** certification was on, every block reached its (locally)
+          optimal cost, and the independent checker accepted every
+          infeasibility proof *)
+  proof_events : int;  (** learnt/delete trace events across all blocks *)
+  certify_time : float;  (** seconds spent in the proof checker *)
 }
 
 type outcome =
@@ -142,11 +152,41 @@ let emit ~device ~circuit enc (sol : Encoding.solution) =
 (* ------------------------------------------------------------------ *)
 (* Solving one block *)
 
+type block_solution = {
+  enc : Encoding.t;
+  sol : Encoding.solution;
+  optimal : bool;
+  iterations : int;
+  cert : Maxsat.Certify.report option;
+}
+
 type block_result =
-  | Block_solved of Encoding.t * Encoding.solution * bool (* optimal? *) * int
+  | Block_solved of block_solution
   | Block_unsat
   | Block_timeout
   | Block_too_large
+
+(* Aggregate per-block certification reports into the stats fields:
+   certified iff certification was requested, every block was solved to
+   (local) optimality, and the checker accepted every block's
+   infeasibility proof.  Sliced routes are only locally optimal
+   ([proved_optimal] stays false for n > 1), but each block's optimum is
+   still individually certified. *)
+let cert_fields ~config ~all_optimal reports =
+  if not config.certify then (false, 0, 0.)
+  else begin
+    let all_present = List.for_all Option.is_some reports in
+    let merged =
+      List.fold_left
+        (fun acc r ->
+          Maxsat.Certify.merge acc
+            (Option.value ~default:Maxsat.Certify.empty r))
+        Maxsat.Certify.empty reports
+    in
+    ( all_optimal && all_present && Maxsat.Certify.ok merged,
+      merged.Maxsat.Certify.trace_events,
+      merged.Maxsat.Certify.check_time )
+  end
 
 let solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
     ?(cyclic = false) ?(blocked_finals = []) ?n_swaps_override ?(post_slots = 0)
@@ -162,12 +202,29 @@ let solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
       Encoding.build ?fixed_initial ?fixed_final ~cyclic ~blocked_finals spec
         circuit
     in
-    match Maxsat.Optimizer.solve ~deadline (Encoding.instance enc) with
+    match
+      Maxsat.Optimizer.solve ~deadline ~certify:config.certify
+        (Encoding.instance enc)
+    with
     | Maxsat.Optimizer.Optimal o ->
-      Block_solved (enc, Encoding.decode enc o.model, true, o.iterations)
+      Block_solved
+        {
+          enc;
+          sol = Encoding.decode enc o.model;
+          optimal = true;
+          iterations = o.iterations;
+          cert = o.certificate;
+        }
     | Maxsat.Optimizer.Feasible o ->
       if config.accept_feasible then
-        Block_solved (enc, Encoding.decode enc o.model, false, o.iterations)
+        Block_solved
+          {
+            enc;
+            sol = Encoding.decode enc o.model;
+            optimal = false;
+            iterations = o.iterations;
+            cert = o.certificate;
+          }
       else Block_timeout
     | Maxsat.Optimizer.Unsatisfiable -> Block_unsat
     | Maxsat.Optimizer.Timeout ->
@@ -222,6 +279,9 @@ let route_monolithic ?(config = default_config) device circuit =
   else if Quantum.Circuit.count_two_qubit circuit = 0 then begin
     let routed = route_trivial ~device circuit in
     check ~config ~original:circuit routed;
+    let certified, proof_events, certify_time =
+      cert_fields ~config ~all_optimal:true []
+    in
     Routed
       ( routed,
         {
@@ -231,6 +291,9 @@ let route_monolithic ?(config = default_config) device circuit =
           proved_optimal = true;
           escalations = 0;
           maxsat_iterations = 0;
+          certified;
+          proof_events;
+          certify_time;
         } )
   end
   else begin
@@ -238,18 +301,24 @@ let route_monolithic ?(config = default_config) device circuit =
       solve_block_escalating ~config ~deadline ~device circuit
     in
     match result with
-    | Block_solved (enc, sol, optimal, iters) ->
-      let routed = emit ~device ~circuit enc sol in
+    | Block_solved b ->
+      let routed = emit ~device ~circuit b.enc b.sol in
       check ~config ~original:circuit routed;
+      let certified, proof_events, certify_time =
+        cert_fields ~config ~all_optimal:b.optimal [ b.cert ]
+      in
       Routed
         ( routed,
           {
             time = Unix.gettimeofday () -. start;
             n_backtracks = 0;
             n_blocks = 1;
-            proved_optimal = optimal;
+            proved_optimal = b.optimal;
             escalations;
-            maxsat_iterations = iters;
+            maxsat_iterations = b.iterations;
+            certified;
+            proof_events;
+            certify_time;
           } )
     | Block_unsat -> Failed "unsatisfiable encoding"
     | Block_timeout -> Failed "timeout"
@@ -262,7 +331,7 @@ let route_monolithic ?(config = default_config) device circuit =
 type slice_state = {
   slice : Quantum.Circuit.t;
   mutable blocked : int array list;
-  mutable solution : (Encoding.t * Encoding.solution * bool * int) option;
+  mutable solution : block_solution option;
 }
 
 let route_sliced ?(config = default_config) ~slice_size device circuit =
@@ -290,7 +359,7 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
         if !i = 0 then None
         else
           match slices.(!i - 1).solution with
-          | Some (_, sol, _, _) -> Some sol.final
+          | Some b -> Some b.sol.final
           | None -> failwith "Router: previous slice unsolved"
       in
       (* Split the remaining budget evenly over the remaining slices so an
@@ -308,8 +377,8 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
       in
       escalations := !escalations + esc;
       match result with
-      | Block_solved (enc, sol, optimal, iters) ->
-        st.solution <- Some (enc, sol, optimal, iters);
+      | Block_solved b ->
+        st.solution <- Some b;
         incr i
       | Block_unsat ->
         if !i = 0 then failure := Some "slice 0 unsatisfiable"
@@ -320,7 +389,7 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
           incr backtracks;
           let prev = slices.(!i - 1) in
           (match prev.solution with
-          | Some (_, sol, _, _) -> prev.blocked <- sol.final :: prev.blocked
+          | Some b -> prev.blocked <- b.sol.final :: prev.blocked
           | None -> failwith "Router: previous slice unsolved");
           prev.solution <- None;
           decr i
@@ -334,26 +403,35 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
       let segments = ref [] in
       let all_optimal = ref true in
       let iterations = ref 0 in
+      let certs = ref [] in
       Array.iter
         (fun st ->
           match st.solution with
-          | Some (enc, sol, optimal, iters) ->
-            if not optimal then all_optimal := false;
-            iterations := !iterations + iters;
-            segments := emit ~device ~circuit:st.slice enc sol :: !segments
+          | Some b ->
+            if not b.optimal then all_optimal := false;
+            iterations := !iterations + b.iterations;
+            certs := b.cert :: !certs;
+            segments := emit ~device ~circuit:st.slice b.enc b.sol :: !segments
           | None -> failwith "Router: unsolved slice after success")
         slices;
       let routed = Routed.stitch (List.rev !segments) in
       check ~config ~original:circuit routed;
+      let proved_optimal = !all_optimal && n = 1 in
+      let certified, proof_events, certify_time =
+        cert_fields ~config ~all_optimal:!all_optimal !certs
+      in
       Routed
         ( routed,
           {
             time = Unix.gettimeofday () -. start;
             n_backtracks = !backtracks;
             n_blocks = n;
-            proved_optimal = !all_optimal && n = 1;
+            proved_optimal;
             escalations = !escalations;
             maxsat_iterations = !iterations;
+            certified;
+            proof_events;
+            certify_time;
           } )
   end
 
@@ -385,18 +463,24 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
           ~want_post:true body
       in
       match result with
-      | Block_solved (enc, sol, optimal, iters) ->
+      | Block_solved b ->
+        let certified, proof_events, certify_time =
+          cert_fields ~config ~all_optimal:b.optimal [ b.cert ]
+        in
         finish
           ~stats:
             {
               time = Unix.gettimeofday () -. start;
               n_backtracks = 0;
               n_blocks = 1;
-              proved_optimal = optimal;
+              proved_optimal = b.optimal;
               escalations;
-              maxsat_iterations = iters;
+              maxsat_iterations = b.iterations;
+              certified;
+              proof_events;
+              certify_time;
             }
-          (emit ~device ~circuit:body enc sol)
+          (emit ~device ~circuit:body b.enc b.sol)
       | Block_unsat -> Failed "cyclic encoding unsatisfiable"
       | Block_timeout -> Failed "timeout"
       | Block_too_large -> Failed "encoding exceeds memory guard")
@@ -420,7 +504,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
           if !i = 0 then None
           else
             match slices.(!i - 1).solution with
-            | Some (_, sol, _, _) -> Some sol.final
+            | Some b -> Some b.sol.final
             | None -> failwith "Router: previous slice unsolved"
         in
         let fixed_final =
@@ -428,7 +512,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
           else if n = 1 then None (* cyclic flag handles the single slice *)
           else
             match slices.(0).solution with
-            | Some (_, sol, _, _) -> Some sol.initial
+            | Some b -> Some b.sol.initial
             | None -> failwith "Router: slice 0 unsolved"
         in
         let cyclic = n = 1 && !i = 0 in
@@ -446,8 +530,8 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
         in
         escalations := !escalations + esc;
         match result with
-        | Block_solved (enc, sol, optimal, iters) ->
-          st.solution <- Some (enc, sol, optimal, iters);
+        | Block_solved b ->
+          st.solution <- Some b;
           incr i
         | Block_unsat ->
           if !i = 0 then failure := Some "slice 0 unsatisfiable"
@@ -457,7 +541,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
             incr backtracks;
             let prev = slices.(!i - 1) in
             (match prev.solution with
-            | Some (_, sol, _, _) -> prev.blocked <- sol.final :: prev.blocked
+            | Some b -> prev.blocked <- b.sol.final :: prev.blocked
             | None -> failwith "Router: previous slice unsolved");
             prev.solution <- None;
             decr i
@@ -471,16 +555,22 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
         let segments = ref [] in
         let all_optimal = ref true in
         let iterations = ref 0 in
+        let certs = ref [] in
         Array.iter
           (fun st ->
             match st.solution with
-            | Some (enc, sol, optimal, iters) ->
-              if not optimal then all_optimal := false;
-              iterations := !iterations + iters;
-              segments := emit ~device ~circuit:st.slice enc sol :: !segments
+            | Some b ->
+              if not b.optimal then all_optimal := false;
+              iterations := !iterations + b.iterations;
+              certs := b.cert :: !certs;
+              segments :=
+                emit ~device ~circuit:st.slice b.enc b.sol :: !segments
             | None -> failwith "Router: unsolved slice after success")
           slices;
         let routed_body = Routed.stitch (List.rev !segments) in
+        let certified, proof_events, certify_time =
+          cert_fields ~config ~all_optimal:!all_optimal !certs
+        in
         finish
           ~stats:
             {
@@ -490,6 +580,9 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
               proved_optimal = false;
               escalations = !escalations;
               maxsat_iterations = !iterations;
+              certified;
+              proof_events;
+              certify_time;
             }
           routed_body)
   end

@@ -27,6 +27,10 @@ type config = {
       (** accept anytime (best-so-far) solutions at the deadline; the
           SMT-style baselines disable this *)
   verify : bool;  (** run the independent verifier on every solution *)
+  certify : bool;
+      (** log DRUP proofs in the MaxSAT engine and re-check every
+          infeasible bound with the independent proof checker; the
+          verdict is reported in [stats.certified] *)
 }
 
 val default_config : config
@@ -38,6 +42,13 @@ type stats = {
   proved_optimal : bool;
   escalations : int;
   maxsat_iterations : int;
+  certified : bool;
+      (** certification was on, every block reached its (locally)
+          optimal cost, and the independent proof checker accepted every
+          infeasibility proof; [false] whenever [config.certify] is off *)
+  proof_events : int;
+      (** learnt/delete proof-trace events across all blocks *)
+  certify_time : float;  (** seconds spent inside the proof checker *)
 }
 
 type outcome =

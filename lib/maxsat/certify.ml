@@ -1,0 +1,44 @@
+type report = {
+  proofs_checked : int;
+  proofs_failed : int;
+  trace_events : int;
+  check_time : float;
+}
+
+let empty =
+  { proofs_checked = 0; proofs_failed = 0; trace_events = 0; check_time = 0. }
+
+let ok r = r.proofs_failed = 0
+
+let merge a b =
+  {
+    proofs_checked = a.proofs_checked + b.proofs_checked;
+    proofs_failed = a.proofs_failed + b.proofs_failed;
+    trace_events = a.trace_events + b.trace_events;
+    check_time = a.check_time +. b.check_time;
+  }
+
+let check_certificate ?mode (cert : Proof.Certificate.t) =
+  let t0 = Unix.gettimeofday () in
+  let res = Proof.Certificate.check ?mode cert in
+  let dt = Unix.gettimeofday () -. t0 in
+  {
+    proofs_checked = 1;
+    proofs_failed = (if Proof.Checker.is_valid res then 0 else 1);
+    trace_events = Array.length cert.Proof.Certificate.events;
+    check_time = dt;
+  }
+
+let certify_refutation ?mode recorder =
+  check_certificate ?mode (Proof.Certificate.snapshot recorder)
+
+let certify_core ?mode recorder core =
+  check_certificate ?mode
+    (Proof.Certificate.snapshot
+       ~target:(Proof.Certificate.core_target core)
+       recorder)
+
+let pp fmt r =
+  Format.fprintf fmt "%d/%d proofs certified (%d events, %.3fs)"
+    (r.proofs_checked - r.proofs_failed)
+    r.proofs_checked r.trace_events r.check_time

@@ -1,0 +1,38 @@
+(** Certification accounting shared by the MaxSAT engines.
+
+    Both engines prove optimality through UNSAT results (the linear
+    descent's final infeasible bound; each core of the core-guided
+    loop).  With certification enabled they capture a
+    {!Proof.Certificate.t} for every such UNSAT and re-check it with the
+    independent {!Proof.Checker}; a {!report} aggregates the outcomes so
+    callers can tell at a glance whether {e every} infeasibility claim
+    was independently verified, and what it cost. *)
+
+type report = {
+  proofs_checked : int;  (** UNSAT claims re-checked *)
+  proofs_failed : int;  (** claims the checker rejected (0 = certified) *)
+  trace_events : int;  (** total learnt/delete events across traces *)
+  check_time : float;  (** wall-clock seconds spent checking *)
+}
+
+val empty : report
+(** No claims to check — vacuously certified (e.g. a cost-0 optimum). *)
+
+val ok : report -> bool
+(** [true] iff no checked proof was rejected. *)
+
+val merge : report -> report -> report
+
+val check_certificate : ?mode:Proof.Checker.mode -> Proof.Certificate.t -> report
+(** Check one certificate, timing the checker run. *)
+
+val certify_refutation : ?mode:Proof.Checker.mode -> Proof.Certificate.recorder -> report
+(** Snapshot the recorder against the empty-clause target and check it:
+    certifies that the recorded CNF is unsatisfiable. *)
+
+val certify_core :
+  ?mode:Proof.Checker.mode -> Proof.Certificate.recorder -> Sat.Lit.t list -> report
+(** Snapshot against the target [¬core] and check it: certifies that the
+    recorded CNF forces at least one core assumption false. *)
+
+val pp : Format.formatter -> report -> unit

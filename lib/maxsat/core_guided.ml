@@ -22,25 +22,48 @@ type soft = {
 }
 
 type result =
-  | Optimal of { cost : int; model : bool array }
+  | Optimal of {
+      cost : int;
+      model : bool array;
+      certificate : Certify.report option;
+    }
   | Unsatisfiable
   | Timeout of { lower_bound : int }
 
-let add_soft solver softs ~weight ~clause =
+let add_soft solver (sink : Sat.Sink.t) softs ~weight ~clause =
   let s = Sat.Lit.of_var (Sat.Solver.new_var solver) in
-  Sat.Solver.add_clause solver (Sat.Lit.neg s :: clause);
+  sink.add_clause (Sat.Lit.neg s :: clause);
   Sat.Solver.set_polarity solver (Sat.Lit.var s) true;
   softs := { weight; clause; selector = s } :: !softs
 
-let solve ?deadline instance =
+let solve ?deadline ?(certify = false) instance =
   let solver = Sat.Solver.create () in
+  (* With certification on, all clauses are recorded so that each unsat
+     core K can be re-checked independently (target clause ¬K). *)
+  let recorder =
+    if certify then Some (Proof.Certificate.create solver) else None
+  in
+  let sink =
+    match recorder with
+    | Some r -> Proof.Certificate.sink r
+    | None -> Sat.Sink.of_solver solver
+  in
+  let cert = ref (if certify then Some Certify.empty else None) in
+  let certify_core core =
+    match recorder with
+    | None -> ()
+    | Some r ->
+      let report = Certify.certify_core r core in
+      cert :=
+        Some (Certify.merge (Option.value ~default:Certify.empty !cert) report)
+  in
   for _ = 1 to Instance.n_vars instance do
     ignore (Sat.Solver.new_var solver)
   done;
-  List.iter (Sat.Solver.add_clause solver) (Instance.hard instance);
+  List.iter sink.Sat.Sink.add_clause (Instance.hard instance);
   let softs = ref [] in
   List.iter
-    (fun (weight, clause) -> add_soft solver softs ~weight ~clause)
+    (fun (weight, clause) -> add_soft solver sink softs ~weight ~clause)
     (Instance.soft instance);
   let cost = ref 0 in
   let result = ref None in
@@ -56,10 +79,12 @@ let solve ?deadline instance =
                model =
                  Array.init (Instance.n_vars instance)
                    (Sat.Solver.model_value solver);
+               certificate = !cert;
              })
     | Sat.Solver.Unknown, _ -> result := Some (Timeout { lower_bound = !cost })
     | Sat.Solver.Unsat, [] -> result := Some Unsatisfiable
     | Sat.Solver.Unsat, core ->
+      certify_core core;
       (* Split the softs into core members and the rest. *)
       let in_core s = List.exists (Sat.Lit.equal s.selector) core in
       let core_softs, rest = List.partition in_core !softs in
@@ -76,18 +101,19 @@ let solve ?deadline instance =
         List.iter
           (fun s ->
             (* Retire the old representation... *)
-            Sat.Solver.add_clause solver [ Sat.Lit.neg s.selector ];
+            sink.add_clause [ Sat.Lit.neg s.selector ];
             (* ...relax the clause by a fresh blocking variable... *)
             let b = Sat.Lit.of_var (Sat.Solver.new_var solver) in
             blocking := b :: !blocking;
-            add_soft solver softs ~weight:w_min ~clause:(b :: s.clause);
+            add_soft solver sink softs ~weight:w_min ~clause:(b :: s.clause);
             (* ...and keep the residual weight as a separate soft. *)
             if s.weight > w_min then
-              add_soft solver softs ~weight:(s.weight - w_min) ~clause:s.clause)
+              add_soft solver sink softs ~weight:(s.weight - w_min)
+                ~clause:s.clause)
           core_softs;
         (* At most one blocking variable of this core may fire (paying
            w_min exactly once). *)
-        Sat.Card.exactly_one (Sat.Sink.of_solver solver) !blocking
+        Sat.Card.exactly_one sink !blocking
       end
   done;
   match !result with Some r -> r | None -> assert false

@@ -3,8 +3,18 @@
     anytime (a timeout yields only a lower bound). *)
 
 type result =
-  | Optimal of { cost : int; model : bool array }
+  | Optimal of {
+      cost : int;
+      model : bool array;
+      certificate : Certify.report option;
+          (** [Some r] iff [solve ~certify:true]: every unsat core the
+              algorithm paid for was re-checked by the independent proof
+              checker ([Certify.ok r] = all cores verified). *)
+    }
   | Unsatisfiable
   | Timeout of { lower_bound : int }
 
-val solve : ?deadline:float -> Instance.t -> result
+val solve : ?deadline:float -> ?certify:bool -> Instance.t -> result
+(** [certify] (default [false]) enables DRUP proof logging; each core
+    [K] returned by the solver is certified by checking the clause [¬K]
+    against the recorded CNF and trace. *)

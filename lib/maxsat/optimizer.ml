@@ -13,6 +13,7 @@ type outcome = {
   iterations : int;
   solve_time : float;
   solver_stats : Sat.Solver.stats;
+  certificate : Certify.report option;
 }
 
 type result =
@@ -27,15 +28,17 @@ let best_outcome = function
 
 (* Relaxation literals: for a soft clause C, a literal r such that r true
    "pays" the clause's weight.  Unit softs [l] reuse ~l directly — the
-   common case in the QMR encoding (soft swap no-ops) adds no variables. *)
-let relaxation_lits solver soft =
+   common case in the QMR encoding (soft swap no-ops) adds no variables.
+   All clauses go through the sink so that, under --certify, the
+   certificate recorder sees the full CNF. *)
+let relaxation_lits (sink : Sat.Sink.t) soft =
   List.map
     (fun (w, clause) ->
       match clause with
       | [ l ] -> (w, Sat.Lit.neg l)
       | _ ->
-        let r = Sat.Lit.of_var (Sat.Solver.new_var solver) in
-        Sat.Solver.add_clause solver (r :: clause);
+        let r = Sat.Lit.of_var (sink.fresh_var ()) in
+        sink.add_clause (r :: clause);
         (w, r))
     soft
 
@@ -54,25 +57,42 @@ type bound_machinery =
   | Totalizer of Sat.Lit.t array
   | Adder of Adder.number
 
-let build_machinery solver relax unweighted =
-  let sink = Sat.Sink.of_solver solver in
+let build_machinery sink relax unweighted =
   if unweighted then Totalizer (Sat.Card.totalizer sink (List.map snd relax))
   else Adder (Adder.sum sink relax)
 
 (* Add clauses forcing objective <= k.  Sound to add permanently: the
    sequence of bounds is strictly decreasing. *)
-let assert_bound solver machinery k =
-  let sink = Sat.Sink.of_solver solver in
+let assert_bound (sink : Sat.Sink.t) machinery k =
   match machinery with
   | Totalizer out ->
-    if k < Array.length out then
-      Sat.Solver.add_clause solver [ Sat.Lit.neg out.(k) ]
+    if k < Array.length out then sink.add_clause [ Sat.Lit.neg out.(k) ]
     else ()
   | Adder bits -> Adder.assert_le sink bits k
 
-let solve ?deadline ?report instance =
+let solve ?deadline ?(certify = false) ?report instance =
   let start = Unix.gettimeofday () in
   let solver = Sat.Solver.create () in
+  (* With certification on, every clause is recorded alongside the
+     solver's proof trace so each UNSAT bound can be re-checked by the
+     independent checker. *)
+  let recorder =
+    if certify then Some (Proof.Certificate.create solver) else None
+  in
+  let sink =
+    match recorder with
+    | Some r -> Proof.Certificate.sink r
+    | None -> Sat.Sink.of_solver solver
+  in
+  let cert = ref (if certify then Some Certify.empty else None) in
+  let certify_unsat () =
+    match recorder with
+    | None -> ()
+    | Some r ->
+      let report = Certify.certify_refutation r in
+      cert :=
+        Some (Certify.merge (Option.value ~default:Certify.empty !cert) report)
+  in
   let report_iteration iteration cost =
     match report with
     | None -> ()
@@ -81,8 +101,8 @@ let solve ?deadline ?report instance =
   for _ = 1 to Instance.n_vars instance do
     ignore (Sat.Solver.new_var solver)
   done;
-  List.iter (Sat.Solver.add_clause solver) (Instance.hard instance);
-  let relax = relaxation_lits solver (Instance.soft instance) in
+  List.iter sink.Sat.Sink.add_clause (Instance.hard instance);
+  let relax = relaxation_lits sink (Instance.soft instance) in
   (* Bias the search towards satisfying the soft clauses so that the first
      model is already cheap and the descent starts near the optimum. *)
   List.iter
@@ -96,6 +116,7 @@ let solve ?deadline ?report instance =
         iterations;
         solve_time = Unix.gettimeofday () -. start;
         solver_stats = Sat.Solver.copy_stats (Sat.Solver.stats solver);
+        certificate = !cert;
       }
     in
     match kind with `Optimal -> Optimal o | `Feasible -> Feasible o
@@ -112,11 +133,11 @@ let solve ?deadline ?report instance =
       finish `Optimal !best_cost !best_model !iterations
     else begin
       let machinery =
-        build_machinery solver relax (Instance.is_unweighted instance)
+        build_machinery sink relax (Instance.is_unweighted instance)
       in
       let result = ref None in
       while !result = None do
-        assert_bound solver machinery (!best_cost - 1);
+        assert_bound sink machinery (!best_cost - 1);
         match Sat.Solver.solve ?deadline solver with
         | Sat.Solver.Sat ->
           incr iterations;
@@ -131,6 +152,9 @@ let solve ?deadline ?report instance =
           if cost = 0 then
             result := Some (finish `Optimal cost !best_model !iterations)
         | Sat.Solver.Unsat ->
+          (* The descent's one infeasibility claim: cost < best_cost has
+             no model.  Certify it before reporting optimality. *)
+          certify_unsat ();
           result := Some (finish `Optimal !best_cost !best_model !iterations)
         | Sat.Solver.Unknown ->
           result := Some (finish `Feasible !best_cost !best_model !iterations)

@@ -12,6 +12,12 @@ type outcome = {
   solver_stats : Sat.Solver.stats;
       (** snapshot of the underlying CDCL solver's counters at the end of
           the descent (conflicts, propagations, learnt-LBD totals, ...) *)
+  certificate : Certify.report option;
+      (** [Some r] iff [solve ~certify:true]: the aggregate result of
+          re-checking every UNSAT bound with the independent proof
+          checker ([Certify.ok r] = all claims verified; an optimum
+          reached without any UNSAT, e.g. cost 0, is vacuously
+          certified with {!Certify.empty}). *)
 }
 
 type result =
@@ -24,13 +30,17 @@ val best_outcome : result -> outcome option
 
 val solve :
   ?deadline:float ->
+  ?certify:bool ->
   ?report:(iteration:int -> cost:int -> stats:Sat.Solver.stats -> unit) ->
   Instance.t ->
   result
-(** [deadline] is an absolute [Unix.gettimeofday] instant.  [report] is
-    invoked after every satisfiable iteration of the descent with the
-    iteration number, the model's cost, and the {e live} solver stats
-    (snapshot with {!Sat.Solver.copy_stats} if retained). *)
+(** [deadline] is an absolute [Unix.gettimeofday] instant.  [certify]
+    (default [false]) enables DRUP proof logging and re-checks the final
+    infeasible bound with the independent checker; the verdict lands in
+    [outcome.certificate].  [report] is invoked after every satisfiable
+    iteration of the descent with the iteration number, the model's
+    cost, and the {e live} solver stats (snapshot with
+    {!Sat.Solver.copy_stats} if retained). *)
 
 val optimal_cost : ?deadline:float -> Instance.t -> int option
 (** The optimal cost, or [None] if optimality was not proved in time. *)

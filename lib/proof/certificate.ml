@@ -1,0 +1,43 @@
+type t = {
+  n_vars : int;
+  cnf : Sat.Lit.t list list;
+  events : Sat.Proof.event array;
+  target : Sat.Lit.t list;
+}
+
+type recorder = {
+  s : Sat.Solver.t;
+  trace : Trace.t;
+  mutable cnf_rev : Sat.Lit.t list list;
+  mutable n_clauses : int;
+}
+
+let create s =
+  let trace = Trace.create () in
+  Sat.Solver.set_proof_sink s (Some (Trace.sink trace));
+  { s; trace; cnf_rev = []; n_clauses = 0 }
+
+let solver r = r.s
+
+let add_clause r clause =
+  r.cnf_rev <- clause :: r.cnf_rev;
+  r.n_clauses <- r.n_clauses + 1;
+  Sat.Solver.add_clause r.s clause
+
+let sink r =
+  { Sat.Sink.fresh_var = (fun () -> Sat.Solver.new_var r.s);
+    add_clause = (fun clause -> add_clause r clause) }
+
+let n_clauses r = r.n_clauses
+let n_events r = Trace.length r.trace
+
+let snapshot ?(target = []) r =
+  { n_vars = Sat.Solver.n_vars r.s;
+    cnf = List.rev r.cnf_rev;
+    events = Trace.events r.trace;
+    target }
+
+let check ?mode t =
+  Checker.check ?mode ~n_vars:t.n_vars ~cnf:t.cnf ~target:t.target t.events
+
+let core_target core = List.map Sat.Lit.neg core

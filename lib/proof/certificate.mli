@@ -1,0 +1,49 @@
+(** End-to-end UNSAT certificates.
+
+    A {!recorder} wraps a solver so that everything needed for an
+    independent re-check is captured as it happens: every problem clause
+    (routed through {!add_clause} or the {!sink}) and every proof event
+    (via [Sat.Solver.set_proof_sink]).  After the solver reports UNSAT —
+    outright, or under assumptions with core [K] — {!snapshot} freezes a
+    self-contained certificate (CNF + trace + target clause) that
+    {!check} hands to the independent {!Checker}. *)
+
+type t = {
+  n_vars : int;
+  cnf : Sat.Lit.t list list;  (** problem clauses, in addition order *)
+  events : Sat.Proof.event array;  (** DRUP trace *)
+  target : Sat.Lit.t list;
+      (** the certified clause: [[]] for a refutation, [¬K] for an
+          UNSAT core [K] *)
+}
+
+type recorder
+
+val create : Sat.Solver.t -> recorder
+(** Start recording: installs a trace sink on the solver (replacing any
+    previous one).  Clauses must subsequently be added through this
+    recorder, not [Sat.Solver.add_clause] directly, or the certificate
+    CNF will be incomplete. *)
+
+val solver : recorder -> Sat.Solver.t
+
+val add_clause : recorder -> Sat.Lit.t list -> unit
+(** Record the clause and forward it to the solver. *)
+
+val sink : recorder -> Sat.Sink.t
+(** A clause sink (for [Card]/[Adder] encodings) that records and
+    forwards. *)
+
+val n_clauses : recorder -> int
+val n_events : recorder -> int
+
+val snapshot : ?target:Sat.Lit.t list -> recorder -> t
+(** Freeze the current CNF and trace into a certificate for [target]
+    (default: the empty clause).  Recording continues afterwards;
+    later snapshots see the longer trace. *)
+
+val check : ?mode:Checker.mode -> t -> Checker.result
+
+val core_target : Sat.Lit.t list -> Sat.Lit.t list
+(** [core_target k] is the clause [¬K] certifying UNSAT under the
+    assumption core [k]. *)

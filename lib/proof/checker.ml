@@ -1,0 +1,345 @@
+(* Independent RUP checker with backward trimming.
+
+   Deliberately shares no code with lib/sat's solver beyond the literal
+   type: propagation, watching and the clause store are re-implemented
+   here over plain arrays, lists and hash tables.  Simplicity and
+   independence beat raw speed — this code is the trust anchor.
+
+   Clause lifecycle: every clause (original or learnt) is attached once
+   and carries an [active] flag.  Deactivated clauses stay in their
+   watch/unit lists (scans skip them) so that the backward pass can
+   reactivate a deleted clause by flipping the flag — its two watch
+   positions are untouched while inactive, so the watching invariant
+   (clause is watched on [lits.(0)] and [lits.(1)]) still holds. *)
+
+module Lit = Sat.Lit
+
+type clause = {
+  lits : Lit.t array;  (* mutable order: watch relocation permutes *)
+  learnt : bool;
+  mutable active : bool;
+  mutable needed : bool;  (* in the target's dependency cone *)
+}
+
+type mode = [ `Backward | `Forward ]
+
+type summary = {
+  events : int;
+  checked : int;
+  skipped : int;
+  core_clauses : int;
+}
+
+type result =
+  | Valid of summary
+  | Invalid of { event : int option; reason : string }
+
+let is_valid = function Valid _ -> true | Invalid _ -> false
+
+let pp_result fmt = function
+  | Valid s ->
+    Format.fprintf fmt
+      "valid (%d events, %d checked, %d skipped, %d core)" s.events
+      s.checked s.skipped s.core_clauses
+  | Invalid { event; reason } ->
+    (match event with
+    | Some i -> Format.fprintf fmt "invalid at event %d: %s" i reason
+    | None -> Format.fprintf fmt "invalid: %s" reason)
+
+type state = {
+  value : int array;  (* per var: -1 undef, 0 false, 1 true *)
+  reason : clause option array;  (* per var *)
+  seen : bool array;  (* per var, scratch for cone marking *)
+  watches : clause list array;  (* per literal index *)
+  mutable units : clause list;  (* length-1 clauses, incl. inactive *)
+  mutable empties : clause list;  (* length-0 clauses, incl. inactive *)
+  trail : Lit.t array;
+  mutable trail_len : int;
+  mutable qhead : int;
+  by_key : (int list, clause) Hashtbl.t;  (* sorted lit multiset -> clause *)
+}
+
+let lit_index l = (2 * Lit.var l) + if Lit.sign l then 0 else 1
+
+let value_lit st l =
+  let v = st.value.(Lit.var l) in
+  if v < 0 then -1 else if v = 1 = Lit.sign l then 1 else 0
+
+(* Duplicate literals are semantically irrelevant but break the watch
+   scheme (a clause like [x; x] is a unit, not a binary clause), so
+   clauses are deduplicated on attach and keys are literal sets. *)
+let normalize lits =
+  let seen = Hashtbl.create 8 in
+  Array.to_list lits
+  |> List.filter (fun l ->
+         let i = lit_index l in
+         if Hashtbl.mem seen i then false
+         else begin
+           Hashtbl.add seen i ();
+           true
+         end)
+  |> Array.of_list
+
+let clause_key lits =
+  Array.to_list lits |> List.map lit_index |> List.sort_uniq compare
+
+let create_state nv =
+  {
+    value = Array.make nv (-1);
+    reason = Array.make nv None;
+    seen = Array.make nv false;
+    watches = Array.make (2 * nv) [];
+    units = [];
+    empties = [];
+    trail = Array.make (max nv 1) (Lit.of_var 0);
+    trail_len = 0;
+    qhead = 0;
+    by_key = Hashtbl.create 64;
+  }
+
+let attach st ~learnt lits =
+  let c = { lits = normalize lits; learnt; active = true; needed = false } in
+  Hashtbl.add st.by_key (clause_key lits) c;
+  (match Array.length c.lits with
+  | 0 -> st.empties <- c :: st.empties
+  | 1 -> st.units <- c :: st.units
+  | _ ->
+    let w0 = lit_index c.lits.(0) and w1 = lit_index c.lits.(1) in
+    st.watches.(w0) <- c :: st.watches.(w0);
+    st.watches.(w1) <- c :: st.watches.(w1));
+  c
+
+(* Find the active clause a deletion refers to, by literal multiset.
+   Prefer learnt clauses (the solver only ever deletes learnts), but
+   accept an original so hand-written DRAT proofs also work. *)
+let resolve_delete st lits =
+  let candidates = Hashtbl.find_all st.by_key (clause_key lits) in
+  match List.find_opt (fun c -> c.active && c.learnt) candidates with
+  | Some _ as r -> r
+  | None -> List.find_opt (fun c -> c.active) candidates
+
+(* --- per-check unit propagation --- *)
+
+let assign st l r =
+  let v = Lit.var l in
+  st.value.(v) <- (if Lit.sign l then 1 else 0);
+  st.reason.(v) <- r;
+  st.trail.(st.trail_len) <- l;
+  st.trail_len <- st.trail_len + 1
+
+(* Enqueue [l] with reason [r]; returns a conflict if [l] is already
+   false.  [None, false] = no-op (already true). *)
+let enqueue st l r =
+  match value_lit st l with
+  | 1 -> None
+  | 0 -> Some (`Conflict r)
+  | _ ->
+    assign st l r;
+    None
+
+let propagate st =
+  let conflict = ref None in
+  while !conflict = None && st.qhead < st.trail_len do
+    let p = st.trail.(st.qhead) in
+    st.qhead <- st.qhead + 1;
+    let fl = Lit.neg p in
+    let fi = lit_index fl in
+    let kept = ref [] in
+    let rec scan = function
+      | [] -> ()
+      | c :: rest when not c.active ->
+        kept := c :: !kept;
+        scan rest
+      | c :: rest -> (
+        (* normalize: the falsified watch sits at position 1 *)
+        if Lit.equal c.lits.(0) fl then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- fl
+        end;
+        let first = c.lits.(0) in
+        if value_lit st first = 1 then begin
+          kept := c :: !kept;
+          scan rest
+        end
+        else
+          let n = Array.length c.lits in
+          let k = ref 2 in
+          while !k < n && value_lit st c.lits.(!k) = 0 do
+            incr k
+          done;
+          if !k < n then begin
+            (* relocate the watch; c leaves this list *)
+            c.lits.(1) <- c.lits.(!k);
+            c.lits.(!k) <- fl;
+            let wi = lit_index c.lits.(1) in
+            st.watches.(wi) <- c :: st.watches.(wi);
+            scan rest
+          end
+          else begin
+            kept := c :: !kept;
+            match value_lit st first with
+            | 0 ->
+              conflict := Some c;
+              kept := List.rev_append rest !kept
+            | _ ->
+              assign st first (Some c);
+              scan rest
+          end)
+    in
+    let cs = st.watches.(fi) in
+    st.watches.(fi) <- [];
+    scan cs;
+    st.watches.(fi) <- !kept
+  done;
+  !conflict
+
+(* Mark the dependency cone of a successful check: the conflict clause
+   plus, walking the trail backwards, the reason of every variable that
+   occurs in an already-marked clause. *)
+let mark_cone st conflict_c =
+  let touch c =
+    c.needed <- true;
+    Array.iter (fun l -> st.seen.(Lit.var l) <- true) c.lits
+  in
+  touch conflict_c;
+  for i = st.trail_len - 1 downto 0 do
+    let v = Lit.var st.trail.(i) in
+    if st.seen.(v) then
+      match st.reason.(v) with None -> () | Some r -> touch r
+  done
+
+let unwind st =
+  for i = 0 to st.trail_len - 1 do
+    let v = Lit.var st.trail.(i) in
+    st.value.(v) <- -1;
+    st.reason.(v) <- None;
+    st.seen.(v) <- false
+  done;
+  st.trail_len <- 0;
+  st.qhead <- 0
+
+(* RUP check of [lits] against the current active clause set: assume all
+   literals of [lits] false, seed the active unit clauses, propagate.
+   Valid iff a conflict arises; on success the cone is marked. *)
+let check_rup st lits =
+  let conflict = ref `None in
+  (try
+     (* an active empty clause makes everything trivially derivable *)
+     (match List.find_opt (fun c -> c.active) st.empties with
+     | Some c ->
+       conflict := `Clause c;
+       raise Exit
+     | None -> ());
+     Array.iter
+       (fun l ->
+         match enqueue st (Lit.neg l) None with
+         | Some (`Conflict r) ->
+           conflict := (match r with Some c -> `Clause c | None -> `Taut);
+           raise Exit
+         | None -> ())
+       lits;
+     List.iter
+       (fun c ->
+         if c.active then
+           match enqueue st c.lits.(0) (Some c) with
+           | Some (`Conflict _) ->
+             conflict := `Clause c;
+             raise Exit
+           | None -> ())
+       st.units;
+     match propagate st with
+     | Some c ->
+       conflict := `Clause c;
+       raise Exit
+     | None -> ()
+   with Exit -> ());
+  let ok =
+    match !conflict with
+    | `None -> false
+    | `Taut -> true (* [lits] is a tautology: no cone to mark *)
+    | `Clause c ->
+      mark_cone st c;
+      true
+  in
+  unwind st;
+  ok
+
+let max_var_of ~n_vars ~cnf ~target events =
+  let m = ref (n_vars - 1) in
+  let lit l = if Lit.var l > !m then m := Lit.var l in
+  List.iter (List.iter lit) cnf;
+  List.iter lit target;
+  Array.iter (fun ev -> Array.iter lit (Sat.Proof.event_lits ev)) events;
+  !m + 1
+
+exception Reject of int option * string
+
+let check ?(mode = `Backward) ~n_vars ~cnf ~target events =
+  let nv = max_var_of ~n_vars ~cnf ~target events in
+  let st = create_state (max nv 1) in
+  List.iter (fun c -> ignore (attach st ~learnt:false (Array.of_list c))) cnf;
+  let n = Array.length events in
+  let learned = Array.make (max n 1) None in
+  let resolved = Array.make (max n 1) None in
+  let checked = ref 0 and skipped = ref 0 in
+  let target = ref target in
+  let n_effective = ref n in
+  try
+    (* forward pass: replay (and, in [`Forward] mode, check) each event *)
+    (try
+       for i = 0 to n - 1 do
+         match events.(i) with
+         | Sat.Proof.Learn [||] ->
+           (* refutation claim: the rest of the trace is irrelevant and
+              the target collapses to the empty clause *)
+           target := [];
+           n_effective := i;
+           raise Exit
+         | Sat.Proof.Learn lits ->
+           if mode = `Forward then begin
+             incr checked;
+             if not (check_rup st lits) then
+               raise (Reject (Some i, "learnt clause is not RUP"))
+           end;
+           learned.(i) <- Some (attach st ~learnt:true lits)
+         | Sat.Proof.Delete lits -> (
+           match resolve_delete st lits with
+           | None ->
+             raise
+               (Reject (Some i, "deletion does not match an active clause"))
+           | Some c ->
+             c.active <- false;
+             resolved.(i) <- Some c)
+       done
+     with Exit -> ());
+    (* the target itself *)
+    incr checked;
+    if not (check_rup st (Array.of_list !target)) then
+      raise (Reject (None, "target clause is not RUP"));
+    (* backward pass: verify the cone, reactivating deletions *)
+    if mode = `Backward then
+      for i = !n_effective - 1 downto 0 do
+        match (learned.(i), resolved.(i)) with
+        | Some c, _ ->
+          c.active <- false;
+          if c.needed then begin
+            incr checked;
+            if not (check_rup st c.lits) then
+              raise (Reject (Some i, "learnt clause is not RUP"))
+          end
+          else incr skipped
+        | None, Some c -> c.active <- true
+        | None, None -> ()
+      done;
+    let core = ref 0 in
+    Array.iter
+      (function Some c when c.needed -> incr core | _ -> ())
+      learned;
+    Valid
+      {
+        events = !n_effective;
+        checked = !checked;
+        skipped = !skipped;
+        core_clauses = !core;
+      }
+  with Reject (event, reason) -> Invalid { event; reason }

@@ -1,0 +1,57 @@
+(** Independent RUP proof checker.
+
+    Verifies DRUP traces (as emitted by [Sat.Solver] through
+    {!Sat.Proof.sink}) against a CNF, sharing no code with the solver:
+    the checker re-implements unit propagation from scratch over plain
+    arrays and hash tables, so a bug in the solver's propagation or
+    learning cannot also hide in the checker.
+
+    A proof is judged against a {e target} clause: the empty clause for a
+    plain refutation, or the negation of an unsatisfiable core [K] (the
+    clause [¬k1 ∨ … ∨ ¬kn]) for unsatisfiability under assumptions.  The
+    proof is valid when the target has the RUP property (assuming all its
+    literals false and unit-propagating over the accumulated clause set
+    yields a conflict) and every learnt clause the target depends on is
+    itself RUP at the point it was introduced.
+
+    A [Learn [||]] event is an in-trace refutation claim: it truncates
+    the trace and forces the target to the empty clause. *)
+
+type mode =
+  [ `Backward
+    (** Replay the trace forward without checking, verify the target,
+        then walk the trace backward verifying only the learnt clauses in
+        the target's dependency cone (drat-trim style trimming).  The
+        default: fast, and sufficient for certification. *)
+  | `Forward
+    (** Verify every learnt clause at the point it appears, then the
+        target.  Slower, but rejects any corrupted lemma — including ones
+        outside the dependency cone that [`Backward] would skip. *)
+  ]
+
+type summary = {
+  events : int;  (** trace events replayed (after any truncation) *)
+  checked : int;  (** RUP checks performed (incl. the target) *)
+  skipped : int;  (** learnt clauses outside the cone, left unchecked *)
+  core_clauses : int;  (** learnt clauses in the dependency cone *)
+}
+
+type result =
+  | Valid of summary
+  | Invalid of { event : int option; reason : string }
+      (** [event] is the index of the offending trace event, or [None]
+          when the target clause itself failed. *)
+
+val check :
+  ?mode:mode ->
+  n_vars:int ->
+  cnf:Sat.Lit.t list list ->
+  target:Sat.Lit.t list ->
+  Sat.Proof.event array ->
+  result
+(** [check ~n_vars ~cnf ~target events] verifies that [events] is a
+    valid DRUP derivation of [target] from [cnf].  Deletions must match
+    an active clause (by literal multiset) or the proof is rejected. *)
+
+val is_valid : result -> bool
+val pp_result : Format.formatter -> result -> unit

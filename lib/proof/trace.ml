@@ -1,0 +1,199 @@
+(* In-memory DRUP traces and DRAT text/binary file backends.
+
+   The trace is a plain growable array of events.  Events arriving from
+   the solver already carry snapshot literal arrays (the solver copies at
+   emission time), so appending is allocation-free beyond the push. *)
+
+type t = {
+  mutable events : Sat.Proof.event array;
+  mutable len : int;
+}
+
+let dummy_event = Sat.Proof.Learn [||]
+
+let create () = { events = [||]; len = 0 }
+
+let add t ev =
+  let cap = Array.length t.events in
+  if t.len = cap then begin
+    let cap' = max 16 (2 * cap) in
+    let events' = Array.make cap' dummy_event in
+    Array.blit t.events 0 events' 0 t.len;
+    t.events <- events'
+  end;
+  t.events.(t.len) <- ev;
+  t.len <- t.len + 1
+
+let sink t ev = add t ev
+
+let length t = t.len
+
+let count p t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    if p t.events.(i) then incr n
+  done;
+  !n
+
+let n_learns t = count Sat.Proof.is_learn t
+let n_deletes t = count (fun ev -> not (Sat.Proof.is_learn ev)) t
+
+let events t = Array.sub t.events 0 t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.events.(i)
+  done
+
+(* --- DRAT text format --- *)
+
+let write_text_event out ev =
+  (match ev with
+  | Sat.Proof.Learn _ -> ()
+  | Sat.Proof.Delete _ -> output_string out "d ");
+  Array.iter
+    (fun l -> Printf.fprintf out "%d " (Sat.Lit.to_dimacs l))
+    (Sat.Proof.event_lits ev);
+  output_string out "0\n"
+
+let write_text out events = Array.iter (write_text_event out) events
+
+let with_out path f =
+  let out = open_out path in
+  Fun.protect ~finally:(fun () -> close_out out) (fun () -> f out)
+
+let to_text_file path events = with_out path (fun out -> write_text out events)
+
+let parse_error fmt =
+  Printf.ksprintf (fun s -> raise (Sat.Dimacs.Parse_error s)) fmt
+
+let parse_text_channel ic =
+  let acc = create () in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line = "" || line.[0] = 'c' then ()
+       else begin
+         let is_delete = String.length line >= 1 && line.[0] = 'd' in
+         let body =
+           if is_delete then String.sub line 1 (String.length line - 1)
+           else line
+         in
+         let toks =
+           String.split_on_char ' ' body |> List.filter (( <> ) "")
+         in
+         let lits = ref [] in
+         let terminated = ref false in
+         List.iter
+           (fun tok ->
+             if !terminated then
+               parse_error "trailing token %S after 0 terminator" tok;
+             match int_of_string_opt tok with
+             | None -> parse_error "bad proof token %S" tok
+             | Some 0 -> terminated := true
+             | Some n -> lits := Sat.Lit.of_dimacs n :: !lits)
+           toks;
+         if not !terminated then
+           parse_error "proof line without terminating 0: %S" line;
+         let lits = Array.of_list (List.rev !lits) in
+         add acc
+           (if is_delete then Sat.Proof.Delete lits else Sat.Proof.Learn lits)
+       end
+     done
+   with End_of_file -> ());
+  events acc
+
+let parse_text_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_text_channel ic)
+
+(* --- Binary DRAT format ---
+
+   Literal l encodes as the unsigned integer 2*|l| + (if l < 0 then 1
+   else 0), written as a 7-bit variable-length quantity, least-significant
+   group first, high bit set on all but the last byte.  Each event is a
+   tag byte 'a' or 'd', the encoded literals, then a 0x00 terminator. *)
+
+let write_vint out n =
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      output_byte out b;
+      continue := false
+    end
+    else output_byte out (b lor 0x80)
+  done
+
+let lit_code l =
+  let d = Sat.Lit.to_dimacs l in
+  (2 * abs d) + if d < 0 then 1 else 0
+
+let write_binary_event out ev =
+  output_char out
+    (match ev with Sat.Proof.Learn _ -> 'a' | Sat.Proof.Delete _ -> 'd');
+  Array.iter
+    (fun l -> write_vint out (lit_code l))
+    (Sat.Proof.event_lits ev);
+  output_byte out 0
+
+let write_binary out events = Array.iter (write_binary_event out) events
+
+let to_binary_file path events =
+  with_out path (fun out -> write_binary out events)
+
+let parse_binary_channel ic =
+  let acc = create () in
+  let read_vint () =
+    let n = ref 0 and shift = ref 0 and continue = ref true in
+    while !continue do
+      let b =
+        try input_byte ic
+        with End_of_file -> parse_error "truncated binary proof literal"
+      in
+      if !shift > 56 then parse_error "binary proof literal overflows";
+      n := !n lor ((b land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      if b land 0x80 = 0 then continue := false
+    done;
+    !n
+  in
+  (try
+     while true do
+       let tag = input_char ic in
+       let is_delete =
+         match tag with
+         | 'a' -> false
+         | 'd' -> true
+         | c -> parse_error "bad binary proof tag %C" c
+       in
+       let lits = ref [] in
+       let continue = ref true in
+       while !continue do
+         let code = read_vint () in
+         if code = 0 then continue := false
+         else begin
+           if code < 2 then parse_error "bad binary proof literal code %d" code;
+           let d = if code land 1 = 1 then -(code / 2) else code / 2 in
+           lits := Sat.Lit.of_dimacs d :: !lits
+         end
+       done;
+       let lits = Array.of_list (List.rev !lits) in
+       add acc
+         (if is_delete then Sat.Proof.Delete lits else Sat.Proof.Learn lits)
+     done
+   with End_of_file -> ());
+  events acc
+
+let parse_binary_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_binary_channel ic)
+
+let file_sink ?(binary = false) out ev =
+  if binary then write_binary_event out ev else write_text_event out ev

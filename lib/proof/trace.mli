@@ -1,0 +1,57 @@
+(** In-memory DRUP traces and DRAT file backends.
+
+    A trace is an append-only sequence of {!Sat.Proof.event}s, recorded by
+    installing {!sink} on a solver via [Sat.Solver.set_proof_sink].  The
+    same events can be streamed to a file in the standard DRAT text format
+    (readable by drat-trim) or the compact binary format. *)
+
+type t
+
+val create : unit -> t
+
+val sink : t -> Sat.Proof.sink
+(** A sink appending every event to the trace. *)
+
+val add : t -> Sat.Proof.event -> unit
+
+val length : t -> int
+val n_learns : t -> int
+val n_deletes : t -> int
+
+val events : t -> Sat.Proof.event array
+(** Snapshot of the events recorded so far (a fresh array). *)
+
+val iter : (Sat.Proof.event -> unit) -> t -> unit
+
+(** {2 DRAT text format}
+
+    One event per line: a [Delete] is prefixed with ["d "]; literals are
+    DIMACS integers terminated by [0]. *)
+
+val write_text : out_channel -> Sat.Proof.event array -> unit
+val to_text_file : string -> Sat.Proof.event array -> unit
+
+val parse_text_channel : in_channel -> Sat.Proof.event array
+(** Parse a text DRAT proof.  Raises {!Sat.Dimacs.Parse_error} on
+    malformed input. *)
+
+val parse_text_file : string -> Sat.Proof.event array
+
+(** {2 Binary DRAT format}
+
+    Each event is a tag byte (['a'] for additions, ['d'] for deletions)
+    followed by the literals as 7-bit variable-length unsigned integers
+    (literal [l] maps to [2*|l| + (l < 0 ? 1 : 0)]) and a terminating
+    [0] byte. *)
+
+val write_binary : out_channel -> Sat.Proof.event array -> unit
+val to_binary_file : string -> Sat.Proof.event array -> unit
+
+val parse_binary_channel : in_channel -> Sat.Proof.event array
+(** Raises {!Sat.Dimacs.Parse_error} on malformed input. *)
+
+val parse_binary_file : string -> Sat.Proof.event array
+
+val file_sink : ?binary:bool -> out_channel -> Sat.Proof.sink
+(** A sink streaming each event straight to [out] (text format by
+    default), for logging proofs too large to retain in memory. *)

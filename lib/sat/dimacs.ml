@@ -59,8 +59,14 @@ let parse_cnf_channel ic =
        else if line.[0] = 'p' then begin
          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
          | [ "p"; "cnf"; v; c ] ->
-           n_vars := int_of_string v;
-           n_clauses := int_of_string c
+           let count what s =
+             match int_of_string_opt s with
+             | Some n when n >= 0 -> n
+             | Some _ | None ->
+               parse_error "bad %s count %S in problem line" what s
+           in
+           n_vars := count "variable" v;
+           n_clauses := count "clause" c
          | _ -> parse_error "malformed problem line: %s" line
        end
        else
@@ -75,7 +81,15 @@ let parse_cnf_channel ic =
                   clauses := List.rev !current :: !clauses;
                   current := []
                 end
-                else current := Lit.of_dimacs n :: !current)
+                else begin
+                  (* Reject literals outside the declared variable range
+                     rather than silently accepting (and later truncating)
+                     them. *)
+                  if !n_clauses >= 0 && abs n > !n_vars then
+                    parse_error "literal %d out of range (header: %d vars)"
+                      n !n_vars;
+                  current := Lit.of_dimacs n :: !current
+                end)
      done
    with End_of_file -> ());
   if !current <> [] then parse_error "trailing clause without terminating 0";

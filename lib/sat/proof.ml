@@ -1,0 +1,34 @@
+(* Proof-logging events, in the DRUP fragment of DRAT.
+
+   The event type lives in [lib/sat] so the solver can emit events without
+   depending on the proof subsystem; everything that *consumes* events —
+   the in-memory trace, the DRAT text/binary file backends, and the
+   independent checker — lives in [lib/proof].
+
+   Every clause the solver learns (including units from conflict analysis
+   and the empty clause when unsatisfiability is established at level 0)
+   is a [Learn]; every clause evicted by [reduce_db] is a [Delete].  The
+   literal arrays are snapshots: the solver copies its (mutable) clause
+   arrays at emission time, so sinks may retain them. *)
+
+type event =
+  | Learn of Lit.t array
+  | Delete of Lit.t array
+
+type sink = event -> unit
+
+let event_lits = function Learn lits | Delete lits -> lits
+
+let is_learn = function Learn _ -> true | Delete _ -> false
+
+let pp fmt ev =
+  let tag, lits =
+    match ev with Learn l -> ("learn", l) | Delete l -> ("delete", l)
+  in
+  Format.fprintf fmt "%s [" tag;
+  Array.iteri
+    (fun i l ->
+      if i > 0 then Format.fprintf fmt " ";
+      Lit.pp fmt l)
+    lits;
+  Format.fprintf fmt "]"

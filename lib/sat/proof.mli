@@ -1,0 +1,23 @@
+(** Proof-logging events (the DRUP fragment of DRAT).
+
+    The solver emits one {!event} per learnt clause — including unit
+    clauses from conflict analysis, and the empty clause once
+    unsatisfiability is established at decision level 0 — and one per
+    clause deleted by [reduce_db].  Consumers (trace recording, DRAT file
+    emission, the independent checker) live in the [proof] library; this
+    module only defines the interface so {!Solver} carries no dependency
+    on them. *)
+
+type event =
+  | Learn of Lit.t array
+      (** A clause added by conflict analysis.  The literal array is a
+          snapshot owned by the receiver.  [Learn [||]] asserts that the
+          clause set is unsatisfiable. *)
+  | Delete of Lit.t array
+      (** A learnt clause evicted from the clause database. *)
+
+type sink = event -> unit
+
+val event_lits : event -> Lit.t array
+val is_learn : event -> bool
+val pp : Format.formatter -> event -> unit

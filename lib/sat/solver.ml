@@ -183,8 +183,26 @@ type t = {
   mutable deadline : float;           (* 0.0 = none *)
   mutable stop : bool;
   mutable prop_countdown : int;
+  (* Proof logging: [None] (the default) costs one branch per learnt
+     clause; when set, every learnt clause, level-0 refutation and
+     [reduce_db] eviction is reported (see {!Proof}). *)
+  mutable proof : Proof.sink option;
   stats : stats;
 }
+
+let emit_learn t lits =
+  match t.proof with
+  | None -> ()
+  | Some sink -> sink (Proof.Learn (Array.copy lits))
+
+let emit_delete t lits =
+  match t.proof with
+  | None -> ()
+  | Some sink -> sink (Proof.Delete (Array.copy lits))
+
+(* The empty clause: emitted once, at the moment level-0 unsatisfiability
+   is established ([ok] flips to false). *)
+let emit_refutation t = emit_learn t [||]
 
 let dummy_lit = Lit.of_var 0
 
@@ -231,6 +249,7 @@ let create () =
       deadline = 0.0;
       stop = false;
       prop_countdown = deadline_check_interval;
+      proof = None;
       stats =
         {
           conflicts = 0;
@@ -618,6 +637,7 @@ let attach t c =
   end
 
 let record_learnt t lits lbd =
+  emit_learn t lits;
   t.stats.learnt_clauses <- t.stats.learnt_clauses + 1;
   let lbd = max 1 lbd in
   t.stats.learnt_lbd_sum <- t.stats.learnt_lbd_sum + lbd;
@@ -653,10 +673,15 @@ let add_clause t (lits : Lit.t list) =
     if not (tautology || satisfied) then begin
       let remaining = List.filter (fun l -> value_lit t l <> 0) sorted in
       match remaining with
-      | [] -> t.ok <- false
+      | [] ->
+        t.ok <- false;
+        emit_refutation t
       | [ l ] ->
         enqueue t l None;
-        if propagate t <> None then t.ok <- false
+        if propagate t <> None then begin
+          t.ok <- false;
+          emit_refutation t
+        end
       | _ :: _ :: _ ->
         let c =
           {
@@ -700,6 +725,7 @@ let reduce_db t =
       if keep then Vec.push kept c
       else begin
         c.removed <- true;
+        emit_delete t c.lits;
         t.stats.deleted_clauses <- t.stats.deleted_clauses + 1
       end)
     t.learnts;
@@ -778,6 +804,7 @@ let solve_with_core ?(assumptions = []) ?deadline t =
     (try
        if propagate t <> None then begin
          t.ok <- false;
+         emit_refutation t;
          raise (Found_result Unsat)
        end;
        if t.stop then raise (Found_result Unknown);
@@ -794,6 +821,7 @@ let solve_with_core ?(assumptions = []) ?deadline t =
              incr conflicts_here;
              if decision_level t = 0 then begin
                t.ok <- false;
+               emit_refutation t;
                raise (Found_result Unsat)
              end;
              let lits, btlevel, lbd = analyze t confl in
@@ -876,6 +904,8 @@ let model_value t v =
   if v < 0 || v >= Array.length t.model then
     invalid_arg "Solver.model_value";
   t.model.(v) = 1
+
+let set_proof_sink t sink = t.proof <- sink
 
 let stats t = t.stats
 

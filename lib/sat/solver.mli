@@ -104,6 +104,14 @@ val value_lit : t -> Lit.t -> int
 (** Current assignment of a literal: -1 undefined, 0 false, 1 true.  At
     decision level 0 this exposes the roots implied by the clause set. *)
 
+val set_proof_sink : t -> Proof.sink option -> unit
+(** Install (or remove) a proof-event sink.  While a sink is installed the
+    solver reports every learnt clause (including units from conflict
+    analysis and the empty clause at a level-0 refutation) as
+    {!Proof.Learn} and every [reduce_db] eviction as {!Proof.Delete} — the
+    DRUP trace of the solver's reasoning.  [None] (the default) costs a
+    single branch per learnt clause. *)
+
 val reduce_db : t -> unit
 (** Force a learnt-database reduction pass (glucose retention: glue,
     binary and locked clauses survive; the worst half of the rest by

@@ -246,7 +246,7 @@ let check_core_guided_against_brute (n_vars, hard, soft) =
   let inst = Maxsat.Instance.create ~n_vars ~hard ~soft in
   match (Maxsat.Core_guided.solve inst, expected) with
   | Maxsat.Core_guided.Unsatisfiable, None -> true
-  | Maxsat.Core_guided.Optimal { cost; model }, Some c ->
+  | Maxsat.Core_guided.Optimal { cost; model; _ }, Some c ->
     cost = c
     && Maxsat.Instance.cost_of_model inst (fun v -> model.(v)) = Some c
   | _ -> false
@@ -270,6 +270,26 @@ let prop_engines_agree =
         true
       | Maxsat.Optimizer.Optimal o, Maxsat.Core_guided.Optimal { cost; _ } ->
         o.cost = cost
+      | _ -> false)
+
+let prop_engines_agree_certified =
+  QCheck2.Test.make ~count:100
+    ~name:"engines agree under certification and all proofs check"
+    (gen_wcnf ~max_weight:5) (fun (n_vars, hard, soft) ->
+      let inst = Maxsat.Instance.create ~n_vars ~hard ~soft in
+      let cert_ok = function
+        | Some r -> Maxsat.Certify.ok r
+        | None -> false
+      in
+      match
+        ( Maxsat.Optimizer.solve ~certify:true inst,
+          Maxsat.Core_guided.solve ~certify:true inst )
+      with
+      | Maxsat.Optimizer.Unsatisfiable, Maxsat.Core_guided.Unsatisfiable ->
+        true
+      | ( Maxsat.Optimizer.Optimal o,
+          Maxsat.Core_guided.Optimal { cost; certificate; _ } ) ->
+        o.cost = cost && cert_ok o.certificate && cert_ok certificate
       | _ -> false)
 
 let test_core_guided_hard_unsat () =
@@ -359,6 +379,7 @@ let suite =
         qtest prop_core_guided_unweighted;
         qtest prop_core_guided_weighted;
         qtest prop_engines_agree;
+        qtest prop_engines_agree_certified;
         qtest prop_cores_are_unsat;
       ] );
   ]

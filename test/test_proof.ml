@@ -1,0 +1,485 @@
+(* Tests for the proof subsystem: the solver's DRUP emitter, the
+   independent RUP checker (forward and backward/trimming modes), the
+   DRAT file backends, end-to-end certificates, and a fuzz test showing
+   the checker rejects corrupted traces. *)
+
+let lit ?sign v = Sat.Lit.of_var ?sign v
+
+(* A clause as a DIMACS int list, for comparisons. *)
+let dimacs c = List.map Sat.Lit.to_dimacs (Array.to_list c)
+
+(* ------------------------------------------------------------------ *)
+(* Emitter: the solver reports learnt clauses and the refutation *)
+
+let test_emitter_records_refutation () =
+  (* x xor y in CNF: four binary clauses, unsatisfiable.  Solving must
+     emit at least one learnt clause and end with the Learn [||]
+     refutation claim. *)
+  let tr = Proof.Trace.create () in
+  let s = Sat.Solver.create () in
+  Sat.Solver.set_proof_sink s (Some (Proof.Trace.sink tr));
+  let x = lit (Sat.Solver.new_var s) and y = lit (Sat.Solver.new_var s) in
+  List.iter
+    (Sat.Solver.add_clause s)
+    [
+      [ x; y ];
+      [ x; Sat.Lit.neg y ];
+      [ Sat.Lit.neg x; y ];
+      [ Sat.Lit.neg x; Sat.Lit.neg y ];
+    ];
+  (match Sat.Solver.solve s with
+  | Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "expected Unsat");
+  Alcotest.(check bool) "learnt something" true (Proof.Trace.n_learns tr > 0);
+  let events = Proof.Trace.events tr in
+  let has_refutation =
+    Array.exists
+      (function Sat.Proof.Learn [||] -> true | _ -> false)
+      events
+  in
+  Alcotest.(check bool) "ends in the empty clause" true has_refutation
+
+let test_emitter_silent_when_sat () =
+  let tr = Proof.Trace.create () in
+  let s = Sat.Solver.create () in
+  Sat.Solver.set_proof_sink s (Some (Proof.Trace.sink tr));
+  let x = lit (Sat.Solver.new_var s) in
+  Sat.Solver.add_clause s [ x ];
+  (match Sat.Solver.solve s with
+  | Sat.Solver.Sat -> ()
+  | _ -> Alcotest.fail "expected Sat");
+  (* No refutation claim may appear in a satisfiable run. *)
+  Proof.Trace.iter
+    (function
+      | Sat.Proof.Learn [||] -> Alcotest.fail "refutation claimed on SAT"
+      | _ -> ())
+    tr
+
+(* ------------------------------------------------------------------ *)
+(* Checker: hand-written accept / reject cases *)
+
+let xor_cnf =
+  (* {x∨y, x∨¬y, ¬x∨y, ¬x∨¬y} over vars 0, 1: unsatisfiable. *)
+  [
+    [ lit 0; lit 1 ];
+    [ lit 0; lit ~sign:false 1 ];
+    [ lit ~sign:false 0; lit 1 ];
+    [ lit ~sign:false 0; lit ~sign:false 1 ];
+  ]
+
+let test_checker_accepts_refutation () =
+  (* Learn y (RUP: assume ¬y, both x∨y and ¬x∨y propagate to conflict),
+     then claim the empty clause. *)
+  let trace =
+    [| Sat.Proof.Learn [| lit 1 |]; Sat.Proof.Learn [||] |]
+  in
+  List.iter
+    (fun mode ->
+      match Proof.Checker.check ~mode ~n_vars:2 ~cnf:xor_cnf ~target:[] trace with
+      | Proof.Checker.Valid _ -> ()
+      | r -> Alcotest.failf "rejected valid proof: %a" Proof.Checker.pp_result r)
+    [ `Backward; `Forward ]
+
+let test_checker_rejects_bogus_target () =
+  (* A satisfiable CNF admits no refutation: the empty target is not RUP
+     and there is no trace to help. *)
+  match
+    Proof.Checker.check ~n_vars:2
+      ~cnf:[ [ lit 0; lit 1 ] ]
+      ~target:[] [||]
+  with
+  | Proof.Checker.Invalid { event = None; _ } -> ()
+  | r -> Alcotest.failf "expected target rejection: %a" Proof.Checker.pp_result r
+
+let test_checker_rejects_non_rup_learn () =
+  (* Learn x is not RUP wrt {x∨y}: forward mode must reject it. *)
+  let trace = [| Sat.Proof.Learn [| lit 0 |] |] in
+  match
+    Proof.Checker.check ~mode:`Forward ~n_vars:2
+      ~cnf:[ [ lit 0; lit 1 ] ]
+      ~target:[ lit 0 ] trace
+  with
+  | Proof.Checker.Invalid { event = Some 0; _ } -> ()
+  | r -> Alcotest.failf "expected learn rejection: %a" Proof.Checker.pp_result r
+
+let test_checker_rejects_unmatched_delete () =
+  (* x0 ∨ x2 matches no clause (problem or learnt): strict DRUP rejects. *)
+  let trace = [| Sat.Proof.Delete [| lit 0; lit 2 |] |] in
+  match
+    Proof.Checker.check ~n_vars:3 ~cnf:xor_cnf ~target:[ lit 1 ] trace
+  with
+  | Proof.Checker.Invalid { event = Some 0; _ } -> ()
+  | r ->
+    Alcotest.failf "expected delete rejection: %a" Proof.Checker.pp_result r
+
+let test_checker_backward_trims_garbage () =
+  (* An out-of-cone garbage lemma (z, a fresh variable irrelevant to the
+     refutation) is skipped by backward trimming but caught by the
+     forward mode.  This is the observable difference between the two
+     modes, and proves the trimming actually trims. *)
+  let garbage = Sat.Proof.Learn [| lit 2 |] in
+  let trace =
+    [| garbage; Sat.Proof.Learn [| lit 1 |]; Sat.Proof.Learn [||] |]
+  in
+  (match Proof.Checker.check ~mode:`Backward ~n_vars:3 ~cnf:xor_cnf ~target:[] trace with
+  | Proof.Checker.Valid s ->
+    Alcotest.(check bool) "garbage lemma skipped" true (s.skipped >= 1)
+  | r -> Alcotest.failf "backward should trim: %a" Proof.Checker.pp_result r);
+  match Proof.Checker.check ~mode:`Forward ~n_vars:3 ~cnf:xor_cnf ~target:[] trace with
+  | Proof.Checker.Invalid { event = Some 0; _ } -> ()
+  | r -> Alcotest.failf "forward should reject: %a" Proof.Checker.pp_result r
+
+let test_checker_truncates_after_refutation () =
+  (* Events after Learn [||] are unreachable and must be ignored, even
+     in forward mode and even if they are garbage. *)
+  let trace =
+    [|
+      Sat.Proof.Learn [| lit 1 |];
+      Sat.Proof.Learn [||];
+      Sat.Proof.Learn [| lit 2 |] (* garbage, past the refutation *);
+    |]
+  in
+  List.iter
+    (fun mode ->
+      match Proof.Checker.check ~mode ~n_vars:3 ~cnf:xor_cnf ~target:[] trace with
+      | Proof.Checker.Valid _ -> ()
+      | r -> Alcotest.failf "truncation failed: %a" Proof.Checker.pp_result r)
+    [ `Backward; `Forward ]
+
+let test_checker_delete_then_relearn () =
+  (* Deletions are honoured during checking: removing the only derived
+     unit breaks a refutation that relied on it (the empty clause is no
+     longer RUP), and re-deriving the unit first restores validity. *)
+  let broken =
+    [|
+      Sat.Proof.Learn [| lit 1 |];
+      Sat.Proof.Delete [| lit 1 |];
+      Sat.Proof.Learn [||];
+    |]
+  in
+  (match Proof.Checker.check ~n_vars:2 ~cnf:xor_cnf ~target:[] broken with
+  | Proof.Checker.Invalid _ -> ()
+  | r ->
+    Alcotest.failf "deleted unit still used: %a" Proof.Checker.pp_result r);
+  let fixed =
+    [|
+      Sat.Proof.Learn [| lit 1 |];
+      Sat.Proof.Delete [| lit 1 |];
+      Sat.Proof.Learn [| lit 1 |];
+      Sat.Proof.Learn [||];
+    |]
+  in
+  List.iter
+    (fun mode ->
+      match Proof.Checker.check ~mode ~n_vars:2 ~cnf:xor_cnf ~target:[] fixed with
+      | Proof.Checker.Valid _ -> ()
+      | r -> Alcotest.failf "relearn after delete: %a" Proof.Checker.pp_result r)
+    [ `Backward; `Forward ]
+
+(* ------------------------------------------------------------------ *)
+(* Certificates: refutation and UNSAT-core targets *)
+
+let test_certificate_refutation () =
+  let s = Sat.Solver.create () in
+  let r = Proof.Certificate.create s in
+  let v0 = Sat.Solver.new_var s and v1 = Sat.Solver.new_var s in
+  ignore v0;
+  ignore v1;
+  List.iter (Proof.Certificate.add_clause r) xor_cnf;
+  (match Sat.Solver.solve s with
+  | Sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "expected Unsat");
+  let cert = Proof.Certificate.snapshot r in
+  match Proof.Certificate.check cert with
+  | Proof.Checker.Valid _ -> ()
+  | r -> Alcotest.failf "certificate rejected: %a" Proof.Checker.pp_result r
+
+let test_certificate_core_target () =
+  (* a -> b -> c with assumptions a, ¬c: UNSAT with core ⊆ {a, ¬c}; the
+     certificate target is the clause ¬core. *)
+  let s = Sat.Solver.create () in
+  let r = Proof.Certificate.create s in
+  let a = lit (Sat.Solver.new_var s)
+  and b = lit (Sat.Solver.new_var s)
+  and c = lit (Sat.Solver.new_var s) in
+  Proof.Certificate.add_clause r [ Sat.Lit.neg a; b ];
+  Proof.Certificate.add_clause r [ Sat.Lit.neg b; c ];
+  match
+    Sat.Solver.solve_with_core ~assumptions:[ a; Sat.Lit.neg c ] s
+  with
+  | Sat.Solver.Unsat, core ->
+    Alcotest.(check bool) "core nonempty" true (core <> []);
+    let cert =
+      Proof.Certificate.snapshot
+        ~target:(Proof.Certificate.core_target core)
+        r
+    in
+    (match Proof.Certificate.check cert with
+    | Proof.Checker.Valid _ -> ()
+    | res ->
+      Alcotest.failf "core certificate rejected: %a" Proof.Checker.pp_result
+        res)
+  | _ -> Alcotest.fail "expected Unsat with core"
+
+(* ------------------------------------------------------------------ *)
+(* DRAT file backends *)
+
+let sample_events =
+  [|
+    Sat.Proof.Learn [| lit 0; lit ~sign:false 2 |];
+    Sat.Proof.Learn [| lit ~sign:false 1 |];
+    Sat.Proof.Delete [| lit 0; lit ~sign:false 2 |];
+    Sat.Proof.Learn [| lit 3; lit 1; lit ~sign:false 0 |];
+    Sat.Proof.Learn [||];
+  |]
+
+let check_events_equal name expected actual =
+  Alcotest.(check int) (name ^ " length") (Array.length expected)
+    (Array.length actual);
+  Array.iteri
+    (fun i e ->
+      let a = actual.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s event %d kind" name i)
+        (Sat.Proof.is_learn e) (Sat.Proof.is_learn a);
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s event %d lits" name i)
+        (dimacs (Sat.Proof.event_lits e))
+        (dimacs (Sat.Proof.event_lits a)))
+    expected
+
+let test_drat_text_roundtrip () =
+  let path = Filename.temp_file "proof" ".drat" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Proof.Trace.to_text_file path sample_events;
+      check_events_equal "text" sample_events
+        (Proof.Trace.parse_text_file path))
+
+let test_drat_binary_roundtrip () =
+  let path = Filename.temp_file "proof" ".bdrat" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Proof.Trace.to_binary_file path sample_events;
+      check_events_equal "binary" sample_events
+        (Proof.Trace.parse_binary_file path))
+
+let expect_drat_error name write parse =
+  let path = Filename.temp_file "proof" ".bad" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      write oc;
+      close_out oc;
+      match parse path with
+      | exception Sat.Dimacs.Parse_error _ -> ()
+      | _ -> Alcotest.failf "%s: expected Parse_error" name)
+
+let test_drat_malformed () =
+  expect_drat_error "text bad token"
+    (fun oc -> output_string oc "1 junk 0\n")
+    Proof.Trace.parse_text_file;
+  expect_drat_error "text missing terminator"
+    (fun oc -> output_string oc "1 2\n")
+    Proof.Trace.parse_text_file;
+  expect_drat_error "binary bad tag"
+    (fun oc -> output_string oc "x\x02\x00")
+    Proof.Trace.parse_binary_file;
+  expect_drat_error "binary truncated"
+    (fun oc -> output_string oc "a\x02")
+    Proof.Trace.parse_binary_file
+
+(* ------------------------------------------------------------------ *)
+(* Random end-to-end certificates *)
+
+let gen_cnf =
+  QCheck2.Gen.(
+    let* n_vars = int_range 2 8 in
+    let* n_clauses = int_range 4 40 in
+    let gen_lit =
+      let* v = int_range 0 (n_vars - 1) in
+      let* sign = bool in
+      return (lit ~sign v)
+    in
+    let gen_clause =
+      let* len = int_range 1 3 in
+      list_size (return len) gen_lit
+    in
+    let* clauses = list_size (return n_clauses) gen_clause in
+    return (n_vars, clauses))
+
+let prop_unsat_runs_certify =
+  QCheck2.Test.make ~count:200
+    ~name:"every UNSAT run yields a checker-accepted certificate" gen_cnf
+    (fun (n_vars, clauses) ->
+      let s = Sat.Solver.create () in
+      let r = Proof.Certificate.create s in
+      for _ = 1 to n_vars do
+        ignore (Sat.Solver.new_var s)
+      done;
+      List.iter (Proof.Certificate.add_clause r) clauses;
+      match Sat.Solver.solve s with
+      | Sat.Solver.Sat | Sat.Solver.Unknown -> true
+      | Sat.Solver.Unsat ->
+        let cert = Proof.Certificate.snapshot r in
+        Proof.Checker.is_valid (Proof.Certificate.check ~mode:`Backward cert)
+        && Proof.Checker.is_valid (Proof.Certificate.check ~mode:`Forward cert))
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: corrupted traces are rejected *)
+
+(* Corrupt one learnt clause — drop a literal or flip a sign — and
+   require the forward checker to reject the proof.  Forward mode is the
+   right adversary: backward trimming legitimately skips lemmas outside
+   the dependency cone, so an out-of-cone corruption is not an error for
+   it.
+
+   Two choices make the corruption genuinely invalidating (rather than
+   accidentally producing a different-but-valid proof, which a correct
+   checker must accept):
+   - the corrupted literal is the clause's asserting literal (position
+     0).  Non-asserting literals are often RUP-redundant — dropping one
+     leaves a clause that still checks — but the asserting literal never
+     is: without it the remainder claims the conflict side propagates on
+     its own, which it does not.
+   - the corrupted event is the first multi-literal learn, checked
+     against (essentially) the original CNF alone.  Later in the trace
+     the accumulated lemmas make random 3-CNF instances so constrained
+     that even a weakened clause frequently has the RUP property. *)
+let test_fuzz_corrupted_traces_rejected () =
+  let rng = Random.State.make [| 0xC0FFEE |] in
+  let corrupted_rejected = ref 0 in
+  let total = 100 in
+  let samples = ref 0 in
+  let attempts = ref 0 in
+  while !samples < total && !attempts < 2000 do
+    incr attempts;
+    (* near-threshold random 3-CNF: UNSAT about half the time, with
+       refutations deep enough that lemmas are not trivially entailed *)
+    let n_vars = 120 + Random.State.int rng 41 in
+    let n_clauses = n_vars * 22 / 5 in
+    let clauses =
+      List.init n_clauses (fun _ ->
+          List.init 3 (fun _ ->
+              lit
+                ~sign:(Random.State.bool rng)
+                (Random.State.int rng n_vars)))
+    in
+    let s = Sat.Solver.create () in
+    let r = Proof.Certificate.create s in
+    for _ = 1 to n_vars do
+      ignore (Sat.Solver.new_var s)
+    done;
+    List.iter (Proof.Certificate.add_clause r) clauses;
+    match Sat.Solver.solve s with
+    | Sat.Solver.Sat | Sat.Solver.Unknown -> ()
+    | Sat.Solver.Unsat ->
+      let cert = Proof.Certificate.snapshot r in
+      let multi =
+        (* indices of learnt clauses with >= 2 literals: corruption
+           candidates *)
+        List.filter
+          (fun i ->
+            match cert.Proof.Certificate.events.(i) with
+            | Sat.Proof.Learn ls -> Array.length ls >= 2
+            | Sat.Proof.Delete _ -> false)
+          (List.init (Array.length cert.Proof.Certificate.events) Fun.id)
+      in
+      if List.length multi >= 3 then begin
+        incr samples;
+        (* The pristine proof must check (sanity, forward mode). *)
+        if
+          not
+            (Proof.Checker.is_valid
+               (Proof.Certificate.check ~mode:`Forward cert))
+        then Alcotest.fail "pristine proof rejected";
+        let i = List.fold_left min max_int multi in
+        let lits =
+          match cert.Proof.Certificate.events.(i) with
+          | Sat.Proof.Learn ls -> Array.copy ls
+          | Sat.Proof.Delete _ -> assert false
+        in
+        let corrupted =
+          if Random.State.bool rng then
+            (* Drop the asserting literal. *)
+            Array.sub lits 1 (Array.length lits - 1)
+          else begin
+            (* Flip the asserting literal's sign. *)
+            lits.(0) <- Sat.Lit.neg lits.(0);
+            lits
+          end
+        in
+        let events = Array.copy cert.Proof.Certificate.events in
+        events.(i) <- Sat.Proof.Learn corrupted;
+        let verdict =
+          Proof.Checker.check ~mode:`Forward
+            ~n_vars:cert.Proof.Certificate.n_vars
+            ~cnf:cert.Proof.Certificate.cnf
+            ~target:cert.Proof.Certificate.target events
+        in
+        if not (Proof.Checker.is_valid verdict) then incr corrupted_rejected
+      end
+  done;
+  Alcotest.(check int) "collected enough UNSAT samples" total !samples;
+  Alcotest.(check bool)
+    (Printf.sprintf "rejected %d/%d corrupted proofs" !corrupted_rejected
+       total)
+    true
+    (!corrupted_rejected >= 99)
+
+(* ------------------------------------------------------------------ *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "emitter",
+      [
+        Alcotest.test_case "records refutation" `Quick
+          test_emitter_records_refutation;
+        Alcotest.test_case "silent when sat" `Quick
+          test_emitter_silent_when_sat;
+      ] );
+    ( "checker",
+      [
+        Alcotest.test_case "accepts refutation" `Quick
+          test_checker_accepts_refutation;
+        Alcotest.test_case "rejects bogus target" `Quick
+          test_checker_rejects_bogus_target;
+        Alcotest.test_case "rejects non-RUP learn" `Quick
+          test_checker_rejects_non_rup_learn;
+        Alcotest.test_case "rejects unmatched delete" `Quick
+          test_checker_rejects_unmatched_delete;
+        Alcotest.test_case "backward trims garbage" `Quick
+          test_checker_backward_trims_garbage;
+        Alcotest.test_case "truncates after refutation" `Quick
+          test_checker_truncates_after_refutation;
+        Alcotest.test_case "delete then relearn" `Quick
+          test_checker_delete_then_relearn;
+      ] );
+    ( "certificate",
+      [
+        Alcotest.test_case "refutation target" `Quick
+          test_certificate_refutation;
+        Alcotest.test_case "unsat-core target" `Quick
+          test_certificate_core_target;
+        qtest prop_unsat_runs_certify;
+      ] );
+    ( "drat",
+      [
+        Alcotest.test_case "text roundtrip" `Quick test_drat_text_roundtrip;
+        Alcotest.test_case "binary roundtrip" `Quick
+          test_drat_binary_roundtrip;
+        Alcotest.test_case "malformed files" `Quick test_drat_malformed;
+      ] );
+    ( "fuzz",
+      [
+        Alcotest.test_case "corrupted traces rejected" `Slow
+          test_fuzz_corrupted_traces_rejected;
+      ] );
+  ]
+
+let () = Alcotest.run "proof" suite

@@ -567,6 +567,45 @@ let test_wcnf_emission () =
     (String.length contents > 0
     && String.sub contents 0 12 = "p wcnf 2 3 6")
 
+let prop_dimacs_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"write_cnf/parse_cnf round-trip" gen_cnf
+    (fun (n_vars, clauses) ->
+      let path = Filename.temp_file "roundtrip" ".cnf" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Sat.Dimacs.cnf_to_file path ~n_vars clauses;
+          let n_vars', parsed = Sat.Dimacs.parse_cnf_file path in
+          let dimacs c = List.map Sat.Lit.to_dimacs c in
+          n_vars' = n_vars
+          && List.length parsed = List.length clauses
+          && List.for_all2 (fun c c' -> dimacs c = dimacs c') clauses parsed))
+
+let expect_parse_error name contents =
+  let path = Filename.temp_file "malformed" ".cnf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      match Sat.Dimacs.parse_cnf_file path with
+      | exception Sat.Dimacs.Parse_error _ -> ()
+      | _ -> Alcotest.failf "%s: expected Parse_error" name)
+
+let test_dimacs_malformed () =
+  (* Malformed headers and literals must raise Parse_error rather than
+     silently truncating the formula. *)
+  expect_parse_error "non-numeric var count" "p cnf x 2\n1 0\n-1 0\n";
+  expect_parse_error "non-numeric clause count" "p cnf 2 y\n1 0\n";
+  expect_parse_error "negative var count" "p cnf -3 1\n1 0\n";
+  expect_parse_error "negative clause count" "p cnf 3 -1\n1 0\n";
+  expect_parse_error "literal out of range" "p cnf 3 1\n99 0\n";
+  expect_parse_error "negative literal out of range" "p cnf 3 1\n-99 0\n";
+  expect_parse_error "bad literal token" "p cnf 3 1\n1 two 0\n";
+  expect_parse_error "unterminated trailing clause" "p cnf 3 1\n1 2\n";
+  expect_parse_error "clause count mismatch" "p cnf 3 2\n1 -2 0\n"
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let suite =
@@ -629,6 +668,8 @@ let suite =
         Alcotest.test_case "cnf roundtrip" `Quick test_dimacs_roundtrip;
         Alcotest.test_case "model parsing" `Quick test_dimacs_model_parse;
         Alcotest.test_case "wcnf emission" `Quick test_wcnf_emission;
+        Alcotest.test_case "malformed input" `Quick test_dimacs_malformed;
+        qtest prop_dimacs_roundtrip;
       ] );
   ]
 

@@ -437,6 +437,37 @@ let test_router_backtracking_seam () =
   Alcotest.(check bool) "verifies" true
     (Satmap.Verifier.is_valid ~original:circuit r)
 
+let test_router_certified_optimum () =
+  (* With certification on, every infeasible bound in the descent carries
+     a checker-accepted DRUP proof; the running example needs one swap,
+     so the proof of the swaps=0 bound is non-vacuous. *)
+  let device, circuit = running_example () in
+  let config =
+    { quick_config with Satmap.Router.certify = true; verify = true }
+  in
+  let r, s =
+    get_routed (Satmap.Router.route_monolithic ~config device circuit)
+  in
+  Alcotest.(check int) "optimal swaps" 1 (Satmap.Routed.n_swaps r);
+  Alcotest.(check bool) "proved optimal" true s.proved_optimal;
+  Alcotest.(check bool) "certified" true s.certified;
+  Alcotest.(check bool) "non-vacuous proof" true (s.proof_events > 0);
+  (* Sliced routing certifies each block's local optimum. *)
+  let _, s' =
+    get_routed
+      (Satmap.Router.route_sliced ~config ~slice_size:1 device circuit)
+  in
+  Alcotest.(check bool) "sliced certified" true s'.certified
+
+let test_router_certify_off_by_default () =
+  let device, circuit = running_example () in
+  let _, s =
+    get_routed
+      (Satmap.Router.route_monolithic ~config:quick_config device circuit)
+  in
+  Alcotest.(check bool) "not certified" false s.certified;
+  Alcotest.(check int) "no proof events" 0 s.proof_events
+
 let test_router_cyclic_body () =
   let device, body = running_example () in
   let r, _ =
@@ -596,6 +627,10 @@ let suite =
           test_router_sliced_valid_and_bounded;
         Alcotest.test_case "single slice = monolithic" `Quick
           test_router_sliced_equals_monolithic_when_one_slice;
+        Alcotest.test_case "certified optimum" `Quick
+          test_router_certified_optimum;
+        Alcotest.test_case "certify off by default" `Quick
+          test_router_certify_off_by_default;
         Alcotest.test_case "seam backtracking" `Quick
           test_router_backtracking_seam;
         Alcotest.test_case "cyclic body" `Quick test_router_cyclic_body;
