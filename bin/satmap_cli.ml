@@ -2,12 +2,37 @@
 
    Subcommands:
      route        read an OpenQASM circuit, map and route it onto a device
+     lint         statically analyse the MaxSAT encoding of a circuit
      stats        print circuit statistics
      export-wcnf  emit the MaxSAT encoding as a DIMACS WCNF file
      devices      list built-in device topologies
-     suite        list the synthetic benchmark suite *)
+     suite        list the synthetic benchmark suite
+
+   Exit codes (cmdliner reserves 123-125 for usage/internal errors):
+     0  success
+     1  routing failed (unsatisfiable, timeout, memory guard)
+     2  the input circuit does not parse
+     3  a check failed: lint findings, verifier rejection, or a broken
+        internal invariant *)
 
 open Cmdliner
+
+let exit_routing_failure = 1
+let exit_parse_error = 2
+let exit_check_failure = 3
+
+(* Uniform exception-to-exit-code discipline for every subcommand. *)
+let guarded f =
+  try f () with
+  | Quantum.Qasm.Parse_error msg ->
+    Format.eprintf "parse error: %s@." msg;
+    exit exit_parse_error
+  | Failure msg ->
+    Format.eprintf "check failed: %s@." msg;
+    exit exit_check_failure
+  | Invalid_argument msg ->
+    Format.eprintf "invalid input: %s@." msg;
+    exit exit_routing_failure
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument parsers *)
@@ -138,8 +163,18 @@ let print_solver_stats () =
     tot.Sat.Solver.total_deleted tot.Sat.Solver.total_reductions;
   Format.printf "solver time:   %.2fs@." tot.Sat.Solver.total_solve_time
 
+let lint_blocks =
+  Arg.(
+    value & flag
+    & info [ "lint-blocks" ]
+        ~doc:
+          "Debug mode: statically analyse every block's MaxSAT instance \
+           before solving it; any Warning-or-worse finding aborts the run \
+           with exit code 3.")
+
 let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
-    parallel stats_flag certify =
+    parallel stats_flag certify lint_blocks =
+ guarded @@ fun () ->
   Sat.Solver.reset_totals ();
   let circuit = Quantum.Qasm.of_file qasm in
   let objective =
@@ -148,7 +183,14 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
     else Satmap.Encoding.Count_swaps
   in
   let config =
-    { Satmap.Router.default_config with timeout; objective; n_swaps; certify }
+    {
+      Satmap.Router.default_config with
+      timeout;
+      objective;
+      n_swaps;
+      certify;
+      lint_blocks;
+    }
   in
   let outcome =
     match (method_, slice_size) with
@@ -184,7 +226,7 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
   | Satmap.Router.Failed msg ->
     Format.eprintf "routing failed: %s@." msg;
     if stats_flag then print_solver_stats ();
-    exit 1
+    exit exit_routing_failure
   | Satmap.Router.Routed (routed, stats) ->
     Format.printf "device:        %s@." (Arch.Device.name device);
     Format.printf "two-qubit:     %d@." (Quantum.Circuit.count_two_qubit circuit);
@@ -217,12 +259,103 @@ let route_cmd =
     Term.(
       const route_cmd_run $ device $ qasm_file $ timeout $ slice_size
       $ method_ $ noise $ output $ n_swaps $ parallel $ solver_stats
-      $ certify)
+      $ certify $ lint_blocks)
+
+(* ------------------------------------------------------------------ *)
+(* lint *)
+
+let lint_cmd_run device qasm n_swaps noise mutate list_mutations =
+ guarded @@ fun () ->
+  let circuit = Quantum.Qasm.of_file qasm in
+  let objective =
+    if noise then
+      Satmap.Encoding.Fidelity (Arch.Calibration.synthetic device)
+    else Satmap.Encoding.Count_swaps
+  in
+  (* The mutation corpus locates pairwise cardinality clauses, so seeded
+     runs force the pairwise encoding; plain lint uses the default. *)
+  let amo =
+    if mutate <> None || list_mutations then Sat.Card.Pairwise
+    else Sat.Card.Sequential
+  in
+  let spec = Satmap.Encoding.spec ~n_swaps ~amo ~objective device in
+  let enc = Satmap.Encoding.build spec circuit in
+  if list_mutations then
+    List.iter
+      (fun (m : Satmap.Mutations.t) ->
+        Format.printf "%-26s %s@." m.name m.description)
+      (Satmap.Mutations.all enc)
+  else begin
+    let inst = Satmap.Encoding.instance enc in
+    let ins = Satmap.Encoding.insertion_stats enc in
+    Format.printf "device:          %s@." (Arch.Device.name device);
+    Format.printf "instance:        %d vars, %d hard, %d soft@."
+      (Maxsat.Instance.n_vars inst)
+      (Maxsat.Instance.n_hard inst)
+      (Maxsat.Instance.n_soft inst);
+    Format.printf
+      "insertion:       %d clauses seen, %d tautologies dropped, %d \
+       duplicate literals dropped@."
+      ins.Sat.Sink.clauses_seen ins.Sat.Sink.tautologies_dropped
+      ins.Sat.Sink.duplicate_literals_dropped;
+    let report =
+      match mutate with
+      | None -> Satmap.Encoding_lint.check_full enc
+      | Some name -> (
+        match
+          List.find_opt
+            (fun (m : Satmap.Mutations.t) -> m.name = name)
+            (Satmap.Mutations.all enc)
+        with
+        | Some m ->
+          Format.printf "mutation:        %s (%s)@." m.name m.description;
+          Satmap.Mutations.lint enc m
+        | None ->
+          Format.eprintf
+            "unknown mutation %S (use --list-mutations for the corpus)@."
+            name;
+          exit exit_check_failure)
+    in
+    Format.printf "findings:        %s@." (Lint.Report.summary report);
+    Lint.Report.pp Format.std_formatter report;
+    if not (Lint.Report.is_clean ~at_least:Lint.Report.Warning report) then
+      exit exit_check_failure
+  end
+
+let lint_cmd =
+  let mutate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"NAME"
+          ~doc:
+            "Apply the named seeded mutation to the instance before \
+             linting (validation mode: the linter is expected to flag \
+             it and exit 3).")
+  in
+  let list_mutations =
+    Arg.(
+      value & flag
+      & info [ "list-mutations" ]
+          ~doc:"List the seeded mutation corpus for this encoding and exit.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyse the MaxSAT encoding of a circuit: structural \
+          CNF/WCNF hygiene, encoding-level promises (injectivity, slot \
+          choices, swap effects, gate executability), and level-0 \
+          consistency — without solving.  Exit code 3 on any \
+          Warning-or-worse finding.")
+    Term.(
+      const lint_cmd_run $ device $ qasm_file $ n_swaps $ noise $ mutate
+      $ list_mutations)
 
 (* ------------------------------------------------------------------ *)
 (* stats *)
 
 let stats_cmd_run qasm =
+ guarded @@ fun () ->
   let c = Quantum.Qasm.of_file qasm in
   Format.printf "qubits:      %d@." (Quantum.Circuit.n_qubits c);
   Format.printf "gates:       %d@." (Quantum.Circuit.length c);
@@ -244,6 +377,7 @@ let stats_cmd =
 (* export-wcnf *)
 
 let export_cmd_run device qasm noise n_swaps out_path =
+ guarded @@ fun () ->
   let circuit = Quantum.Qasm.of_file qasm in
   let objective =
     if noise then
@@ -305,6 +439,6 @@ let main =
   Cmd.group
     (Cmd.info "satmap" ~version:"1.0.0"
        ~doc:"Qubit mapping and routing via MaxSAT (MICRO 2022 reproduction).")
-    [ route_cmd; stats_cmd; export_cmd; devices_cmd; suite_cmd ]
+    [ route_cmd; lint_cmd; stats_cmd; export_cmd; devices_cmd; suite_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -73,6 +73,7 @@ type t = {
   n_layers : int;
   n_slots : int;
   instance : Maxsat.Instance.t;
+  insertion : Sat.Sink.sanitize_stats;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -148,14 +149,14 @@ let estimate_clauses spec circuit =
   let injectivity_at_one_layer =
     match spec.amo with
     | Sat.Card.Pairwise -> (l * p * (p - 1) / 2) + (p * l * (l - 1) / 2)
-    | Sat.Card.Sequential -> 4 * l * p
+    | Sat.Card.Sequential | Sat.Card.Commander -> 4 * l * p
   in
   let injected_layers = 1 + if spec.inject_all_gate_layers then n_steps else 0 in
   let per_slot =
     (* exactly-one over e+1 choices, effect, frame, mobility *)
     (match spec.amo with
     | Sat.Card.Pairwise -> (e + 1) * e / 2
-    | Sat.Card.Sequential -> 4 * (e + 1))
+    | Sat.Card.Sequential | Sat.Card.Commander -> 4 * (e + 1))
     + (4 * e * l)
     + (2 * p * l)
     + (if spec.mobility then 2 * p * l else 0)
@@ -190,6 +191,7 @@ let build ?fixed_initial ?fixed_final ?(cyclic = false)
       instance =
         (* placeholder; replaced below *)
         Maxsat.Instance.create ~n_vars:0 ~hard:[] ~soft:[];
+      insertion = Sat.Sink.sanitize_stats ();
     }
   in
   let edges = Arch.Device.edge_array device in
@@ -198,15 +200,18 @@ let build ?fixed_initial ?fixed_final ?(cyclic = false)
   let soft = ref [] in
   let next_aux = ref (n_fixed_vars t) in
   let sink =
-    Sat.Sink.
-      {
-        fresh_var =
-          (fun () ->
-            let v = !next_aux in
-            incr next_aux;
-            v);
-        add_clause = (fun c -> Sat.Vec.push hard c);
-      }
+    (* Insertion hygiene: duplicate literals and tautologies are dropped
+       at the sink, and the deltas surface in lint output. *)
+    Sat.Sink.sanitizing ~stats:t.insertion
+      Sat.Sink.
+        {
+          fresh_var =
+            (fun () ->
+              let v = !next_aux in
+              incr next_aux;
+              v);
+          add_clause = (fun c -> Sat.Vec.push hard c);
+        }
   in
   let pos v = Sat.Lit.of_var v in
   let neg v = Sat.Lit.of_var ~sign:false v in
@@ -370,6 +375,39 @@ let n_steps t = Array.length t.steps
 let steps t = t.steps
 let spec_of t = t.spec
 let n_log t = t.n_log
+let n_slots t = t.n_slots
+let n_layers t = t.n_layers
+let device t = t.spec.device
+let insertion_stats t = t.insertion
+
+let injected_layers t =
+  0
+  ::
+  (if t.spec.inject_all_gate_layers then
+     List.init (Array.length t.steps) (fun i -> gate_layer t i)
+   else [])
+
+type var_class =
+  | Map of { layer : int; q : int; p : int }
+  | Noop of { slot : int }
+  | Swap of { slot : int; edge : int }
+  | Aux
+
+let classify_var t v =
+  let base = slot_base t in
+  if v < 0 then Aux
+  else if v < base then begin
+    let p = v mod n_phys t in
+    let rest = v / n_phys t in
+    Map { layer = rest / t.n_log; q = rest mod t.n_log; p }
+  end
+  else if v < n_fixed_vars t then begin
+    let off = v - base in
+    let slot = off / (n_edges t + 1) in
+    let r = off mod (n_edges t + 1) in
+    if r = 0 then Noop { slot } else Swap { slot; edge = r - 1 }
+  end
+  else Aux
 
 (* ------------------------------------------------------------------ *)
 (* Decoding *)

@@ -52,6 +52,29 @@ val n_steps : t -> int
 val steps : t -> step array
 val spec_of : t -> spec
 val n_log : t -> int
+val n_slots : t -> int
+val n_layers : t -> int
+val device : t -> Arch.Device.t
+
+val insertion_stats : t -> Sat.Sink.sanitize_stats
+(** Hygiene counters from the build's sanitizing clause sink: how many
+    clauses were inserted, and how many tautologies / duplicate literals
+    were dropped on the way in. *)
+
+val injected_layers : t -> int list
+(** Layers at which the injectivity constraints (Hard A) are structurally
+    present: layer 0, plus every gate layer when the spec asks for it.
+    The lint pass audits exactly these promises. *)
+
+(** Decoded meaning of a variable index (the encoding's variable table,
+    inverted). *)
+type var_class =
+  | Map of { layer : int; q : int; p : int }
+  | Noop of { slot : int }
+  | Swap of { slot : int; edge : int }
+  | Aux  (** cardinality-encoding auxiliary (or out of range) *)
+
+val classify_var : t -> Sat.Lit.var -> var_class
 
 val gate_layer : t -> int -> int
 val final_layer : t -> int

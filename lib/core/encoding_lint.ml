@@ -1,0 +1,244 @@
+module Lit = Sat.Lit
+module Report = Lint.Report
+module Up = Lint.Unit_prop
+
+let rule_mapping_alo = "mapping-alo-missing"
+let rule_slot_alo = "slot-alo-missing"
+let rule_swap_choice = "swap-choice-corrupt"
+let rule_mapping_amo = "mapping-amo-violated"
+let rule_injectivity = "injectivity-violated"
+let rule_slot_amo = "slot-amo-violated"
+let rule_slot_choice_required = "slot-choice-not-forced"
+let rule_swap_effect = "swap-effect-missing"
+let rule_noop_frame = "noop-frame-missing"
+let rule_gate_executability = "gate-executability-missing"
+let rule_probes_truncated = "probes-truncated"
+
+type ctx = {
+  mutable report : Report.t;
+  mutable probes_left : int;
+  mutable truncated : bool;
+}
+
+let error ctx ~rule msg = ctx.report <- Report.add ctx.report Report.Error ~rule msg
+
+(* Budgeted probe helpers.  A [None] result means the budget ran out and
+   the check is skipped (recorded once as an Info note). *)
+let with_budget ctx f =
+  if ctx.probes_left <= 0 then begin
+    ctx.truncated <- true;
+    None
+  end
+  else begin
+    ctx.probes_left <- ctx.probes_left - 1;
+    Some (f ())
+  end
+
+(* A refutation probe passes when UP conflicts. *)
+let expect_refuted ctx up assumptions ~rule msg =
+  match with_budget ctx (fun () -> Up.refutes up assumptions) with
+  | Some false -> error ctx ~rule msg
+  | Some true | None -> ()
+
+(* A derivation probe passes when UP conflicts (vacuous: the instance is
+   over-constrained at that point, e.g. pinned seams) or propagates the
+   expected literal. *)
+let expect_derived ctx up assumptions lit ~rule msg =
+  match with_budget ctx (fun () -> Up.implies up assumptions lit) with
+  | Some false -> error ctx ~rule msg
+  | Some true | None -> ()
+
+let canon lits = List.map Lit.to_int (List.sort_uniq Lit.compare lits)
+
+let check ?hard ?(max_probes = 50_000) enc =
+  let inst = Encoding.instance enc in
+  let hard = Option.value hard ~default:(Maxsat.Instance.hard inst) in
+  let ctx = { report = Report.empty; probes_left = max_probes; truncated = false } in
+  let device = Encoding.device enc in
+  let n_phys = Arch.Device.n_qubits device in
+  let n_edges = Arch.Device.n_edges device in
+  let edges = Arch.Device.edge_array device in
+  let n_log = Encoding.n_log enc in
+  let n_slots = Encoding.n_slots enc in
+  let pos v = Lit.of_var v in
+  let mapl ~layer ~q ~p = pos (Encoding.map_var enc ~layer ~q ~p) in
+  let noop s = pos (Encoding.noop_var enc ~slot:s) in
+  let swap s e = pos (Encoding.swap_var enc ~slot:s ~edge:e) in
+
+  (* Structural pass: required clauses must be present verbatim (up to
+     literal order).  Pin units may additionally subsume them, but the
+     builder never removes them, so absence is a real defect. *)
+  let clause_set = Hashtbl.create 4096 in
+  List.iter (fun c -> Hashtbl.replace clause_set (canon c) ()) hard;
+  let require_clause ~rule lits msg =
+    if not (Hashtbl.mem clause_set (canon lits)) then error ctx ~rule msg
+  in
+  let injected = Encoding.injected_layers enc in
+  List.iter
+    (fun layer ->
+      for q = 0 to n_log - 1 do
+        require_clause ~rule:rule_mapping_alo
+          (List.init n_phys (fun p -> mapl ~layer ~q ~p))
+          (Printf.sprintf
+             "no at-least-one clause places logical %d at layer %d" q layer)
+      done)
+    injected;
+  for s = 0 to n_slots - 1 do
+    require_clause ~rule:rule_slot_alo
+      (noop s :: List.init n_edges (fun e -> swap s e))
+      (Printf.sprintf
+         "slot %d has no choice clause over {noop} and the %d device edges"
+         s n_edges)
+  done;
+  (* Slot-choice clauses must draw on the slot's own region.  Any clause
+     asserting a no-op positively alongside other positive literals is a
+     choice clause (the builder emits no other shape with a positive
+     no-op), and those literals must be the slot's own no-op or swap
+     variables — a mapping variable or another slot's region there means
+     the variable table and the clauses disagree. *)
+  List.iteri
+    (fun i c ->
+      let pos_lits = List.filter Lit.sign c in
+      let noop_slot =
+        List.find_map
+          (fun l ->
+            match Encoding.classify_var enc (Lit.var l) with
+            | Encoding.Noop { slot } -> Some slot
+            | _ -> None)
+          pos_lits
+      in
+      match noop_slot with
+      | Some s when List.length pos_lits >= 2 ->
+        List.iter
+          (fun l ->
+            let ok =
+              match Encoding.classify_var enc (Lit.var l) with
+              | Encoding.Noop { slot } | Encoding.Swap { slot; _ } -> slot = s
+              | Encoding.Map _ | Encoding.Aux -> false
+            in
+            if not ok then
+              error ctx ~rule:rule_swap_choice
+                (Printf.sprintf
+                   "hard clause #%d mixes slot %d's swap choice with foreign variables"
+                   i s))
+          pos_lits
+      | _ -> ())
+    hard;
+
+  (* Semantic pass over the independent unit-propagation engine. *)
+  let up = Up.create ~n_vars:(Maxsat.Instance.n_vars inst) hard in
+  List.iter
+    (fun layer ->
+      (* At-most-one physical per logical. *)
+      for q = 0 to n_log - 1 do
+        for p = 0 to n_phys - 1 do
+          for p' = p + 1 to n_phys - 1 do
+            expect_refuted ctx up
+              [ mapl ~layer ~q ~p; mapl ~layer ~q ~p:p' ]
+              ~rule:rule_mapping_amo
+              (Printf.sprintf
+                 "logical %d can sit on both physical %d and %d at layer %d"
+                 q p p' layer)
+          done
+        done
+      done;
+      (* At-most-one logical per physical. *)
+      if n_log > 1 then
+        for p = 0 to n_phys - 1 do
+          for q = 0 to n_log - 1 do
+            for q' = q + 1 to n_log - 1 do
+              expect_refuted ctx up
+                [ mapl ~layer ~q ~p; mapl ~layer ~q:q' ~p ]
+                ~rule:rule_injectivity
+                (Printf.sprintf
+                   "logicals %d and %d can share physical %d at layer %d"
+                   q q' p layer)
+            done
+          done
+        done)
+    injected;
+  for s = 0 to n_slots - 1 do
+    let choices = noop s :: List.init n_edges (fun e -> swap s e) in
+    (* All choices false must be contradictory... *)
+    expect_refuted ctx up
+      (List.map Lit.neg choices)
+      ~rule:rule_slot_choice_required
+      (Printf.sprintf "slot %d may choose neither noop nor any swap" s)
+    (* ...and any two choices must clash. *);
+    let arr = Array.of_list choices in
+    for i = 0 to Array.length arr - 1 do
+      for j = i + 1 to Array.length arr - 1 do
+        expect_refuted ctx up [ arr.(i); arr.(j) ] ~rule:rule_slot_amo
+          (Printf.sprintf "slot %d admits two simultaneous choices" s)
+      done
+    done;
+    (* Swap effect: choosing edge (a, b) carries a qubit across it, in
+       both directions and both time orientations. *)
+    let l = s and l' = s + 1 in
+    for e = 0 to n_edges - 1 do
+      let a, b = edges.(e) in
+      for q = 0 to n_log - 1 do
+        let dirs =
+          [
+            ([ swap s e; mapl ~layer:l ~q ~p:a ], mapl ~layer:l' ~q ~p:b);
+            ([ swap s e; mapl ~layer:l ~q ~p:b ], mapl ~layer:l' ~q ~p:a);
+            ([ swap s e; mapl ~layer:l' ~q ~p:a ], mapl ~layer:l ~q ~p:b);
+            ([ swap s e; mapl ~layer:l' ~q ~p:b ], mapl ~layer:l ~q ~p:a);
+          ]
+        in
+        List.iter
+          (fun (assumptions, conclusion) ->
+            expect_derived ctx up assumptions conclusion ~rule:rule_swap_effect
+              (Printf.sprintf
+                 "swap(slot %d, edge %d-%d) does not move logical %d across the edge"
+                 s a b q))
+          dirs
+      done
+    done;
+    (* No-op frame: the map persists across an idle slot. *)
+    for q = 0 to n_log - 1 do
+      for p = 0 to n_phys - 1 do
+        expect_derived ctx up
+          [ noop s; mapl ~layer:l ~q ~p ]
+          (mapl ~layer:l' ~q ~p)
+          ~rule:rule_noop_frame
+          (Printf.sprintf
+             "noop at slot %d does not keep logical %d on physical %d" s q p)
+      done
+    done
+  done;
+  (* Gate executability: operands of each step must end up adjacent. *)
+  Array.iteri
+    (fun i { Encoding.pair = q, q'; _ } ->
+      let layer = Encoding.gate_layer enc i in
+      for p = 0 to n_phys - 1 do
+        let assumptions =
+          mapl ~layer ~q ~p
+          :: List.map
+               (fun p' -> Lit.neg (mapl ~layer ~q:q' ~p:p'))
+               (Arch.Device.neighbors device p)
+        in
+        expect_refuted ctx up assumptions ~rule:rule_gate_executability
+          (Printf.sprintf
+             "step %d (q%d, q%d) is not forced onto an edge when q%d sits on physical %d"
+             i q q' q p)
+      done)
+    (Encoding.steps enc);
+  if ctx.truncated then
+    ctx.report <-
+      Report.addf ctx.report Report.Info ~rule:rule_probes_truncated
+        "probe budget (%d) exhausted; remaining semantic checks skipped"
+        max_probes;
+  ctx.report
+
+let check_full ?expect_sat ?hard ?soft ?max_probes enc =
+  let inst = Encoding.instance enc in
+  let hard = Option.value hard ~default:(Maxsat.Instance.hard inst) in
+  let soft = Option.value soft ~default:(Maxsat.Instance.soft inst) in
+  Lint.Report.concat
+    [
+      Lint.Cnf_lint.check ?expect_sat
+        ~n_vars:(Maxsat.Instance.n_vars inst)
+        ~hard ~soft ();
+      check ~hard ?max_probes enc;
+    ]

@@ -1,0 +1,52 @@
+(** SATMAP-aware static analysis of a built encoding.
+
+    Where {!Lint.Cnf_lint} treats an instance as an anonymous WCNF, this
+    pass consumes {!Encoding.t}'s variable table and audits the promises
+    of Section IV of the paper against the actual clause list:
+
+    - every (layer, logical) mapping group at an
+      {!Encoding.injected_layers} layer carries its at-least-one clause
+      structurally, and its at-most-one holds under unit propagation;
+    - injectivity (at most one logical per physical) propagates at the
+      same layers;
+    - every swap slot carries its exactly-one over the no-op and the
+      device edges, and its choice variables reference only device edges;
+    - choosing a swap moves qubits across exactly that edge (effect
+      biconditionals), and the no-op freezes the map (frame axioms);
+    - every gate step is executable only on adjacent physical qubits.
+
+    Structural checks are clause-set lookups; the rest are probes of the
+    independent {!Lint.Unit_prop} engine.  A probe that conflicts passes
+    vacuously, so deliberately over-constrained instances (pinned or
+    blocked slices) lint clean.  All findings are [Error]s except the
+    probe-budget note. *)
+
+val rule_mapping_alo : string
+val rule_slot_alo : string
+val rule_swap_choice : string
+val rule_mapping_amo : string
+val rule_injectivity : string
+val rule_slot_amo : string
+val rule_slot_choice_required : string
+val rule_swap_effect : string
+val rule_noop_frame : string
+val rule_gate_executability : string
+val rule_probes_truncated : string
+
+val check :
+  ?hard:Sat.Lit.t list list -> ?max_probes:int -> Encoding.t -> Lint.Report.t
+(** [hard] substitutes a clause list for the encoding's own hard clauses
+    (the mutation corpus lints corrupted copies against the intact
+    variable table); [max_probes] (default [50_000]) bounds the number of
+    unit-propagation probes. *)
+
+val check_full :
+  ?expect_sat:bool ->
+  ?hard:Sat.Lit.t list list ->
+  ?soft:(int * Sat.Lit.t list) list ->
+  ?max_probes:int ->
+  Encoding.t ->
+  Lint.Report.t
+(** Generic WCNF rules ({!Lint.Cnf_lint.check}) followed by the
+    SATMAP-aware pass, as used by [satmap lint] and the router's debug
+    mode.  [expect_sat] is forwarded to the generic pass. *)

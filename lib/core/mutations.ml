@@ -1,0 +1,252 @@
+(* Seeded corruptions of a built encoding's raw instance.  Every mutant
+   breaks exactly one promise the lint engine claims to audit; the test
+   suite asserts the linter flags (nearly) all of them while the
+   unmutated instance lints clean. *)
+
+module Lit = Sat.Lit
+
+type t = {
+  name : string;
+  description : string;
+  n_vars : int;
+  hard : Lit.t list list;
+  soft : (int * Lit.t list) list;
+}
+
+let canon c = List.map Lit.to_int (List.sort_uniq Lit.compare c)
+
+let remove_clause ~name target hard =
+  let key = canon target in
+  let removed = ref false in
+  let out =
+    List.filter
+      (fun c ->
+        if (not !removed) && canon c = key then begin
+          removed := true;
+          false
+        end
+        else true)
+      hard
+  in
+  if not !removed then
+    failwith (Printf.sprintf "Mutations.%s: clause to drop not found" name);
+  out
+
+let remove_matching ~name pred hard =
+  let out = List.filter (fun c -> not (pred c)) hard in
+  if List.length out = List.length hard then
+    failwith (Printf.sprintf "Mutations.%s: no clause matched" name);
+  out
+
+let all enc =
+  let inst = Encoding.instance enc in
+  let n_vars0 = Maxsat.Instance.n_vars inst in
+  let hard0 = Maxsat.Instance.hard inst in
+  let soft0 = Maxsat.Instance.soft inst in
+  let device = Encoding.device enc in
+  let n_phys = Arch.Device.n_qubits device in
+  let n_edges = Arch.Device.n_edges device in
+  let edges = Arch.Device.edge_array device in
+  let n_log = Encoding.n_log enc in
+  if n_log < 2 then failwith "Mutations.all: corpus needs >= 2 logical qubits";
+  let pos v = Lit.of_var v in
+  let neg v = Lit.of_var ~sign:false v in
+  let mapl ~layer ~q ~p = pos (Encoding.map_var enc ~layer ~q ~p) in
+  let noop s = pos (Encoding.noop_var enc ~slot:s) in
+  let swap s e = pos (Encoding.swap_var enc ~slot:s ~edge:e) in
+  let classed l = Encoding.classify_var enc (Lit.var l) in
+  let mapping_alo ~layer ~q = List.init n_phys (fun p -> mapl ~layer ~q ~p) in
+  let slot_alo s = noop s :: List.init n_edges (fun e -> swap s e) in
+  let mk name description ?(n_vars = n_vars0) ?(hard = hard0) ?(soft = soft0)
+      () =
+    { name; description; n_vars; hard; soft }
+  in
+  let binary_neg_pair pred c =
+    match c with
+    | [ a; b ] ->
+      (not (Lit.sign a)) && (not (Lit.sign b)) && pred a && pred b
+    | _ -> false
+  in
+  let first_gate_layer = Encoding.gate_layer enc 0 in
+  let swap_effect_clauses =
+    (* The four biconditional clauses for slot 0, edge 0, logical 0. *)
+    let a, b = edges.(0) in
+    let ns = Lit.neg (swap 0 0) in
+    let m ~layer ~p = mapl ~layer ~q:0 ~p in
+    let nm ~layer ~p = Lit.neg (m ~layer ~p) in
+    [
+      [ ns; nm ~layer:0 ~p:b; m ~layer:1 ~p:a ];
+      [ ns; m ~layer:0 ~p:b; nm ~layer:1 ~p:a ];
+      [ ns; nm ~layer:0 ~p:a; m ~layer:1 ~p:b ];
+      [ ns; m ~layer:0 ~p:a; nm ~layer:1 ~p:b ];
+    ]
+  in
+  let frame_clauses =
+    (* The whole frame-axiom family of slot 0.  Dropping a single frame
+       clause is invisible to unit propagation — mobility plus the other
+       frames re-derive it — so the mutant removes the family, which is
+       what a builder bug that skips the frame loop would do. *)
+    List.concat
+      (List.init n_phys (fun p ->
+           let touching =
+             Array.to_list edges
+             |> List.mapi (fun e (a, b) -> (e, a, b))
+             |> List.filter_map (fun (e, a, b) ->
+                    if a = p || b = p then Some (swap 0 e) else None)
+           in
+           List.concat
+             (List.init n_log (fun q ->
+                  let m ~layer = mapl ~layer ~q ~p in
+                  [
+                    Lit.neg (m ~layer:0) :: m ~layer:1 :: touching;
+                    Lit.neg (m ~layer:1) :: m ~layer:0 :: touching;
+                  ]))))
+  in
+  let gate_exec_clauses =
+    let { Encoding.pair = q, q'; _ } = (Encoding.steps enc).(0) in
+    List.init n_phys (fun p ->
+        Lit.neg (mapl ~layer:first_gate_layer ~q ~p)
+        :: List.map
+             (fun p' -> mapl ~layer:first_gate_layer ~q:q' ~p:p')
+             (Arch.Device.neighbors device p))
+  in
+  [
+    mk "drop-alo-mapping"
+      "remove the at-least-one placement clause for logical 0 at layer 0"
+      ~hard:
+        (remove_clause ~name:"drop-alo-mapping" (mapping_alo ~layer:0 ~q:0)
+           hard0)
+      ();
+    mk "drop-alo-gate-layer"
+      "remove the at-least-one placement clause for logical 0 at the first gate layer"
+      ~hard:
+        (remove_clause ~name:"drop-alo-gate-layer"
+           (mapping_alo ~layer:first_gate_layer ~q:0)
+           hard0)
+      ();
+    mk "drop-amo-mapping"
+      "remove every pairwise at-most-one clause for logical 0 at layer 0"
+      ~hard:
+        (remove_matching ~name:"drop-amo-mapping"
+           (binary_neg_pair (fun l ->
+                match classed l with
+                | Encoding.Map { layer = 0; q = 0; _ } -> true
+                | _ -> false))
+           hard0)
+      ();
+    mk "drop-injectivity-amo"
+      "remove every pairwise injectivity clause for physical 0 at layer 0"
+      ~hard:
+        (remove_matching ~name:"drop-injectivity-amo"
+           (binary_neg_pair (fun l ->
+                match classed l with
+                | Encoding.Map { layer = 0; p = 0; _ } -> true
+                | _ -> false))
+           hard0)
+      ();
+    mk "drop-slot-alo" "remove slot 0's choice clause"
+      ~hard:(remove_clause ~name:"drop-slot-alo" (slot_alo 0) hard0)
+      ();
+    mk "drop-slot-amo"
+      "remove every pairwise at-most-one clause among slot 0's choices"
+      ~hard:
+        (remove_matching ~name:"drop-slot-amo"
+           (binary_neg_pair (fun l ->
+                match classed l with
+                | Encoding.Noop { slot = 0 } | Encoding.Swap { slot = 0; _ } ->
+                  true
+                | _ -> false))
+           hard0)
+      ();
+    mk "corrupt-swap-edge"
+      "replace a swap variable in slot 0's choice clause with a mapping variable"
+      ~hard:
+        (let corrupted =
+           List.map
+             (fun l ->
+               if Lit.equal l (swap 0 0) then mapl ~layer:0 ~q:0 ~p:0 else l)
+             (slot_alo 0)
+         in
+         corrupted :: remove_clause ~name:"corrupt-swap-edge" (slot_alo 0) hard0)
+      ();
+    mk "drop-swap-effect"
+      "remove the swap-effect biconditionals for slot 0, edge 0, logical 0"
+      ~hard:
+        (List.fold_left
+           (fun h c -> remove_clause ~name:"drop-swap-effect" c h)
+           hard0 swap_effect_clauses)
+      ();
+    mk "drop-frame"
+      "remove the frame axioms for slot 0, physical 0, logical 0"
+      ~hard:
+        (List.fold_left
+           (fun h c -> remove_clause ~name:"drop-frame" c h)
+           hard0 frame_clauses)
+      ();
+    mk "drop-gate-executability"
+      "remove every executability clause of the first gate step"
+      ~hard:
+        (List.fold_left
+           (fun h c -> remove_clause ~name:"drop-gate-executability" c h)
+           hard0 gate_exec_clauses)
+      ();
+    mk "zero-soft-weight" "set the first soft clause's weight to 0"
+      ~soft:
+        (match soft0 with
+        | (_, c) :: rest -> (0, c) :: rest
+        | [] -> failwith "Mutations.zero-soft-weight: no soft clauses")
+      ();
+    mk "negative-soft-weight" "set the first soft clause's weight to -3"
+      ~soft:
+        (match soft0 with
+        | (_, c) :: rest -> (-3, c) :: rest
+        | [] -> failwith "Mutations.negative-soft-weight: no soft clauses")
+      ();
+    mk "dup-soft" "duplicate the first soft clause"
+      ~soft:(match soft0 with c :: rest -> c :: c :: rest | [] -> soft0)
+      ();
+    mk "empty-soft" "add an empty soft clause of weight 1"
+      ~soft:((1, []) :: soft0) ();
+    mk "dup-hard" "duplicate the first hard clause"
+      ~hard:(match hard0 with c :: rest -> c :: c :: rest | [] -> hard0)
+      ();
+    mk "tautology-hard" "add a tautological hard clause"
+      ~hard:
+        ([ mapl ~layer:0 ~q:0 ~p:0; Lit.neg (mapl ~layer:0 ~q:0 ~p:0) ]
+        :: hard0)
+      ();
+    mk "duplicate-literal-hard" "repeat a literal inside a hard clause"
+      ~hard:
+        ([ mapl ~layer:0 ~q:0 ~p:0; mapl ~layer:0 ~q:0 ~p:0;
+           mapl ~layer:0 ~q:0 ~p:1 ]
+        :: hard0)
+      ();
+    mk "contradictory-units" "add a contradictory pair of unit clauses"
+      ~hard:
+        ([ mapl ~layer:0 ~q:0 ~p:0 ]
+        :: [ Lit.neg (mapl ~layer:0 ~q:0 ~p:0) ]
+        :: hard0)
+      ();
+    mk "out-of-range" "reference a variable beyond n_vars"
+      ~hard:([ pos n_vars0; mapl ~layer:0 ~q:0 ~p:0 ] :: hard0)
+      ();
+    mk "unconstrained-var" "declare a variable that no clause mentions"
+      ~n_vars:(n_vars0 + 1) ();
+    mk "dead-soft" "add a hard unit that subsumes a soft clause"
+      ~hard:([ noop 0 ] :: hard0)
+      ();
+    mk "pure-literal" "introduce a hard-part variable with one polarity"
+      ~n_vars:(n_vars0 + 1)
+      ~hard:([ pos n_vars0; neg (Encoding.map_var enc ~layer:0 ~q:0 ~p:0) ]
+            :: hard0)
+      ();
+  ]
+
+let lint enc m =
+  Lint.Report.concat
+    [
+      Lint.Cnf_lint.check ~n_vars:m.n_vars ~hard:m.hard ~soft:m.soft ();
+      Encoding_lint.check ~hard:m.hard enc;
+    ]
+
+let caught report = not (Lint.Report.is_clean ~at_least:Lint.Report.Warning report)

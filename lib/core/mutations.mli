@@ -1,0 +1,32 @@
+(** Seeded encoding mutations: the lint engine's validation corpus.
+
+    Each mutation takes a correctly built encoding and corrupts its raw
+    instance (clause lists and variable count) in one specific,
+    documented way — a dropped constraint family, a corrupted weight, a
+    broken variable reference.  The corpus is the linter's ground truth:
+    a healthy linter flags (almost) every mutant at [Warning] or above
+    while reporting the unmutated instance clean.
+
+    Mutations that remove clauses locate them by canonical form and
+    raise [Failure] if the clause is absent — a corpus bug, not a lint
+    finding.  Build the base encoding with [amo:Pairwise] so the
+    cardinality clauses the droppers target are the binary pairwise
+    form. *)
+
+type t = {
+  name : string;
+  description : string;
+  n_vars : int;
+  hard : Sat.Lit.t list list;
+  soft : (int * Sat.Lit.t list) list;
+}
+
+val all : Encoding.t -> t list
+(** The full corpus (~20 mutants) derived from one encoding. *)
+
+val lint : Encoding.t -> t -> Lint.Report.t
+(** Run the combined generic + SATMAP-aware passes on a mutant, against
+    the original encoding's variable table. *)
+
+val caught : Lint.Report.t -> bool
+(** A mutant counts as caught when lint reports at [Warning] or above. *)

@@ -37,6 +37,9 @@ type config = {
   certify : bool;
       (** log DRUP proofs in the MaxSAT engine and re-check every
           infeasible bound with the independent proof checker *)
+  lint_blocks : bool;
+      (** debug mode: statically analyse every block's instance before
+          solving it and fail loudly on any Warning-or-worse finding *)
 }
 
 let default_config =
@@ -54,6 +57,7 @@ let default_config =
     accept_feasible = true;
     verify = true;
     certify = false;
+    lint_blocks = false;
   }
 
 type stats = {
@@ -202,6 +206,20 @@ let solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
       Encoding.build ?fixed_initial ?fixed_final ~cyclic ~blocked_finals spec
         circuit
     in
+    if config.lint_blocks then begin
+      (* Pinned, blocked, or cyclic blocks may legitimately refute at
+         level 0 (that is the seam-backtracking signal), so a level-0
+         conflict is only an error on unconstrained blocks. *)
+      let expect_sat =
+        fixed_initial = None && fixed_final = None && (not cyclic)
+        && blocked_finals = []
+      in
+      let report = Encoding_lint.check_full ~expect_sat enc in
+      if not (Lint.Report.is_clean ~at_least:Lint.Report.Warning report) then
+        failwith
+          (Format.asprintf "Router: block failed lint (%s)@\n%a"
+             (Lint.Report.summary report) Lint.Report.pp report)
+    end;
     match
       Maxsat.Optimizer.solve ~deadline ~certify:config.certify
         (Encoding.instance enc)

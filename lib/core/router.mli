@@ -31,6 +31,10 @@ type config = {
       (** log DRUP proofs in the MaxSAT engine and re-check every
           infeasible bound with the independent proof checker; the
           verdict is reported in [stats.certified] *)
+  lint_blocks : bool;
+      (** debug mode: run {!Encoding_lint.check_full} on every block's
+          instance before solving it and raise [Failure] on any finding
+          at [Warning] severity or above *)
 }
 
 val default_config : config

@@ -1,0 +1,290 @@
+module Lit = Sat.Lit
+
+let rule_out_of_range = "out-of-range-literal"
+let rule_empty_hard = "empty-hard-clause"
+let rule_level0_conflict = "level0-conflict"
+let rule_soft_weight = "soft-weight"
+let rule_tautology = "tautology"
+let rule_duplicate_literal = "duplicate-literal"
+let rule_duplicate_hard = "duplicate-hard-clause"
+let rule_duplicate_soft = "duplicate-soft-clause"
+let rule_empty_soft = "empty-soft-clause"
+let rule_dead_soft = "dead-soft"
+let rule_pure_literal = "pure-literal"
+let rule_unconstrained = "unconstrained-variable"
+let rule_hard_subsumes_hard = "hard-subsumes-hard"
+let rule_subsumption_truncated = "subsumption-truncated"
+let rule_findings_suppressed = "findings-suppressed"
+
+(* Per-rule finding cap: a systematically broken instance should produce
+   a readable report, not one line per clause. *)
+let max_per_rule = 25
+
+type ctx = {
+  mutable report : Report.t;
+  counts : (string, int) Hashtbl.t;
+}
+
+let emit ctx sev ~rule msg =
+  let seen = try Hashtbl.find ctx.counts rule with Not_found -> 0 in
+  Hashtbl.replace ctx.counts rule (seen + 1);
+  if seen < max_per_rule then ctx.report <- Report.add ctx.report sev ~rule msg
+
+let flush_suppressed ctx =
+  let extra =
+    Hashtbl.fold
+      (fun rule n acc ->
+        if n > max_per_rule then (rule, n - max_per_rule) :: acc else acc)
+      ctx.counts []
+  in
+  List.iter
+    (fun (rule, n) ->
+      ctx.report <-
+        Report.addf ctx.report Report.Info ~rule:rule_findings_suppressed
+          "%d additional %s finding%s suppressed" n rule
+          (if n = 1 then "" else "s"))
+    (List.sort compare extra)
+
+let pp_clause lits =
+  "[" ^ String.concat " " (List.map (fun l -> string_of_int (Lit.to_dimacs l)) lits) ^ "]"
+
+let clause_name kind i = Printf.sprintf "%s clause #%d" kind i
+
+(* ------------------------------------------------------------------ *)
+(* Per-clause structural rules                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_clause_shape ctx ~n_vars ~kind i lits =
+  List.iter
+    (fun l ->
+      let v = Lit.var l in
+      if v < 0 || v >= n_vars then
+        emit ctx Report.Error ~rule:rule_out_of_range
+          (Printf.sprintf "%s %s references variable %d (n_vars = %d)"
+             (clause_name kind i) (pp_clause lits) v n_vars))
+    lits;
+  let sorted = List.sort_uniq Lit.compare lits in
+  if List.length sorted < List.length lits then
+    emit ctx Report.Warning ~rule:rule_duplicate_literal
+      (Printf.sprintf "%s %s repeats a literal" (clause_name kind i)
+         (pp_clause lits));
+  match Sat.Sink.normalize lits with
+  | None ->
+    emit ctx Report.Warning ~rule:rule_tautology
+      (Printf.sprintf "%s %s is a tautology" (clause_name kind i)
+         (pp_clause lits))
+  | Some _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Duplicate whole clauses                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Key clauses by their canonical form; tautologies (normalize = None)
+   are excluded — they are already flagged and trivially "equal". *)
+let check_duplicates ctx ~kind ~rule clauses =
+  let seen = Hashtbl.create 64 in
+  List.iteri
+    (fun i lits ->
+      match Sat.Sink.normalize lits with
+      | None -> ()
+      | Some canon -> (
+        let key = List.map Lit.to_int canon in
+        match Hashtbl.find_opt seen key with
+        | Some first ->
+          emit ctx Report.Warning ~rule
+            (Printf.sprintf "%s %s duplicates %s" (clause_name kind i)
+               (pp_clause lits) (clause_name kind first))
+        | None -> Hashtbl.add seen key i))
+    clauses
+
+(* ------------------------------------------------------------------ *)
+(* Variable-occurrence rules: pure literals and unconstrained vars     *)
+(* ------------------------------------------------------------------ *)
+
+let check_variables ctx ~n_vars ~hard ~soft =
+  if n_vars > 0 then begin
+    let pos = Array.make n_vars 0 and neg = Array.make n_vars 0 in
+    let in_hard = Array.make n_vars false in
+    let count ~is_hard lits =
+      List.iter
+        (fun l ->
+          let v = Lit.var l in
+          if v >= 0 && v < n_vars then begin
+            if Lit.sign l then pos.(v) <- pos.(v) + 1
+            else neg.(v) <- neg.(v) + 1;
+            if is_hard then in_hard.(v) <- true
+          end)
+        lits
+    in
+    List.iter (count ~is_hard:true) hard;
+    List.iter (fun (_, lits) -> count ~is_hard:false lits) soft;
+    let unconstrained = ref [] and n_unconstrained = ref 0 in
+    let pure = ref [] and n_pure = ref 0 in
+    for v = n_vars - 1 downto 0 do
+      if pos.(v) = 0 && neg.(v) = 0 then begin
+        incr n_unconstrained;
+        if List.length !unconstrained < 8 then unconstrained := v :: !unconstrained
+      end
+      else if in_hard.(v) && (pos.(v) = 0 || neg.(v) = 0) then begin
+        incr n_pure;
+        if List.length !pure < 8 then
+          pure := (v, if pos.(v) > 0 then "positive" else "negative") :: !pure
+      end
+    done;
+    if !n_unconstrained > 0 then
+      emit ctx Report.Warning ~rule:rule_unconstrained
+        (Printf.sprintf "%d variable%s occur in no clause (e.g. %s)"
+           !n_unconstrained
+           (if !n_unconstrained = 1 then "" else "s")
+           (String.concat ", " (List.map string_of_int !unconstrained)));
+    if !n_pure > 0 then
+      emit ctx Report.Warning ~rule:rule_pure_literal
+        (Printf.sprintf
+           "%d hard-part variable%s occur with one polarity only (e.g. %s)"
+           !n_pure
+           (if !n_pure = 1 then "" else "s")
+           (String.concat ", "
+              (List.map
+                 (fun (v, pol) -> Printf.sprintf "%d (%s)" v pol)
+                 !pure)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bounded subsumption                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* [a] and [b] are sorted int arrays; subset by merge walk. *)
+let subset a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i = la then true
+    else if j = lb then false
+    else
+      let c = compare a.(i) b.(j) in
+      if c = 0 then go (i + 1) (j + 1)
+      else if c > 0 then go i (j + 1)
+      else false
+  in
+  la <= lb && go 0 0
+
+type target = { is_soft : bool; idx : int; arr : int array }
+
+let check_subsumption ctx ~max_pairs ~hard ~soft =
+  let canon lits =
+    match Sat.Sink.normalize lits with
+    | None -> None
+    | Some c when c = [] -> None
+    | Some c -> Some (Array.of_list (List.map Lit.to_int c))
+  in
+  let hard_arrs =
+    List.mapi (fun i lits -> (i, canon lits)) hard
+    |> List.filter_map (fun (i, c) -> Option.map (fun arr -> (i, arr)) c)
+  in
+  let soft_arrs =
+    List.mapi (fun i (_, lits) -> (i, canon lits)) soft
+    |> List.filter_map (fun (i, c) -> Option.map (fun arr -> (i, arr)) c)
+  in
+  let targets =
+    Array.of_list
+      (List.map (fun (idx, arr) -> { is_soft = false; idx; arr }) hard_arrs
+      @ List.map (fun (idx, arr) -> { is_soft = true; idx; arr }) soft_arrs)
+  in
+  let occ : (int, int list) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iteri
+    (fun id tgt ->
+      Array.iter
+        (fun lit ->
+          let prev = try Hashtbl.find occ lit with Not_found -> [] in
+          Hashtbl.replace occ lit (id :: prev))
+        tgt.arr)
+    targets;
+  let occ_count lit =
+    match Hashtbl.find_opt occ lit with Some l -> List.length l | None -> 0
+  in
+  let budget = ref max_pairs in
+  (try
+     List.iter
+       (fun (ci, carr) ->
+         let rarest = ref carr.(0) in
+         Array.iter
+           (fun lit -> if occ_count lit < occ_count !rarest then rarest := lit)
+           carr;
+         List.iter
+           (fun id ->
+             let tgt = targets.(id) in
+             if tgt.is_soft || tgt.idx <> ci then begin
+               decr budget;
+               if !budget < 0 then raise Exit;
+               if subset carr tgt.arr then
+                 if tgt.is_soft then
+                   emit ctx Report.Warning ~rule:rule_dead_soft
+                     (Printf.sprintf
+                        "%s is subsumed by %s: its weight can never be lost"
+                        (clause_name "soft" tgt.idx)
+                        (clause_name "hard" ci))
+                 else if Array.length carr < Array.length tgt.arr then
+                   emit ctx Report.Info ~rule:rule_hard_subsumes_hard
+                     (Printf.sprintf "%s subsumes %s" (clause_name "hard" ci)
+                        (clause_name "hard" tgt.idx))
+             end)
+           (try Hashtbl.find occ !rarest with Not_found -> []))
+       hard_arrs
+   with Exit ->
+     emit ctx Report.Info ~rule:rule_subsumption_truncated
+       (Printf.sprintf
+          "subsumption pass stopped after %d pair tests; remaining pairs unchecked"
+          max_pairs))
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let check ?(expect_sat = true) ?(max_subsumption_pairs = 200_000) ~n_vars
+    ~hard ~soft () =
+  let ctx = { report = Report.empty; counts = Hashtbl.create 16 } in
+  List.iteri
+    (fun i lits ->
+      if lits = [] then
+        emit ctx Report.Error ~rule:rule_empty_hard
+          (Printf.sprintf "%s is empty" (clause_name "hard" i))
+      else check_clause_shape ctx ~n_vars ~kind:"hard" i lits)
+    hard;
+  List.iteri
+    (fun i (w, lits) ->
+      if w <= 0 then
+        emit ctx Report.Error ~rule:rule_soft_weight
+          (Printf.sprintf "%s %s has non-positive weight %d"
+             (clause_name "soft" i) (pp_clause lits) w);
+      if lits = [] then
+        emit ctx Report.Warning ~rule:rule_empty_soft
+          (Printf.sprintf "%s carries weight %d but can never be satisfied"
+             (clause_name "soft" i) w)
+      else check_clause_shape ctx ~n_vars ~kind:"soft" i lits)
+    soft;
+  check_duplicates ctx ~kind:"hard" ~rule:rule_duplicate_hard hard;
+  check_duplicates ctx ~kind:"soft" ~rule:rule_duplicate_soft
+    (List.map snd soft);
+  check_variables ctx ~n_vars ~hard ~soft;
+  check_subsumption ctx ~max_pairs:max_subsumption_pairs ~hard ~soft;
+  (let up = Unit_prop.create ~n_vars hard in
+   match Unit_prop.probe up [] with
+   | Unit_prop.Conflict ->
+     if expect_sat then
+       emit ctx Report.Error ~rule:rule_level0_conflict
+         "unit propagation alone refutes the hard clauses"
+     else
+       emit ctx Report.Info ~rule:rule_level0_conflict
+         "unit propagation refutes the hard clauses (expected for this instance)"
+   | Unit_prop.Consistent -> ());
+  flush_suppressed ctx;
+  ctx.report
+
+let check_instance ?expect_sat ?max_subsumption_pairs inst =
+  check ?expect_sat ?max_subsumption_pairs
+    ~n_vars:(Maxsat.Instance.n_vars inst)
+    ~hard:(Maxsat.Instance.hard inst)
+    ~soft:(Maxsat.Instance.soft inst)
+    ()
+
+let check_cnf ?expect_sat ?max_subsumption_pairs ~n_vars hard =
+  check ?expect_sat ?max_subsumption_pairs ~n_vars ~hard ~soft:[] ()

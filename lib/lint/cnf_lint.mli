@@ -1,0 +1,85 @@
+(** Structural and semantic lint rules for CNF / WCNF instances.
+
+    [check] inspects an instance without solving it.  Structural rules
+    look at clauses in isolation (range, tautology, duplicates, weights);
+    whole-instance rules need global views (pure and unconstrained
+    variables, bounded subsumption); semantic rules run the independent
+    {!Unit_prop} engine (level-0 refutation).
+
+    Severities: [Error] findings mean the instance is broken and solving
+    it is meaningless; [Warning] findings are encoding bugs in all but
+    unusual pipelines; [Info] findings are redundancy that legitimate
+    pipelines produce (e.g. pin units from sliced routing blocks subsume
+    the assignment clauses they tighten). *)
+
+(** {1 Rule identifiers} *)
+
+val rule_out_of_range : string (** [Error]: literal beyond [n_vars]. *)
+
+val rule_empty_hard : string (** [Error]: empty hard clause. *)
+
+val rule_level0_conflict : string
+(** [Error] (or [Info] when [expect_sat:false]): unit propagation alone
+    refutes the hard part. *)
+
+val rule_soft_weight : string (** [Error]: soft weight [<= 0]. *)
+
+val rule_tautology : string (** [Warning]: clause contains [l] and [-l]. *)
+
+val rule_duplicate_literal : string
+(** [Warning]: repeated literal inside one clause. *)
+
+val rule_duplicate_hard : string (** [Warning]: repeated hard clause. *)
+
+val rule_duplicate_soft : string
+(** [Warning]: two soft clauses with identical literals. *)
+
+val rule_empty_soft : string
+(** [Warning]: empty soft clause (its weight is a constant cost). *)
+
+val rule_dead_soft : string
+(** [Warning]: a hard clause subsumes a soft clause, so its weight can
+    never be lost — dead objective weight. *)
+
+val rule_pure_literal : string
+(** [Warning]: a variable used in the hard part occurs with a single
+    polarity across hard and soft clauses. *)
+
+val rule_unconstrained : string
+(** [Warning]: a variable below [n_vars] that occurs in no clause. *)
+
+val rule_hard_subsumes_hard : string
+(** [Info]: a hard clause strictly subsumes another hard clause. *)
+
+val rule_subsumption_truncated : string
+(** [Info]: the subsumption pass hit its pair budget and stopped. *)
+
+val rule_findings_suppressed : string
+(** [Info]: per-rule finding cap reached; remainder counted, not shown. *)
+
+(** {1 Entry points} *)
+
+val check :
+  ?expect_sat:bool ->
+  ?max_subsumption_pairs:int ->
+  n_vars:int ->
+  hard:Sat.Lit.t list list ->
+  soft:(int * Sat.Lit.t list) list ->
+  unit ->
+  Report.t
+(** [expect_sat] (default [true]) controls the severity of a level-0
+    refutation: routing pipelines probe deliberately over-constrained
+    blocks whose refutation is the expected answer, and pass [false].
+    [max_subsumption_pairs] (default [200_000]) bounds the number of
+    subset tests in the subsumption pass. *)
+
+val check_instance :
+  ?expect_sat:bool -> ?max_subsumption_pairs:int -> Maxsat.Instance.t -> Report.t
+
+val check_cnf :
+  ?expect_sat:bool ->
+  ?max_subsumption_pairs:int ->
+  n_vars:int ->
+  Sat.Lit.t list list ->
+  Report.t
+(** Plain CNF: [check] with no soft clauses. *)

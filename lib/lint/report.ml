@@ -1,0 +1,62 @@
+(* Lint findings: an append-only list with severity rollups. *)
+
+type severity = Info | Warning | Error
+
+type finding = {
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+(* Findings kept in reverse insertion order; materialised on read. *)
+type t = { rev : finding list; n : int }
+
+let empty = { rev = []; n = 0 }
+
+let add t severity ~rule message =
+  { rev = { rule; severity; message } :: t.rev; n = t.n + 1 }
+
+let addf t severity ~rule fmt =
+  Printf.ksprintf (fun msg -> add t severity ~rule msg) fmt
+
+let concat ts =
+  List.fold_left
+    (fun acc t ->
+      { rev = t.rev @ acc.rev; n = acc.n + t.n })
+    empty ts
+
+let findings t = List.rev t.rev
+
+let count t = t.n
+
+let rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let count_at_least sev t =
+  List.fold_left
+    (fun acc f -> if rank f.severity >= rank sev then acc + 1 else acc)
+    0 t.rev
+
+let by_rule t rule = List.filter (fun f -> f.rule = rule) (findings t)
+
+let has_rule t rule = List.exists (fun f -> f.rule = rule) t.rev
+
+let is_clean ?(at_least = Info) t = count_at_least at_least t = 0
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let pp fmt t =
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "%-7s %-24s %s@."
+        (severity_to_string f.severity)
+        f.rule f.message)
+    (findings t)
+
+let summary t =
+  Printf.sprintf "%d errors, %d warnings, %d notes"
+    (List.length (List.filter (fun f -> f.severity = Error) t.rev))
+    (List.length (List.filter (fun f -> f.severity = Warning) t.rev))
+    (List.length (List.filter (fun f -> f.severity = Info) t.rev))

@@ -1,0 +1,42 @@
+(** Lint findings and reports.
+
+    A report is an ordered list of findings, each tagged with the rule
+    that produced it and a severity: [Error] means the instance is broken
+    (out-of-range literals, a level-0 refutation, invalid soft weights),
+    [Warning] means the encoding is suspicious (dead soft weight, pure or
+    unconstrained variables, duplicates), [Info] is redundancy worth
+    knowing about but expected in some pipelines (e.g. unit clauses from
+    pinned seams subsume the clauses they tighten). *)
+
+type severity = Info | Warning | Error
+
+type finding = {
+  rule : string;  (** stable kebab-case rule identifier *)
+  severity : severity;
+  message : string;
+}
+
+type t
+
+val empty : t
+val add : t -> severity -> rule:string -> string -> t
+
+val addf :
+  t -> severity -> rule:string -> ('a, unit, string, t) format4 -> 'a
+
+val concat : t list -> t
+val findings : t -> finding list
+val count : t -> int
+val count_at_least : severity -> t -> int
+val by_rule : t -> string -> finding list
+val has_rule : t -> string -> bool
+
+val is_clean : ?at_least:severity -> t -> bool
+(** No findings at or above the given severity (default [Info], i.e. no
+    findings at all). *)
+
+val severity_to_string : severity -> string
+val pp : Format.formatter -> t -> unit
+
+val summary : t -> string
+(** One-line "E errors, W warnings, I notes" rollup. *)

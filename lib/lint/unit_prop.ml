@@ -1,0 +1,150 @@
+(* Counter-based unit propagation, independent of the CDCL engine.
+
+   Each clause tracks how many of its literals are currently true and
+   false; a clause with zero true literals and all-but-one false is unit,
+   all-false is a conflict.  Occurrence lists are keyed by the packed
+   literal representation.  [probe] undoes the previous probe by walking
+   the trail backwards, so repeated probes against the same clause set
+   cost only the propagation they trigger. *)
+
+type clause = {
+  lits : Sat.Lit.t array;
+  mutable n_true : int;
+  mutable n_false : int;
+}
+
+type t = {
+  n_vars : int;
+  clauses : clause array;
+  occ : int list array;  (* literal index -> clause ids containing it *)
+  assigns : int array;  (* variable -> -1 undef / 0 false / 1 true *)
+  trail : int array;  (* assigned variables, in assignment order *)
+  mutable trail_n : int;
+  units : Sat.Lit.t list;  (* unit clauses of the set *)
+  has_empty : bool;
+}
+
+type outcome = Consistent | Conflict
+
+let create ~n_vars clauses =
+  let n_vars =
+    List.fold_left
+      (fun acc c ->
+        List.fold_left (fun acc l -> max acc (Sat.Lit.var l + 1)) acc c)
+      (max 0 n_vars) clauses
+  in
+  let normalized = List.filter_map Sat.Sink.normalize clauses in
+  let has_empty = List.exists (fun c -> c = []) normalized in
+  let units =
+    List.filter_map (function [ l ] -> Some l | _ -> None) normalized
+  in
+  let long = List.filter (fun c -> List.length c >= 2) normalized in
+  let clauses =
+    Array.of_list
+      (List.map
+         (fun c -> { lits = Array.of_list c; n_true = 0; n_false = 0 })
+         long)
+  in
+  let occ = Array.make (2 * max 1 n_vars) [] in
+  Array.iteri
+    (fun id c ->
+      Array.iter
+        (fun l ->
+          let i = Sat.Lit.to_int l in
+          occ.(i) <- id :: occ.(i))
+        c.lits)
+    clauses;
+  {
+    n_vars;
+    clauses;
+    occ;
+    assigns = Array.make (max 1 n_vars) (-1);
+    trail = Array.make (max 1 n_vars) 0;
+    trail_n = 0;
+    units;
+    has_empty;
+  }
+
+let n_vars t = t.n_vars
+
+let reset t =
+  for i = t.trail_n - 1 downto 0 do
+    let v = t.trail.(i) in
+    let truth = t.assigns.(v) in
+    let true_lit = Sat.Lit.of_var ~sign:(truth = 1) v in
+    List.iter
+      (fun id -> t.clauses.(id).n_true <- t.clauses.(id).n_true - 1)
+      t.occ.(Sat.Lit.to_int true_lit);
+    List.iter
+      (fun id -> t.clauses.(id).n_false <- t.clauses.(id).n_false - 1)
+      t.occ.(Sat.Lit.to_int (Sat.Lit.neg true_lit));
+    t.assigns.(v) <- -1
+  done;
+  t.trail_n <- 0
+
+let value t l =
+  let v = t.assigns.(Sat.Lit.var l) in
+  if v < 0 then -1 else if Sat.Lit.sign l then v else 1 - v
+
+exception Found_conflict
+
+(* Assign [l] true and update counters; newly-unit clauses push their
+   forced literal onto [queue]. *)
+let assign t queue l =
+  match value t l with
+  | 1 -> ()
+  | 0 -> raise Found_conflict
+  | _ ->
+    let v = Sat.Lit.var l in
+    t.assigns.(v) <- (if Sat.Lit.sign l then 1 else 0);
+    t.trail.(t.trail_n) <- v;
+    t.trail_n <- t.trail_n + 1;
+    List.iter
+      (fun id ->
+        let c = t.clauses.(id) in
+        c.n_true <- c.n_true + 1)
+      t.occ.(Sat.Lit.to_int l);
+    (* Finish every counter update before signalling a conflict: [reset]
+       undoes the whole trail entry symmetrically, so bailing out halfway
+       through this loop would leave counters skewed for later probes. *)
+    let conflict = ref false in
+    List.iter
+      (fun id ->
+        let c = t.clauses.(id) in
+        c.n_false <- c.n_false + 1;
+        let len = Array.length c.lits in
+        if c.n_false = len then conflict := true
+        else if (not !conflict) && c.n_true = 0 && c.n_false = len - 1 then begin
+          (* Unit: find the one unassigned literal. *)
+          let forced = ref None in
+          Array.iter
+            (fun q -> if value t q = -1 then forced := Some q)
+            c.lits;
+          match !forced with
+          | Some q -> Queue.push q queue
+          | None -> ()
+          (* a literal of the clause was satisfied concurrently *)
+        end)
+      t.occ.(Sat.Lit.to_int (Sat.Lit.neg l));
+    if !conflict then raise Found_conflict
+
+let probe t assumptions =
+  reset t;
+  if t.has_empty then Conflict
+  else
+    try
+      let queue = Queue.create () in
+      List.iter (fun l -> Queue.push l queue) t.units;
+      List.iter (fun l -> Queue.push l queue) assumptions;
+      while not (Queue.is_empty queue) do
+        assign t queue (Queue.pop queue)
+      done;
+      Consistent
+    with Found_conflict -> Conflict
+
+let implies t assumptions l =
+  match probe t assumptions with
+  | Conflict -> true
+  | Consistent -> value t l = 1
+
+let refutes t assumptions = probe t assumptions = Conflict

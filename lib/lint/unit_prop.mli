@@ -1,0 +1,36 @@
+(** Standalone level-0 unit propagation over a fixed clause set.
+
+    This is the lint engine's semantic probe: a counter-based propagator
+    that shares no code with {!Sat.Solver}, so it can audit instances
+    (and the solver) independently.  A [t] is built once per clause set;
+    [probe] resets the assignment, asserts the given literals together
+    with all unit clauses, and propagates to fixpoint.  Each probe costs
+    time proportional to the propagation it triggers, so thousands of
+    probes against one instance are cheap. *)
+
+type t
+
+type outcome = Consistent | Conflict
+
+val create : n_vars:int -> Sat.Lit.t list list -> t
+(** Tautological clauses are ignored (they can neither propagate nor
+    conflict); literals beyond [n_vars] extend the variable range rather
+    than raising, so the engine can be pointed at malformed instances the
+    lint rules are about to flag. *)
+
+val n_vars : t -> int
+
+val probe : t -> Sat.Lit.t list -> outcome
+(** Assert the literals (plus the clause set's units) and propagate.
+    Contradictory assumptions are a [Conflict]. *)
+
+val value : t -> Sat.Lit.t -> int
+(** Value of a literal under the most recent [probe]: -1 undefined,
+    0 false, 1 true. *)
+
+val implies : t -> Sat.Lit.t list -> Sat.Lit.t -> bool
+(** [implies t assumptions l]: after probing [assumptions], either the
+    probe conflicts (vacuous truth) or [l] is propagated true. *)
+
+val refutes : t -> Sat.Lit.t list -> bool
+(** [refutes t assumptions]: the probe ends in a conflict. *)

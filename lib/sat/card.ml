@@ -6,7 +6,7 @@
    O(|Phys| * |Logic| * |C|).  The pairwise encoding is kept both as a
    baseline (EX-MQT-like uses it) and for differential testing. *)
 
-type encoding = Pairwise | Sequential
+type encoding = Pairwise | Sequential | Commander
 
 let at_least_one (sink : Sink.t) lits =
   match lits with
@@ -39,10 +39,50 @@ let at_most_one_sequential (sink : Sink.t) lits =
     sink.add_clause [ Lit.neg arr.(n - 1); Lit.neg s.(n - 2) ]
   end
 
+(* Commander encoding (Klieber & Kwon): partition the literals into groups
+   of [group_size], AMO pairwise within each group, introduce a commander
+   variable per group that is true iff its group contains the true
+   literal, and recurse on the commanders.  Linear in the number of
+   literals, like the sequential counter, but with a shallower
+   propagation structure (two implication hops between any two input
+   literals instead of a counter chain). *)
+let commander_group_size = 3
+
+let rec at_most_one_commander (sink : Sink.t) lits =
+  let n = List.length lits in
+  if n <= commander_group_size + 1 then at_most_one_pairwise sink lits
+  else begin
+    let rec split acc group k = function
+      | [] -> List.rev (if group = [] then acc else List.rev group :: acc)
+      | l :: rest ->
+        if k = commander_group_size then
+          split (List.rev group :: acc) [ l ] 1 rest
+        else split acc (l :: group) (k + 1) rest
+    in
+    let groups = split [] [] 0 lits in
+    let commanders =
+      List.map
+        (fun group ->
+          let c = Lit.of_var (sink.fresh_var ()) in
+          at_most_one_pairwise sink group;
+          (* any group member forces the commander ... *)
+          List.iter (fun l -> sink.add_clause [ Lit.neg l; c ]) group;
+          (* ... and the commander requires a member (keeps c exact, so
+             exactly-one over the inputs needs no extra clauses and no
+             auxiliary variable is left unconstrained in either
+             polarity). *)
+          sink.add_clause (Lit.neg c :: group);
+          c)
+        groups
+    in
+    at_most_one_commander sink commanders
+  end
+
 let at_most_one ?(encoding = Sequential) sink lits =
   match encoding with
   | Pairwise -> at_most_one_pairwise sink lits
   | Sequential -> at_most_one_sequential sink lits
+  | Commander -> at_most_one_commander sink lits
 
 let exactly_one ?(encoding = Sequential) sink lits =
   at_least_one sink lits;

@@ -2,9 +2,12 @@
 
     The [Sequential] encoding (Sinz counters; the linear "only-one" family
     cited by the paper) is the default; [Pairwise] is quadratic and used by
-    the deliberately-naive EX-MQT-like baseline and by tests. *)
+    the deliberately-naive EX-MQT-like baseline and by tests; [Commander]
+    (Klieber & Kwon) is the linear alternative with a shallower
+    propagation structure — groups of three with a commander variable
+    each, recursing on the commanders. *)
 
-type encoding = Pairwise | Sequential
+type encoding = Pairwise | Sequential | Commander
 
 val at_least_one : Sink.t -> Lit.t list -> unit
 val at_most_one : ?encoding:encoding -> Sink.t -> Lit.t list -> unit

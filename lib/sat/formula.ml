@@ -44,31 +44,41 @@ let rec nnf pos f =
   | Imp (a, b), _ -> nnf pos (Or [ Not a; b ])
   | Iff (a, b), _ -> nnf pos (And [ Imp (a, b); Imp (b, a) ])
 
+(* Clause insertion used by the clausifier: duplicate literals are dropped
+   and tautologies discarded.  Tseitin over syntactically overlapping
+   subformulas is where both arise naturally (e.g. [Or [a; a]] or
+   [Or [a; Not a]]), and emitting them as-is would pollute the solver's
+   clause database and the lint engine's duplicate detection. *)
+let add_clause (sink : Sink.t) lits =
+  match Sink.normalize lits with
+  | None -> ()
+  | Some c -> sink.add_clause c
+
 (* Tseitin: return a literal equivalent (in the one-directional, polarity-
    sufficient sense) to the NNF formula, introducing definitions. *)
 let rec to_lit (sink : Sink.t) f =
   match f with
   | True ->
     let v = Lit.of_var (sink.fresh_var ()) in
-    sink.add_clause [ v ];
+    add_clause sink [ v ];
     v
   | False ->
     let v = Lit.of_var (sink.fresh_var ()) in
-    sink.add_clause [ Lit.neg v ];
+    add_clause sink [ Lit.neg v ];
     v
   | Atom l -> l
   | And gs ->
     let ls = List.map (to_lit sink) gs in
     let d = Lit.of_var (sink.fresh_var ()) in
     (* d -> each conjunct, and conjuncts -> d *)
-    List.iter (fun l -> sink.add_clause [ Lit.neg d; l ]) ls;
-    sink.add_clause (d :: List.map Lit.neg ls);
+    List.iter (fun l -> add_clause sink [ Lit.neg d; l ]) ls;
+    add_clause sink (d :: List.map Lit.neg ls);
     d
   | Or gs ->
     let ls = List.map (to_lit sink) gs in
     let d = Lit.of_var (sink.fresh_var ()) in
-    sink.add_clause (Lit.neg d :: ls);
-    List.iter (fun l -> sink.add_clause [ d; Lit.neg l ]) ls;
+    add_clause sink (Lit.neg d :: ls);
+    List.iter (fun l -> add_clause sink [ d; Lit.neg l ]) ls;
     d
   | Not _ | Imp _ | Iff _ -> to_lit sink (nnf true f)
 
@@ -77,8 +87,8 @@ let rec to_lit (sink : Sink.t) f =
 let rec assert_in (sink : Sink.t) f =
   match nnf true f with
   | True -> ()
-  | False -> sink.add_clause []
-  | Atom l -> sink.add_clause [ l ]
+  | False -> add_clause sink []
+  | Atom l -> add_clause sink [ l ]
   | And gs -> List.iter (assert_in sink) gs
   | Or gs ->
     (* Flatten a disjunction into one clause when all disjuncts are
@@ -91,7 +101,7 @@ let rec assert_in (sink : Sink.t) f =
           | other -> to_lit sink other)
         gs
     in
-    sink.add_clause clause
+    add_clause sink clause
   | (Not _ | Imp _ | Iff _) as g ->
     (* nnf eliminates these constructors. *)
-    sink.add_clause [ to_lit sink g ]
+    add_clause sink [ to_lit sink g ]

@@ -18,6 +18,11 @@ val eval : (Lit.var -> bool) -> t -> bool
 val nnf : bool -> t -> t
 (** [nnf pos f] pushes negations to the atoms; [pos = false] negates. *)
 
+val add_clause : Sink.t -> Lit.t list -> unit
+(** Normalized clause insertion: duplicate literals are dropped and
+    tautologies are discarded (see {!Sink.normalize}).  All clauses
+    emitted by {!to_lit} and {!assert_in} go through this. *)
+
 val to_lit : Sink.t -> t -> Lit.t
 (** Clausify, returning a literal equisatisfiable with the formula. *)
 

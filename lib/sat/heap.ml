@@ -82,6 +82,27 @@ let remove_min t =
   if t.size > 0 then percolate_down t 0;
   top
 
+(* Structural self-check for the solver's sanitizer: the position map and
+   the heap array must be mutually inverse, and the heap property must
+   hold at every edge. *)
+let check_exn t =
+  if t.size < 0 || t.size > Array.length t.heap then
+    failwith "Heap.check_exn: size out of bounds";
+  for i = 0 to t.size - 1 do
+    let x = t.heap.(i) in
+    if x < 0 || x >= Array.length t.indices then
+      failwith "Heap.check_exn: element out of index range";
+    if t.indices.(x) <> i then
+      failwith "Heap.check_exn: index map disagrees with heap array";
+    if i > 0 && t.lt x t.heap.((i - 1) / 2) then
+      failwith "Heap.check_exn: heap property violated"
+  done;
+  Array.iteri
+    (fun x pos ->
+      if pos >= 0 && (pos >= t.size || t.heap.(pos) <> x) then
+        failwith "Heap.check_exn: stale index entry")
+    t.indices
+
 (* Re-establish heap order for [x] after its priority changed. *)
 let update t x =
   if mem t x then begin

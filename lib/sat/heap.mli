@@ -14,3 +14,7 @@ val mem : t -> int -> bool
 val insert : t -> int -> unit
 val remove_min : t -> int
 val update : t -> int -> unit
+
+val check_exn : t -> unit
+(** Verify the heap property and the element/position index maps; raises
+    [Failure] on corruption.  Used by the solver's invariant sanitizer. *)

@@ -37,6 +37,57 @@ let builder_n_vars b = b.next_var
 
 let builder_n_clauses b = Vec.size b.clauses
 
+(* ------------------------------------------------------------------ *)
+(* Insertion-time clause hygiene.
+
+   Generators occasionally produce clauses with repeated literals (e.g. a
+   Tseitin disjunction over syntactically equal subformulas) or outright
+   tautologies.  Both are semantically harmless but inflate the clause
+   count, defeat duplicate detection downstream, and — for tautologies —
+   waste watch-list slots forever.  [normalize] canonicalises a clause;
+   [sanitizing] wraps a sink so every insertion is normalized, with the
+   deltas recorded for lint reports. *)
+
+let normalize lits =
+  (* Sorting by the packed representation puts the two literals of a
+     variable next to each other, so duplicate *variables* are adjacent. *)
+  let sorted = List.sort_uniq Lit.compare lits in
+  let rec tautological = function
+    | a :: (b :: _ as rest) ->
+      Lit.var a = Lit.var b || tautological rest
+    | [] | [ _ ] -> false
+  in
+  if tautological sorted then None else Some sorted
+
+type sanitize_stats = {
+  mutable clauses_seen : int;
+  mutable tautologies_dropped : int;
+  mutable duplicate_literals_dropped : int;
+}
+
+let sanitize_stats () =
+  { clauses_seen = 0; tautologies_dropped = 0; duplicate_literals_dropped = 0 }
+
+let sanitizing ?stats sink =
+  let record f = match stats with None -> () | Some s -> f s in
+  {
+    sink with
+    add_clause =
+      (fun c ->
+        record (fun s -> s.clauses_seen <- s.clauses_seen + 1);
+        match normalize c with
+        | None ->
+          record (fun s ->
+              s.tautologies_dropped <- s.tautologies_dropped + 1)
+        | Some c' ->
+          let dropped = List.length c - List.length c' in
+          if dropped > 0 then
+            record (fun s ->
+                s.duplicate_literals_dropped <-
+                  s.duplicate_literals_dropped + dropped);
+          sink.add_clause c');
+  }
+
 (* A sink that duplicates everything into two sinks with the same variable
    numbering (e.g. a solver and a builder used for DIMACS export). *)
 let tee a b =

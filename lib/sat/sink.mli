@@ -22,3 +22,23 @@ val builder_n_clauses : builder -> int
 val tee : t -> t -> t
 (** Duplicate clauses and variable allocation into two sinks.  Both sinks
     must allocate identical variable numbers. *)
+
+val normalize : Lit.t list -> Lit.t list option
+(** Canonicalise a clause: sort, drop duplicate literals, and return
+    [None] when the clause is a tautology (contains [l] and [neg l]). *)
+
+type sanitize_stats = {
+  mutable clauses_seen : int;
+  mutable tautologies_dropped : int;
+  mutable duplicate_literals_dropped : int;
+}
+(** Insertion-hygiene counters, reported by the lint engine as
+    clause-count deltas. *)
+
+val sanitize_stats : unit -> sanitize_stats
+(** Fresh all-zero counters. *)
+
+val sanitizing : ?stats:sanitize_stats -> t -> t
+(** Wrap a sink so every inserted clause is {!normalize}d: duplicate
+    literals are dropped and tautologies are discarded entirely, with the
+    deltas accumulated into [stats]. *)

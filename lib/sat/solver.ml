@@ -187,8 +187,15 @@ type t = {
      clause; when set, every learnt clause, level-0 refutation and
      [reduce_db] eviction is reported (see {!Proof}). *)
   mutable proof : Proof.sink option;
+  (* Invariant sanitizer: when true, [sanitize_check] runs every
+     [sanitize_interval] conflicts (and the model is re-checked against
+     the problem clauses at every Sat).  Off by default; one boolean test
+     per conflict when off. *)
+  mutable sanitize : bool;
   stats : stats;
 }
+
+exception Sanitizer_violation of string
 
 let emit_learn t lits =
   match t.proof with
@@ -221,7 +228,16 @@ let clause_decay = 1.0 /. 0.999
    clock read is invisible in the propagation rate. *)
 let deadline_check_interval = 2048
 
-let create () =
+(* Conflicts between sanitizer passes (power of two: tested with a mask). *)
+let sanitize_interval = 1024
+
+let sanitize_default =
+  lazy
+    (match Sys.getenv_opt "SATMAP_SANITIZE" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | Some _ | None -> false)
+
+let create ?sanitize () =
   let solver =
     {
       clauses = Vec.create ~dummy:dummy_clause;
@@ -250,6 +266,10 @@ let create () =
       stop = false;
       prop_countdown = deadline_check_interval;
       proof = None;
+      sanitize =
+        (match sanitize with
+        | Some b -> b
+        | None -> Lazy.force sanitize_default);
       stats =
         {
           conflicts = 0;
@@ -636,6 +656,135 @@ let attach t c =
     Vec.push t.watches.((c.lits.(1) :> int)) { cref = c; blocker = c.lits.(0) }
   end
 
+(* ------------------------------------------------------------------ *)
+(* Invariant sanitizer.  Structural self-checks over the solver state,
+   run every [sanitize_interval] conflicts when [t.sanitize] is set (and
+   on demand from tests).  Each check is a solver invariant that CDCL
+   correctness depends on; a violation means the engine itself — not the
+   input formula — is broken, so it raises instead of returning. *)
+
+let fail_sanitize fmt =
+  Printf.ksprintf (fun msg -> raise (Sanitizer_violation msg)) fmt
+
+let sanitize_check t =
+  let n_lits = 2 * t.nvars in
+  (* Trail, assignment and level consistency. *)
+  let n_trail = Vec.size t.trail in
+  if t.qhead > n_trail then fail_sanitize "qhead %d beyond trail %d" t.qhead n_trail;
+  let n_lims = Vec.size t.trail_lim in
+  for d = 0 to n_lims - 1 do
+    let b = Vec.get t.trail_lim d in
+    if b < 0 || b > n_trail then fail_sanitize "trail_lim %d out of range" b;
+    if d > 0 && b < Vec.get t.trail_lim (d - 1) then
+      fail_sanitize "trail_lim not monotone"
+  done;
+  let seg = ref 0 in
+  for i = 0 to n_trail - 1 do
+    let l = Vec.get t.trail i in
+    let v = Lit.var l in
+    while !seg < n_lims && Vec.get t.trail_lim !seg <= i do incr seg done;
+    if value_lit t l <> 1 then
+      fail_sanitize "trail literal %d not assigned true" (Lit.to_int l);
+    if t.level.(v) <> !seg then
+      fail_sanitize "trail var %d has level %d, expected %d" v t.level.(v) !seg;
+    match t.reason.(v) with
+    | None -> ()
+    | Some c ->
+      if c.removed then fail_sanitize "reason clause of var %d is removed" v;
+      if not (Array.exists (Lit.equal l) c.lits) then
+        fail_sanitize "reason clause of var %d misses its literal" v;
+      Array.iter
+        (fun q ->
+          if (not (Lit.equal q l)) && value_lit t q <> 0 then
+            fail_sanitize "reason clause of var %d not falsified elsewhere" v)
+        c.lits
+  done;
+  let assigned = ref 0 in
+  for v = 0 to t.nvars - 1 do
+    if t.assigns.(v) >= 0 then incr assigned
+  done;
+  if !assigned <> n_trail then
+    fail_sanitize "%d assigned vars but trail holds %d" !assigned n_trail;
+  (* VSIDS order: internal heap consistency, and every unassigned variable
+     must be decidable (member of the heap). *)
+  (try Heap.check_exn !(t.order)
+   with Failure msg -> fail_sanitize "%s" msg);
+  for v = 0 to t.nvars - 1 do
+    if t.assigns.(v) < 0 && not (Heap.mem !(t.order) v) then
+      fail_sanitize "unassigned var %d missing from VSIDS heap" v
+  done;
+  (* Watcher coherence: every live watcher sits on one of the clause's
+     first two literals and carries a blocker from the clause. *)
+  for i = 0 to n_lits - 1 do
+    let key = i in
+    Vec.iter
+      (fun (w : watcher) ->
+        if not w.cref.removed then begin
+          let lits = w.cref.lits in
+          if Array.length lits < 3 then
+            fail_sanitize "short clause in long-clause watch list %d" key;
+          if
+            not
+              (Lit.to_int lits.(0) = key || Lit.to_int lits.(1) = key)
+          then fail_sanitize "watcher at %d not on a watched literal" key;
+          if not (Array.exists (Lit.equal w.blocker) lits) then
+            fail_sanitize "blocker at %d not a literal of its clause" key
+        end)
+      t.watches.(i);
+    Vec.iter
+      (fun (bw : bin_watcher) ->
+        if not bw.bin_cref.removed then begin
+          let lits = bw.bin_cref.lits in
+          if Array.length lits <> 2 then
+            fail_sanitize "non-binary clause in binary list %d" key;
+          let a = Lit.to_int lits.(0) and b = Lit.to_int lits.(1) in
+          let o = Lit.to_int bw.implied in
+          if not ((a = key && b = o) || (b = key && a = o)) then
+            fail_sanitize "binary watcher at %d disagrees with its clause" key
+        end)
+      t.bin_watches.(i)
+  done;
+  (* Attachment: every live clause is present in the lists it must be
+     watched from (binary lists are symmetric by this check applied to
+     both literals). *)
+  let check_attached (c : clause) =
+    if not c.removed then begin
+      let len = Array.length c.lits in
+      if len < 2 then fail_sanitize "attached clause of length %d" len;
+      if len = 2 then begin
+        let present this other =
+          Vec.exists
+            (fun (bw : bin_watcher) ->
+              bw.bin_cref == c && Lit.equal bw.implied other)
+            t.bin_watches.(Lit.to_int this)
+        in
+        if not (present c.lits.(0) c.lits.(1) && present c.lits.(1) c.lits.(0))
+        then fail_sanitize "binary clause not symmetrically attached"
+      end
+      else begin
+        let present this =
+          Vec.exists (fun (w : watcher) -> w.cref == c)
+            t.watches.(Lit.to_int this)
+        in
+        if not (present c.lits.(0) && present c.lits.(1)) then
+          fail_sanitize "clause not attached at its first two literals"
+      end
+    end
+  in
+  Vec.iter check_attached t.clauses;
+  Vec.iter check_attached t.learnts
+
+(* At a Sat exit the full assignment must satisfy every problem clause —
+   the cheapest end-to-end refutation of watch-list or propagation bugs. *)
+let sanitize_check_model t =
+  Vec.iter
+    (fun (c : clause) ->
+      if
+        (not c.removed)
+        && not (Array.exists (fun l -> value_lit t l = 1) c.lits)
+      then fail_sanitize "model falsifies a problem clause")
+    t.clauses
+
 let record_learnt t lits lbd =
   emit_learn t lits;
   t.stats.learnt_clauses <- t.stats.learnt_clauses + 1;
@@ -829,6 +978,10 @@ let solve_with_core ?(assumptions = []) ?deadline t =
              record_learnt t lits lbd;
              var_decay_activity t;
              clause_decay_activity t;
+             if
+               t.sanitize
+               && t.stats.conflicts land (sanitize_interval - 1) = 0
+             then sanitize_check t;
              (* The propagation countdown covers long conflict-free runs;
                 this covers analysis-heavy stretches of short ones. *)
              if
@@ -872,6 +1025,7 @@ let solve_with_core ?(assumptions = []) ?deadline t =
                done;
                if !v < 0 then begin
                  (* All variables assigned: model found. *)
+                 if t.sanitize then sanitize_check_model t;
                  t.model <- Array.sub t.assigns 0 t.nvars;
                  raise (Found_result Sat)
                end;
@@ -906,6 +1060,10 @@ let model_value t v =
   t.model.(v) = 1
 
 let set_proof_sink t sink = t.proof <- sink
+
+let set_sanitize t b = t.sanitize <- b
+
+let sanitize_enabled t = t.sanitize
 
 let stats t = t.stats
 

@@ -67,7 +67,18 @@ val sub_totals : totals -> totals -> totals
 val totals_props_per_second : totals -> float
 val totals_avg_lbd : totals -> float
 
-val create : unit -> t
+exception Sanitizer_violation of string
+(** Raised by the invariant sanitizer: a structural solver invariant —
+    not a property of the input formula — was found violated. *)
+
+val create : ?sanitize:bool -> unit -> t
+(** [sanitize] arms the invariant sanitizer: watch-list integrity
+    (including blocker coherence), binary-list symmetry, trail/level/
+    reason consistency and VSIDS-heap membership are checked every 1024
+    conflicts, and the assignment is re-checked against every problem
+    clause before [Sat] is returned.  Defaults to the [SATMAP_SANITIZE]
+    environment variable ([1]/[true]/[yes]/[on]); costs a single boolean
+    test per conflict when off. *)
 
 val new_var : t -> Lit.var
 (** Allocate a fresh variable (numbered consecutively from 0). *)
@@ -103,6 +114,17 @@ val model_value : t -> Lit.var -> bool
 val value_lit : t -> Lit.t -> int
 (** Current assignment of a literal: -1 undefined, 0 false, 1 true.  At
     decision level 0 this exposes the roots implied by the clause set. *)
+
+val set_sanitize : t -> bool -> unit
+(** Arm or disarm the invariant sanitizer (see {!create}). *)
+
+val sanitize_enabled : t -> bool
+
+val sanitize_check : t -> unit
+(** Run the invariant sanitizer once, immediately.  Raises
+    {!Sanitizer_violation} on corruption; a no-op on a healthy solver.
+    Exposed for tests and for post-mortem checks around a suspect
+    [solve] call. *)
 
 val set_proof_sink : t -> Proof.sink option -> unit
 (** Install (or remove) a proof-event sink.  While a sink is installed the

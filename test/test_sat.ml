@@ -657,6 +657,8 @@ let suite =
           (check_amo_encoding Sat.Card.Pairwise);
         Alcotest.test_case "amo sequential" `Quick
           (check_amo_encoding Sat.Card.Sequential);
+        Alcotest.test_case "amo commander" `Quick
+          (check_amo_encoding Sat.Card.Commander);
         Alcotest.test_case "exactly one" `Quick test_exactly_one;
         Alcotest.test_case "at most k" `Quick test_at_most_k;
         qtest prop_totalizer_counts;
