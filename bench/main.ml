@@ -24,6 +24,7 @@ let opt_no_micro = ref false
 let opt_json : string option ref = ref None
 let opt_smoke = ref false
 let opt_certify = ref false
+let opt_trace : string option ref = ref None
 
 let args =
   [
@@ -45,6 +46,10 @@ let args =
      " log DRUP proofs in the SATMAP runs and re-check every infeasible \
       bound with the independent checker; trace sizes and checking time \
       land in the --json snapshot (on by default under --smoke)");
+    ("--trace", Arg.String (fun s -> opt_trace := Some s),
+     "PREFIX record a Chrome trace_events timeline of each main-set SATMAP \
+      run and write it to PREFIX-<benchmark>.json (open in chrome://tracing \
+      or ui.perfetto.dev)");
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -195,11 +200,35 @@ type main_row = {
   tb_olsq : run;
   satmap : run;
   satmap_sat : Sat.Solver.totals;  (** solver counters of the SATMAP run *)
+  obs_events : int;  (** trace events recorded during the SATMAP run *)
+  obs_metrics : (string * float) list;
+      (** per-run observability counters (metrics are reset around each
+          SATMAP run, so these are this run's alone) *)
   nl_satmap : run;
   sabre : run;
   tket : run;
   astar : run;
 }
+
+(* Run the SATMAP member of a row with per-row observability: metrics are
+   reset so their snapshot is attributable to this run, and when --trace
+   is given the run's timeline goes to PREFIX-<name>.json. *)
+let run_satmap_observed (b : Workloads.Suite.benchmark) =
+  Obs.Metrics.reset ();
+  if !opt_trace <> None then begin
+    Obs.Trace.clear ();
+    Obs.Trace.enable ()
+  end;
+  let satmap, satmap_sat = with_sat_totals (fun () -> run_satmap b) in
+  let obs_events = Obs.Trace.recorded () in
+  Option.iter
+    (fun prefix ->
+      let path = Printf.sprintf "%s-%s.json" prefix b.name in
+      Obs.Trace.write_chrome path;
+      Obs.Trace.disable ();
+      Printf.eprintf "[bench] trace: %s (%d events)\n%!" path obs_events)
+    !opt_trace;
+  (satmap, satmap_sat, obs_events, Obs.Metrics.snapshot ())
 
 let main_rows : main_row list Lazy.t =
   lazy
@@ -207,13 +236,17 @@ let main_rows : main_row list Lazy.t =
        (fun (b : Workloads.Suite.benchmark) ->
          Printf.eprintf "[bench] main set: %s (%d two-qubit gates)\n%!" b.name
            b.n_two_qubit;
-         let satmap, satmap_sat = with_sat_totals (fun () -> run_satmap b) in
+         let satmap, satmap_sat, obs_events, obs_metrics =
+           run_satmap_observed b
+         in
          {
            bench = b;
            ex_mqt = run_ex_mqt b;
            tb_olsq = run_tb_olsq b;
            satmap;
            satmap_sat;
+           obs_events;
+           obs_metrics;
            nl_satmap = run_nl_satmap b;
            sabre = run_sabre b;
            tket = run_tket b;
@@ -811,6 +844,18 @@ let json_of_proof (r : run) =
     r.certified r.proof_events
     (json_float r.certify_seconds)
 
+let json_of_metrics metrics =
+  Printf.sprintf "{%s}"
+    (String.concat ", "
+       (List.map
+          (fun (k, v) ->
+            Printf.sprintf "\"%s\": %s" (json_escape k) (json_float v))
+          metrics))
+
+let json_of_obs ~events metrics =
+  Printf.sprintf "{\"trace_events\": %d, \"metrics\": %s}" events
+    (json_of_metrics metrics)
+
 let write_json path =
   let rows = Lazy.force main_rows in
   let oc = open_out path in
@@ -819,7 +864,8 @@ let write_json path =
       "    {\"name\": \"%s\", \"family\": \"%s\", \"two_qubit\": %d, \
        \"solved\": %b, \"swaps\": %d, \"seconds\": %s, \"optimal\": %b,\n\
       \     \"solver\": %s,\n\
-      \     \"proof\": %s}"
+      \     \"proof\": %s,\n\
+      \     \"obs\": %s}"
       (json_escape r.bench.Workloads.Suite.name)
       (json_escape r.bench.family)
       r.bench.n_two_qubit r.satmap.solved
@@ -828,6 +874,7 @@ let write_json path =
       r.satmap.optimal
       (json_of_totals r.satmap_sat ~wall:r.satmap.seconds)
       (json_of_proof r.satmap)
+      (json_of_obs ~events:r.obs_events r.obs_metrics)
   in
   let total_wall =
     List.fold_left (fun acc r -> acc +. r.satmap.seconds) 0.0 rows
@@ -865,6 +912,22 @@ let write_json path =
       rows
   in
   let solved = List.length (List.filter (fun r -> r.satmap.solved) rows) in
+  (* Counter-style metrics sum meaningfully across rows; the few gauges
+     (e.g. sat.props_per_s) are summed too — read them per-row instead. *)
+  let obs_totals =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (k, v) ->
+            Hashtbl.replace tbl k
+              (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl k)))
+          r.obs_metrics)
+      rows;
+    json_of_obs
+      ~events:(List.fold_left (fun acc r -> acc + r.obs_events) 0 rows)
+      (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []))
+  in
   let proof_totals =
     let solved_rows = List.filter (fun r -> r.satmap.solved) rows in
     Printf.sprintf
@@ -886,13 +949,14 @@ let write_json path =
     \  \"solved\": %d,\n\
     \  \"solver_totals\": %s,\n\
     \  \"proof_totals\": %s,\n\
+    \  \"obs_totals\": %s,\n\
     \  \"benchmarks\": [\n%s\n  ]\n\
      }\n"
     (if !opt_smoke then "smoke" else if !opt_full then "full" else "quick")
     (json_float (timeout ()))
     (List.length rows) solved
     (json_of_totals sum ~wall:total_wall)
-    proof_totals
+    proof_totals obs_totals
     (String.concat ",\n" (List.map row_json rows));
   close_out oc;
   Printf.printf "\nwrote %s: %d benchmarks, %d solved, %.0f props/s\n" path

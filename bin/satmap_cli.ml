@@ -10,10 +10,12 @@
 
    Exit codes (cmdliner reserves 123-125 for usage/internal errors):
      0  success
-     1  routing failed (unsatisfiable, timeout, memory guard)
+     1  routing failed (unsatisfiable, timeout, memory guard, or a
+        routing-internal check failure — the Router.route_* entry points
+        return Failed rather than raising)
      2  the input circuit does not parse
-     3  a check failed: lint findings, verifier rejection, or a broken
-        internal invariant *)
+     3  a check failed outside the routing path: lint findings, or a
+        broken invariant in a non-routing subcommand *)
 
 open Cmdliner
 
@@ -139,6 +141,28 @@ let certify =
            infeasible bound with the independent proof checker; reports \
            whether the optimum is certified and the checking overhead.")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a timeline of the run (solver calls, MaxSAT descent \
+           iterations, router blocks, portfolio members) and write it to \
+           $(docv) in Chrome trace_events JSON; open it in \
+           chrome://tracing or ui.perfetto.dev.")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt ~vopt:(Some "metrics.json") (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write process-wide counters (solver conflicts/propagations, \
+           MaxSAT iterations, router blocks/backtracks/escalations) as \
+           flat JSON to $(docv); defaults to metrics.json when the flag \
+           is given bare.")
+
 (* ------------------------------------------------------------------ *)
 (* route *)
 
@@ -173,9 +197,26 @@ let lint_blocks =
            with exit code 3.")
 
 let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
-    parallel stats_flag certify lint_blocks =
+    parallel stats_flag certify lint_blocks trace metrics =
  guarded @@ fun () ->
   Sat.Solver.reset_totals ();
+  Obs.Metrics.reset ();
+  if trace <> None then Obs.Trace.enable ();
+  (* Exports run in both the success and the failure branch so a timed-out
+     or unsatisfiable route still leaves its timeline behind. *)
+  let finish_obs () =
+    Option.iter
+      (fun path ->
+        Obs.Trace.write_chrome path;
+        Format.printf "trace:         %s (%d events, %d dropped)@." path
+          (Obs.Trace.recorded ()) (Obs.Trace.dropped ()))
+      trace;
+    Option.iter
+      (fun path ->
+        Obs.Metrics.write_json path;
+        Format.printf "metrics:       %s@." path)
+      metrics
+  in
   let circuit = Quantum.Qasm.of_file qasm in
   let objective =
     if noise then
@@ -191,6 +232,16 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
       certify;
       lint_blocks;
     }
+  in
+  let span =
+    if Obs.Trace.enabled () then
+      Obs.Trace.start "cli.route"
+        ~args:
+          [
+            ("circuit", Obs.Trace.Str qasm);
+            ("device", Obs.Trace.Str (Arch.Device.name device));
+          ]
+    else Obs.Trace.null_span
   in
   let outcome =
     match (method_, slice_size) with
@@ -222,10 +273,21 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
         fst (Satmap.Router.route_portfolio_parallel ~config device circuit)
       else fst (Satmap.Router.route_portfolio ~config device circuit)
   in
+  if span != Obs.Trace.null_span then
+    Obs.Trace.stop span
+      ~args:
+        [
+          ( "outcome",
+            Obs.Trace.Str
+              (match outcome with
+              | Satmap.Router.Routed _ -> "routed"
+              | Satmap.Router.Failed _ -> "failed") );
+        ];
   match outcome with
   | Satmap.Router.Failed msg ->
     Format.eprintf "routing failed: %s@." msg;
     if stats_flag then print_solver_stats ();
+    finish_obs ();
     exit exit_routing_failure
   | Satmap.Router.Routed (routed, stats) ->
     Format.printf "device:        %s@." (Arch.Device.name device);
@@ -247,6 +309,7 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
     Format.printf "initial map:@.%a" print_mapping (Satmap.Routed.initial routed);
     Format.printf "maxsat iters:  %d@." stats.maxsat_iterations;
     if stats_flag then print_solver_stats ();
+    finish_obs ();
     Option.iter
       (fun path ->
         Quantum.Qasm.to_file path (Satmap.Routed.circuit routed);
@@ -259,7 +322,7 @@ let route_cmd =
     Term.(
       const route_cmd_run $ device $ qasm_file $ timeout $ slice_size
       $ method_ $ noise $ output $ n_swaps $ parallel $ solver_stats
-      $ certify $ lint_blocks)
+      $ certify $ lint_blocks $ trace_out $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* lint *)

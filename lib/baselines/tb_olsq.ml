@@ -311,7 +311,7 @@ let route ?(config = default_config) device circuit =
               let proved_optimal =
                 match solve_result with
                 | Maxsat.Optimizer.Optimal _ -> true
-                | Maxsat.Optimizer.Feasible _ | Maxsat.Optimizer.Unsatisfiable
+                | Maxsat.Optimizer.Feasible _ | Maxsat.Optimizer.Unsatisfiable _
                 | Maxsat.Optimizer.Timeout ->
                   false
               in
@@ -328,7 +328,7 @@ let route ?(config = default_config) device circuit =
                     proof_events = 0;
                     certify_time = 0.;
                   } )
-            | Maxsat.Optimizer.Unsatisfiable ->
+            | Maxsat.Optimizer.Unsatisfiable _ ->
               attempt (extra + 1) "block budget exhausted"
             | Maxsat.Optimizer.Timeout -> Satmap.Router.Failed "timeout"
           end

@@ -40,6 +40,11 @@ type config = {
   lint_blocks : bool;
       (** debug mode: statically analyse every block's instance before
           solving it and fail loudly on any Warning-or-worse finding *)
+  fault_injection : (Encoding.solution -> Encoding.solution) option;
+      (** test seam: corrupt every decoded block solution before it is
+          replayed/emitted, so the downstream invariant checks
+          ([emit]'s replay comparison, the verifier) can be exercised
+          deterministically.  Never set outside tests. *)
 }
 
 let default_config =
@@ -58,7 +63,13 @@ let default_config =
     verify = true;
     certify = false;
     lint_blocks = false;
+    fault_injection = None;
   }
+
+let m_blocks = Obs.Metrics.counter "router.blocks"
+let m_backtracks = Obs.Metrics.counter "router.backtracks"
+let m_escalations = Obs.Metrics.counter "router.escalations"
+let m_routes = Obs.Metrics.counter "router.routes"
 
 type stats = {
   time : float;
@@ -192,6 +203,43 @@ let cert_fields ~config ~all_optimal reports =
       merged.Maxsat.Certify.check_time )
   end
 
+(* Map the optimizer's verdict on one block to a block result.  Factored
+   out (and exposed) because the mapping itself carries an invariant worth
+   pinning in tests: [Timeout] means "deadline expired before any model",
+   full stop, and must classify as [Block_timeout].  An earlier version
+   re-read the clock here and reclassified a late-returning [Timeout] as
+   [Block_unsat] when the wall clock had drifted back under the deadline —
+   which sent the sliced router into pointless seam backtracking (and
+   budget escalation) on blocks that were never infeasible. *)
+let classify_block_result ~config enc (result : Maxsat.Optimizer.result) =
+  let decode (o : Maxsat.Optimizer.outcome) =
+    let sol = Encoding.decode enc o.model in
+    match config.fault_injection with None -> sol | Some f -> f sol
+  in
+  match result with
+  | Maxsat.Optimizer.Optimal o ->
+    Block_solved
+      {
+        enc;
+        sol = decode o;
+        optimal = true;
+        iterations = o.iterations;
+        cert = o.certificate;
+      }
+  | Maxsat.Optimizer.Feasible o ->
+    if config.accept_feasible then
+      Block_solved
+        {
+          enc;
+          sol = decode o;
+          optimal = false;
+          iterations = o.iterations;
+          cert = o.certificate;
+        }
+    else Block_timeout
+  | Maxsat.Optimizer.Unsatisfiable _ -> Block_unsat
+  | Maxsat.Optimizer.Timeout -> Block_timeout
+
 let solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
     ?(cyclic = false) ?(blocked_finals = []) ?n_swaps_override ?(post_slots = 0)
     circuit =
@@ -220,40 +268,34 @@ let solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
           (Format.asprintf "Router: block failed lint (%s)@\n%a"
              (Lint.Report.summary report) Lint.Report.pp report)
     end;
-    match
-      Maxsat.Optimizer.solve ~deadline ~certify:config.certify
-        (Encoding.instance enc)
-    with
-    | Maxsat.Optimizer.Optimal o ->
-      Block_solved
-        {
-          enc;
-          sol = Encoding.decode enc o.model;
-          optimal = true;
-          iterations = o.iterations;
-          cert = o.certificate;
-        }
-    | Maxsat.Optimizer.Feasible o ->
-      if config.accept_feasible then
-        Block_solved
-          {
-            enc;
-            sol = Encoding.decode enc o.model;
-            optimal = false;
-            iterations = o.iterations;
-            cert = o.certificate;
-          }
-      else Block_timeout
-    | Maxsat.Optimizer.Unsatisfiable -> Block_unsat
-    | Maxsat.Optimizer.Timeout ->
-      if Unix.gettimeofday () > deadline then Block_timeout else Block_unsat
+    classify_block_result ~config enc
+      (Maxsat.Optimizer.solve ~deadline ~certify:config.certify
+         (Encoding.instance enc))
   end
+
+let block_result_label = function
+  | Block_solved b -> if b.optimal then "optimal" else "feasible"
+  | Block_unsat -> "unsat"
+  | Block_timeout -> "timeout"
+  | Block_too_large -> "too_large"
 
 (* Escalate the block's swap budget on unsat seams: double n until the
    device diameter, which always suffices for a pinned initial map. *)
 let solve_block_escalating ~config ~deadline ~device ?fixed_initial
     ?fixed_final ?(cyclic = false) ?(blocked_finals = []) ?(want_post = false)
-    circuit =
+    ?(obs_args = []) circuit =
+  let span =
+    if Obs.Trace.enabled () then
+      Obs.Trace.start "router.block"
+        ~args:
+          (obs_args
+          @ [
+              ( "two_qubit_gates",
+                Obs.Trace.Int (Quantum.Circuit.count_two_qubit circuit) );
+              ("n_swaps", Obs.Trace.Int config.n_swaps);
+            ])
+    else Obs.Trace.null_span
+  in
   let diameter = max 1 (Arch.Device.diameter device) in
   let rec attempt n escalations =
     let post_slots = if want_post then n else 0 in
@@ -265,7 +307,17 @@ let solve_block_escalating ~config ~deadline ~device ?fixed_initial
       attempt (min diameter (2 * n)) (escalations + 1)
     | other -> (other, escalations)
   in
-  attempt config.n_swaps 0
+  let result, escalations = attempt config.n_swaps 0 in
+  Obs.Metrics.incr m_blocks;
+  Obs.Metrics.add m_escalations escalations;
+  if span != Obs.Trace.null_span then
+    Obs.Trace.stop span
+      ~args:
+        [
+          ("result", Obs.Trace.Str (block_result_label result));
+          ("escalations", Obs.Trace.Int escalations);
+        ];
+  (result, escalations)
 
 (* ------------------------------------------------------------------ *)
 (* Trivial case: no two-qubit gates at all *)
@@ -286,10 +338,22 @@ let route_trivial ~device circuit =
 let check ~config ~original routed =
   if config.verify then Verifier.check_exn ~original routed
 
+(* Routing-internal invariant violations — [emit]'s replay comparison,
+   block lint findings, seam bookkeeping, the post-route verifier — all
+   raise [Failure].  Catch them at the public [route_*] boundary and
+   return [Failed] so callers (and the CLI's exit-code contract) see a
+   routing failure rather than an escaped exception.  [Invalid_argument]
+   still escapes: misusing the API is the caller's bug, not a routing
+   outcome. *)
+let guard_failures f =
+  Obs.Metrics.incr m_routes;
+  try f () with Failure msg -> Failed msg
+
 (* ------------------------------------------------------------------ *)
 (* NL-SATMAP: monolithic *)
 
 let route_monolithic ?(config = default_config) device circuit =
+  guard_failures @@ fun () ->
   let start = Unix.gettimeofday () in
   let deadline = start +. config.timeout in
   if Quantum.Circuit.n_qubits circuit > Arch.Device.n_qubits device then
@@ -353,6 +417,7 @@ type slice_state = {
 }
 
 let route_sliced ?(config = default_config) ~slice_size device circuit =
+  guard_failures @@ fun () ->
   let start = Unix.gettimeofday () in
   let deadline = start +. config.timeout in
   if Quantum.Circuit.n_qubits circuit > Arch.Device.n_qubits device then
@@ -391,7 +456,10 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
       in
       let result, esc =
         solve_block_escalating ~config ~deadline:block_deadline ~device
-          ?fixed_initial ~blocked_finals:st.blocked st.slice
+          ?fixed_initial ~blocked_finals:st.blocked
+          ~obs_args:
+            [ ("slice", Obs.Trace.Int !i); ("n_slices", Obs.Trace.Int n) ]
+          st.slice
       in
       escalations := !escalations + esc;
       match result with
@@ -405,6 +473,9 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
         else begin
           (* Block the previous slice's final map and re-solve it. *)
           incr backtracks;
+          Obs.Metrics.incr m_backtracks;
+          Obs.Trace.instant "router.backtrack"
+            ~args:[ ("slice", Obs.Trace.Int !i) ];
           let prev = slices.(!i - 1) in
           (match prev.solution with
           | Some b -> prev.blocked <- b.sol.final :: prev.blocked
@@ -458,9 +529,10 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
 
 let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
     device body =
+  if repetitions < 1 then invalid_arg "Router.route_cyclic_body";
+  guard_failures @@ fun () ->
   let start = Unix.gettimeofday () in
   let deadline = start +. config.timeout in
-  if repetitions < 1 then invalid_arg "Router.route_cyclic_body";
   if Quantum.Circuit.n_qubits body > Arch.Device.n_qubits device then
     Failed "circuit does not fit on the device"
   else if Quantum.Circuit.count_two_qubit body = 0 then
@@ -544,7 +616,10 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
         let result, esc =
           solve_block_escalating ~config ~deadline:block_deadline ~device
             ?fixed_initial ?fixed_final ~cyclic ~blocked_finals:st.blocked
-            ~want_post st.slice
+            ~want_post
+            ~obs_args:
+              [ ("slice", Obs.Trace.Int !i); ("n_slices", Obs.Trace.Int n) ]
+            st.slice
         in
         escalations := !escalations + esc;
         match result with
@@ -557,6 +632,9 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
             failure := Some "backtracking budget exhausted"
           else begin
             incr backtracks;
+            Obs.Metrics.incr m_backtracks;
+            Obs.Trace.instant "router.backtrack"
+              ~args:[ ("slice", Obs.Trace.Int !i) ];
             let prev = slices.(!i - 1) in
             (match prev.solution with
             | Some b -> prev.blocked <- b.sol.final :: prev.blocked
@@ -627,12 +705,18 @@ let best_of results =
       | acc, (Routed _ | Failed _) -> acc)
     None results
 
+(* Each portfolio member gets its own span; under the parallel driver the
+   recorded thread id is the member's domain id, so the trace viewer
+   renders the members as parallel tracks. *)
+let run_member ~config ~size device circuit =
+  Obs.Trace.with_span "router.portfolio_member"
+    ~args:[ ("slice_size", Obs.Trace.Int size) ]
+    (fun () -> route_sliced ~config ~slice_size:size device circuit)
+
 let route_portfolio ?(config = default_config) ?(sizes = [ 10; 25; 50; 100 ])
     device circuit =
   let results =
-    List.map
-      (fun size -> (size, route_sliced ~config ~slice_size:size device circuit))
-      sizes
+    List.map (fun size -> (size, run_member ~config ~size device circuit)) sizes
   in
   match best_of results with
   | Some (r, s) -> (Routed (r, s), results)
@@ -647,7 +731,7 @@ let route_portfolio_parallel ?(config = default_config)
   let spawn size =
     ( size,
       Domain.spawn (fun () ->
-          try route_sliced ~config ~slice_size:size device circuit
+          try run_member ~config ~size device circuit
           with exn -> Failed (Printexc.to_string exn)) )
   in
   let domains = List.map spawn sizes in

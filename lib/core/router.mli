@@ -33,8 +33,12 @@ type config = {
           verdict is reported in [stats.certified] *)
   lint_blocks : bool;
       (** debug mode: run {!Encoding_lint.check_full} on every block's
-          instance before solving it and raise [Failure] on any finding
-          at [Warning] severity or above *)
+          instance before solving it; findings at [Warning] severity or
+          above fail the route (a [Failed] outcome) *)
+  fault_injection : (Encoding.solution -> Encoding.solution) option;
+      (** test seam: corrupt every decoded block solution before replay
+          and emission so the internal invariant checks can be exercised
+          deterministically.  [None] (always, outside tests). *)
 }
 
 val default_config : config
@@ -58,6 +62,48 @@ type stats = {
 type outcome =
   | Routed of Routed.t * stats
   | Failed of string
+      (** All [route_*] entry points return [Failed] (never raise) for
+          routing failures, including internal invariant violations such
+          as a replay/decode mismatch or a block lint finding.
+          [Invalid_argument] still escapes for API misuse. *)
+
+(** {2 Block-level API}
+
+    Exposed so tests can pin the per-block contracts without having to
+    engineer wall-clock races or corrupted solver models end-to-end. *)
+
+type block_solution = {
+  enc : Encoding.t;
+  sol : Encoding.solution;
+  optimal : bool;
+  iterations : int;
+  cert : Maxsat.Certify.report option;
+}
+
+type block_result =
+  | Block_solved of block_solution
+  | Block_unsat
+  | Block_timeout
+  | Block_too_large
+
+val classify_block_result :
+  config:config -> Encoding.t -> Maxsat.Optimizer.result -> block_result
+(** Map the optimizer's verdict on one block to a {!block_result}.
+    Invariants pinned by tests: [Timeout] (deadline before any model)
+    always classifies as [Block_timeout] — never [Block_unsat], whatever
+    the wall clock says now — and [Feasible] is only accepted under
+    [config.accept_feasible].  Applies [config.fault_injection] to the
+    decoded solution. *)
+
+val emit :
+  device:Arch.Device.t ->
+  circuit:Quantum.Circuit.t ->
+  Encoding.t ->
+  Encoding.solution ->
+  Routed.t
+(** Replay [circuit] under the solution's maps, inserting the solved
+    SWAPs.  Raises [Failure] if the replayed final map disagrees with the
+    decoded one (caught at the [route_*] boundary in normal use). *)
 
 val route_monolithic :
   ?config:config -> Arch.Device.t -> Quantum.Circuit.t -> outcome

@@ -110,7 +110,7 @@ let route ?(config = default_config) device circuit =
       match Maxsat.Optimizer.solve ~deadline instance with
       | Maxsat.Optimizer.Optimal o | Maxsat.Optimizer.Feasible o ->
         decode_map ~n_log ~n_phys map_var o.model
-      | Maxsat.Optimizer.Unsatisfiable | Maxsat.Optimizer.Timeout ->
+      | Maxsat.Optimizer.Unsatisfiable _ | Maxsat.Optimizer.Timeout ->
         (* Injectivity alone is always satisfiable, so only an expired
            deadline lands here: fall back to a heuristic placement. *)
         Tket_route.initial_placement ~device circuit

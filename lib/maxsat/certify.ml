@@ -19,12 +19,25 @@ let merge a b =
   }
 
 let check_certificate ?mode (cert : Proof.Certificate.t) =
+  let span =
+    if Obs.Trace.enabled () then
+      Obs.Trace.start "maxsat.certify"
+        ~args:
+          [
+            ( "trace_events",
+              Obs.Trace.Int (Array.length cert.Proof.Certificate.events) );
+          ]
+    else Obs.Trace.null_span
+  in
   let t0 = Unix.gettimeofday () in
   let res = Proof.Certificate.check ?mode cert in
   let dt = Unix.gettimeofday () -. t0 in
+  let valid = Proof.Checker.is_valid res in
+  if span != Obs.Trace.null_span then
+    Obs.Trace.stop span ~args:[ ("valid", Obs.Trace.Bool valid) ];
   {
     proofs_checked = 1;
-    proofs_failed = (if Proof.Checker.is_valid res then 0 else 1);
+    proofs_failed = (if valid then 0 else 1);
     trace_events = Array.length cert.Proof.Certificate.events;
     check_time = dt;
   }

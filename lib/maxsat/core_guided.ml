@@ -27,7 +27,7 @@ type result =
       model : bool array;
       certificate : Certify.report option;
     }
-  | Unsatisfiable
+  | Unsatisfiable of Certify.report option
   | Timeout of { lower_bound : int }
 
 let add_soft solver (sink : Sat.Sink.t) softs ~weight ~clause =
@@ -57,6 +57,14 @@ let solve ?deadline ?(certify = false) instance =
       cert :=
         Some (Certify.merge (Option.value ~default:Certify.empty !cert) report)
   in
+  let certify_refutation () =
+    match recorder with
+    | None -> ()
+    | Some r ->
+      let report = Certify.certify_refutation r in
+      cert :=
+        Some (Certify.merge (Option.value ~default:Certify.empty !cert) report)
+  in
   for _ = 1 to Instance.n_vars instance do
     ignore (Sat.Solver.new_var solver)
   done;
@@ -82,15 +90,20 @@ let solve ?deadline ?(certify = false) instance =
                certificate = !cert;
              })
     | Sat.Solver.Unknown, _ -> result := Some (Timeout { lower_bound = !cost })
-    | Sat.Solver.Unsat, [] -> result := Some Unsatisfiable
+    | Sat.Solver.Unsat, [] ->
+      (* No selector is involved: the hard clauses alone are refuted, and
+         under --certify the refutation must be checked like any core. *)
+      certify_refutation ();
+      result := Some (Unsatisfiable !cert)
     | Sat.Solver.Unsat, core ->
       certify_core core;
       (* Split the softs into core members and the rest. *)
       let in_core s = List.exists (Sat.Lit.equal s.selector) core in
       let core_softs, rest = List.partition in_core !softs in
       if core_softs = [] then
-        (* The core only mentions hard clauses: globally unsat. *)
-        result := Some Unsatisfiable
+        (* The core only mentions hard clauses: globally unsat.  The core
+           itself was certified just above, so the verdict rides along. *)
+        result := Some (Unsatisfiable !cert)
       else begin
         let w_min =
           List.fold_left (fun acc s -> min acc s.weight) max_int core_softs

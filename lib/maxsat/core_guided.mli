@@ -11,7 +11,11 @@ type result =
               algorithm paid for was re-checked by the independent proof
               checker ([Certify.ok r] = all cores verified). *)
     }
-  | Unsatisfiable
+  | Unsatisfiable of Certify.report option
+      (** the hard clauses alone are infeasible; under
+          [solve ~certify:true] the payload carries the checker's verdict
+          on the refutation (merged with any cores certified before the
+          hard conflict surfaced). *)
   | Timeout of { lower_bound : int }
 
 val solve : ?deadline:float -> ?certify:bool -> Instance.t -> result

@@ -19,12 +19,17 @@ type outcome = {
 type result =
   | Optimal of outcome
   | Feasible of outcome  (** deadline hit after at least one model *)
-  | Unsatisfiable
+  | Unsatisfiable of Certify.report option
+      (** the hard clauses alone are infeasible; the payload carries the
+          certified refutation when [certify] was requested *)
   | Timeout  (** deadline hit before any model was found *)
 
 let best_outcome = function
   | Optimal o | Feasible o -> Some o
-  | Unsatisfiable | Timeout -> None
+  | Unsatisfiable _ | Timeout -> None
+
+let m_iterations = Obs.Metrics.counter "maxsat.iterations"
+let m_optima = Obs.Metrics.counter "maxsat.optima_proved"
 
 (* Relaxation literals: for a soft clause C, a literal r such that r true
    "pays" the clause's weight.  Unit softs [l] reuse ~l directly — the
@@ -98,6 +103,29 @@ let solve ?deadline ?(certify = false) ?report instance =
     | None -> ()
     | Some f -> f ~iteration ~cost ~stats:(Sat.Solver.stats solver)
   in
+  (* One span per descent iteration: the bound being attempted going in,
+     the solver's verdict (and model cost, when SAT) coming out. *)
+  let iteration_span iteration bound =
+    if Obs.Trace.enabled () then
+      Obs.Trace.start "maxsat.iteration"
+        ~args:
+          [
+            ("iteration", Obs.Trace.Int iteration);
+            ("bound", Obs.Trace.Int bound);
+          ]
+    else Obs.Trace.null_span
+  in
+  let stop_iteration span ?cost outcome =
+    Obs.Metrics.incr m_iterations;
+    if span != Obs.Trace.null_span then
+      Obs.Trace.stop span
+        ~args:
+          (("outcome", Obs.Trace.Str outcome)
+          ::
+          (match cost with
+          | None -> []
+          | Some c -> [ ("cost", Obs.Trace.Int c) ]))
+  in
   for _ = 1 to Instance.n_vars instance do
     ignore (Sat.Solver.new_var solver)
   done;
@@ -119,13 +147,27 @@ let solve ?deadline ?(certify = false) ?report instance =
         certificate = !cert;
       }
     in
-    match kind with `Optimal -> Optimal o | `Feasible -> Feasible o
+    match kind with
+    | `Optimal ->
+      Obs.Metrics.incr m_optima;
+      Optimal o
+    | `Feasible -> Feasible o
   in
+  let span0 = iteration_span 1 (-1) in
   match Sat.Solver.solve ?deadline solver with
-  | Sat.Solver.Unsat -> Unsatisfiable
-  | Sat.Solver.Unknown -> Timeout
+  | Sat.Solver.Unsat ->
+    stop_iteration span0 "unsat";
+    (* The initial refutation is the optimizer's strongest claim — the
+       hard clauses alone are infeasible — so under --certify it must be
+       re-checked like every descent bound. *)
+    certify_unsat ();
+    Unsatisfiable !cert
+  | Sat.Solver.Unknown ->
+    stop_iteration span0 "unknown";
+    Timeout
   | Sat.Solver.Sat ->
     let best_cost = ref (cost_of_relax solver relax) in
+    stop_iteration span0 ~cost:!best_cost "sat";
     let best_model = ref (model_array solver) in
     let iterations = ref 1 in
     report_iteration !iterations !best_cost;
@@ -137,11 +179,14 @@ let solve ?deadline ?(certify = false) ?report instance =
       in
       let result = ref None in
       while !result = None do
-        assert_bound sink machinery (!best_cost - 1);
+        let bound = !best_cost - 1 in
+        assert_bound sink machinery bound;
+        let span = iteration_span (!iterations + 1) bound in
         match Sat.Solver.solve ?deadline solver with
         | Sat.Solver.Sat ->
           incr iterations;
           let cost = cost_of_relax solver relax in
+          stop_iteration span ~cost "sat";
           (* The bound guarantees progress; guard against a stuck loop in
              case of an encoding bug. *)
           if cost >= !best_cost then
@@ -152,11 +197,13 @@ let solve ?deadline ?(certify = false) ?report instance =
           if cost = 0 then
             result := Some (finish `Optimal cost !best_model !iterations)
         | Sat.Solver.Unsat ->
+          stop_iteration span "unsat";
           (* The descent's one infeasibility claim: cost < best_cost has
              no model.  Certify it before reporting optimality. *)
           certify_unsat ();
           result := Some (finish `Optimal !best_cost !best_model !iterations)
         | Sat.Solver.Unknown ->
+          stop_iteration span "unknown";
           result := Some (finish `Feasible !best_cost !best_model !iterations)
       done;
       match !result with Some r -> r | None -> assert false
@@ -166,4 +213,4 @@ let solve ?deadline ?(certify = false) ?report instance =
 let optimal_cost ?deadline instance =
   match solve ?deadline instance with
   | Optimal o -> Some o.cost
-  | Feasible _ | Unsatisfiable | Timeout -> None
+  | Feasible _ | Unsatisfiable _ | Timeout -> None

@@ -23,7 +23,11 @@ type outcome = {
 type result =
   | Optimal of outcome
   | Feasible of outcome  (** deadline hit after at least one model *)
-  | Unsatisfiable
+  | Unsatisfiable of Certify.report option
+      (** the hard clauses alone are infeasible.  Under
+          [solve ~certify:true] the payload is [Some r] where [r] is the
+          independent checker's verdict on the initial refutation — a
+          hard-UNSAT answer is certified exactly like a descent bound. *)
   | Timeout  (** deadline hit before any model was found *)
 
 val best_outcome : result -> outcome option

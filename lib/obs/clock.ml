@@ -1,0 +1,18 @@
+let origin = Unix.gettimeofday () *. 1e6
+
+let origin_us () = origin
+
+(* Highest timestamp handed out so far, shared by all domains.  Each
+   reading is max(wall, previous): a backwards wall-clock step repeats
+   the previous timestamp instead of travelling back in time. *)
+let last = Atomic.make 0.0
+
+let now_us () =
+  let t = (Unix.gettimeofday () *. 1e6) -. origin in
+  let rec settle () =
+    let prev = Atomic.get last in
+    if t > prev then
+      if Atomic.compare_and_set last prev t then t else settle ()
+    else prev
+  in
+  settle ()

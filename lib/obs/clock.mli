@@ -1,0 +1,15 @@
+(** Monotonic timestamps for span timing.
+
+    The OCaml runtime exposes only the wall clock ([Unix.gettimeofday]),
+    which NTP can step backwards; a backwards step during a span would
+    yield a negative duration and a trace viewers refuse to load.  This
+    module rectifies the wall clock into a process-wide non-decreasing
+    timestamp stream (a CAS-max over all domains), which is what every
+    span and counter sample reads. *)
+
+val now_us : unit -> float
+(** Microseconds since {!origin_us}; never decreases, across domains. *)
+
+val origin_us : unit -> float
+(** The wall-clock instant (in epoch microseconds) that [now_us] counts
+    from — the moment this module was initialised. *)

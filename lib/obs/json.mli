@@ -1,0 +1,36 @@
+(** A minimal JSON value type with a printer and a strict parser.
+
+    Exists so the exporters ({!Trace.to_chrome_json},
+    {!Metrics.to_json}) can build well-formed documents and so tests and
+    smoke checks can re-parse what was emitted (round-trip validation)
+    without pulling a JSON dependency into the tree. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact (no insignificant whitespace), with full string escaping.
+    Numbers print as integers when integral, [%.12g] otherwise; NaN and
+    infinities (not representable in JSON) print as [0]. *)
+
+val parse : string -> (t, string) result
+(** Strict recursive-descent parser for the printed subset of JSON:
+    objects, arrays, strings (with [\uXXXX] escapes decoded to UTF-8),
+    numbers, [true]/[false]/[null].  Rejects trailing garbage.  Errors
+    carry a byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing keys and non-objects. *)
+
+val to_list : t -> t list
+(** The elements of a [List]; [[]] on any other constructor. *)
+
+val string_value : t -> string option
+val number_value : t -> float option

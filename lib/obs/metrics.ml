@@ -1,0 +1,65 @@
+type counter = { c_name : string; cell : int Atomic.t }
+type gauge = { g_name : string; gcell : float Atomic.t }
+
+(* Interning registry.  Lookups happen at module-initialisation time in
+   instrumented code; the lock only guards registration races between
+   domains spawned before their first metric touch. *)
+let lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+        let c = { c_name = name; cell = Atomic.make 0 } in
+        Hashtbl.add counters name c;
+        c)
+
+let incr c = ignore (Atomic.fetch_and_add c.cell 1)
+let add c n = if n <> 0 then ignore (Atomic.fetch_and_add c.cell n)
+let value c = Atomic.get c.cell
+
+let gauge name =
+  locked (fun () ->
+      match Hashtbl.find_opt gauges name with
+      | Some g -> g
+      | None ->
+        let g = { g_name = name; gcell = Atomic.make 0.0 } in
+        Hashtbl.add gauges name g;
+        g)
+
+let set g x = Atomic.set g.gcell x
+let get g = Atomic.get g.gcell
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+      Hashtbl.iter (fun _ g -> Atomic.set g.gcell 0.0) gauges)
+
+let snapshot () =
+  locked (fun () ->
+      let acc = ref [] in
+      Hashtbl.iter
+        (fun _ c -> acc := (c.c_name, float_of_int (Atomic.get c.cell)) :: !acc)
+        counters;
+      Hashtbl.iter
+        (fun _ g -> acc := (g.g_name, Atomic.get g.gcell) :: !acc)
+        gauges;
+      List.sort (fun (a, _) (b, _) -> String.compare a b) !acc)
+
+let to_json () =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) (snapshot ()))
+
+let to_json_string () = Json.to_string (to_json ())
+
+let write_json path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json_string ()))

@@ -1,0 +1,38 @@
+(** Process-wide counters and gauges with a flat [metrics.json] export.
+
+    Counters are atomic and always on (no enable flag): instrumented
+    code updates them at span-boundary granularity — once per solver
+    call, per block, per routing run — never inside hot loops, so an
+    increment is in the nanoseconds and needs no guard.  Registration
+    ({!counter}/{!gauge}) interns by name in a global registry: calling
+    it twice with one name yields the same cell, so call sites hoist the
+    lookup to module level and pay only the atomic op at runtime. *)
+
+type counter
+type gauge
+
+val counter : string -> counter
+(** Find or create the counter registered under [name]. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge : string -> gauge
+(** Find or create the gauge registered under [name]. *)
+
+val set : gauge -> float -> unit
+val get : gauge -> float
+
+val reset : unit -> unit
+(** Zero every registered counter and gauge (cells stay registered, so
+    module-level handles remain valid). *)
+
+val snapshot : unit -> (string * float) list
+(** All registered metrics, sorted by name (counters as floats). *)
+
+val to_json : unit -> Json.t
+(** Flat object: metric name to numeric value. *)
+
+val to_json_string : unit -> string
+val write_json : string -> unit

@@ -1,0 +1,181 @@
+type arg = Str of string | Int of int | Float of float | Bool of bool
+
+type span = {
+  sname : string;
+  stid : int;
+  st0 : float;
+  sargs : (string * arg) list;
+}
+
+type event = {
+  name : string;
+  ph : [ `Complete | `Instant | `Counter ];
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  args : (string * arg) list;
+}
+
+let null_span = { sname = ""; stid = -1; st0 = 0.0; sargs = [] }
+
+let dummy_event =
+  { name = ""; ph = `Instant; ts_us = 0.0; dur_us = 0.0; tid = 0; args = [] }
+
+(* The hot-path guard: one mutable boolean, read without the lock.  The
+   worst a torn read can cost is one dropped or one spurious event at an
+   enable/disable edge — never corruption, because the ring itself is
+   only touched under [lock]. *)
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+
+let lock = Mutex.create ()
+let ring = ref (Array.make 0 dummy_event)
+let head = ref 0 (* next write position *)
+let count = ref 0 (* live events in the ring *)
+let total = ref 0 (* recorded since last clear, incl. overwritten *)
+let default_capacity = 65536
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let clear () =
+  locked (fun () ->
+      Array.fill !ring 0 (Array.length !ring) dummy_event;
+      head := 0;
+      count := 0;
+      total := 0)
+
+let enable ?(capacity = default_capacity) () =
+  let capacity = max 1 capacity in
+  locked (fun () ->
+      if Array.length !ring <> capacity then begin
+        ring := Array.make capacity dummy_event;
+        head := 0;
+        count := 0;
+        total := 0
+      end;
+      enabled_flag := true)
+
+let disable () = enabled_flag := false
+
+let push ev =
+  locked (fun () ->
+      let cap = Array.length !ring in
+      if cap > 0 then begin
+        !ring.(!head) <- ev;
+        head := (!head + 1) mod cap;
+        if !count < cap then incr count;
+        incr total
+      end)
+
+let recorded () = locked (fun () -> !total)
+let dropped () = locked (fun () -> !total - !count)
+
+let events () =
+  locked (fun () ->
+      let cap = Array.length !ring in
+      List.init !count (fun i ->
+          !ring.((!head - !count + i + (2 * cap)) mod (max 1 cap))))
+
+let tid () = (Domain.self () :> int)
+
+let start ?(args = []) name =
+  if not !enabled_flag then null_span
+  else { sname = name; stid = tid (); st0 = Clock.now_us (); sargs = args }
+
+let stop ?(args = []) span =
+  if !enabled_flag && span != null_span then
+    push
+      {
+        name = span.sname;
+        ph = `Complete;
+        ts_us = span.st0;
+        dur_us = Clock.now_us () -. span.st0;
+        tid = span.stid;
+        args = span.sargs @ args;
+      }
+
+let with_span ?args name f =
+  if not !enabled_flag then f ()
+  else begin
+    let span = start ?args name in
+    match f () with
+    | v ->
+      stop span;
+      v
+    | exception exn ->
+      stop span ~args:[ ("exception", Str (Printexc.to_string exn)) ];
+      raise exn
+  end
+
+let instant ?(args = []) name =
+  if !enabled_flag then
+    push
+      {
+        name;
+        ph = `Instant;
+        ts_us = Clock.now_us ();
+        dur_us = 0.0;
+        tid = tid ();
+        args;
+      }
+
+let sample name series =
+  if !enabled_flag then
+    push
+      {
+        name;
+        ph = `Counter;
+        ts_us = Clock.now_us ();
+        dur_us = 0.0;
+        tid = tid ();
+        args = List.map (fun (k, v) -> (k, Float v)) series;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_events export *)
+
+let json_of_arg = function
+  | Str s -> Json.Str s
+  | Int i -> Json.Num (float_of_int i)
+  | Float x -> Json.Num x
+  | Bool b -> Json.Bool b
+
+let json_of_event ev =
+  let ph, extra =
+    match ev.ph with
+    | `Complete -> ("X", [ ("dur", Json.Num ev.dur_us) ])
+    | `Instant -> ("i", [ ("s", Json.Str "t") ])
+    | `Counter -> ("C", [])
+  in
+  Json.Obj
+    ([
+       ("name", Json.Str ev.name);
+       ("cat", Json.Str "satmap");
+       ("ph", Json.Str ph);
+       ("ts", Json.Num ev.ts_us);
+       ("pid", Json.Num 1.0);
+       ("tid", Json.Num (float_of_int ev.tid));
+     ]
+    @ extra
+    @
+    match ev.args with
+    | [] -> []
+    | args ->
+      [ ("args", Json.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) args)) ])
+
+let to_chrome_json () =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map json_of_event (events ())));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_chrome_string () = Json.to_string (to_chrome_json ())
+
+let write_chrome path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_string ()))

@@ -1,0 +1,79 @@
+(** Spans and the ring-buffered trace collector.
+
+    A span is a named, timed interval with typed arguments, stamped with
+    the domain that ran it, so the parallel portfolio renders as
+    parallel tracks in a trace viewer.  Completed spans, instant events
+    and counter samples land in one process-wide ring buffer; when it
+    fills, the oldest events are overwritten (and counted in
+    {!dropped}) — tracing a long run degrades to "the recent past"
+    instead of unbounded memory.
+
+    Overhead discipline: collection is {e off} by default.  Every
+    recording entry point first reads one boolean flag; when the flag is
+    false nothing is allocated and nothing else is touched ({!start}
+    returns the preallocated {!null_span}).  Instrumented code may
+    therefore stay in place permanently — guarded hot-path call sites
+    cost a branch.  Argument lists are built by the caller, so wrap any
+    argument construction in an {!enabled} test. *)
+
+type arg = Str of string | Int of int | Float of float | Bool of bool
+
+type span
+(** A started, not-yet-stopped interval.  Stopping a span records it;
+    a span started while collection was disabled records nothing. *)
+
+val null_span : span
+(** The inert span: {!stop} on it is a no-op.  [start] returns it (no
+    allocation) whenever collection is disabled. *)
+
+val enabled : unit -> bool
+val enable : ?capacity:int -> unit -> unit
+(** Switch collection on.  [capacity] (default [65536]) bounds the ring
+    buffer; re-enabling with a different capacity clears it. *)
+
+val disable : unit -> unit
+val clear : unit -> unit
+(** Drop all collected events and reset {!dropped}/{!recorded}. *)
+
+val start : ?args:(string * arg) list -> string -> span
+val stop : ?args:(string * arg) list -> span -> unit
+(** [stop] appends [args] to the span's start-time arguments — results
+    (cost, outcome, escalation counts) become visible in the viewer. *)
+
+val with_span : ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span; the span is closed (and recorded) even
+    when the thunk raises. *)
+
+val instant : ?args:(string * arg) list -> string -> unit
+(** A zero-duration marker (Chrome phase ["i"]), e.g. a seam backtrack. *)
+
+val sample : string -> (string * float) list -> unit
+(** A counter sample (Chrome phase ["C"]): the viewer plots each key as
+    a stacked time series, e.g. propagations/s sampled at restarts. *)
+
+type event = {
+  name : string;
+  ph : [ `Complete | `Instant | `Counter ];
+  ts_us : float;  (** start, microseconds since {!Clock.origin_us} *)
+  dur_us : float;  (** 0 for instant and counter events *)
+  tid : int;  (** domain id *)
+  args : (string * arg) list;
+}
+
+val events : unit -> event list
+(** Snapshot of the ring in chronological (recording) order. *)
+
+val recorded : unit -> int
+(** Events recorded since the last {!clear} (including overwritten). *)
+
+val dropped : unit -> int
+(** Events overwritten by ring wrap-around since the last {!clear}. *)
+
+val to_chrome_json : unit -> Json.t
+(** The collected events as a Chrome [trace_events] document
+    ([{"traceEvents": [...], "displayTimeUnit": "ms"}]) — loadable in
+    [chrome://tracing] and Perfetto. *)
+
+val to_chrome_string : unit -> string
+val write_chrome : string -> unit
+(** Write {!to_chrome_string} to a file. *)

@@ -151,6 +151,18 @@ let totals_avg_lbd (t : totals) =
   if t.total_learnts = 0 then 0.0
   else float_of_int t.total_lbd_sum /. float_of_int t.total_learnts
 
+(* Observability: process-wide metric cells (interned once here) and the
+   per-[solve] span.  Everything is updated at solve-call granularity —
+   the search loop itself only pays one [Obs.Trace.enabled] branch at
+   each restart, where propagations/s is sampled for the trace. *)
+let m_solves = Obs.Metrics.counter "sat.solves"
+let m_conflicts = Obs.Metrics.counter "sat.conflicts"
+let m_propagations = Obs.Metrics.counter "sat.propagations"
+let m_restarts = Obs.Metrics.counter "sat.restarts"
+let m_reductions = Obs.Metrics.counter "sat.reduce_db"
+let m_learnts = Obs.Metrics.counter "sat.learnt_clauses"
+let g_props_per_s = Obs.Metrics.gauge "sat.props_per_s"
+
 (* ------------------------------------------------------------------ *)
 
 type t = {
@@ -942,6 +954,18 @@ let solve_with_core ?(assumptions = []) ?deadline t =
   else begin
     let t0 = Unix.gettimeofday () in
     let before = copy_stats t.stats in
+    let span =
+      if Obs.Trace.enabled () then
+        Obs.Trace.start "sat.solve"
+          ~args:
+            [
+              ("vars", Obs.Trace.Int t.nvars);
+              ("clauses", Obs.Trace.Int (Vec.size t.clauses));
+              ("learnts", Obs.Trace.Int (Vec.size t.learnts));
+              ("assumptions", Obs.Trace.Int (List.length assumptions));
+            ]
+      else Obs.Trace.null_span
+    in
     t.deadline <- (match deadline with None -> 0.0 | Some d -> d);
     t.stop <- false;
     t.prop_countdown <- deadline_check_interval;
@@ -993,6 +1017,16 @@ let solve_with_core ?(assumptions = []) ?deadline t =
                restart := true;
                incr restarts;
                t.stats.restarts <- t.stats.restarts + 1;
+               if Obs.Trace.enabled () then begin
+                 let dt = Unix.gettimeofday () -. t0 in
+                 if dt > 0.0 then
+                   Obs.Trace.sample "sat.props_per_s"
+                     [
+                       ( "props_per_s",
+                         float_of_int (t.stats.propagations - before.propagations)
+                         /. dt );
+                     ]
+               end;
                cancel_until t 0
              end
            | None ->
@@ -1041,6 +1075,30 @@ let solve_with_core ?(assumptions = []) ?deadline t =
     let elapsed = Unix.gettimeofday () -. t0 in
     t.stats.solve_time <- t.stats.solve_time +. elapsed;
     record_solve_totals t ~before ~elapsed;
+    let s = t.stats in
+    Obs.Metrics.incr m_solves;
+    Obs.Metrics.add m_conflicts (s.conflicts - before.conflicts);
+    Obs.Metrics.add m_propagations (s.propagations - before.propagations);
+    Obs.Metrics.add m_restarts (s.restarts - before.restarts);
+    Obs.Metrics.add m_reductions (s.db_reductions - before.db_reductions);
+    Obs.Metrics.add m_learnts (s.learnt_clauses - before.learnt_clauses);
+    if elapsed > 0.0 then
+      Obs.Metrics.set g_props_per_s
+        (float_of_int (s.propagations - before.propagations) /. elapsed);
+    if span != Obs.Trace.null_span then
+      Obs.Trace.stop span
+        ~args:
+          [
+            ( "result",
+              Obs.Trace.Str
+                (match !result with
+                | Sat -> "sat"
+                | Unsat -> "unsat"
+                | Unknown -> "unknown") );
+            ("conflicts", Obs.Trace.Int (s.conflicts - before.conflicts));
+            ("propagations", Obs.Trace.Int (s.propagations - before.propagations));
+            ("restarts", Obs.Trace.Int (s.restarts - before.restarts));
+          ];
     (!result, !core)
   end
 

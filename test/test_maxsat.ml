@@ -148,7 +148,26 @@ let test_optimizer_unsat_hard () =
       ~soft:[ (1, [ lit 0 ]) ]
   in
   match Maxsat.Optimizer.solve inst with
-  | Maxsat.Optimizer.Unsatisfiable -> ()
+  | Maxsat.Optimizer.Unsatisfiable _ -> ()
+  | _ -> Alcotest.fail "expected Unsatisfiable"
+
+let test_optimizer_unsat_hard_certified () =
+  (* Regression: the initial refutation (hard clauses alone are unsat)
+     used to bypass certification entirely — [~certify:true] returned a
+     bare [Unsatisfiable].  The refutation must be re-checked like every
+     other UNSAT answer and the verdict carried in the payload. *)
+  let inst =
+    Maxsat.Instance.create ~n_vars:1
+      ~hard:[ [ lit 0 ]; [ lit ~sign:false 0 ] ]
+      ~soft:[ (1, [ lit 0 ]) ]
+  in
+  match Maxsat.Optimizer.solve ~certify:true inst with
+  | Maxsat.Optimizer.Unsatisfiable (Some r) ->
+    Alcotest.(check bool) "refutation certified" true (Maxsat.Certify.ok r);
+    Alcotest.(check bool) "checker actually ran" true
+      (r.Maxsat.Certify.proofs_checked >= 1)
+  | Maxsat.Optimizer.Unsatisfiable None ->
+    Alcotest.fail "hard-UNSAT answer carried no certificate under ~certify"
   | _ -> Alcotest.fail "expected Unsatisfiable"
 
 let test_optimizer_no_soft () =
@@ -208,7 +227,7 @@ let check_against_brute (n_vars, hard, soft) =
   let expected = Sat.Brute.maxsat_opt ~n_vars ~hard ~soft in
   let inst = Maxsat.Instance.create ~n_vars ~hard ~soft in
   match (Maxsat.Optimizer.solve inst, expected) with
-  | Maxsat.Optimizer.Unsatisfiable, None -> true
+  | Maxsat.Optimizer.Unsatisfiable _, None -> true
   | Maxsat.Optimizer.Optimal o, Some c ->
     o.cost = c
     && Maxsat.Instance.cost_of_model inst (fun v -> o.model.(v)) = Some c
@@ -245,7 +264,7 @@ let check_core_guided_against_brute (n_vars, hard, soft) =
   let expected = Sat.Brute.maxsat_opt ~n_vars ~hard ~soft in
   let inst = Maxsat.Instance.create ~n_vars ~hard ~soft in
   match (Maxsat.Core_guided.solve inst, expected) with
-  | Maxsat.Core_guided.Unsatisfiable, None -> true
+  | Maxsat.Core_guided.Unsatisfiable _, None -> true
   | Maxsat.Core_guided.Optimal { cost; model; _ }, Some c ->
     cost = c
     && Maxsat.Instance.cost_of_model inst (fun v -> model.(v)) = Some c
@@ -266,7 +285,7 @@ let prop_engines_agree =
     (gen_wcnf ~max_weight:5) (fun (n_vars, hard, soft) ->
       let inst = Maxsat.Instance.create ~n_vars ~hard ~soft in
       match (Maxsat.Optimizer.solve inst, Maxsat.Core_guided.solve inst) with
-      | Maxsat.Optimizer.Unsatisfiable, Maxsat.Core_guided.Unsatisfiable ->
+      | Maxsat.Optimizer.Unsatisfiable _, Maxsat.Core_guided.Unsatisfiable _ ->
         true
       | Maxsat.Optimizer.Optimal o, Maxsat.Core_guided.Optimal { cost; _ } ->
         o.cost = cost
@@ -285,7 +304,7 @@ let prop_engines_agree_certified =
         ( Maxsat.Optimizer.solve ~certify:true inst,
           Maxsat.Core_guided.solve ~certify:true inst )
       with
-      | Maxsat.Optimizer.Unsatisfiable, Maxsat.Core_guided.Unsatisfiable ->
+      | Maxsat.Optimizer.Unsatisfiable _, Maxsat.Core_guided.Unsatisfiable _ ->
         true
       | ( Maxsat.Optimizer.Optimal o,
           Maxsat.Core_guided.Optimal { cost; certificate; _ } ) ->
@@ -299,7 +318,24 @@ let test_core_guided_hard_unsat () =
       ~soft:[ (1, [ lit 0 ]) ]
   in
   match Maxsat.Core_guided.solve inst with
-  | Maxsat.Core_guided.Unsatisfiable -> ()
+  | Maxsat.Core_guided.Unsatisfiable _ -> ()
+  | _ -> Alcotest.fail "expected Unsatisfiable"
+
+let test_core_guided_hard_unsat_certified () =
+  (* Same regression as the descent engine: a refutation found before any
+     core is extracted must still be certified under [~certify:true]. *)
+  let inst =
+    Maxsat.Instance.create ~n_vars:1
+      ~hard:[ [ lit 0 ]; [ lit ~sign:false 0 ] ]
+      ~soft:[ (1, [ lit 0 ]) ]
+  in
+  match Maxsat.Core_guided.solve ~certify:true inst with
+  | Maxsat.Core_guided.Unsatisfiable (Some r) ->
+    Alcotest.(check bool) "refutation certified" true (Maxsat.Certify.ok r);
+    Alcotest.(check bool) "checker actually ran" true
+      (r.Maxsat.Certify.proofs_checked >= 1)
+  | Maxsat.Core_guided.Unsatisfiable None ->
+    Alcotest.fail "hard-UNSAT answer carried no certificate under ~certify"
   | _ -> Alcotest.fail "expected Unsatisfiable"
 
 let test_solver_core_extraction () =
@@ -361,6 +397,8 @@ let suite =
         Alcotest.test_case "paper example 4" `Quick
           test_optimizer_paper_example;
         Alcotest.test_case "unsat hard" `Quick test_optimizer_unsat_hard;
+        Alcotest.test_case "unsat hard is certified" `Quick
+          test_optimizer_unsat_hard_certified;
         Alcotest.test_case "no softs" `Quick test_optimizer_no_soft;
         Alcotest.test_case "all softs satisfiable" `Quick
           test_optimizer_all_soft_satisfiable;
@@ -374,6 +412,8 @@ let suite =
     ( "core-guided",
       [
         Alcotest.test_case "hard unsat" `Quick test_core_guided_hard_unsat;
+        Alcotest.test_case "hard unsat is certified" `Quick
+          test_core_guided_hard_unsat_certified;
         Alcotest.test_case "solver core extraction" `Quick
           test_solver_core_extraction;
         qtest prop_core_guided_unweighted;

@@ -1,0 +1,270 @@
+(* Tests for lib/obs: the trace collector (span lifecycle, disabled-mode
+   no-op, ring overflow, Chrome export round-trip), the metrics registry,
+   the JSON printer/parser, and the monotonic clock. *)
+
+let reset () =
+  Obs.Trace.disable ();
+  Obs.Trace.clear ();
+  Obs.Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Trace collector *)
+
+let test_disabled_is_noop () =
+  reset ();
+  Alcotest.(check bool) "disabled by default" false (Obs.Trace.enabled ());
+  let span = Obs.Trace.start "never" ~args:[ ("k", Obs.Trace.Int 1) ] in
+  Obs.Trace.stop span;
+  Obs.Trace.instant "never";
+  Obs.Trace.sample "never" [ ("v", 1.0) ];
+  Alcotest.(check int) "nothing recorded" 0 (Obs.Trace.recorded ());
+  Alcotest.(check (list pass)) "no events" [] (Obs.Trace.events ());
+  (* A span started while disabled stays inert even if collection is
+     enabled before it is stopped. *)
+  let stale = Obs.Trace.start "stale" in
+  Obs.Trace.enable ();
+  Obs.Trace.stop stale;
+  Alcotest.(check int) "stale span not recorded" 0 (Obs.Trace.recorded ());
+  reset ()
+
+let test_span_nesting () =
+  reset ();
+  Obs.Trace.enable ();
+  let v =
+    Obs.Trace.with_span "outer"
+      ~args:[ ("depth", Obs.Trace.Int 0) ]
+      (fun () ->
+        Obs.Trace.with_span "inner" (fun () ->
+            Obs.Trace.instant "tick";
+            42))
+  in
+  Alcotest.(check int) "value threaded through" 42 v;
+  match Obs.Trace.events () with
+  | [ tick; inner; outer ] ->
+    (* Spans record at stop time, so the nesting closes inside-out. *)
+    Alcotest.(check string) "instant first" "tick" tick.Obs.Trace.name;
+    Alcotest.(check string) "inner closes first" "inner" inner.Obs.Trace.name;
+    Alcotest.(check string) "outer closes last" "outer" outer.Obs.Trace.name;
+    Alcotest.(check bool) "outer starts before inner" true
+      (outer.Obs.Trace.ts_us <= inner.Obs.Trace.ts_us);
+    Alcotest.(check bool) "inner nests inside outer" true
+      (inner.Obs.Trace.ts_us +. inner.Obs.Trace.dur_us
+      <= outer.Obs.Trace.ts_us +. outer.Obs.Trace.dur_us +. 1.0);
+    Alcotest.(check bool) "durations non-negative" true
+      (inner.Obs.Trace.dur_us >= 0.0 && outer.Obs.Trace.dur_us >= 0.0)
+  | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs)
+
+let test_span_stop_args_append () =
+  reset ();
+  Obs.Trace.enable ();
+  let span = Obs.Trace.start "work" ~args:[ ("in", Obs.Trace.Int 1) ] in
+  Obs.Trace.stop span ~args:[ ("out", Obs.Trace.Str "done") ];
+  match Obs.Trace.events () with
+  | [ ev ] ->
+    Alcotest.(check int) "both args present" 2 (List.length ev.Obs.Trace.args);
+    Alcotest.(check bool) "start arg kept" true
+      (List.mem_assoc "in" ev.Obs.Trace.args);
+    Alcotest.(check bool) "stop arg appended" true
+      (List.mem_assoc "out" ev.Obs.Trace.args)
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+let test_exception_closes_span () =
+  reset ();
+  Obs.Trace.enable ();
+  (try
+     Obs.Trace.with_span "raiser" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  match Obs.Trace.events () with
+  | [ ev ] ->
+    Alcotest.(check string) "span recorded" "raiser" ev.Obs.Trace.name;
+    Alcotest.(check bool) "exception noted" true
+      (List.mem_assoc "exception" ev.Obs.Trace.args)
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+let test_ring_overflow () =
+  reset ();
+  Obs.Trace.enable ~capacity:4 ();
+  for i = 0 to 9 do
+    Obs.Trace.instant (Printf.sprintf "i%d" i)
+  done;
+  Alcotest.(check int) "all recorded" 10 (Obs.Trace.recorded ());
+  Alcotest.(check int) "overflow dropped" 6 (Obs.Trace.dropped ());
+  let names = List.map (fun e -> e.Obs.Trace.name) (Obs.Trace.events ()) in
+  Alcotest.(check (list string)) "ring keeps the recent past"
+    [ "i6"; "i7"; "i8"; "i9" ] names;
+  (* Re-enabling with the default capacity clears the small ring. *)
+  Obs.Trace.enable ();
+  Alcotest.(check int) "capacity change clears" 0 (Obs.Trace.recorded ());
+  reset ()
+
+let test_chrome_round_trip () =
+  reset ();
+  Obs.Trace.enable ();
+  let span =
+    Obs.Trace.start "solve"
+      ~args:
+        [
+          ("n", Obs.Trace.Int 17);
+          ("ratio", Obs.Trace.Float 1.5);
+          ("kind", Obs.Trace.Str "sat");
+          ("ok", Obs.Trace.Bool true);
+        ]
+  in
+  Obs.Trace.stop span;
+  Obs.Trace.instant "mark";
+  Obs.Trace.sample "props" [ ("per_s", 123.0) ];
+  let doc = Obs.Trace.to_chrome_string () in
+  let json =
+    match Obs.Json.parse doc with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "chrome export does not re-parse: %s" e
+  in
+  let events =
+    match Obs.Json.member "traceEvents" json with
+    | Some l -> Obs.Json.to_list l
+    | None -> Alcotest.fail "no traceEvents"
+  in
+  Alcotest.(check int) "all events exported" 3 (List.length events);
+  let find name =
+    List.find
+      (fun ev ->
+        Obs.Json.member "name" ev
+        |> Option.map Obs.Json.string_value
+        |> Option.join = Some name)
+      events
+  in
+  let ph ev =
+    Option.join (Option.map Obs.Json.string_value (Obs.Json.member "ph" ev))
+  in
+  let solve = find "solve" in
+  Alcotest.(check (option string)) "complete phase" (Some "X") (ph solve);
+  Alcotest.(check (option string)) "instant phase" (Some "i")
+    (ph (find "mark"));
+  Alcotest.(check (option string)) "counter phase" (Some "C")
+    (ph (find "props"));
+  let args =
+    match Obs.Json.member "args" solve with
+    | Some a -> a
+    | None -> Alcotest.fail "span lost its args"
+  in
+  let num k = Option.bind (Obs.Json.member k args) Obs.Json.number_value in
+  let str k = Option.bind (Obs.Json.member k args) Obs.Json.string_value in
+  Alcotest.(check (option (float 1e-9))) "int arg" (Some 17.0) (num "n");
+  Alcotest.(check (option (float 1e-9))) "float arg" (Some 1.5) (num "ratio");
+  Alcotest.(check (option string)) "string arg" (Some "sat") (str "kind");
+  Alcotest.(check bool) "bool arg" true
+    (Obs.Json.member "ok" args = Some (Obs.Json.Bool true));
+  Alcotest.(check bool) "dur present on complete event" true
+    (Option.is_some (Obs.Json.member "dur" solve));
+  reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_counters_and_gauges () =
+  reset ();
+  let c = Obs.Metrics.counter "test.counter" in
+  let c' = Obs.Metrics.counter "test.counter" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c' 4;
+  Alcotest.(check int) "interned cell is shared" 5 (Obs.Metrics.value c);
+  let g = Obs.Metrics.gauge "test.gauge" in
+  Obs.Metrics.set g 2.5;
+  Alcotest.(check (float 1e-9)) "gauge set/get" 2.5 (Obs.Metrics.get g);
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check (option (float 1e-9))) "counter in snapshot" (Some 5.0)
+    (List.assoc_opt "test.counter" snap);
+  Alcotest.(check bool) "snapshot is sorted" true
+    (let keys = List.map fst snap in
+     keys = List.sort compare keys);
+  (* JSON export re-parses and carries the values. *)
+  let json =
+    match Obs.Json.parse (Obs.Metrics.to_json_string ()) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "metrics export does not re-parse: %s" e
+  in
+  Alcotest.(check (option (float 1e-9))) "value round-trips" (Some 2.5)
+    (Option.bind (Obs.Json.member "test.gauge" json) Obs.Json.number_value);
+  Obs.Metrics.reset ();
+  Alcotest.(check int) "reset zeroes, handle survives" 0 (Obs.Metrics.value c)
+
+(* ------------------------------------------------------------------ *)
+(* JSON printer/parser *)
+
+let test_json_round_trip () =
+  let v =
+    Obs.Json.(
+      Obj
+        [
+          ("s", Str "a\"b\\c\n\t\x01é");
+          ("n", Num 3.25);
+          ("i", Num 41.0);
+          ("b", Bool false);
+          ("z", Null);
+          ("l", List [ Num 1.0; Str "x"; Obj [] ]);
+        ])
+  in
+  match Obs.Json.parse (Obs.Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round trip" true (v = v')
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+
+let test_json_parser_strictness () =
+  let rejects s =
+    match Obs.Json.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parser accepted %S" s
+  in
+  rejects "{\"a\": 1} trailing";
+  rejects "[1,]";
+  rejects "{\"a\" 1}";
+  rejects "nul";
+  rejects "";
+  match Obs.Json.parse "  {\"u\": \"\\u00e9\", \"neg\": -2.5e1}  " with
+  | Ok j ->
+    Alcotest.(check (option string)) "unicode escape" (Some "\xc3\xa9")
+      (Option.bind (Obs.Json.member "u" j) Obs.Json.string_value);
+    Alcotest.(check (option (float 1e-9))) "exponent" (Some (-25.0))
+      (Option.bind (Obs.Json.member "neg" j) Obs.Json.number_value)
+  | Error e -> Alcotest.failf "valid document rejected: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Clock *)
+
+let test_clock_monotone () =
+  let prev = ref (Obs.Clock.now_us ()) in
+  for _ = 1 to 10_000 do
+    let t = Obs.Clock.now_us () in
+    if t < !prev then Alcotest.failf "clock went backwards: %f < %f" t !prev;
+    prev := t
+  done
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "disabled mode is a no-op" `Quick
+            test_disabled_is_noop;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "stop appends args" `Quick
+            test_span_stop_args_append;
+          Alcotest.test_case "exception closes span" `Quick
+            test_exception_closes_span;
+          Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+          Alcotest.test_case "chrome JSON round-trip" `Quick
+            test_chrome_round_trip;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick
+            test_metrics_counters_and_gauges;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "parser strictness" `Quick
+            test_json_parser_strictness;
+        ] );
+      ( "clock",
+        [ Alcotest.test_case "monotone" `Quick test_clock_monotone ] );
+    ]

@@ -332,7 +332,7 @@ let test_encoding_blocked_finals () =
       circuit
   in
   match Maxsat.Optimizer.solve (Satmap.Encoding.instance enc) with
-  | Maxsat.Optimizer.Unsatisfiable -> ()
+  | Maxsat.Optimizer.Unsatisfiable _ -> ()
   | _ -> Alcotest.fail "expected Unsatisfiable"
 
 (* ------------------------------------------------------------------ *)
@@ -534,6 +534,65 @@ let test_router_expired_timeout () =
     (* acceptable if the first deadline check passed before expiry *)
     ()
 
+(* Regression: classify_block_result must map optimizer verdicts purely
+   structurally.  The old code re-read the wall clock and filed a late
+   [Timeout] under [Block_unsat], which triggered bogus seam
+   backtracking in the sliced router. *)
+let test_block_result_classification () =
+  let device, circuit = running_example () in
+  let enc = Satmap.Encoding.build (Satmap.Encoding.spec device) circuit in
+  let classify config r = Satmap.Router.classify_block_result ~config enc r in
+  (match classify quick_config Maxsat.Optimizer.Timeout with
+  | Satmap.Router.Block_timeout -> ()
+  | Satmap.Router.Block_unsat ->
+    Alcotest.fail "Timeout misclassified as Block_unsat"
+  | _ -> Alcotest.fail "Timeout must classify as Block_timeout");
+  (match classify quick_config (Maxsat.Optimizer.Unsatisfiable None) with
+  | Satmap.Router.Block_unsat -> ()
+  | _ -> Alcotest.fail "Unsatisfiable must classify as Block_unsat");
+  (* A feasible-but-unproved model counts as a timeout unless the config
+     opts in, in which case it is solved but not optimal. *)
+  let outcome =
+    match Maxsat.Optimizer.solve (Satmap.Encoding.instance enc) with
+    | Maxsat.Optimizer.Optimal o -> o
+    | _ -> Alcotest.fail "expected Optimal"
+  in
+  (match
+     classify
+       { quick_config with Satmap.Router.accept_feasible = false }
+       (Maxsat.Optimizer.Feasible outcome)
+   with
+  | Satmap.Router.Block_timeout -> ()
+  | _ -> Alcotest.fail "Feasible rejected without accept_feasible");
+  match
+    classify
+      { quick_config with Satmap.Router.accept_feasible = true }
+      (Maxsat.Optimizer.Feasible outcome)
+  with
+  | Satmap.Router.Block_solved b ->
+    Alcotest.(check bool) "not marked optimal" false b.Satmap.Router.optimal
+  | _ -> Alcotest.fail "Feasible accepted under accept_feasible"
+
+(* Regression: a corrupted decoded solution makes [emit]'s replay check
+   raise [Failure]; the route_* boundary must surface that as [Failed],
+   never let the exception escape. *)
+let test_fault_injection_yields_failed () =
+  let device, circuit = running_example () in
+  let corrupt (sol : Satmap.Encoding.solution) =
+    let final = Array.copy sol.final in
+    let tmp = final.(0) in
+    final.(0) <- final.(1);
+    final.(1) <- tmp;
+    { sol with Satmap.Encoding.final }
+  in
+  let config = { quick_config with Satmap.Router.fault_injection = Some corrupt } in
+  match Satmap.Router.route_monolithic ~config device circuit with
+  | Satmap.Router.Failed msg ->
+    Alcotest.(check bool) "failure message is descriptive" true
+      (String.length msg > 0)
+  | Satmap.Router.Routed _ ->
+    Alcotest.fail "corrupted solution slipped through as Routed"
+
 let prop_routers_always_verified =
   QCheck2.Test.make ~count:10 ~name:"all SATMAP modes produce verified routings"
     QCheck2.Gen.(int_range 0 1000)
@@ -640,6 +699,10 @@ let suite =
         Alcotest.test_case "parallel portfolio" `Quick
           test_router_parallel_portfolio;
         Alcotest.test_case "expired timeout" `Quick test_router_expired_timeout;
+        Alcotest.test_case "block result classification" `Quick
+          test_block_result_classification;
+        Alcotest.test_case "fault injection yields Failed" `Quick
+          test_fault_injection_yields_failed;
         qtest prop_router_optimal_vs_brute;
         qtest prop_routers_always_verified;
       ] );
