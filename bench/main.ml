@@ -80,6 +80,7 @@ type run = {
   certified : bool;
   proof_events : int;
   certify_seconds : float;
+  solver_calls : int;  (** MaxSAT optimizer invocations actually paid for *)
 }
 
 let failed_run seconds =
@@ -91,6 +92,7 @@ let failed_run seconds =
     certified = false;
     proof_events = 0;
     certify_seconds = 0.;
+    solver_calls = 0;
   }
 
 let run_of_outcome = function
@@ -103,6 +105,7 @@ let run_of_outcome = function
       certified = s.certified;
       proof_events = s.proof_events;
       certify_seconds = s.certify_time;
+      solver_calls = s.solver_calls;
     }
   | Satmap.Router.Failed _ -> failed_run (timeout ())
 
@@ -193,6 +196,45 @@ let with_sat_totals f =
   let r = f () in
   (r, Sat.Solver.sub_totals (Sat.Solver.totals ()) before)
 
+(* Cold/warm pair over a shared block-level result cache (certification
+   off — cached solutions carry no proofs, so the router bypasses the
+   cache under certify): the warm run answers every block from the
+   cache, so its solver-call count is the serving layer's steady state
+   on repeated traffic. *)
+type cache_probe = {
+  cold_calls : int;
+  warm_calls : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let run_cache_probe (b : Workloads.Suite.benchmark) =
+  let bc =
+    Service.Block_cache.create ~name:"bench.block_cache" ~capacity:1024 ()
+  in
+  let config =
+    {
+      (satmap_config ()) with
+      certify = false;
+      block_cache = Some (Service.Block_cache.hook bc);
+    }
+  in
+  let calls = function
+    | Satmap.Router.Routed (_, (s : Satmap.Router.stats)) -> s.solver_calls
+    | Satmap.Router.Failed _ -> 0
+  in
+  let route () =
+    Satmap.Router.route_sliced ~config ~slice_size:10 tokyo b.circuit
+  in
+  let cold_calls = calls (route ()) in
+  let warm_calls = calls (route ()) in
+  {
+    cold_calls;
+    warm_calls;
+    cache_hits = Service.Block_cache.hits bc;
+    cache_misses = Service.Block_cache.misses bc;
+  }
+
 (* Memoised runs of the main dataset, shared across experiments. *)
 type main_row = {
   bench : Workloads.Suite.benchmark;
@@ -200,6 +242,7 @@ type main_row = {
   tb_olsq : run;
   satmap : run;
   satmap_sat : Sat.Solver.totals;  (** solver counters of the SATMAP run *)
+  satmap_cache : cache_probe;
   obs_events : int;  (** trace events recorded during the SATMAP run *)
   obs_metrics : (string * float) list;
       (** per-run observability counters (metrics are reset around each
@@ -245,6 +288,7 @@ let main_rows : main_row list Lazy.t =
            tb_olsq = run_tb_olsq b;
            satmap;
            satmap_sat;
+           satmap_cache = run_cache_probe b;
            obs_events;
            obs_metrics;
            nl_satmap = run_nl_satmap b;
@@ -856,24 +900,37 @@ let json_of_obs ~events metrics =
   Printf.sprintf "{\"trace_events\": %d, \"metrics\": %s}" events
     (json_of_metrics metrics)
 
+let json_of_cache (c : cache_probe) =
+  let looked_up = c.cache_hits + c.cache_misses in
+  Printf.sprintf
+    "{\"cold_solver_calls\": %d, \"warm_solver_calls\": %d, \"hits\": %d, \
+     \"misses\": %d, \"hit_rate\": %s}"
+    c.cold_calls c.warm_calls c.cache_hits c.cache_misses
+    (json_float
+       (if looked_up = 0 then 0.0
+        else float_of_int c.cache_hits /. float_of_int looked_up))
+
 let write_json path =
   let rows = Lazy.force main_rows in
   let oc = open_out path in
   let row_json (r : main_row) =
     Printf.sprintf
       "    {\"name\": \"%s\", \"family\": \"%s\", \"two_qubit\": %d, \
-       \"solved\": %b, \"swaps\": %d, \"seconds\": %s, \"optimal\": %b,\n\
+       \"solved\": %b, \"swaps\": %d, \"seconds\": %s, \"optimal\": %b, \
+       \"solver_calls\": %d,\n\
       \     \"solver\": %s,\n\
       \     \"proof\": %s,\n\
+      \     \"cache\": %s,\n\
       \     \"obs\": %s}"
       (json_escape r.bench.Workloads.Suite.name)
       (json_escape r.bench.family)
       r.bench.n_two_qubit r.satmap.solved
       (if r.satmap.solved then r.satmap.swaps else 0)
       (json_float r.satmap.seconds)
-      r.satmap.optimal
+      r.satmap.optimal r.satmap.solver_calls
       (json_of_totals r.satmap_sat ~wall:r.satmap.seconds)
       (json_of_proof r.satmap)
+      (json_of_cache r.satmap_cache)
       (json_of_obs ~events:r.obs_events r.obs_metrics)
   in
   let total_wall =
@@ -928,6 +985,19 @@ let write_json path =
       ~events:(List.fold_left (fun acc r -> acc + r.obs_events) 0 rows)
       (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []))
   in
+  let cache_totals =
+    json_of_cache
+      (List.fold_left
+         (fun acc r ->
+           {
+             cold_calls = acc.cold_calls + r.satmap_cache.cold_calls;
+             warm_calls = acc.warm_calls + r.satmap_cache.warm_calls;
+             cache_hits = acc.cache_hits + r.satmap_cache.cache_hits;
+             cache_misses = acc.cache_misses + r.satmap_cache.cache_misses;
+           })
+         { cold_calls = 0; warm_calls = 0; cache_hits = 0; cache_misses = 0 }
+         rows)
+  in
   let proof_totals =
     let solved_rows = List.filter (fun r -> r.satmap.solved) rows in
     Printf.sprintf
@@ -949,6 +1019,7 @@ let write_json path =
     \  \"solved\": %d,\n\
     \  \"solver_totals\": %s,\n\
     \  \"proof_totals\": %s,\n\
+    \  \"cache_totals\": %s,\n\
     \  \"obs_totals\": %s,\n\
     \  \"benchmarks\": [\n%s\n  ]\n\
      }\n"
@@ -956,7 +1027,7 @@ let write_json path =
     (json_float (timeout ()))
     (List.length rows) solved
     (json_of_totals sum ~wall:total_wall)
-    proof_totals obs_totals
+    proof_totals cache_totals obs_totals
     (String.concat ",\n" (List.map row_json rows));
   close_out oc;
   Printf.printf "\nwrote %s: %d benchmarks, %d solved, %.0f props/s\n" path

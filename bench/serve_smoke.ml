@@ -1,0 +1,177 @@
+(* @serve-smoke: end-to-end validation of the serving layer on a
+   repeated-body (QAOA) workload — the ISSUE's acceptance criterion.
+
+   Checks, in order:
+   1. A cold cyclic request solves and reports cache_hit = false with a
+      positive solver-call count in the obs metrics registry.
+   2. A second identical request reports cache_hit = true, is answered
+      without any new Maxsat.Optimizer invocation (maxsat.solves is
+      unchanged), and its response line is byte-identical to the cold
+      one modulo the timing field.
+   3. A qubit-renamed copy of the circuit also hits (canonicalization).
+   4. A request-level cache miss that shares the circuit body (same
+      circuit, different budget) is re-routed but answers every block
+      from the block-level cache: solver_calls = 0 in its stats.
+   5. The JSON-lines [serve] loop itself round-trips requests over
+      channels, correlates ids, and persists the cache file, which a
+      fresh engine restores.
+
+   Exit code 1 on any violation, so `dune runtest` fails. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("serve-smoke: " ^ msg);
+      exit 1)
+    fmt
+
+let metric name =
+  match List.assoc_opt name (Obs.Metrics.snapshot ()) with
+  | Some v -> int_of_float v
+  | None -> 0
+
+let ok_of = function
+  | Service.Protocol.Ok_response p -> p
+  | Service.Protocol.Error_response { code; message; _ } ->
+    fail "expected ok response, got %s: %s"
+      (Service.Protocol.error_code_name code)
+      message
+
+(* Strip the one volatile field so byte-identity is checkable on the
+   serialized line. *)
+let stable_line (p : Service.Protocol.ok_payload) =
+  Service.Protocol.response_to_string
+    (Service.Protocol.Ok_response { p with Service.Protocol.ok_time = 0. })
+
+let () =
+  Obs.Metrics.reset ();
+  let engine = Service.Engine.create ~workers:2 ~queue_capacity:8 () in
+
+  (* A repeated-body workload: QAOA maxcut, 3 identical cycles. *)
+  let _, circuit = Qaoa.Build.maxcut_3_regular ~seed:11 ~n:6 ~cycles:3 in
+  let qasm = Quantum.Qasm.to_string circuit in
+  let base =
+    {
+      Service.Protocol.default_request with
+      qasm;
+      device = "tokyo";
+      method_ = Service.Protocol.Cyclic;
+      timeout = 60.0;
+    }
+  in
+
+  (* 1. Cold request. *)
+  let cold = ok_of (Service.Engine.handle engine { base with id = "cold" }) in
+  if cold.ok_cache_hit then fail "cold request reported cache_hit = true";
+  let solves_cold = metric "maxsat.solves" in
+  if solves_cold = 0 then fail "cold request recorded no maxsat.solves";
+  if cold.ok_solver_calls = 0 then fail "cold request reported 0 solver calls";
+
+  (* 2. Identical request: request-level hit, no new solver work. *)
+  let warm = ok_of (Service.Engine.handle engine { base with id = "warm" }) in
+  if not warm.ok_cache_hit then fail "identical request missed the cache";
+  if metric "maxsat.solves" <> solves_cold then
+    fail "request-level cache hit still invoked Maxsat.Optimizer";
+  if
+    stable_line { warm with ok_id = cold.ok_id; ok_cache_hit = false }
+    <> stable_line cold
+  then fail "cached response differs from cold response beyond cache_hit/time";
+
+  (* 3. Renamed qubits: canonicalization must make it collide. *)
+  let n = Quantum.Circuit.n_qubits circuit in
+  let renamed = Quantum.Circuit.relabel_qubits circuit (fun q -> n - 1 - q) in
+  let renamed_req =
+    { base with id = "renamed"; qasm = Quantum.Qasm.to_string renamed }
+  in
+  let ren = ok_of (Service.Engine.handle engine renamed_req) in
+  if not ren.ok_cache_hit then fail "qubit-renamed request missed the cache";
+  if metric "maxsat.solves" <> solves_cold then
+    fail "renamed-request hit still invoked Maxsat.Optimizer";
+  if ren.ok_qasm <> cold.ok_qasm then
+    fail "renamed request's physical circuit differs from the cold one";
+
+  (* 4. Request-level miss, block-level hits: a different budget keys a
+     different request entry, but every block of the re-route is served
+     by the shared block cache — zero fresh optimizer calls. *)
+  let block_hits_before = Service.Block_cache.hits (Service.Engine.block_cache engine) in
+  let rerouted =
+    ok_of
+      (Service.Engine.handle engine { base with id = "rebudget"; timeout = 61.0 })
+  in
+  if rerouted.ok_cache_hit then
+    fail "different-budget request unexpectedly hit the request cache";
+  if rerouted.ok_solver_calls <> 0 then
+    fail "block cache left %d solver calls on a repeated body"
+      rerouted.ok_solver_calls;
+  if metric "maxsat.solves" <> solves_cold then
+    fail "block-level hits still invoked Maxsat.Optimizer";
+  if Service.Block_cache.hits (Service.Engine.block_cache engine) <= block_hits_before
+  then fail "block cache recorded no hits on the repeated body";
+  if rerouted.ok_qasm <> cold.ok_qasm then
+    fail "block-cache re-route produced a different physical circuit";
+  Service.Engine.shutdown engine;
+
+  (* 5. The serve loop over channels, with persistence. *)
+  let dir = Filename.temp_file "serve_smoke" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let cache_file = Filename.concat dir "cache.json" in
+  let in_path = Filename.concat dir "requests.jsonl" in
+  let out_path = Filename.concat dir "responses.jsonl" in
+  let oc = open_out in_path in
+  List.iter
+    (fun r ->
+      output_string oc (Service.Protocol.request_to_string r);
+      output_char oc '\n')
+    [
+      { base with id = "s1" };
+      { base with id = "s2" };
+      { renamed_req with id = "s3" };
+    ];
+  close_out oc;
+  (* One worker so s1 populates the cache before s2/s3 run — with more
+     workers the requests would legitimately race and all miss. *)
+  let engine2 = Service.Engine.create ~workers:1 ~cache_file () in
+  let ic = open_in in_path in
+  let out = open_out out_path in
+  Service.Engine.serve engine2 ic out;
+  close_in ic;
+  close_out out;
+  let responses = ref [] in
+  let ic = open_in out_path in
+  (try
+     while true do
+       match Service.Protocol.parse_response (input_line ic) with
+       | Ok r -> responses := r :: !responses
+       | Error e -> fail "serve output does not re-parse: %s" e
+     done
+   with End_of_file -> close_in ic);
+  let find id =
+    match
+      List.find_opt
+        (fun r -> (ok_of r).Service.Protocol.ok_id = id)
+        !responses
+    with
+    | Some r -> ok_of r
+    | None -> fail "no response for id %S" id
+  in
+  if List.length !responses <> 3 then
+    fail "expected 3 responses, got %d" (List.length !responses);
+  let s1 = find "s1" and s2 = find "s2" and s3 = find "s3" in
+  if not (s2.ok_cache_hit && s3.ok_cache_hit) then
+    fail "serve loop: repeated/renamed requests missed the cache";
+  if s1.ok_qasm <> s2.ok_qasm || s1.ok_qasm <> s3.ok_qasm then
+    fail "serve loop: responses disagree on the physical circuit";
+  if not (Sys.file_exists cache_file) then
+    fail "serve loop did not persist the cache file";
+  let engine3 = Service.Engine.create ~workers:1 ~cache_file () in
+  if Service.Engine.restored_entries engine3 = 0 then
+    fail "restored engine loaded no cache entries";
+  Service.Engine.shutdown engine3;
+  Sys.remove cache_file;
+  Sys.remove in_path;
+  Sys.remove out_path;
+  Unix.rmdir dir;
+  print_endline
+    "serve-smoke: ok (request cache, canonicalization, block cache, serve \
+     loop, persistence)"

@@ -265,6 +265,7 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
             certified = false;
             proof_events = 0;
             certify_time = 0.;
+            solver_calls = 0;
           } )
     | `Sliced, Some s ->
       Satmap.Router.route_sliced ~config ~slice_size:s device circuit
@@ -498,10 +499,102 @@ let suite_cmd =
             (Workloads.Suite.full ()))
       $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* serve *)
+
+let serve_cmd_run workers cache_size queue_capacity cache_file trace metrics =
+ guarded @@ fun () ->
+  Obs.Metrics.reset ();
+  if trace <> None then Obs.Trace.enable ();
+  let engine =
+    Service.Engine.create ?workers ~cache_size ~queue_capacity ?cache_file ()
+  in
+  (* stdout carries only JSON-lines responses; everything human-facing
+     goes to stderr. *)
+  if Service.Engine.restored_entries engine > 0 then
+    Format.eprintf "cache: restored %d entries@."
+      (Service.Engine.restored_entries engine);
+  Format.eprintf "serving on stdin (%d workers, queue %d, cache %d)@."
+    (Service.Pool.workers (Service.Engine.pool engine))
+    (Service.Pool.capacity (Service.Engine.pool engine))
+    cache_size;
+  Service.Engine.serve engine stdin stdout;
+  let pool = Service.Engine.pool engine in
+  let sc = Service.Engine.serve_cache engine in
+  let bc = Service.Engine.block_cache engine in
+  Format.eprintf
+    "served %d requests (%d rejected); request cache: %d hits / %d misses; \
+     block cache: %d hits / %d misses (%d entries)@."
+    (Service.Pool.completed pool)
+    (Service.Pool.rejected pool)
+    (Service.Cache.hits sc) (Service.Cache.misses sc)
+    (Service.Block_cache.hits bc)
+    (Service.Block_cache.misses bc)
+    (Service.Block_cache.length bc);
+  Option.iter
+    (fun path ->
+      Obs.Trace.write_chrome path;
+      Format.eprintf "trace:         %s (%d events, %d dropped)@." path
+        (Obs.Trace.recorded ()) (Obs.Trace.dropped ()))
+    trace;
+  Option.iter
+    (fun path ->
+      Obs.Metrics.write_json path;
+      Format.eprintf "metrics:       %s@." path)
+    metrics
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains draining the request queue (default: one per \
+             recommended domain, minus the reader).")
+  in
+  let cache_size =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-size" ] ~docv:"M"
+          ~doc:"Request-level result cache capacity (LRU entries).")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded job queue capacity; further submissions are answered \
+             with an overloaded error instead of blocking the reader.")
+  in
+  let cache_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-file" ] ~docv:"FILE"
+          ~doc:
+            "Persist the request-level cache as JSON: loaded on startup \
+             when present, written back on EOF.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Concurrent routing service: JSON-lines requests on stdin, \
+          JSON-lines responses on stdout (correlate by id — completion \
+          order is not submission order).  Structurally identical \
+          requests — even with renamed qubits — are answered from a \
+          canonicalization-keyed result cache.")
+    Term.(
+      const serve_cmd_run $ workers $ cache_size $ queue_capacity
+      $ cache_file $ trace_out $ metrics_out)
+
 let main =
   Cmd.group
     (Cmd.info "satmap" ~version:"1.0.0"
        ~doc:"Qubit mapping and routing via MaxSAT (MICRO 2022 reproduction).")
-    [ route_cmd; lint_cmd; stats_cmd; export_cmd; devices_cmd; suite_cmd ]
+    [
+      route_cmd; lint_cmd; stats_cmd; export_cmd; devices_cmd; suite_cmd;
+      serve_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

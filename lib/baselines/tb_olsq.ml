@@ -327,6 +327,7 @@ let route ?(config = default_config) device circuit =
                     certified = false;
                     proof_events = 0;
                     certify_time = 0.;
+                    solver_calls = n_blocks;
                   } )
             | Maxsat.Optimizer.Unsatisfiable _ ->
               attempt (extra + 1) "block budget exhausted"

@@ -45,6 +45,38 @@ type config = {
           replayed/emitted, so the downstream invariant checks
           ([emit]'s replay comparison, the verifier) can be exercised
           deterministically.  Never set outside tests. *)
+  block_cache : block_cache option;
+      (** serving-layer hook: consulted per block before the MaxSAT
+          optimizer is invoked, so repeated block structure (QAOA bodies,
+          identical slices across requests) stops paying the solver.  The
+          router stays cache-agnostic — key construction (and its
+          soundness: the key must cover every seam constraint in the
+          {!block_query}, not just the gate stream) lives behind these two
+          functions, implemented by [Service.Block_cache].  Disabled
+          automatically under [certify], [lint_blocks] and
+          [fault_injection]: cached solutions carry no proofs and must not
+          mask the debug/test paths. *)
+}
+
+(* Everything a block's solution depends on.  A cache keyed on any strict
+   subset of these fields is unsound: a solution found under a pinned
+   seam, a blocked final map, the cyclic tie, extra post slots or a
+   different swap budget is not interchangeable with one found without. *)
+and block_query = {
+  bq_device : Arch.Device.t;
+  bq_slice : Quantum.Circuit.t;
+  bq_n_swaps : int;  (** the budget actually used (after escalation) *)
+  bq_post_slots : int;
+  bq_cyclic : bool;
+  bq_fixed_initial : int array option;
+  bq_fixed_final : int array option;
+  bq_blocked_finals : int array list;
+}
+
+and block_cache = {
+  bc_find : config -> block_query -> Encoding.solution option;
+  bc_store : config -> block_query -> Encoding.solution -> unit;
+      (** only (locally) optimal solutions are offered for storage *)
 }
 
 let default_config =
@@ -64,6 +96,7 @@ let default_config =
     certify = false;
     lint_blocks = false;
     fault_injection = None;
+    block_cache = None;
   }
 
 let m_blocks = Obs.Metrics.counter "router.blocks"
@@ -84,6 +117,10 @@ type stats = {
           infeasibility proof *)
   proof_events : int;  (** learnt/delete trace events across all blocks *)
   certify_time : float;  (** seconds spent in the proof checker *)
+  solver_calls : int;
+      (** [Maxsat.Optimizer.solve] invocations this route actually paid
+          for; block-cache hits skip the call, so under a warm cache this
+          drops below [n_blocks] (to zero when every block hits) *)
 }
 
 type outcome =
@@ -240,16 +277,53 @@ let classify_block_result ~config enc (result : Maxsat.Optimizer.result) =
   | Maxsat.Optimizer.Unsatisfiable _ -> Block_unsat
   | Maxsat.Optimizer.Timeout -> Block_timeout
 
+(* The cache only serves blocks whose solutions the rest of the pipeline
+   can take at face value: no proof obligations, no lint instrumentation,
+   no fault injection between decode and replay. *)
+let block_cache_of config =
+  match config.block_cache with
+  | Some c
+    when (not config.certify) && (not config.lint_blocks)
+         && config.fault_injection = None ->
+    Some c
+  | Some _ | None -> None
+
 let solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
     ?(cyclic = false) ?(blocked_finals = []) ?n_swaps_override ?(post_slots = 0)
     circuit =
   let spec = spec_of_config ?n_swaps_override ~post_slots config device in
-  if Unix.gettimeofday () > deadline then Block_timeout
+  if Unix.gettimeofday () > deadline then (Block_timeout, 0)
   else if
     Encoding.estimate_vars spec circuit > config.max_vars
     || Encoding.estimate_clauses spec circuit > config.max_clauses
-  then Block_too_large
+  then (Block_too_large, 0)
   else begin
+    let cache = block_cache_of config in
+    let query () =
+      {
+        bq_device = device;
+        bq_slice = circuit;
+        bq_n_swaps = Option.value n_swaps_override ~default:config.n_swaps;
+        bq_post_slots = post_slots;
+        bq_cyclic = cyclic;
+        bq_fixed_initial = fixed_initial;
+        bq_fixed_final = fixed_final;
+        bq_blocked_finals = blocked_finals;
+      }
+    in
+    match Option.map (fun c -> c.bc_find config (query ())) cache with
+    | Some (Some sol) ->
+      (* Hit: the solver is skipped entirely.  The encoding is still
+         built (deterministic from spec + circuit + seams) because [emit]
+         replays through its step/slot schedule; that cost is linear in
+         the block, not exponential like the solve. *)
+      let enc =
+        Encoding.build ?fixed_initial ?fixed_final ~cyclic ~blocked_finals
+          spec circuit
+      in
+      ( Block_solved { enc; sol; optimal = true; iterations = 0; cert = None },
+        0 )
+    | Some None | None ->
     let enc =
       Encoding.build ?fixed_initial ?fixed_final ~cyclic ~blocked_finals spec
         circuit
@@ -268,9 +342,16 @@ let solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
           (Format.asprintf "Router: block failed lint (%s)@\n%a"
              (Lint.Report.summary report) Lint.Report.pp report)
     end;
-    classify_block_result ~config enc
-      (Maxsat.Optimizer.solve ~deadline ~certify:config.certify
-         (Encoding.instance enc))
+    let result =
+      classify_block_result ~config enc
+        (Maxsat.Optimizer.solve ~deadline ~certify:config.certify
+           (Encoding.instance enc))
+    in
+    (match (result, cache) with
+    | Block_solved b, Some c when b.optimal ->
+      c.bc_store config (query ()) b.sol
+    | _ -> ());
+    (result, 1)
   end
 
 let block_result_label = function
@@ -297,17 +378,18 @@ let solve_block_escalating ~config ~deadline ~device ?fixed_initial
     else Obs.Trace.null_span
   in
   let diameter = max 1 (Arch.Device.diameter device) in
-  let rec attempt n escalations =
+  let rec attempt n escalations calls =
     let post_slots = if want_post then n else 0 in
-    match
+    let result, c =
       solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
         ~cyclic ~blocked_finals ~n_swaps_override:n ~post_slots circuit
-    with
+    in
+    match result with
     | Block_unsat when n < diameter ->
-      attempt (min diameter (2 * n)) (escalations + 1)
-    | other -> (other, escalations)
+      attempt (min diameter (2 * n)) (escalations + 1) (calls + c)
+    | other -> (other, escalations, calls + c)
   in
-  let result, escalations = attempt config.n_swaps 0 in
+  let result, escalations, solver_calls = attempt config.n_swaps 0 0 in
   Obs.Metrics.incr m_blocks;
   Obs.Metrics.add m_escalations escalations;
   if span != Obs.Trace.null_span then
@@ -317,7 +399,7 @@ let solve_block_escalating ~config ~deadline ~device ?fixed_initial
           ("result", Obs.Trace.Str (block_result_label result));
           ("escalations", Obs.Trace.Int escalations);
         ];
-  (result, escalations)
+  (result, escalations, solver_calls)
 
 (* ------------------------------------------------------------------ *)
 (* Trivial case: no two-qubit gates at all *)
@@ -376,10 +458,11 @@ let route_monolithic ?(config = default_config) device circuit =
           certified;
           proof_events;
           certify_time;
+          solver_calls = 0;
         } )
   end
   else begin
-    let result, escalations =
+    let result, escalations, solver_calls =
       solve_block_escalating ~config ~deadline ~device circuit
     in
     match result with
@@ -401,6 +484,7 @@ let route_monolithic ?(config = default_config) device circuit =
             certified;
             proof_events;
             certify_time;
+            solver_calls;
           } )
     | Block_unsat -> Failed "unsatisfiable encoding"
     | Block_timeout -> Failed "timeout"
@@ -434,6 +518,7 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
     let n = Array.length slices in
     let backtracks = ref 0 in
     let escalations = ref 0 in
+    let solver_calls = ref 0 in
     let failure = ref None in
     let i = ref 0 in
     while !failure = None && !i < n do
@@ -454,7 +539,7 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
         Float.min deadline
           (now +. Float.max 0.1 (remaining /. float_of_int (n - !i)))
       in
-      let result, esc =
+      let result, esc, calls =
         solve_block_escalating ~config ~deadline:block_deadline ~device
           ?fixed_initial ~blocked_finals:st.blocked
           ~obs_args:
@@ -462,6 +547,7 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
           st.slice
       in
       escalations := !escalations + esc;
+      solver_calls := !solver_calls + calls;
       match result with
       | Block_solved b ->
         st.solution <- Some b;
@@ -521,6 +607,7 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
             certified;
             proof_events;
             certify_time;
+            solver_calls = !solver_calls;
           } )
   end
 
@@ -548,7 +635,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
     match slice_size with
     | None -> (
       (* Monolithic body with the cyclic tie and post slots. *)
-      let result, escalations =
+      let result, escalations, solver_calls =
         solve_block_escalating ~config ~deadline ~device ~cyclic:true
           ~want_post:true body
       in
@@ -569,6 +656,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
               certified;
               proof_events;
               certify_time;
+              solver_calls;
             }
           (emit ~device ~circuit:body b.enc b.sol)
       | Block_unsat -> Failed "cyclic encoding unsatisfiable"
@@ -586,6 +674,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
       let n = Array.length slices in
       let backtracks = ref 0 in
       let escalations = ref 0 in
+      let solver_calls = ref 0 in
       let failure = ref None in
       let i = ref 0 in
       while !failure = None && !i < n do
@@ -613,7 +702,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
           Float.min deadline
             (now +. Float.max 0.1 (remaining /. float_of_int (n - !i)))
         in
-        let result, esc =
+        let result, esc, calls =
           solve_block_escalating ~config ~deadline:block_deadline ~device
             ?fixed_initial ?fixed_final ~cyclic ~blocked_finals:st.blocked
             ~want_post
@@ -622,6 +711,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
             st.slice
         in
         escalations := !escalations + esc;
+        solver_calls := !solver_calls + calls;
         match result with
         | Block_solved b ->
           st.solution <- Some b;
@@ -679,6 +769,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
               certified;
               proof_events;
               certify_time;
+              solver_calls = !solver_calls;
             }
           routed_body)
   end
@@ -725,7 +816,10 @@ let route_portfolio ?(config = default_config) ?(sizes = [ 10; 25; 50; 100 ])
 (* Parallel portfolio: one domain per slice size, realising the paper's
    "parallel SAT-solving strategies" scaling avenue.  Every domain builds
    its own solver state; the shared device and circuit values are
-   immutable, so no synchronisation is needed. *)
+   immutable, so no synchronisation is needed.  Spawns are chunked at the
+   runtime's recommended domain count (minus the joining domain) rather
+   than one domain per member unconditionally: oversubscribing cores
+   makes every member slower without solving more. *)
 let route_portfolio_parallel ?(config = default_config)
     ?(sizes = [ 10; 25; 50; 100 ]) device circuit =
   let spawn size =
@@ -734,8 +828,26 @@ let route_portfolio_parallel ?(config = default_config)
           try run_member ~config ~size device circuit
           with exn -> Failed (Printexc.to_string exn)) )
   in
-  let domains = List.map spawn sizes in
-  let results = List.map (fun (size, d) -> (size, Domain.join d)) domains in
+  let max_live = max 1 (Domain.recommended_domain_count () - 1) in
+  let rec chunks = function
+    | [] -> []
+    | xs ->
+      let rec take n = function
+        | x :: tl when n > 0 ->
+          let hd, rest = take (n - 1) tl in
+          (x :: hd, rest)
+        | rest -> ([], rest)
+      in
+      let group, rest = take max_live xs in
+      group :: chunks rest
+  in
+  let results =
+    List.concat_map
+      (fun group ->
+        let domains = List.map spawn group in
+        List.map (fun (size, d) -> (size, Domain.join d)) domains)
+      (chunks sizes)
+  in
   match best_of results with
   | Some (r, s) -> (Routed (r, s), results)
   | None -> (Failed "no slice size succeeded", results)

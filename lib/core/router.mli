@@ -39,6 +39,37 @@ type config = {
       (** test seam: corrupt every decoded block solution before replay
           and emission so the internal invariant checks can be exercised
           deterministically.  [None] (always, outside tests). *)
+  block_cache : block_cache option;
+      (** serving-layer hook ([Service.Block_cache]): consulted once per
+          block before {!Maxsat.Optimizer.solve}, so repeated block
+          structure stops paying the solver.  Ignored under [certify],
+          [lint_blocks] or [fault_injection] — cached solutions carry no
+          proofs and must not mask the debug/test paths. *)
+}
+
+(** Everything a block's solution depends on — the contract a cache key
+    must cover.  Keying on any strict subset (e.g. just the gate stream)
+    is unsound: solutions found under different pinned seams, blocked
+    final maps, the cyclic tie, post slots or swap budgets are not
+    interchangeable (DESIGN.md §12). *)
+and block_query = {
+  bq_device : Arch.Device.t;
+  bq_slice : Quantum.Circuit.t;
+  bq_n_swaps : int;  (** the budget actually used (after escalation) *)
+  bq_post_slots : int;
+  bq_cyclic : bool;
+  bq_fixed_initial : int array option;
+  bq_fixed_final : int array option;
+  bq_blocked_finals : int array list;
+}
+
+and block_cache = {
+  bc_find : config -> block_query -> Encoding.solution option;
+      (** a returned solution is used verbatim (marked optimal, zero
+          iterations); it must be exactly a solution the optimizer could
+          have produced for this query *)
+  bc_store : config -> block_query -> Encoding.solution -> unit;
+      (** called only with (locally) optimal solutions *)
 }
 
 val default_config : config
@@ -57,6 +88,11 @@ type stats = {
   proof_events : int;
       (** learnt/delete proof-trace events across all blocks *)
   certify_time : float;  (** seconds spent inside the proof checker *)
+  solver_calls : int;
+      (** [Maxsat.Optimizer.solve] invocations this route actually paid
+          for.  Without a [block_cache] this counts every block attempt
+          (escalations included); with a warm cache it drops below
+          [n_blocks], to zero when every block hits. *)
 }
 
 type outcome =
@@ -146,4 +182,6 @@ val route_portfolio_parallel :
   outcome * (int * outcome) list
 (** Like {!route_portfolio} but with one domain per slice size (the
     paper's "parallel SAT-solving strategies" future-work avenue);
-    wall-clock is the slowest member instead of the sum. *)
+    wall-clock is the slowest member instead of the sum.  Spawns are
+    chunked at [Domain.recommended_domain_count () - 1] live domains so
+    a large portfolio does not oversubscribe the machine. *)

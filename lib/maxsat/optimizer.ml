@@ -31,6 +31,10 @@ let best_outcome = function
 let m_iterations = Obs.Metrics.counter "maxsat.iterations"
 let m_optima = Obs.Metrics.counter "maxsat.optima_proved"
 
+(* Entries into [solve] — the denominator the serving layer's result
+   cache drives down: a block-cache hit skips the call entirely. *)
+let m_solves = Obs.Metrics.counter "maxsat.solves"
+
 (* Relaxation literals: for a soft clause C, a literal r such that r true
    "pays" the clause's weight.  Unit softs [l] reuse ~l directly — the
    common case in the QMR encoding (soft swap no-ops) adds no variables.
@@ -76,6 +80,7 @@ let assert_bound (sink : Sat.Sink.t) machinery k =
   | Adder bits -> Adder.assert_le sink bits k
 
 let solve ?deadline ?(certify = false) ?report instance =
+  Obs.Metrics.incr m_solves;
   let start = Unix.gettimeofday () in
   let solver = Sat.Solver.create () in
   (* With certification on, every clause is recorded alongside the

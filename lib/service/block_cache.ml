@@ -1,0 +1,53 @@
+(* Canonical-space solution store.  Entries are deep-copied on both
+   sides of the cache boundary: solutions cross domain boundaries under
+   the parallel portfolio and the pool, and nothing downstream may alias
+   a shared array. *)
+
+type t = { cache : Satmap.Encoding.solution Cache.t }
+
+let create ?(name = "service.block_cache") ?(capacity = 4096) () =
+  { cache = Cache.create ~name ~capacity () }
+
+let copy_solution (s : Satmap.Encoding.solution) =
+  {
+    s with
+    Satmap.Encoding.initial = Array.copy s.Satmap.Encoding.initial;
+    final = Array.copy s.Satmap.Encoding.final;
+    slot_swaps = Array.copy s.Satmap.Encoding.slot_swaps;
+  }
+
+(* Canonical <-> caller label translation.  Only the logical-indexed maps
+   move; slot swaps are physical-space and label-invariant. *)
+
+let to_canonical perm (s : Satmap.Encoding.solution) =
+  {
+    (copy_solution s) with
+    Satmap.Encoding.initial = Canon.unapply_perm perm s.Satmap.Encoding.initial;
+    final = Canon.unapply_perm perm s.Satmap.Encoding.final;
+  }
+
+let of_canonical perm (s : Satmap.Encoding.solution) =
+  {
+    (copy_solution s) with
+    Satmap.Encoding.initial = Canon.apply_perm perm s.Satmap.Encoding.initial;
+    final = Canon.apply_perm perm s.Satmap.Encoding.final;
+  }
+
+let find t config query =
+  Obs.Trace.with_span "service.cache_lookup"
+    ~args:[ ("level", Obs.Trace.Str "block") ]
+    (fun () ->
+      let key, perm = Canon.block_key config query in
+      Option.map (of_canonical perm) (Cache.find t.cache key))
+
+let store t config query sol =
+  let key, perm = Canon.block_key config query in
+  Cache.add t.cache key (to_canonical perm sol)
+
+let hook t =
+  { Satmap.Router.bc_find = find t; bc_store = store t }
+
+let length t = Cache.length t.cache
+let hits t = Cache.hits t.cache
+let misses t = Cache.misses t.cache
+let clear t = Cache.clear t.cache

@@ -1,0 +1,29 @@
+(** The slice-level result cache behind [Router.config.block_cache].
+
+    Stores (locally) optimal {!Satmap.Encoding.solution}s keyed by
+    {!Canon.block_key}, in canonical qubit space, and translates them
+    back to the caller's labels on a hit — so structurally identical but
+    renamed slices share one entry, across blocks of one route and
+    across routes (the serving layer shares one instance per engine).
+    This is where repeated-body circuits (QAOA) stop paying
+    {!Maxsat.Optimizer.solve} at all: the cyclic body of the second
+    identical request, and every identical slice after the first, is a
+    lookup plus an encoding rebuild.
+
+    Thread-safe (the underlying {!Cache} is mutex-protected); counters
+    live under ["service.block_cache"] in {!Obs.Metrics}; every lookup
+    is wrapped in a ["service.cache_lookup"] span when tracing is on. *)
+
+type t
+
+val create : ?name:string -> ?capacity:int -> unit -> t
+(** [capacity] defaults to 4096 entries; [name] (counter prefix) to
+    ["service.block_cache"]. *)
+
+val hook : t -> Satmap.Router.block_cache
+(** Plug into [{ config with block_cache = Some (hook t) }]. *)
+
+val length : t -> int
+val hits : t -> int
+val misses : t -> int
+val clear : t -> unit

@@ -1,0 +1,184 @@
+(* Bounded LRU: hash table for O(1) lookup, intrusive doubly-linked list
+   for O(1) recency updates and eviction, one mutex around both.  The
+   list's head is the least-recently-used entry (first to evict), the
+   tail the most-recently-used. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (* LRU end *)
+  mutable tail : 'a node option;  (* MRU end *)
+  lock : Mutex.t;
+  m_hits : Obs.Metrics.counter;
+  m_misses : Obs.Metrics.counter;
+  m_evictions : Obs.Metrics.counter;
+  m_insertions : Obs.Metrics.counter;
+  (* Per-cache counts, independent of the shared (name-interned, and
+     resettable) metrics registry. *)
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_evictions : int;
+}
+
+let create ?(name = "service.cache") ~capacity () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 1024);
+    head = None;
+    tail = None;
+    lock = Mutex.create ();
+    m_hits = Obs.Metrics.counter (name ^ ".hits");
+    m_misses = Obs.Metrics.counter (name ^ ".misses");
+    m_evictions = Obs.Metrics.counter (name ^ ".evictions");
+    m_insertions = Obs.Metrics.counter (name ^ ".insertions");
+    n_hits = 0;
+    n_misses = 0;
+    n_evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* List surgery; call with the lock held. *)
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_mru t node =
+  node.prev <- t.tail;
+  node.next <- None;
+  (match t.tail with
+  | Some old -> old.next <- Some node
+  | None -> t.head <- Some node);
+  t.tail <- Some node
+
+let touch t node =
+  match t.tail with
+  | Some tl when tl == node -> ()
+  | _ ->
+    unlink t node;
+    push_mru t node
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some node ->
+        touch t node;
+        t.n_hits <- t.n_hits + 1;
+        Obs.Metrics.incr t.m_hits;
+        Some node.value
+      | None ->
+        t.n_misses <- t.n_misses + 1;
+        Obs.Metrics.incr t.m_misses;
+        None)
+
+let mem t key = locked t (fun () -> Hashtbl.mem t.table key)
+
+let evict_lru t =
+  match t.head with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key;
+    t.n_evictions <- t.n_evictions + 1;
+    Obs.Metrics.incr t.m_evictions
+
+let add t key value =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.table key with
+      | Some node ->
+        node.value <- value;
+        touch t node
+      | None ->
+        if Hashtbl.length t.table >= t.capacity then evict_lru t;
+        let node = { key; value; prev = None; next = None } in
+        Hashtbl.add t.table key node;
+        push_mru t node);
+      Obs.Metrics.incr t.m_insertions)
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+let capacity t = t.capacity
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None)
+
+let hits t = locked t (fun () -> t.n_hits)
+let misses t = locked t (fun () -> t.n_misses)
+let evictions t = locked t (fun () -> t.n_evictions)
+
+(* Snapshot in LRU -> MRU order so a restore replays insertions oldest
+   first and ends with the same recency order. *)
+let entries t =
+  locked t (fun () ->
+      let rec walk acc = function
+        | None -> List.rev acc
+        | Some node -> walk ((node.key, node.value) :: acc) node.next
+      in
+      walk [] t.head)
+
+let keys t = List.map fst (entries t)
+
+let to_json encode t =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "satmap-service-cache/v1");
+      ("capacity", Obs.Json.Num (float_of_int t.capacity));
+      ( "entries",
+        Obs.Json.List
+          (List.map
+             (fun (key, value) ->
+               Obs.Json.Obj
+                 [ ("key", Obs.Json.Str key); ("value", encode value) ])
+             (entries t)) );
+    ]
+
+let save ~encode t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.Json.to_string (to_json encode t)))
+
+let restore ~decode t json =
+  let entries =
+    match Obs.Json.member "entries" json with
+    | Some (Obs.Json.List l) -> l
+    | Some _ | None -> []
+  in
+  List.fold_left
+    (fun restored entry ->
+      match
+        ( Option.bind (Obs.Json.member "key" entry) Obs.Json.string_value,
+          Option.bind (Obs.Json.member "value" entry) decode )
+      with
+      | Some key, Some value ->
+        add t key value;
+        restored + 1
+      | _ -> restored)
+    0 entries
+
+let load ~decode t path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+    match Obs.Json.parse contents with
+    | Error msg -> Error (path ^ ": " ^ msg)
+    | Ok json -> Ok (restore ~decode t json))

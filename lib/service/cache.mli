@@ -1,0 +1,53 @@
+(** Mutex-protected bounded LRU from canonical keys to results.
+
+    One lock per cache, held only for the O(1) table/recency-list
+    operations — values are returned by reference, never copied, so
+    callers must treat them as immutable (the serving layer stores
+    decoded solutions and response payloads, both write-once).
+
+    Every cache registers four always-on counters in the
+    {!Obs.Metrics} registry under its name: [<name>.hits],
+    [<name>.misses], [<name>.evictions], [<name>.insertions].  Two
+    caches created with the same name share counters.
+
+    Optional JSON persistence: {!save}/{!load} snapshot the entries
+    (least- to most-recently-used, so reloading preserves eviction
+    order) through caller-supplied encoders via {!Obs.Json}. *)
+
+type 'a t
+
+val create : ?name:string -> capacity:int -> unit -> 'a t
+(** [capacity >= 1] (raises [Invalid_argument] otherwise); [name]
+    defaults to ["service.cache"]. *)
+
+val find : 'a t -> string -> 'a option
+(** Refreshes the entry's recency on a hit; bumps the hit/miss counter. *)
+
+val mem : 'a t -> string -> bool
+(** No recency refresh, no counter traffic. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace (replacement refreshes recency); evicts the
+    least-recently-used entry when the capacity is exceeded. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val clear : 'a t -> unit
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int
+
+val keys : 'a t -> string list
+(** Least- to most-recently-used. *)
+
+val to_json : ('a -> Obs.Json.t) -> 'a t -> Obs.Json.t
+val save : encode:('a -> Obs.Json.t) -> 'a t -> string -> unit
+
+val restore : decode:(Obs.Json.t -> 'a option) -> 'a t -> Obs.Json.t -> int
+(** Insert every decodable entry of a {!to_json} document (oldest
+    first); returns how many were restored.  Undecodable entries are
+    skipped, not fatal — a stale snapshot degrades to a cold cache. *)
+
+val load : decode:(Obs.Json.t -> 'a option) -> 'a t -> string -> (int, string) result
+(** [Error] on unreadable files or unparseable JSON. *)

@@ -1,0 +1,248 @@
+(* The serving layer: request-level cache + shared block cache + worker
+   pool.  Requests are routed in canonical qubit space (first-use
+   relabelling), so two renamed copies of one circuit share both cache
+   levels and produce the same physical circuit text; only the
+   initial/final maps are translated back per request. *)
+
+type t = {
+  pool : Pool.t;
+  serve_cache : Protocol.ok_payload Cache.t;
+  block_cache : Block_cache.t;
+  cache_file : string option;
+  restored : int;
+}
+
+let m_requests = Obs.Metrics.counter "service.requests"
+
+let create ?workers ?(cache_size = 256) ?(block_cache_size = 4096)
+    ?(queue_capacity = 64) ?cache_file () =
+  let workers =
+    match workers with
+    | Some w -> max 1 w
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let serve_cache = Cache.create ~name:"service.cache" ~capacity:cache_size () in
+  let restored =
+    match cache_file with
+    | Some path when Sys.file_exists path -> (
+      match Cache.load ~decode:Protocol.payload_of_json serve_cache path with
+      | Ok n -> n
+      | Error _ -> 0 (* stale schema or corrupt file: start cold *))
+    | Some _ | None -> 0
+  in
+  {
+    pool = Pool.create ~name:"service.pool" ~workers ~capacity:queue_capacity ();
+    serve_cache;
+    block_cache = Block_cache.create ~capacity:block_cache_size ();
+    cache_file;
+    restored;
+  }
+
+let serve_cache t = t.serve_cache
+let block_cache t = t.block_cache
+let restored_entries t = t.restored
+let pool t = t.pool
+let shutdown t = Pool.shutdown t.pool
+
+let save_cache t =
+  Option.iter
+    (Cache.save ~encode:Protocol.payload_to_json t.serve_cache)
+    t.cache_file
+
+(* ---- one request ------------------------------------------------- *)
+
+let err id code message = Protocol.Error_response { id; code; message }
+
+(* Everything the answer depends on beyond the canonical circuit.  The
+   config digest covers the encoding knobs and the objective (which
+   folds in the calibration under [noise]); timeout is included because
+   request-level entries may hold non-optimal anytime results, whose
+   quality the budget does change. *)
+let request_key (req : Protocol.request) config device canon_circuit =
+  Canon.digest_parts
+    [
+      "satmap-serve/v1";
+      Canon.device_digest device;
+      Canon.config_digest config;
+      Canon.circuit_digest canon_circuit;
+      (match req.method_ with
+      | Sliced -> Printf.sprintf "sliced:%d" (Option.value req.slice_size ~default:25)
+      | Monolithic -> "monolithic"
+      | Cyclic -> (
+        match req.slice_size with
+        | Some s -> Printf.sprintf "cyclic:%d" s
+        | None -> "cyclic")
+      | Portfolio -> "portfolio");
+      string_of_int req.n_swaps;
+      Printf.sprintf "%.17g" req.timeout;
+    ]
+
+let translate perm (p : Protocol.ok_payload) ~id ~time =
+  {
+    p with
+    Protocol.ok_id = id;
+    ok_initial = Canon.apply_perm perm p.Protocol.ok_initial;
+    ok_final = Canon.apply_perm perm p.Protocol.ok_final;
+    ok_cache_hit = true;
+    ok_time = time;
+  }
+
+let route_canonical (req : Protocol.request) config device canon =
+  match req.method_ with
+  | Protocol.Monolithic -> Satmap.Router.route_monolithic ~config device canon
+  | Protocol.Sliced ->
+    Satmap.Router.route_sliced ~config
+      ~slice_size:(Option.value req.slice_size ~default:25)
+      device canon
+  | Protocol.Cyclic ->
+    Satmap.Router.route_cyclic ~config ?slice_size:req.slice_size device canon
+  | Protocol.Portfolio ->
+    fst (Satmap.Router.route_portfolio ~config device canon)
+
+let handle ?deadline t (req : Protocol.request) =
+  Obs.Metrics.incr m_requests;
+  Obs.Trace.with_span "service.request"
+    ~args:[ ("id", Obs.Trace.Str req.id); ("device", Obs.Trace.Str req.device) ]
+  @@ fun () ->
+  let start = Unix.gettimeofday () in
+  let budget =
+    match deadline with
+    | Some d -> Float.min req.timeout (d -. start)
+    | None -> req.timeout
+  in
+  if budget <= 0. then
+    err req.id Protocol.Deadline_exceeded "deadline passed before routing began"
+  else
+    match Arch.Topologies.by_name req.device with
+    | None ->
+      err req.id Protocol.Unknown_device
+        (Printf.sprintf "unknown device %S (known: %s)" req.device
+           (String.concat ", " Arch.Topologies.known_names))
+    | Some device -> (
+      match Quantum.Qasm.of_string req.qasm with
+      | exception e ->
+        err req.id Protocol.Parse_error
+          (match e with Failure m -> m | e -> Printexc.to_string e)
+      | circuit -> (
+        let perm, canon = Canon.canonical circuit in
+        let objective =
+          if req.noise then
+            Satmap.Encoding.Fidelity (Arch.Calibration.synthetic device)
+          else Satmap.Encoding.Count_swaps
+        in
+        let config =
+          {
+            Satmap.Router.default_config with
+            timeout = budget;
+            objective;
+            n_swaps = req.n_swaps;
+            block_cache =
+              (if req.use_cache then Some (Block_cache.hook t.block_cache)
+               else None);
+          }
+        in
+        (* The key uses the nominal timeout, not the queue-shrunk budget:
+           otherwise every queued request would key differently. *)
+        let key = request_key req config device canon in
+        let cached =
+          if req.use_cache then
+            Obs.Trace.with_span "service.cache_lookup"
+              ~args:[ ("level", Obs.Trace.Str "request") ]
+              (fun () -> Cache.find t.serve_cache key)
+          else None
+        in
+        match cached with
+        | Some stored ->
+          Protocol.Ok_response
+            (translate perm stored ~id:req.id
+               ~time:(Unix.gettimeofday () -. start))
+        | None -> (
+          match route_canonical req config device canon with
+          | exception e ->
+            err req.id Protocol.Routing_failed (Printexc.to_string e)
+          | Satmap.Router.Failed msg ->
+            err req.id Protocol.Routing_failed msg
+          | Satmap.Router.Routed (routed, stats) ->
+            (* Stored in canonical space with neutral identity/timing
+               fields; [translate] fills them per hit. *)
+            let canonical_payload =
+              {
+                Protocol.ok_id = "";
+                ok_qasm = Quantum.Qasm.to_string (Satmap.Routed.circuit routed);
+                ok_initial = Satmap.Mapping.to_array (Satmap.Routed.initial routed);
+                ok_final = Satmap.Mapping.to_array (Satmap.Routed.final routed);
+                ok_swaps = Satmap.Routed.n_swaps routed;
+                ok_added_cnots = Satmap.Routed.added_cnots routed;
+                ok_depth = Satmap.Routed.depth routed;
+                ok_blocks = stats.Satmap.Router.n_blocks;
+                ok_backtracks = stats.Satmap.Router.n_backtracks;
+                ok_proved_optimal = stats.Satmap.Router.proved_optimal;
+                ok_maxsat_iterations = stats.Satmap.Router.maxsat_iterations;
+                ok_solver_calls = stats.Satmap.Router.solver_calls;
+                ok_cache_hit = false;
+                ok_time = 0.;
+              }
+            in
+            if req.use_cache then Cache.add t.serve_cache key canonical_payload;
+            Protocol.Ok_response
+              {
+                (translate perm canonical_payload ~id:req.id
+                   ~time:(Unix.gettimeofday () -. start))
+                with
+                Protocol.ok_cache_hit = false;
+              })))
+
+(* ---- the JSON-lines loop ------------------------------------------ *)
+
+(* Best-effort id recovery for malformed requests, so the client can
+   still correlate the error line. *)
+let id_of_line line =
+  match Obs.Json.parse line with
+  | Ok json ->
+    Option.value ~default:""
+      (Option.bind (Obs.Json.member "id" json) Obs.Json.string_value)
+  | Error _ -> ""
+
+let serve t ic oc =
+  let out_mutex = Mutex.create () in
+  let respond response =
+    let line = Protocol.response_to_string response in
+    Mutex.lock out_mutex;
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock out_mutex
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+      (match Protocol.parse_request line with
+      | Error msg -> respond (err (id_of_line line) Protocol.Bad_request msg)
+      | Ok req -> (
+        let deadline = Unix.gettimeofday () +. req.timeout in
+        let job () =
+          let response =
+            if Unix.gettimeofday () > deadline then
+              err req.id Protocol.Deadline_exceeded
+                "request expired while queued"
+            else
+              try handle ~deadline t req
+              with e ->
+                err req.id Protocol.Routing_failed (Printexc.to_string e)
+          in
+          respond response
+        in
+        match Pool.submit t.pool job with
+        | Pool.Accepted -> ()
+        | Pool.Overloaded ->
+          respond
+            (err req.id Protocol.Overloaded
+               (Printf.sprintf "queue full (capacity %d)"
+                  (Pool.capacity t.pool)))));
+      loop ()
+  in
+  loop ();
+  shutdown t;
+  save_cache t

@@ -1,0 +1,68 @@
+(** The routing service: a worker pool in front of {!Satmap.Router} with
+    a canonicalization-keyed result cache at two levels.
+
+    - {e Request level}: the full response payload, keyed by
+      {!Canon.circuit_digest} of the canonical circuit plus everything
+      else the answer depends on (device, objective, method, slice size,
+      swap budget, timeout).  A hit skips routing entirely; the stored
+      canonical initial/final maps are translated back to the request's
+      qubit labels, so the response is byte-identical to the cold one
+      apart from [cache_hit] and [time_s].
+    - {e Block level}: a shared {!Block_cache} plugged into
+      [Router.config.block_cache], so even cold requests reuse
+      (locally) optimal slice solutions across requests — repeated-body
+      workloads stop paying {!Maxsat.Optimizer.solve} per block.
+
+    [handle] is safe to call from any number of domains concurrently;
+    [serve] runs the JSON-lines loop of [satmap serve] on top of
+    {!Pool}. *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?cache_size:int ->
+  ?block_cache_size:int ->
+  ?queue_capacity:int ->
+  ?cache_file:string ->
+  unit ->
+  t
+(** [workers] defaults to [Domain.recommended_domain_count () - 1]
+    (at least 1); [cache_size] (request-level entries) to 256;
+    [block_cache_size] to 4096; [queue_capacity] (bounded job queue —
+    beyond it submissions are rejected with [Overloaded]) to 64.
+    [cache_file], when given, is loaded now (silently skipped when
+    missing or stale-schema) and written back by {!save_cache} /
+    end-of-[serve]. *)
+
+val handle : ?deadline:float -> t -> Protocol.request -> Protocol.response
+(** Serve one request synchronously on the calling domain.  [deadline]
+    (absolute, seconds since the epoch) caps the route's remaining
+    budget below the request's own [timeout]; an already-expired
+    deadline returns [Deadline_exceeded] without routing.  Wrapped in a
+    ["service.request"] span. *)
+
+val serve : t -> in_channel -> out_channel -> unit
+(** JSON-lines loop: one request per input line, one response per output
+    line (order follows completion, not submission — correlate by [id]).
+    Jobs run on the pool; a full queue answers [Overloaded] inline, and
+    a job whose deadline passed while queued answers
+    [Deadline_exceeded].  On EOF: drain the pool, then {!save_cache}. *)
+
+val shutdown : t -> unit
+(** Drain and join the worker pool (idempotent).  [serve] calls this on
+    EOF; call it directly when using [handle]/{!Pool.submit} yourself. *)
+
+val save_cache : t -> unit
+(** Write the request-level cache to [cache_file] (no-op without one). *)
+
+val serve_cache : t -> Protocol.ok_payload Cache.t
+(** The request-level cache, for stats and tests. *)
+
+val block_cache : t -> Block_cache.t
+(** The shared block-level cache, for stats and tests. *)
+
+val restored_entries : t -> int
+(** Entries loaded from [cache_file] at {!create} time (0 without one). *)
+
+val pool : t -> Pool.t

@@ -1,0 +1,118 @@
+(* One mutex + one condition variable around a bounded Queue.  Workers
+   wait on [nonempty]; submitters never wait (full queue = Overloaded),
+   so only workers can block and shutdown just has to wake them all. *)
+
+type submit_result = Accepted | Overloaded
+
+type t = {
+  capacity : int;
+  n_workers : int;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  m_submitted : Obs.Metrics.counter;
+  m_rejected : Obs.Metrics.counter;
+  m_completed : Obs.Metrics.counter;
+  m_exceptions : Obs.Metrics.counter;
+  mutable n_completed : int;
+  mutable n_rejected : int;
+}
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue then begin
+      (* stopping and drained *)
+      Mutex.unlock t.lock;
+      ()
+    end
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      (try job ()
+       with _ -> Obs.Metrics.incr t.m_exceptions);
+      Mutex.lock t.lock;
+      t.n_completed <- t.n_completed + 1;
+      Mutex.unlock t.lock;
+      Obs.Metrics.incr t.m_completed;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(name = "service.pool") ~workers ~capacity () =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  if capacity < 1 then invalid_arg "Pool.create: capacity must be >= 1";
+  let t =
+    {
+      capacity;
+      n_workers = workers;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      stopping = false;
+      domains = [];
+      m_submitted = Obs.Metrics.counter (name ^ ".submitted");
+      m_rejected = Obs.Metrics.counter (name ^ ".rejected");
+      m_completed = Obs.Metrics.counter (name ^ ".completed");
+      m_exceptions = Obs.Metrics.counter (name ^ ".job_exceptions");
+      n_completed = 0;
+      n_rejected = 0;
+    }
+  in
+  t.domains <- List.init workers (fun _ -> Domain.spawn (worker t));
+  t
+
+let submit t job =
+  Mutex.lock t.lock;
+  let verdict =
+    if t.stopping || Queue.length t.queue >= t.capacity then begin
+      t.n_rejected <- t.n_rejected + 1;
+      Overloaded
+    end
+    else begin
+      Queue.push job t.queue;
+      Condition.signal t.nonempty;
+      Accepted
+    end
+  in
+  Mutex.unlock t.lock;
+  (match verdict with
+  | Accepted -> Obs.Metrics.incr t.m_submitted
+  | Overloaded -> Obs.Metrics.incr t.m_rejected);
+  verdict
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  let domains = t.domains in
+  t.domains <- [];
+  Mutex.unlock t.lock;
+  List.iter Domain.join domains
+
+let workers t = t.n_workers
+let capacity t = t.capacity
+
+let pending t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
+let completed t =
+  Mutex.lock t.lock;
+  let n = t.n_completed in
+  Mutex.unlock t.lock;
+  n
+
+let rejected t =
+  Mutex.lock t.lock;
+  let n = t.n_rejected in
+  Mutex.unlock t.lock;
+  n

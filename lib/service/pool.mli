@@ -1,0 +1,36 @@
+(** Fixed worker pool: N domains draining one bounded job queue.
+
+    Backpressure is explicit, never blocking: {!submit} on a full queue
+    returns [Overloaded] immediately — the serving layer turns that into
+    a structured error response instead of stalling the intake loop.
+    Jobs are plain thunks; an escaping exception is counted
+    ([<name>.job_exceptions] in {!Obs.Metrics}) and kills neither the
+    worker nor the pool.
+
+    {!shutdown} is graceful: intake closes (further submits are
+    rejected), queued jobs drain, workers join.  Counters registered
+    under [name]: [.submitted], [.rejected], [.completed],
+    [.job_exceptions]. *)
+
+type t
+
+type submit_result = Accepted | Overloaded
+
+val create : ?name:string -> workers:int -> capacity:int -> unit -> t
+(** [workers >= 1] domains, a queue of at most [capacity >= 1] pending
+    jobs (raises [Invalid_argument] otherwise); [name] defaults to
+    ["service.pool"]. *)
+
+val submit : t -> (unit -> unit) -> submit_result
+(** [Overloaded] when the queue is full or the pool is shutting down. *)
+
+val shutdown : t -> unit
+(** Close intake, drain the queue, join all workers.  Idempotent. *)
+
+val workers : t -> int
+val capacity : t -> int
+val pending : t -> int
+(** Jobs queued but not yet picked up. *)
+
+val completed : t -> int
+val rejected : t -> int

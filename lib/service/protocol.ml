@@ -1,0 +1,267 @@
+(* JSON-lines codec over the zero-dependency Obs.Json value type.  All
+   serialisation goes through Obs.Json printing, so responses re-parse
+   with the same strict parser the observability exports use. *)
+
+type method_ = Sliced | Monolithic | Cyclic | Portfolio
+
+type request = {
+  id : string;
+  qasm : string;
+  device : string;
+  method_ : method_;
+  slice_size : int option;
+  n_swaps : int;
+  timeout : float;
+  noise : bool;
+  use_cache : bool;
+}
+
+let default_request =
+  {
+    id = "";
+    qasm = "";
+    device = "tokyo";
+    method_ = Sliced;
+    slice_size = None;
+    n_swaps = 1;
+    timeout = 30.0;
+    noise = false;
+    use_cache = true;
+  }
+
+type ok_payload = {
+  ok_id : string;
+  ok_qasm : string;
+  ok_initial : int array;
+  ok_final : int array;
+  ok_swaps : int;
+  ok_added_cnots : int;
+  ok_depth : int;
+  ok_blocks : int;
+  ok_backtracks : int;
+  ok_proved_optimal : bool;
+  ok_maxsat_iterations : int;
+  ok_solver_calls : int;
+  ok_cache_hit : bool;
+  ok_time : float;
+}
+
+type error_code =
+  | Bad_request
+  | Parse_error
+  | Unknown_device
+  | Routing_failed
+  | Overloaded
+  | Deadline_exceeded
+
+type response =
+  | Ok_response of ok_payload
+  | Error_response of { id : string; code : error_code; message : string }
+
+let error_code_name = function
+  | Bad_request -> "bad_request"
+  | Parse_error -> "parse_error"
+  | Unknown_device -> "unknown_device"
+  | Routing_failed -> "routing_failed"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+
+let error_code_of_name = function
+  | "bad_request" -> Some Bad_request
+  | "parse_error" -> Some Parse_error
+  | "unknown_device" -> Some Unknown_device
+  | "routing_failed" -> Some Routing_failed
+  | "overloaded" -> Some Overloaded
+  | "deadline_exceeded" -> Some Deadline_exceeded
+  | _ -> None
+
+let method_name = function
+  | Sliced -> "sliced"
+  | Monolithic -> "monolithic"
+  | Cyclic -> "cyclic"
+  | Portfolio -> "portfolio"
+
+let method_of_name = function
+  | "sliced" -> Some Sliced
+  | "monolithic" -> Some Monolithic
+  | "cyclic" -> Some Cyclic
+  | "portfolio" -> Some Portfolio
+  | _ -> None
+
+(* ---- JSON helpers ------------------------------------------------- *)
+
+let str_field json name = Option.bind (Obs.Json.member name json) Obs.Json.string_value
+let num_field json name = Option.bind (Obs.Json.member name json) Obs.Json.number_value
+
+let bool_field json name =
+  match Obs.Json.member name json with
+  | Some (Obs.Json.Bool b) -> Some b
+  | Some _ | None -> None
+
+let int_array_of_json json =
+  match json with
+  | Obs.Json.List l ->
+    let rec collect acc = function
+      | [] -> Some (Array.of_list (List.rev acc))
+      | x :: tl -> (
+        match Obs.Json.number_value x with
+        | Some f -> collect (int_of_float f :: acc) tl
+        | None -> None)
+    in
+    collect [] l
+  | _ -> None
+
+let json_of_int_array a =
+  Obs.Json.List
+    (Array.to_list (Array.map (fun x -> Obs.Json.Num (float_of_int x)) a))
+
+let num x = Obs.Json.Num (float_of_int x)
+
+(* ---- requests ----------------------------------------------------- *)
+
+let parse_request line =
+  match Obs.Json.parse line with
+  | Error msg -> Error ("request is not valid JSON: " ^ msg)
+  | Ok json -> (
+    match str_field json "qasm" with
+    | None -> Error "request is missing the required \"qasm\" string field"
+    | Some qasm -> (
+      let d = default_request in
+      let method_result =
+        match str_field json "method" with
+        | None -> Ok d.method_
+        | Some name -> (
+          match method_of_name name with
+          | Some m -> Ok m
+          | None ->
+            Error
+              (Printf.sprintf
+                 "unknown method %S (expected sliced, monolithic, cyclic or \
+                  portfolio)"
+                 name))
+      in
+      match method_result with
+      | Error _ as e -> e
+      | Ok method_ ->
+        Ok
+          {
+            id = Option.value ~default:d.id (str_field json "id");
+            qasm;
+            device = Option.value ~default:d.device (str_field json "device");
+            method_;
+            slice_size =
+              Option.map int_of_float (num_field json "slice_size");
+            n_swaps =
+              Option.value ~default:d.n_swaps
+                (Option.map int_of_float (num_field json "n_swaps"));
+            timeout = Option.value ~default:d.timeout (num_field json "timeout");
+            noise = Option.value ~default:d.noise (bool_field json "noise");
+            use_cache =
+              Option.value ~default:d.use_cache (bool_field json "cache");
+          }))
+
+let request_to_string r =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       ([
+          ("id", Obs.Json.Str r.id);
+          ("qasm", Obs.Json.Str r.qasm);
+          ("device", Obs.Json.Str r.device);
+          ("method", Obs.Json.Str (method_name r.method_));
+        ]
+       @ (match r.slice_size with
+         | Some s -> [ ("slice_size", num s) ]
+         | None -> [])
+       @ [
+           ("n_swaps", num r.n_swaps);
+           ("timeout", Obs.Json.Num r.timeout);
+           ("noise", Obs.Json.Bool r.noise);
+           ("cache", Obs.Json.Bool r.use_cache);
+         ]))
+
+(* ---- responses ---------------------------------------------------- *)
+
+let payload_to_json p =
+  Obs.Json.Obj
+    [
+      ("id", Obs.Json.Str p.ok_id);
+      ("status", Obs.Json.Str "ok");
+      ("qasm", Obs.Json.Str p.ok_qasm);
+      ("initial", json_of_int_array p.ok_initial);
+      ("final", json_of_int_array p.ok_final);
+      ("swaps", num p.ok_swaps);
+      ("added_cnots", num p.ok_added_cnots);
+      ("depth", num p.ok_depth);
+      ("blocks", num p.ok_blocks);
+      ("backtracks", num p.ok_backtracks);
+      ("proved_optimal", Obs.Json.Bool p.ok_proved_optimal);
+      ("maxsat_iterations", num p.ok_maxsat_iterations);
+      ("solver_calls", num p.ok_solver_calls);
+      ("cache_hit", Obs.Json.Bool p.ok_cache_hit);
+      ("time_s", Obs.Json.Num p.ok_time);
+    ]
+
+let payload_of_json json =
+  let ( let* ) = Option.bind in
+  let int_f name = Option.map int_of_float (num_field json name) in
+  let* ok_id = str_field json "id" in
+  let* ok_qasm = str_field json "qasm" in
+  let* ok_initial = Option.bind (Obs.Json.member "initial" json) int_array_of_json in
+  let* ok_final = Option.bind (Obs.Json.member "final" json) int_array_of_json in
+  let* ok_swaps = int_f "swaps" in
+  let* ok_added_cnots = int_f "added_cnots" in
+  let* ok_depth = int_f "depth" in
+  let* ok_blocks = int_f "blocks" in
+  let* ok_backtracks = int_f "backtracks" in
+  let* ok_proved_optimal = bool_field json "proved_optimal" in
+  let* ok_maxsat_iterations = int_f "maxsat_iterations" in
+  let* ok_solver_calls = int_f "solver_calls" in
+  let* ok_cache_hit = bool_field json "cache_hit" in
+  let* ok_time = num_field json "time_s" in
+  Some
+    {
+      ok_id;
+      ok_qasm;
+      ok_initial;
+      ok_final;
+      ok_swaps;
+      ok_added_cnots;
+      ok_depth;
+      ok_blocks;
+      ok_backtracks;
+      ok_proved_optimal;
+      ok_maxsat_iterations;
+      ok_solver_calls;
+      ok_cache_hit;
+      ok_time;
+    }
+
+let response_to_string = function
+  | Ok_response p -> Obs.Json.to_string (payload_to_json p)
+  | Error_response { id; code; message } ->
+    Obs.Json.to_string
+      (Obs.Json.Obj
+         [
+           ("id", Obs.Json.Str id);
+           ("status", Obs.Json.Str "error");
+           ("error", Obs.Json.Str (error_code_name code));
+           ("message", Obs.Json.Str message);
+         ])
+
+let parse_response line =
+  match Obs.Json.parse line with
+  | Error msg -> Error ("response is not valid JSON: " ^ msg)
+  | Ok json -> (
+    match str_field json "status" with
+    | Some "ok" -> (
+      match payload_of_json json with
+      | Some p -> Ok (Ok_response p)
+      | None -> Error "ok response is missing fields")
+    | Some "error" -> (
+      let id = Option.value ~default:"" (str_field json "id") in
+      let message = Option.value ~default:"" (str_field json "message") in
+      match Option.bind (str_field json "error") error_code_of_name with
+      | Some code -> Ok (Error_response { id; code; message })
+      | None -> Error "error response carries an unknown error code")
+    | Some s -> Error (Printf.sprintf "unknown response status %S" s)
+    | None -> Error "response is missing the \"status\" field")

@@ -1,0 +1,359 @@
+(* lib/service: canonicalization, the LRU cache, the worker pool, the
+   JSON-lines protocol, and the engine end-to-end over the circuits in
+   examples/qasm/ (declared as dune deps of this test). *)
+
+let tokyo = Arch.Topologies.tokyo ()
+
+(* ------------------------------------------------------------------ *)
+(* Canon *)
+
+let test_permutation_is_permutation () =
+  let c = Quantum.Qasm.of_file "../examples/qasm/adder_slice.qasm" in
+  let perm = Service.Canon.permutation c in
+  let seen = Array.make (Array.length perm) false in
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "in range" true (p >= 0 && p < Array.length perm);
+      Alcotest.(check bool) "no duplicate" false seen.(p);
+      seen.(p) <- true)
+    perm
+
+let test_canonical_collides_renamed () =
+  let c = Quantum.Qasm.of_file "../examples/qasm/qaoa_ring6.qasm" in
+  let n = Quantum.Circuit.n_qubits c in
+  let renamed = Quantum.Circuit.relabel_qubits c (fun q -> (q + 2) mod n) in
+  let _, canon_a = Service.Canon.canonical c in
+  let _, canon_b = Service.Canon.canonical renamed in
+  Alcotest.(check string)
+    "same canonical digest"
+    (Service.Canon.circuit_digest canon_a)
+    (Service.Canon.circuit_digest canon_b);
+  (* A genuinely different circuit must not collide. *)
+  let other = Quantum.Qasm.of_file "../examples/qasm/ghz4.qasm" in
+  let _, canon_c = Service.Canon.canonical other in
+  Alcotest.(check bool)
+    "different circuits differ" false
+    (Service.Canon.circuit_digest canon_a
+    = Service.Canon.circuit_digest canon_c)
+
+let test_perm_roundtrip () =
+  let c = Quantum.Qasm.of_file "../examples/qasm/star_hub.qasm" in
+  let perm = Service.Canon.permutation c in
+  let arr = Array.init (Array.length perm) (fun i -> 10 * i) in
+  Alcotest.(check (array int))
+    "unapply . apply = id" arr
+    (Service.Canon.apply_perm perm (Service.Canon.unapply_perm perm arr));
+  Alcotest.(check (array int))
+    "apply . unapply = id" arr
+    (Service.Canon.unapply_perm perm (Service.Canon.apply_perm perm arr))
+
+let test_digest_parts_no_concat_collision () =
+  Alcotest.(check bool)
+    "length-prefixed parts" false
+    (Service.Canon.digest_parts [ "ab"; "c" ]
+    = Service.Canon.digest_parts [ "a"; "bc" ])
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let test_cache_lru_eviction () =
+  let c = Service.Cache.create ~name:"test.cache_a" ~capacity:2 () in
+  Service.Cache.add c "k1" 1;
+  Service.Cache.add c "k2" 2;
+  ignore (Service.Cache.find c "k1");
+  (* k1 refreshed, so k2 is now LRU *)
+  Service.Cache.add c "k3" 3;
+  Alcotest.(check (option int)) "k1 survives" (Some 1) (Service.Cache.find c "k1");
+  Alcotest.(check (option int)) "k2 evicted" None (Service.Cache.find c "k2");
+  Alcotest.(check (option int)) "k3 present" (Some 3) (Service.Cache.find c "k3");
+  Alcotest.(check int) "one eviction" 1 (Service.Cache.evictions c);
+  Alcotest.(check int) "length" 2 (Service.Cache.length c)
+
+let test_cache_counters () =
+  let c = Service.Cache.create ~name:"test.cache_b" ~capacity:4 () in
+  Service.Cache.add c "k" 7;
+  ignore (Service.Cache.find c "k");
+  ignore (Service.Cache.find c "absent");
+  Alcotest.(check int) "hits" 1 (Service.Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Service.Cache.misses c)
+
+let test_cache_save_load () =
+  let c = Service.Cache.create ~name:"test.cache_c" ~capacity:4 () in
+  Service.Cache.add c "one" 1;
+  Service.Cache.add c "two" 2;
+  let path = Filename.temp_file "service_cache" ".json" in
+  let encode v = Obs.Json.Num (float_of_int v) in
+  let decode j = Option.map int_of_float (Obs.Json.number_value j) in
+  Service.Cache.save ~encode c path;
+  let fresh = Service.Cache.create ~name:"test.cache_d" ~capacity:4 () in
+  (match Service.Cache.load ~decode fresh path with
+  | Ok n -> Alcotest.(check int) "restored both entries" 2 n
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (option int)) "value one" (Some 1) (Service.Cache.find fresh "one");
+  Alcotest.(check (option int)) "value two" (Some 2) (Service.Cache.find fresh "two");
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_runs_jobs () =
+  let pool = Service.Pool.create ~name:"test.pool_a" ~workers:2 ~capacity:16 () in
+  let counter = Atomic.make 0 in
+  for _ = 1 to 10 do
+    match Service.Pool.submit pool (fun () -> Atomic.incr counter) with
+    | Service.Pool.Accepted -> ()
+    | Service.Pool.Overloaded -> Alcotest.fail "queue of 16 rejected 10 jobs"
+  done;
+  Service.Pool.shutdown pool;
+  Alcotest.(check int) "all jobs ran" 10 (Atomic.get counter);
+  Alcotest.(check int) "completed" 10 (Service.Pool.completed pool)
+
+let test_pool_overload_backpressure () =
+  (* One worker blocked on a mutex-guarded gate, queue of 1: concurrent
+     clients must see at least one Overloaded, and nothing blocks. *)
+  let pool = Service.Pool.create ~name:"test.pool_b" ~workers:1 ~capacity:1 () in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let blocker_started = Atomic.make false in
+  (match
+     Service.Pool.submit pool (fun () ->
+         Atomic.set blocker_started true;
+         Mutex.lock gate;
+         Mutex.unlock gate)
+   with
+  | Service.Pool.Accepted -> ()
+  | Service.Pool.Overloaded -> Alcotest.fail "empty pool rejected a job");
+  while not (Atomic.get blocker_started) do
+    Domain.cpu_relax ()
+  done;
+  (* The worker is stuck on the gate; capacity 1 means the first of these
+     queues and the rest are rejected. *)
+  let clients = 8 in
+  let verdicts =
+    List.init clients (fun _ -> Service.Pool.submit pool (fun () -> ()))
+  in
+  let rejected =
+    List.length (List.filter (fun v -> v = Service.Pool.Overloaded) verdicts)
+  in
+  Alcotest.(check bool) "at least one Overloaded" true (rejected >= 1);
+  Alcotest.(check int)
+    "accepted + rejected = submitted" clients
+    (List.length verdicts);
+  Alcotest.(check bool)
+    "exactly one queued" true
+    (rejected = clients - 1);
+  Mutex.unlock gate;
+  Service.Pool.shutdown pool;
+  Alcotest.(check int) "rejections counted" rejected (Service.Pool.rejected pool)
+
+let test_pool_submit_after_shutdown () =
+  let pool = Service.Pool.create ~name:"test.pool_c" ~workers:1 ~capacity:4 () in
+  Service.Pool.shutdown pool;
+  (match Service.Pool.submit pool (fun () -> ()) with
+  | Service.Pool.Overloaded -> ()
+  | Service.Pool.Accepted -> Alcotest.fail "accepted after shutdown");
+  Service.Pool.shutdown pool (* idempotent *)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let test_request_roundtrip () =
+  let req =
+    {
+      Service.Protocol.id = "r-42";
+      qasm = "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];";
+      device = "linear-4";
+      method_ = Service.Protocol.Cyclic;
+      slice_size = Some 10;
+      n_swaps = 2;
+      timeout = 3.5;
+      noise = true;
+      use_cache = false;
+    }
+  in
+  match Service.Protocol.parse_request (Service.Protocol.request_to_string req) with
+  | Error e -> Alcotest.fail e
+  | Ok got ->
+    Alcotest.(check bool) "request round-trips" true (got = req)
+
+let test_response_roundtrip () =
+  let payload =
+    {
+      Service.Protocol.ok_id = "r1";
+      ok_qasm = "OPENQASM 2.0;\nqreg q[2];\n";
+      ok_initial = [| 1; 0 |];
+      ok_final = [| 0; 1 |];
+      ok_swaps = 1;
+      ok_added_cnots = 3;
+      ok_depth = 4;
+      ok_blocks = 2;
+      ok_backtracks = 0;
+      ok_proved_optimal = true;
+      ok_maxsat_iterations = 5;
+      ok_solver_calls = 2;
+      ok_cache_hit = false;
+      ok_time = 0.25;
+    }
+  in
+  (match
+     Service.Protocol.parse_response
+       (Service.Protocol.response_to_string (Service.Protocol.Ok_response payload))
+   with
+  | Ok (Service.Protocol.Ok_response got) ->
+    Alcotest.(check bool) "ok response round-trips" true (got = payload)
+  | Ok _ -> Alcotest.fail "parsed as error"
+  | Error e -> Alcotest.fail e);
+  let error =
+    Service.Protocol.Error_response
+      { id = "r2"; code = Service.Protocol.Overloaded; message = "queue full" }
+  in
+  match
+    Service.Protocol.parse_response (Service.Protocol.response_to_string error)
+  with
+  | Ok got -> Alcotest.(check bool) "error round-trips" true (got = error)
+  | Error e -> Alcotest.fail e
+
+let test_request_rejects_garbage () =
+  (match Service.Protocol.parse_request "not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parsed garbage");
+  match Service.Protocol.parse_request "{\"id\": \"x\"}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a request without qasm"
+
+(* ------------------------------------------------------------------ *)
+(* Engine end-to-end over examples/qasm *)
+
+let example_circuits =
+  [
+    "../examples/qasm/bell_pair.qasm";
+    "../examples/qasm/ghz4.qasm";
+    "../examples/qasm/star_hub.qasm";
+    "../examples/qasm/qaoa_ring6.qasm";
+    "../examples/qasm/adder_slice.qasm";
+  ]
+
+let routed_of_payload device (p : Service.Protocol.ok_payload) =
+  let n_phys = Arch.Device.n_qubits device in
+  Satmap.Routed.create ~device
+    ~initial:(Satmap.Mapping.of_array ~n_phys p.ok_initial)
+    ~final:(Satmap.Mapping.of_array ~n_phys p.ok_final)
+    ~circuit:(Quantum.Qasm.of_string p.ok_qasm)
+
+let handle_ok engine req =
+  match Service.Engine.handle engine req with
+  | Service.Protocol.Ok_response p -> p
+  | Service.Protocol.Error_response { code; message; _ } ->
+    Alcotest.fail
+      (Printf.sprintf "%s: %s" (Service.Protocol.error_code_name code) message)
+
+let test_examples_end_to_end () =
+  let engine = Service.Engine.create ~workers:1 () in
+  List.iter
+    (fun path ->
+      let original = Quantum.Qasm.of_file path in
+      let req =
+        {
+          Service.Protocol.default_request with
+          id = path;
+          qasm = Quantum.Qasm.to_string original;
+          device = "tokyo";
+          timeout = 30.0;
+        }
+      in
+      let p = handle_ok engine req in
+      (* The response's QASM must re-parse, and the reconstructed routed
+         circuit must satisfy the independent verifier against the
+         original. *)
+      Satmap.Verifier.check_exn ~original (routed_of_payload tokyo p))
+    example_circuits;
+  Service.Engine.shutdown engine
+
+let test_cache_differential () =
+  (* The cached response must carry exactly the result a fresh Router
+     solve produces: both verify, and cost/maps/circuit agree. *)
+  let engine = Service.Engine.create ~workers:1 () in
+  let original = Quantum.Qasm.of_file "../examples/qasm/qaoa_ring6.qasm" in
+  let req =
+    {
+      Service.Protocol.default_request with
+      id = "cold";
+      qasm = Quantum.Qasm.to_string original;
+      device = "tokyo";
+      timeout = 30.0;
+    }
+  in
+  let fresh = handle_ok engine req in
+  let cached = handle_ok engine { req with id = "warm" } in
+  Alcotest.(check bool) "fresh is cold" false fresh.ok_cache_hit;
+  Alcotest.(check bool) "second hits" true cached.ok_cache_hit;
+  Alcotest.(check string) "same physical circuit" fresh.ok_qasm cached.ok_qasm;
+  Alcotest.(check (array int)) "same initial" fresh.ok_initial cached.ok_initial;
+  Alcotest.(check (array int)) "same final" fresh.ok_final cached.ok_final;
+  Alcotest.(check int) "same swaps" fresh.ok_swaps cached.ok_swaps;
+  Satmap.Verifier.check_exn ~original (routed_of_payload tokyo fresh);
+  Satmap.Verifier.check_exn ~original (routed_of_payload tokyo cached);
+  Service.Engine.shutdown engine
+
+let test_unknown_device_and_bad_qasm () =
+  let engine = Service.Engine.create ~workers:1 () in
+  (match
+     Service.Engine.handle engine
+       { Service.Protocol.default_request with qasm = "qreg"; device = "nope" }
+   with
+  | Service.Protocol.Error_response { code = Service.Protocol.Unknown_device; _ }
+    -> ()
+  | _ -> Alcotest.fail "expected unknown_device");
+  (match
+     Service.Engine.handle engine
+       { Service.Protocol.default_request with qasm = "this is not qasm" }
+   with
+  | Service.Protocol.Error_response { code = Service.Protocol.Parse_error; _ } ->
+    ()
+  | _ -> Alcotest.fail "expected parse_error");
+  Service.Engine.shutdown engine
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "canon",
+        [
+          Alcotest.test_case "permutation is a permutation" `Quick
+            test_permutation_is_permutation;
+          Alcotest.test_case "renamed circuits collide" `Quick
+            test_canonical_collides_renamed;
+          Alcotest.test_case "perm apply/unapply roundtrip" `Quick
+            test_perm_roundtrip;
+          Alcotest.test_case "digest parts are length-prefixed" `Quick
+            test_digest_parts_no_concat_collision;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "LRU eviction order" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "hit/miss counters" `Quick test_cache_counters;
+          Alcotest.test_case "save/load roundtrip" `Quick test_cache_save_load;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "jobs run to completion" `Quick test_pool_runs_jobs;
+          Alcotest.test_case "overload backpressure" `Quick
+            test_pool_overload_backpressure;
+          Alcotest.test_case "submit after shutdown" `Quick
+            test_pool_submit_after_shutdown;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_request_rejects_garbage;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "examples route and verify" `Quick
+            test_examples_end_to_end;
+          Alcotest.test_case "cache differential" `Quick test_cache_differential;
+          Alcotest.test_case "error responses" `Quick
+            test_unknown_device_and_bad_qasm;
+        ] );
+    ]
