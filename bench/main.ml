@@ -23,6 +23,7 @@ let opt_list = ref false
 let opt_no_micro = ref false
 let opt_json : string option ref = ref None
 let opt_smoke = ref false
+let opt_solver_jobs = ref 1
 let opt_certify = ref false
 let opt_trace : string option ref = ref None
 
@@ -38,6 +39,9 @@ let args =
     ("--json", Arg.String (fun s -> opt_json := Some s),
      "FILE write a machine-readable snapshot of the main set (per-benchmark \
       wall time, swaps, solver conflicts/s and propagations/s)");
+    ("--solver-jobs", Arg.Set_int opt_solver_jobs,
+     "N CDCL domains per MaxSAT descent step (clause-sharing portfolio \
+      with cube-and-conquer splitting; default 1 = sequential)");
     ("--smoke", Arg.Set opt_smoke,
      " 3-benchmark, seconds-scale slice of the harness (used by the \
       @bench-smoke dune alias, so the perf plumbing is exercised by \
@@ -77,6 +81,9 @@ type run = {
   swaps : int;  (** meaningful only when solved *)
   seconds : float;
   optimal : bool;
+  status : string;
+      (** "solved", or the router's failure reason (e.g. "timeout",
+          "encode timeout") so unsolved rows say why in the snapshot *)
   certified : bool;
   proof_events : int;
   certify_seconds : float;
@@ -89,6 +96,7 @@ let failed_run seconds =
     swaps = 0;
     seconds;
     optimal = false;
+    status = "failed";
     certified = false;
     proof_events = 0;
     certify_seconds = 0.;
@@ -102,12 +110,13 @@ let run_of_outcome = function
       swaps = Satmap.Routed.n_swaps r;
       seconds = s.time;
       optimal = s.proved_optimal;
+      status = "solved";
       certified = s.certified;
       proof_events = s.proof_events;
       certify_seconds = s.certify_time;
       solver_calls = s.solver_calls;
     }
-  | Satmap.Router.Failed _ -> failed_run (timeout ())
+  | Satmap.Router.Failed msg -> { (failed_run (timeout ())) with status = msg }
 
 let added_gates run = 3 * run.swaps
 
@@ -116,6 +125,7 @@ let satmap_config () =
     Satmap.Router.default_config with
     timeout = timeout ();
     certify = !opt_certify;
+    solver_parallelism = max 1 !opt_solver_jobs;
   }
 
 (* Tool wrappers over the shared benchmark type.  Without an explicit
@@ -913,11 +923,18 @@ let json_of_cache (c : cache_probe) =
 let write_json path =
   let rows = Lazy.force main_rows in
   let oc = open_out path in
+  (* Per-row portfolio stats come from the observability counters, which
+     are reset around each SATMAP run, so they are that row's alone. *)
+  let row_metric (r : main_row) key =
+    int_of_float (Option.value ~default:0.0 (List.assoc_opt key r.obs_metrics))
+  in
   let row_json (r : main_row) =
     Printf.sprintf
       "    {\"name\": \"%s\", \"family\": \"%s\", \"two_qubit\": %d, \
-       \"solved\": %b, \"swaps\": %d, \"seconds\": %s, \"optimal\": %b, \
-       \"solver_calls\": %d,\n\
+       \"solved\": %b, \"status\": \"%s\", \"swaps\": %d, \
+       \"seconds\": %s, \"optimal\": %b, \"solver_calls\": %d,\n\
+      \     \"parallel\": {\"jobs\": %d, \"shared_clauses\": %d, \
+       \"imported_clauses\": %d, \"cube_jobs\": %d, \"winner\": %d},\n\
       \     \"solver\": %s,\n\
       \     \"proof\": %s,\n\
       \     \"cache\": %s,\n\
@@ -925,9 +942,15 @@ let write_json path =
       (json_escape r.bench.Workloads.Suite.name)
       (json_escape r.bench.family)
       r.bench.n_two_qubit r.satmap.solved
+      (json_escape r.satmap.status)
       (if r.satmap.solved then r.satmap.swaps else 0)
       (json_float r.satmap.seconds)
       r.satmap.optimal r.satmap.solver_calls
+      (max 1 !opt_solver_jobs)
+      (row_metric r "sat.shared_clauses")
+      (row_metric r "sat.imported_clauses")
+      (row_metric r "sat.cube_jobs")
+      (row_metric r "sat.portfolio_winner")
       (json_of_totals r.satmap_sat ~wall:r.satmap.seconds)
       (json_of_proof r.satmap)
       (json_of_cache r.satmap_cache)
@@ -1015,6 +1038,7 @@ let write_json path =
     \  \"schema\": \"satmap-bench/v1\",\n\
     \  \"scale\": \"%s\",\n\
     \  \"per_tool_budget_s\": %s,\n\
+    \  \"solver_jobs\": %d,\n\
     \  \"suite_size\": %d,\n\
     \  \"solved\": %d,\n\
     \  \"solver_totals\": %s,\n\
@@ -1025,6 +1049,7 @@ let write_json path =
      }\n"
     (if !opt_smoke then "smoke" else if !opt_full then "full" else "quick")
     (json_float (timeout ()))
+    (max 1 !opt_solver_jobs)
     (List.length rows) solved
     (json_of_totals sum ~wall:total_wall)
     proof_totals cache_totals obs_totals
@@ -1182,11 +1207,13 @@ let () =
     (* Seconds-scale slice for `dune runtest`: 3 benchmarks, 1s budgets,
        just the main comparison (which is what --json snapshots).
        Certification is on so the snapshot tracks proof-trace sizes and
-       checking overhead alongside solver throughput. *)
+       checking overhead alongside solver throughput — unless a parallel
+       portfolio was requested, which certification would silently force
+       back to one job. *)
     opt_suite_n := 3;
     opt_timeout := 1.0;
     opt_full := false;
-    opt_certify := true;
+    if !opt_solver_jobs <= 1 then opt_certify := true;
     if !opt_experiments = [] then opt_experiments := [ "table1" ]
   end;
   let t0 = Unix.gettimeofday () in

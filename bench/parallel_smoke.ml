@@ -1,0 +1,132 @@
+(* Parallel-portfolio smoke test (the @parallel-smoke dune alias, run by
+   `dune runtest` next to @bench-smoke).
+
+   Three checks, none of them wall-clock assertions (CI machines vary):
+
+   1. Clause exchange is live: on a hard UNSAT instance (pigeonhole), a
+      4-member portfolio must publish low-LBD learnt clauses into the
+      ring, and the imported volume must stay within the publication
+      bound.
+   2. Routing equivalence: the same workloads routed sequentially and
+      with [solver_parallelism = 4] must agree — the parallel run solves
+      at least everything the sequential run solves, and whenever both
+      prove the optimum they report identical swap counts.
+   3. Encode-timeout classification: a route whose whole budget is spent
+      before clause emission finishes must fail with the dedicated
+      "encode timeout" reason, not hang or masquerade as unsolvable. *)
+
+let lit ?sign v = Sat.Lit.of_var ?sign v
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "parallel-smoke: %s\n" msg;
+      exit 1)
+    fmt
+
+(* ---- 1. clause sharing ------------------------------------------- *)
+
+let check_sharing () =
+  let pigeons = 7 and holes = 6 in
+  let p = Sat.Parallel.create ~jobs:4 () in
+  let var pg h = (holes * pg) + h in
+  for _ = 1 to pigeons * holes do
+    ignore (Sat.Parallel.new_var p)
+  done;
+  for pg = 0 to pigeons - 1 do
+    Sat.Parallel.add_clause p (List.init holes (fun h -> lit (var pg h)))
+  done;
+  for h = 0 to holes - 1 do
+    for pg = 0 to pigeons - 1 do
+      for pg' = pg + 1 to pigeons - 1 do
+        Sat.Parallel.add_clause p
+          [ lit ~sign:false (var pg h); lit ~sign:false (var pg' h) ]
+      done
+    done
+  done;
+  (match Sat.Parallel.solve p with
+  | Sat.Solver.Unsat -> ()
+  | _ -> fail "php(%d,%d) must be UNSAT" pigeons holes);
+  let shared = Sat.Parallel.shared_clauses p in
+  let imported = Sat.Parallel.imported_clauses p in
+  Printf.printf "parallel-smoke: sharing    shared=%d imported=%d winner=%d\n"
+    shared imported (Sat.Parallel.winner p);
+  if shared = 0 then fail "no clauses were published to the exchange ring";
+  if imported < 0 || imported > shared * (Sat.Parallel.jobs p - 1) then
+    fail "imported count %d outside publication bound" imported
+
+(* ---- 2. sequential vs parallel routing --------------------------- *)
+
+type verdict = {
+  solved : bool;
+  optimal : bool;
+  swaps : int;
+}
+
+let route ~jobs device circuit =
+  let config =
+    {
+      Satmap.Router.default_config with
+      timeout = 30.0;
+      solver_parallelism = jobs;
+    }
+  in
+  match Satmap.Router.route_sliced ~config ~slice_size:10 device circuit with
+  | Satmap.Router.Routed (routed, (stats : Satmap.Router.stats)) ->
+    {
+      solved = true;
+      optimal = stats.proved_optimal;
+      swaps = Satmap.Routed.n_swaps routed;
+    }
+  | Satmap.Router.Failed _ -> { solved = false; optimal = false; swaps = 0 }
+
+let check_routing () =
+  let tokyo = Arch.Topologies.tokyo () in
+  let workloads =
+    [
+      ("ghz-6", tokyo, Workloads.Generators.ghz 6);
+      ( "qaoa-8",
+        tokyo,
+        snd (Qaoa.Build.maxcut_3_regular ~seed:3 ~n:8 ~cycles:1) );
+      ( "random-8",
+        tokyo,
+        Workloads.Generators.local_random (Rng.create 11) ~n:8 ~gates:14
+          ~locality:0.6 );
+    ]
+  in
+  List.iter
+    (fun (name, device, circuit) ->
+      let seq = route ~jobs:1 device circuit in
+      let par = route ~jobs:4 device circuit in
+      Printf.printf
+        "parallel-smoke: route      %-10s seq(solved=%b optimal=%b swaps=%d) \
+         par(solved=%b optimal=%b swaps=%d)\n"
+        name seq.solved seq.optimal seq.swaps par.solved par.optimal par.swaps;
+      if seq.solved && not par.solved then
+        fail "%s: parallel run lost a sequentially-solved instance" name;
+      if seq.optimal && par.optimal && seq.swaps <> par.swaps then
+        fail "%s: both proved optimal but disagree (%d vs %d swaps)" name
+          seq.swaps par.swaps)
+    workloads
+
+(* ---- 3. encode-timeout classification ---------------------------- *)
+
+let check_encode_timeout () =
+  let tokyo = Arch.Topologies.tokyo () in
+  let circuit =
+    Workloads.Generators.local_random (Rng.create 7) ~n:15 ~gates:120
+      ~locality:0.5
+  in
+  let config = { Satmap.Router.default_config with timeout = 0.0 } in
+  match Satmap.Router.route_monolithic ~config tokyo circuit with
+  | Satmap.Router.Failed msg
+    when msg = "encode timeout" || msg = "timeout" ->
+    Printf.printf "parallel-smoke: fast-fail  %s\n" msg
+  | Satmap.Router.Failed msg -> fail "zero budget failed oddly: %s" msg
+  | Satmap.Router.Routed _ -> fail "zero budget cannot route"
+
+let () =
+  check_sharing ();
+  check_routing ();
+  check_encode_timeout ();
+  print_endline "parallel-smoke: ok"

@@ -124,6 +124,15 @@ let n_swaps =
     value & opt int 1
     & info [ "n-swaps" ] ~docv:"N" ~doc:"Swap slots per gate (the paper's n; default 1).")
 
+let solver_jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "solver-jobs" ] ~docv:"N"
+        ~doc:
+          "CDCL domains per MaxSAT descent step (default 1). Above 1 each \
+           block solve runs a clause-sharing portfolio with \
+           cube-and-conquer splitting; forced back to 1 under --certify.")
+
 let solver_stats =
   Arg.(
     value & flag
@@ -197,7 +206,7 @@ let lint_blocks =
            with exit code 3.")
 
 let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
-    parallel stats_flag certify lint_blocks trace metrics =
+    parallel solver_jobs stats_flag certify lint_blocks trace metrics =
  guarded @@ fun () ->
   Sat.Solver.reset_totals ();
   Obs.Metrics.reset ();
@@ -229,6 +238,7 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
       timeout;
       objective;
       n_swaps;
+      solver_parallelism = max 1 solver_jobs;
       certify;
       lint_blocks;
     }
@@ -322,8 +332,8 @@ let route_cmd =
     (Cmd.info "route" ~doc:"Map and route a circuit onto a device via MaxSAT.")
     Term.(
       const route_cmd_run $ device $ qasm_file $ timeout $ slice_size
-      $ method_ $ noise $ output $ n_swaps $ parallel $ solver_stats
-      $ certify $ lint_blocks $ trace_out $ metrics_out)
+      $ method_ $ noise $ output $ n_swaps $ parallel $ solver_jobs
+      $ solver_stats $ certify $ lint_blocks $ trace_out $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* lint *)
@@ -502,20 +512,24 @@ let suite_cmd =
 (* ------------------------------------------------------------------ *)
 (* serve *)
 
-let serve_cmd_run workers cache_size queue_capacity cache_file trace metrics =
+let serve_cmd_run workers solver_jobs cache_size queue_capacity cache_file
+    trace metrics =
  guarded @@ fun () ->
   Obs.Metrics.reset ();
   if trace <> None then Obs.Trace.enable ();
   let engine =
-    Service.Engine.create ?workers ~cache_size ~queue_capacity ?cache_file ()
+    Service.Engine.create ?workers ~solver_jobs ~cache_size ~queue_capacity
+      ?cache_file ()
   in
   (* stdout carries only JSON-lines responses; everything human-facing
      goes to stderr. *)
   if Service.Engine.restored_entries engine > 0 then
     Format.eprintf "cache: restored %d entries@."
       (Service.Engine.restored_entries engine);
-  Format.eprintf "serving on stdin (%d workers, queue %d, cache %d)@."
+  Format.eprintf
+    "serving on stdin (%d workers, %d solver jobs each, queue %d, cache %d)@."
     (Service.Pool.workers (Service.Engine.pool engine))
+    (Service.Engine.solver_jobs engine)
     (Service.Pool.capacity (Service.Engine.pool engine))
     cache_size;
   Service.Engine.serve engine stdin stdout;
@@ -576,6 +590,14 @@ let serve_cmd =
             "Persist the request-level cache as JSON: loaded on startup \
              when present, written back on EOF.")
   in
+  let serve_solver_jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "solver-jobs" ] ~docv:"N"
+          ~doc:
+            "CDCL domains per request's MaxSAT descent steps; capped so \
+             workers x jobs stays within the machine's domain budget.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -585,8 +607,8 @@ let serve_cmd =
           requests — even with renamed qubits — are answered from a \
           canonicalization-keyed result cache.")
     Term.(
-      const serve_cmd_run $ workers $ cache_size $ queue_capacity
-      $ cache_file $ trace_out $ metrics_out)
+      const serve_cmd_run $ workers $ serve_solver_jobs $ cache_size
+      $ queue_capacity $ cache_file $ trace_out $ metrics_out)
 
 let main =
   Cmd.group

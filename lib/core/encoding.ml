@@ -168,8 +168,21 @@ let estimate_clauses spec circuit =
 (* ------------------------------------------------------------------ *)
 (* Building *)
 
-let build ?fixed_initial ?fixed_final ?(cyclic = false)
+exception Encode_timeout
+
+let build ?deadline ?fixed_initial ?fixed_final ?(cyclic = false)
     ?(blocked_finals = []) spec circuit =
+  (* Clause emission itself can consume a whole routing budget on large
+     instances (the benchmark's fast-fail rows spend their entire
+     timeout before the first solver call).  The check sits on the two
+     loops that dominate emission — per gate step and per swap slot — so
+     an over-budget build aborts within one loop iteration. *)
+  let check_deadline =
+    match deadline with
+    | None -> fun () -> ()
+    | Some d ->
+      fun () -> if Unix.gettimeofday () > d then raise Encode_timeout
+  in
   let n_log = Quantum.Circuit.n_qubits circuit in
   let device = spec.device in
   let n_phys = Arch.Device.n_qubits device in
@@ -233,12 +246,14 @@ let build ?fixed_initial ?fixed_final ?(cyclic = false)
   inject_at 0;
   if spec.inject_all_gate_layers then
     for i = 0 to n_steps - 1 do
+      check_deadline ();
       inject_at (gate_layer t i)
     done;
 
   (* Hard B: executability at every gate layer. *)
   Array.iteri
     (fun i { pair = q, q'; _ } ->
+      check_deadline ();
       let layer = gate_layer t i in
       for p = 0 to n_phys - 1 do
         let clause =
@@ -253,6 +268,7 @@ let build ?fixed_initial ?fixed_final ?(cyclic = false)
 
   (* Hard C and D per slot, plus the soft objective. *)
   for s = 0 to n_slots - 1 do
+    check_deadline ();
     let l = s in
     let l' = s + 1 in
     let noop = pos (noop_var t ~slot:s) in
@@ -392,6 +408,17 @@ type var_class =
   | Noop of { slot : int }
   | Swap of { slot : int; edge : int }
   | Aux
+
+(* The cube-and-conquer branching skeleton: the layer-0 map variables.
+   Pinning a few of them splits the instance along the initial-mapping
+   choice — the decision the rest of the encoding is functionally
+   determined by.  When the initial map is pinned (slicing seams) these
+   variables are all root-assigned and the splitter's probing skips
+   them. *)
+let branch_vars t =
+  List.concat_map
+    (fun q -> List.init (n_phys t) (fun p -> map_var t ~layer:0 ~q ~p))
+    (List.init t.n_log Fun.id)
 
 let classify_var t v =
   let base = slot_base t in

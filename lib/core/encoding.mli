@@ -36,7 +36,11 @@ type step = {
 
 type t
 
+exception Encode_timeout
+(** Raised by {!build} when its [deadline] expires mid-emission. *)
+
 val build :
+  ?deadline:float ->
   ?fixed_initial:int array ->
   ?fixed_final:int array ->
   ?cyclic:bool ->
@@ -45,7 +49,11 @@ val build :
   Quantum.Circuit.t ->
   t
 (** Requires at least one two-qubit gate and
-    [n_qubits circuit <= n_qubits device]. *)
+    [n_qubits circuit <= n_qubits device].  [deadline] is an absolute
+    [Unix.gettimeofday] instant checked throughout clause emission;
+    raises {!Encode_timeout} when it passes, so an over-budget instance
+    fails fast instead of burning its whole routing budget building CNF
+    it will never solve. *)
 
 val instance : t -> Maxsat.Instance.t
 val n_steps : t -> int
@@ -75,6 +83,11 @@ type var_class =
   | Aux  (** cardinality-encoding auxiliary (or out of range) *)
 
 val classify_var : t -> Sat.Lit.var -> var_class
+
+val branch_vars : t -> Sat.Lit.var list
+(** The layer-0 map variables — the preferred cube-and-conquer branching
+    skeleton (pinning a few splits the instance along the initial-mapping
+    choice).  Pass to {!Maxsat.Optimizer.solve} as [cube_vars]. *)
 
 val gate_layer : t -> int -> int
 val final_layer : t -> int

@@ -26,6 +26,12 @@ type config = {
   mobility : bool;
   objective : Encoding.objective;
   timeout : float;  (** seconds for the whole call *)
+  solver_parallelism : int;
+      (** CDCL domains per MaxSAT descent step: above 1, every block
+          solve runs a clause-sharing {!Sat.Parallel} portfolio with
+          cube-and-conquer splitting over the block's layer-0 map
+          variables.  Forced back to 1 under [certify] (imported clauses
+          are not RUP-derivable in the importer's own proof trace). *)
   backtrack_limit : int;
   max_vars : int;  (** memory guard on encoding size *)
   max_clauses : int;  (** memory guard on clause count (the 5 GB cap) *)
@@ -88,6 +94,7 @@ let default_config =
     mobility = true;
     objective = Encoding.Count_swaps;
     timeout = 30.0;
+    solver_parallelism = 1;
     backtrack_limit = 24;
     max_vars = 500_000;
     max_clauses = 4_000_000;
@@ -216,6 +223,7 @@ type block_result =
   | Block_solved of block_solution
   | Block_unsat
   | Block_timeout
+  | Block_encode_timeout
   | Block_too_large
 
 (* Aggregate per-block certification reports into the stats fields:
@@ -312,22 +320,27 @@ let solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
       }
     in
     match Option.map (fun c -> c.bc_find config (query ())) cache with
-    | Some (Some sol) ->
+    | Some (Some sol) -> (
       (* Hit: the solver is skipped entirely.  The encoding is still
          built (deterministic from spec + circuit + seams) because [emit]
          replays through its step/slot schedule; that cost is linear in
          the block, not exponential like the solve. *)
-      let enc =
-        Encoding.build ?fixed_initial ?fixed_final ~cyclic ~blocked_finals
-          spec circuit
-      in
-      ( Block_solved { enc; sol; optimal = true; iterations = 0; cert = None },
-        0 )
+      match
+        Encoding.build ~deadline ?fixed_initial ?fixed_final ~cyclic
+          ~blocked_finals spec circuit
+      with
+      | exception Encoding.Encode_timeout -> (Block_encode_timeout, 0)
+      | enc ->
+        ( Block_solved
+            { enc; sol; optimal = true; iterations = 0; cert = None },
+          0 ))
     | Some None | None ->
-    let enc =
-      Encoding.build ?fixed_initial ?fixed_final ~cyclic ~blocked_finals spec
-        circuit
-    in
+    match
+      Encoding.build ~deadline ?fixed_initial ?fixed_final ~cyclic
+        ~blocked_finals spec circuit
+    with
+    | exception Encoding.Encode_timeout -> (Block_encode_timeout, 0)
+    | enc ->
     if config.lint_blocks then begin
       (* Pinned, blocked, or cyclic blocks may legitimately refute at
          level 0 (that is the seam-backtracking signal), so a level-0
@@ -342,10 +355,17 @@ let solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
           (Format.asprintf "Router: block failed lint (%s)@\n%a"
              (Lint.Report.summary report) Lint.Report.pp report)
     end;
+    let jobs =
+            (* More racing domains than cores is pure timesharing loss;
+               cap at the machine budget like the serving layer does. *)
+            max 1
+              (min config.solver_parallelism (Domain.recommended_domain_count ()))
+          in
+    let cube_vars = if jobs > 1 then Encoding.branch_vars enc else [] in
     let result =
       classify_block_result ~config enc
-        (Maxsat.Optimizer.solve ~deadline ~certify:config.certify
-           (Encoding.instance enc))
+        (Maxsat.Optimizer.solve ~deadline ~certify:config.certify ~jobs
+           ~cube_vars (Encoding.instance enc))
     in
     (match (result, cache) with
     | Block_solved b, Some c when b.optimal ->
@@ -358,6 +378,7 @@ let block_result_label = function
   | Block_solved b -> if b.optimal then "optimal" else "feasible"
   | Block_unsat -> "unsat"
   | Block_timeout -> "timeout"
+  | Block_encode_timeout -> "encode_timeout"
   | Block_too_large -> "too_large"
 
 (* Escalate the block's swap budget on unsat seams: double n until the
@@ -488,6 +509,7 @@ let route_monolithic ?(config = default_config) device circuit =
           } )
     | Block_unsat -> Failed "unsatisfiable encoding"
     | Block_timeout -> Failed "timeout"
+    | Block_encode_timeout -> Failed "encode timeout"
     | Block_too_large -> Failed "encoding exceeds memory guard"
   end
 
@@ -570,6 +592,7 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
           decr i
         end
       | Block_timeout -> failure := Some "timeout"
+      | Block_encode_timeout -> failure := Some "encode timeout"
       | Block_too_large -> failure := Some "encoding exceeds memory guard"
     done;
     match !failure with
@@ -661,6 +684,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
           (emit ~device ~circuit:body b.enc b.sol)
       | Block_unsat -> Failed "cyclic encoding unsatisfiable"
       | Block_timeout -> Failed "timeout"
+      | Block_encode_timeout -> Failed "encode timeout"
       | Block_too_large -> Failed "encoding exceeds memory guard")
     | Some slice_size -> (
       (* Sliced body: slice 0's initial map is recorded and the last slice
@@ -733,6 +757,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
             decr i
           end
         | Block_timeout -> failure := Some "timeout"
+        | Block_encode_timeout -> failure := Some "encode timeout"
         | Block_too_large -> failure := Some "encoding exceeds memory guard"
       done;
       match !failure with

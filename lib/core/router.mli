@@ -20,6 +20,14 @@ type config = {
   mobility : bool;  (** redundant one-hop-per-slot clauses; ablation knob *)
   objective : Encoding.objective;
   timeout : float;  (** seconds for the whole call *)
+  solver_parallelism : int;
+      (** CDCL domains per MaxSAT descent step (default 1): above 1 every
+          block solve runs a clause-sharing {!Sat.Parallel} portfolio
+          with cube-and-conquer splitting over the block's layer-0 map
+          variables.  Clamped to [Domain.recommended_domain_count ()] —
+          more racing domains than cores is pure timesharing loss — and
+          forced back to 1 under [certify]: imported clauses are not
+          RUP-derivable in the importer's own proof trace. *)
   backtrack_limit : int;
   max_vars : int;  (** encoding-size guard (the paper's memory cap) *)
   max_clauses : int;  (** clause-count guard (the paper's memory cap) *)
@@ -120,6 +128,11 @@ type block_result =
   | Block_solved of block_solution
   | Block_unsat
   | Block_timeout
+  | Block_encode_timeout
+      (** the deadline expired during clause emission ({!Encoding.build}
+          raised {!Encoding.Encode_timeout}) — the instance was too big
+          to even build in budget, reported distinctly from an ordinary
+          solver timeout so the failure is visible downstream *)
   | Block_too_large
 
 val classify_block_result :

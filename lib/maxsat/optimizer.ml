@@ -51,13 +51,25 @@ let relaxation_lits (sink : Sat.Sink.t) soft =
         (w, r))
     soft
 
-let model_array solver =
-  Array.init (Sat.Solver.n_vars solver) (Sat.Solver.model_value solver)
+(* The descent body is written against this record so it can drive
+   either a single {!Sat.Solver} or a {!Sat.Parallel} portfolio.  The
+   [jobs = 1] instantiation forwards every field to the bare solver, so
+   the sequential path is bit-identical to what it always was. *)
+type engine = {
+  e_new_var : unit -> Sat.Lit.var;
+  e_set_polarity : Sat.Lit.var -> bool -> unit;
+  e_solve : unit -> Sat.Solver.result;
+  e_model_value : Sat.Lit.var -> bool;
+  e_n_vars : unit -> int;
+  e_stats : unit -> Sat.Solver.stats;
+}
 
-let cost_of_relax solver relax =
+let model_array eng = Array.init (eng.e_n_vars ()) eng.e_model_value
+
+let cost_of_relax eng relax =
   List.fold_left
     (fun acc (w, r) ->
-      let b = Sat.Solver.model_value solver (Sat.Lit.var r) in
+      let b = eng.e_model_value (Sat.Lit.var r) in
       let active = if Sat.Lit.sign r then b else not b in
       if active then acc + w else acc)
     0 relax
@@ -79,20 +91,65 @@ let assert_bound (sink : Sat.Sink.t) machinery k =
     else ()
   | Adder bits -> Adder.assert_le sink bits k
 
-let solve ?deadline ?(certify = false) ?report instance =
+let solve ?deadline ?(certify = false) ?report ?(jobs = 1) ?(cube_vars = [])
+    instance =
   Obs.Metrics.incr m_solves;
   let start = Unix.gettimeofday () in
-  let solver = Sat.Solver.create () in
-  (* With certification on, every clause is recorded alongside the
-     solver's proof trace so each UNSAT bound can be re-checked by the
-     independent checker. *)
-  let recorder =
-    if certify then Some (Proof.Certificate.create solver) else None
-  in
-  let sink =
-    match recorder with
-    | Some r -> Proof.Certificate.sink r
-    | None -> Sat.Sink.of_solver solver
+  (* Certification replays the DRUP trace of a single solver; a clause
+     imported from a portfolio sibling is not RUP-derivable inside the
+     importer's own trace, so certify forces the sequential engine (the
+     documented fallback — soundness over speed). *)
+  let jobs = if certify then 1 else max 1 jobs in
+  let eng, sink, recorder =
+    if jobs = 1 then begin
+      let solver = Sat.Solver.create () in
+      (* With certification on, every clause is recorded alongside the
+         solver's proof trace so each UNSAT bound can be re-checked by
+         the independent checker. *)
+      let recorder =
+        if certify then Some (Proof.Certificate.create solver) else None
+      in
+      let sink =
+        match recorder with
+        | Some r -> Proof.Certificate.sink r
+        | None -> Sat.Sink.of_solver solver
+      in
+      let eng =
+        {
+          e_new_var = (fun () -> Sat.Solver.new_var solver);
+          e_set_polarity = Sat.Solver.set_polarity solver;
+          e_solve = (fun () -> Sat.Solver.solve ?deadline solver);
+          e_model_value = Sat.Solver.model_value solver;
+          e_n_vars = (fun () -> Sat.Solver.n_vars solver);
+          e_stats = (fun () -> Sat.Solver.stats solver);
+        }
+      in
+      (eng, sink, recorder)
+    end
+    else begin
+      let p = Sat.Parallel.create ~jobs () in
+      let sink =
+        {
+          Sat.Sink.fresh_var = (fun () -> Sat.Parallel.new_var p);
+          add_clause = Sat.Parallel.add_clause p;
+        }
+      in
+      let eng =
+        {
+          e_new_var = (fun () -> Sat.Parallel.new_var p);
+          e_set_polarity = Sat.Parallel.set_polarity p;
+          e_solve =
+            (fun () ->
+              match cube_vars with
+              | [] -> Sat.Parallel.solve ?deadline p
+              | candidates -> Sat.Cube.solve ?deadline p ~candidates);
+          e_model_value = Sat.Parallel.model_value p;
+          e_n_vars = (fun () -> Sat.Parallel.n_vars p);
+          e_stats = (fun () -> Sat.Parallel.stats p);
+        }
+      in
+      (eng, sink, None)
+    end
   in
   let cert = ref (if certify then Some Certify.empty else None) in
   let certify_unsat () =
@@ -106,7 +163,7 @@ let solve ?deadline ?(certify = false) ?report instance =
   let report_iteration iteration cost =
     match report with
     | None -> ()
-    | Some f -> f ~iteration ~cost ~stats:(Sat.Solver.stats solver)
+    | Some f -> f ~iteration ~cost ~stats:(eng.e_stats ())
   in
   (* One span per descent iteration: the bound being attempted going in,
      the solver's verdict (and model cost, when SAT) coming out. *)
@@ -132,14 +189,14 @@ let solve ?deadline ?(certify = false) ?report instance =
           | Some c -> [ ("cost", Obs.Trace.Int c) ]))
   in
   for _ = 1 to Instance.n_vars instance do
-    ignore (Sat.Solver.new_var solver)
+    ignore (eng.e_new_var ())
   done;
   List.iter sink.Sat.Sink.add_clause (Instance.hard instance);
   let relax = relaxation_lits sink (Instance.soft instance) in
   (* Bias the search towards satisfying the soft clauses so that the first
      model is already cheap and the descent starts near the optimum. *)
   List.iter
-    (fun (_, r) -> Sat.Solver.set_polarity solver (Sat.Lit.var r) (not (Sat.Lit.sign r)))
+    (fun (_, r) -> eng.e_set_polarity (Sat.Lit.var r) (not (Sat.Lit.sign r)))
     relax;
   let finish kind cost model iterations =
     let o =
@@ -148,7 +205,7 @@ let solve ?deadline ?(certify = false) ?report instance =
         model;
         iterations;
         solve_time = Unix.gettimeofday () -. start;
-        solver_stats = Sat.Solver.copy_stats (Sat.Solver.stats solver);
+        solver_stats = Sat.Solver.copy_stats (eng.e_stats ());
         certificate = !cert;
       }
     in
@@ -159,7 +216,7 @@ let solve ?deadline ?(certify = false) ?report instance =
     | `Feasible -> Feasible o
   in
   let span0 = iteration_span 1 (-1) in
-  match Sat.Solver.solve ?deadline solver with
+  match eng.e_solve () with
   | Sat.Solver.Unsat ->
     stop_iteration span0 "unsat";
     (* The initial refutation is the optimizer's strongest claim — the
@@ -171,9 +228,9 @@ let solve ?deadline ?(certify = false) ?report instance =
     stop_iteration span0 "unknown";
     Timeout
   | Sat.Solver.Sat ->
-    let best_cost = ref (cost_of_relax solver relax) in
+    let best_cost = ref (cost_of_relax eng relax) in
     stop_iteration span0 ~cost:!best_cost "sat";
-    let best_model = ref (model_array solver) in
+    let best_model = ref (model_array eng) in
     let iterations = ref 1 in
     report_iteration !iterations !best_cost;
     if !best_cost = 0 || relax = [] then
@@ -187,17 +244,17 @@ let solve ?deadline ?(certify = false) ?report instance =
         let bound = !best_cost - 1 in
         assert_bound sink machinery bound;
         let span = iteration_span (!iterations + 1) bound in
-        match Sat.Solver.solve ?deadline solver with
+        match eng.e_solve () with
         | Sat.Solver.Sat ->
           incr iterations;
-          let cost = cost_of_relax solver relax in
+          let cost = cost_of_relax eng relax in
           stop_iteration span ~cost "sat";
           (* The bound guarantees progress; guard against a stuck loop in
              case of an encoding bug. *)
           if cost >= !best_cost then
             failwith "Optimizer: objective did not decrease";
           best_cost := cost;
-          best_model := model_array solver;
+          best_model := model_array eng;
           report_iteration !iterations cost;
           if cost = 0 then
             result := Some (finish `Optimal cost !best_model !iterations)

@@ -36,6 +36,8 @@ val solve :
   ?deadline:float ->
   ?certify:bool ->
   ?report:(iteration:int -> cost:int -> stats:Sat.Solver.stats -> unit) ->
+  ?jobs:int ->
+  ?cube_vars:Sat.Lit.var list ->
   Instance.t ->
   result
 (** [deadline] is an absolute [Unix.gettimeofday] instant.  [certify]
@@ -44,7 +46,16 @@ val solve :
     [outcome.certificate].  [report] is invoked after every satisfiable
     iteration of the descent with the iteration number, the model's
     cost, and the {e live} solver stats (snapshot with
-    {!Sat.Solver.copy_stats} if retained). *)
+    {!Sat.Solver.copy_stats} if retained).
+
+    [jobs] (default 1) sets the solver parallelism of each descent step:
+    above 1, every SAT call runs a {!Sat.Parallel} portfolio of that
+    many clause-sharing CDCL domains, and [cube_vars] (the instance's
+    preferred branching skeleton — for the QMR encoding, the layer-0
+    map variables) additionally enables cube-and-conquer splitting via
+    {!Sat.Cube}.  [certify] forces [jobs] back to 1: imported clauses
+    are not RUP-derivable inside the importing solver's own DRUP trace,
+    so certified runs use the sequential engine. *)
 
 val optimal_cost : ?deadline:float -> Instance.t -> int option
 (** The optimal cost, or [None] if optimality was not proved in time. *)

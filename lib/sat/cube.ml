@@ -1,0 +1,86 @@
+(* Cube-and-conquer on top of the portfolio: pick the k most
+   constraining branch variables by lookahead probing, fan the 2^k sign
+   combinations out as assumption jobs over the portfolio members, and
+   fall back to a plain portfolio run whenever splitting has nothing to
+   bite on.
+
+   The candidate set comes from the caller (for the QMR encoding, the
+   layer-0 map-variable skeleton): probing arbitrary auxiliary variables
+   is rarely worth it, probing the variables that pin the initial
+   mapping usually is. *)
+
+let m_cube_jobs = Obs.Metrics.counter "sat.cube_jobs"
+
+(* Probing is two propagation passes per candidate; cap the work so a
+   huge skeleton cannot dominate a descent iteration. *)
+let max_probed_vars = 96
+
+(* k such that 2^k is about twice the member count: enough cubes that no
+   member idles after an early refutation, few enough that each cube
+   still gets real search time. *)
+let branch_count jobs =
+  let rec lg n acc = if n <= 1 then acc else lg (n / 2) (acc + 1) in
+  lg jobs 0 + 1
+
+let solve_with_core ?(assumptions = []) ?deadline p ~candidates =
+  let jobs = Parallel.jobs p in
+  if jobs < 2 || candidates = [] then
+    Parallel.solve_with_core ~assumptions ?deadline p
+  else begin
+    (* Score candidates by the product of the two polarities' propagation
+       leverage — the classic lookahead heuristic favouring variables
+       that constrain both branches.  Failed probes are a free bonus:
+       probe(l) = None means the formula alone refutes l, so the unit
+       ~l is sound to add for every member. *)
+    let scored = ref [] in
+    let probed = ref 0 in
+    List.iter
+      (fun v ->
+        if !probed < max_probed_vars then begin
+          incr probed;
+          let pos = Lit.of_var v and neg = Lit.of_var ~sign:false v in
+          match (Parallel.probe p pos, Parallel.probe p neg) with
+          | None, None ->
+            (* Both polarities fail: the formula is unsatisfiable. *)
+            Parallel.add_clause p [ neg ];
+            Parallel.add_clause p [ pos ]
+          | None, Some _ -> Parallel.add_clause p [ neg ]
+          | Some _, None -> Parallel.add_clause p [ pos ]
+          | Some dp, Some dn ->
+            if dp > 1 || dn > 1 then
+              scored := (((dp * dn) * 1024) + dp + dn, v) :: !scored
+        end)
+      candidates;
+    let chosen =
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> Int.compare b a) !scored
+      in
+      let rec take k = function
+        | x :: tl when k > 0 -> snd x :: take (k - 1) tl
+        | _ -> []
+      in
+      take (branch_count jobs) sorted
+    in
+    match chosen with
+    | [] ->
+      (* No propagation leverage anywhere: splitting would only dilute
+         the members, run the straight portfolio instead. *)
+      Parallel.solve_with_core ~assumptions ?deadline p
+    | _ ->
+      let cubes =
+        List.fold_left
+          (fun acc v ->
+            List.concat_map
+              (fun cube ->
+                [
+                  Lit.of_var v :: cube; Lit.of_var ~sign:false v :: cube;
+                ])
+              acc)
+          [ [] ] chosen
+      in
+      Obs.Metrics.add m_cube_jobs (List.length cubes);
+      Parallel.solve_cubes ~assumptions ?deadline p ~cubes
+  end
+
+let solve ?assumptions ?deadline p ~candidates =
+  fst (solve_with_core ?assumptions ?deadline p ~candidates)

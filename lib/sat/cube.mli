@@ -1,0 +1,28 @@
+(** Cube-and-conquer splitting on top of the {!Parallel} portfolio.
+
+    Lookahead-probes the candidate branch variables (for the QMR
+    encoding: the layer-0 map-variable skeleton), picks the k most
+    constraining ones, and fans the 2^k sign-combination cubes out as
+    assumption jobs across the portfolio.  Because the cube set is
+    exhaustive by construction, an all-cubes-refuted outcome is a sound
+    [Unsat] with a valid merged core.  Falls back to a plain portfolio
+    run when the portfolio has a single member, the candidate list is
+    empty, or probing finds no propagation leverage.
+
+    Probing doubles as failed-literal detection: any candidate polarity
+    the formula refutes by unit propagation is added back as a unit
+    clause to every member. *)
+
+val solve_with_core :
+  ?assumptions:Lit.t list ->
+  ?deadline:float ->
+  Parallel.t ->
+  candidates:Lit.var list ->
+  Solver.result * Lit.t list
+
+val solve :
+  ?assumptions:Lit.t list ->
+  ?deadline:float ->
+  Parallel.t ->
+  candidates:Lit.var list ->
+  Solver.result

@@ -1,0 +1,291 @@
+(* A Glucose-syrup-style portfolio: N diversified CDCL members attack
+   the same instance, exchanging low-LBD learnt clauses through one
+   lock-free ring ({!Shared}), and the first member to reach a decisive
+   verdict cancels the rest.
+
+   All members hold exactly the same problem clauses, so every clause
+   any member learns — even under assumptions, which appear negated
+   inside the learnt clause — is a consequence of the common formula,
+   and importing it into a sibling preserves equivalence.  Members never
+   carry proof sinks: an imported clause is not RUP-derivable inside the
+   importer's own trace, which is why certify mode stays sequential.
+
+   With [jobs = 1] no ring, no hooks and no cancellation flag are
+   installed and every call forwards straight to the single member, so
+   the portfolio at one job is bit-identical to a bare {!Solver}. *)
+
+let m_shared = Obs.Metrics.counter "sat.shared_clauses"
+
+(* Last decisive member index — a gauge, so the bench can report which
+   diversification profile won the most recent portfolio race. *)
+let g_winner = Obs.Metrics.gauge "sat.portfolio_winner"
+
+type t = {
+  members : Solver.t array;
+  ring : Shared.t option;
+  cursors : int array;  (* per-member ring drain position *)
+  cancel : bool Atomic.t;
+  wins : int array;
+  mutable winner : int;
+  mutable pending : Lit.t list list;
+      (* problem clauses not yet replicated to members 1.., newest
+         first.  Loading a mapping-scale CNF into every member
+         sequentially costs [jobs] x the single-solver load, which
+         dwarfs the solve itself on easy blocks — so [add_clause] feeds
+         only the reference member eagerly and the rest catch up in
+         parallel (one domain each) at the next solve. *)
+}
+
+(* Diversification tables: member 0 keeps stock settings (it is the
+   reference member and the [jobs = 1] fast path); members 1.. sweep the
+   restart and clause-database schedules. *)
+let restart_bases = [| 100.0; 50.0; 150.0; 70.0; 200.0; 40.0; 120.0; 90.0 |]
+let reduce_schedules = [| (2000, 300); (1200, 200); (3000, 400); (800, 150) |]
+
+(* Cheap integer mix for per-member polarity seeds. *)
+let mix i v =
+  let h = (v * 0x9E3779B1) lxor (i * 0x85EBCA77) in
+  (h lsr 13) land 1 = 0
+
+let create ?(jobs = 1) ?(glue_limit = 4) ?ring_size () =
+  if jobs < 1 then invalid_arg "Parallel.create: jobs must be >= 1";
+  let members = Array.init jobs (fun _ -> Solver.create ()) in
+  Array.iteri
+    (fun i m ->
+      if i > 0 then begin
+        Solver.set_restart_base m
+          restart_bases.(i mod Array.length restart_bases);
+        let first, inc = reduce_schedules.(i mod Array.length reduce_schedules) in
+        Solver.set_reduce_db_params m ~first ~inc
+      end)
+    members;
+  let t =
+    {
+      members;
+      ring = (if jobs > 1 then Some (Shared.create ?size:ring_size ()) else None);
+      cursors = Array.make jobs 0;
+      cancel = Atomic.make false;
+      wins = Array.make jobs 0;
+      winner = 0;
+      pending = [];
+    }
+  in
+  (match t.ring with
+  | None -> ()
+  | Some ring ->
+    Array.iteri
+      (fun i m ->
+        Solver.set_on_learnt m
+          (Some
+             (fun lits lbd ->
+               if lbd <= glue_limit then begin
+                 Shared.publish ring ~src:i ~lbd (Array.copy lits);
+                 Obs.Metrics.incr m_shared
+               end));
+        Solver.set_import m
+          (Some
+             (fun () ->
+               let clauses, cursor =
+                 Shared.drain ring ~src:i ~cursor:t.cursors.(i)
+               in
+               t.cursors.(i) <- cursor;
+               clauses));
+        Solver.set_cancel m (Some t.cancel))
+      t.members);
+  t
+
+let jobs t = Array.length t.members
+let n_vars t = Solver.n_vars t.members.(0)
+let ok t = Solver.ok t.members.(0)
+
+let new_var t =
+  let v = Solver.new_var t.members.(0) in
+  for i = 1 to Array.length t.members - 1 do
+    let v' = Solver.new_var t.members.(i) in
+    assert (v' = v);
+    (* Polarity diversification, the cheapest portfolio lever: a third of
+       the members start all-true, a third from a hashed seed, the rest
+       keep the stock all-false phase.  Explicit [set_polarity] calls
+       from the client override this per variable, on every member. *)
+    match i land 3 with
+    | 1 -> Solver.set_polarity t.members.(i) v true
+    | 2 -> Solver.set_polarity t.members.(i) v (mix i v)
+    | 3 -> Solver.set_polarity t.members.(i) v (mix (i + 17) v)
+    | _ -> ()
+  done;
+  v
+
+let add_clause t lits =
+  Solver.add_clause t.members.(0) lits;
+  if Array.length t.members > 1 then t.pending <- lits :: t.pending
+
+(* Replicate buffered problem clauses to members 1.. — one domain per
+   member, so the wall cost of loading N copies is one load, not N.
+   Member 0 is already current; every variable in a pending clause is
+   known to all members ([new_var] allocates everywhere eagerly). *)
+let flush_pending t =
+  match t.pending with
+  | [] -> ()
+  | pending ->
+    t.pending <- [];
+    let clauses = List.rev pending in
+    let domains =
+      Array.init
+        (Array.length t.members - 1)
+        (fun k ->
+          Domain.spawn (fun () ->
+              List.iter (Solver.add_clause t.members.(k + 1)) clauses))
+    in
+    Array.iter Domain.join domains
+
+let set_polarity t v b =
+  Array.iter (fun m -> Solver.set_polarity m v b) t.members
+
+let probe t l = Solver.probe_literal t.members.(0) l
+
+let model_value t v = Solver.model_value t.members.(t.winner) v
+let value_lit t l = Solver.value_lit t.members.(0) l
+let stats t = Solver.stats t.members.(t.winner)
+let winner t = t.winner
+let wins t = Array.copy t.wins
+
+let shared_clauses t =
+  match t.ring with Some r -> Shared.published r | None -> 0
+
+let imported_clauses t =
+  Array.fold_left (fun acc m -> acc + (Solver.stats m).Solver.imported_clauses)
+    0 t.members
+
+let member_span i f =
+  Obs.Trace.with_span "sat.parallel_member"
+    ~args:[ ("member", Obs.Trace.Int i) ]
+    f
+
+(* Run [work i] on every member — member 0 on the calling domain, the
+   rest on fresh domains — then join and re-raise the first member
+   exception (after all domains are collected, so none leak). *)
+let fan_out t work =
+  let n = Array.length t.members in
+  let errors = Array.make n None in
+  let guarded i () =
+    try work i with e -> (
+      errors.(i) <- Some e;
+      Atomic.set t.cancel true)
+  in
+  let domains = Array.init (n - 1) (fun k -> Domain.spawn (guarded (k + 1))) in
+  guarded 0 ();
+  Array.iter Domain.join domains;
+  Atomic.set t.cancel false;
+  Array.iter (function Some e -> raise e | None -> ()) errors
+
+let solve_with_core ?(assumptions = []) ?deadline t =
+  let n = Array.length t.members in
+  if n = 1 then begin
+    t.winner <- 0;
+    let ((r, _) as res) =
+      Solver.solve_with_core ~assumptions ?deadline t.members.(0)
+    in
+    (match r with
+    | Solver.Sat | Solver.Unsat -> t.wins.(0) <- t.wins.(0) + 1
+    | Solver.Unknown -> ());
+    res
+  end
+  else begin
+    flush_pending t;
+    Atomic.set t.cancel false;
+    let results = Array.make n (Solver.Unknown, []) in
+    let decisive = Atomic.make (-1) in
+    fan_out t (fun i ->
+        let ((r, _) as res) =
+          member_span i (fun () ->
+              Solver.solve_with_core ~assumptions ?deadline t.members.(i))
+        in
+        results.(i) <- res;
+        match r with
+        | Solver.Sat | Solver.Unsat ->
+          if Atomic.compare_and_set decisive (-1) i then
+            Atomic.set t.cancel true
+        | Solver.Unknown -> ());
+    match Atomic.get decisive with
+    | -1 ->
+      t.winner <- 0;
+      (Solver.Unknown, [])
+    | w ->
+      t.winner <- w;
+      t.wins.(w) <- t.wins.(w) + 1;
+      Obs.Metrics.set g_winner (float_of_int w);
+      results.(w)
+  end
+
+let solve ?assumptions ?deadline t =
+  fst (solve_with_core ?assumptions ?deadline t)
+
+(* Cube-and-conquer execution: the cubes are drawn from a shared atomic
+   counter, so members load-balance themselves.  Soundness of the merged
+   UNSAT core requires the cube set to be exhaustive (every assignment
+   of the branch variables extends some cube): a model of the formula
+   plus the merged core would then satisfy some cube's full assumption
+   set, contradicting that cube's refutation. *)
+let solve_cubes ?(assumptions = []) ?deadline t ~cubes =
+  match cubes with
+  | [] -> solve_with_core ~assumptions ?deadline t
+  | _ ->
+    let n = Array.length t.members in
+    let cubes = Array.of_list cubes in
+    let n_cubes = Array.length cubes in
+    flush_pending t;
+    Atomic.set t.cancel false;
+    let next = Atomic.make 0 in
+    let sat_winner = Atomic.make (-1) in
+    let unknown = Atomic.make false in
+    let cores = Array.make n [] in
+    fan_out t (fun i ->
+        let m = t.members.(i) in
+        let continue = ref true in
+        while !continue do
+          if Atomic.get t.cancel then continue := false
+          else begin
+            let j = Atomic.fetch_and_add next 1 in
+            if j >= n_cubes then continue := false
+            else
+              let r =
+                member_span i (fun () ->
+                    Solver.solve_with_core
+                      ~assumptions:(assumptions @ cubes.(j))
+                      ?deadline m)
+              in
+              match r with
+              | Solver.Sat, _ ->
+                if Atomic.compare_and_set sat_winner (-1) i then
+                  Atomic.set t.cancel true;
+                continue := false
+              | Solver.Unsat, core ->
+                (* Cube literals are split over exhaustively, so only the
+                   caller's assumptions survive into the merged core. *)
+                let keep =
+                  List.filter (fun l -> List.mem l assumptions) core
+                in
+                cores.(i) <- keep @ cores.(i)
+              | Solver.Unknown, _ ->
+                Atomic.set unknown true;
+                continue := false
+          end
+        done);
+    (match Atomic.get sat_winner with
+    | w when w >= 0 ->
+      t.winner <- w;
+      t.wins.(w) <- t.wins.(w) + 1;
+      Obs.Metrics.set g_winner (float_of_int w);
+      (Solver.Sat, [])
+    | _ ->
+      if Atomic.get unknown then begin
+        t.winner <- 0;
+        (Solver.Unknown, [])
+      end
+      else begin
+        t.winner <- 0;
+        let core =
+          List.sort_uniq Lit.compare (List.concat (Array.to_list cores))
+        in
+        (Solver.Unsat, core)
+      end)

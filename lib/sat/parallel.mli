@@ -1,0 +1,94 @@
+(** Parallel CDCL portfolio with lock-free clause sharing
+    (Glucose-syrup style).
+
+    [N] diversified solver members (varied phase polarity, restart
+    aggressiveness and learnt-database tightness) attack the same
+    instance; low-LBD learnt clauses are exchanged through a lossy
+    lock-free ring ({!Shared}), and the first member to reach a decisive
+    verdict cooperatively cancels the rest.
+
+    All members hold identical problem clauses, so shared clauses —
+    including clauses learnt under assumptions, which carry those
+    assumptions negated — are consequences of the common formula and
+    sound to import anywhere.  Members never carry proof sinks; certify
+    mode must use a sequential {!Solver} instead.
+
+    With [jobs = 1] no ring, hooks or cancellation flag are installed:
+    every call forwards to the single member, bit-identical to a bare
+    {!Solver}. *)
+
+type t
+
+val create : ?jobs:int -> ?glue_limit:int -> ?ring_size:int -> unit -> t
+(** [jobs] members (default 1).  [glue_limit] (default 4) is the maximal
+    LBD a learnt clause may have to be shared; [ring_size] is the
+    exchange-ring capacity (see {!Shared.create}). *)
+
+val jobs : t -> int
+
+val new_var : t -> Lit.var
+(** Allocate the same fresh variable in every member. *)
+
+val n_vars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a problem clause to every member.  Like {!Solver.add_clause},
+    only legal between solve calls. *)
+
+val set_polarity : t -> Lit.var -> bool -> unit
+(** Set the initial phase of a variable in every member (overriding the
+    portfolio's diversified seed phases — use for semantic hints such as
+    soft-clause biasing). *)
+
+val solve : ?assumptions:Lit.t list -> ?deadline:float -> t -> Solver.result
+(** Portfolio solve: every member searches the same
+    instance-plus-assumptions; the first decisive verdict wins and
+    cancels the rest.  [Unknown] only when no member was decisive. *)
+
+val solve_with_core :
+  ?assumptions:Lit.t list -> ?deadline:float -> t -> Solver.result * Lit.t list
+(** Like {!solve}; on [Unsat] under assumptions additionally returns the
+    winning member's unsatisfiable core. *)
+
+val solve_cubes :
+  ?assumptions:Lit.t list ->
+  ?deadline:float ->
+  t ->
+  cubes:Lit.t list list ->
+  Solver.result * Lit.t list
+(** Cube-and-conquer execution: the cubes are drained from a shared
+    counter by all members, each solved under [assumptions @ cube].  Any
+    [Sat] cube decides the whole call; if every cube is refuted the
+    result is [Unsat] with the union of the per-cube cores restricted to
+    [assumptions] — which is a valid core {e provided the cube set is
+    exhaustive} (every assignment of the branch variables extends some
+    cube), as produced by {!Cube}.  An empty cube list degrades to
+    {!solve_with_core}. *)
+
+val probe : t -> Lit.t -> int option
+(** {!Solver.probe_literal} on the reference member (member 0). *)
+
+val model_value : t -> Lit.var -> bool
+(** Model value from the winning member; only meaningful right after a
+    [Sat] result. *)
+
+val value_lit : t -> Lit.t -> int
+(** Level-0 assignment view of the reference member. *)
+
+val ok : t -> bool
+
+val stats : t -> Solver.stats
+(** Live stats of the winning member (member 0 before any solve). *)
+
+val winner : t -> int
+(** Index of the member that decided the most recent solve (0 when the
+    result was [Unknown]). *)
+
+val wins : t -> int array
+(** Per-member decisive-result counts since [create]. *)
+
+val shared_clauses : t -> int
+(** Clauses published into the exchange ring since [create]. *)
+
+val imported_clauses : t -> int
+(** Clauses imported from the ring, summed over members. *)

@@ -1,0 +1,61 @@
+(* A lock-free bounded clause-exchange ring for the parallel portfolio
+   (the syrup idea: one shared buffer, every member both publishes and
+   drains).  Publishers reserve a slot with fetch-and-add on [head] and
+   store an immutable entry through an [Atomic.t]; under OCaml 5's
+   memory model that publication is safe — a reader either sees [None],
+   a fully-built entry, or a newer entry for the same slot.
+
+   The ring is lossy by design: when publishers outrun a reader by more
+   than [size] entries the overwritten clauses are simply gone (the
+   [seq] stamp detects the overwrite, so a stale or recycled slot is
+   never mis-attributed).  Losing shared clauses costs only heuristic
+   strength, never soundness. *)
+
+type entry = { seq : int; lits : Lit.t array; lbd : int; src : int }
+
+type t = {
+  slots : entry option Atomic.t array;
+  mask : int;
+  head : int Atomic.t;  (* next sequence number to be written *)
+  n_published : int Atomic.t;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(size = 4096) () =
+  if size < 1 then invalid_arg "Shared.create: size must be >= 1";
+  let size = next_pow2 size in
+  {
+    slots = Array.init size (fun _ -> Atomic.make None);
+    mask = size - 1;
+    head = Atomic.make 0;
+    n_published = Atomic.make 0;
+  }
+
+let size t = t.mask + 1
+
+let publish t ~src ~lbd lits =
+  (* The caller hands over ownership of [lits] (Parallel copies the
+     solver's live array before calling). *)
+  let seq = Atomic.fetch_and_add t.head 1 in
+  Atomic.set t.slots.(seq land t.mask) (Some { seq; lits; lbd; src });
+  ignore (Atomic.fetch_and_add t.n_published 1)
+
+let published t = Atomic.get t.n_published
+
+(* Collect every entry with sequence number in [cursor, head) that is
+   still resident and was not published by [src]; returns the clauses
+   oldest-first together with the new cursor.  Entries published while
+   we scan are picked up by the next drain. *)
+let drain t ~src ~cursor =
+  let head = Atomic.get t.head in
+  let start = max cursor (head - size t) in
+  let acc = ref [] in
+  for i = start to head - 1 do
+    match Atomic.get t.slots.(i land t.mask) with
+    | Some e when e.seq = i && e.src <> src -> acc := (e.lits, e.lbd) :: !acc
+    | Some _ | None -> ()
+  done;
+  (List.rev !acc, head)

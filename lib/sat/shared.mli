@@ -1,0 +1,31 @@
+(** Lock-free bounded clause-exchange ring (parallel portfolio).
+
+    Every portfolio member publishes its low-LBD learnt clauses into one
+    shared ring and periodically drains the clauses the other members
+    published.  The ring is wait-free on the publish side (one
+    fetch-and-add plus one atomic store) and lossy under overrun: a
+    reader that falls more than the ring size behind silently misses the
+    overwritten clauses — a heuristic loss only, never a soundness
+    issue. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [size] (default 4096, rounded up to a power of two) is the clause
+    capacity before old entries are overwritten. *)
+
+val size : t -> int
+
+val publish : t -> src:int -> lbd:int -> Lit.t array -> unit
+(** Publish a clause.  Ownership of the array transfers to the ring —
+    callers must pass a private copy.  [src] identifies the publishing
+    member so it never re-imports its own clauses. *)
+
+val published : t -> int
+(** Total clauses ever published (monotone, across all members). *)
+
+val drain : t -> src:int -> cursor:int -> (Lit.t array * int) list * int
+(** [drain t ~src ~cursor] returns the [(lits, lbd)] of every resident
+    clause with sequence number at least [cursor] that some member other
+    than [src] published, oldest first, together with the new cursor.
+    Start with [cursor = 0]; each member keeps its own cursor. *)

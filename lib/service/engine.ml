@@ -10,16 +10,25 @@ type t = {
   block_cache : Block_cache.t;
   cache_file : string option;
   restored : int;
+  solver_jobs : int;
 }
 
 let m_requests = Obs.Metrics.counter "service.requests"
 
-let create ?workers ?(cache_size = 256) ?(block_cache_size = 4096)
-    ?(queue_capacity = 64) ?cache_file () =
+let create ?workers ?(solver_jobs = 1) ?(cache_size = 256)
+    ?(block_cache_size = 4096) ?(queue_capacity = 64) ?cache_file () =
   let workers =
     match workers with
     | Some w -> max 1 w
     | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  (* Per-request CDCL parallelism multiplies per worker; cap the product
+     at the machine's domain budget so a busy pool cannot oversubscribe. *)
+  let solver_jobs =
+    let budget =
+      max 1 (Domain.recommended_domain_count () / max 1 workers)
+    in
+    min (max 1 solver_jobs) budget
   in
   let serve_cache = Cache.create ~name:"service.cache" ~capacity:cache_size () in
   let restored =
@@ -36,7 +45,10 @@ let create ?workers ?(cache_size = 256) ?(block_cache_size = 4096)
     block_cache = Block_cache.create ~capacity:block_cache_size ();
     cache_file;
     restored;
+    solver_jobs;
   }
+
+let solver_jobs t = t.solver_jobs
 
 let serve_cache t = t.serve_cache
 let block_cache t = t.block_cache
@@ -136,6 +148,7 @@ let handle ?deadline t (req : Protocol.request) =
             timeout = budget;
             objective;
             n_swaps = req.n_swaps;
+            solver_parallelism = t.solver_jobs;
             block_cache =
               (if req.use_cache then Some (Block_cache.hook t.block_cache)
                else None);

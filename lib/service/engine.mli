@@ -21,6 +21,7 @@ type t
 
 val create :
   ?workers:int ->
+  ?solver_jobs:int ->
   ?cache_size:int ->
   ?block_cache_size:int ->
   ?queue_capacity:int ->
@@ -28,12 +29,15 @@ val create :
   unit ->
   t
 (** [workers] defaults to [Domain.recommended_domain_count () - 1]
-    (at least 1); [cache_size] (request-level entries) to 256;
-    [block_cache_size] to 4096; [queue_capacity] (bounded job queue —
-    beyond it submissions are rejected with [Overloaded]) to 64.
-    [cache_file], when given, is loaded now (silently skipped when
-    missing or stale-schema) and written back by {!save_cache} /
-    end-of-[serve]. *)
+    (at least 1); [solver_jobs] (default 1) is the per-request CDCL
+    portfolio width ([Router.config.solver_parallelism]), capped at
+    [recommended_domain_count / workers] so the pool's total domain
+    fan-out stays within the machine budget; [cache_size]
+    (request-level entries) to 256; [block_cache_size] to 4096;
+    [queue_capacity] (bounded job queue — beyond it submissions are
+    rejected with [Overloaded]) to 64.  [cache_file], when given, is
+    loaded now (silently skipped when missing or stale-schema) and
+    written back by {!save_cache} / end-of-[serve]. *)
 
 val handle : ?deadline:float -> t -> Protocol.request -> Protocol.response
 (** Serve one request synchronously on the calling domain.  [deadline]
@@ -66,3 +70,7 @@ val restored_entries : t -> int
 (** Entries loaded from [cache_file] at {!create} time (0 without one). *)
 
 val pool : t -> Pool.t
+
+val solver_jobs : t -> int
+(** The effective per-request CDCL parallelism after the worker-budget
+    cap was applied. *)

@@ -1,0 +1,317 @@
+(* Tests for the parallel CDCL portfolio: differential equivalence with
+   the sequential solver (SAT models verified, UNSAT cross-checked
+   against brute force), bit-identical determinism at one job, clause
+   sharing on a hard instance, cube-and-conquer agreement, the forced
+   learnt-database reduction schedule, and optimizer-level cost
+   agreement across job counts. *)
+
+let lit ?sign v = Sat.Lit.of_var ?sign v
+
+let check_result =
+  Alcotest.testable
+    (fun fmt r ->
+      Format.pp_print_string fmt
+        (match r with
+        | Sat.Solver.Sat -> "Sat"
+        | Sat.Solver.Unsat -> "Unsat"
+        | Sat.Solver.Unknown -> "Unknown"))
+    ( = )
+
+let load_parallel ~jobs n_vars clauses =
+  let p = Sat.Parallel.create ~jobs () in
+  for _ = 1 to n_vars do
+    ignore (Sat.Parallel.new_var p)
+  done;
+  List.iter (Sat.Parallel.add_clause p) clauses;
+  p
+
+let load_solver n_vars clauses =
+  let s = Sat.Solver.create () in
+  for _ = 1 to n_vars do
+    ignore (Sat.Solver.new_var s)
+  done;
+  List.iter (Sat.Solver.add_clause s) clauses;
+  s
+
+let model_satisfies value clauses =
+  List.for_all
+    (List.exists (fun l ->
+         let b = value (Sat.Lit.var l) in
+         if Sat.Lit.sign l then b else not b))
+    clauses
+
+(* ------------------------------------------------------------------ *)
+(* Random CNF generation (same shape as test_sat's generator) *)
+
+let gen_cnf =
+  QCheck2.Gen.(
+    let* n_vars = int_range 1 10 in
+    let* n_clauses = int_range 1 40 in
+    let gen_lit =
+      let* v = int_range 0 (n_vars - 1) in
+      let* sign = bool in
+      return (lit ~sign v)
+    in
+    let gen_clause =
+      let* len = int_range 1 4 in
+      list_size (return len) gen_lit
+    in
+    let* clauses = list_size (return n_clauses) gen_clause in
+    return (n_vars, clauses))
+
+let gen_cnf_with_assumptions =
+  QCheck2.Gen.(
+    let* n_vars, clauses = gen_cnf in
+    let gen_lit =
+      let* v = int_range 0 (n_vars - 1) in
+      let* sign = bool in
+      return (lit ~sign v)
+    in
+    let* n_assumps = int_range 0 3 in
+    let* assumptions = list_size (return n_assumps) gen_lit in
+    return (n_vars, clauses, assumptions))
+
+(* ------------------------------------------------------------------ *)
+(* Differential: portfolio vs sequential vs brute force (satellite of
+   the issue: >= 200 random instances, models verified, UNSAT
+   cross-checked) *)
+
+let prop_portfolio_agrees_with_sequential =
+  QCheck2.Test.make ~count:250
+    ~name:"portfolio (jobs=3) agrees with sequential CDCL and brute force"
+    gen_cnf
+    (fun (n_vars, clauses) ->
+      let expected = Sat.Brute.is_satisfiable ~n_vars clauses in
+      let seq = Sat.Solver.solve (load_solver n_vars clauses) in
+      let p = load_parallel ~jobs:3 n_vars clauses in
+      match Sat.Parallel.solve p with
+      | Sat.Solver.Sat ->
+        expected && seq = Sat.Solver.Sat
+        && model_satisfies (Sat.Parallel.model_value p) clauses
+      | Sat.Solver.Unsat -> (not expected) && seq = Sat.Solver.Unsat
+      | Sat.Solver.Unknown -> false)
+
+let prop_portfolio_assumptions_core =
+  QCheck2.Test.make ~count:150
+    ~name:"portfolio under assumptions: verdicts match brute force; cores unsat"
+    gen_cnf_with_assumptions
+    (fun (n_vars, clauses, assumptions) ->
+      let expected =
+        Sat.Brute.is_satisfiable ~n_vars
+          (List.map (fun l -> [ l ]) assumptions @ clauses)
+      in
+      let p = load_parallel ~jobs:2 n_vars clauses in
+      match Sat.Parallel.solve_with_core ~assumptions p with
+      | Sat.Solver.Sat, _ ->
+        expected && model_satisfies (Sat.Parallel.model_value p) clauses
+      | Sat.Solver.Unsat, core ->
+        (not expected)
+        && List.for_all
+             (fun l -> List.exists (Sat.Lit.equal l) assumptions)
+             core
+        && not
+             (Sat.Brute.is_satisfiable ~n_vars
+                (List.map (fun l -> [ l ]) core @ clauses))
+      | Sat.Solver.Unknown, _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: jobs = 1 must be bit-identical to a bare solver *)
+
+let prop_one_job_bit_identical =
+  QCheck2.Test.make ~count:100
+    ~name:"jobs=1 portfolio is bit-identical to the sequential solver"
+    gen_cnf
+    (fun (n_vars, clauses) ->
+      let s = load_solver n_vars clauses in
+      let rs = Sat.Solver.solve s in
+      let p = load_parallel ~jobs:1 n_vars clauses in
+      let rp = Sat.Parallel.solve p in
+      let stats_equal =
+        let a = Sat.Solver.copy_stats (Sat.Solver.stats s) in
+        let b = Sat.Solver.copy_stats (Sat.Parallel.stats p) in
+        a.Sat.Solver.conflicts = b.Sat.Solver.conflicts
+        && a.Sat.Solver.decisions = b.Sat.Solver.decisions
+        && a.Sat.Solver.propagations = b.Sat.Solver.propagations
+        && a.Sat.Solver.restarts = b.Sat.Solver.restarts
+        && a.Sat.Solver.learnt_clauses = b.Sat.Solver.learnt_clauses
+        && a.Sat.Solver.imported_clauses = 0
+        && b.Sat.Solver.imported_clauses = 0
+      in
+      let models_equal =
+        rs <> Sat.Solver.Sat
+        || List.for_all
+             (fun v ->
+               Sat.Solver.model_value s v = Sat.Parallel.model_value p v)
+             (List.init n_vars Fun.id)
+      in
+      rs = rp && stats_equal && models_equal)
+
+(* ------------------------------------------------------------------ *)
+(* Clause sharing on a hard UNSAT instance *)
+
+let pigeonhole_parallel ~jobs ~pigeons ~holes =
+  let p = Sat.Parallel.create ~jobs () in
+  let var pg h = (holes * pg) + h in
+  for _ = 1 to pigeons * holes do
+    ignore (Sat.Parallel.new_var p)
+  done;
+  for pg = 0 to pigeons - 1 do
+    Sat.Parallel.add_clause p (List.init holes (fun h -> lit (var pg h)))
+  done;
+  for h = 0 to holes - 1 do
+    for pg = 0 to pigeons - 1 do
+      for pg' = pg + 1 to pigeons - 1 do
+        Sat.Parallel.add_clause p
+          [ lit ~sign:false (var pg h); lit ~sign:false (var pg' h) ]
+      done
+    done
+  done;
+  p
+
+let test_sharing_on_pigeonhole () =
+  let p = pigeonhole_parallel ~jobs:4 ~pigeons:7 ~holes:6 in
+  Alcotest.check check_result "php(7,6) unsat" Sat.Solver.Unsat
+    (Sat.Parallel.solve p);
+  Alcotest.(check bool) "clauses were shared" true
+    (Sat.Parallel.shared_clauses p > 0);
+  (* Import volume is timing-dependent (drains happen at restarts), but
+     the counter must never go negative and is bounded by what was
+     published times the number of potential importers. *)
+  let imported = Sat.Parallel.imported_clauses p in
+  Alcotest.(check bool) "imports within publication bound" true
+    (imported >= 0
+    && imported <= Sat.Parallel.shared_clauses p * (Sat.Parallel.jobs p - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Cube-and-conquer agreement *)
+
+let prop_cubes_agree =
+  QCheck2.Test.make ~count:120
+    ~name:"cube-and-conquer agrees with brute force; merged cores unsat"
+    gen_cnf_with_assumptions
+    (fun (n_vars, clauses, assumptions) ->
+      let expected =
+        Sat.Brute.is_satisfiable ~n_vars
+          (List.map (fun l -> [ l ]) assumptions @ clauses)
+      in
+      let p = load_parallel ~jobs:2 n_vars clauses in
+      let candidates = List.init n_vars Fun.id in
+      match Sat.Cube.solve_with_core ~assumptions p ~candidates with
+      | Sat.Solver.Sat, _ ->
+        expected && model_satisfies (Sat.Parallel.model_value p) clauses
+      | Sat.Solver.Unsat, core ->
+        (not expected)
+        && List.for_all
+             (fun l -> List.exists (Sat.Lit.equal l) assumptions)
+             core
+        && not
+             (Sat.Brute.is_satisfiable ~n_vars
+                (List.map (fun l -> [ l ]) core @ clauses))
+      | Sat.Solver.Unknown, _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Learnt-database reduction actually fires (regression: the old
+   size-based trigger never did at mapping scale, leaving
+   reduce_db/deletions at 0 in every bench row) *)
+
+let test_reduce_db_fires () =
+  let s = Sat.Solver.create () in
+  let var pg h = (5 * pg) + h in
+  for _ = 1 to 6 * 5 do
+    ignore (Sat.Solver.new_var s)
+  done;
+  for pg = 0 to 5 do
+    Sat.Solver.add_clause s (List.init 5 (fun h -> lit (var pg h)))
+  done;
+  for h = 0 to 4 do
+    for pg = 0 to 5 do
+      for pg' = pg + 1 to 5 do
+        Sat.Solver.add_clause s
+          [ lit ~sign:false (var pg h); lit ~sign:false (var pg' h) ]
+      done
+    done
+  done;
+  Sat.Solver.set_reduce_db_params s ~first:60 ~inc:30;
+  Alcotest.check check_result "php(6,5) unsat" Sat.Solver.Unsat
+    (Sat.Solver.solve s);
+  let st = Sat.Solver.stats s in
+  Alcotest.(check bool) "at least one reduction pass" true
+    (st.Sat.Solver.db_reductions >= 1);
+  Alcotest.(check bool) "clauses were deleted" true
+    (st.Sat.Solver.deleted_clauses > 0)
+
+let test_reduce_db_params_validated () =
+  let s = Sat.Solver.create () in
+  Alcotest.check_raises "first must be >= 1"
+    (Invalid_argument "Solver.set_reduce_db_params") (fun () ->
+      Sat.Solver.set_reduce_db_params s ~first:0 ~inc:10);
+  Alcotest.check_raises "inc must be >= 0"
+    (Invalid_argument "Solver.set_reduce_db_params") (fun () ->
+      Sat.Solver.set_reduce_db_params s ~first:10 ~inc:(-1))
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer-level agreement: jobs=4 and jobs=1 prove the same optimum *)
+
+let gen_maxsat =
+  QCheck2.Gen.(
+    let* n_vars = int_range 2 8 in
+    let gen_lit =
+      let* v = int_range 0 (n_vars - 1) in
+      let* sign = bool in
+      return (lit ~sign v)
+    in
+    let gen_clause =
+      let* len = int_range 1 3 in
+      list_size (return len) gen_lit
+    in
+    let* n_hard = int_range 0 12 in
+    let* hard = list_size (return n_hard) gen_clause in
+    let* n_soft = int_range 1 8 in
+    let* soft = list_size (return n_soft) gen_clause in
+    return (n_vars, hard, List.map (fun c -> (1, c)) soft))
+
+let prop_optimizer_jobs_agree =
+  QCheck2.Test.make ~count:60
+    ~name:"optimizer at jobs=4 (with cubes) finds the same optimal cost"
+    gen_maxsat
+    (fun (n_vars, hard, soft) ->
+      let instance = Maxsat.Instance.create ~n_vars ~hard ~soft in
+      let expected = Sat.Brute.maxsat_opt ~n_vars ~hard ~soft in
+      let cost = function
+        | Maxsat.Optimizer.Optimal o -> Some o.Maxsat.Optimizer.cost
+        | Maxsat.Optimizer.Unsatisfiable _ -> None
+        | Maxsat.Optimizer.Feasible _ | Maxsat.Optimizer.Timeout ->
+          Some (-1) (* no deadline given: must not happen *)
+      in
+      let seq = cost (Maxsat.Optimizer.solve instance) in
+      let par =
+        cost
+          (Maxsat.Optimizer.solve ~jobs:4
+             ~cube_vars:(List.init (min 3 n_vars) Fun.id)
+             instance)
+      in
+      seq = expected && par = expected)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "differential",
+        [
+          qtest prop_portfolio_agrees_with_sequential;
+          qtest prop_portfolio_assumptions_core;
+          qtest prop_cubes_agree;
+        ] );
+      ("determinism", [ qtest prop_one_job_bit_identical ]);
+      ( "sharing",
+        [ Alcotest.test_case "pigeonhole" `Quick test_sharing_on_pigeonhole ]
+      );
+      ( "reduce-db",
+        [
+          Alcotest.test_case "forced reduction" `Quick test_reduce_db_fires;
+          Alcotest.test_case "param validation" `Quick
+            test_reduce_db_params_validated;
+        ] );
+      ("optimizer", [ qtest prop_optimizer_jobs_agree ]);
+    ]
