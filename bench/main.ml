@@ -920,6 +920,152 @@ let json_of_cache (c : cache_probe) =
        (if looked_up = 0 then 0.0
         else float_of_int c.cache_hits /. float_of_int looked_up))
 
+(* Serving-tier probe for the snapshot: drive the socket server with the
+   open-loop load generator (latency percentiles, hit/coalesce rates),
+   demonstrate single-flight coalescing on an identical concurrent burst
+   (N clients, one engine solve), and check that a 2-shard deployment
+   behind the shard router answers byte-identically to a single server. *)
+let serve_section () =
+  let module P = Service.Protocol in
+  let dir = Filename.temp_file "bench_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let sock name = Serving.Server.Unix_path (Filename.concat dir name) in
+  let send oc req =
+    output_string oc (P.request_to_string req);
+    output_char oc '\n';
+    flush oc
+  in
+  let rec recv ic =
+    match P.parse_response (input_line ic) with
+    | Ok (P.Progress_response _) -> recv ic
+    | Ok (P.Ok_response p) -> Some p
+    | Ok (P.Error_response _) | Error _ -> None
+    | exception End_of_file -> None
+  in
+  let request ~id circuit =
+    {
+      P.default_request with
+      id;
+      qasm = Quantum.Qasm.to_string circuit;
+      device = "tokyo";
+      timeout = 30.0;
+    }
+  in
+  (* 1. Open-loop load. *)
+  let engine = Service.Engine.create ~workers:1 () in
+  let server = Serving.Server.start ~admission:false engine (sock "lg.sock") in
+  let lg =
+    Loadgen.run
+      { Loadgen.default_spec with Loadgen.n_requests = 24; rate = 24.0 }
+      (Serving.Server.address server)
+  in
+  (* 2. Identical concurrent burst: park the single worker on a hard
+     solve, then fire N identical requests — single-flight must answer
+     them all with exactly one engine solve (one leader reply). *)
+  let _, hard = Qaoa.Build.maxcut_3_regular ~seed:7 ~n:6 ~cycles:3 in
+  let burst_circuit =
+    Workloads.Generators.local_random (Rng.create 4242) ~n:6 ~gates:12
+      ~locality:0.8
+  in
+  let addr = Serving.Server.address server in
+  let blocker = Serving.Server.connect addr in
+  let misses0 = Service.Cache.misses (Service.Engine.serve_cache engine) in
+  send (snd blocker)
+    { (request ~id:"blocker" hard) with P.method_ = P.Cyclic };
+  Thread.delay 0.15;
+  let clients = 4 in
+  let burst = Array.init clients (fun _ -> Serving.Server.connect addr) in
+  Array.iteri
+    (fun i (_, oc) ->
+      send oc (request ~id:(Printf.sprintf "b%d" i) burst_circuit))
+    burst;
+  let replies =
+    Array.to_list burst
+    |> List.filter_map (fun (ic, _) -> recv ic)
+  in
+  ignore (recv (fst blocker));
+  let coalesced_replies =
+    List.length (List.filter (fun p -> p.P.ok_coalesced) replies)
+  in
+  let burst_solves =
+    Service.Cache.misses (Service.Engine.serve_cache engine) - misses0 - 1
+  in
+  Array.iter Serving.Server.disconnect burst;
+  Serving.Server.disconnect blocker;
+  Serving.Server.stop server;
+  Service.Engine.shutdown engine;
+  (* 3. Shard invariance: one sequential stream against 1 shard direct
+     and 2 shards behind the router, fresh engines each. *)
+  let c1 =
+    Workloads.Generators.local_random (Rng.create 4243) ~n:6 ~gates:12
+      ~locality:0.8
+  and c2 =
+    Workloads.Generators.local_random (Rng.create 4244) ~n:6 ~gates:12
+      ~locality:0.8
+  in
+  let renamed =
+    let n = Quantum.Circuit.n_qubits c2 in
+    Quantum.Circuit.relabel_qubits c2 (fun q -> n - 1 - q)
+  in
+  let stream =
+    [
+      request ~id:"t1" c1; request ~id:"t2" c2; request ~id:"t3" c1;
+      request ~id:"t4" renamed;
+    ]
+  in
+  let stable p = P.response_to_string (P.Ok_response { p with P.ok_time = 0. }) in
+  let run_stream addr =
+    let conn = Serving.Server.connect addr in
+    let out =
+      List.map
+        (fun r ->
+          send (snd conn) r;
+          Option.map stable (recv (fst conn)))
+        stream
+    in
+    Serving.Server.disconnect conn;
+    out
+  in
+  let engine1 = Service.Engine.create ~workers:1 () in
+  let one = Serving.Server.start ~shard:(0, 1) engine1 (sock "one.sock") in
+  let direct = run_stream (Serving.Server.address one) in
+  Serving.Server.stop one;
+  Service.Engine.shutdown engine1;
+  let engine_a = Service.Engine.create ~workers:1 () in
+  let engine_b = Service.Engine.create ~workers:1 () in
+  let shard_a = Serving.Server.start ~shard:(0, 2) engine_a (sock "a.sock") in
+  let shard_b = Serving.Server.start ~shard:(1, 2) engine_b (sock "b.sock") in
+  let router =
+    Serving.Shard_router.start
+      ~backends:
+        [ Serving.Server.address shard_a; Serving.Server.address shard_b ]
+      (sock "router.sock")
+  in
+  let routed = run_stream (Serving.Shard_router.address router) in
+  Serving.Shard_router.stop router;
+  Serving.Server.stop shard_a;
+  Serving.Server.stop shard_b;
+  Service.Engine.shutdown engine_a;
+  Service.Engine.shutdown engine_b;
+  let shard_invariant =
+    List.length direct = List.length routed
+    && List.for_all2 (fun a b -> a = b && a <> None) direct routed
+  in
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir);
+     Unix.rmdir dir
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  Printf.sprintf
+    "{\"loadgen\": %s,\n\
+    \   \"burst\": {\"clients\": %d, \"engine_solves\": %d, \
+     \"coalesced_replies\": %d},\n\
+    \   \"shard_invariant\": %b}"
+    (Obs.Json.to_string (Loadgen.result_to_json lg))
+    clients burst_solves coalesced_replies shard_invariant
+
 let write_json path =
   let rows = Lazy.force main_rows in
   let oc = open_out path in
@@ -1045,6 +1191,7 @@ let write_json path =
     \  \"proof_totals\": %s,\n\
     \  \"cache_totals\": %s,\n\
     \  \"obs_totals\": %s,\n\
+    \  \"serve\": %s,\n\
     \  \"benchmarks\": [\n%s\n  ]\n\
      }\n"
     (if !opt_smoke then "smoke" else if !opt_full then "full" else "quick")
@@ -1052,7 +1199,7 @@ let write_json path =
     (max 1 !opt_solver_jobs)
     (List.length rows) solved
     (json_of_totals sum ~wall:total_wall)
-    proof_totals cache_totals obs_totals
+    proof_totals cache_totals obs_totals (serve_section ())
     (String.concat ",\n" (List.map row_json rows));
   close_out oc;
   Printf.printf "\nwrote %s: %d benchmarks, %d solved, %.0f props/s\n" path

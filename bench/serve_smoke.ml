@@ -36,6 +36,8 @@ let ok_of = function
     fail "expected ok response, got %s: %s"
       (Service.Protocol.error_code_name code)
       message
+  | Service.Protocol.Progress_response _ ->
+    fail "expected ok response, got a progress line"
 
 (* Strip the one volatile field so byte-identity is checkable on the
    serialized line. *)

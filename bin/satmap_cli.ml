@@ -510,29 +510,56 @@ let suite_cmd =
       $ const ())
 
 (* ------------------------------------------------------------------ *)
-(* serve *)
+(* serve / shard-router / loadgen *)
 
-let serve_cmd_run workers solver_jobs cache_size queue_capacity cache_file
-    trace metrics =
- guarded @@ fun () ->
-  Obs.Metrics.reset ();
-  if trace <> None then Obs.Trace.enable ();
-  let engine =
-    Service.Engine.create ?workers ~solver_jobs ~cache_size ~queue_capacity
-      ?cache_file ()
+(* "PATH" (contains '/'), "unix:PATH", "HOST:PORT", ":PORT" or
+   "tcp:HOST:PORT" -> a server address. *)
+let parse_address s =
+  let tcp spec =
+    match String.rindex_opt spec ':' with
+    | None -> Error (Printf.sprintf "%S: expected HOST:PORT or a socket path" s)
+    | Some i -> (
+      let host = String.sub spec 0 i in
+      let host = if host = "" then "127.0.0.1" else host in
+      match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+      | Some port when port >= 0 && port < 65536 -> Ok (Serving.Server.Tcp (host, port))
+      | _ -> Error (Printf.sprintf "%S: invalid port" s))
   in
-  (* stdout carries only JSON-lines responses; everything human-facing
-     goes to stderr. *)
-  if Service.Engine.restored_entries engine > 0 then
-    Format.eprintf "cache: restored %d entries@."
-      (Service.Engine.restored_entries engine);
-  Format.eprintf
-    "serving on stdin (%d workers, %d solver jobs each, queue %d, cache %d)@."
-    (Service.Pool.workers (Service.Engine.pool engine))
-    (Service.Engine.solver_jobs engine)
-    (Service.Pool.capacity (Service.Engine.pool engine))
-    cache_size;
-  Service.Engine.serve engine stdin stdout;
+  let prefixed p =
+    String.length s > String.length p
+    && String.sub s 0 (String.length p) = p
+  in
+  if prefixed "unix:" then
+    Ok (Serving.Server.Unix_path (String.sub s 5 (String.length s - 5)))
+  else if prefixed "tcp:" then tcp (String.sub s 4 (String.length s - 4))
+  else if String.contains s '/' then Ok (Serving.Server.Unix_path s)
+  else tcp s
+
+let address_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (parse_address s) in
+  Arg.conv ~docv:"ADDR" (parse, fun ppf a ->
+      Format.pp_print_string ppf (Serving.Server.address_to_string a))
+
+let shard_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Serving.Shard.parse_spec s) in
+  Arg.conv ~docv:"I/N"
+    (parse, fun ppf (i, n) -> Format.fprintf ppf "%d/%d" i n)
+
+(* Block until SIGINT/SIGTERM.  Signal handlers only set a flag; the
+   polling loop keeps the main thread out of any state a handler could
+   corrupt. *)
+let wait_for_signal () =
+  let stop = Atomic.make false in
+  let handle = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  let prev_int = Sys.signal Sys.sigint handle in
+  let prev_term = Sys.signal Sys.sigterm handle in
+  while not (Atomic.get stop) do
+    Thread.delay 0.1
+  done;
+  Sys.set_signal Sys.sigint prev_int;
+  Sys.set_signal Sys.sigterm prev_term
+
+let print_engine_stats engine =
   let pool = Service.Engine.pool engine in
   let sc = Service.Engine.serve_cache engine in
   let bc = Service.Engine.block_cache engine in
@@ -544,7 +571,9 @@ let serve_cmd_run workers solver_jobs cache_size queue_capacity cache_file
     (Service.Cache.hits sc) (Service.Cache.misses sc)
     (Service.Block_cache.hits bc)
     (Service.Block_cache.misses bc)
-    (Service.Block_cache.length bc);
+    (Service.Block_cache.length bc)
+
+let write_observability trace metrics =
   Option.iter
     (fun path ->
       Obs.Trace.write_chrome path;
@@ -556,6 +585,59 @@ let serve_cmd_run workers solver_jobs cache_size queue_capacity cache_file
       Obs.Metrics.write_json path;
       Format.eprintf "metrics:       %s@." path)
     metrics
+
+let serve_cmd_run workers solver_jobs cache_size queue_capacity cache_file
+    stdio listen shard no_admission max_request_bytes trace metrics =
+ guarded @@ fun () ->
+  if stdio && listen <> None then
+    raise
+      (Invalid_argument "serve: --stdio and --socket/--tcp are exclusive");
+  Obs.Metrics.reset ();
+  if trace <> None then Obs.Trace.enable ();
+  let engine =
+    Service.Engine.create ?workers ~solver_jobs ~cache_size ~queue_capacity
+      ?cache_file ()
+  in
+  (* stdout carries only JSON-lines responses; everything human-facing
+     goes to stderr. *)
+  if Service.Engine.restored_entries engine > 0 then
+    Format.eprintf "cache: restored %d entries@."
+      (Service.Engine.restored_entries engine);
+  (match listen with
+  | None ->
+    (* Default transport: the stdio JSON-lines loop ([--stdio] makes
+       the choice explicit).  [Engine.serve] shuts the pool down and
+       persists the cache on EOF. *)
+    Format.eprintf
+      "serving on stdin (%d workers, %d solver jobs each, queue %d, cache \
+       %d)@."
+      (Service.Pool.workers (Service.Engine.pool engine))
+      (Service.Engine.solver_jobs engine)
+      (Service.Pool.capacity (Service.Engine.pool engine))
+      cache_size;
+    Service.Engine.serve ~max_request_bytes engine stdin stdout
+  | Some address ->
+    let server =
+      Serving.Server.start ~max_request_bytes ?shard
+        ~admission:(not no_admission) engine address
+    in
+    Format.eprintf
+      "serving on %s (%d workers, %d solver jobs each, queue %d, cache %d%s)@."
+      (Serving.Server.address_to_string (Serving.Server.address server))
+      (Service.Pool.workers (Service.Engine.pool engine))
+      (Service.Engine.solver_jobs engine)
+      (Service.Pool.capacity (Service.Engine.pool engine))
+      cache_size
+      (match shard with
+      | None -> ""
+      | Some (i, n) -> Printf.sprintf ", shard %d/%d" i n);
+    wait_for_signal ();
+    Format.eprintf "shutting down@.";
+    Serving.Server.stop server;
+    Service.Engine.shutdown engine;
+    Service.Engine.save_cache engine);
+  print_engine_stats engine;
+  write_observability trace metrics
 
 let serve_cmd =
   let workers =
@@ -598,17 +680,324 @@ let serve_cmd =
             "CDCL domains per request's MaxSAT descent steps; capped so \
              workers x jobs stays within the machine's domain budget.")
   in
+  let stdio =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve JSON-lines over stdin/stdout (the default transport; \
+             this flag makes the choice explicit and rejects an \
+             accidental $(b,--socket)/$(b,--tcp) combination).")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Listen on TCP (port 0 picks an ephemeral port, printed to \
+             stderr).")
+  in
+  let shard =
+    Arg.(
+      value
+      & opt (some shard_conv) None
+      & info [ "shard" ] ~docv:"I/N"
+          ~doc:
+            "Serve as shard $(i,I) of an $(i,N)-way consistent-hash ring: \
+             requests whose canonical fingerprint this shard does not own \
+             are rejected with a bad-request error naming the owner.  Put \
+             $(b,satmap shard-router) in front to route transparently.")
+  in
+  let no_admission =
+    Arg.(
+      value & flag
+      & info [ "no-admission" ]
+          ~doc:
+            "Disable SLO-aware admission control (socket mode only): \
+             accept every request regardless of predicted queue wait.")
+  in
+  let max_request_bytes =
+    Arg.(
+      value
+      & opt int Service.Protocol.default_max_request_bytes
+      & info [ "max-request-bytes" ] ~docv:"N"
+          ~doc:"Reject request lines larger than $(docv) bytes.")
+  in
+  let listen =
+    let combine socket tcp =
+      match (socket, tcp) with
+      | Some _, Some _ ->
+        raise (Invalid_argument "serve: --socket and --tcp are exclusive")
+      | Some path, None -> Some (Serving.Server.Unix_path path)
+      | None, Some spec -> (
+        match parse_address ("tcp:" ^ spec) with
+        | Ok a -> Some a
+        | Error e -> raise (Invalid_argument ("serve: " ^ e)))
+      | None, None -> None
+    in
+    Term.(const combine $ socket $ tcp)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Concurrent routing service: JSON-lines requests on stdin, \
-          JSON-lines responses on stdout (correlate by id — completion \
-          order is not submission order).  Structurally identical \
-          requests — even with renamed qubits — are answered from a \
-          canonicalization-keyed result cache.")
+         "Concurrent routing service: JSON-lines requests on stdin/stdout \
+          by default, or over a Unix-domain/TCP socket with \
+          $(b,--socket)/$(b,--tcp) (correlate by id — completion order is \
+          not submission order).  Structurally identical requests — even \
+          with renamed qubits — are answered from a canonicalization-keyed \
+          result cache; in socket mode identical in-flight requests are \
+          coalesced into a single solve.")
     Term.(
       const serve_cmd_run $ workers $ serve_solver_jobs $ cache_size
-      $ queue_capacity $ cache_file $ trace_out $ metrics_out)
+      $ queue_capacity $ cache_file $ stdio $ listen $ shard $ no_admission
+      $ max_request_bytes $ trace_out $ metrics_out)
+
+(* ------------------------------------------------------------------ *)
+(* shard-router *)
+
+let shard_router_cmd_run listen backends max_request_bytes =
+ guarded @@ fun () ->
+  if backends = [] then
+    raise (Invalid_argument "shard-router: at least one --backend required");
+  let router =
+    Serving.Shard_router.start ~max_request_bytes ~backends listen
+  in
+  Format.eprintf "routing on %s across %d shard(s):@."
+    (Serving.Server.address_to_string (Serving.Shard_router.address router))
+    (List.length backends);
+  List.iteri
+    (fun i b ->
+      Format.eprintf "  shard %d: %s@." i (Serving.Server.address_to_string b))
+    backends;
+  wait_for_signal ();
+  Format.eprintf "shutting down@.";
+  Serving.Shard_router.stop router
+
+let shard_router_cmd =
+  let listen =
+    Arg.(
+      required
+      & opt (some address_conv) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Address to accept clients on: a Unix-socket path or \
+             $(i,HOST:PORT).")
+  in
+  let backends =
+    Arg.(
+      value
+      & opt_all address_conv []
+      & info [ "backend" ] ~docv:"ADDR"
+          ~doc:
+            "Backend shard address (repeatable; order defines shard \
+             indices, so it must match each backend's $(b,--shard) \
+             $(i,I/N)).")
+  in
+  let max_request_bytes =
+    Arg.(
+      value
+      & opt int Service.Protocol.default_max_request_bytes
+      & info [ "max-request-bytes" ] ~docv:"N"
+          ~doc:"Reject request lines larger than $(docv) bytes.")
+  in
+  Cmd.v
+    (Cmd.info "shard-router"
+       ~doc:
+         "Thin router in front of sharded $(b,satmap serve) instances: \
+          forwards each request to the shard owning its canonical \
+          fingerprint, so responses are byte-identical regardless of \
+          shard count.")
+    Term.(const shard_router_cmd_run $ listen $ backends $ max_request_bytes)
+
+(* ------------------------------------------------------------------ *)
+(* loadgen *)
+
+let loadgen_cmd_run target n rate dup rename connections timeout method_name
+    device slice_size n_unique n_qubits gates seed stream json_out =
+ guarded @@ fun () ->
+  let method_ =
+    match Service.Protocol.method_of_name method_name with
+    | Some m -> m
+    | None ->
+      raise
+        (Invalid_argument
+           (Printf.sprintf
+              "loadgen: unknown method %S (expected sliced, monolithic, \
+               cyclic or portfolio)"
+              method_name))
+  in
+  let spec =
+    {
+      Loadgen.default_spec with
+      Loadgen.n_requests = n;
+      rate;
+      duplicate_frac = dup;
+      rename_frac = rename;
+      connections;
+      request_timeout = timeout;
+      method_;
+      device;
+      slice_size;
+      n_unique;
+      n_qubits;
+      gates;
+      seed;
+      stream;
+    }
+  in
+  let r = Loadgen.run spec target in
+  Format.printf
+    "sent %d, completed %d (%d ok); wall %.2fs, %.1f req/s@." r.Loadgen.r_sent
+    r.Loadgen.r_completed r.Loadgen.r_ok r.Loadgen.r_wall
+    r.Loadgen.r_throughput;
+  Format.printf
+    "latency: mean %.3fs  p50 %.3fs  p90 %.3fs  p99 %.3fs  max %.3fs@."
+    r.Loadgen.r_mean_latency r.Loadgen.r_p50 r.Loadgen.r_p90 r.Loadgen.r_p99
+    r.Loadgen.r_max_latency;
+  Format.printf
+    "cache hits %d (%.0f%%), coalesced %d (%.0f%%), progress lines %d@."
+    r.Loadgen.r_cache_hits
+    (100. *. r.Loadgen.r_hit_rate)
+    r.Loadgen.r_coalesced
+    (100. *. r.Loadgen.r_coalesce_rate)
+    r.Loadgen.r_progress_lines;
+  if r.Loadgen.r_errors <> [] then
+    Format.printf "errors: %s@."
+      (String.concat ", "
+         (List.map
+            (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+            r.Loadgen.r_errors));
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string (Loadgen.result_to_json r));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "wrote %s@." path)
+    json_out;
+  if r.Loadgen.r_completed < r.Loadgen.r_sent then exit 1
+
+let loadgen_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some address_conv) None
+      & info [] ~docv:"ADDR"
+          ~doc:
+            "Server address: a Unix-socket path or $(i,HOST:PORT) (see \
+             $(b,satmap serve --socket)).")
+  in
+  let n =
+    Arg.(
+      value & opt int 40
+      & info [ "n"; "requests" ] ~docv:"N" ~doc:"Requests to send.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 20.0
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Offered load in requests/second (open loop: a slow server \
+             shows up as latency, not reduced load).")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.5
+      & info [ "dup" ] ~docv:"P"
+          ~doc:
+            "Fraction of requests that re-issue an earlier circuit \
+             (cache and single-flight food).")
+  in
+  let rename =
+    Arg.(
+      value & opt float 0.3
+      & info [ "rename" ] ~docv:"P"
+          ~doc:
+            "Fraction of requests sent under a random qubit relabelling \
+             (canonicalization food: renamed duplicates must still hit).")
+  in
+  let connections =
+    Arg.(
+      value & opt int 4
+      & info [ "connections" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 10.0
+      & info [ "timeout" ] ~docv:"S" ~doc:"Per-request timeout, seconds.")
+  in
+  let method_name =
+    Arg.(
+      value & opt string "sliced"
+      & info [ "method" ] ~docv:"M"
+          ~doc:"Routing method: sliced, monolithic, cyclic or portfolio.")
+  in
+  let device =
+    Arg.(
+      value & opt string "tokyo"
+      & info [ "device" ] ~docv:"D"
+          ~doc:
+            "Target device name, resolved by the server (see $(b,satmap \
+             devices)).")
+  in
+  let slice_size =
+    Arg.(
+      value
+      & opt (some int) (Some 25)
+      & info [ "slice-size" ] ~docv:"K" ~doc:"Gates per slice (sliced only).")
+  in
+  let n_unique =
+    Arg.(
+      value & opt int 8
+      & info [ "unique" ] ~docv:"N" ~doc:"Distinct base circuits in the pool.")
+  in
+  let n_qubits =
+    Arg.(
+      value & opt int 6
+      & info [ "qubits" ] ~docv:"N" ~doc:"Qubits per base circuit.")
+  in
+  let gates =
+    Arg.(
+      value & opt int 12
+      & info [ "gates" ] ~docv:"N" ~doc:"Two-qubit gates per base circuit.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S" ~doc:"Schedule and circuit-pool seed.")
+  in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:"Request anytime progress lines and count them.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the result record as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Open-loop load generator for the socket server: Poisson \
+          arrivals over a pool of base circuits with controllable \
+          duplicate and qubit-rename fractions; reports latency \
+          percentiles, throughput, and hit / coalesce rates.  Exits 1 if \
+          any request went unanswered.")
+    Term.(
+      const loadgen_cmd_run $ target $ n $ rate $ dup $ rename $ connections
+      $ timeout $ method_name $ device $ slice_size $ n_unique $ n_qubits
+      $ gates $ seed $ stream $ json_out)
 
 let main =
   Cmd.group
@@ -616,7 +1005,7 @@ let main =
        ~doc:"Qubit mapping and routing via MaxSAT (MICRO 2022 reproduction).")
     [
       route_cmd; lint_cmd; stats_cmd; export_cmd; devices_cmd; suite_cmd;
-      serve_cmd;
+      serve_cmd; shard_router_cmd; loadgen_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -62,6 +62,13 @@ type config = {
           automatically under [certify], [lint_blocks] and
           [fault_injection]: cached solutions carry no proofs and must not
           mask the debug/test paths. *)
+  on_improvement : (block:int -> iteration:int -> cost:int -> unit) option;
+      (** anytime-progress hook: invoked from inside the MaxSAT descent
+          after every satisfiable iteration, with the block index the
+          router is currently solving and the model's cost.  The serving
+          layer uses this to stream intermediate responses; costs are
+          per-block (not whole-circuit) and may restart from a higher
+          value when backtracking re-solves a seam. *)
 }
 
 (* Everything a block's solution depends on.  A cache keyed on any strict
@@ -104,6 +111,7 @@ let default_config =
     lint_blocks = false;
     fault_injection = None;
     block_cache = None;
+    on_improvement = None;
   }
 
 let m_blocks = Obs.Metrics.counter "router.blocks"
@@ -298,7 +306,7 @@ let block_cache_of config =
 
 let solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
     ?(cyclic = false) ?(blocked_finals = []) ?n_swaps_override ?(post_slots = 0)
-    circuit =
+    ?(block_ix = 0) circuit =
   let spec = spec_of_config ?n_swaps_override ~post_slots config device in
   if Unix.gettimeofday () > deadline then (Block_timeout, 0)
   else if
@@ -362,10 +370,15 @@ let solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
               (min config.solver_parallelism (Domain.recommended_domain_count ()))
           in
     let cube_vars = if jobs > 1 then Encoding.branch_vars enc else [] in
+    let report =
+      Option.map
+        (fun f ~iteration ~cost ~stats:_ -> f ~block:block_ix ~iteration ~cost)
+        config.on_improvement
+    in
     let result =
       classify_block_result ~config enc
-        (Maxsat.Optimizer.solve ~deadline ~certify:config.certify ~jobs
-           ~cube_vars (Encoding.instance enc))
+        (Maxsat.Optimizer.solve ~deadline ~certify:config.certify ?report
+           ~jobs ~cube_vars (Encoding.instance enc))
     in
     (match (result, cache) with
     | Block_solved b, Some c when b.optimal ->
@@ -385,7 +398,7 @@ let block_result_label = function
    device diameter, which always suffices for a pinned initial map. *)
 let solve_block_escalating ~config ~deadline ~device ?fixed_initial
     ?fixed_final ?(cyclic = false) ?(blocked_finals = []) ?(want_post = false)
-    ?(obs_args = []) circuit =
+    ?(block_ix = 0) ?(obs_args = []) circuit =
   let span =
     if Obs.Trace.enabled () then
       Obs.Trace.start "router.block"
@@ -403,7 +416,8 @@ let solve_block_escalating ~config ~deadline ~device ?fixed_initial
     let post_slots = if want_post then n else 0 in
     let result, c =
       solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
-        ~cyclic ~blocked_finals ~n_swaps_override:n ~post_slots circuit
+        ~cyclic ~blocked_finals ~n_swaps_override:n ~post_slots ~block_ix
+        circuit
     in
     match result with
     | Block_unsat when n < diameter ->
@@ -563,7 +577,7 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
       in
       let result, esc, calls =
         solve_block_escalating ~config ~deadline:block_deadline ~device
-          ?fixed_initial ~blocked_finals:st.blocked
+          ?fixed_initial ~blocked_finals:st.blocked ~block_ix:!i
           ~obs_args:
             [ ("slice", Obs.Trace.Int !i); ("n_slices", Obs.Trace.Int n) ]
           st.slice
@@ -729,7 +743,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
         let result, esc, calls =
           solve_block_escalating ~config ~deadline:block_deadline ~device
             ?fixed_initial ?fixed_final ~cyclic ~blocked_finals:st.blocked
-            ~want_post
+            ~want_post ~block_ix:!i
             ~obs_args:
               [ ("slice", Obs.Trace.Int !i); ("n_slices", Obs.Trace.Int n) ]
             st.slice

@@ -53,6 +53,14 @@ type config = {
           structure stops paying the solver.  Ignored under [certify],
           [lint_blocks] or [fault_injection] — cached solutions carry no
           proofs and must not mask the debug/test paths. *)
+  on_improvement : (block:int -> iteration:int -> cost:int -> unit) option;
+      (** anytime-progress hook: called from inside the MaxSAT descent
+          after every satisfiable iteration with the index of the block
+          (slice) being solved, the descent iteration, and the model's
+          cost.  Costs are per-block; backtracking may re-solve a block
+          and report a higher cost than an earlier call.  The callback
+          runs on the solving domain — it must be fast and must not
+          raise.  [None] by default. *)
 }
 
 (** Everything a block's solution depends on — the contract a cache key

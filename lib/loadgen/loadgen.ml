@@ -1,0 +1,297 @@
+(* Open-loop load generator for the socket serving tier.
+
+   Open loop means arrivals follow a Poisson schedule fixed up front:
+   a slow server does not slow the senders down, so queueing delay
+   shows up in the measured latencies instead of silently throttling
+   the offered load (the coordinated-omission trap).
+
+   The traffic mix is controlled by two fractions over a pool of
+   distinct base circuits: [duplicate_frac] re-issues the circuit of a
+   random earlier request (exercising the request cache and, when
+   in-flight, single-flight coalescing), and [rename_frac]
+   independently applies a random qubit relabelling (exercising
+   canonicalization: a renamed duplicate must still hit). *)
+
+type spec = {
+  n_requests : int;
+  rate : float;  (* offered load, requests/second *)
+  duplicate_frac : float;
+  rename_frac : float;
+  connections : int;
+  device : string;
+  method_ : Service.Protocol.method_;
+  slice_size : int option;
+  n_swaps : int;
+  request_timeout : float;
+  use_cache : bool;
+  stream : bool;
+  n_unique : int;  (* distinct base circuits in the pool *)
+  n_qubits : int;
+  gates : int;
+  seed : int;
+}
+
+let default_spec =
+  {
+    n_requests = 40;
+    rate = 20.0;
+    duplicate_frac = 0.5;
+    rename_frac = 0.3;
+    connections = 4;
+    device = "tokyo";
+    method_ = Service.Protocol.Sliced;
+    slice_size = Some 25;
+    n_swaps = 1;
+    request_timeout = 10.0;
+    use_cache = true;
+    stream = false;
+    n_unique = 8;
+    n_qubits = 6;
+    gates = 12;
+    seed = 42;
+  }
+
+type plan_item = {
+  offset : float;  (* seconds after the run starts *)
+  request : Service.Protocol.request;
+  is_duplicate : bool;
+  is_renamed : bool;
+}
+
+let random_perm rng n =
+  let a = Array.init n Fun.id in
+  Rng.shuffle rng a;
+  a
+
+let plan spec =
+  if spec.n_requests < 1 then invalid_arg "Loadgen.plan: n_requests >= 1";
+  if spec.rate <= 0. then invalid_arg "Loadgen.plan: rate > 0";
+  let rng = Rng.create spec.seed in
+  let base =
+    Array.init (max 1 spec.n_unique) (fun i ->
+        Workloads.Generators.local_random
+          (Rng.create ((spec.seed * 7919) + i))
+          ~n:spec.n_qubits ~gates:spec.gates ~locality:0.8)
+  in
+  let t = ref 0. in
+  let chosen = Array.make spec.n_requests 0 in
+  List.init spec.n_requests (fun i ->
+      (* Exponential inter-arrivals; [1 - u] keeps log's argument off 0. *)
+      t := !t +. (-.Float.log (1. -. Rng.float rng) /. spec.rate);
+      let is_duplicate = i > 0 && Rng.float rng < spec.duplicate_frac in
+      let ix =
+        if is_duplicate then chosen.(Rng.int rng i)
+        else i mod Array.length base
+      in
+      chosen.(i) <- ix;
+      let circuit = base.(ix) in
+      let is_renamed = Rng.float rng < spec.rename_frac in
+      let circuit =
+        if not is_renamed then circuit
+        else begin
+          let perm = random_perm rng (Quantum.Circuit.n_qubits circuit) in
+          Quantum.Circuit.relabel_qubits circuit (fun q -> perm.(q))
+        end
+      in
+      {
+        offset = !t;
+        request =
+          {
+            Service.Protocol.default_request with
+            Service.Protocol.id = Printf.sprintf "lg-%04d" i;
+            qasm = Quantum.Qasm.to_string circuit;
+            device = spec.device;
+            method_ = spec.method_;
+            slice_size = spec.slice_size;
+            n_swaps = spec.n_swaps;
+            timeout = spec.request_timeout;
+            use_cache = spec.use_cache;
+            stream = spec.stream;
+          };
+        is_duplicate;
+        is_renamed;
+      })
+
+(* ---- results ------------------------------------------------------- *)
+
+type result = {
+  r_sent : int;
+  r_completed : int;  (* terminal ok/error responses received *)
+  r_ok : int;
+  r_errors : (string * int) list;  (* error-code name -> count *)
+  r_cache_hits : int;
+  r_coalesced : int;
+  r_progress_lines : int;
+  r_duplicates_planned : int;
+  r_renames_planned : int;
+  r_wall : float;
+  r_throughput : float;  (* completed / wall *)
+  r_mean_latency : float;
+  r_p50 : float;
+  r_p90 : float;
+  r_p99 : float;
+  r_max_latency : float;
+  r_hit_rate : float;  (* cache hits / ok *)
+  r_coalesce_rate : float;  (* coalesced / ok *)
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (Float.round (q *. float_of_int (n - 1)))))
+
+(* ---- the run ------------------------------------------------------- *)
+
+type pending = { sent_at : float }
+
+let run spec address =
+  let items = plan spec in
+  let n = List.length items in
+  let conns =
+    Array.init (max 1 spec.connections) (fun _ -> Serving.Server.connect address)
+  in
+  let lock = Mutex.create () in
+  let pending : (string, pending) Hashtbl.t = Hashtbl.create n in
+  let latencies = ref [] in
+  let completed = ref 0 in
+  let ok = ref 0 in
+  let cache_hits = ref 0 in
+  let coalesced = ref 0 in
+  let progress_lines = ref 0 in
+  let errors : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let complete id terminal =
+    Mutex.lock lock;
+    (match Hashtbl.find_opt pending id with
+    | Some p ->
+      Hashtbl.remove pending id;
+      latencies := (Unix.gettimeofday () -. p.sent_at) :: !latencies;
+      incr completed;
+      terminal ()
+    | None -> () (* duplicate/unknown id: count nothing *));
+    Mutex.unlock lock
+  in
+  let reader (ic, _) =
+    let rec go () =
+      match input_line ic with
+      | exception (End_of_file | Sys_error _) -> ()
+      | line ->
+        (match Service.Protocol.parse_response line with
+        | Ok (Service.Protocol.Ok_response p) ->
+          complete p.Service.Protocol.ok_id (fun () ->
+              incr ok;
+              if p.Service.Protocol.ok_cache_hit then incr cache_hits;
+              if p.Service.Protocol.ok_coalesced then incr coalesced)
+        | Ok (Service.Protocol.Error_response { id; code; _ }) ->
+          complete id (fun () ->
+              let name = Service.Protocol.error_code_name code in
+              Hashtbl.replace errors name
+                (1 + Option.value ~default:0 (Hashtbl.find_opt errors name)))
+        | Ok (Service.Protocol.Progress_response _) ->
+          Mutex.lock lock;
+          incr progress_lines;
+          Mutex.unlock lock
+        | Error _ -> () (* unparseable response line: ignore *));
+        go ()
+    in
+    go ()
+  in
+  let readers = Array.map (fun conn -> Thread.create reader conn) conns in
+  let start = Unix.gettimeofday () in
+  (* Open-loop sender: sleep to each item's scheduled offset, then write.
+     Late sends (sender fell behind) go out immediately — the latency
+     clock starts at the actual send either way. *)
+  List.iteri
+    (fun i item ->
+      let due = start +. item.offset in
+      let now = Unix.gettimeofday () in
+      if due > now then Thread.delay (due -. now);
+      let _, oc = conns.(i mod Array.length conns) in
+      Mutex.lock lock;
+      Hashtbl.replace pending item.request.Service.Protocol.id
+        { sent_at = Unix.gettimeofday () };
+      Mutex.unlock lock;
+      try
+        output_string oc (Service.Protocol.request_to_string item.request);
+        output_char oc '\n';
+        flush oc
+      with Sys_error _ | Unix.Unix_error _ -> ())
+    items;
+  (* Wait for all completions, with a hard cap so lost replies cannot
+     hang the harness. *)
+  let give_up = Unix.gettimeofday () +. spec.request_timeout +. 10. in
+  let all_done () =
+    Mutex.lock lock;
+    let d = !completed >= n in
+    Mutex.unlock lock;
+    d
+  in
+  while (not (all_done ())) && Unix.gettimeofday () < give_up do
+    Thread.delay 0.02
+  done;
+  let wall = Unix.gettimeofday () -. start in
+  (* [shutdown] (not just close) so readers blocked in [input_line] wake
+     with EOF. *)
+  Array.iter
+    (fun (ic, _) ->
+      try Unix.shutdown (Unix.descr_of_in_channel ic) Unix.SHUTDOWN_ALL
+      with Unix.Unix_error _ | Sys_error _ -> ())
+    conns;
+  Array.iter Thread.join readers;
+  Array.iter Serving.Server.disconnect conns;
+  let sorted = Array.of_list !latencies in
+  Array.sort compare sorted;
+  let mean =
+    if Array.length sorted = 0 then 0.
+    else Array.fold_left ( +. ) 0. sorted /. float_of_int (Array.length sorted)
+  in
+  {
+    r_sent = n;
+    r_completed = !completed;
+    r_ok = !ok;
+    r_errors =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) errors []);
+    r_cache_hits = !cache_hits;
+    r_coalesced = !coalesced;
+    r_progress_lines = !progress_lines;
+    r_duplicates_planned =
+      List.length (List.filter (fun i -> i.is_duplicate) items);
+    r_renames_planned =
+      List.length (List.filter (fun i -> i.is_renamed) items);
+    r_wall = wall;
+    r_throughput = (if wall > 0. then float_of_int !completed /. wall else 0.);
+    r_mean_latency = mean;
+    r_p50 = percentile sorted 0.50;
+    r_p90 = percentile sorted 0.90;
+    r_p99 = percentile sorted 0.99;
+    r_max_latency = (if Array.length sorted = 0 then 0. else sorted.(Array.length sorted - 1));
+    r_hit_rate =
+      (if !ok > 0 then float_of_int !cache_hits /. float_of_int !ok else 0.);
+    r_coalesce_rate =
+      (if !ok > 0 then float_of_int !coalesced /. float_of_int !ok else 0.);
+  }
+
+let result_to_json r =
+  let num_i x = Obs.Json.Num (float_of_int x) in
+  Obs.Json.Obj
+    [
+      ("sent", num_i r.r_sent);
+      ("completed", num_i r.r_completed);
+      ("ok", num_i r.r_ok);
+      ( "errors",
+        Obs.Json.Obj (List.map (fun (k, v) -> (k, num_i v)) r.r_errors) );
+      ("cache_hits", num_i r.r_cache_hits);
+      ("coalesced", num_i r.r_coalesced);
+      ("progress_lines", num_i r.r_progress_lines);
+      ("duplicates_planned", num_i r.r_duplicates_planned);
+      ("renames_planned", num_i r.r_renames_planned);
+      ("wall_s", Obs.Json.Num r.r_wall);
+      ("throughput_rps", Obs.Json.Num r.r_throughput);
+      ("latency_mean_s", Obs.Json.Num r.r_mean_latency);
+      ("latency_p50_s", Obs.Json.Num r.r_p50);
+      ("latency_p90_s", Obs.Json.Num r.r_p90);
+      ("latency_p99_s", Obs.Json.Num r.r_p99);
+      ("latency_max_s", Obs.Json.Num r.r_max_latency);
+      ("hit_rate", Obs.Json.Num r.r_hit_rate);
+      ("coalesce_rate", Obs.Json.Num r.r_coalesce_rate);
+    ]

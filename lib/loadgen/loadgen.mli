@@ -1,0 +1,76 @@
+(** Open-loop load generator for the socket serving tier.
+
+    Builds a Poisson arrival schedule over a pool of distinct base
+    circuits, with a controllable fraction of duplicates (re-issuing an
+    earlier request's circuit — cache and single-flight food) and of
+    random qubit relabellings (canonicalization food: a renamed
+    duplicate must still hit), drives it over [connections] concurrent
+    sockets, and reports latency percentiles, throughput, and hit /
+    coalesce rates.
+
+    Open loop: the schedule is fixed up front, so server slowness
+    surfaces as latency rather than reduced offered load. *)
+
+type spec = {
+  n_requests : int;
+  rate : float;  (** offered load, requests/second *)
+  duplicate_frac : float;  (** P(request re-issues an earlier circuit) *)
+  rename_frac : float;  (** P(circuit is sent under a random relabelling) *)
+  connections : int;
+  device : string;
+  method_ : Service.Protocol.method_;
+  slice_size : int option;
+  n_swaps : int;
+  request_timeout : float;  (** per-request [timeout] field, seconds *)
+  use_cache : bool;
+  stream : bool;
+  n_unique : int;  (** distinct base circuits *)
+  n_qubits : int;
+  gates : int;  (** two-qubit gates per base circuit *)
+  seed : int;
+}
+
+val default_spec : spec
+(** 40 requests at 20 req/s over 4 connections: 50% duplicates, 30%
+    renames, 8 unique 6-qubit/12-gate circuits, sliced on tokyo. *)
+
+type plan_item = {
+  offset : float;  (** seconds after the run starts *)
+  request : Service.Protocol.request;
+  is_duplicate : bool;
+  is_renamed : bool;
+}
+
+val plan : spec -> plan_item list
+(** The deterministic (seeded) schedule [run] executes; exposed for
+    tests and for replaying one identical stream against different
+    server topologies. *)
+
+type result = {
+  r_sent : int;
+  r_completed : int;
+  r_ok : int;
+  r_errors : (string * int) list;  (** error-code name -> count *)
+  r_cache_hits : int;
+  r_coalesced : int;
+  r_progress_lines : int;
+  r_duplicates_planned : int;
+  r_renames_planned : int;
+  r_wall : float;
+  r_throughput : float;
+  r_mean_latency : float;
+  r_p50 : float;
+  r_p90 : float;
+  r_p99 : float;
+  r_max_latency : float;
+  r_hit_rate : float;
+  r_coalesce_rate : float;
+}
+
+val run : spec -> Serving.Server.address -> result
+(** Connect, drive the schedule, wait for every reply (bounded by
+    [request_timeout] + grace, so lost replies cannot hang the
+    harness), disconnect.  Latencies are measured from the actual send
+    instant of each request. *)
+
+val result_to_json : result -> Obs.Json.t

@@ -1,0 +1,78 @@
+(* SLO-aware admission control.
+
+   The pool already rejects when its bounded queue is full; admission
+   control rejects *earlier*: a request whose deadline will expire
+   before a worker can plausibly reach it is refused at intake, so it
+   neither occupies a queue slot nor burns a worker on a solve whose
+   answer nobody is waiting for.  The wait estimate is an EWMA of
+   recent service times scaled by queue depth over worker count —
+   deliberately crude, but self-correcting: it starts at zero (admit
+   everything until the server has seen real work) and tracks the
+   workload's current solve-time regime within a few requests. *)
+
+type t = {
+  alpha : float;
+  lock : Mutex.t;
+  mutable ewma : float;  (* seconds; 0 until the first observation *)
+  m_admitted : Obs.Metrics.counter;
+  m_expired : Obs.Metrics.counter;
+  m_predicted_late : Obs.Metrics.counter;
+  m_queue_full : Obs.Metrics.counter;
+}
+
+let create ?(alpha = 0.2) () =
+  {
+    alpha;
+    lock = Mutex.create ();
+    ewma = 0.;
+    m_admitted = Obs.Metrics.counter "server.admission.admitted";
+    m_expired = Obs.Metrics.counter "server.admission.rejected_expired";
+    m_predicted_late =
+      Obs.Metrics.counter "server.admission.rejected_predicted_late";
+    m_queue_full = Obs.Metrics.counter "server.admission.rejected_queue_full";
+  }
+
+let observe t dt =
+  Mutex.lock t.lock;
+  t.ewma <- (if t.ewma = 0. then dt else (t.alpha *. dt) +. ((1. -. t.alpha) *. t.ewma));
+  Mutex.unlock t.lock
+
+let estimate t =
+  Mutex.lock t.lock;
+  let e = t.ewma in
+  Mutex.unlock t.lock;
+  e
+
+let note_queue_full t = Obs.Metrics.incr t.m_queue_full
+
+type verdict =
+  | Admit
+  | Reject of Service.Protocol.error_code * string
+
+let check t ~pool ~now ~deadline =
+  if now >= deadline then begin
+    Obs.Metrics.incr t.m_expired;
+    Reject
+      ( Service.Protocol.Deadline_exceeded,
+        "deadline passed before admission" )
+  end
+  else begin
+    let wait =
+      estimate t
+      *. float_of_int (Service.Pool.pending pool)
+      /. float_of_int (max 1 (Service.Pool.workers pool))
+    in
+    if now +. wait > deadline then begin
+      Obs.Metrics.incr t.m_predicted_late;
+      Reject
+        ( Service.Protocol.Overloaded,
+          Printf.sprintf
+            "admission: predicted queue wait %.2fs exceeds the request \
+             deadline (%.2fs away); resubmit later"
+            wait (deadline -. now) )
+    end
+    else begin
+      Obs.Metrics.incr t.m_admitted;
+      Admit
+    end
+  end

@@ -1,0 +1,34 @@
+(** SLO-aware admission control over the pool's deadline machinery.
+
+    Rejects a request at intake when the predicted queue wait (EWMA of
+    observed service times x pending jobs / workers) already exceeds its
+    deadline — before it takes a queue slot.  One {!Obs.Metrics} counter
+    per rejection cause: [server.admission.rejected_expired],
+    [.rejected_predicted_late], [.rejected_queue_full] (the pool's own
+    full-queue rejections, counted via {!note_queue_full}), plus
+    [.admitted]. *)
+
+type t
+
+val create : ?alpha:float -> unit -> t
+(** [alpha] (default 0.2) is the EWMA smoothing factor.  The estimate
+    starts at 0 — a cold server admits everything until it has observed
+    real service times. *)
+
+type verdict =
+  | Admit
+  | Reject of Service.Protocol.error_code * string
+      (** [Deadline_exceeded] when the deadline already passed,
+          [Overloaded] when the predicted wait overshoots it *)
+
+val check : t -> pool:Service.Pool.t -> now:float -> deadline:float -> verdict
+
+val observe : t -> float -> unit
+(** Feed one completed request's service time (seconds) into the EWMA. *)
+
+val estimate : t -> float
+(** Current EWMA service-time estimate (0 before any observation). *)
+
+val note_queue_full : t -> unit
+(** Count a pool-level [Overloaded] rejection under the queue-full
+    cause. *)

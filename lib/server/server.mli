@@ -1,0 +1,72 @@
+(** Socket serving tier over {!Service.Engine}.
+
+    Accepts many concurrent connections on a Unix-domain or TCP socket
+    (acceptor thread + one handler thread per connection), speaking the
+    same JSON-lines {!Service.Protocol} as [satmap serve --stdio].  On
+    top of the engine it adds:
+
+    - {b single-flight}: identical in-flight requests (equal
+      {!Service.Engine.prepared_key}) trigger one solve; every caller
+      gets its own reply, un-permuted to its qubit labels, with
+      [coalesced] set on the followers';
+    - {b sharding} ([?shard]): the server only answers keys it owns on
+      the consistent-hash ring, rejecting the rest ([bad_request]) —
+      put {!Shard_router} in front to make a shard set transparent;
+    - {b admission control} ([?admission], default on): requests whose
+      deadline will expire before a worker can plausibly start them are
+      rejected at intake ({!Admission});
+    - {b anytime streaming}: requests with ["stream": true] receive
+      progress lines as the MaxSAT descent improves.
+
+    The server borrows the engine: {!stop} quiesces the socket tier but
+    does not shut down the engine's pool or save its cache — that stays
+    with the owner of {!Service.Engine.t}. *)
+
+type address = Unix_path of string | Tcp of string * int
+(** TCP hosts are numeric IPs (no resolver dependency); port 0 binds an
+    ephemeral port, reported by {!address}. *)
+
+val address_to_string : address -> string
+
+type t
+
+val start :
+  ?max_request_bytes:int ->
+  ?shard:int * int ->
+  ?admission:bool ->
+  ?backlog:int ->
+  Service.Engine.t ->
+  address ->
+  t
+(** Bind, listen and spawn the acceptor; returns immediately.  [shard]
+    is [(index, count)] as parsed by {!Shard.parse_spec}.  Raises
+    [Unix.Unix_error] when binding fails.  Ignores [SIGPIPE]
+    process-wide (a client hanging up mid-reply must not kill the
+    server). *)
+
+val address : t -> address
+(** The bound address (with the real port when TCP port 0 was asked). *)
+
+val engine : t -> Service.Engine.t
+
+val in_flight : t -> int
+(** Distinct keys currently being solved (single-flight table size). *)
+
+val stop : t -> unit
+(** Close the listener, half-close every live connection, join all
+    threads.  In-flight solves still publish (their replies are dropped
+    if the peer is gone).  Idempotent. *)
+
+(** {2 Client side} *)
+
+val connect : address -> in_channel * out_channel
+val disconnect : in_channel * out_channel -> unit
+
+(** {2 Framing} *)
+
+val read_line_bounded :
+  in_channel -> max_bytes:int -> [ `Line of string | `Oversized | `Eof ]
+(** One newline-terminated line; a line longer than [max_bytes] is
+    drained and reported [`Oversized] (bounded memory per connection);
+    an unterminated final fragment is still a [`Line].  Shared with
+    {!Shard_router}. *)

@@ -1,0 +1,63 @@
+(* Consistent-hash ring over the canonical-key space.
+
+   Every shard owns the arc that ends at each of its virtual nodes; a
+   key belongs to the shard of the first vnode clockwise from the key's
+   hash.  Hashes are MD5-derived (not [Hashtbl.hash]) so that a server
+   process and a router process — or two differently-built binaries —
+   always agree on ownership: the ring is pure arithmetic on the key
+   string, with no per-process seed. *)
+
+type t = {
+  n_shards : int;
+  ring : (int * int) array;  (* (point, shard), sorted by point *)
+}
+
+(* 60 bits of the MD5, as a non-negative OCaml int. *)
+let hash_point s =
+  let hex = Digest.to_hex (Digest.string s) in
+  int_of_string ("0x" ^ String.sub hex 0 15)
+
+(* Enough vnodes that the largest/smallest arc ratio stays small for the
+   shard counts this serves (single digits), cheap enough to rebuild on
+   every [create]. *)
+let vnodes_per_shard = 64
+
+let create n_shards =
+  if n_shards < 1 then invalid_arg "Shard.create: n_shards must be >= 1";
+  let points =
+    List.concat
+      (List.init n_shards (fun shard ->
+           List.init vnodes_per_shard (fun v ->
+               (hash_point (Printf.sprintf "satmap-shard:%d:%d" shard v), shard))))
+  in
+  { n_shards; ring = Array.of_list (List.sort compare points) }
+
+let n_shards t = t.n_shards
+
+let owner t key =
+  if t.n_shards = 1 then 0
+  else begin
+    let h = hash_point key in
+    let ring = t.ring in
+    let n = Array.length ring in
+    (* Smallest index whose point is >= h; wrap to 0 past the end. *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst ring.(mid) >= h then hi := mid else lo := mid + 1
+    done;
+    snd ring.(if !lo = n then 0 else !lo)
+  end
+
+let parse_spec s =
+  match String.index_opt s '/' with
+  | None -> Error (Printf.sprintf "bad shard spec %S (expected i/N)" s)
+  | Some slash -> (
+    let i_str = String.sub s 0 slash in
+    let n_str = String.sub s (slash + 1) (String.length s - slash - 1) in
+    match (int_of_string_opt i_str, int_of_string_opt n_str) with
+    | Some i, Some n when n >= 1 && i >= 0 && i < n -> Ok (i, n)
+    | Some _, Some _ ->
+      Error
+        (Printf.sprintf "bad shard spec %S (need 0 <= i < N, N >= 1)" s)
+    | _ -> Error (Printf.sprintf "bad shard spec %S (expected i/N)" s))

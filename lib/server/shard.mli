@@ -1,0 +1,22 @@
+(** Consistent-hash sharding of the canonical-key space.
+
+    Ownership is a pure function of (key string, shard count): the ring
+    is built from MD5-derived vnode points with no per-process seed, so
+    a [satmap serve --shard i/N] process and the [satmap shard-router]
+    in front of it always agree — the shard-ownership invariant that
+    makes a sharded deployment answer byte-identically to a single
+    server (DESIGN.md §14). *)
+
+type t
+
+val create : int -> t
+(** [create n] builds the ring for [n] shards (64 vnodes each).
+    Raises [Invalid_argument] for [n < 1]. *)
+
+val n_shards : t -> int
+
+val owner : t -> string -> int
+(** The shard in [0 .. n-1] owning [key]; always 0 on a 1-shard ring. *)
+
+val parse_spec : string -> (int * int, string) result
+(** Parse ["i/N"] (shard index, shard count) as given to [--shard]. *)

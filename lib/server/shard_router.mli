@@ -1,0 +1,31 @@
+(** Thin consistent-hash front for a set of sharded servers.
+
+    Listens like {!Server}, but instead of solving, computes each
+    request's canonical key ({!Service.Engine.canonical_key}), picks the
+    owning backend on the same ring the backends use
+    ([Shard.create (length backends)], backend order = shard index),
+    and forwards the raw request line; response lines are relayed back
+    verbatim.  Requests no backend would route (bad JSON/QASM, unknown
+    device) are answered directly with the identical error bytes a
+    backend would produce.
+
+    The relay is line-verbatim in both directions, so a client sees
+    byte-identical responses whether it talks to one unsharded server
+    or to a router over any shard count — the acceptance invariant the
+    server smoke test pins. *)
+
+type t
+
+val start :
+  ?max_request_bytes:int ->
+  ?backlog:int ->
+  backends:Server.address list ->
+  Server.address ->
+  t
+(** Backend list order defines shard indices: [--shard i/N] servers must
+    be listed at position [i] with [N = length backends].  Backend
+    connections are opened lazily, per client connection.  Raises
+    [Invalid_argument] on an empty backend list. *)
+
+val address : t -> Server.address
+val stop : t -> unit

@@ -1,0 +1,89 @@
+(* Single-flight table: at most one in-flight computation per key.
+   The first caller to [join] a key becomes the leader and runs the
+   solve; everyone who joins the same key before [publish] is a
+   follower, registers a callback, and is answered from the leader's
+   result.  Soundness rests on the serving layer storing results in
+   canonical qubit space: one payload answers every caller, each of
+   whom un-permutes it with its own relabelling (DESIGN.md §14).
+
+   Callbacks run on the publishing thread (a pool worker), so they must
+   be fast and must not raise; the server's callbacks only serialise a
+   response line under a per-connection mutex. *)
+
+type 'a entry = {
+  mutable callbacks : ('a -> unit) list;  (* newest first *)
+  mutable progress : (int * int * int -> unit) list;
+}
+
+type 'a t = {
+  lock : Mutex.t;
+  table : (string, 'a entry) Hashtbl.t;
+  m_leaders : Obs.Metrics.counter;
+  m_coalesced : Obs.Metrics.counter;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    m_leaders = Obs.Metrics.counter "server.flight.leaders";
+    m_coalesced = Obs.Metrics.counter "server.flight.coalesced";
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+type role = Leader | Follower
+
+(* [on_result] is specialised to its role *inside* the critical section:
+   a follower's callback may fire (from the leader's publish) before
+   [join] even returns to its caller, so the role cannot be patched in
+   afterwards. *)
+let join t key ?on_progress on_result =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some entry ->
+        entry.callbacks <- on_result Follower :: entry.callbacks;
+        (match on_progress with
+        | Some f -> entry.progress <- f :: entry.progress
+        | None -> ());
+        Obs.Metrics.incr t.m_coalesced;
+        Follower
+      | None ->
+        let entry =
+          {
+            callbacks = [ on_result Leader ];
+            progress = (match on_progress with Some f -> [ f ] | None -> []);
+          }
+        in
+        Hashtbl.add t.table key entry;
+        Obs.Metrics.incr t.m_leaders;
+        Leader)
+
+(* Snapshot the sinks under the lock, fan out outside it: a progress
+   callback that blocked on a slow client would otherwise stall every
+   concurrent [join]. *)
+let progress t key event =
+  let sinks =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some entry -> entry.progress
+        | None -> [])
+  in
+  List.iter (fun f -> f event) sinks
+
+let publish t key result =
+  let callbacks =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some entry ->
+          Hashtbl.remove t.table key;
+          (* Oldest (the leader) first: replies go out in join order. *)
+          List.rev entry.callbacks
+        | None -> [])
+  in
+  List.iter (fun f -> f result) callbacks;
+  List.length callbacks
+
+let in_flight t = locked t (fun () -> Hashtbl.length t.table)

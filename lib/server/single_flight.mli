@@ -1,0 +1,48 @@
+(** At most one in-flight computation per key.
+
+    The first {!join} of a key is the {!Leader} — it must run the
+    computation and {!publish} the result.  Later joins of the same key
+    before publication are {!Follower}s: they only register a callback.
+    [publish] removes the key and invokes every callback (leader's
+    first) with the one result; a key published and re-joined later
+    simply elects a new leader (the request-level cache makes the rerun
+    cheap).
+
+    Sound for the routing service because results are stored in
+    canonical qubit space: equality of {!Service.Engine.prepared_key}
+    implies one payload answers every caller after per-caller
+    un-permutation (DESIGN.md §14). *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Registers [server.flight.leaders] / [server.flight.coalesced]
+    metrics. *)
+
+type role = Leader | Follower
+
+val join :
+  'a t ->
+  string ->
+  ?on_progress:(int * int * int -> unit) ->
+  (role -> 'a -> unit) ->
+  role
+(** [join t key on_result] registers [on_result role] for [key]'s result
+    and says whether the caller must compute it.  The callback is
+    specialised to its role atomically at registration (a follower's
+    callback can fire before [join] returns).  [on_progress]
+    additionally subscribes to {!progress} events (block, iteration,
+    cost).  Callbacks run on the publisher's thread: keep them fast,
+    never let them raise. *)
+
+val progress : 'a t -> string -> int * int * int -> unit
+(** Fan an intermediate event out to every subscribed joiner of [key];
+    no-op once published (or never joined). *)
+
+val publish : 'a t -> string -> 'a -> int
+(** Resolve [key]: drop it from the table, invoke all callbacks in join
+    order, return how many were served (0 if the key was not joined —
+    e.g. already published). *)
+
+val in_flight : 'a t -> int
+(** Number of distinct keys currently being computed. *)

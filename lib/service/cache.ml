@@ -151,11 +151,23 @@ let to_json encode t =
              (entries t)) );
     ]
 
+(* Crash-safe: serialise into a sibling temp file and rename it into
+   place.  A crash mid-write leaves the previous snapshot (or nothing)
+   at [path], never a truncated JSON prefix; rename within a directory
+   is atomic on POSIX. *)
 let save ~encode t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (Obs.Json.to_string (to_json encode t)))
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (match
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc (Obs.Json.to_string (to_json encode t)))
+   with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path
 
 let restore ~decode t json =
   let entries =

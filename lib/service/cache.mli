@@ -42,7 +42,11 @@ val keys : 'a t -> string list
 (** Least- to most-recently-used. *)
 
 val to_json : ('a -> Obs.Json.t) -> 'a t -> Obs.Json.t
+
 val save : encode:('a -> Obs.Json.t) -> 'a t -> string -> unit
+(** Crash-safe: writes [path ^ ".tmp"] and renames it into place, so a
+    crash mid-save leaves the previous snapshot intact rather than a
+    truncated file. *)
 
 val restore : decode:(Obs.Json.t -> 'a option) -> 'a t -> Obs.Json.t -> int
 (** Insert every decodable entry of a {!to_json} document (oldest

@@ -89,13 +89,67 @@ let request_key (req : Protocol.request) config device canon_circuit =
       Printf.sprintf "%.17g" req.timeout;
     ]
 
-let translate perm (p : Protocol.ok_payload) ~id ~time =
+(* Everything request-level that can be computed without the engine:
+   device resolution, QASM parsing, canonicalization, and the cache /
+   single-flight key.  The socket server runs [prepare] on the
+   connection thread (cheap, and the key decides shard ownership and
+   single-flight membership before any pool slot is taken) and
+   [handle_prepared] on a pool worker. *)
+type prepared = {
+  p_req : Protocol.request;
+  p_device : Arch.Device.t;
+  p_perm : int array;
+  p_canon : Quantum.Circuit.t;
+  p_key : string;
+}
+
+let objective_of (req : Protocol.request) device =
+  if req.noise then Satmap.Encoding.Fidelity (Arch.Calibration.synthetic device)
+  else Satmap.Encoding.Count_swaps
+
+let prepare (req : Protocol.request) =
+  match Arch.Topologies.by_name req.device with
+  | None ->
+    Error
+      (err req.id Protocol.Unknown_device
+         (Printf.sprintf "unknown device %S (known: %s)" req.device
+            (String.concat ", " Arch.Topologies.known_names)))
+  | Some device -> (
+    match Quantum.Qasm.of_string req.qasm with
+    | exception e ->
+      Error
+        (err req.id Protocol.Parse_error
+           (match e with Failure m -> m | e -> Printexc.to_string e))
+    | circuit ->
+      let perm, canon = Canon.canonical circuit in
+      (* Only the digested config fields matter for the key (encoding
+         knobs + objective); timeout, parallelism and the cache hook are
+         deliberately not part of it. *)
+      let key_config =
+        { Satmap.Router.default_config with objective = objective_of req device }
+      in
+      Ok
+        {
+          p_req = req;
+          p_device = device;
+          p_perm = perm;
+          p_canon = canon;
+          p_key = request_key req key_config device canon;
+        })
+
+let canonical_key req = Result.map (fun p -> p.p_key) (prepare req)
+let prepared_key p = p.p_key
+let prepared_request p = p.p_req
+
+let finalize (p : prepared) (stored : Protocol.ok_payload) ~cache_hit
+    ~coalesced ~time =
   {
-    p with
-    Protocol.ok_id = id;
-    ok_initial = Canon.apply_perm perm p.Protocol.ok_initial;
-    ok_final = Canon.apply_perm perm p.Protocol.ok_final;
-    ok_cache_hit = true;
+    stored with
+    Protocol.ok_id = p.p_req.Protocol.id;
+    ok_initial = Canon.apply_perm p.p_perm stored.Protocol.ok_initial;
+    ok_final = Canon.apply_perm p.p_perm stored.Protocol.ok_final;
+    ok_cache_hit = cache_hit;
+    ok_coalesced = coalesced;
     ok_time = time;
   }
 
@@ -111,7 +165,75 @@ let route_canonical (req : Protocol.request) config device canon =
   | Protocol.Portfolio ->
     fst (Satmap.Router.route_portfolio ~config device canon)
 
-let handle ?deadline t (req : Protocol.request) =
+let handle_prepared ?deadline ?on_progress t (p : prepared) =
+  let req = p.p_req in
+  let start = Unix.gettimeofday () in
+  let budget =
+    match deadline with
+    | Some d -> Float.min req.timeout (d -. start)
+    | None -> req.timeout
+  in
+  if budget <= 0. then
+    Error
+      (err req.id Protocol.Deadline_exceeded
+         "deadline passed before routing began")
+  else begin
+    let config =
+      {
+        Satmap.Router.default_config with
+        timeout = budget;
+        objective = objective_of req p.p_device;
+        n_swaps = req.n_swaps;
+        solver_parallelism = t.solver_jobs;
+        block_cache =
+          (if req.use_cache then Some (Block_cache.hook t.block_cache)
+           else None);
+        on_improvement = on_progress;
+      }
+    in
+    let cached =
+      if req.use_cache then
+        Obs.Trace.with_span "service.cache_lookup"
+          ~args:[ ("level", Obs.Trace.Str "request") ]
+          (fun () -> Cache.find t.serve_cache p.p_key)
+      else None
+    in
+    match cached with
+    | Some stored -> Ok (stored, true)
+    | None -> (
+      match route_canonical req config p.p_device p.p_canon with
+      | exception e ->
+        Error (err req.id Protocol.Routing_failed (Printexc.to_string e))
+      | Satmap.Router.Failed msg ->
+        Error (err req.id Protocol.Routing_failed msg)
+      | Satmap.Router.Routed (routed, stats) ->
+        (* Stored in canonical space with neutral identity/timing
+           fields; [finalize] fills them per caller. *)
+        let canonical_payload =
+          {
+            Protocol.ok_id = "";
+            ok_qasm = Quantum.Qasm.to_string (Satmap.Routed.circuit routed);
+            ok_initial = Satmap.Mapping.to_array (Satmap.Routed.initial routed);
+            ok_final = Satmap.Mapping.to_array (Satmap.Routed.final routed);
+            ok_swaps = Satmap.Routed.n_swaps routed;
+            ok_added_cnots = Satmap.Routed.added_cnots routed;
+            ok_depth = Satmap.Routed.depth routed;
+            ok_blocks = stats.Satmap.Router.n_blocks;
+            ok_backtracks = stats.Satmap.Router.n_backtracks;
+            ok_proved_optimal = stats.Satmap.Router.proved_optimal;
+            ok_maxsat_iterations = stats.Satmap.Router.maxsat_iterations;
+            ok_solver_calls = stats.Satmap.Router.solver_calls;
+            ok_cache_hit = false;
+            ok_coalesced = false;
+            ok_time = 0.;
+          }
+        in
+        if req.use_cache then
+          Cache.add t.serve_cache p.p_key canonical_payload;
+        Ok (canonical_payload, false))
+  end
+
+let handle ?deadline ?on_progress t (req : Protocol.request) =
   Obs.Metrics.incr m_requests;
   Obs.Trace.with_span "service.request"
     ~args:[ ("id", Obs.Trace.Str req.id); ("device", Obs.Trace.Str req.device) ]
@@ -125,85 +247,15 @@ let handle ?deadline t (req : Protocol.request) =
   if budget <= 0. then
     err req.id Protocol.Deadline_exceeded "deadline passed before routing began"
   else
-    match Arch.Topologies.by_name req.device with
-    | None ->
-      err req.id Protocol.Unknown_device
-        (Printf.sprintf "unknown device %S (known: %s)" req.device
-           (String.concat ", " Arch.Topologies.known_names))
-    | Some device -> (
-      match Quantum.Qasm.of_string req.qasm with
-      | exception e ->
-        err req.id Protocol.Parse_error
-          (match e with Failure m -> m | e -> Printexc.to_string e)
-      | circuit -> (
-        let perm, canon = Canon.canonical circuit in
-        let objective =
-          if req.noise then
-            Satmap.Encoding.Fidelity (Arch.Calibration.synthetic device)
-          else Satmap.Encoding.Count_swaps
-        in
-        let config =
-          {
-            Satmap.Router.default_config with
-            timeout = budget;
-            objective;
-            n_swaps = req.n_swaps;
-            solver_parallelism = t.solver_jobs;
-            block_cache =
-              (if req.use_cache then Some (Block_cache.hook t.block_cache)
-               else None);
-          }
-        in
-        (* The key uses the nominal timeout, not the queue-shrunk budget:
-           otherwise every queued request would key differently. *)
-        let key = request_key req config device canon in
-        let cached =
-          if req.use_cache then
-            Obs.Trace.with_span "service.cache_lookup"
-              ~args:[ ("level", Obs.Trace.Str "request") ]
-              (fun () -> Cache.find t.serve_cache key)
-          else None
-        in
-        match cached with
-        | Some stored ->
-          Protocol.Ok_response
-            (translate perm stored ~id:req.id
-               ~time:(Unix.gettimeofday () -. start))
-        | None -> (
-          match route_canonical req config device canon with
-          | exception e ->
-            err req.id Protocol.Routing_failed (Printexc.to_string e)
-          | Satmap.Router.Failed msg ->
-            err req.id Protocol.Routing_failed msg
-          | Satmap.Router.Routed (routed, stats) ->
-            (* Stored in canonical space with neutral identity/timing
-               fields; [translate] fills them per hit. *)
-            let canonical_payload =
-              {
-                Protocol.ok_id = "";
-                ok_qasm = Quantum.Qasm.to_string (Satmap.Routed.circuit routed);
-                ok_initial = Satmap.Mapping.to_array (Satmap.Routed.initial routed);
-                ok_final = Satmap.Mapping.to_array (Satmap.Routed.final routed);
-                ok_swaps = Satmap.Routed.n_swaps routed;
-                ok_added_cnots = Satmap.Routed.added_cnots routed;
-                ok_depth = Satmap.Routed.depth routed;
-                ok_blocks = stats.Satmap.Router.n_blocks;
-                ok_backtracks = stats.Satmap.Router.n_backtracks;
-                ok_proved_optimal = stats.Satmap.Router.proved_optimal;
-                ok_maxsat_iterations = stats.Satmap.Router.maxsat_iterations;
-                ok_solver_calls = stats.Satmap.Router.solver_calls;
-                ok_cache_hit = false;
-                ok_time = 0.;
-              }
-            in
-            if req.use_cache then Cache.add t.serve_cache key canonical_payload;
-            Protocol.Ok_response
-              {
-                (translate perm canonical_payload ~id:req.id
-                   ~time:(Unix.gettimeofday () -. start))
-                with
-                Protocol.ok_cache_hit = false;
-              })))
+    match prepare req with
+    | Error response -> response
+    | Ok p -> (
+      match handle_prepared ?deadline ?on_progress t p with
+      | Error response -> response
+      | Ok (stored, cache_hit) ->
+        Protocol.Ok_response
+          (finalize p stored ~cache_hit ~coalesced:false
+             ~time:(Unix.gettimeofday () -. start)))
 
 (* ---- the JSON-lines loop ------------------------------------------ *)
 
@@ -216,7 +268,7 @@ let id_of_line line =
       (Option.bind (Obs.Json.member "id" json) Obs.Json.string_value)
   | Error _ -> ""
 
-let serve t ic oc =
+let serve ?(max_request_bytes = Protocol.default_max_request_bytes) t ic oc =
   let out_mutex = Mutex.create () in
   let respond response =
     let line = Protocol.response_to_string response in
@@ -231,17 +283,31 @@ let serve t ic oc =
     | exception End_of_file -> ()
     | line when String.trim line = "" -> loop ()
     | line ->
-      (match Protocol.parse_request line with
+      (match Protocol.parse_request ~max_bytes:max_request_bytes line with
       | Error msg -> respond (err (id_of_line line) Protocol.Bad_request msg)
       | Ok req -> (
         let deadline = Unix.gettimeofday () +. req.timeout in
+        let on_progress =
+          if not req.Protocol.stream then None
+          else
+            Some
+              (fun ~block ~iteration ~cost ->
+                respond
+                  (Protocol.Progress_response
+                     {
+                       prog_id = req.Protocol.id;
+                       prog_block = block;
+                       prog_iteration = iteration;
+                       prog_cost = cost;
+                     }))
+        in
         let job () =
           let response =
             if Unix.gettimeofday () > deadline then
               err req.id Protocol.Deadline_exceeded
                 "request expired while queued"
             else
-              try handle ~deadline t req
+              try handle ~deadline ?on_progress t req
               with e ->
                 err req.id Protocol.Routing_failed (Printexc.to_string e)
           in

@@ -39,19 +39,79 @@ val create :
     loaded now (silently skipped when missing or stale-schema) and
     written back by {!save_cache} / end-of-[serve]. *)
 
-val handle : ?deadline:float -> t -> Protocol.request -> Protocol.response
+val handle :
+  ?deadline:float ->
+  ?on_progress:(block:int -> iteration:int -> cost:int -> unit) ->
+  t ->
+  Protocol.request ->
+  Protocol.response
 (** Serve one request synchronously on the calling domain.  [deadline]
     (absolute, seconds since the epoch) caps the route's remaining
     budget below the request's own [timeout]; an already-expired
-    deadline returns [Deadline_exceeded] without routing.  Wrapped in a
-    ["service.request"] span. *)
+    deadline returns [Deadline_exceeded] without routing.
+    [on_progress] is forwarded to [Router.config.on_improvement] (one
+    call per satisfiable MaxSAT iteration — the anytime-streaming
+    hook).  Wrapped in a ["service.request"] span. *)
 
-val serve : t -> in_channel -> out_channel -> unit
+(** {2 Split request lifecycle}
+
+    The socket server ({!Server}) needs the cache key {e before}
+    routing: it decides shard ownership and single-flight membership on
+    the connection thread, then runs the solve on a pool worker and
+    translates the canonical-space result once per coalesced caller.
+    [handle] is exactly [prepare] + [handle_prepared] + [finalize]. *)
+
+type prepared
+(** Device resolved, QASM parsed, circuit canonicalized, key computed —
+    everything derivable from the request alone (no engine state). *)
+
+val prepare : Protocol.request -> (prepared, Protocol.response) result
+(** [Error] carries the documented [unknown_device] / [parse_error]
+    response for the request's [id]. *)
+
+val prepared_key : prepared -> string
+(** The request-level cache key: canonical-circuit digest + device +
+    objective + method/slice/swap-budget/timeout.  Two requests with
+    equal keys are answerable by one canonical-space payload. *)
+
+val prepared_request : prepared -> Protocol.request
+
+val canonical_key : Protocol.request -> (string, Protocol.response) result
+(** [prepare] + [prepared_key]; what the shard router hashes. *)
+
+val handle_prepared :
+  ?deadline:float ->
+  ?on_progress:(block:int -> iteration:int -> cost:int -> unit) ->
+  t ->
+  prepared ->
+  (Protocol.ok_payload * bool, Protocol.response) result
+(** Route (or hit the request cache).  [Ok (payload, cache_hit)] is in
+    {e canonical} qubit space with neutral id/timing fields — pass it
+    through {!finalize} before replying.  Safe from any domain. *)
+
+val finalize :
+  prepared ->
+  Protocol.ok_payload ->
+  cache_hit:bool ->
+  coalesced:bool ->
+  time:float ->
+  Protocol.ok_payload
+(** Translate a canonical-space payload back to the request's qubit
+    labels (initial/final maps un-permuted) and stamp id, [cache_hit],
+    [coalesced] and [time].  This is the only per-caller step, which is
+    what makes single-flight sound: one stored payload serves every
+    coalesced caller. *)
+
+val serve : ?max_request_bytes:int -> t -> in_channel -> out_channel -> unit
 (** JSON-lines loop: one request per input line, one response per output
     line (order follows completion, not submission — correlate by [id]).
-    Jobs run on the pool; a full queue answers [Overloaded] inline, and
-    a job whose deadline passed while queued answers
-    [Deadline_exceeded].  On EOF: drain the pool, then {!save_cache}. *)
+    Jobs run on the pool; a full queue answers [Overloaded] inline, a
+    job whose deadline passed while queued answers [Deadline_exceeded],
+    and lines longer than [max_request_bytes] (default
+    {!Protocol.default_max_request_bytes}) answer [Bad_request].
+    Requests with ["stream": true] get {!Protocol.Progress_response}
+    lines as the descent improves.  On EOF: drain the pool, then
+    {!save_cache}. *)
 
 val shutdown : t -> unit
 (** Drain and join the worker pool (idempotent).  [serve] calls this on

@@ -14,6 +14,7 @@ type request = {
   timeout : float;
   noise : bool;
   use_cache : bool;
+  stream : bool;
 }
 
 let default_request =
@@ -27,6 +28,7 @@ let default_request =
     timeout = 30.0;
     noise = false;
     use_cache = true;
+    stream = false;
   }
 
 type ok_payload = {
@@ -43,6 +45,7 @@ type ok_payload = {
   ok_maxsat_iterations : int;
   ok_solver_calls : int;
   ok_cache_hit : bool;
+  ok_coalesced : bool;
   ok_time : float;
 }
 
@@ -57,6 +60,12 @@ type error_code =
 type response =
   | Ok_response of ok_payload
   | Error_response of { id : string; code : error_code; message : string }
+  | Progress_response of {
+      prog_id : string;
+      prog_block : int;
+      prog_iteration : int;
+      prog_cost : int;
+    }
 
 let error_code_name = function
   | Bad_request -> "bad_request"
@@ -119,7 +128,17 @@ let num x = Obs.Json.Num (float_of_int x)
 
 (* ---- requests ----------------------------------------------------- *)
 
-let parse_request line =
+(* Generous for OpenQASM text (the whole benchmark suite is well under
+   100 KiB per circuit) while still bounding what one misbehaving client
+   can make a handler thread buffer. *)
+let default_max_request_bytes = 1 lsl 20
+
+let parse_request ?(max_bytes = default_max_request_bytes) line =
+  if String.length line > max_bytes then
+    Error
+      (Printf.sprintf "request exceeds the maximum size (%d > %d bytes)"
+         (String.length line) max_bytes)
+  else
   match Obs.Json.parse line with
   | Error msg -> Error ("request is not valid JSON: " ^ msg)
   | Ok json -> (
@@ -158,6 +177,7 @@ let parse_request line =
             noise = Option.value ~default:d.noise (bool_field json "noise");
             use_cache =
               Option.value ~default:d.use_cache (bool_field json "cache");
+            stream = Option.value ~default:d.stream (bool_field json "stream");
           }))
 
 let request_to_string r =
@@ -177,7 +197,8 @@ let request_to_string r =
            ("timeout", Obs.Json.Num r.timeout);
            ("noise", Obs.Json.Bool r.noise);
            ("cache", Obs.Json.Bool r.use_cache);
-         ]))
+         ]
+       @ if r.stream then [ ("stream", Obs.Json.Bool true) ] else []))
 
 (* ---- responses ---------------------------------------------------- *)
 
@@ -198,6 +219,7 @@ let payload_to_json p =
       ("maxsat_iterations", num p.ok_maxsat_iterations);
       ("solver_calls", num p.ok_solver_calls);
       ("cache_hit", Obs.Json.Bool p.ok_cache_hit);
+      ("coalesced", Obs.Json.Bool p.ok_coalesced);
       ("time_s", Obs.Json.Num p.ok_time);
     ]
 
@@ -217,6 +239,10 @@ let payload_of_json json =
   let* ok_maxsat_iterations = int_f "maxsat_iterations" in
   let* ok_solver_calls = int_f "solver_calls" in
   let* ok_cache_hit = bool_field json "cache_hit" in
+  (* Absent in entries persisted by older servers: default, don't reject. *)
+  let ok_coalesced =
+    Option.value ~default:false (bool_field json "coalesced")
+  in
   let* ok_time = num_field json "time_s" in
   Some
     {
@@ -233,6 +259,7 @@ let payload_of_json json =
       ok_maxsat_iterations;
       ok_solver_calls;
       ok_cache_hit;
+      ok_coalesced;
       ok_time;
     }
 
@@ -246,6 +273,16 @@ let response_to_string = function
            ("status", Obs.Json.Str "error");
            ("error", Obs.Json.Str (error_code_name code));
            ("message", Obs.Json.Str message);
+         ])
+  | Progress_response { prog_id; prog_block; prog_iteration; prog_cost } ->
+    Obs.Json.to_string
+      (Obs.Json.Obj
+         [
+           ("id", Obs.Json.Str prog_id);
+           ("status", Obs.Json.Str "progress");
+           ("block", num prog_block);
+           ("iteration", num prog_iteration);
+           ("cost", num prog_cost);
          ])
 
 let parse_response line =
@@ -263,5 +300,18 @@ let parse_response line =
       match Option.bind (str_field json "error") error_code_of_name with
       | Some code -> Ok (Error_response { id; code; message })
       | None -> Error "error response carries an unknown error code")
+    | Some "progress" -> (
+      let int_f name = Option.map int_of_float (num_field json name) in
+      match (int_f "block", int_f "iteration", int_f "cost") with
+      | Some prog_block, Some prog_iteration, Some prog_cost ->
+        Ok
+          (Progress_response
+             {
+               prog_id = Option.value ~default:"" (str_field json "id");
+               prog_block;
+               prog_iteration;
+               prog_cost;
+             })
+      | _ -> Error "progress response is missing fields")
     | Some s -> Error (Printf.sprintf "unknown response status %S" s)
     | None -> Error "response is missing the \"status\" field")

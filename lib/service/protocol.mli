@@ -9,7 +9,7 @@
     {v
     {"id": "r1", "qasm": "OPENQASM 2.0; ...", "device": "tokyo",
      "method": "sliced", "slice_size": 25, "n_swaps": 1,
-     "timeout": 30.0, "noise": false, "cache": true}
+     "timeout": 30.0, "noise": false, "cache": true, "stream": false}
     v}
 
     Success response:
@@ -18,13 +18,20 @@
      "final": [...], "swaps": 3, "added_cnots": 9, "depth": 17,
      "blocks": 2, "backtracks": 0, "proved_optimal": true,
      "maxsat_iterations": 5, "solver_calls": 6, "cache_hit": false,
-     "time_s": 0.41}
+     "coalesced": false, "time_s": 0.41}
     v}
 
     Error response:
     {v
     {"id": "r1", "status": "error", "error": "overloaded",
      "message": "queue full (capacity 64)"}
+    v}
+
+    Progress response (only under ["stream": true], zero or more before
+    the final ok/error line; never terminal):
+    {v
+    {"id": "r1", "status": "progress", "block": 0, "iteration": 2,
+     "cost": 3}
     v}
 
     On a cache hit, [qasm]/costs/stats describe the solve that produced
@@ -44,6 +51,9 @@ type request = {
   timeout : float;  (** seconds; the job's deadline starts at submission *)
   noise : bool;  (** fidelity objective from synthetic calibration *)
   use_cache : bool;  (** consult/populate the result cache (default) *)
+  stream : bool;
+      (** push {!Progress_response} lines as the MaxSAT descent improves
+          its bound (socket server only; default false) *)
 }
 
 val default_request : request
@@ -64,6 +74,9 @@ type ok_payload = {
   ok_maxsat_iterations : int;
   ok_solver_calls : int;  (** optimizer invocations the solve paid for *)
   ok_cache_hit : bool;
+  ok_coalesced : bool;
+      (** answered by piggybacking on an identical in-flight solve
+          (single-flight); [false] on the leader's own response *)
   ok_time : float;  (** seconds spent serving this request *)
 }
 
@@ -78,10 +91,28 @@ type error_code =
 type response =
   | Ok_response of ok_payload
   | Error_response of { id : string; code : error_code; message : string }
+  | Progress_response of {
+      prog_id : string;
+      prog_block : int;  (** slice index the router is solving *)
+      prog_iteration : int;  (** MaxSAT descent iteration within it *)
+      prog_cost : int;  (** cost of the model just found (per-block) *)
+    }
+      (** Intermediate line pushed under [stream]; a request always still
+          terminates with exactly one ok/error line. *)
 
 val error_code_name : error_code -> string
 
-val parse_request : string -> (request, string) result
+val method_name : method_ -> string
+val method_of_name : string -> method_ option
+
+val default_max_request_bytes : int
+(** 1 MiB — the default request-size cap ({!parse_request}, the socket
+    server's line reader). *)
+
+val parse_request : ?max_bytes:int -> string -> (request, string) result
+(** [max_bytes] (default {!default_max_request_bytes}) rejects oversized
+    lines with an error message before JSON parsing. *)
+
 val request_to_string : request -> string
 (** One line, no embedded newlines; for clients and tests. *)
 

@@ -93,6 +93,52 @@ let test_cache_save_load () =
   Alcotest.(check (option int)) "value two" (Some 2) (Service.Cache.find fresh "two");
   Sys.remove path
 
+let test_cache_save_is_atomic () =
+  (* [save] goes through temp + rename: overwriting an existing file
+     leaves no .tmp droppings, and the result is loadable. *)
+  let c = Service.Cache.create ~name:"test.cache_e" ~capacity:4 () in
+  Service.Cache.add c "k" 9;
+  let path = Filename.temp_file "service_cache" ".json" in
+  let encode v = Obs.Json.Num (float_of_int v) in
+  let decode j = Option.map int_of_float (Obs.Json.number_value j) in
+  Service.Cache.save ~encode c path;
+  Service.Cache.save ~encode c path;
+  Alcotest.(check bool)
+    "no temp file left behind" false
+    (Sys.file_exists (path ^ ".tmp"));
+  let fresh = Service.Cache.create ~name:"test.cache_f" ~capacity:4 () in
+  (match Service.Cache.load ~decode fresh path with
+  | Ok n -> Alcotest.(check int) "entry restored" 1 n
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_cache_truncated_file_rejected () =
+  (* A cache file cut off mid-write (crash before the atomic rename
+     existed) must be rejected as a clean [Error], not an exception, and
+     an engine pointed at it must start empty rather than die. *)
+  let c = Service.Cache.create ~name:"test.cache_g" ~capacity:4 () in
+  Service.Cache.add c "one" 1;
+  Service.Cache.add c "two" 2;
+  let path = Filename.temp_file "service_cache" ".json" in
+  let encode v = Obs.Json.Num (float_of_int v) in
+  let decode j = Option.map int_of_float (Obs.Json.number_value j) in
+  Service.Cache.save ~encode c path;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full 0 (String.length full / 2)));
+  let fresh = Service.Cache.create ~name:"test.cache_h" ~capacity:4 () in
+  (match Service.Cache.load ~decode fresh path with
+  | Error _ -> ()
+  | Ok n -> Alcotest.fail (Printf.sprintf "truncated file loaded %d entries" n));
+  Alcotest.(check int) "nothing restored" 0 (Service.Cache.length fresh);
+  let engine = Service.Engine.create ~workers:1 ~cache_file:path () in
+  Alcotest.(check int)
+    "engine starts empty on a truncated cache file" 0
+    (Service.Engine.restored_entries engine);
+  Service.Engine.shutdown engine;
+  Sys.remove path
+
 (* ------------------------------------------------------------------ *)
 (* Pool *)
 
@@ -169,6 +215,7 @@ let test_request_roundtrip () =
       timeout = 3.5;
       noise = true;
       use_cache = false;
+      stream = true;
     }
   in
   match Service.Protocol.parse_request (Service.Protocol.request_to_string req) with
@@ -192,6 +239,7 @@ let test_response_roundtrip () =
       ok_maxsat_iterations = 5;
       ok_solver_calls = 2;
       ok_cache_hit = false;
+      ok_coalesced = true;
       ok_time = 0.25;
     }
   in
@@ -221,6 +269,115 @@ let test_request_rejects_garbage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted a request without qasm"
 
+let test_request_unknown_fields_tolerated () =
+  (* Forward compatibility: unknown fields are ignored, known ones
+     still land. *)
+  match
+    Service.Protocol.parse_request
+      "{\"id\": \"u1\", \"qasm\": \"OPENQASM 2.0;\", \"wibble\": 7, \
+       \"future\": {\"nested\": [1, 2]}}"
+  with
+  | Error e -> Alcotest.fail ("unknown fields rejected: " ^ e)
+  | Ok r ->
+    Alcotest.(check string) "id kept" "u1" r.Service.Protocol.id;
+    Alcotest.(check string) "qasm kept" "OPENQASM 2.0;" r.Service.Protocol.qasm
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_request_size_cap () =
+  let line =
+    Printf.sprintf "{\"id\": \"big\", \"qasm\": \"%s\"}" (String.make 4096 'x')
+  in
+  (match Service.Protocol.parse_request ~max_bytes:1024 line with
+  | Error msg ->
+    Alcotest.(check bool)
+      "error names the size cap" true
+      (contains_substring msg "maximum size")
+  | Ok _ -> Alcotest.fail "oversized request parsed");
+  match Service.Protocol.parse_request ~max_bytes:8192 line with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("within-cap request rejected: " ^ e)
+
+(* Every malformed input through the stdio serve loop must come back as
+   a documented error response on the same stream — never an exception,
+   never a dropped line. *)
+let test_serve_loop_error_paths () =
+  let engine = Service.Engine.create ~workers:1 () in
+  let dir = Filename.temp_file "serve_errors" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let in_path = Filename.concat dir "in.jsonl" in
+  let out_path = Filename.concat dir "out.jsonl" in
+  let good =
+    {
+      Service.Protocol.default_request with
+      id = "good";
+      qasm = "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];";
+      device = "linear-4";
+      timeout = 30.0;
+    }
+  in
+  Out_channel.with_open_bin in_path (fun oc ->
+      (* 1. malformed JSON  2. oversized line  3. unknown fields on an
+         otherwise-valid request  4. a final line cut off mid-object
+         (mid-line EOF: no trailing newline). *)
+      output_string oc "{\"id\": \"broken\", \n";
+      output_string oc
+        (Printf.sprintf "{\"id\": \"huge\", \"qasm\": \"%s\"}\n"
+           (String.make 2048 'y'));
+      let line = Service.Protocol.request_to_string good in
+      output_string oc
+        (String.sub line 0 (String.length line - 1)
+        ^ ", \"unknown_field\": true}\n");
+      output_string oc "{\"id\": \"cut");
+  let ic = open_in in_path in
+  let out = open_out out_path in
+  Service.Engine.serve ~max_request_bytes:1024 engine ic out;
+  close_in ic;
+  close_out out;
+  let responses = ref [] in
+  let ic = open_in out_path in
+  (try
+     while true do
+       match Service.Protocol.parse_response (input_line ic) with
+       | Ok r -> responses := r :: !responses
+       | Error e -> Alcotest.fail ("serve output does not re-parse: " ^ e)
+     done
+   with End_of_file -> close_in ic);
+  Alcotest.(check int) "four responses" 4 (List.length !responses);
+  (* The two syntactically broken lines (malformed JSON, mid-line EOF)
+     have no recoverable id, so their errors carry id "".  The oversized
+     line is valid JSON, so its id is echoed. *)
+  let bad_requests_for id =
+    List.length
+      (List.filter
+         (function
+           | Service.Protocol.Error_response
+               { id = i; code = Service.Protocol.Bad_request; _ } -> i = id
+           | _ -> false)
+         !responses)
+  in
+  Alcotest.(check int)
+    "malformed JSON and mid-line EOF -> bad_request (no recoverable id)" 2
+    (bad_requests_for "");
+  Alcotest.(check int) "oversized -> bad_request, id echoed" 1
+    (bad_requests_for "huge");
+  (match
+     List.find_opt
+       (function
+         | Service.Protocol.Ok_response p -> p.Service.Protocol.ok_id = "good"
+         | _ -> false)
+       !responses
+   with
+  | Some _ -> ()
+  | None -> Alcotest.fail "request with unknown fields was not routed ok");
+  Sys.remove in_path;
+  Sys.remove out_path;
+  Unix.rmdir dir
+
 (* ------------------------------------------------------------------ *)
 (* Engine end-to-end over examples/qasm *)
 
@@ -246,6 +403,8 @@ let handle_ok engine req =
   | Service.Protocol.Error_response { code; message; _ } ->
     Alcotest.fail
       (Printf.sprintf "%s: %s" (Service.Protocol.error_code_name code) message)
+  | Service.Protocol.Progress_response _ ->
+    Alcotest.fail "handle returned a progress line"
 
 let test_examples_end_to_end () =
   let engine = Service.Engine.create ~workers:1 () in
@@ -332,6 +491,9 @@ let () =
           Alcotest.test_case "LRU eviction order" `Quick test_cache_lru_eviction;
           Alcotest.test_case "hit/miss counters" `Quick test_cache_counters;
           Alcotest.test_case "save/load roundtrip" `Quick test_cache_save_load;
+          Alcotest.test_case "save is atomic" `Quick test_cache_save_is_atomic;
+          Alcotest.test_case "truncated file rejected cleanly" `Quick
+            test_cache_truncated_file_rejected;
         ] );
       ( "pool",
         [
@@ -347,6 +509,11 @@ let () =
           Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
           Alcotest.test_case "garbage rejected" `Quick
             test_request_rejects_garbage;
+          Alcotest.test_case "unknown fields tolerated" `Quick
+            test_request_unknown_fields_tolerated;
+          Alcotest.test_case "request size cap" `Quick test_request_size_cap;
+          Alcotest.test_case "serve-loop error paths" `Quick
+            test_serve_loop_error_paths;
         ] );
       ( "engine",
         [
