@@ -1066,6 +1066,60 @@ let serve_section () =
     (Obs.Json.to_string (Loadgen.result_to_json lg))
     clients burst_solves coalesced_replies shard_invariant
 
+(* Race-layer probe for the snapshot: what do the sync shims cost?  The
+   same shim-heavy workload — LRU churn plus a jobs = 2 portfolio solve
+   — runs with the instrumentation off (the single-boolean-load
+   passthrough that production always pays) and again with SATMAP_RACE
+   on in passive mode (vector-clock detector live, no controlled
+   scheduler).  Passive mode on a clean tree must stay silent. *)
+let race_section () =
+  let workload () =
+    let c = Service.Cache.create ~name:"bench.race" ~capacity:64 () in
+    for i = 0 to 4_000 do
+      let k = Printf.sprintf "k%d" (i mod 96) in
+      match Service.Cache.find c k with
+      | Some _ -> ()
+      | None -> Service.Cache.add c k i
+    done;
+    let p = Sat.Parallel.create ~jobs:2 ~glue_limit:4 ~ring_size:64 () in
+    let v = Array.init 8 (fun _ -> Sat.Parallel.new_var p) in
+    for i = 0 to 6 do
+      Sat.Parallel.add_clause p
+        [ Sat.Lit.of_var v.(i); Sat.Lit.of_var ~sign:false v.(i + 1) ]
+    done;
+    Sat.Parallel.add_clause p [ Sat.Lit.of_var v.(7) ];
+    Sat.Parallel.add_clause p [ Sat.Lit.of_var ~sign:false v.(0) ];
+    ignore (Sat.Parallel.solve p)
+  in
+  let time f =
+    (* Three repetitions, keep the best: the probe wants the cost of the
+       instrumentation, not scheduler noise. *)
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let was_on = Race.Runtime.on () in
+  Race.Runtime.disable ();
+  let off_s = time workload in
+  Race.Runtime.enable ();
+  Race.Detect.reset ();
+  Race.Report.reset ();
+  let on_s = time workload in
+  let events = Race.Detect.events () in
+  let findings = Race.Report.count () in
+  if was_on then Race.Runtime.enable () else Race.Runtime.disable ();
+  Race.Report.reset ();
+  Printf.sprintf
+    "{\"passthrough_s\": %s, \"passive_s\": %s, \"overhead_x\": %s,\n\
+    \   \"detect_events\": %d, \"passive_findings\": %d}"
+    (json_float off_s) (json_float on_s)
+    (json_float (if off_s > 0. then on_s /. off_s else 0.))
+    events findings
+
 let write_json path =
   let rows = Lazy.force main_rows in
   let oc = open_out path in
@@ -1192,6 +1246,7 @@ let write_json path =
     \  \"cache_totals\": %s,\n\
     \  \"obs_totals\": %s,\n\
     \  \"serve\": %s,\n\
+    \  \"race\": %s,\n\
     \  \"benchmarks\": [\n%s\n  ]\n\
      }\n"
     (if !opt_smoke then "smoke" else if !opt_full then "full" else "quick")
@@ -1200,6 +1255,7 @@ let write_json path =
     (List.length rows) solved
     (json_of_totals sum ~wall:total_wall)
     proof_totals cache_totals obs_totals (serve_section ())
+    (race_section ())
     (String.concat ",\n" (List.map row_json rows));
   close_out oc;
   Printf.printf "\nwrote %s: %d benchmarks, %d solved, %.0f props/s\n" path

@@ -3,6 +3,7 @@
    Subcommands:
      route        read an OpenQASM circuit, map and route it onto a device
      lint         statically analyse the MaxSAT encoding of a circuit
+     race         dynamically analyse the concurrent tier for data races
      stats        print circuit statistics
      export-wcnf  emit the MaxSAT encoding as a DIMACS WCNF file
      devices      list built-in device topologies
@@ -14,8 +15,8 @@
         routing-internal check failure — the Router.route_* entry points
         return Failed rather than raising)
      2  the input circuit does not parse
-     3  a check failed outside the routing path: lint findings, or a
-        broken invariant in a non-routing subcommand *)
+     3  a check failed outside the routing path: lint or race findings,
+        or a broken invariant in a non-routing subcommand *)
 
 open Cmdliner
 
@@ -999,13 +1000,174 @@ let loadgen_cmd =
       $ timeout $ method_name $ device $ slice_size $ n_unique $ n_qubits
       $ gates $ seed $ stream $ json_out)
 
+(* ------------------------------------------------------------------ *)
+(* race *)
+
+let race_cmd_run list_flag mutate corpus scenario seed n_seeds pct =
+ guarded @@ fun () ->
+  let policy =
+    match pct with Some d -> Race.Explore.Pct d | None -> Race.Explore.Random_walk
+  in
+  let seeds =
+    match seed with
+    | Some s -> [ s ]
+    | None ->
+      if n_seeds = List.length Racecheck.Scenarios.default_seeds then
+        Racecheck.Scenarios.default_seeds
+      else List.init n_seeds (fun i -> i + 1)
+  in
+  let print_findings () =
+    List.iter (Race.Report.pp stdout) (Race.Report.findings ())
+  in
+  if list_flag then begin
+    Printf.printf "scenarios:\n";
+    List.iter
+      (fun (s : Racecheck.Scenarios.t) ->
+        Printf.printf "  %s\n" s.Racecheck.Scenarios.s_name)
+      Racecheck.Scenarios.all;
+    Printf.printf "mutants:\n";
+    List.iter
+      (fun (m : Race.Mutations.info) ->
+        Printf.printf "  %-26s %s (%s)\n" m.Race.Mutations.name
+          m.Race.Mutations.description m.Race.Mutations.site)
+      Race.Mutations.all
+  end
+  else if corpus then begin
+    let r = Racecheck.Scenarios.run_corpus ~policy ~seeds () in
+    let ok = ref (r.Racecheck.Scenarios.clean_findings = 0) in
+    Printf.printf "clean corpus: %d findings\n"
+      r.Racecheck.Scenarios.clean_findings;
+    List.iter
+      (fun (m : Racecheck.Scenarios.mutant_outcome) ->
+        if not m.Racecheck.Scenarios.mo_caught then ok := false;
+        Printf.printf "mutant %-26s %s\n" m.Racecheck.Scenarios.mo_name
+          (if m.Racecheck.Scenarios.mo_caught then
+             Printf.sprintf "caught (%d/%d seeds, kinds: %s)"
+               (List.length m.Racecheck.Scenarios.mo_seeds)
+               (List.length seeds)
+               (String.concat "," m.Racecheck.Scenarios.mo_kinds)
+           else "NOT caught"))
+      r.Racecheck.Scenarios.mutants;
+    if not !ok then exit exit_check_failure
+  end
+  else begin
+    let scenarios =
+      match scenario with
+      | None -> Racecheck.Scenarios.all
+      | Some name -> (
+        match Racecheck.Scenarios.find name with
+        | Some s -> [ s ]
+        | None ->
+          Format.eprintf "unknown scenario %S (use --list)@." name;
+          exit exit_check_failure)
+    in
+    (match mutate with
+    | None -> ()
+    | Some name ->
+      if not (Race.Mutations.activate name) then begin
+        Format.eprintf "unknown mutant %S (use --list for the corpus)@." name;
+        exit exit_check_failure
+      end;
+      Printf.printf "mutant: %s\n" name);
+    let scenarios =
+      match mutate with
+      | Some name ->
+        let sn = Racecheck.Scenarios.scenario_for_mutant name in
+        [ Option.get (Racecheck.Scenarios.find sn) ]
+      | None -> scenarios
+    in
+    Race.Explore.fresh ();
+    List.iter
+      (fun (s : Racecheck.Scenarios.t) ->
+        Racecheck.Scenarios.run_scenario_sweep ~policy ~seeds s)
+      scenarios;
+    Race.Mutations.deactivate ();
+    let n = Race.Report.count () in
+    Printf.printf "scenarios: %s\nseeds: %s\nfindings: %d\n"
+      (String.concat ", "
+         (List.map (fun s -> s.Racecheck.Scenarios.s_name) scenarios))
+      (String.concat ", " (List.map string_of_int seeds))
+      n;
+    print_findings ();
+    Race.Explore.fresh ();
+    if n > 0 then exit exit_check_failure
+  end
+
+let race_cmd =
+  let list_flag =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List the scenario corpus and the seeded race mutants, then \
+                exit.")
+  in
+  let mutate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"NAME"
+          ~doc:
+            "Activate the named seeded concurrency mutant and sweep its \
+             scenario (validation mode: the detector is expected to flag \
+             it and exit 3).")
+  in
+  let corpus =
+    Arg.(
+      value & flag
+      & info [ "corpus" ]
+          ~doc:
+            "Run the full acceptance gate: every clean scenario must be \
+             silent and every mutant must be caught.  Exit 3 otherwise.")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Restrict the sweep to one scenario (default: all).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Run a single schedule seed (replay mode).")
+  in
+  let n_seeds =
+    Arg.(
+      value
+      & opt int (List.length Racecheck.Scenarios.default_seeds)
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Number of schedule seeds to sweep per scenario.")
+  in
+  let pct =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pct" ] ~docv:"D"
+          ~doc:
+            "Use a PCT-style priority schedule of depth $(docv) instead \
+             of the seeded random walk.")
+  in
+  Cmd.v
+    (Cmd.info "race"
+       ~doc:
+         "Dynamically analyse the concurrent solver and serving tier: run \
+          the scenario corpus under the controlled-schedule explorer with \
+          a FastTrack-style happens-before detector and report every data \
+          race with both stacks and its replay seed.  Exit code 3 on any \
+          finding.")
+    Term.(
+      const race_cmd_run $ list_flag $ mutate $ corpus $ scenario $ seed
+      $ n_seeds $ pct)
+
 let main =
   Cmd.group
     (Cmd.info "satmap" ~version:"1.0.0"
        ~doc:"Qubit mapping and routing via MaxSAT (MICRO 2022 reproduction).")
     [
-      route_cmd; lint_cmd; stats_cmd; export_cmd; devices_cmd; suite_cmd;
-      serve_cmd; shard_router_cmd; loadgen_cmd;
+      route_cmd; lint_cmd; race_cmd; stats_cmd; export_cmd; devices_cmd;
+      suite_cmd; serve_cmd; shard_router_cmd; loadgen_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,26 @@
+(* An instrumented plain mutable location.
+
+   [get]/[set] behave exactly like reading/writing a [mutable] field,
+   but when [SATMAP_RACE=1] each access is reported to the
+   happens-before detector (and is a yield point under the explorer).
+   Disabled cost: one boolean load per access. *)
+
+type 'a t = { mutable v : 'a; meta : Detect.cell }
+
+let make ?(name = "cell") v = { v; meta = Detect.make_cell name }
+
+let get t =
+  if Runtime.on () then begin
+    let tid = Runtime.current_tid () in
+    Sched.yield ();
+    Detect.on_access t.meta ~tid Detect.Read
+  end;
+  t.v
+
+let set t v =
+  if Runtime.on () then begin
+    let tid = Runtime.current_tid () in
+    Sched.yield ();
+    Detect.on_access t.meta ~tid Detect.Write
+  end;
+  t.v <- v

@@ -1,0 +1,10 @@
+(** An instrumented plain mutable location — the [Race] analogue of a
+    [mutable] record field.  Reads and writes are reported to {!Detect}
+    when [SATMAP_RACE=1] and are yield points under the explorer;
+    disabled cost is one boolean load per access. *)
+
+type 'a t
+
+val make : ?name:string -> 'a -> 'a t
+val get : 'a t -> 'a
+val set : 'a t -> 'a -> unit

@@ -1,0 +1,154 @@
+(* The happens-before engine (FastTrack-style).
+
+   Every thread carries a vector clock; every sync object (mutex,
+   condition, atomic) carries the join of the clocks released into it;
+   every instrumented plain location ({!Cell}) remembers its last write
+   as an epoch [(tid, clk)] plus the last read per thread.  An access is
+   racy exactly when a previous conflicting access is not covered by the
+   current thread's clock — i.e. no chain of spawn/join/acquire/release
+   edges orders the two.
+
+   Detection is order-insensitive: whichever of the two conflicting
+   accesses the schedule runs first, the second one observes the
+   uncovered epoch, so a race is flagged on every schedule that executes
+   both accesses — the controlled scheduler only has to make the code
+   paths reachable, not hit a magic interleaving.
+
+   One raw mutex guards all detector state.  It is only taken while
+   instrumentation is enabled, and never while a scheduler or client
+   lock is being waited on, so it cannot participate in a deadlock. *)
+
+type access_kind = Read | Write
+
+let lock = Mutex.create ()
+let n_events = ref 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* ---- thread and sync-object clocks -------------------------------- *)
+
+let threads : (int, Vc.t) Hashtbl.t = Hashtbl.create 32
+
+let thread_vc tid =
+  match Hashtbl.find_opt threads tid with
+  | Some vc -> vc
+  | None ->
+    let vc = Vc.create () in
+    Vc.set vc tid 1;
+    Hashtbl.add threads tid vc;
+    vc
+
+let next_sync = ref 0
+let syncs : (int, Vc.t) Hashtbl.t = Hashtbl.create 64
+
+let fresh_sync () =
+  locked (fun () ->
+      let i = !next_sync in
+      incr next_sync;
+      i)
+
+let sync_vc id =
+  match Hashtbl.find_opt syncs id with
+  | Some vc -> vc
+  | None ->
+    let vc = Vc.create () in
+    Hashtbl.add syncs id vc;
+    vc
+
+(* ---- happens-before edges ----------------------------------------- *)
+
+let acquire ~tid ~sync =
+  locked (fun () ->
+      incr n_events;
+      Vc.join (thread_vc tid) (sync_vc sync))
+
+let release ~tid ~sync =
+  locked (fun () ->
+      incr n_events;
+      let tv = thread_vc tid in
+      Vc.join (sync_vc sync) tv;
+      Vc.tick tv tid)
+
+let acquire_release ~tid ~sync =
+  locked (fun () ->
+      incr n_events;
+      let tv = thread_vc tid and sv = sync_vc sync in
+      Vc.join tv sv;
+      Vc.join sv tv;
+      Vc.tick tv tid)
+
+let fork ~parent ~child =
+  locked (fun () ->
+      incr n_events;
+      let pv = thread_vc parent in
+      Vc.join (thread_vc child) pv;
+      Vc.tick pv parent)
+
+let join_edge ~tid ~other =
+  locked (fun () ->
+      incr n_events;
+      Vc.join (thread_vc tid) (thread_vc other))
+
+(* ---- instrumented plain locations --------------------------------- *)
+
+type cell = {
+  name : string;
+  mutable w_tid : int;  (* -1: never written *)
+  mutable w_clk : int;
+  mutable w_bt : Printexc.raw_backtrace option;
+  (* Last read per tid since the last write: (tid, clk, backtrace). *)
+  mutable reads : (int * int * Printexc.raw_backtrace option) list;
+}
+
+let make_cell name =
+  { name; w_tid = -1; w_clk = 0; w_bt = None; reads = [] }
+
+let flag kind cell ~p_tid ~p_op ~p_bt ~c_tid ~c_op ~c_bt =
+  Report.record kind ~object_:cell.name
+    ~note:"no happens-before edge orders these accesses"
+    ~prior:(Report.access ~tid:p_tid ~op:p_op p_bt)
+    ~current:(Report.access ~tid:c_tid ~op:c_op c_bt)
+
+let on_access cell ~tid kind =
+  locked (fun () ->
+      incr n_events;
+      let tv = thread_vc tid in
+      let bt = Some (Printexc.get_callstack 16) in
+      (match kind with
+      | Write ->
+        if
+          cell.w_tid >= 0 && cell.w_tid <> tid
+          && not (Vc.covers tv ~tid:cell.w_tid ~clk:cell.w_clk)
+        then
+          flag Report.Write_write cell ~p_tid:cell.w_tid ~p_op:"write"
+            ~p_bt:cell.w_bt ~c_tid:tid ~c_op:"write" ~c_bt:bt;
+        List.iter
+          (fun (rt, rc, rbt) ->
+            if rt <> tid && not (Vc.covers tv ~tid:rt ~clk:rc) then
+              flag Report.Read_write cell ~p_tid:rt ~p_op:"read" ~p_bt:rbt
+                ~c_tid:tid ~c_op:"write" ~c_bt:bt)
+          cell.reads;
+        cell.w_tid <- tid;
+        cell.w_clk <- Vc.get tv tid;
+        cell.w_bt <- bt;
+        cell.reads <- []
+      | Read ->
+        if
+          cell.w_tid >= 0 && cell.w_tid <> tid
+          && not (Vc.covers tv ~tid:cell.w_tid ~clk:cell.w_clk)
+        then
+          flag Report.Write_read cell ~p_tid:cell.w_tid ~p_op:"write"
+            ~p_bt:cell.w_bt ~c_tid:tid ~c_op:"read" ~c_bt:bt;
+        cell.reads <-
+          (tid, Vc.get tv tid, bt)
+          :: List.filter (fun (rt, _, _) -> rt <> tid) cell.reads))
+
+let events () = locked (fun () -> !n_events)
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset threads;
+      Hashtbl.reset syncs;
+      n_events := 0)

@@ -1,0 +1,34 @@
+(** FastTrack-style vector-clock happens-before race detector.
+
+    Threads are identified by {!Runtime} tids; sync objects by ids from
+    {!fresh_sync}.  The {!Sync} shims report acquire/release, fork/join
+    and atomic edges; {!Cell} reports plain reads and writes.  Races are
+    recorded in {!Report} with the captured stacks of both accesses. *)
+
+type access_kind = Read | Write
+
+val fresh_sync : unit -> int
+
+val acquire : tid:int -> sync:int -> unit
+(** Mutex lock, condition wake, atomic load. *)
+
+val release : tid:int -> sync:int -> unit
+(** Mutex unlock, condition signal, atomic store. *)
+
+val acquire_release : tid:int -> sync:int -> unit
+(** Atomic read-modify-write. *)
+
+val fork : parent:int -> child:int -> unit
+val join_edge : tid:int -> other:int -> unit
+
+type cell
+
+val make_cell : string -> cell
+val on_access : cell -> tid:int -> access_kind -> unit
+
+val events : unit -> int
+(** Total detector events recorded (edges + cell accesses). *)
+
+val reset : unit -> unit
+(** Forget all clocks.  Only safe when no instrumented structure created
+    before the reset will be touched again. *)

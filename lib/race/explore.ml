@@ -1,0 +1,44 @@
+(* Entry point for controlled-schedule runs.
+
+   [run ~seed f] enables the instrumentation (if it was not already on),
+   starts the scheduler with the calling task as root, runs [f], and
+   tears everything down — swallowing the scheduler's {!Sched.Deadlock}
+   poison exception, which is already recorded as a finding.  The
+   outcome carries the seed so any finding can be replayed exactly. *)
+
+type policy = Sched.policy = Random_walk | Pct of int
+
+type outcome = {
+  o_seed : int;
+  o_findings : int; (* new findings from this run *)
+  o_steps : int;
+  o_fingerprint : int; (* hash of the schedule actually taken *)
+  o_failure : string option; (* deadlock / poison message *)
+}
+
+let run ?(policy = Random_walk) ?steps_hint ~seed f =
+  let was_on = Runtime.on () in
+  if not was_on then Runtime.enable ();
+  Report.set_seed (Some seed);
+  let before = Report.count () in
+  let root_tid = Runtime.current_tid () in
+  Sched.start ?steps_hint ~seed ~policy ~root_tid ();
+  let user_exn = ref None in
+  (try f () with
+  | Sched.Deadlock _ -> ()
+  | e -> user_exn := Some (e, Printexc.get_raw_backtrace ()));
+  let steps = Sched.steps () in
+  let fingerprint = Sched.fingerprint () in
+  let failure = Sched.finish () in
+  Report.set_seed None;
+  if not was_on then Runtime.disable ();
+  (match !user_exn with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  { o_seed = seed; o_findings = Report.count () - before; o_steps = steps;
+    o_fingerprint = fingerprint; o_failure = failure }
+
+let sweep ?(policy = Random_walk) ?steps_hint ~seeds f =
+  List.map (fun seed -> run ~policy ?steps_hint ~seed f) seeds
+
+let fresh () = Report.reset ()

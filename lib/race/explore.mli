@@ -1,0 +1,34 @@
+(** Controlled-schedule explorer: run a scenario with every instrumented
+    thread/domain serialized under a seeded schedule.
+
+    The calling task is the schedule's root; threads and domains it
+    spawns through {!Sync} become managed tasks.  Any race flagged
+    during the run is recorded in {!Report} tagged with [seed], so it
+    can be replayed exactly. *)
+
+type policy = Sched.policy = Random_walk | Pct of int
+
+type outcome = {
+  o_seed : int;
+  o_findings : int;  (** findings newly recorded by this run *)
+  o_steps : int;  (** scheduler decisions taken *)
+  o_fingerprint : int;  (** order-sensitive hash of the schedule taken *)
+  o_failure : string option;  (** deadlock / poison message, if any *)
+}
+
+val run :
+  ?policy:policy -> ?steps_hint:int -> seed:int -> (unit -> unit) -> outcome
+(** Enables instrumentation for the duration if it was off.  Exceptions
+    from the scenario propagate, except the scheduler's poison
+    {!Sched.Deadlock} which is already recorded as a finding. *)
+
+val sweep :
+  ?policy:policy ->
+  ?steps_hint:int ->
+  seeds:int list ->
+  (unit -> unit) ->
+  outcome list
+
+val fresh : unit -> unit
+(** Clear the findings store between scenarios (tids stay monotone, so
+    detector clocks need no reset). *)

@@ -1,0 +1,23 @@
+(** Registry of seeded concurrency mutants.
+
+    Activating a mutant by name makes exactly one production code path
+    skip a lock or drop a happens-before edge; the acceptance gate for
+    the race layer is that {!Detect} flags every mutant under the
+    explorer while the unmutated tree reports zero findings.  The
+    per-site check ({!on}) is an option dereference plus a string
+    compare, placed outside solver hot loops. *)
+
+type info = { name : string; site : string; description : string }
+
+val all : info list
+val find : string -> info option
+
+val activate : string -> bool
+(** [false] if the name is unknown. *)
+
+val deactivate : unit -> unit
+val active : unit -> string option
+
+val on : string -> bool
+(** [on name] is true iff mutant [name] is currently active.  Sites
+    guard their buggy path with this. *)

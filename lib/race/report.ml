@@ -1,0 +1,144 @@
+(* The findings store.  Every detector or scheduler verdict lands here:
+   deduplicated by (kind, object), counted, stamped with the explorer
+   seed that produced it, and exported through Obs as the
+   [race.findings] counter plus a JSON dump.  One raw mutex guards the
+   store; it is touched only when something is actually wrong, so it is
+   never on a hot path. *)
+
+type kind =
+  | Write_write
+  | Write_read
+  | Read_write
+  | Deadlock
+  | Scheduler_error
+
+let kind_name = function
+  | Write_write -> "write-write"
+  | Write_read -> "write-read"
+  | Read_write -> "read-write"
+  | Deadlock -> "deadlock"
+  | Scheduler_error -> "scheduler-error"
+
+type access = { a_tid : int; a_op : string; a_backtrace : string }
+
+type finding = {
+  f_kind : kind;
+  f_object : string;
+  f_note : string;
+  f_prior : access option;
+  f_current : access option;
+  f_seed : int option;
+  mutable f_repeats : int;
+}
+
+let m_findings = Obs.Metrics.counter "race.findings"
+
+let lock = Mutex.create ()
+let store : finding list ref = ref []
+let index : (string, finding) Hashtbl.t = Hashtbl.create 32
+let seed : int option ref = ref None
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let set_seed s = locked (fun () -> seed := s)
+
+let access ~tid ~op bt =
+  let a_backtrace =
+    match bt with
+    | None -> ""
+    | Some raw -> Printexc.raw_backtrace_to_string raw
+  in
+  { a_tid = tid; a_op = op; a_backtrace }
+
+let record ?prior ?current ~object_ ~note kind =
+  locked (fun () ->
+      let key = kind_name kind ^ "\x00" ^ object_ in
+      match Hashtbl.find_opt index key with
+      | Some f -> f.f_repeats <- f.f_repeats + 1
+      | None ->
+        let f =
+          {
+            f_kind = kind;
+            f_object = object_;
+            f_note = note;
+            f_prior = prior;
+            f_current = current;
+            f_seed = !seed;
+            f_repeats = 1;
+          }
+        in
+        Hashtbl.add index key f;
+        store := f :: !store;
+        Obs.Metrics.incr m_findings)
+
+let findings () = locked (fun () -> List.rev !store)
+let count () = locked (fun () -> List.length !store)
+
+let reset () =
+  locked (fun () ->
+      store := [];
+      Hashtbl.reset index;
+      seed := None)
+
+let summary f =
+  let who =
+    match (f.f_prior, f.f_current) with
+    | Some p, Some c ->
+      Printf.sprintf " (%s by tid %d vs %s by tid %d)" p.a_op p.a_tid c.a_op
+        c.a_tid
+    | _ -> ""
+  in
+  let seed =
+    match f.f_seed with None -> "" | Some s -> Printf.sprintf " [seed %d]" s
+  in
+  Printf.sprintf "%-11s %s%s%s x%d%s"
+    (kind_name f.f_kind)
+    f.f_object who
+    (if f.f_note = "" then "" else ": " ^ f.f_note)
+    f.f_repeats seed
+
+let pp oc f =
+  output_string oc (summary f);
+  output_char oc '\n';
+  let stack label = function
+    | Some a when a.a_backtrace <> "" ->
+      Printf.fprintf oc "  %s (tid %d, %s):\n" label a.a_tid a.a_op;
+      String.split_on_char '\n' a.a_backtrace
+      |> List.iter (fun l -> if l <> "" then Printf.fprintf oc "    %s\n" l)
+    | _ -> ()
+  in
+  stack "prior access" f.f_prior;
+  stack "racing access" f.f_current
+
+let access_to_json a =
+  Obs.Json.Obj
+    [
+      ("tid", Obs.Json.Num (float_of_int a.a_tid));
+      ("op", Obs.Json.Str a.a_op);
+      ("backtrace", Obs.Json.Str a.a_backtrace);
+    ]
+
+let to_json () =
+  Obs.Json.List
+    (List.map
+       (fun f ->
+         Obs.Json.Obj
+           ([
+              ("kind", Obs.Json.Str (kind_name f.f_kind));
+              ("object", Obs.Json.Str f.f_object);
+              ("note", Obs.Json.Str f.f_note);
+              ("repeats", Obs.Json.Num (float_of_int f.f_repeats));
+            ]
+           @ (match f.f_seed with
+             | Some s -> [ ("seed", Obs.Json.Num (float_of_int s)) ]
+             | None -> [])
+           @ (match f.f_prior with
+             | Some a -> [ ("prior", access_to_json a) ]
+             | None -> [])
+           @
+           match f.f_current with
+           | Some a -> [ ("current", access_to_json a) ]
+           | None -> []))
+       (findings ()))

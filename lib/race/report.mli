@@ -1,0 +1,50 @@
+(** The race findings store.
+
+    Detector and scheduler verdicts are recorded here, deduplicated by
+    [(kind, object)] with a repeat count, stamped with the explorer seed
+    active at record time, and mirrored into the Obs metrics registry as
+    the [race.findings] counter. *)
+
+type kind =
+  | Write_write
+  | Write_read
+  | Read_write
+  | Deadlock
+  | Scheduler_error
+
+val kind_name : kind -> string
+
+type access = { a_tid : int; a_op : string; a_backtrace : string }
+
+type finding = {
+  f_kind : kind;
+  f_object : string;
+  f_note : string;
+  f_prior : access option;
+  f_current : access option;
+  f_seed : int option;
+  mutable f_repeats : int;
+}
+
+val access : tid:int -> op:string -> Printexc.raw_backtrace option -> access
+
+val record :
+  ?prior:access -> ?current:access -> object_:string -> note:string -> kind ->
+  unit
+
+val set_seed : int option -> unit
+(** Seed stamped onto subsequently recorded findings (explorer runs). *)
+
+val findings : unit -> finding list
+(** Oldest first. *)
+
+val count : unit -> int
+val reset : unit -> unit
+
+val summary : finding -> string
+(** One line, no stacks. *)
+
+val pp : out_channel -> finding -> unit
+(** Multi-line rendering including both captured stacks. *)
+
+val to_json : unit -> Obs.Json.t

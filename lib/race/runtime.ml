@@ -1,0 +1,64 @@
+(* Global switchboard for the race layer.
+
+   [on ()] is the one branch every shim pays when instrumentation is
+   off: a single mutable-bool load.  It defaults to the SATMAP_RACE
+   environment variable (same contract as SATMAP_SANITIZE) and can be
+   flipped programmatically by tests and the explorer.
+
+   The tid registry maps an OS execution context — (domain id, systhread
+   id) — to a small dense thread id.  Contexts spawned through the
+   {!Sync} shims are registered eagerly with a fresh tid; anything else
+   (the main thread, unmanaged helpers) gets one lazily on first
+   detector contact.  Tids are never recycled, so stale epochs in
+   long-lived cell metadata can never be misattributed to a new
+   thread. *)
+
+let enabled =
+  ref
+    (match Sys.getenv_opt "SATMAP_RACE" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | Some _ | None -> false)
+
+let on () = !enabled
+let enable () = enabled := true
+let disable () = enabled := false
+
+let lock = Mutex.create ()
+let next_tid = ref 0
+let tids : (int * int, int) Hashtbl.t = Hashtbl.create 64
+
+let self_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+let fresh_tid () =
+  Mutex.lock lock;
+  let t = !next_tid in
+  incr next_tid;
+  Mutex.unlock lock;
+  t
+
+let register_self tid =
+  let k = self_key () in
+  Mutex.lock lock;
+  Hashtbl.replace tids k tid;
+  Mutex.unlock lock
+
+let unregister_self () =
+  let k = self_key () in
+  Mutex.lock lock;
+  Hashtbl.remove tids k;
+  Mutex.unlock lock
+
+let current_tid () =
+  let k = self_key () in
+  Mutex.lock lock;
+  let t =
+    match Hashtbl.find_opt tids k with
+    | Some t -> t
+    | None ->
+      let t = !next_tid in
+      incr next_tid;
+      Hashtbl.replace tids k t;
+      t
+  in
+  Mutex.unlock lock;
+  t

@@ -1,0 +1,23 @@
+(** Global enable flag and thread-id registry for the race layer.
+
+    Instrumentation defaults to the [SATMAP_RACE] environment variable
+    ("1"/"true"/"yes"/"on") and can be toggled at runtime.  When off,
+    every shim operation reduces to the wrapped primitive behind a
+    single boolean load. *)
+
+val on : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val fresh_tid : unit -> int
+(** Allocate a tid without binding it (used by spawners for their
+    children).  Tids are dense, monotone, and never recycled. *)
+
+val register_self : int -> unit
+(** Bind the calling execution context (domain × systhread) to [tid]. *)
+
+val unregister_self : unit -> unit
+
+val current_tid : unit -> int
+(** The tid bound to the calling context, lazily allocating one for
+    contexts that were never registered. *)

@@ -1,0 +1,269 @@
+(* The controlled-schedule explorer's scheduler.
+
+   While a run is active, every registered ("managed") thread or domain
+   is serialized: exactly one holds the turn, and it hands the turn back
+   at each instrumented operation (a yield point).  The next holder is
+   chosen by the active policy — a seeded uniform random walk, or
+   PCT-style fixed priorities with d-1 seeded change points — so any
+   schedule can be replayed exactly from its seed.
+
+   Blocking primitives are *emulated* while a run is active (the shims
+   never sit in a real [Mutex.lock] or [Condition.wait] across a turn
+   handoff — that would wedge the whole serialized process).  The
+   scheduler only needs three facts: which tasks are runnable, what each
+   blocked task is waiting for, and who currently holds the turn.  When
+   nothing is runnable but not everything is done, the run has reached a
+   real deadlock: it is recorded as a finding and every task is released
+   with the {!Deadlock} exception.
+
+   All scheduler state lives under one raw mutex with a single broadcast
+   condition variable; tasks spin on "is it my turn" under that lock.
+   Turn handoffs therefore also act as memory barriers, which is what
+   makes the unprotected owner/waiter bookkeeping in the shims sound:
+   only the turn holder ever touches it. *)
+
+exception Deadlock of string
+
+type policy = Random_walk | Pct of int
+
+type blocked = On_mutex of int | On_cond of int | On_task of int
+
+type state = Runnable | Blocked of blocked | Done
+
+type task = { tid : int; mutable st : state; mutable prio : int }
+
+let lock = Mutex.create ()
+let cv = Condition.create ()
+let active_flag = ref false
+let failed : string option ref = ref None
+let tasks : task list ref = ref [] (* registration order *)
+let current = ref (-1)
+let rng = ref (Rng.create 1)
+let policy_ref = ref Random_walk
+let steps_count = ref 0
+let fp = ref 0
+let change_points : int list ref = ref []
+let demote = ref 0
+
+let find tid = List.find_opt (fun t -> t.tid = tid) !tasks
+
+let managed_self () =
+  if not !active_flag then None
+  else begin
+    let tid = Runtime.current_tid () in
+    Mutex.lock lock;
+    let r =
+      if !active_flag && List.exists (fun t -> t.tid = tid) !tasks then
+        Some tid
+      else None
+    in
+    Mutex.unlock lock;
+    r
+  end
+
+let is_active () = !active_flag
+
+let describe_blocked () =
+  String.concat ", "
+    (List.filter_map
+       (fun t ->
+         match t.st with
+         | Blocked (On_mutex m) ->
+           Some (Printf.sprintf "tid %d on mutex #%d" t.tid m)
+         | Blocked (On_cond c) ->
+           Some (Printf.sprintf "tid %d on condition #%d" t.tid c)
+         | Blocked (On_task o) ->
+           Some (Printf.sprintf "tid %d joining tid %d" t.tid o)
+         | Runnable | Done -> None)
+       !tasks)
+
+(* Hand the turn to the next task; call with [lock] held. *)
+let pick_locked () =
+  if !active_flag then begin
+    incr steps_count;
+    (match !policy_ref with
+    | Pct _ when List.mem !steps_count !change_points -> (
+      match find !current with
+      | Some t ->
+        decr demote;
+        t.prio <- !demote
+      | None -> ())
+    | Pct _ | Random_walk -> ());
+    match List.filter (fun t -> t.st = Runnable) !tasks with
+    | [] ->
+      if List.exists (fun t -> t.st <> Done) !tasks then begin
+        let msg = "all tasks blocked: " ^ describe_blocked () in
+        Report.record Report.Deadlock ~object_:"scheduler" ~note:msg;
+        failed := Some msg;
+        active_flag := false
+      end
+      else current := -1;
+      Condition.broadcast cv
+    | rs ->
+      let t =
+        match !policy_ref with
+        | Random_walk -> List.nth rs (Rng.int !rng (List.length rs))
+        | Pct _ ->
+          List.fold_left
+            (fun best t -> if t.prio > best.prio then t else best)
+            (List.hd rs) (List.tl rs)
+      in
+      current := t.tid;
+      (* Hash the task's registration index, not its tid: tids are
+         globally monotone across runs, indices replay. *)
+      let idx = ref 0 in
+      List.iteri (fun i u -> if u.tid = t.tid then idx := i) !tasks;
+      fp := ((!fp * 31) + !idx + 1) land 0x3FFFFFFF;
+      Condition.broadcast cv
+  end
+
+(* Wait until it is [me]'s turn; call with [lock] held, returns with
+   [lock] held.  Raises {!Deadlock} (releasing the lock) if the run was
+   poisoned while waiting. *)
+let wait_locked me =
+  while !active_flag && !current <> me.tid do
+    Condition.wait cv lock
+  done;
+  if not !active_flag then begin
+    let msg = Option.value ~default:"scheduler stopped" !failed in
+    Mutex.unlock lock;
+    raise (Deadlock msg)
+  end
+
+let start ?(steps_hint = 512) ~seed ~policy ~root_tid () =
+  Mutex.lock lock;
+  rng := Rng.create seed;
+  policy_ref := policy;
+  steps_count := 0;
+  fp := 0;
+  demote := 0;
+  failed := None;
+  change_points :=
+    (match policy with
+    | Pct d -> List.init (max 0 (d - 1)) (fun _ -> 1 + Rng.int !rng steps_hint)
+    | Random_walk -> []);
+  tasks := [ { tid = root_tid; st = Runnable; prio = 2_000_000 } ];
+  current := root_tid;
+  active_flag := true;
+  Mutex.unlock lock
+
+let finish () =
+  Mutex.lock lock;
+  active_flag := false;
+  let f = !failed in
+  failed := None;
+  tasks := [];
+  current := -1;
+  Condition.broadcast cv;
+  Mutex.unlock lock;
+  f
+
+let register ~tid =
+  Mutex.lock lock;
+  if !active_flag && find tid = None then
+    tasks :=
+      !tasks @ [ { tid; st = Runnable; prio = 1000 + Rng.int !rng 1_000_000 } ];
+  Mutex.unlock lock
+
+let wait_turn ~tid =
+  Mutex.lock lock;
+  (match find tid with
+  | None -> ()
+  | Some me -> wait_locked me);
+  Mutex.unlock lock
+
+let yield () =
+  match managed_self () with
+  | None -> ()
+  | Some tid -> (
+    Mutex.lock lock;
+    match find tid with
+    | None -> Mutex.unlock lock
+    | Some me ->
+      pick_locked ();
+      wait_locked me;
+      Mutex.unlock lock)
+
+let block reason =
+  match managed_self () with
+  | None -> ()
+  | Some tid -> (
+    Mutex.lock lock;
+    match find tid with
+    | None -> Mutex.unlock lock
+    | Some me ->
+      me.st <- Blocked reason;
+      pick_locked ();
+      wait_locked me;
+      Mutex.unlock lock)
+
+let unblock_mutex id =
+  Mutex.lock lock;
+  List.iter
+    (fun t ->
+      match t.st with
+      | Blocked (On_mutex m) when m = id -> t.st <- Runnable
+      | _ -> ())
+    !tasks;
+  Mutex.unlock lock
+
+let wake_cond ~all id =
+  Mutex.lock lock;
+  let waiters =
+    List.filter
+      (fun t -> match t.st with Blocked (On_cond c) -> c = id | _ -> false)
+      !tasks
+  in
+  (match waiters with
+  | [] -> ()
+  | ws ->
+    if all then List.iter (fun t -> t.st <- Runnable) ws
+    else (List.nth ws (Rng.int !rng (List.length ws))).st <- Runnable);
+  Mutex.unlock lock
+
+let await_task target =
+  match managed_self () with
+  | None -> ()
+  | Some tid -> (
+    Mutex.lock lock;
+    match find tid with
+    | None -> Mutex.unlock lock
+    | Some me ->
+      let rec go () =
+        match find target with
+        | Some t when t.st <> Done ->
+          me.st <- Blocked (On_task target);
+          pick_locked ();
+          wait_locked me;
+          go ()
+        | Some _ | None -> ()
+      in
+      go ();
+      Mutex.unlock lock)
+
+let task_done ~tid =
+  Mutex.lock lock;
+  (match find tid with
+  | None -> ()
+  | Some me ->
+    me.st <- Done;
+    List.iter
+      (fun t ->
+        match t.st with
+        | Blocked (On_task o) when o = tid -> t.st <- Runnable
+        | _ -> ())
+      !tasks;
+    if !active_flag && !current = tid then pick_locked ());
+  Mutex.unlock lock
+
+let steps () =
+  Mutex.lock lock;
+  let s = !steps_count in
+  Mutex.unlock lock;
+  s
+
+let fingerprint () =
+  Mutex.lock lock;
+  let f = !fp in
+  Mutex.unlock lock;
+  f

@@ -1,0 +1,49 @@
+(** Cooperative scheduler serializing instrumented threads/domains under
+    seeded random-walk or PCT-style priority schedules.  Driven by the
+    {!Sync} and {!Cell} shims; started and stopped by {!Explore}. *)
+
+exception Deadlock of string
+(** Raised in every managed task when the run deadlocks (all tasks
+    blocked) or is otherwise poisoned. *)
+
+type policy = Random_walk | Pct of int
+(** [Pct d]: fixed random priorities with [d - 1] seeded priority
+    change points (Burckhardt et al.'s probabilistic concurrency
+    testing). *)
+
+type blocked = On_mutex of int | On_cond of int | On_task of int
+
+val start :
+  ?steps_hint:int -> seed:int -> policy:policy -> root_tid:int -> unit -> unit
+(** Begin a run with the calling task as the turn holder. *)
+
+val finish : unit -> string option
+(** End the run, releasing every waiter; returns the failure message if
+    the run deadlocked. *)
+
+val is_active : unit -> bool
+
+val managed_self : unit -> int option
+(** The calling context's tid if a run is active and it is managed. *)
+
+val register : tid:int -> unit
+(** Add a task (spawner side); it starts runnable but must
+    {!wait_turn} before running. *)
+
+val wait_turn : tid:int -> unit
+val yield : unit -> unit
+val block : blocked -> unit
+(** Mark self blocked, hand the turn off, return when granted again
+    (after some event made self runnable). *)
+
+val unblock_mutex : int -> unit
+val wake_cond : all:bool -> int -> unit
+val await_task : int -> unit
+(** Block until the target task is done (join). *)
+
+val task_done : tid:int -> unit
+val steps : unit -> int
+
+val fingerprint : unit -> int
+(** Order-sensitive hash of every scheduling decision taken so far —
+    equal seeds must yield equal fingerprints. *)

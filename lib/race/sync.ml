@@ -1,0 +1,263 @@
+(* Drop-in instrumented wrappers for the stdlib sync primitives.
+
+   Three modes per operation:
+
+   - disabled (the default): one boolean load, then the raw primitive —
+     the PR 3/PR 4 zero-overhead-when-off pattern;
+   - passive ([SATMAP_RACE=1] without an explorer run): the raw
+     primitive plus a happens-before edge reported to {!Detect};
+   - managed (inside {!Explore.run}): blocking primitives are emulated
+     on top of the scheduler so the serialized process can never wedge
+     in a real lock, and every operation is a yield point.
+
+   The emulated owner/waiter bookkeeping ([owner] fields) is written
+   without atomics — sound under the explorer because only the turn
+   holder runs, and every turn handoff goes through the scheduler's
+   mutex.  A structure driven by managed tasks must not be shared with
+   un-managed threads during a run (DESIGN.md §15). *)
+
+module RMutex = Stdlib.Mutex
+module RCondition = Stdlib.Condition
+module RAtomic = Stdlib.Atomic
+module RDomain = Stdlib.Domain
+module RThread = Thread
+
+let passive_or_managed () =
+  if not (Runtime.on ()) then `Off
+  else
+    match Sched.managed_self () with
+    | Some tid -> `Managed tid
+    | None -> `Passive (Runtime.current_tid ())
+
+module Mutex = struct
+  type t = {
+    m : RMutex.t;
+    sync : int;
+    name : string;
+    mutable owner : int; (* tid, -1 = free; explorer emulation state *)
+  }
+
+  let create ?(name = "mutex") () =
+    { m = RMutex.create (); sync = Detect.fresh_sync (); name; owner = -1 }
+
+  let lock t =
+    match passive_or_managed () with
+    | `Off -> RMutex.lock t.m
+    | `Passive tid ->
+      RMutex.lock t.m;
+      t.owner <- tid;
+      Detect.acquire ~tid ~sync:t.sync
+    | `Managed tid ->
+      Sched.yield ();
+      let rec go () =
+        if t.owner < 0 then t.owner <- tid
+        else begin
+          Sched.block (Sched.On_mutex t.sync);
+          go ()
+        end
+      in
+      go ();
+      Detect.acquire ~tid ~sync:t.sync
+
+  let unlock t =
+    match passive_or_managed () with
+    | `Off -> RMutex.unlock t.m
+    | `Passive tid ->
+      Detect.release ~tid ~sync:t.sync;
+      t.owner <- -1;
+      RMutex.unlock t.m
+    | `Managed tid ->
+      Detect.release ~tid ~sync:t.sync;
+      t.owner <- -1;
+      Sched.unblock_mutex t.sync
+
+  let protect t f =
+    lock t;
+    Fun.protect ~finally:(fun () -> unlock t) f
+
+  let name t = t.name
+end
+
+module Condition = struct
+  type t = { c : RCondition.t; sync : int; name : string }
+
+  let create ?(name = "condition") () =
+    { c = RCondition.create (); sync = Detect.fresh_sync (); name }
+
+  let name t = t.name
+
+  let wait t (mu : Mutex.t) =
+    match passive_or_managed () with
+    | `Off -> RCondition.wait t.c mu.Mutex.m
+    | `Passive tid ->
+      Detect.release ~tid ~sync:mu.Mutex.sync;
+      mu.Mutex.owner <- -1;
+      RCondition.wait t.c mu.Mutex.m;
+      mu.Mutex.owner <- tid;
+      Detect.acquire ~tid ~sync:t.sync;
+      Detect.acquire ~tid ~sync:mu.Mutex.sync
+    | `Managed tid ->
+      (* Emulated: release the mutex, sleep on the condition until a
+         seeded signal/broadcast wakes us, then recontend for the
+         mutex.  Lost wakeups behave exactly as in the real primitive —
+         a signal with no waiter is a no-op. *)
+      Detect.release ~tid ~sync:mu.Mutex.sync;
+      mu.Mutex.owner <- -1;
+      Sched.unblock_mutex mu.Mutex.sync;
+      Sched.block (Sched.On_cond t.sync);
+      Detect.acquire ~tid ~sync:t.sync;
+      let rec relock () =
+        if mu.Mutex.owner < 0 then mu.Mutex.owner <- tid
+        else begin
+          Sched.block (Sched.On_mutex mu.Mutex.sync);
+          relock ()
+        end
+      in
+      relock ();
+      Detect.acquire ~tid ~sync:mu.Mutex.sync
+
+  let signal t =
+    match passive_or_managed () with
+    | `Off -> RCondition.signal t.c
+    | `Passive tid ->
+      Detect.release ~tid ~sync:t.sync;
+      RCondition.signal t.c
+    | `Managed tid ->
+      Detect.release ~tid ~sync:t.sync;
+      Sched.wake_cond ~all:false t.sync
+
+  let broadcast t =
+    match passive_or_managed () with
+    | `Off -> RCondition.broadcast t.c
+    | `Passive tid ->
+      Detect.release ~tid ~sync:t.sync;
+      RCondition.broadcast t.c
+    | `Managed tid ->
+      Detect.release ~tid ~sync:t.sync;
+      Sched.wake_cond ~all:true t.sync
+end
+
+module Atomic = struct
+  type 'a t = { a : 'a RAtomic.t; sync : int }
+
+  let make v = { a = RAtomic.make v; sync = Detect.fresh_sync () }
+
+  let before_read t =
+    match passive_or_managed () with
+    | `Off -> ()
+    | `Passive tid -> Detect.acquire ~tid ~sync:t.sync
+    | `Managed tid ->
+      Sched.yield ();
+      Detect.acquire ~tid ~sync:t.sync
+
+  let before_write t =
+    match passive_or_managed () with
+    | `Off -> ()
+    | `Passive tid -> Detect.release ~tid ~sync:t.sync
+    | `Managed tid ->
+      Sched.yield ();
+      Detect.release ~tid ~sync:t.sync
+
+  let before_rmw t =
+    match passive_or_managed () with
+    | `Off -> ()
+    | `Passive tid -> Detect.acquire_release ~tid ~sync:t.sync
+    | `Managed tid ->
+      Sched.yield ();
+      Detect.acquire_release ~tid ~sync:t.sync
+
+  let get t =
+    before_read t;
+    RAtomic.get t.a
+
+  let set t v =
+    before_write t;
+    RAtomic.set t.a v
+
+  let exchange t v =
+    before_rmw t;
+    RAtomic.exchange t.a v
+
+  let compare_and_set t old nw =
+    before_rmw t;
+    RAtomic.compare_and_set t.a old nw
+
+  let fetch_and_add t n =
+    before_rmw t;
+    RAtomic.fetch_and_add t.a n
+
+  let incr t = ignore (fetch_and_add t 1)
+end
+
+(* Spawn/join shims.  The child is registered with the scheduler by the
+   *parent* (which holds the turn), so the child cannot run before the
+   scheduler knows about it; the child then waits for its first turn
+   before executing user code. *)
+
+let spawn_wrap ~managed ~child f =
+  Runtime.register_self child;
+  Fun.protect
+    ~finally:(fun () ->
+      (if managed then try Sched.task_done ~tid:child with Sched.Deadlock _ -> ());
+      Runtime.unregister_self ())
+    (fun () ->
+      if managed then Sched.wait_turn ~tid:child;
+      f ())
+
+let spawn_prologue () =
+  let parent = Runtime.current_tid () in
+  let child = Runtime.fresh_tid () in
+  Detect.fork ~parent ~child;
+  let managed = Sched.managed_self () <> None in
+  if managed then Sched.register ~tid:child;
+  (child, managed)
+
+let join_epilogue child =
+  match Sched.managed_self () with
+  | Some _ ->
+    Sched.await_task child
+  | None -> ()
+
+let join_edge child =
+  Detect.join_edge ~tid:(Runtime.current_tid ()) ~other:child
+
+module Domain = struct
+  type 'a t = { h : 'a RDomain.t; child : int option }
+
+  let spawn f =
+    if not (Runtime.on ()) then { h = RDomain.spawn f; child = None }
+    else begin
+      let child, managed = spawn_prologue () in
+      { h = RDomain.spawn (fun () -> spawn_wrap ~managed ~child f);
+        child = Some child }
+    end
+
+  let join t =
+    match t.child with
+    | None -> RDomain.join t.h
+    | Some child ->
+      if Runtime.on () then join_epilogue child;
+      let r = RDomain.join t.h in
+      if Runtime.on () then join_edge child;
+      r
+end
+
+module Thread_ = struct
+  type t = { h : RThread.t; child : int option }
+
+  let create f x =
+    if not (Runtime.on ()) then { h = RThread.create f x; child = None }
+    else begin
+      let child, managed = spawn_prologue () in
+      { h = RThread.create (fun () -> spawn_wrap ~managed ~child (fun () -> f x)) ();
+        child = Some child }
+    end
+
+  let join t =
+    match t.child with
+    | None -> RThread.join t.h
+    | Some child ->
+      if Runtime.on () then join_epilogue child;
+      RThread.join t.h;
+      if Runtime.on () then join_edge child
+end

@@ -1,0 +1,59 @@
+(** Instrumented drop-in wrappers for [Mutex], [Condition], [Atomic],
+    [Domain] and [Thread].
+
+    With [SATMAP_RACE] unset every operation is a single boolean load
+    plus the raw stdlib primitive.  When {!Runtime.on} is true, each
+    operation additionally reports a happens-before edge to {!Detect};
+    inside an {!Explore.run} the blocking primitives are emulated on top
+    of the cooperative {!Sched} so managed tasks can be serialized
+    without wedging in a real lock.
+
+    Restriction: a structure whose lock/condition traffic comes from
+    managed tasks must not simultaneously be driven by un-managed
+    threads during an explorer run (see DESIGN.md §15). *)
+
+module Mutex : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val name : t -> string
+  val lock : t -> unit
+  val unlock : t -> unit
+  val protect : t -> (unit -> 'a) -> 'a
+end
+
+module Condition : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val name : t -> string
+  val wait : t -> Mutex.t -> unit
+  val signal : t -> unit
+  val broadcast : t -> unit
+end
+
+module Atomic : sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+  val incr : int t -> unit
+end
+
+module Domain : sig
+  type 'a t
+
+  val spawn : (unit -> 'a) -> 'a t
+  val join : 'a t -> 'a
+end
+
+module Thread_ : sig
+  type t
+
+  val create : ('a -> unit) -> 'a -> t
+  val join : t -> unit
+end

@@ -1,0 +1,43 @@
+(* Vector clocks for the happens-before detector.  Indexed by thread id
+   (tid); arrays grow on demand so the clock of a tid never touched is
+   implicitly 0.  Not thread-safe on their own — every clock is owned by
+   the detector and mutated only under its lock. *)
+
+type t = { mutable a : int array }
+
+let create () = { a = Array.make 8 0 }
+
+let ensure t i =
+  let n = Array.length t.a in
+  if i >= n then begin
+    let b = Array.make (max (i + 1) (2 * n)) 0 in
+    Array.blit t.a 0 b 0 n;
+    t.a <- b
+  end
+
+let get t i = if i >= 0 && i < Array.length t.a then t.a.(i) else 0
+
+let set t i v =
+  ensure t i;
+  t.a.(i) <- v
+
+let tick t i = set t i (get t i + 1)
+
+(* dst := dst ⊔ src, pointwise max. *)
+let join dst src =
+  let n = Array.length src.a in
+  if n > 0 then begin
+    ensure dst (n - 1);
+    for i = 0 to n - 1 do
+      if src.a.(i) > dst.a.(i) then dst.a.(i) <- src.a.(i)
+    done
+  end
+
+let covers t ~tid ~clk = get t tid >= clk
+
+let copy t = { a = Array.copy t.a }
+
+let to_list t =
+  let acc = ref [] in
+  Array.iteri (fun i v -> if v > 0 then acc := (i, v) :: !acc) t.a;
+  List.rev !acc

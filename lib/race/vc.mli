@@ -1,0 +1,19 @@
+(** Growable vector clocks for the happens-before detector.  Mutation is
+    only safe under the detector's lock. *)
+
+type t
+
+val create : unit -> t
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val tick : t -> int -> unit
+
+val join : t -> t -> unit
+(** [join dst src] sets [dst] to the pointwise maximum of both. *)
+
+val covers : t -> tid:int -> clk:int -> bool
+(** Whether the event [(tid, clk)] happens-before this clock's owner. *)
+
+val copy : t -> t
+val to_list : t -> (int * int) list
+(** Non-zero components, ascending tid. *)

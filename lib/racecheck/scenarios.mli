@@ -1,0 +1,44 @@
+(** Concurrency scenarios driving the production structures under the
+    controlled-schedule explorer, plus the mutant-corpus acceptance
+    runner ([satmap race] and the race smoke test are thin wrappers
+    around {!run_corpus}). *)
+
+type t = { s_name : string; s_run : unit -> unit }
+
+val all : t list
+val find : string -> t option
+
+val scenario_for_mutant : string -> string
+(** Raises [Invalid_argument] on an unknown mutant name. *)
+
+val default_seeds : int list
+
+type mutant_outcome = {
+  mo_name : string;
+  mo_scenario : string;
+  mo_caught : bool;
+  mo_seeds : int list;  (** seeds whose runs produced findings *)
+  mo_kinds : string list;  (** deduplicated finding kinds observed *)
+}
+
+type corpus_result = {
+  clean_findings : int;  (** must be 0 *)
+  mutants : mutant_outcome list;  (** all [mo_caught] must be true *)
+}
+
+val run_scenario_sweep :
+  ?policy:Race.Explore.policy ->
+  ?steps_hint:int ->
+  seeds:int list ->
+  t ->
+  unit
+
+val run_corpus :
+  ?policy:Race.Explore.policy ->
+  ?steps_hint:int ->
+  ?seeds:int list ->
+  unit ->
+  corpus_result
+(** Sweeps every clean scenario (their findings accumulate in
+    [clean_findings]), then every mutant over its scenario; leaves the
+    findings store cleared. *)

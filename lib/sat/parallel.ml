@@ -16,6 +16,10 @@
 
 let m_shared = Obs.Metrics.counter "sat.shared_clauses"
 
+module RA = Race.Sync.Atomic
+module RD = Race.Sync.Domain
+module RC = Race.Cell
+
 (* Last decisive member index — a gauge, so the bench can report which
    diversification profile won the most recent portfolio race. *)
 let g_winner = Obs.Metrics.gauge "sat.portfolio_winner"
@@ -24,7 +28,7 @@ type t = {
   members : Solver.t array;
   ring : Shared.t option;
   cursors : int array;  (* per-member ring drain position *)
-  cancel : bool Atomic.t;
+  cancel : bool RA.t;
   wins : int array;
   mutable winner : int;
   mutable pending : Lit.t list list;
@@ -64,7 +68,7 @@ let create ?(jobs = 1) ?(glue_limit = 4) ?ring_size () =
       members;
       ring = (if jobs > 1 then Some (Shared.create ?size:ring_size ()) else None);
       cursors = Array.make jobs 0;
-      cancel = Atomic.make false;
+      cancel = RA.make false;
       wins = Array.make jobs 0;
       winner = 0;
       pending = [];
@@ -133,10 +137,10 @@ let flush_pending t =
       Array.init
         (Array.length t.members - 1)
         (fun k ->
-          Domain.spawn (fun () ->
+          RD.spawn (fun () ->
               List.iter (Solver.add_clause t.members.(k + 1)) clauses))
     in
-    Array.iter Domain.join domains
+    Array.iter RD.join domains
 
 let set_polarity t v b =
   Array.iter (fun m -> Solver.set_polarity m v b) t.members
@@ -163,20 +167,26 @@ let member_span i f =
 
 (* Run [work i] on every member — member 0 on the calling domain, the
    rest on fresh domains — then join and re-raise the first member
-   exception (after all domains are collected, so none leak). *)
-let fan_out t work =
+   exception (after all domains are collected, so none leak).
+   [on_spawned] runs on the caller right after the worker domains exist
+   and before any join — it only ever does something when a race mutant
+   wants to peek at member state from the caller. *)
+let fan_out ?(on_spawned = fun () -> ()) t work =
   let n = Array.length t.members in
-  let errors = Array.make n None in
+  let errors = Array.init n (fun _ -> RC.make ~name:"parallel.errors" None) in
   let guarded i () =
     try work i with e -> (
-      errors.(i) <- Some e;
-      Atomic.set t.cancel true)
+      RC.set errors.(i) (Some e);
+      RA.set t.cancel true)
   in
-  let domains = Array.init (n - 1) (fun k -> Domain.spawn (guarded (k + 1))) in
+  let domains = Array.init (n - 1) (fun k -> RD.spawn (guarded (k + 1))) in
+  on_spawned ();
   guarded 0 ();
-  Array.iter Domain.join domains;
-  Atomic.set t.cancel false;
-  Array.iter (function Some e -> raise e | None -> ()) errors
+  Array.iter RD.join domains;
+  RA.set t.cancel false;
+  Array.iter
+    (fun c -> match RC.get c with Some e -> raise e | None -> ())
+    errors
 
 let solve_with_core ?(assumptions = []) ?deadline t =
   let n = Array.length t.members in
@@ -192,21 +202,30 @@ let solve_with_core ?(assumptions = []) ?deadline t =
   end
   else begin
     flush_pending t;
-    Atomic.set t.cancel false;
-    let results = Array.make n (Solver.Unknown, []) in
-    let decisive = Atomic.make (-1) in
-    fan_out t (fun i ->
+    RA.set t.cancel false;
+    let results =
+      Array.init n (fun _ -> RC.make ~name:"parallel.results" (Solver.Unknown, []))
+    in
+    let decisive = RA.make (-1) in
+    (* Mutant [parallel-read-before-join]: the caller peeks at every
+       member's result slot while the worker domains are still running —
+       exactly the cross-domain solver-state read the audit fixed. *)
+    let on_spawned () =
+      if Race.Mutations.on "parallel-read-before-join" then
+        Array.iter (fun c -> ignore (RC.get c)) results
+    in
+    fan_out ~on_spawned t (fun i ->
         let ((r, _) as res) =
           member_span i (fun () ->
               Solver.solve_with_core ~assumptions ?deadline t.members.(i))
         in
-        results.(i) <- res;
+        RC.set results.(i) res;
         match r with
         | Solver.Sat | Solver.Unsat ->
-          if Atomic.compare_and_set decisive (-1) i then
-            Atomic.set t.cancel true
+          if RA.compare_and_set decisive (-1) i then
+            RA.set t.cancel true
         | Solver.Unknown -> ());
-    match Atomic.get decisive with
+    match RA.get decisive with
     | -1 ->
       t.winner <- 0;
       (Solver.Unknown, [])
@@ -214,7 +233,7 @@ let solve_with_core ?(assumptions = []) ?deadline t =
       t.winner <- w;
       t.wins.(w) <- t.wins.(w) + 1;
       Obs.Metrics.set g_winner (float_of_int w);
-      results.(w)
+      RC.get results.(w)
   end
 
 let solve ?assumptions ?deadline t =
@@ -234,18 +253,18 @@ let solve_cubes ?(assumptions = []) ?deadline t ~cubes =
     let cubes = Array.of_list cubes in
     let n_cubes = Array.length cubes in
     flush_pending t;
-    Atomic.set t.cancel false;
-    let next = Atomic.make 0 in
-    let sat_winner = Atomic.make (-1) in
-    let unknown = Atomic.make false in
-    let cores = Array.make n [] in
+    RA.set t.cancel false;
+    let next = RA.make 0 in
+    let sat_winner = RA.make (-1) in
+    let unknown = RA.make false in
+    let cores = Array.init n (fun _ -> RC.make ~name:"parallel.cores" []) in
     fan_out t (fun i ->
         let m = t.members.(i) in
         let continue = ref true in
         while !continue do
-          if Atomic.get t.cancel then continue := false
+          if RA.get t.cancel then continue := false
           else begin
-            let j = Atomic.fetch_and_add next 1 in
+            let j = RA.fetch_and_add next 1 in
             if j >= n_cubes then continue := false
             else
               let r =
@@ -256,8 +275,8 @@ let solve_cubes ?(assumptions = []) ?deadline t ~cubes =
               in
               match r with
               | Solver.Sat, _ ->
-                if Atomic.compare_and_set sat_winner (-1) i then
-                  Atomic.set t.cancel true;
+                if RA.compare_and_set sat_winner (-1) i then
+                  RA.set t.cancel true;
                 continue := false
               | Solver.Unsat, core ->
                 (* Cube literals are split over exhaustively, so only the
@@ -265,27 +284,28 @@ let solve_cubes ?(assumptions = []) ?deadline t ~cubes =
                 let keep =
                   List.filter (fun l -> List.mem l assumptions) core
                 in
-                cores.(i) <- keep @ cores.(i)
+                RC.set cores.(i) (keep @ RC.get cores.(i))
               | Solver.Unknown, _ ->
-                Atomic.set unknown true;
+                RA.set unknown true;
                 continue := false
           end
         done);
-    (match Atomic.get sat_winner with
+    (match RA.get sat_winner with
     | w when w >= 0 ->
       t.winner <- w;
       t.wins.(w) <- t.wins.(w) + 1;
       Obs.Metrics.set g_winner (float_of_int w);
       (Solver.Sat, [])
     | _ ->
-      if Atomic.get unknown then begin
+      if RA.get unknown then begin
         t.winner <- 0;
         (Solver.Unknown, [])
       end
       else begin
         t.winner <- 0;
         let core =
-          List.sort_uniq Lit.compare (List.concat (Array.to_list cores))
+          List.sort_uniq Lit.compare
+            (List.concat (Array.to_list (Array.map RC.get cores)))
         in
         (Solver.Unsat, core)
       end)

@@ -1,23 +1,36 @@
 (* A lock-free bounded clause-exchange ring for the parallel portfolio
    (the syrup idea: one shared buffer, every member both publishes and
    drains).  Publishers reserve a slot with fetch-and-add on [head] and
-   store an immutable entry through an [Atomic.t]; under OCaml 5's
-   memory model that publication is safe — a reader either sees [None],
-   a fully-built entry, or a newer entry for the same slot.
+   store an immutable entry through an atomic; under OCaml 5's memory
+   model that publication is safe — a reader either sees [None], a
+   fully-built entry, or a newer entry for the same slot.
 
    The ring is lossy by design: when publishers outrun a reader by more
    than [size] entries the overwritten clauses are simply gone (the
    [seq] stamp detects the overwrite, so a stale or recycled slot is
    never mis-attributed).  Losing shared clauses costs only heuristic
-   strength, never soundness. *)
+   strength, never soundness.
+
+   Atomics go through [Race.Sync.Atomic] so the happens-before detector
+   sees the publish/drain edges under [SATMAP_RACE=1]; with the flag
+   unset each op is one extra boolean load.  The [shared-plain-*]
+   mutants route a shadow access around the atomics to seed detectable
+   races (the real ring keeps working while they are active). *)
+
+module RS = Race.Sync.Atomic
 
 type entry = { seq : int; lits : Lit.t array; lbd : int; src : int }
 
 type t = {
-  slots : entry option Atomic.t array;
+  slots : entry option RS.t array;
   mask : int;
-  head : int Atomic.t;  (* next sequence number to be written *)
-  n_published : int Atomic.t;
+  head : int RS.t;  (* next sequence number to be written *)
+  n_published : int RS.t;
+  (* Shadow locations only touched while a [shared-plain-*] mutant is
+     active (i.e. under the explorer); lazily created so the clean path
+     never pays for them. *)
+  mutable head_shadow : int Race.Cell.t option;
+  mutable slot_shadow : entry option Race.Cell.t option;
 }
 
 let next_pow2 n =
@@ -28,33 +41,63 @@ let create ?(size = 4096) () =
   if size < 1 then invalid_arg "Shared.create: size must be >= 1";
   let size = next_pow2 size in
   {
-    slots = Array.init size (fun _ -> Atomic.make None);
+    slots = Array.init size (fun _ -> RS.make None);
     mask = size - 1;
-    head = Atomic.make 0;
-    n_published = Atomic.make 0;
+    head = RS.make 0;
+    n_published = RS.make 0;
+    head_shadow = None;
+    slot_shadow = None;
   }
 
 let size t = t.mask + 1
 
+let head_shadow t =
+  match t.head_shadow with
+  | Some c -> c
+  | None ->
+    let c = Race.Cell.make ~name:"shared.head" 0 in
+    t.head_shadow <- Some c;
+    c
+
+let slot_shadow t =
+  match t.slot_shadow with
+  | Some c -> c
+  | None ->
+    let c = Race.Cell.make ~name:"shared.slot" None in
+    t.slot_shadow <- Some c;
+    c
+
 let publish t ~src ~lbd lits =
   (* The caller hands over ownership of [lits] (Parallel copies the
      solver's live array before calling). *)
-  let seq = Atomic.fetch_and_add t.head 1 in
-  Atomic.set t.slots.(seq land t.mask) (Some { seq; lits; lbd; src });
-  ignore (Atomic.fetch_and_add t.n_published 1)
+  let seq = RS.fetch_and_add t.head 1 in
+  let e = { seq; lits; lbd; src } in
+  RS.set t.slots.(seq land t.mask) (Some e);
+  RS.incr t.n_published;
+  (* Mutant hooks come after the last release above, so the shadow
+     accesses of two publishers are never ordered by the ring's own
+     atomics — the detector flags them on every schedule. *)
+  if Race.Mutations.on "shared-plain-head" then begin
+    let c = head_shadow t in
+    Race.Cell.set c (Race.Cell.get c + 1)
+  end;
+  if Race.Mutations.on "shared-plain-slot" then
+    Race.Cell.set (slot_shadow t) (Some e)
 
-let published t = Atomic.get t.n_published
+let published t = RS.get t.n_published
 
 (* Collect every entry with sequence number in [cursor, head) that is
    still resident and was not published by [src]; returns the clauses
    oldest-first together with the new cursor.  Entries published while
    we scan are picked up by the next drain. *)
 let drain t ~src ~cursor =
-  let head = Atomic.get t.head in
+  if Race.Mutations.on "shared-plain-slot" then
+    ignore (Race.Cell.get (slot_shadow t));
+  let head = RS.get t.head in
   let start = max cursor (head - size t) in
   let acc = ref [] in
   for i = start to head - 1 do
-    match Atomic.get t.slots.(i land t.mask) with
+    match RS.get t.slots.(i land t.mask) with
     | Some e when e.seq = i && e.src <> src -> acc := (e.lits, e.lbd) :: !acc
     | Some _ | None -> ()
   done;

@@ -200,7 +200,7 @@ type t = {
   (* Cooperative cancellation for the parallel portfolio: polled at the
      same cadence as the deadline, so a winning sibling stops this solver
      within one check interval. *)
-  mutable cancel : bool Atomic.t option;
+  mutable cancel : bool Race.Sync.Atomic.t option;
   (* Clause-exchange hooks (parallel portfolio).  [on_learnt] fires for
      every learnt clause (the array is the live clause — callbacks must
      copy); [import_fn] is drained at solve start and at every restart,
@@ -431,7 +431,7 @@ let propagate t =
       if t.deadline > 0.0 && Unix.gettimeofday () > t.deadline then
         t.stop <- true;
       (match t.cancel with
-      | Some c when Atomic.get c -> t.stop <- true
+      | Some c when Race.Sync.Atomic.get c -> t.stop <- true
       | Some _ | None -> ())
     end;
     let false_lit = Lit.neg p in
@@ -981,7 +981,7 @@ let do_imports t =
       List.iter (fun cl -> if t.ok then import_clause t cl) (drain ())
 
 let cancelled t =
-  match t.cancel with Some c -> Atomic.get c | None -> false
+  match t.cancel with Some c -> Race.Sync.Atomic.get c | None -> false
 
 (* Luby restart sequence. *)
 let luby y i =

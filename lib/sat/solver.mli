@@ -145,7 +145,7 @@ val set_import : t -> (unit -> (Lit.t array * int) list) option -> unit
     are silently disabled while a proof sink is installed, because an
     imported clause is not RUP-derivable within this solver's own trace. *)
 
-val set_cancel : t -> bool Atomic.t option -> unit
+val set_cancel : t -> bool Race.Sync.Atomic.t option -> unit
 (** Install (or remove) a cooperative cancellation flag, polled at the
     same cadence as the deadline; when it reads [true] the search gives
     up and returns [Unknown]. *)

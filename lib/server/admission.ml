@@ -12,8 +12,8 @@
 
 type t = {
   alpha : float;
-  lock : Mutex.t;
-  mutable ewma : float;  (* seconds; 0 until the first observation *)
+  lock : Race.Sync.Mutex.t;
+  ewma : float Race.Cell.t;  (* seconds; 0 until the first observation *)
   m_admitted : Obs.Metrics.counter;
   m_expired : Obs.Metrics.counter;
   m_predicted_late : Obs.Metrics.counter;
@@ -23,8 +23,8 @@ type t = {
 let create ?(alpha = 0.2) () =
   {
     alpha;
-    lock = Mutex.create ();
-    ewma = 0.;
+    lock = Race.Sync.Mutex.create ~name:"admission.lock" ();
+    ewma = Race.Cell.make ~name:"admission.ewma" 0.;
     m_admitted = Obs.Metrics.counter "server.admission.admitted";
     m_expired = Obs.Metrics.counter "server.admission.rejected_expired";
     m_predicted_late =
@@ -32,15 +32,26 @@ let create ?(alpha = 0.2) () =
     m_queue_full = Obs.Metrics.counter "server.admission.rejected_queue_full";
   }
 
+let update t dt =
+  let e = Race.Cell.get t.ewma in
+  Race.Cell.set t.ewma
+    (if e = 0. then dt else (t.alpha *. dt) +. ((1. -. t.alpha) *. e))
+
 let observe t dt =
-  Mutex.lock t.lock;
-  t.ewma <- (if t.ewma = 0. then dt else (t.alpha *. dt) +. ((1. -. t.alpha) *. t.ewma));
-  Mutex.unlock t.lock
+  (* Mutant [admission-unlocked-ewma]: the read-modify-write runs with
+     the admission lock released — concurrent observers race and one
+     sample is silently dropped. *)
+  if Race.Mutations.on "admission-unlocked-ewma" then update t dt
+  else begin
+    Race.Sync.Mutex.lock t.lock;
+    update t dt;
+    Race.Sync.Mutex.unlock t.lock
+  end
 
 let estimate t =
-  Mutex.lock t.lock;
-  let e = t.ewma in
-  Mutex.unlock t.lock;
+  Race.Sync.Mutex.lock t.lock;
+  let e = Race.Cell.get t.ewma in
+  Race.Sync.Mutex.unlock t.lock;
   e
 
 let note_queue_full t = Obs.Metrics.incr t.m_queue_full

@@ -12,7 +12,20 @@
 
    Every reply is translated from canonical qubit space per caller
    ([Engine.finalize]), which is what makes coalescing sound: the
-   stored payload is caller-agnostic (DESIGN.md §14). *)
+   stored payload is caller-agnostic (DESIGN.md §14).
+
+   Shared lifecycle state goes through [Race.Sync] / [Race.Cell]: the
+   acceptor used to read a plain [mutable stopping] flag that [stop]
+   wrote from another thread with no synchronisation — it is now an
+   atomic, and [stop] claims shutdown with a single [exchange] so two
+   concurrent stops cannot both run the teardown sequence.  The socket
+   threads themselves only get passive (happens-before) coverage: they
+   block in real I/O, so they are never run under the controlled
+   explorer (DESIGN.md §15). *)
+
+module RA = Race.Sync.Atomic
+module RM = Race.Sync.Mutex
+module RC = Race.Cell
 
 type address = Unix_path of string | Tcp of string * int
 
@@ -35,10 +48,10 @@ type t = {
   shard : (Shard.t * int) option;
   admission : Admission.t option;
   flights : flight_result Single_flight.t;
-  lock : Mutex.t;
-  mutable conns : (Unix.file_descr * Thread.t) list;
-  mutable stopping : bool;
-  mutable acceptor : Thread.t option;
+  lock : RM.t;
+  conns : (Unix.file_descr * Race.Sync.Thread_.t) list RC.t;
+  stopping : bool RA.t;
+  mutable acceptor : Race.Sync.Thread_.t option;
 }
 
 let m_connections = Obs.Metrics.counter "server.connections"
@@ -216,20 +229,20 @@ let handle_connection t fd =
   Obs.Metrics.incr m_connections;
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
-  let out_lock = Mutex.create () in
+  let out_lock = RM.create ~name:"server.out_lock" () in
   (* Serialise writers (handler thread, pool workers publishing results,
      solver domains streaming progress) and swallow write failures: a
      client that hung up mid-solve must not kill the publisher. *)
   let respond response =
     let line = Service.Protocol.response_to_string response in
-    Mutex.lock out_lock;
+    RM.lock out_lock;
     (try
        output_string oc line;
        output_char oc '\n';
        flush oc;
        Obs.Metrics.incr m_responses
      with Sys_error _ | Unix.Unix_error _ -> ());
-    Mutex.unlock out_lock
+    RM.unlock out_lock
   in
   let rec loop () =
     match read_line_bounded ic ~max_bytes:t.max_request_bytes with
@@ -255,14 +268,16 @@ let accept_loop t =
   let rec go () =
     match Unix.accept t.listen_fd with
     | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> ()
-    | exception Unix.Unix_error _ -> if t.stopping then () else go ()
+    | exception Unix.Unix_error _ -> if RA.get t.stopping then () else go ()
     | fd, _ ->
-      if t.stopping then (Unix.close fd; go ())
+      if RA.get t.stopping then (Unix.close fd; go ())
       else begin
-        let thread = Thread.create (fun () -> handle_connection t fd) () in
-        Mutex.lock t.lock;
-        t.conns <- (fd, thread) :: t.conns;
-        Mutex.unlock t.lock;
+        let thread =
+          Race.Sync.Thread_.create (fun () -> handle_connection t fd) ()
+        in
+        RM.lock t.lock;
+        RC.set t.conns ((fd, thread) :: RC.get t.conns);
+        RM.unlock t.lock;
         go ()
       end
   in
@@ -309,13 +324,13 @@ let start ?(max_request_bytes = Service.Protocol.default_max_request_bytes)
       shard = Option.map (fun (i, n) -> (Shard.create n, i)) shard;
       admission = (if admission then Some (Admission.create ()) else None);
       flights = Single_flight.create ();
-      lock = Mutex.create ();
-      conns = [];
-      stopping = false;
+      lock = RM.create ~name:"server.lock" ();
+      conns = RC.make ~name:"server.conns" [];
+      stopping = RA.make false;
       acceptor = None;
     }
   in
-  t.acceptor <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.acceptor <- Some (Race.Sync.Thread_.create (fun () -> accept_loop t) ());
   t
 
 let address t = t.bound
@@ -323,20 +338,22 @@ let engine t = t.engine
 let in_flight t = Single_flight.in_flight t.flights
 
 let stop t =
-  if not t.stopping then begin
-    t.stopping <- true;
+  (* Claim shutdown atomically: of two concurrent [stop]s exactly one
+     runs the teardown (the plain check-then-set this replaces let both
+     through, double-joining the same threads). *)
+  if not (RA.exchange t.stopping true) then begin
     (* [shutdown] first: on Linux, closing a listening fd does NOT wake
        a thread blocked in [accept] — shutting the socket down does
        (the pending accept fails with EINVAL). *)
     (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
      with Unix.Unix_error _ -> ());
-    Option.iter Thread.join t.acceptor;
+    Option.iter Race.Sync.Thread_.join t.acceptor;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     let conns =
-      Mutex.lock t.lock;
-      let c = t.conns in
-      t.conns <- [];
-      Mutex.unlock t.lock;
+      RM.lock t.lock;
+      let c = RC.get t.conns in
+      RC.set t.conns [];
+      RM.unlock t.lock;
       c
     in
     (* Half-close: handlers see EOF, finish their replies, exit. *)
@@ -345,7 +362,7 @@ let stop t =
         try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
         with Unix.Unix_error _ -> ())
       conns;
-    List.iter (fun (_, thread) -> Thread.join thread) conns;
+    List.iter (fun (_, thread) -> Race.Sync.Thread_.join thread) conns;
     match t.bound with
     | Unix_path path -> (try Sys.remove path with Sys_error _ -> ())
     | Tcp _ -> ()

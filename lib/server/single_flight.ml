@@ -6,84 +6,159 @@
    canonical qubit space: one payload answers every caller, each of
    whom un-permutes it with its own relabelling (DESIGN.md §14).
 
+   Wire ordering: each entry carries a small fan mutex and a [done_]
+   flag.  Progress fan-out takes the fan lock and checks [done_];
+   publish flips [done_] under the same lock before running result
+   callbacks.  A progress event can therefore never be delivered after
+   the final response for its flight — the earlier design snapshotted
+   sinks and fanned out unfenced, which let a late progress line race
+   past the result on the same connection.  The cost is that a slow
+   progress sink now delays publication of its own key (never other
+   keys: the table lock is not held during fan-out).
+
+   [event_log] is an instrumented counter modelling the per-flight
+   response stream; the detector sees exactly the write pattern a real
+   socket would, so the [flight-*] mutants that skip a lock become
+   observable races.
+
    Callbacks run on the publishing thread (a pool worker), so they must
    be fast and must not raise; the server's callbacks only serialise a
    response line under a per-connection mutex. *)
 
+module RC = Race.Cell
+module RM = Race.Sync.Mutex
+
 type 'a entry = {
-  mutable callbacks : ('a -> unit) list;  (* newest first *)
-  mutable progress : (int * int * int -> unit) list;
+  callbacks : ('a -> unit) list RC.t;  (* newest first *)
+  progress_sinks : (int * int * int -> unit) list RC.t;
+  fan : RM.t;  (* orders progress fan-out against publication *)
+  done_ : bool RC.t;
+  event_log : int RC.t;  (* wire writes for this flight, progress + final *)
 }
 
 type 'a t = {
-  lock : Mutex.t;
+  lock : RM.t;
   table : (string, 'a entry) Hashtbl.t;
+  n_started : int RC.t;
   m_leaders : Obs.Metrics.counter;
   m_coalesced : Obs.Metrics.counter;
 }
 
 let create () =
   {
-    lock = Mutex.create ();
+    lock = RM.create ~name:"flight.lock" ();
     table = Hashtbl.create 64;
+    n_started = RC.make ~name:"flight.n_started" 0;
     m_leaders = Obs.Metrics.counter "server.flight.leaders";
     m_coalesced = Obs.Metrics.counter "server.flight.coalesced";
   }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = RM.protect t.lock f
 
 type role = Leader | Follower
+
+let new_entry on_progress first_cb =
+  {
+    callbacks = RC.make ~name:"flight.callbacks" [ first_cb ];
+    progress_sinks =
+      RC.make ~name:"flight.progress"
+        (match on_progress with Some f -> [ f ] | None -> []);
+    fan = RM.create ~name:"flight.fan" ();
+    done_ = RC.make ~name:"flight.done" false;
+    event_log = RC.make ~name:"flight.event_log" 0;
+  }
 
 (* [on_result] is specialised to its role *inside* the critical section:
    a follower's callback may fire (from the leader's publish) before
    [join] even returns to its caller, so the role cannot be patched in
    afterwards. *)
 let join t key ?on_progress on_result =
+  (* Mutant [flight-role-outside-lock]: flight bookkeeping runs before
+     the table lock is taken — concurrent joins race on it. *)
+  if Race.Mutations.on "flight-role-outside-lock" then
+    RC.set t.n_started (RC.get t.n_started + 1);
   locked t (fun () ->
       match Hashtbl.find_opt t.table key with
       | Some entry ->
-        entry.callbacks <- on_result Follower :: entry.callbacks;
+        RC.set entry.callbacks (on_result Follower :: RC.get entry.callbacks);
         (match on_progress with
-        | Some f -> entry.progress <- f :: entry.progress
+        | Some f -> RC.set entry.progress_sinks (f :: RC.get entry.progress_sinks)
         | None -> ());
         Obs.Metrics.incr t.m_coalesced;
         Follower
       | None ->
-        let entry =
-          {
-            callbacks = [ on_result Leader ];
-            progress = (match on_progress with Some f -> [ f ] | None -> []);
-          }
-        in
-        Hashtbl.add t.table key entry;
+        Hashtbl.add t.table key (new_entry on_progress (on_result Leader));
+        if not (Race.Mutations.on "flight-role-outside-lock") then
+          RC.set t.n_started (RC.get t.n_started + 1);
         Obs.Metrics.incr t.m_leaders;
         Leader)
 
-(* Snapshot the sinks under the lock, fan out outside it: a progress
-   callback that blocked on a slow client would otherwise stall every
-   concurrent [join]. *)
+let started t = locked t (fun () -> RC.get t.n_started)
+
+(* Snapshot the entry and its sinks under the table lock (joins write
+   the sink list under that lock), then fan out under the entry's fan
+   lock: concurrent [join]s of other keys are never stalled by a slow
+   sink, and the [done_] check under [fan] guarantees no progress event
+   is delivered after the flight's final response. *)
 let progress t key event =
-  let sinks =
+  match
     locked t (fun () ->
         match Hashtbl.find_opt t.table key with
-        | Some entry -> entry.progress
-        | None -> [])
-  in
-  List.iter (fun f -> f event) sinks
+        | None -> None
+        | Some entry -> Some (entry, RC.get entry.progress_sinks))
+  with
+  | None -> ()
+  | Some (entry, sinks) ->
+    if Race.Mutations.on "flight-progress-unfenced" then begin
+      (* Mutant: skip the fan lock and the done check — the event-log
+         write races with publication's, and a late progress line can
+         overtake the final response. *)
+      RC.set entry.event_log (RC.get entry.event_log + 1);
+      List.iter (fun f -> f event) sinks
+    end
+    else
+      RM.protect entry.fan (fun () ->
+          if not (RC.get entry.done_) then begin
+            RC.set entry.event_log (RC.get entry.event_log + 1);
+            List.iter (fun f -> f event) sinks
+          end)
 
 let publish t key result =
-  let callbacks =
-    locked t (fun () ->
-        match Hashtbl.find_opt t.table key with
-        | Some entry ->
-          Hashtbl.remove t.table key;
-          (* Oldest (the leader) first: replies go out in join order. *)
-          List.rev entry.callbacks
-        | None -> [])
-  in
-  List.iter (fun f -> f result) callbacks;
-  List.length callbacks
+  if Race.Mutations.on "flight-publish-unlocked" then begin
+    (* Mutant: resolve the key without the table lock or the fan
+       protocol — the callback-list read and the table removal race
+       with concurrent joins. *)
+    match Hashtbl.find_opt t.table key with
+    | None -> 0
+    | Some entry ->
+      let callbacks = List.rev (RC.get entry.callbacks) in
+      Hashtbl.remove t.table key;
+      RC.set entry.event_log (RC.get entry.event_log + 1);
+      List.iter (fun f -> f result) callbacks;
+      List.length callbacks
+  end
+  else begin
+    let resolved =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.table key with
+          | Some entry ->
+            Hashtbl.remove t.table key;
+            Some entry
+          | None -> None)
+    in
+    match resolved with
+    | None -> 0
+    | Some entry ->
+      (* Close the flight's wire under [fan]: any progress fan-out that
+         already holds the lock finishes first; any later one sees
+         [done_] and drops its event. *)
+      RM.protect entry.fan (fun () ->
+          RC.set entry.done_ true;
+          RC.set entry.event_log (RC.get entry.event_log + 1));
+      (* Oldest (the leader) first: replies go out in join order. *)
+      let callbacks = List.rev (RC.get entry.callbacks) in
+      List.iter (fun f -> f result) callbacks;
+      List.length callbacks
+  end
 
 let in_flight t = locked t (fun () -> Hashtbl.length t.table)

@@ -37,7 +37,12 @@ val join :
 
 val progress : 'a t -> string -> int * int * int -> unit
 (** Fan an intermediate event out to every subscribed joiner of [key];
-    no-op once published (or never joined). *)
+    no-op once published (or never joined).  Ordered against {!publish}
+    per key: once the final result has been delivered, a late progress
+    event is dropped rather than sent after it. *)
+
+val started : 'a t -> int
+(** Total flights ever started (leaders elected). *)
 
 val publish : 'a t -> string -> 'a -> int
 (** Resolve [key]: drop it from the table, invoke all callbacks in join

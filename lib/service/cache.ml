@@ -1,7 +1,18 @@
 (* Bounded LRU: hash table for O(1) lookup, intrusive doubly-linked list
    for O(1) recency updates and eviction, one mutex around both.  The
    list's head is the least-recently-used entry (first to evict), the
-   tail the most-recently-used. *)
+   tail the most-recently-used.
+
+   The mutex is a [Race.Sync.Mutex] and the list anchors / hit counters
+   are [Race.Cell]s, so the happens-before detector sees this structure
+   under [SATMAP_RACE=1].  Interior node links ([prev]/[next]) stay
+   plain — they are only ever touched with the lock held and
+   instrumenting every link hop would drown the reports in one logical
+   object (DESIGN.md §15 lists this exclusion).  The [cache-unlocked-*]
+   mutants move the hit bookkeeping / the whole insert outside the
+   lock. *)
+
+module RC = Race.Cell
 
 type 'a node = {
   key : string;
@@ -13,18 +24,18 @@ type 'a node = {
 type 'a t = {
   capacity : int;
   table : (string, 'a node) Hashtbl.t;
-  mutable head : 'a node option;  (* LRU end *)
-  mutable tail : 'a node option;  (* MRU end *)
-  lock : Mutex.t;
+  head : 'a node option RC.t;  (* LRU end *)
+  tail : 'a node option RC.t;  (* MRU end *)
+  lock : Race.Sync.Mutex.t;
   m_hits : Obs.Metrics.counter;
   m_misses : Obs.Metrics.counter;
   m_evictions : Obs.Metrics.counter;
   m_insertions : Obs.Metrics.counter;
   (* Per-cache counts, independent of the shared (name-interned, and
      resettable) metrics registry. *)
-  mutable n_hits : int;
-  mutable n_misses : int;
-  mutable n_evictions : int;
+  n_hits : int RC.t;
+  n_misses : int RC.t;
+  n_evictions : int RC.t;
 }
 
 let create ?(name = "service.cache") ~capacity () =
@@ -32,85 +43,97 @@ let create ?(name = "service.cache") ~capacity () =
   {
     capacity;
     table = Hashtbl.create (min capacity 1024);
-    head = None;
-    tail = None;
-    lock = Mutex.create ();
+    head = RC.make ~name:(name ^ ".head") None;
+    tail = RC.make ~name:(name ^ ".tail") None;
+    lock = Race.Sync.Mutex.create ~name:(name ^ ".lock") ();
     m_hits = Obs.Metrics.counter (name ^ ".hits");
     m_misses = Obs.Metrics.counter (name ^ ".misses");
     m_evictions = Obs.Metrics.counter (name ^ ".evictions");
     m_insertions = Obs.Metrics.counter (name ^ ".insertions");
-    n_hits = 0;
-    n_misses = 0;
-    n_evictions = 0;
+    n_hits = RC.make ~name:(name ^ ".n_hits") 0;
+    n_misses = RC.make ~name:(name ^ ".n_misses") 0;
+    n_evictions = RC.make ~name:(name ^ ".n_evictions") 0;
   }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let locked t f = Race.Sync.Mutex.protect t.lock f
+let bump c = RC.set c (RC.get c + 1)
 
 (* List surgery; call with the lock held. *)
 
 let unlink t node =
   (match node.prev with
   | Some p -> p.next <- node.next
-  | None -> t.head <- node.next);
+  | None -> RC.set t.head node.next);
   (match node.next with
   | Some n -> n.prev <- node.prev
-  | None -> t.tail <- node.prev);
+  | None -> RC.set t.tail node.prev);
   node.prev <- None;
   node.next <- None
 
 let push_mru t node =
-  node.prev <- t.tail;
+  let tl = RC.get t.tail in
+  node.prev <- tl;
   node.next <- None;
-  (match t.tail with
+  (match tl with
   | Some old -> old.next <- Some node
-  | None -> t.head <- Some node);
-  t.tail <- Some node
+  | None -> RC.set t.head (Some node));
+  RC.set t.tail (Some node)
 
 let touch t node =
-  match t.tail with
+  match RC.get t.tail with
   | Some tl when tl == node -> ()
   | _ ->
     unlink t node;
     push_mru t node
 
 let find t key =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.table key with
-      | Some node ->
-        touch t node;
-        t.n_hits <- t.n_hits + 1;
-        Obs.Metrics.incr t.m_hits;
-        Some node.value
-      | None ->
-        t.n_misses <- t.n_misses + 1;
-        Obs.Metrics.incr t.m_misses;
-        None)
+  let result =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some node ->
+          touch t node;
+          if not (Race.Mutations.on "cache-unlocked-hit") then bump t.n_hits;
+          Obs.Metrics.incr t.m_hits;
+          Some node.value
+        | None ->
+          bump t.n_misses;
+          Obs.Metrics.incr t.m_misses;
+          None)
+  in
+  (* Mutant [cache-unlocked-hit]: the hit counter is updated after the
+     lock is released — two concurrent hits race on the counter. *)
+  (if result <> None && Race.Mutations.on "cache-unlocked-hit" then
+     bump t.n_hits);
+  result
 
 let mem t key = locked t (fun () -> Hashtbl.mem t.table key)
 
 let evict_lru t =
-  match t.head with
+  match RC.get t.head with
   | None -> ()
   | Some node ->
     unlink t node;
     Hashtbl.remove t.table node.key;
-    t.n_evictions <- t.n_evictions + 1;
+    bump t.n_evictions;
     Obs.Metrics.incr t.m_evictions
 
 let add t key value =
-  locked t (fun () ->
-      (match Hashtbl.find_opt t.table key with
-      | Some node ->
-        node.value <- value;
-        touch t node
-      | None ->
-        if Hashtbl.length t.table >= t.capacity then evict_lru t;
-        let node = { key; value; prev = None; next = None } in
-        Hashtbl.add t.table key node;
-        push_mru t node);
-      Obs.Metrics.incr t.m_insertions)
+  let body () =
+    (match Hashtbl.find_opt t.table key with
+    | Some node ->
+      node.value <- value;
+      touch t node
+    | None ->
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      let node = { key; value; prev = None; next = None } in
+      Hashtbl.add t.table key node;
+      push_mru t node);
+    Obs.Metrics.incr t.m_insertions
+  in
+  (* Mutant [cache-unlocked-insert]: the whole insert — table write and
+     LRU list surgery — runs without the cache lock. *)
+  if Race.Mutations.on "cache-unlocked-insert" then body ()
+  else locked t body
 
 let length t = locked t (fun () -> Hashtbl.length t.table)
 let capacity t = t.capacity
@@ -118,12 +141,12 @@ let capacity t = t.capacity
 let clear t =
   locked t (fun () ->
       Hashtbl.reset t.table;
-      t.head <- None;
-      t.tail <- None)
+      RC.set t.head None;
+      RC.set t.tail None)
 
-let hits t = locked t (fun () -> t.n_hits)
-let misses t = locked t (fun () -> t.n_misses)
-let evictions t = locked t (fun () -> t.n_evictions)
+let hits t = locked t (fun () -> RC.get t.n_hits)
+let misses t = locked t (fun () -> RC.get t.n_misses)
+let evictions t = locked t (fun () -> RC.get t.n_evictions)
 
 (* Snapshot in LRU -> MRU order so a restore replays insertions oldest
    first and ends with the same recency order. *)
@@ -133,7 +156,7 @@ let entries t =
         | None -> List.rev acc
         | Some node -> walk ((node.key, node.value) :: acc) node.next
       in
-      walk [] t.head)
+      walk [] (RC.get t.head))
 
 let keys t = List.map fst (entries t)
 

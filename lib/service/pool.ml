@@ -1,6 +1,16 @@
 (* One mutex + one condition variable around a bounded Queue.  Workers
    wait on [nonempty]; submitters never wait (full queue = Overloaded),
-   so only workers can block and shutdown just has to wake them all. *)
+   so only workers can block and shutdown just has to wake them all.
+
+   Sync primitives go through [Race.Sync] and the stop flag / counters
+   are [Race.Cell]s so the detector and the explorer can drive this
+   structure; the job queue itself stays plain (only touched with the
+   lock held — DESIGN.md §15).  The [pool-unlocked-*] mutants move the
+   completed-counter bump and the stop-flag write outside the lock. *)
+
+module RC = Race.Cell
+module RM = Race.Sync.Mutex
+module RCond = Race.Sync.Condition
 
 type submit_result = Accepted | Overloaded
 
@@ -8,37 +18,43 @@ type t = {
   capacity : int;
   n_workers : int;
   queue : (unit -> unit) Queue.t;
-  lock : Mutex.t;
-  nonempty : Condition.t;
-  mutable stopping : bool;
-  mutable domains : unit Domain.t list;
+  lock : RM.t;
+  nonempty : RCond.t;
+  stopping : bool RC.t;
+  mutable domains : unit Race.Sync.Domain.t list;
   m_submitted : Obs.Metrics.counter;
   m_rejected : Obs.Metrics.counter;
   m_completed : Obs.Metrics.counter;
   m_exceptions : Obs.Metrics.counter;
-  mutable n_completed : int;
-  mutable n_rejected : int;
+  n_completed : int RC.t;
+  n_rejected : int RC.t;
 }
 
 let worker t () =
   let rec loop () =
-    Mutex.lock t.lock;
-    while Queue.is_empty t.queue && not t.stopping do
-      Condition.wait t.nonempty t.lock
+    RM.lock t.lock;
+    while Queue.is_empty t.queue && not (RC.get t.stopping) do
+      RCond.wait t.nonempty t.lock
     done;
     if Queue.is_empty t.queue then begin
       (* stopping and drained *)
-      Mutex.unlock t.lock;
+      RM.unlock t.lock;
       ()
     end
     else begin
       let job = Queue.pop t.queue in
-      Mutex.unlock t.lock;
+      RM.unlock t.lock;
       (try job ()
        with _ -> Obs.Metrics.incr t.m_exceptions);
-      Mutex.lock t.lock;
-      t.n_completed <- t.n_completed + 1;
-      Mutex.unlock t.lock;
+      (* Mutant [pool-unlocked-completed]: the per-pool counter is
+         bumped without the lock — two workers race on it. *)
+      if Race.Mutations.on "pool-unlocked-completed" then
+        RC.set t.n_completed (RC.get t.n_completed + 1)
+      else begin
+        RM.lock t.lock;
+        RC.set t.n_completed (RC.get t.n_completed + 1);
+        RM.unlock t.lock
+      end;
       Obs.Metrics.incr t.m_completed;
       loop ()
     end
@@ -53,66 +69,78 @@ let create ?(name = "service.pool") ~workers ~capacity () =
       capacity;
       n_workers = workers;
       queue = Queue.create ();
-      lock = Mutex.create ();
-      nonempty = Condition.create ();
-      stopping = false;
+      lock = RM.create ~name:(name ^ ".lock") ();
+      nonempty = RCond.create ~name:(name ^ ".nonempty") ();
+      stopping = RC.make ~name:(name ^ ".stopping") false;
       domains = [];
       m_submitted = Obs.Metrics.counter (name ^ ".submitted");
       m_rejected = Obs.Metrics.counter (name ^ ".rejected");
       m_completed = Obs.Metrics.counter (name ^ ".completed");
       m_exceptions = Obs.Metrics.counter (name ^ ".job_exceptions");
-      n_completed = 0;
-      n_rejected = 0;
+      n_completed = RC.make ~name:(name ^ ".n_completed") 0;
+      n_rejected = RC.make ~name:(name ^ ".n_rejected") 0;
     }
   in
-  t.domains <- List.init workers (fun _ -> Domain.spawn (worker t));
+  t.domains <- List.init workers (fun _ -> Race.Sync.Domain.spawn (worker t));
   t
 
 let submit t job =
-  Mutex.lock t.lock;
+  RM.lock t.lock;
   let verdict =
-    if t.stopping || Queue.length t.queue >= t.capacity then begin
-      t.n_rejected <- t.n_rejected + 1;
+    if RC.get t.stopping || Queue.length t.queue >= t.capacity then begin
+      RC.set t.n_rejected (RC.get t.n_rejected + 1);
       Overloaded
     end
     else begin
       Queue.push job t.queue;
-      Condition.signal t.nonempty;
+      RCond.signal t.nonempty;
       Accepted
     end
   in
-  Mutex.unlock t.lock;
+  RM.unlock t.lock;
   (match verdict with
   | Accepted -> Obs.Metrics.incr t.m_submitted
   | Overloaded -> Obs.Metrics.incr t.m_rejected);
   verdict
 
 let shutdown t =
-  Mutex.lock t.lock;
-  t.stopping <- true;
-  Condition.broadcast t.nonempty;
-  let domains = t.domains in
-  t.domains <- [];
-  Mutex.unlock t.lock;
-  List.iter Domain.join domains
+  if Race.Mutations.on "pool-unlocked-stop" then begin
+    (* Mutant: the stop flag is written with no lock and only after the
+       broadcast — workers either race on the flag or miss the wakeup
+       entirely (a lost-wakeup deadlock the explorer reports). *)
+    RCond.broadcast t.nonempty;
+    RC.set t.stopping true;
+    let domains = t.domains in
+    t.domains <- [];
+    List.iter Race.Sync.Domain.join domains
+  end
+  else begin
+    RM.lock t.lock;
+    RC.set t.stopping true;
+    RCond.broadcast t.nonempty;
+    let domains = t.domains in
+    t.domains <- [];
+    RM.unlock t.lock;
+    List.iter Race.Sync.Domain.join domains
+  end
 
 let workers t = t.n_workers
 let capacity t = t.capacity
 
 let pending t =
-  Mutex.lock t.lock;
+  RM.lock t.lock;
   let n = Queue.length t.queue in
-  Mutex.unlock t.lock;
+  RM.unlock t.lock;
   n
 
 let completed t =
-  Mutex.lock t.lock;
-  let n = t.n_completed in
-  Mutex.unlock t.lock;
+  RM.lock t.lock;
+  let n = RC.get t.n_completed in
+  RM.unlock t.lock;
   n
 
 let rejected t =
-  Mutex.lock t.lock;
-  let n = t.n_rejected in
-  Mutex.unlock t.lock;
+  RM.lock t.lock;
+  let n = RC.get t.n_rejected in
+  RM.unlock t.lock;
   n

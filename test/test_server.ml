@@ -50,12 +50,20 @@ let test_shard_parse_spec () =
   (match Serving.Shard.parse_spec "3/4" with
   | Ok (3, 4) -> ()
   | _ -> Alcotest.fail "3/4 should parse");
+  (* The degenerate single-shard deployment is legal... *)
+  (match Serving.Shard.parse_spec "0/1" with
+  | Ok (0, 1) -> ()
+  | _ -> Alcotest.fail "0/1 should parse");
+  (* ...but an index must stay strictly below the count. *)
   List.iter
     (fun bad ->
       match Serving.Shard.parse_spec bad with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail (Printf.sprintf "%S should be rejected" bad))
-    [ "2/2"; "-1/2"; "0/0"; "x/2"; "1"; "1/"; "/2"; "1/2/3"; "" ]
+    [
+      "2/2"; "1/1"; "4/4"; "-1/2"; "-1/4"; "0/0"; "x/2"; "abc/2"; "1"; "1/";
+      "2/"; "/2"; "/4"; "1/2/3"; "";
+    ]
 
 let test_shard_invalid_count () =
   match Serving.Shard.create 0 with
@@ -174,6 +182,26 @@ let test_admission_predicted_late_rejected () =
   Mutex.unlock gate;
   Service.Pool.shutdown pool
 
+let test_admission_ewma_and_queue_full () =
+  (* The EWMA blends with factor alpha and starts cold at 0; queue-full
+     rejections from the pool are folded into the admission counters via
+     [note_queue_full]. *)
+  let adm = Serving.Admission.create ~alpha:0.5 () in
+  Alcotest.(check (float 1e-9)) "cold estimate is 0" 0.0
+    (Serving.Admission.estimate adm);
+  Serving.Admission.observe adm 4.0;
+  Alcotest.(check (float 1e-9)) "first observation seeds the EWMA" 4.0
+    (Serving.Admission.estimate adm);
+  Serving.Admission.observe adm 2.0;
+  Alcotest.(check (float 1e-9)) "later observations blend by alpha" 3.0
+    (Serving.Admission.estimate adm);
+  let c = Obs.Metrics.counter "server.admission.rejected_queue_full" in
+  let before = Obs.Metrics.value c in
+  Serving.Admission.note_queue_full adm;
+  Serving.Admission.note_queue_full adm;
+  Alcotest.(check int) "queue-full rejections counted" (before + 2)
+    (Obs.Metrics.value c)
+
 (* ------------------------------------------------------------------ *)
 (* Server end-to-end over an ephemeral Unix socket *)
 
@@ -252,6 +280,17 @@ let test_server_bad_request_keeps_connection () =
       | _ -> Alcotest.fail "connection unusable after a garbage line");
       Serving.Server.disconnect conn)
 
+(* Regression for the acceptor-shutdown fix: [stop] flips an atomic
+   stopping flag with [exchange], so a second stop — here the explicit
+   one plus [with_server]'s finally — is a no-op instead of a double
+   close/join. *)
+let test_server_stop_idempotent () =
+  with_server (fun server ->
+      let conn = Serving.Server.connect (Serving.Server.address server) in
+      Serving.Server.disconnect conn;
+      Serving.Server.stop server;
+      Serving.Server.stop server)
+
 let () =
   Alcotest.run "server"
     [
@@ -282,6 +321,8 @@ let () =
             test_admission_expired_rejected;
           Alcotest.test_case "predicted-late rejected" `Quick
             test_admission_predicted_late_rejected;
+          Alcotest.test_case "EWMA blending and queue-full counter" `Quick
+            test_admission_ewma_and_queue_full;
         ] );
       ( "server",
         [
@@ -289,5 +330,7 @@ let () =
             test_server_roundtrip;
           Alcotest.test_case "bad request keeps the connection" `Quick
             test_server_bad_request_keeps_connection;
+          Alcotest.test_case "stop is idempotent" `Quick
+            test_server_stop_idempotent;
         ] );
     ]
