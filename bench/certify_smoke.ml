@@ -1,10 +1,12 @@
 (* Certification smoke test (the @certify-smoke dune alias, run by
    `dune runtest` next to @bench-smoke).
 
-   Routes two small workloads with certification enabled and fails unless
-   the optimum comes back certified: the MaxSAT engine logged a DRUP
-   proof for every infeasible bound and the independent checker accepted
-   all of them.
+   Routes two small workloads with certification enabled.  The first must
+   come back certified — the MaxSAT engine logged a DRUP proof for every
+   infeasible bound and the independent checker accepted all of them; the
+   second reaches its optimum without any infeasible bound (cost 0) and
+   must come back NOT certified with zero proofs checked, pinning the
+   vacuous-certification rule.
 
    The triangle circuit on a 3-qubit line is chosen so the optimum is
    provably non-trivial: gates (0,1), (1,2), (0,2) form a triangle, so
@@ -19,24 +21,44 @@ let check ~name ~expect_proof outcome =
     exit 1
   | Satmap.Router.Routed (routed, (stats : Satmap.Router.stats)) ->
     Printf.printf
-      "certify-smoke: %-16s swaps=%d optimal=%b certified=%b events=%d \
-       check=%.3fs\n"
+      "certify-smoke: %-16s swaps=%d optimal=%b certified=%b proofs=%d \
+       events=%d check=%.3fs\n"
       name
       (Satmap.Routed.n_swaps routed)
-      stats.proved_optimal stats.certified stats.proof_events
-      stats.certify_time;
+      stats.proved_optimal stats.certified stats.proofs_checked
+      stats.proof_events stats.certify_time;
     if not stats.proved_optimal then begin
       Printf.eprintf "certify-smoke: %s did not prove optimality\n" name;
       exit 1
     end;
-    if not stats.certified then begin
-      Printf.eprintf "certify-smoke: %s optimum is not certified\n" name;
-      exit 1
-    end;
-    if expect_proof && stats.proof_events = 0 then begin
-      Printf.eprintf
-        "certify-smoke: %s expected a non-vacuous proof trace\n" name;
-      exit 1
+    if expect_proof then begin
+      if not stats.certified then begin
+        Printf.eprintf "certify-smoke: %s optimum is not certified\n" name;
+        exit 1
+      end;
+      if stats.proofs_checked = 0 || stats.proof_events = 0 then begin
+        Printf.eprintf
+          "certify-smoke: %s expected a non-vacuous proof trace\n" name;
+        exit 1
+      end
+    end
+    else begin
+      (* A cost-0 optimum never proves a bound infeasible: zero proofs
+         are checked, and the route must NOT be reported certified on
+         the strength of that empty evidence (the vacuous-certification
+         regression this smoke pins). *)
+      if stats.proofs_checked <> 0 then begin
+        Printf.eprintf
+          "certify-smoke: %s unexpectedly checked %d proofs\n" name
+          stats.proofs_checked;
+        exit 1
+      end;
+      if stats.certified then begin
+        Printf.eprintf
+          "certify-smoke: %s claims certification with zero proofs checked\n"
+          name;
+        exit 1
+      end
     end
 
 let () =

@@ -195,7 +195,15 @@ let print_solver_stats () =
     tot.Sat.Solver.total_glue;
   Format.printf "deleted:       %d (in %d reductions)@."
     tot.Sat.Solver.total_deleted tot.Sat.Solver.total_reductions;
-  Format.printf "solver time:   %.2fs@." tot.Sat.Solver.total_solve_time
+  Format.printf "solver time:   %.2fs@." tot.Sat.Solver.total_solve_time;
+  (* Incremental-reuse counters: how many CDCL solvers this run actually
+     instantiated, how many skeleton clauses skipped re-emission because
+     a live solver was reused, and how many descents picked up where an
+     earlier bound left off. *)
+  let v name = Obs.Metrics.value (Obs.Metrics.counter name) in
+  Format.printf "solvers:       %d created@." (v "solver.created");
+  Format.printf "reused:        %d clauses (descents resumed %d)@."
+    (v "encode.reused_clauses") (v "descent.resumed")
 
 let lint_blocks =
   Arg.(
@@ -274,6 +282,7 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
             escalations = 0;
             maxsat_iterations = 0;
             certified = false;
+            proofs_checked = 0;
             proof_events = 0;
             certify_time = 0.;
             solver_calls = 0;
@@ -311,8 +320,12 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
       stats.n_blocks stats.n_backtracks stats.escalations;
     Format.printf "optimal:       %b@." stats.proved_optimal;
     if certify then
-      Format.printf "certified:     %b (%d proof events, check %.3fs)@."
-        stats.certified stats.proof_events stats.certify_time;
+      Format.printf "certified:     %b (%d proofs checked, %d proof events, check %.3fs)%s@."
+        stats.certified stats.proofs_checked stats.proof_events
+        stats.certify_time
+        (if stats.proofs_checked = 0 then
+           " [vacuous: no infeasibility proofs to check]"
+         else "");
     if noise then begin
       let cal = Arch.Calibration.synthetic device in
       Format.printf "est. fidelity: %.4f@."

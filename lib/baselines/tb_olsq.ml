@@ -325,6 +325,7 @@ let route ?(config = default_config) device circuit =
                     escalations = extra;
                     maxsat_iterations = o.iterations;
                     certified = false;
+                    proofs_checked = 0;
                     proof_events = 0;
                     certify_time = 0.;
                     solver_calls = n_blocks;

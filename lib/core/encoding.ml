@@ -170,69 +170,56 @@ let estimate_clauses spec circuit =
 
 exception Encode_timeout
 
-let build ?deadline ?fixed_initial ?fixed_final ?(cyclic = false)
-    ?(blocked_finals = []) spec circuit =
-  (* Clause emission itself can consume a whole routing budget on large
-     instances (the benchmark's fast-fail rows spend their entire
-     timeout before the first solver call).  The check sits on the two
-     loops that dominate emission — per gate step and per swap slot — so
-     an over-budget build aborts within one loop iteration. *)
-  let check_deadline =
-    match deadline with
-    | None -> fun () -> ()
-    | Some d ->
-      fun () -> if Unix.gettimeofday () > d then raise Encode_timeout
-  in
+(* Layout (variable numbering, steps, slot/layer counts) without any
+   clauses: what the block-cache hit path needs to replay a cached
+   solution through [emit], and what a skeleton is laid out over. *)
+let layout ~who spec circuit =
   let n_log = Quantum.Circuit.n_qubits circuit in
-  let device = spec.device in
-  let n_phys = Arch.Device.n_qubits device in
-  if n_log > n_phys then
-    invalid_arg "Encoding.build: more logical than physical qubits";
+  if n_log > Arch.Device.n_qubits spec.device then
+    invalid_arg (who ^ ": more logical than physical qubits");
   let steps = steps_of_circuit ~coalesce:spec.coalesce circuit in
   let n_steps = Array.length steps in
-  if n_steps = 0 then
-    invalid_arg "Encoding.build: circuit has no two-qubit gates";
+  if n_steps = 0 then invalid_arg (who ^ ": circuit has no two-qubit gates");
   let n_slots = (n_steps * spec.n_swaps) + spec.post_slots in
-  let n_layers = n_slots + 1 in
-  let t =
-    {
-      spec;
-      n_log;
-      steps;
-      n_layers;
-      n_slots;
-      instance =
-        (* placeholder; replaced below *)
-        Maxsat.Instance.create ~n_vars:0 ~hard:[] ~soft:[];
-      insertion = Sat.Sink.sanitize_stats ();
-    }
-  in
+  {
+    spec;
+    n_log;
+    steps;
+    n_layers = n_slots + 1;
+    n_slots;
+    instance = Maxsat.Instance.create ~n_vars:0 ~hard:[] ~soft:[];
+    insertion = Sat.Sink.sanitize_stats ();
+  }
+
+let structure spec circuit = layout ~who:"Encoding.structure" spec circuit
+
+(* The constraint emitters, shared between the monolithic [build] (which
+   emits everything into one instance) and [Session] (which emits the
+   slice-independent skeleton once per solver and only the gate/seam
+   layer per activation).  All clauses go through [sink]; soft clauses
+   accumulate in [soft]. *)
+type emitters = {
+  em_inject_at : int -> unit;  (** Hard A at one layer *)
+  em_gate_step : layer:int -> int * int -> unit;  (** Hard B for one step *)
+  em_slot : int -> unit;  (** Hard C + D + mobility + soft for one slot *)
+  em_pin : int -> int array -> unit;  (** unit-pin a map at a layer *)
+  em_cyclic : unit -> unit;  (** final map = initial map *)
+  em_blocked : int array -> unit;  (** block one final map *)
+  em_force_noop : int -> unit;  (** pin a (padding) slot to its no-op *)
+}
+
+let emitters t (sink : Sat.Sink.t) soft =
+  let spec = t.spec in
+  let device = spec.device in
+  let n_phys = Arch.Device.n_qubits device in
+  let n_log = t.n_log in
   let edges = Arch.Device.edge_array device in
   let n_edges = Array.length edges in
-  let hard = Sat.Vec.create ~dummy:[] in
-  let soft = ref [] in
-  let next_aux = ref (n_fixed_vars t) in
-  let sink =
-    (* Insertion hygiene: duplicate literals and tautologies are dropped
-       at the sink, and the deltas surface in lint output. *)
-    Sat.Sink.sanitizing ~stats:t.insertion
-      Sat.Sink.
-        {
-          fresh_var =
-            (fun () ->
-              let v = !next_aux in
-              incr next_aux;
-              v);
-          add_clause = (fun c -> Sat.Vec.push hard c);
-        }
-  in
   let pos v = Sat.Lit.of_var v in
-  let neg v = Sat.Lit.of_var ~sign:false v in
   let mapl ~layer ~q ~p = pos (map_var t ~layer ~q ~p) in
-  let nmapl ~layer ~q ~p = neg (map_var t ~layer ~q ~p) in
-
-  (* Hard A: injectivity at layer 0 (and optionally at gate layers). *)
-  let inject_at layer =
+  let nmapl ~layer ~q ~p = Sat.Lit.of_var ~sign:false (map_var t ~layer ~q ~p) in
+  (* Hard A: injectivity at one layer. *)
+  let em_inject_at layer =
     for q = 0 to n_log - 1 do
       Sat.Card.exactly_one ~encoding:spec.amo sink
         (List.init n_phys (fun p -> mapl ~layer ~q ~p))
@@ -243,32 +230,20 @@ let build ?deadline ?fixed_initial ?fixed_final ?(cyclic = false)
           (List.init n_log (fun q -> mapl ~layer ~q ~p))
     done
   in
-  inject_at 0;
-  if spec.inject_all_gate_layers then
-    for i = 0 to n_steps - 1 do
-      check_deadline ();
-      inject_at (gate_layer t i)
-    done;
-
-  (* Hard B: executability at every gate layer. *)
-  Array.iteri
-    (fun i { pair = q, q'; _ } ->
-      check_deadline ();
-      let layer = gate_layer t i in
-      for p = 0 to n_phys - 1 do
-        let clause =
-          nmapl ~layer ~q ~p
-          :: List.map
-               (fun p' -> mapl ~layer ~q:q' ~p:p')
-               (Arch.Device.neighbors device p)
-        in
-        sink.add_clause clause
-      done)
-    steps;
-
-  (* Hard C and D per slot, plus the soft objective. *)
-  for s = 0 to n_slots - 1 do
-    check_deadline ();
+  (* Hard B: executability of one gate step at its layer. *)
+  let em_gate_step ~layer (q, q') =
+    for p = 0 to n_phys - 1 do
+      let clause =
+        nmapl ~layer ~q ~p
+        :: List.map
+             (fun p' -> mapl ~layer ~q:q' ~p:p')
+             (Arch.Device.neighbors device p)
+      in
+      sink.add_clause clause
+    done
+  in
+  (* Hard C and D for one slot, plus the soft objective. *)
+  let em_slot s =
     let l = s in
     let l' = s + 1 in
     let noop = pos (noop_var t ~slot:s) in
@@ -306,27 +281,120 @@ let build ?deadline ?fixed_initial ?fixed_final ?(cyclic = false)
        solver must case-split on swap variables to derive any distance
        bound; with them, unsatisfiable seams refute by unit propagation. *)
     if spec.mobility then
-    for p = 0 to n_phys - 1 do
-      let closed_next =
-        List.map (fun p' -> (`Next, p')) (Arch.Device.neighbors device p)
-      in
-      for q = 0 to n_log - 1 do
-        sink.add_clause
-          (nmapl ~layer:l ~q ~p :: mapl ~layer:l' ~q ~p
-          :: List.map (fun (_, p') -> mapl ~layer:l' ~q ~p:p') closed_next);
-        sink.add_clause
-          (nmapl ~layer:l' ~q ~p :: mapl ~layer:l ~q ~p
-          :: List.map (fun (_, p') -> mapl ~layer:l ~q ~p:p') closed_next)
-      done
-    done;
+      for p = 0 to n_phys - 1 do
+        let closed_next =
+          List.map (fun p' -> (`Next, p')) (Arch.Device.neighbors device p)
+        in
+        for q = 0 to n_log - 1 do
+          sink.add_clause
+            (nmapl ~layer:l ~q ~p :: mapl ~layer:l' ~q ~p
+            :: List.map (fun (_, p') -> mapl ~layer:l' ~q ~p:p') closed_next);
+          sink.add_clause
+            (nmapl ~layer:l' ~q ~p :: mapl ~layer:l ~q ~p
+            :: List.map (fun (_, p') -> mapl ~layer:l ~q ~p:p') closed_next)
+        done
+      done;
     (* Soft: prefer the no-op. *)
-    (match spec.objective with
+    match spec.objective with
     | Count_swaps -> soft := (1, [ noop ]) :: !soft
     | Fidelity cal ->
       for e = 0 to n_edges - 1 do
         let w = Arch.Calibration.swap_log_weight cal edges.(e) in
         soft := (w, [ Sat.Lit.neg (swap e) ]) :: !soft
-      done)
+      done
+  in
+  (* Pinned initial / final maps (slicing seams). *)
+  let em_pin layer arr =
+    if Array.length arr <> n_log then
+      invalid_arg "Encoding: pinned map has wrong arity";
+    Array.iteri (fun q p -> sink.add_clause [ mapl ~layer ~q ~p ]) arr
+  in
+  (* Cyclic stitching: final map equals initial map. *)
+  let em_cyclic () =
+    let fl = final_layer t in
+    for q = 0 to n_log - 1 do
+      for p = 0 to n_phys - 1 do
+        sink.add_clause [ nmapl ~layer:0 ~q ~p; mapl ~layer:fl ~q ~p ];
+        sink.add_clause [ mapl ~layer:0 ~q ~p; nmapl ~layer:fl ~q ~p ]
+      done
+    done
+  in
+  (* Backtracking: block a previously returned final map (Section V). *)
+  let em_blocked arr =
+    if Array.length arr <> n_log then
+      invalid_arg "Encoding: blocked map has wrong arity";
+    let fl = final_layer t in
+    sink.add_clause (List.init n_log (fun q -> nmapl ~layer:fl ~q ~p:arr.(q)))
+  in
+  let em_force_noop s = sink.add_clause [ pos (noop_var t ~slot:s) ] in
+  {
+    em_inject_at;
+    em_gate_step;
+    em_slot;
+    em_pin;
+    em_cyclic;
+    em_blocked;
+    em_force_noop;
+  }
+
+let build ?deadline ?fixed_initial ?fixed_final ?(cyclic = false)
+    ?(blocked_finals = []) spec circuit =
+  (* Clause emission itself can consume a whole routing budget on large
+     instances (the benchmark's fast-fail rows spend their entire
+     timeout before the first solver call).  The check sits on the two
+     loops that dominate emission — per gate step and per swap slot — so
+     an over-budget build aborts within one loop iteration. *)
+  let check_deadline =
+    match deadline with
+    | None -> fun () -> ()
+    | Some d ->
+      fun () -> if Unix.gettimeofday () > d then raise Encode_timeout
+  in
+  let t = layout ~who:"Encoding.build" spec circuit in
+  let steps = t.steps in
+  let n_steps = Array.length steps in
+  let edges = Arch.Device.edge_array spec.device in
+  let n_edges = Array.length edges in
+  let hard = Sat.Vec.create ~dummy:[] in
+  let soft = ref [] in
+  let next_aux = ref (n_fixed_vars t) in
+  let sink =
+    (* Insertion hygiene: duplicate literals and tautologies are dropped
+       at the sink, and the deltas surface in lint output. *)
+    Sat.Sink.sanitizing ~stats:t.insertion
+      Sat.Sink.
+        {
+          fresh_var =
+            (fun () ->
+              let v = !next_aux in
+              incr next_aux;
+              v);
+          add_clause = (fun c -> Sat.Vec.push hard c);
+        }
+  in
+  let em = emitters t sink soft in
+  let pos v = Sat.Lit.of_var v in
+  let nmapl ~layer ~q ~p = Sat.Lit.of_var ~sign:false (map_var t ~layer ~q ~p) in
+
+  (* Hard A: injectivity at layer 0 (and optionally at gate layers). *)
+  em.em_inject_at 0;
+  if spec.inject_all_gate_layers then
+    for i = 0 to n_steps - 1 do
+      check_deadline ();
+      em.em_inject_at (gate_layer t i)
+    done;
+
+  (* Hard B: executability at every gate layer. *)
+  Array.iteri
+    (fun i { pair; _ } ->
+      check_deadline ();
+      em.em_gate_step ~layer:(gate_layer t i) pair)
+    steps;
+
+  (* Hard C and D per slot, plus the soft objective. *)
+  for s = 0 to t.n_slots - 1 do
+    check_deadline ();
+    em.em_slot s
   done;
 
   (* Fidelity objective also weights the edge each gate executes on. *)
@@ -350,34 +418,14 @@ let build ?deadline ?fixed_initial ?fixed_final ?(cyclic = false)
       steps);
 
   (* Pinned initial / final maps (slicing seams). *)
-  let pin layer arr =
-    if Array.length arr <> n_log then
-      invalid_arg "Encoding.build: pinned map has wrong arity";
-    Array.iteri (fun q p -> sink.add_clause [ mapl ~layer ~q ~p ]) arr
-  in
-  Option.iter (pin 0) fixed_initial;
-  Option.iter (pin (final_layer t)) fixed_final;
+  Option.iter (em.em_pin 0) fixed_initial;
+  Option.iter (em.em_pin (final_layer t)) fixed_final;
 
   (* Cyclic stitching: final map equals initial map. *)
-  if cyclic then begin
-    let fl = final_layer t in
-    for q = 0 to n_log - 1 do
-      for p = 0 to n_phys - 1 do
-        sink.add_clause [ nmapl ~layer:0 ~q ~p; mapl ~layer:fl ~q ~p ];
-        sink.add_clause [ mapl ~layer:0 ~q ~p; nmapl ~layer:fl ~q ~p ]
-      done
-    done
-  end;
+  if cyclic then em.em_cyclic ();
 
   (* Backtracking: block previously returned final maps (Section V). *)
-  List.iter
-    (fun arr ->
-      if Array.length arr <> n_log then
-        invalid_arg "Encoding.build: blocked map has wrong arity";
-      let fl = final_layer t in
-      sink.add_clause
-        (List.init n_log (fun q -> nmapl ~layer:fl ~q ~p:arr.(q))))
-    blocked_finals;
+  List.iter em.em_blocked blocked_finals;
 
   let instance =
     Maxsat.Instance.create ~n_vars:!next_aux
@@ -435,6 +483,298 @@ let classify_var t v =
     if r = 0 then Noop { slot } else Swap { slot; edge = r - 1 }
   end
   else Aux
+
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions *)
+
+type enc = t
+
+module Session = struct
+  (* One persistent solver holding the slice-independent "skeleton" of the
+     encoding — injectivity, swap-slot choice/effect/frame/mobility and
+     the per-slot soft no-ops are all gate-independent for a fixed
+     (device, n_log, n_swaps, slot-count, flags) shape.  Only Hard B (gate
+     executability), seam pins, cyclic stitching and blocked-final clauses
+     depend on the slice, and those are (re-)emitted per activation under
+     a fresh guard literal g: every activation clause is (¬g ∨ ...), the
+     descent runs under assumption g, and when the next slice arrives the
+     old guard is retired with a permanent unit ¬g_old.
+
+     Shorter activations than the skeleton are handled by forcing the
+     trailing slots to their no-op (guarded units): the frame axioms then
+     persist the map to the skeleton's final layer, so final-map pins,
+     cyclic stitching and blocked finals all read the real final map, and
+     the padded slots contribute zero to the objective. *)
+
+  let m_reused_clauses = Obs.Metrics.counter "encode.reused_clauses"
+
+  (* The exact clause stream a skeleton build delivered to its solver.
+     Replaying it into a fresh solver reproduces the cold-build solver
+     state bit for bit (same variables in the same order, same clauses
+     in the same order, no learnt clauses, no saved phases), while
+     skipping the emitter walk and the sanitizer — which is what makes
+     cross-request warm reuse safe for the serving tier's determinism
+     invariants (byte-identical answers regardless of which requests a
+     shard served before; see Service.Warm). *)
+  type recipe = {
+    rc_layout : enc;
+    rc_n_vars : int;
+    rc_clauses : Sat.Lit.t list list;  (** in emission order *)
+    rc_relax : (int * Sat.Lit.t) list;
+    rc_count : int;
+  }
+
+  type skeleton = {
+    sk_solver : Sat.Solver.t;
+    sk_layout : enc;  (** layout of the widest activation seen *)
+    sk_relax : (int * Sat.Lit.t) list;
+        (** (weight, relaxation literal) per slot, over skeleton slots *)
+    sk_bounds : Maxsat.Optimizer.bounds;
+        (** descent-bound selectors shared by every activation *)
+    sk_clauses : int;  (** skeleton clauses — re-emission avoided on reuse *)
+    sk_recipe : recipe;
+    mutable sk_live_guard : Sat.Lit.t option;
+    mutable sk_activations : int;
+  }
+
+  type t = {
+    window : int;
+    mutable skeleton : skeleton option;
+    mutable frozen : recipe option;
+        (** demoted live skeleton ({!freeze}), thawable into a fresh
+            solver on an exact shape match *)
+  }
+
+  type active = {
+    a_enc : enc;
+    a_solver : Sat.Solver.t;
+    a_assumptions : Sat.Lit.t list;
+    a_relax : (int * Sat.Lit.t) list;
+    a_bounds : Maxsat.Optimizer.bounds;
+    a_reused : bool;  (** false when this activation built the skeleton *)
+  }
+
+  let create ?(window = 16) () =
+    if window < 1 then invalid_arg "Encoding.Session.create: window < 1";
+    { window; skeleton = None; frozen = None }
+
+  (* Fidelity softs weight the edge each gate executes on — gate-dependent,
+     so they cannot live in the skeleton. *)
+  let supported spec =
+    match spec.objective with Count_swaps -> true | Fidelity _ -> false
+
+  let device_eq a b =
+    Arch.Device.name a = Arch.Device.name b
+    && Arch.Device.n_qubits a = Arch.Device.n_qubits b
+    && Arch.Device.edges a = Arch.Device.edges b
+
+  let compatible sk (act : enc) =
+    let s = sk.sk_layout.spec and s' = act.spec in
+    act.n_log = sk.sk_layout.n_log
+    && act.n_slots <= sk.sk_layout.n_slots
+    && Array.length act.steps <= Array.length sk.sk_layout.steps
+    && s'.n_swaps = s.n_swaps && s'.amo = s.amo
+    && s'.inject_all_gate_layers = s.inject_all_gate_layers
+    && s'.mobility = s.mobility
+    && device_eq s'.device s.device
+
+  (* Thawing a recipe demands EXACT shape equality, not the <= padding
+     compatibility of a live skeleton: a cold engine would build the
+     skeleton sized to this activation, and a thaw that padded a larger
+     parked shape instead would put a different formula in front of the
+     descent — different (equal-cost) models, breaking the byte-identity
+     the serving tier promises. *)
+  let same_shape (a : enc) (b : enc) =
+    let s = a.spec and s' = b.spec in
+    a.n_log = b.n_log && a.n_slots = b.n_slots
+    && Array.length a.steps = Array.length b.steps
+    && s'.n_swaps = s.n_swaps && s'.amo = s.amo
+    && s'.inject_all_gate_layers = s.inject_all_gate_layers
+    && s'.mobility = s.mobility
+    && device_eq s'.device s.device
+
+  let check_deadline = function
+    | None -> fun () -> ()
+    | Some d ->
+      fun () -> if Unix.gettimeofday () > d then raise Encode_timeout
+
+  let build_skeleton ?deadline (lay : enc) =
+    let check = check_deadline deadline in
+    let solver = Sat.Solver.create () in
+    for _ = 1 to n_fixed_vars lay do
+      ignore (Sat.Solver.new_var solver)
+    done;
+    let stats = Sat.Sink.sanitize_stats () in
+    let recorded = ref [] in
+    let sink =
+      (* Tee the sanitized clause stream into the recipe on its way to
+         the solver, so a later thaw can replay exactly what the solver
+         saw. *)
+      Sat.Sink.sanitizing ~stats
+        Sat.Sink.
+          {
+            fresh_var = (fun () -> Sat.Solver.new_var solver);
+            add_clause =
+              (fun c ->
+                recorded := c :: !recorded;
+                Sat.Solver.add_clause solver c);
+          }
+    in
+    let soft = ref [] in
+    let em = emitters lay sink soft in
+    em.em_inject_at 0;
+    if lay.spec.inject_all_gate_layers then
+      for i = 0 to Array.length lay.steps - 1 do
+        check ();
+        em.em_inject_at (gate_layer lay i)
+      done;
+    for s = 0 to lay.n_slots - 1 do
+      check ();
+      em.em_slot s
+    done;
+    let relax =
+      List.rev_map
+        (fun (w, c) ->
+          match c with
+          | [ l ] -> (w, Sat.Lit.neg l)
+          | _ -> assert false (* per-slot softs are unit by construction *))
+        !soft
+    in
+    {
+      sk_solver = solver;
+      sk_layout = lay;
+      sk_relax = relax;
+      sk_bounds = Maxsat.Optimizer.shared_bounds ();
+      sk_clauses = stats.Sat.Sink.clauses_seen;
+      sk_recipe =
+        {
+          rc_layout = lay;
+          rc_n_vars = Sat.Solver.n_vars solver;
+          rc_clauses = List.rev !recorded;
+          rc_relax = relax;
+          rc_count = stats.Sat.Sink.clauses_seen;
+        };
+      sk_live_guard = None;
+      sk_activations = 0;
+    }
+
+  let thaw ?deadline recipe =
+    let check = check_deadline deadline in
+    let solver = Sat.Solver.create () in
+    for _ = 1 to recipe.rc_n_vars do
+      ignore (Sat.Solver.new_var solver)
+    done;
+    List.iteri
+      (fun i c ->
+        if i land 4095 = 0 then check ();
+        Sat.Solver.add_clause solver c)
+      recipe.rc_clauses;
+    Obs.Metrics.add m_reused_clauses recipe.rc_count;
+    {
+      sk_solver = solver;
+      sk_layout = recipe.rc_layout;
+      sk_relax = recipe.rc_relax;
+      sk_bounds = Maxsat.Optimizer.shared_bounds ();
+      sk_clauses = recipe.rc_count;
+      sk_recipe = recipe;
+      sk_live_guard = None;
+      sk_activations = 0;
+    }
+
+  let prepare ?deadline ?fixed_initial ?fixed_final ?(cyclic = false)
+      ?(blocked_finals = []) t spec circuit =
+    if not (supported spec) then
+      invalid_arg "Encoding.Session.prepare: unsupported objective";
+    let act_lay = layout ~who:"Encoding.Session.prepare" spec circuit in
+    let sk, reused =
+      match t.skeleton with
+      | Some sk when compatible sk act_lay && sk.sk_activations < t.window ->
+        Obs.Metrics.add m_reused_clauses sk.sk_clauses;
+        (sk, true)
+      | _ ->
+        (* Prefer replaying a recipe (from the retiring live skeleton or
+           a frozen one) over cold-building: the fresh solver ends up in
+           exactly the state a cold build would produce — bit-identical
+           descent — while skipping re-normalisation. *)
+        let recipe =
+          match t.skeleton with
+          | Some sk -> Some sk.sk_recipe
+          | None -> t.frozen
+        in
+        (* Clear first: a mid-build Encode_timeout must not leave a
+           half-emitted skeleton behind as reusable. *)
+        t.skeleton <- None;
+        let sk =
+          match recipe with
+          | Some r when same_shape r.rc_layout act_lay -> thaw ?deadline r
+          | _ -> build_skeleton ?deadline act_lay
+        in
+        t.skeleton <- Some sk;
+        (sk, false)
+    in
+    sk.sk_activations <- sk.sk_activations + 1;
+    let solver = sk.sk_solver in
+    (* Retire the previous activation's guard permanently: its clauses
+       become satisfied units rather than phase-saving bait. *)
+    Option.iter
+      (fun g -> Sat.Solver.add_clause solver [ Sat.Lit.neg g ])
+      sk.sk_live_guard;
+    let gv = Sat.Solver.new_var solver in
+    Sat.Solver.set_polarity solver gv false;
+    let g = Sat.Lit.of_var gv in
+    sk.sk_live_guard <- Some g;
+    let enc =
+      {
+        sk.sk_layout with
+        spec;
+        steps = act_lay.steps;
+        insertion = Sat.Sink.sanitize_stats ();
+      }
+    in
+    let sink =
+      (* Normalisation sees the logical clause; the guard is prepended
+         after, on the way into the solver. *)
+      Sat.Sink.sanitizing ~stats:enc.insertion
+        Sat.Sink.
+          {
+            fresh_var = (fun () -> Sat.Solver.new_var solver);
+            add_clause =
+              (fun c -> Sat.Solver.add_clause solver (Sat.Lit.neg g :: c));
+          }
+    in
+    let em = emitters enc sink (ref []) in
+    let check = check_deadline deadline in
+    Array.iteri
+      (fun i { pair; _ } ->
+        check ();
+        em.em_gate_step ~layer:(gate_layer enc i) pair)
+      act_lay.steps;
+    for s = act_lay.n_slots to sk.sk_layout.n_slots - 1 do
+      em.em_force_noop s
+    done;
+    Option.iter (em.em_pin 0) fixed_initial;
+    Option.iter (em.em_pin (final_layer enc)) fixed_final;
+    if cyclic then em.em_cyclic ();
+    List.iter em.em_blocked blocked_finals;
+    {
+      a_enc = enc;
+      a_solver = solver;
+      a_assumptions = [ g ];
+      a_relax = sk.sk_relax;
+      a_bounds = sk.sk_bounds;
+      a_reused = reused;
+    }
+
+  let freeze t =
+    (match t.skeleton with
+    | Some sk -> t.frozen <- Some sk.sk_recipe
+    | None -> ());
+    t.skeleton <- None
+
+  let reset t =
+    t.skeleton <- None;
+    t.frozen <- None
+end
 
 (* ------------------------------------------------------------------ *)
 (* Decoding *)

@@ -55,6 +55,12 @@ val build :
     fails fast instead of burning its whole routing budget building CNF
     it will never solve. *)
 
+val structure : spec -> Quantum.Circuit.t -> t
+(** Layout only — variable numbering, steps and slot/layer counts, with
+    an empty instance and no clauses emitted.  Enough for {!decode},
+    {!classify_var} and the var accessors; what the block-cache hit path
+    uses to replay a cached solution without re-emitting CNF. *)
+
 val instance : t -> Maxsat.Instance.t
 val n_steps : t -> int
 val steps : t -> step array
@@ -103,6 +109,74 @@ val estimate_vars : spec -> Quantum.Circuit.t -> int
 
 val estimate_clauses : spec -> Quantum.Circuit.t -> int
 (** Clause-count estimate, the dominant memory term. *)
+
+type enc = t
+(** Alias so {!Session} can name the encoding type alongside its own. *)
+
+(** Incremental encoding sessions: one persistent solver shared by
+    consecutive slices and escalating retries of the same shape.
+
+    The slice-independent part of the encoding — injectivity, swap-slot
+    choice/effect/frame/mobility and the per-slot soft no-ops — is
+    emitted once into the solver (the "skeleton"); each {!Session.prepare}
+    then emits only the gate-executability layer, seam pins, cyclic
+    stitching and blocked finals, all guarded by a fresh activation
+    literal that the descent assumes.  The [encode.reused_clauses]
+    metric counts skeleton clauses whose re-emission was skipped, and the
+    activation's {!insertion_stats} show how little was emitted. *)
+module Session : sig
+  type t
+
+  val create : ?window:int -> unit -> t
+  (** [window] (default 16) caps how many activations share one solver
+      before it is rebuilt — learnt-clause accumulation from retired
+      activations eventually outweighs the reuse win. *)
+
+  val supported : spec -> bool
+  (** Sessions support [Count_swaps] only: fidelity soft weights are
+      gate-dependent and cannot live in a shared skeleton. *)
+
+  (** A prepared activation, ready for
+      {!Maxsat.Optimizer.attach}[ ~assumptions ~bounds ~solver ~relax]. *)
+  type active = {
+    a_enc : enc;  (** decode/inspect against this *)
+    a_solver : Sat.Solver.t;
+    a_assumptions : Sat.Lit.t list;  (** the activation guard *)
+    a_relax : (int * Sat.Lit.t) list;  (** objective relaxation literals *)
+    a_bounds : Maxsat.Optimizer.bounds;  (** shared descent-bound table *)
+    a_reused : bool;  (** [false] when this activation built the skeleton *)
+  }
+
+  val prepare :
+    ?deadline:float ->
+    ?fixed_initial:int array ->
+    ?fixed_final:int array ->
+    ?cyclic:bool ->
+    ?blocked_finals:int array list ->
+    t ->
+    spec ->
+    Quantum.Circuit.t ->
+    active
+  (** Reuse the live skeleton when the shape matches (same device,
+      logical-qubit count, [n_swaps], flags, and a slot count that fits —
+      shorter slices are padded with forced no-ops), otherwise rebuild.
+      Raises {!Encode_timeout} past [deadline] and [Invalid_argument] on
+      an unsupported objective. *)
+
+  val freeze : t -> unit
+  (** Demote the live skeleton to a replayable recipe and drop its
+      solver.  The next {!prepare} on the {e exact} same shape replays
+      the recorded clause stream into a fresh solver, reconstructing the
+      state a cold build would have produced bit-for-bit — so a session
+      parked across requests (e.g. in a warm pool) answers
+      byte-identically to a cold one, with no learnt clauses, saved
+      phases or extra variables leaking between requests.  A shape
+      mismatch falls back to a cold build. *)
+
+  val reset : t -> unit
+  (** Drop the skeleton (and its solver) and any frozen recipe; the next
+      prepare cold-builds. *)
+end
 
 type solution = {
   initial : int array;

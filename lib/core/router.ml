@@ -69,6 +69,18 @@ type config = {
           layer uses this to stream intermediate responses; costs are
           per-block (not whole-circuit) and may restart from a higher
           value when backtracking re-solves a seam. *)
+  incremental : bool;
+      (** share one solver across slices, retries and descent bounds (the
+          encoding skeleton persists; per-slice clauses are activated by
+          assumption).  Forced off under [certify] — assumption-activated
+          bounds are not DRUP-replayable — and under parallel solving. *)
+  reuse_window : int;
+      (** activations per shared solver before it is rebuilt *)
+  warm_session : Encoding.Session.t option;
+      (** serving-layer hook: a pre-warmed session whose skeleton may
+          already match this route's blocks, so even the first block
+          skips skeleton emission.  [None] gives each route a private
+          session. *)
 }
 
 (* Everything a block's solution depends on.  A cache keyed on any strict
@@ -112,6 +124,9 @@ let default_config =
     fault_injection = None;
     block_cache = None;
     on_improvement = None;
+    incremental = true;
+    reuse_window = 16;
+    warm_session = None;
   }
 
 let m_blocks = Obs.Metrics.counter "router.blocks"
@@ -128,8 +143,12 @@ type stats = {
   maxsat_iterations : int;
   certified : bool;
       (** certification was on, every block reached its (locally)
-          optimal cost, and the independent checker accepted every
-          infeasibility proof *)
+          optimal cost, the independent checker accepted every
+          infeasibility proof — and at least one proof was actually
+          checked.  A route that never produced an UNSAT bound (e.g. a
+          trivial or cost-0 route) verified nothing and must not claim
+          certification. *)
+  proofs_checked : int;  (** infeasibility proofs independently checked *)
   proof_events : int;  (** learnt/delete trace events across all blocks *)
   certify_time : float;  (** seconds spent in the proof checker *)
   solver_calls : int;
@@ -241,7 +260,7 @@ type block_result =
    ([proved_optimal] stays false for n > 1), but each block's optimum is
    still individually certified. *)
 let cert_fields ~config ~all_optimal reports =
-  if not config.certify then (false, 0, 0.)
+  if not config.certify then (false, 0, 0, 0.)
   else begin
     let all_present = List.for_all Option.is_some reports in
     let merged =
@@ -251,10 +270,29 @@ let cert_fields ~config ~all_optimal reports =
             (Option.value ~default:Maxsat.Certify.empty r))
         Maxsat.Certify.empty reports
     in
-    ( all_optimal && all_present && Maxsat.Certify.ok merged,
+    (* A vacuous report (zero proofs checked — trivial routes, cost-0
+       optima) verified nothing: [certified] must stay false however
+       "ok" the empty aggregate looks. *)
+    ( all_optimal && all_present
+      && Maxsat.Certify.ok merged
+      && not (Maxsat.Certify.vacuous merged),
+      merged.Maxsat.Certify.proofs_checked,
       merged.Maxsat.Certify.trace_events,
       merged.Maxsat.Certify.check_time )
   end
+
+(* Split the remaining budget evenly over the remaining blocks so an
+   early block cannot starve the rest while polishing optimality; the
+   optimizer keeps its best model when its share runs out.  The floor of
+   0.1 s keeps a knife-edge remainder from rounding a block's share down
+   to nothing mid-backtrack (the share is still capped at [deadline]
+   itself, so the floor never extends the overall budget). *)
+let slice_budget ~deadline ~now ~blocks_remaining =
+  if blocks_remaining < 1 then
+    invalid_arg "Router.slice_budget: blocks_remaining < 1";
+  let remaining = deadline -. now in
+  Float.min deadline
+    (now +. Float.max 0.1 (remaining /. float_of_int blocks_remaining))
 
 (* Map the optimizer's verdict on one block to a block result.  Factored
    out (and exposed) because the mapping itself carries an invariant worth
@@ -304,7 +342,25 @@ let block_cache_of config =
     Some c
   | Some _ | None -> None
 
-let solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
+(* More racing domains than cores is pure timesharing loss; cap at the
+   machine budget like the serving layer does. *)
+let effective_jobs config =
+  max 1 (min config.solver_parallelism (Domain.recommended_domain_count ()))
+
+(* Incremental sessions only serve the plain sequential path: parallel
+   portfolios own their solvers, certification needs permanent bound
+   clauses, and lint inspects a complete instance. *)
+let session_usable config =
+  effective_jobs config = 1 && (not config.certify) && not config.lint_blocks
+
+let session_for config =
+  if config.incremental && session_usable config then
+    match config.warm_session with
+    | Some s -> Some s
+    | None -> Some (Encoding.Session.create ~window:config.reuse_window ())
+  else None
+
+let solve_block ~config ~deadline ~device ?session ?fixed_initial ?fixed_final
     ?(cyclic = false) ?(blocked_finals = []) ?n_swaps_override ?(post_slots = 0)
     ?(block_ix = 0) circuit =
   let spec = spec_of_config ?n_swaps_override ~post_slots config device in
@@ -327,64 +383,85 @@ let solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
         bq_blocked_finals = blocked_finals;
       }
     in
-    match Option.map (fun c -> c.bc_find config (query ())) cache with
-    | Some (Some sol) -> (
-      (* Hit: the solver is skipped entirely.  The encoding is still
-         built (deterministic from spec + circuit + seams) because [emit]
-         replays through its step/slot schedule; that cost is linear in
-         the block, not exponential like the solve. *)
-      match
-        Encoding.build ~deadline ?fixed_initial ?fixed_final ~cyclic
-          ~blocked_finals spec circuit
-      with
-      | exception Encoding.Encode_timeout -> (Block_encode_timeout, 0)
-      | enc ->
-        ( Block_solved
-            { enc; sol; optimal = true; iterations = 0; cert = None },
-          0 ))
-    | Some None | None ->
-    match
-      Encoding.build ~deadline ?fixed_initial ?fixed_final ~cyclic
-        ~blocked_finals spec circuit
-    with
-    | exception Encoding.Encode_timeout -> (Block_encode_timeout, 0)
-    | enc ->
-    if config.lint_blocks then begin
-      (* Pinned, blocked, or cyclic blocks may legitimately refute at
-         level 0 (that is the seam-backtracking signal), so a level-0
-         conflict is only an error on unconstrained blocks. *)
-      let expect_sat =
-        fixed_initial = None && fixed_final = None && (not cyclic)
-        && blocked_finals = []
-      in
-      let report = Encoding_lint.check_full ~expect_sat enc in
-      if not (Lint.Report.is_clean ~at_least:Lint.Report.Warning report) then
-        failwith
-          (Format.asprintf "Router: block failed lint (%s)@\n%a"
-             (Lint.Report.summary report) Lint.Report.pp report)
-    end;
-    let jobs =
-            (* More racing domains than cores is pure timesharing loss;
-               cap at the machine budget like the serving layer does. *)
-            max 1
-              (min config.solver_parallelism (Domain.recommended_domain_count ()))
-          in
-    let cube_vars = if jobs > 1 then Encoding.branch_vars enc else [] in
     let report =
       Option.map
         (fun f ~iteration ~cost ~stats:_ -> f ~block:block_ix ~iteration ~cost)
         config.on_improvement
     in
-    let result =
-      classify_block_result ~config enc
-        (Maxsat.Optimizer.solve ~deadline ~certify:config.certify ?report
-           ~jobs ~cube_vars (Encoding.instance enc))
+    let store_optimal result =
+      match (result, cache) with
+      | Block_solved b, Some c when b.optimal ->
+        c.bc_store config (query ()) b.sol
+      | _ -> ()
     in
-    (match (result, cache) with
-    | Block_solved b, Some c when b.optimal ->
-      c.bc_store config (query ()) b.sol
-    | _ -> ());
-    (result, 1)
+    match Option.map (fun c -> c.bc_find config (query ())) cache with
+    | Some (Some sol) ->
+      (* Hit: neither the solver nor clause emission is paid — the
+         layout-only structure is enough for [emit] to replay the cached
+         solution through the step/slot schedule. *)
+      ( Block_solved
+          {
+            enc = Encoding.structure spec circuit;
+            sol;
+            optimal = true;
+            iterations = 0;
+            cert = None;
+          },
+        0 )
+    | Some None | None -> (
+      match session with
+      | Some sess when session_usable config && Encoding.Session.supported spec
+        -> (
+        (* Incremental path: reuse (or build) the shared skeleton and emit
+           only this block's gate layer and seam constraints, then run the
+           descent over the persistent solver. *)
+        match
+          Encoding.Session.prepare ~deadline ?fixed_initial ?fixed_final
+            ~cyclic ~blocked_finals sess spec circuit
+        with
+        | exception Encoding.Encode_timeout -> (Block_encode_timeout, 0)
+        | act ->
+          let os =
+            Maxsat.Optimizer.attach ~assumptions:act.a_assumptions
+              ~bounds:act.a_bounds ~solver:act.a_solver ~relax:act.a_relax ()
+          in
+          let result =
+            classify_block_result ~config act.a_enc
+              (Maxsat.Optimizer.resume ~deadline ?report os)
+          in
+          store_optimal result;
+          (result, 1))
+      | _ -> (
+        match
+          Encoding.build ~deadline ?fixed_initial ?fixed_final ~cyclic
+            ~blocked_finals spec circuit
+        with
+        | exception Encoding.Encode_timeout -> (Block_encode_timeout, 0)
+        | enc ->
+          if config.lint_blocks then begin
+            (* Pinned, blocked, or cyclic blocks may legitimately refute at
+               level 0 (that is the seam-backtracking signal), so a level-0
+               conflict is only an error on unconstrained blocks. *)
+            let expect_sat =
+              fixed_initial = None && fixed_final = None && (not cyclic)
+              && blocked_finals = []
+            in
+            let report = Encoding_lint.check_full ~expect_sat enc in
+            if not (Lint.Report.is_clean ~at_least:Lint.Report.Warning report)
+            then
+              failwith
+                (Format.asprintf "Router: block failed lint (%s)@\n%a"
+                   (Lint.Report.summary report) Lint.Report.pp report)
+          end;
+          let jobs = effective_jobs config in
+          let cube_vars = if jobs > 1 then Encoding.branch_vars enc else [] in
+          let result =
+            classify_block_result ~config enc
+              (Maxsat.Optimizer.solve ~deadline ~certify:config.certify
+                 ?report ~jobs ~cube_vars (Encoding.instance enc))
+          in
+          store_optimal result;
+          (result, 1)))
   end
 
 let block_result_label = function
@@ -396,7 +473,7 @@ let block_result_label = function
 
 (* Escalate the block's swap budget on unsat seams: double n until the
    device diameter, which always suffices for a pinned initial map. *)
-let solve_block_escalating ~config ~deadline ~device ?fixed_initial
+let solve_block_escalating ~config ~deadline ~device ?session ?fixed_initial
     ?fixed_final ?(cyclic = false) ?(blocked_finals = []) ?(want_post = false)
     ?(block_ix = 0) ?(obs_args = []) circuit =
   let span =
@@ -415,9 +492,9 @@ let solve_block_escalating ~config ~deadline ~device ?fixed_initial
   let rec attempt n escalations calls =
     let post_slots = if want_post then n else 0 in
     let result, c =
-      solve_block ~config ~deadline ~device ?fixed_initial ?fixed_final
-        ~cyclic ~blocked_finals ~n_swaps_override:n ~post_slots ~block_ix
-        circuit
+      solve_block ~config ~deadline ~device ?session ?fixed_initial
+        ?fixed_final ~cyclic ~blocked_finals ~n_swaps_override:n ~post_slots
+        ~block_ix circuit
     in
     match result with
     | Block_unsat when n < diameter ->
@@ -478,7 +555,7 @@ let route_monolithic ?(config = default_config) device circuit =
   else if Quantum.Circuit.count_two_qubit circuit = 0 then begin
     let routed = route_trivial ~device circuit in
     check ~config ~original:circuit routed;
-    let certified, proof_events, certify_time =
+    let certified, proofs_checked, proof_events, certify_time =
       cert_fields ~config ~all_optimal:true []
     in
     Routed
@@ -491,20 +568,22 @@ let route_monolithic ?(config = default_config) device circuit =
           escalations = 0;
           maxsat_iterations = 0;
           certified;
+          proofs_checked;
           proof_events;
           certify_time;
           solver_calls = 0;
         } )
   end
   else begin
+    let session = session_for config in
     let result, escalations, solver_calls =
-      solve_block_escalating ~config ~deadline ~device circuit
+      solve_block_escalating ~config ~deadline ~device ?session circuit
     in
     match result with
     | Block_solved b ->
       let routed = emit ~device ~circuit b.enc b.sol in
       check ~config ~original:circuit routed;
-      let certified, proof_events, certify_time =
+      let certified, proofs_checked, proof_events, certify_time =
         cert_fields ~config ~all_optimal:b.optimal [ b.cert ]
       in
       Routed
@@ -517,6 +596,7 @@ let route_monolithic ?(config = default_config) device circuit =
             escalations;
             maxsat_iterations = b.iterations;
             certified;
+            proofs_checked;
             proof_events;
             certify_time;
             solver_calls;
@@ -552,6 +632,7 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
            (Quantum.Circuit.slice_by_two_qubit circuit ~slice_size))
     in
     let n = Array.length slices in
+    let session = session_for config in
     let backtracks = ref 0 in
     let escalations = ref 0 in
     let solver_calls = ref 0 in
@@ -566,18 +647,13 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
           | Some b -> Some b.sol.final
           | None -> failwith "Router: previous slice unsolved"
       in
-      (* Split the remaining budget evenly over the remaining slices so an
-         early slice cannot starve the rest while polishing optimality;
-         the optimizer keeps its best model when its share runs out. *)
       let block_deadline =
-        let now = Unix.gettimeofday () in
-        let remaining = deadline -. now in
-        Float.min deadline
-          (now +. Float.max 0.1 (remaining /. float_of_int (n - !i)))
+        slice_budget ~deadline ~now:(Unix.gettimeofday ())
+          ~blocks_remaining:(n - !i)
       in
       let result, esc, calls =
         solve_block_escalating ~config ~deadline:block_deadline ~device
-          ?fixed_initial ~blocked_finals:st.blocked ~block_ix:!i
+          ?session ?fixed_initial ~blocked_finals:st.blocked ~block_ix:!i
           ~obs_args:
             [ ("slice", Obs.Trace.Int !i); ("n_slices", Obs.Trace.Int n) ]
           st.slice
@@ -629,7 +705,7 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
       let routed = Routed.stitch (List.rev !segments) in
       check ~config ~original:circuit routed;
       let proved_optimal = !all_optimal && n = 1 in
-      let certified, proof_events, certify_time =
+      let certified, proofs_checked, proof_events, certify_time =
         cert_fields ~config ~all_optimal:!all_optimal !certs
       in
       Routed
@@ -642,6 +718,7 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
             escalations = !escalations;
             maxsat_iterations = !iterations;
             certified;
+            proofs_checked;
             proof_events;
             certify_time;
             solver_calls = !solver_calls;
@@ -672,13 +749,14 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
     match slice_size with
     | None -> (
       (* Monolithic body with the cyclic tie and post slots. *)
+      let session = session_for config in
       let result, escalations, solver_calls =
-        solve_block_escalating ~config ~deadline ~device ~cyclic:true
+        solve_block_escalating ~config ~deadline ~device ?session ~cyclic:true
           ~want_post:true body
       in
       match result with
       | Block_solved b ->
-        let certified, proof_events, certify_time =
+        let certified, proofs_checked, proof_events, certify_time =
           cert_fields ~config ~all_optimal:b.optimal [ b.cert ]
         in
         finish
@@ -691,6 +769,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
               escalations;
               maxsat_iterations = b.iterations;
               certified;
+              proofs_checked;
               proof_events;
               certify_time;
               solver_calls;
@@ -710,6 +789,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
              (Quantum.Circuit.slice_by_two_qubit body ~slice_size))
       in
       let n = Array.length slices in
+      let session = session_for config in
       let backtracks = ref 0 in
       let escalations = ref 0 in
       let solver_calls = ref 0 in
@@ -735,15 +815,13 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
         let cyclic = n = 1 && !i = 0 in
         let want_post = !i = n - 1 in
         let block_deadline =
-          let now = Unix.gettimeofday () in
-          let remaining = deadline -. now in
-          Float.min deadline
-            (now +. Float.max 0.1 (remaining /. float_of_int (n - !i)))
+          slice_budget ~deadline ~now:(Unix.gettimeofday ())
+            ~blocks_remaining:(n - !i)
         in
         let result, esc, calls =
           solve_block_escalating ~config ~deadline:block_deadline ~device
-            ?fixed_initial ?fixed_final ~cyclic ~blocked_finals:st.blocked
-            ~want_post ~block_ix:!i
+            ?session ?fixed_initial ?fixed_final ~cyclic
+            ~blocked_finals:st.blocked ~want_post ~block_ix:!i
             ~obs_args:
               [ ("slice", Obs.Trace.Int !i); ("n_slices", Obs.Trace.Int n) ]
             st.slice
@@ -793,7 +871,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
             | None -> failwith "Router: unsolved slice after success")
           slices;
         let routed_body = Routed.stitch (List.rev !segments) in
-        let certified, proof_events, certify_time =
+        let certified, proofs_checked, proof_events, certify_time =
           cert_fields ~config ~all_optimal:!all_optimal !certs
         in
         finish
@@ -806,6 +884,7 @@ let route_cyclic_body ?(config = default_config) ?slice_size ~repetitions
               escalations = !escalations;
               maxsat_iterations = !iterations;
               certified;
+              proofs_checked;
               proof_events;
               certify_time;
               solver_calls = !solver_calls;
@@ -861,6 +940,10 @@ let route_portfolio ?(config = default_config) ?(sizes = [ 10; 25; 50; 100 ])
    makes every member slower without solving more. *)
 let route_portfolio_parallel ?(config = default_config)
     ?(sizes = [ 10; 25; 50; 100 ]) device circuit =
+  (* A warm session wraps one single-threaded solver; sharing it across
+     member domains would race.  Each member gets a private session
+     (created inside its own domain by [session_for]). *)
+  let config = { config with warm_session = None } in
   let spawn size =
     ( size,
       Domain.spawn (fun () ->

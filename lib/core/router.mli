@@ -61,6 +61,26 @@ type config = {
           and report a higher cost than an earlier call.  The callback
           runs on the solving domain — it must be fast and must not
           raise.  [None] by default. *)
+  incremental : bool;
+      (** share one persistent solver across a route's slices, seam
+          retries and descent bounds (default true): the slice-independent
+          encoding skeleton is emitted once and per-slice constraints are
+          activated by assumption ({!Encoding.Session}).  Automatically
+          off under [certify] (assumption-activated bounds are not
+          DRUP-replayable), [lint_blocks], parallel solving, and the
+          [Fidelity] objective — those paths solve from scratch exactly
+          as before. *)
+  reuse_window : int;
+      (** activations per shared solver before it is rebuilt (default
+          16); a sliced route with B blocks creates about
+          [ceil(B / reuse_window)] solvers plus one per budget
+          escalation *)
+  warm_session : Encoding.Session.t option;
+      (** serving-layer hook: a pre-warmed incremental session, so the
+          first block of a request can reuse a skeleton built by an
+          earlier request on the same device and shape.  [None] (default)
+          gives each route a private session.  Not domain-safe: never
+          share one session across concurrently running routes. *)
 }
 
 (** Everything a block's solution depends on — the contract a cache key
@@ -99,8 +119,14 @@ type stats = {
   maxsat_iterations : int;
   certified : bool;
       (** certification was on, every block reached its (locally)
-          optimal cost, and the independent proof checker accepted every
-          infeasibility proof; [false] whenever [config.certify] is off *)
+          optimal cost, the independent proof checker accepted every
+          infeasibility proof, {e and at least one proof was checked}
+          ([proofs_checked > 0]); [false] whenever [config.certify] is
+          off, and [false] for routes that never produced an UNSAT bound
+          (trivial or cost-0 routes) — they verified nothing *)
+  proofs_checked : int;
+      (** infeasibility proofs independently re-checked across all
+          blocks; 0 means [certified] is vacuous and reported [false] *)
   proof_events : int;
       (** learnt/delete proof-trace events across all blocks *)
   certify_time : float;  (** seconds spent inside the proof checker *)
@@ -142,6 +168,21 @@ type block_result =
           to even build in budget, reported distinctly from an ordinary
           solver timeout so the failure is visible downstream *)
   | Block_too_large
+
+val slice_budget : deadline:float -> now:float -> blocks_remaining:int -> float
+(** The per-block deadline the sliced routers give the next block:
+    [min deadline (now + max 0.1 ((deadline - now) / blocks_remaining))] —
+    the remaining budget split evenly over the remaining blocks, floored
+    at 0.1 s so a knife-edge remainder cannot starve a block
+    mid-backtrack, and capped at the route deadline so the floor never
+    extends the overall budget.  Raises [Invalid_argument] when
+    [blocks_remaining < 1]. *)
+
+val session_for : config -> Encoding.Session.t option
+(** The incremental session a route with this config would use: the
+    [warm_session] if given, a fresh one if [incremental] applies, [None]
+    when the config forces the from-scratch path (certify, lint, or
+    parallel solving). *)
 
 val classify_block_result :
   config:config -> Encoding.t -> Maxsat.Optimizer.result -> block_result

@@ -9,6 +9,7 @@ let empty =
   { proofs_checked = 0; proofs_failed = 0; trace_events = 0; check_time = 0. }
 
 let ok r = r.proofs_failed = 0
+let vacuous r = r.proofs_checked = 0
 
 let merge a b =
   {

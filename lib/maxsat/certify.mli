@@ -19,7 +19,15 @@ val empty : report
 (** No claims to check — vacuously certified (e.g. a cost-0 optimum). *)
 
 val ok : report -> bool
-(** [true] iff no checked proof was rejected. *)
+(** [true] iff no checked proof was rejected.  Note that this is
+    vacuously [true] for {!empty}: a caller claiming "certified" must
+    additionally check {!vacuous} (a report with zero checked proofs
+    supports no claim). *)
+
+val vacuous : report -> bool
+(** [true] iff the report checked no proofs at all — nothing was
+    verified, so nothing may be advertised as certified on its
+    strength. *)
 
 val merge : report -> report -> report
 

@@ -3,9 +3,26 @@
    objective strictly below its cost, and repeat until UNSAT (optimal) or
    until the deadline expires (best-so-far is returned).
 
-   Unit-weight objectives use an incremental totalizer (each tightening is
-   a single unit clause); weighted objectives use a binary adder network
-   with a lexicographic comparator. *)
+   Unit-weight objectives use an incremental totalizer; weighted
+   objectives use a binary adder network with a lexicographic comparator.
+
+   The descent is *incremental* by default: one solver lives across the
+   whole SAT->UNSAT sequence, and each bound "objective <= k" is a
+   selector literal a_k activated by assumption (every bound clause is
+   emitted as a_k => C).  Two things fall out of that:
+
+   - the descent is resumable: a deadline-expired [resume] leaves the
+     solver exactly where it stopped, and a later [resume] picks the
+     descent up at the current best bound instead of restarting;
+   - the bound table is shareable: the selector for bound k, once built,
+     works for any later descent over the same objective literals (the
+     routing layer exploits this across slices sharing a skeleton).
+
+   Certification opts out ([certify] forces [incremental] off): a DRUP
+   trace replays permanent clause additions, and an UNSAT reached only
+   under assumptions is not derivable from the recorded CNF alone — so
+   certified descents keep the historical permanent-bound, from-scratch
+   path bit for bit. *)
 
 type outcome = {
   cost : int;
@@ -31,9 +48,14 @@ let best_outcome = function
 let m_iterations = Obs.Metrics.counter "maxsat.iterations"
 let m_optima = Obs.Metrics.counter "maxsat.optima_proved"
 
-(* Entries into [solve] — the denominator the serving layer's result
-   cache drives down: a block-cache hit skips the call entirely. *)
+(* Entries into the optimizer ([solve]/[start]/[attach]) — the
+   denominator the serving layer's result cache drives down: a
+   block-cache hit skips the engagement entirely. *)
 let m_solves = Obs.Metrics.counter "maxsat.solves"
+
+(* Descents continued across an expired deadline: a [resume] on a
+   session that already ran at least once. *)
+let m_resumed = Obs.Metrics.counter "descent.resumed"
 
 (* Relaxation literals: for a soft clause C, a literal r such that r true
    "pays" the clause's weight.  Unit softs [l] reuse ~l directly — the
@@ -58,7 +80,7 @@ let relaxation_lits (sink : Sat.Sink.t) soft =
 type engine = {
   e_new_var : unit -> Sat.Lit.var;
   e_set_polarity : Sat.Lit.var -> bool -> unit;
-  e_solve : unit -> Sat.Solver.result;
+  e_solve : ?deadline:float -> Sat.Lit.t list -> Sat.Solver.result;
   e_model_value : Sat.Lit.var -> bool;
   e_n_vars : unit -> int;
   e_stats : unit -> Sat.Solver.stats;
@@ -83,7 +105,8 @@ let build_machinery sink relax unweighted =
   else Adder (Adder.sum sink relax)
 
 (* Add clauses forcing objective <= k.  Sound to add permanently: the
-   sequence of bounds is strictly decreasing. *)
+   sequence of bounds is strictly decreasing.  This is the certify-mode
+   (from-scratch) path. *)
 let assert_bound (sink : Sat.Sink.t) machinery k =
   match machinery with
   | Totalizer out ->
@@ -91,15 +114,217 @@ let assert_bound (sink : Sat.Sink.t) machinery k =
     else ()
   | Adder bits -> Adder.assert_le sink bits k
 
-let solve ?deadline ?(certify = false) ?report ?(jobs = 1) ?(cube_vars = [])
+(* The memoized selector table: assuming [selector k] forces
+   objective <= k.  Shared across every descent over the same objective
+   (same machinery, same solver) — the routing layer hands one [bounds]
+   value to consecutive slices on a shared skeleton. *)
+type bounds = {
+  mutable b_machinery : bound_machinery option;
+  mutable b_selectors : (int * Sat.Lit.t) list;
+}
+
+let shared_bounds () = { b_machinery = None; b_selectors = [] }
+
+(* Every clause of the bound goes out guarded by ~a_k, so an inactive
+   selector leaves the formula untouched (a later, looser descent on the
+   same solver is not constrained by an earlier, tighter bound). *)
+let guard_sink g (sink : Sat.Sink.t) =
+  {
+    sink with
+    Sat.Sink.add_clause = (fun c -> sink.Sat.Sink.add_clause (Sat.Lit.neg g :: c));
+  }
+
+type session = {
+  s_eng : engine;
+  s_sink : Sat.Sink.t;
+  s_relax : (int * Sat.Lit.t) list;
+  s_unweighted : bool;
+  s_assumptions : Sat.Lit.t list;
+      (** caller context (e.g. the routing layer's activation guard)
+          passed to every solver call of the descent *)
+  s_bounds : bounds;
+  s_incremental : bool;
+  s_recorder : Proof.Certificate.recorder option;
+  mutable s_cert : Certify.report option;
+  mutable s_best : (int * bool array) option;
+  mutable s_iterations : int;
+  mutable s_attempts : int;  (** completed [resume] entries *)
+  mutable s_solve_time : float;  (** accumulated across resumes *)
+  mutable s_result : result option;  (** memoized terminal verdict *)
+}
+
+let selector_for s machinery k =
+  match List.assoc_opt k s.s_bounds.b_selectors with
+  | Some a -> a
+  | None ->
+    let a = Sat.Lit.of_var (s.s_eng.e_new_var ()) in
+    (* Default the selector off so unrelated solver calls on the same
+       solver are not accidentally biased into the bound. *)
+    s.s_eng.e_set_polarity (Sat.Lit.var a) false;
+    let gsink = guard_sink a s.s_sink in
+    (match machinery with
+    | Totalizer out ->
+      if k < Array.length out then gsink.Sat.Sink.add_clause [ Sat.Lit.neg out.(k) ]
+    | Adder bits -> Adder.assert_le gsink bits k);
+    s.s_bounds.b_selectors <- (k, a) :: s.s_bounds.b_selectors;
+    a
+
+let resumed s = max 0 (s.s_attempts - 1)
+
+let resume ?deadline ?report (s : session) =
+  match s.s_result with
+  | Some r -> r
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    if s.s_attempts > 0 then Obs.Metrics.incr m_resumed;
+    s.s_attempts <- s.s_attempts + 1;
+    let certify_unsat () =
+      match s.s_recorder with
+      | None -> ()
+      | Some r ->
+        let report = Certify.certify_refutation r in
+        s.s_cert <-
+          Some
+            (Certify.merge (Option.value ~default:Certify.empty s.s_cert) report)
+    in
+    let report_iteration iteration cost =
+      match report with
+      | None -> ()
+      | Some f -> f ~iteration ~cost ~stats:(s.s_eng.e_stats ())
+    in
+    (* One span per descent iteration: the bound being attempted going in,
+       the solver's verdict (and model cost, when SAT) coming out. *)
+    let iteration_span iteration bound =
+      if Obs.Trace.enabled () then
+        Obs.Trace.start "maxsat.iteration"
+          ~args:
+            [
+              ("iteration", Obs.Trace.Int iteration);
+              ("bound", Obs.Trace.Int bound);
+            ]
+      else Obs.Trace.null_span
+    in
+    let stop_iteration span ?cost outcome =
+      Obs.Metrics.incr m_iterations;
+      if span != Obs.Trace.null_span then
+        Obs.Trace.stop span
+          ~args:
+            (("outcome", Obs.Trace.Str outcome)
+            ::
+            (match cost with
+            | None -> []
+            | Some c -> [ ("cost", Obs.Trace.Int c) ]))
+    in
+    let elapse () = s.s_solve_time <- s.s_solve_time +. (Unix.gettimeofday () -. t0) in
+    let finish kind =
+      let cost, model =
+        match s.s_best with Some cm -> cm | None -> assert false
+      in
+      elapse ();
+      let o =
+        {
+          cost;
+          model;
+          iterations = s.s_iterations;
+          solve_time = s.s_solve_time;
+          solver_stats = Sat.Solver.copy_stats (s.s_eng.e_stats ());
+          certificate = s.s_cert;
+        }
+      in
+      match kind with
+      | `Optimal ->
+        Obs.Metrics.incr m_optima;
+        let r = Optimal o in
+        s.s_result <- Some r;
+        r
+      | `Feasible -> Feasible o
+    in
+    let rec descend () =
+      let best_cost = match s.s_best with Some (c, _) -> c | None -> 0 in
+      if best_cost = 0 || s.s_relax = [] then finish `Optimal
+      else begin
+        let machinery =
+          match s.s_bounds.b_machinery with
+          | Some m -> m
+          | None ->
+            let m = build_machinery s.s_sink s.s_relax s.s_unweighted in
+            s.s_bounds.b_machinery <- Some m;
+            m
+        in
+        let bound = best_cost - 1 in
+        let extra =
+          if s.s_incremental then [ selector_for s machinery bound ]
+          else begin
+            assert_bound s.s_sink machinery bound;
+            []
+          end
+        in
+        let span = iteration_span (s.s_iterations + 1) bound in
+        match s.s_eng.e_solve ?deadline (s.s_assumptions @ extra) with
+        | Sat.Solver.Sat ->
+          s.s_iterations <- s.s_iterations + 1;
+          let cost = cost_of_relax s.s_eng s.s_relax in
+          stop_iteration span ~cost "sat";
+          (* The bound guarantees progress; guard against a stuck loop in
+             case of an encoding bug. *)
+          if cost >= best_cost then
+            failwith "Optimizer: objective did not decrease";
+          s.s_best <- Some (cost, model_array s.s_eng);
+          report_iteration s.s_iterations cost;
+          descend ()
+        | Sat.Solver.Unsat ->
+          stop_iteration span "unsat";
+          (* The descent's one infeasibility claim: cost < best_cost has
+             no model.  Certify it before reporting optimality. *)
+          certify_unsat ();
+          finish `Optimal
+        | Sat.Solver.Unknown ->
+          stop_iteration span "unknown";
+          finish `Feasible
+      end
+    in
+    (match s.s_best with
+    | Some _ -> descend ()
+    | None -> (
+      let span0 = iteration_span (s.s_iterations + 1) (-1) in
+      match s.s_eng.e_solve ?deadline s.s_assumptions with
+      | Sat.Solver.Unsat ->
+        stop_iteration span0 "unsat";
+        (* The initial refutation is the optimizer's strongest claim —
+           the hard clauses alone are infeasible — so under --certify it
+           must be re-checked like every descent bound. *)
+        certify_unsat ();
+        elapse ();
+        let r = Unsatisfiable s.s_cert in
+        s.s_result <- Some r;
+        r
+      | Sat.Solver.Unknown ->
+        stop_iteration span0 "unknown";
+        elapse ();
+        (* Not memoized: a later [resume] retries the initial solve. *)
+        Timeout
+      | Sat.Solver.Sat ->
+        s.s_iterations <- s.s_iterations + 1;
+        let cost = cost_of_relax s.s_eng s.s_relax in
+        stop_iteration span0 ~cost "sat";
+        s.s_best <- Some (cost, model_array s.s_eng);
+        report_iteration s.s_iterations cost;
+        descend ()))
+
+let start ?(certify = false) ?(jobs = 1) ?(cube_vars = []) ?incremental
     instance =
   Obs.Metrics.incr m_solves;
-  let start = Unix.gettimeofday () in
+  let t0 = Unix.gettimeofday () in
   (* Certification replays the DRUP trace of a single solver; a clause
      imported from a portfolio sibling is not RUP-derivable inside the
      importer's own trace, so certify forces the sequential engine (the
-     documented fallback — soundness over speed). *)
+     documented fallback — soundness over speed).  It likewise forces
+     permanent bounds: an UNSAT reached only under a selector assumption
+     is not derivable from the recorded CNF alone. *)
   let jobs = if certify then 1 else max 1 jobs in
+  let incremental =
+    (match incremental with Some b -> b | None -> true) && not certify
+  in
   let eng, sink, recorder =
     if jobs = 1 then begin
       let solver = Sat.Solver.create () in
@@ -118,7 +343,9 @@ let solve ?deadline ?(certify = false) ?report ?(jobs = 1) ?(cube_vars = [])
         {
           e_new_var = (fun () -> Sat.Solver.new_var solver);
           e_set_polarity = Sat.Solver.set_polarity solver;
-          e_solve = (fun () -> Sat.Solver.solve ?deadline solver);
+          e_solve =
+            (fun ?deadline assumptions ->
+              Sat.Solver.solve ~assumptions ?deadline solver);
           e_model_value = Sat.Solver.model_value solver;
           e_n_vars = (fun () -> Sat.Solver.n_vars solver);
           e_stats = (fun () -> Sat.Solver.stats solver);
@@ -139,10 +366,11 @@ let solve ?deadline ?(certify = false) ?report ?(jobs = 1) ?(cube_vars = [])
           e_new_var = (fun () -> Sat.Parallel.new_var p);
           e_set_polarity = Sat.Parallel.set_polarity p;
           e_solve =
-            (fun () ->
+            (fun ?deadline assumptions ->
               match cube_vars with
-              | [] -> Sat.Parallel.solve ?deadline p
-              | candidates -> Sat.Cube.solve ?deadline p ~candidates);
+              | [] -> Sat.Parallel.solve ~assumptions ?deadline p
+              | candidates ->
+                Sat.Cube.solve ~assumptions ?deadline p ~candidates);
           e_model_value = Sat.Parallel.model_value p;
           e_n_vars = (fun () -> Sat.Parallel.n_vars p);
           e_stats = (fun () -> Sat.Parallel.stats p);
@@ -150,43 +378,6 @@ let solve ?deadline ?(certify = false) ?report ?(jobs = 1) ?(cube_vars = [])
       in
       (eng, sink, None)
     end
-  in
-  let cert = ref (if certify then Some Certify.empty else None) in
-  let certify_unsat () =
-    match recorder with
-    | None -> ()
-    | Some r ->
-      let report = Certify.certify_refutation r in
-      cert :=
-        Some (Certify.merge (Option.value ~default:Certify.empty !cert) report)
-  in
-  let report_iteration iteration cost =
-    match report with
-    | None -> ()
-    | Some f -> f ~iteration ~cost ~stats:(eng.e_stats ())
-  in
-  (* One span per descent iteration: the bound being attempted going in,
-     the solver's verdict (and model cost, when SAT) coming out. *)
-  let iteration_span iteration bound =
-    if Obs.Trace.enabled () then
-      Obs.Trace.start "maxsat.iteration"
-        ~args:
-          [
-            ("iteration", Obs.Trace.Int iteration);
-            ("bound", Obs.Trace.Int bound);
-          ]
-    else Obs.Trace.null_span
-  in
-  let stop_iteration span ?cost outcome =
-    Obs.Metrics.incr m_iterations;
-    if span != Obs.Trace.null_span then
-      Obs.Trace.stop span
-        ~args:
-          (("outcome", Obs.Trace.Str outcome)
-          ::
-          (match cost with
-          | None -> []
-          | Some c -> [ ("cost", Obs.Trace.Int c) ]))
   in
   for _ = 1 to Instance.n_vars instance do
     ignore (eng.e_new_var ())
@@ -198,81 +389,67 @@ let solve ?deadline ?(certify = false) ?report ?(jobs = 1) ?(cube_vars = [])
   List.iter
     (fun (_, r) -> eng.e_set_polarity (Sat.Lit.var r) (not (Sat.Lit.sign r)))
     relax;
-  let finish kind cost model iterations =
-    let o =
-      {
-        cost;
-        model;
-        iterations;
-        solve_time = Unix.gettimeofday () -. start;
-        solver_stats = Sat.Solver.copy_stats (eng.e_stats ());
-        certificate = !cert;
-      }
-    in
-    match kind with
-    | `Optimal ->
-      Obs.Metrics.incr m_optima;
-      Optimal o
-    | `Feasible -> Feasible o
+  {
+    s_eng = eng;
+    s_sink = sink;
+    s_relax = relax;
+    s_unweighted = Instance.is_unweighted instance;
+    s_assumptions = [];
+    s_bounds = shared_bounds ();
+    s_incremental = incremental;
+    s_recorder = recorder;
+    s_cert = (if certify then Some Certify.empty else None);
+    s_best = None;
+    s_iterations = 0;
+    s_attempts = 0;
+    s_solve_time = Unix.gettimeofday () -. t0;
+    s_result = None;
+  }
+
+(* Descend over an already-loaded solver (the routing layer's shared
+   skeleton): the objective is [relax], solver calls carry [assumptions]
+   (the caller's activation guard), and bounds — always
+   assumption-activated here — memoize into [bounds] so consecutive
+   sessions over the same solver reuse each other's selector clauses. *)
+let attach ?(assumptions = []) ?bounds ~solver ~relax () =
+  Obs.Metrics.incr m_solves;
+  let eng =
+    {
+      e_new_var = (fun () -> Sat.Solver.new_var solver);
+      e_set_polarity = Sat.Solver.set_polarity solver;
+      e_solve =
+        (fun ?deadline assumptions ->
+          Sat.Solver.solve ~assumptions ?deadline solver);
+      e_model_value = Sat.Solver.model_value solver;
+      e_n_vars = (fun () -> Sat.Solver.n_vars solver);
+      e_stats = (fun () -> Sat.Solver.stats solver);
+    }
   in
-  let span0 = iteration_span 1 (-1) in
-  match eng.e_solve () with
-  | Sat.Solver.Unsat ->
-    stop_iteration span0 "unsat";
-    (* The initial refutation is the optimizer's strongest claim — the
-       hard clauses alone are infeasible — so under --certify it must be
-       re-checked like every descent bound. *)
-    certify_unsat ();
-    Unsatisfiable !cert
-  | Sat.Solver.Unknown ->
-    stop_iteration span0 "unknown";
-    Timeout
-  | Sat.Solver.Sat ->
-    let best_cost = ref (cost_of_relax eng relax) in
-    stop_iteration span0 ~cost:!best_cost "sat";
-    let best_model = ref (model_array eng) in
-    let iterations = ref 1 in
-    report_iteration !iterations !best_cost;
-    if !best_cost = 0 || relax = [] then
-      finish `Optimal !best_cost !best_model !iterations
-    else begin
-      let machinery =
-        build_machinery sink relax (Instance.is_unweighted instance)
-      in
-      let result = ref None in
-      while !result = None do
-        let bound = !best_cost - 1 in
-        assert_bound sink machinery bound;
-        let span = iteration_span (!iterations + 1) bound in
-        match eng.e_solve () with
-        | Sat.Solver.Sat ->
-          incr iterations;
-          let cost = cost_of_relax eng relax in
-          stop_iteration span ~cost "sat";
-          (* The bound guarantees progress; guard against a stuck loop in
-             case of an encoding bug. *)
-          if cost >= !best_cost then
-            failwith "Optimizer: objective did not decrease";
-          best_cost := cost;
-          best_model := model_array eng;
-          report_iteration !iterations cost;
-          if cost = 0 then
-            result := Some (finish `Optimal cost !best_model !iterations)
-        | Sat.Solver.Unsat ->
-          stop_iteration span "unsat";
-          (* The descent's one infeasibility claim: cost < best_cost has
-             no model.  Certify it before reporting optimality. *)
-          certify_unsat ();
-          result := Some (finish `Optimal !best_cost !best_model !iterations)
-        | Sat.Solver.Unknown ->
-          stop_iteration span "unknown";
-          result := Some (finish `Feasible !best_cost !best_model !iterations)
-      done;
-      match !result with Some r -> r | None -> assert false
-    end
+  List.iter
+    (fun (_, r) -> eng.e_set_polarity (Sat.Lit.var r) (not (Sat.Lit.sign r)))
+    relax;
+  {
+    s_eng = eng;
+    s_sink = Sat.Sink.of_solver solver;
+    s_relax = relax;
+    s_unweighted = List.for_all (fun (w, _) -> w = 1) relax;
+    s_assumptions = assumptions;
+    s_bounds = (match bounds with Some b -> b | None -> shared_bounds ());
+    s_incremental = true;
+    s_recorder = None;
+    s_cert = None;
+    s_best = None;
+    s_iterations = 0;
+    s_attempts = 0;
+    s_solve_time = 0.;
+    s_result = None;
+  }
+
+let solve ?deadline ?certify ?report ?jobs ?cube_vars ?incremental instance =
+  resume ?deadline ?report (start ?certify ?jobs ?cube_vars ?incremental instance)
 
 (* Convenience used by tests and the CLI. *)
-let optimal_cost ?deadline instance =
-  match solve ?deadline instance with
+let optimal_cost ?deadline ?certify ?jobs ?cube_vars ?incremental instance =
+  match solve ?deadline ?certify ?jobs ?cube_vars ?incremental instance with
   | Optimal o -> Some o.cost
   | Feasible _ | Unsatisfiable _ | Timeout -> None

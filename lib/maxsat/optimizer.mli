@@ -2,13 +2,23 @@
 
     Mirrors the role Open-WBO-Inc-MCS plays in the paper: a loop around a
     SAT solver that can be interrupted at any point after the first model
-    and still yields the best solution found so far. *)
+    and still yields the best solution found so far.
+
+    The descent is incremental by default: one persistent solver lives
+    across the whole SAT-to-UNSAT sequence and each bound
+    "objective <= k" is a selector literal activated by assumption, so a
+    deadline-expired descent can {!resume} exactly where it stopped and
+    bound clauses never poison later solver calls.  [certify] opts out
+    (see {!solve}): assumption-activated bounds are not DRUP-replayable
+    as permanent units, so certified runs keep the historical
+    permanent-bound from-scratch path. *)
 
 type outcome = {
   cost : int;  (** total weight of falsified soft clauses *)
   model : bool array;  (** indexed by variable *)
   iterations : int;  (** number of satisfiable solver calls *)
-  solve_time : float;  (** wall-clock seconds *)
+  solve_time : float;
+      (** wall-clock seconds, accumulated across {!resume} calls *)
   solver_stats : Sat.Solver.stats;
       (** snapshot of the underlying CDCL solver's counters at the end of
           the descent (conflicts, propagations, learnt-LBD totals, ...) *)
@@ -16,8 +26,8 @@ type outcome = {
       (** [Some r] iff [solve ~certify:true]: the aggregate result of
           re-checking every UNSAT bound with the independent proof
           checker ([Certify.ok r] = all claims verified; an optimum
-          reached without any UNSAT, e.g. cost 0, is vacuously
-          certified with {!Certify.empty}). *)
+          reached without any UNSAT, e.g. cost 0, checks zero proofs —
+          [Certify.vacuous r] — and supports no certified claim). *)
 }
 
 type result =
@@ -38,6 +48,7 @@ val solve :
   ?report:(iteration:int -> cost:int -> stats:Sat.Solver.stats -> unit) ->
   ?jobs:int ->
   ?cube_vars:Sat.Lit.var list ->
+  ?incremental:bool ->
   Instance.t ->
   result
 (** [deadline] is an absolute [Unix.gettimeofday] instant.  [certify]
@@ -55,7 +66,80 @@ val solve :
     map variables) additionally enables cube-and-conquer splitting via
     {!Sat.Cube}.  [certify] forces [jobs] back to 1: imported clauses
     are not RUP-derivable inside the importing solver's own DRUP trace,
-    so certified runs use the sequential engine. *)
+    so certified runs use the sequential engine.
 
-val optimal_cost : ?deadline:float -> Instance.t -> int option
-(** The optimal cost, or [None] if optimality was not proved in time. *)
+    [incremental] (default [true]) activates each descent bound by a
+    selector-literal assumption instead of a permanent unit clause; with
+    [false] (and always under [certify], which forces it off) every
+    bound is asserted permanently — the historical from-scratch
+    behaviour, preserved bit for bit. *)
+
+val optimal_cost :
+  ?deadline:float ->
+  ?certify:bool ->
+  ?jobs:int ->
+  ?cube_vars:Sat.Lit.var list ->
+  ?incremental:bool ->
+  Instance.t ->
+  int option
+(** The optimal cost, or [None] if optimality was not proved in time.
+    Forwards every option to {!solve}. *)
+
+(** {2 Resumable descents}
+
+    [solve] is [start] followed by one [resume].  Callers that want
+    anytime behaviour {e across} deadlines keep the session: a [resume]
+    whose deadline expires returns [Feasible]/[Timeout] but leaves the
+    loaded solver, the bound selectors and the best model in place, and
+    the next [resume] continues the descent from there (counted by the
+    [descent.resumed] metric). *)
+
+type session
+
+val start :
+  ?certify:bool ->
+  ?jobs:int ->
+  ?cube_vars:Sat.Lit.var list ->
+  ?incremental:bool ->
+  Instance.t ->
+  session
+(** Create the engine, load the instance, and return the (not yet run)
+    descent.  Options as in {!solve}. *)
+
+val resume :
+  ?deadline:float ->
+  ?report:(iteration:int -> cost:int -> stats:Sat.Solver.stats -> unit) ->
+  session ->
+  result
+(** Run (or continue) the descent until optimal, unsatisfiable, or the
+    deadline.  Terminal verdicts ([Optimal]/[Unsatisfiable]) are
+    memoized: a later [resume] returns them without touching the
+    solver. *)
+
+val resumed : session -> int
+(** How many times this session continued a previously-started descent
+    (0 for a session resumed at most once). *)
+
+(** {2 Shared-skeleton descents}
+
+    The routing layer keeps one solver loaded with the slice-independent
+    part of the QMR encoding and runs one descent per slice over it.
+    {!attach} builds a session over such an externally-owned solver:
+    [relax] is the objective (weight, relaxation literal) list,
+    [assumptions] the caller's activation context (passed to every
+    solver call), and [bounds] the selector table shared by every
+    session on the same solver.  Bounds are always assumption-activated
+    here, and no certification is available (use the from-scratch path
+    for that). *)
+
+type bounds
+
+val shared_bounds : unit -> bounds
+
+val attach :
+  ?assumptions:Sat.Lit.t list ->
+  ?bounds:bounds ->
+  solver:Sat.Solver.t ->
+  relax:(int * Sat.Lit.t) list ->
+  unit ->
+  session

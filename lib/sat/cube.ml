@@ -34,16 +34,22 @@ let solve_with_core ?(assumptions = []) ?deadline p ~candidates =
        ~l is sound to add for every member. *)
     let scored = ref [] in
     let probed = ref 0 in
+    let refuted = ref false in
     List.iter
       (fun v ->
-        if !probed < max_probed_vars then begin
+        if (not !refuted) && !probed < max_probed_vars then begin
           incr probed;
           let pos = Lit.of_var v and neg = Lit.of_var ~sign:false v in
           match (Parallel.probe p pos, Parallel.probe p neg) with
           | None, None ->
-            (* Both polarities fail: the formula is unsatisfiable. *)
+            (* Both polarities fail at level 0: the formula alone is
+               unsatisfiable.  Record the units (they keep the members'
+               states consistent) and stop — probing further, let alone
+               fanning 2^k cubes out over a refuted formula, is wasted
+               work on every portfolio member. *)
             Parallel.add_clause p [ neg ];
-            Parallel.add_clause p [ pos ]
+            Parallel.add_clause p [ pos ];
+            refuted := true
           | None, Some _ -> Parallel.add_clause p [ neg ]
           | Some _, None -> Parallel.add_clause p [ pos ]
           | Some dp, Some dn ->
@@ -51,6 +57,11 @@ let solve_with_core ?(assumptions = []) ?deadline p ~candidates =
               scored := (((dp * dn) * 1024) + dp + dn, v) :: !scored
         end)
       candidates;
+    if !refuted then
+      (* The refutation is the formula's own (no assumption involved), so
+         the core restricted to the caller's assumptions is empty. *)
+      (Solver.Unsat, [])
+    else
     let chosen =
       let sorted =
         List.sort (fun (a, _) (b, _) -> Int.compare b a) !scored

@@ -157,6 +157,13 @@ let totals_avg_lbd (t : totals) =
    the search loop itself only pays one [Obs.Trace.enabled] branch at
    each restart, where propagations/s is sampled for the trace. *)
 let m_solves = Obs.Metrics.counter "sat.solves"
+
+(* Solver instantiations.  The incremental routing path keeps one solver
+   alive across descent bounds, slices and retries, so this counter is
+   the direct measure of how much re-creation the reuse machinery
+   avoids: a sliced route with B blocks and reuse window W should create
+   about ceil(B/W) solvers, not B-plus-escalations. *)
+let m_created = Obs.Metrics.counter "solver.created"
 let m_conflicts = Obs.Metrics.counter "sat.conflicts"
 let m_propagations = Obs.Metrics.counter "sat.propagations"
 let m_restarts = Obs.Metrics.counter "sat.restarts"
@@ -336,6 +343,7 @@ let create ?sanitize () =
      replaced on growth; hence it goes through the record field. *)
   solver.order :=
     Heap.create (fun x y -> solver.activity.(x) > solver.activity.(y));
+  Obs.Metrics.incr m_created;
   solver
 
 let n_vars t = t.nvars

@@ -8,6 +8,7 @@ type t = {
   pool : Pool.t;
   serve_cache : Protocol.ok_payload Cache.t;
   block_cache : Block_cache.t;
+  warm : Warm.t;
   cache_file : string option;
   restored : int;
   solver_jobs : int;
@@ -43,6 +44,7 @@ let create ?workers ?(solver_jobs = 1) ?(cache_size = 256)
     pool = Pool.create ~name:"service.pool" ~workers ~capacity:queue_capacity ();
     serve_cache;
     block_cache = Block_cache.create ~capacity:block_cache_size ();
+    warm = Warm.create ();
     cache_file;
     restored;
     solver_jobs;
@@ -52,6 +54,7 @@ let solver_jobs t = t.solver_jobs
 
 let serve_cache t = t.serve_cache
 let block_cache t = t.block_cache
+let warm t = t.warm
 let restored_entries t = t.restored
 let pool t = t.pool
 let shutdown t = Pool.shutdown t.pool
@@ -201,7 +204,27 @@ let handle_prepared ?deadline ?on_progress t (p : prepared) =
     match cached with
     | Some stored -> Ok (stored, true)
     | None -> (
-      match route_canonical req config p.p_device p.p_canon with
+      (* Warm the incremental session from the cross-request pool when
+         this config would use one at all; the session is exclusively
+         owned for the duration of the route and parked again after,
+         solver state (skeleton clauses, learnt clauses, descent-bound
+         selectors) intact for the next request of the same shape. *)
+      let route config =
+        match Satmap.Router.session_for config with
+        | None -> route_canonical req config p.p_device p.p_canon
+        | Some _ ->
+          let wkey =
+            Warm.key ~device:p.p_device ~config ~n_swaps:req.n_swaps
+          in
+          let session = Warm.acquire t.warm ~key:wkey in
+          Fun.protect
+            ~finally:(fun () -> Warm.release t.warm ~key:wkey session)
+            (fun () ->
+              route_canonical req
+                { config with warm_session = Some session }
+                p.p_device p.p_canon)
+      in
+      match route config with
       | exception e ->
         Error (err req.id Protocol.Routing_failed (Printexc.to_string e))
       | Satmap.Router.Failed msg ->

@@ -126,6 +126,10 @@ val serve_cache : t -> Protocol.ok_payload Cache.t
 val block_cache : t -> Block_cache.t
 (** The shared block-level cache, for stats and tests. *)
 
+val warm : t -> Warm.t
+(** The cross-request warm-session pool (skeleton-loaded solvers parked
+    between requests of the same device/config shape). *)
+
 val restored_entries : t -> int
 (** Entries loaded from [cache_file] at {!create} time (0 without one). *)
 

@@ -258,6 +258,116 @@ let test_optimizer_deadline_anytime () =
   | _ -> Alcotest.fail "expected Timeout or fast Optimal"
 
 (* ------------------------------------------------------------------ *)
+(* Incremental descent: selector-activated bounds vs permanent units *)
+
+let check_incremental_matches_scratch (n_vars, hard, soft) =
+  let inst = Maxsat.Instance.create ~n_vars ~hard ~soft in
+  let cost incremental =
+    match Maxsat.Optimizer.solve ~incremental inst with
+    | Maxsat.Optimizer.Unsatisfiable _ -> None
+    | Maxsat.Optimizer.Optimal o ->
+      (* The incremental model must be a real model, not just a cost. *)
+      if Maxsat.Instance.cost_of_model inst (fun v -> o.model.(v))
+         <> Some o.cost
+      then Some (-1)
+      else Some o.cost
+    | Maxsat.Optimizer.Feasible _ | Maxsat.Optimizer.Timeout -> Some (-2)
+  in
+  let incr = cost true and scratch = cost false in
+  incr = scratch && scratch = Sat.Brute.maxsat_opt ~n_vars ~hard ~soft
+
+let prop_incremental_matches_scratch =
+  QCheck2.Test.make ~count:500
+    ~name:"incremental descent matches from-scratch descent and brute force"
+    (gen_wcnf ~max_weight:9) check_incremental_matches_scratch
+
+let test_session_resume_after_deadline () =
+  (* An expired deadline leaves the session suspended, not poisoned: the
+     next [resume] continues the same descent to the true optimum. *)
+  let n_vars = 6 in
+  let hard = [ [ lit 0; lit 1 ]; [ lit 2; lit 3 ]; [ lit 4; lit 5 ] ] in
+  let soft = List.init n_vars (fun v -> (1, [ lit ~sign:false v ])) in
+  let inst = Maxsat.Instance.create ~n_vars ~hard ~soft in
+  let session = Maxsat.Optimizer.start inst in
+  (match
+     Maxsat.Optimizer.resume ~deadline:(Unix.gettimeofday () -. 1.0) session
+   with
+  | Maxsat.Optimizer.Timeout | Maxsat.Optimizer.Feasible _ -> ()
+  | Maxsat.Optimizer.Optimal _ ->
+    (* Solved before the first deadline check: acceptable on a fast
+       machine, the resume below then just replays the memoized verdict. *)
+    ()
+  | Maxsat.Optimizer.Unsatisfiable _ -> Alcotest.fail "instance is sat");
+  (match Maxsat.Optimizer.resume session with
+  | Maxsat.Optimizer.Optimal o ->
+    Alcotest.(check int) "resumed optimum" 3 o.Maxsat.Optimizer.cost
+  | _ -> Alcotest.fail "expected Optimal after resume");
+  (* Terminal verdicts are memoized across further resumes. *)
+  match Maxsat.Optimizer.resume session with
+  | Maxsat.Optimizer.Optimal o ->
+    Alcotest.(check int) "memoized optimum" 3 o.Maxsat.Optimizer.cost
+  | _ -> Alcotest.fail "expected memoized Optimal"
+
+let test_attach_bound_activation () =
+  (* Two descents over one solver, sharing a bounds table.  Phase 1 (guard
+     g) proves optimum 1, which refutes the "cost <= 0" selector under
+     [g].  Phase 2 retires g, activates a strictly tighter formula under a
+     fresh guard h, and must still reach ITS optimum (2) — phase 1's bound
+     selectors must neither leak in as permanent constraints nor block the
+     reused "cost <= k" selectors from being assumed again. *)
+  let s = Sat.Solver.create () in
+  let x0 = Sat.Lit.of_var (Sat.Solver.new_var s) in
+  let x1 = Sat.Lit.of_var (Sat.Solver.new_var s) in
+  let g = Sat.Lit.of_var (Sat.Solver.new_var s) in
+  let h = Sat.Lit.of_var (Sat.Solver.new_var s) in
+  let relax = [ (1, x0); (1, x1) ] in
+  let bounds = Maxsat.Optimizer.shared_bounds () in
+  Sat.Solver.add_clause s [ Sat.Lit.neg g; x0; x1 ];
+  let s1 =
+    Maxsat.Optimizer.attach ~assumptions:[ g ] ~bounds ~solver:s ~relax ()
+  in
+  (match Maxsat.Optimizer.resume s1 with
+  | Maxsat.Optimizer.Optimal o ->
+    Alcotest.(check int) "phase-1 optimum" 1 o.Maxsat.Optimizer.cost
+  | _ -> Alcotest.fail "phase 1: expected Optimal");
+  Sat.Solver.add_clause s [ Sat.Lit.neg g ];
+  Sat.Solver.add_clause s [ Sat.Lit.neg h; x0 ];
+  Sat.Solver.add_clause s [ Sat.Lit.neg h; x1 ];
+  let s2 =
+    Maxsat.Optimizer.attach ~assumptions:[ h ] ~bounds ~solver:s ~relax ()
+  in
+  match Maxsat.Optimizer.resume s2 with
+  | Maxsat.Optimizer.Optimal o ->
+    Alcotest.(check int) "phase-2 optimum" 2 o.Maxsat.Optimizer.cost
+  | _ -> Alcotest.fail "phase 2: expected Optimal"
+
+let test_optimal_cost_options () =
+  (* optimal_cost forwards jobs / cube_vars / incremental to solve. *)
+  let inst =
+    Maxsat.Instance.create ~n_vars:3
+      ~hard:[ [ lit 0; lit 1; lit 2 ] ]
+      ~soft:
+        [
+          (2, [ lit ~sign:false 0 ]);
+          (3, [ lit ~sign:false 1 ]);
+          (4, [ lit ~sign:false 2 ]);
+        ]
+  in
+  let expect = Some 2 in
+  Alcotest.(check (option int))
+    "default" expect
+    (Maxsat.Optimizer.optimal_cost inst);
+  Alcotest.(check (option int))
+    "from-scratch" expect
+    (Maxsat.Optimizer.optimal_cost ~incremental:false inst);
+  Alcotest.(check (option int))
+    "certified" expect
+    (Maxsat.Optimizer.optimal_cost ~certify:true inst);
+  Alcotest.(check (option int))
+    "portfolio + cubes" expect
+    (Maxsat.Optimizer.optimal_cost ~jobs:2 ~cube_vars:[ 0; 1 ] inst)
+
+(* ------------------------------------------------------------------ *)
 (* Core-guided engine (Fu-Malik / WPM1) *)
 
 let check_core_guided_against_brute (n_vars, hard, soft) =
@@ -408,6 +518,16 @@ let suite =
           test_optimizer_deadline_anytime;
         qtest prop_optimizer_unweighted;
         qtest prop_optimizer_weighted;
+      ] );
+    ( "incremental",
+      [
+        qtest prop_incremental_matches_scratch;
+        Alcotest.test_case "resume after deadline" `Quick
+          test_session_resume_after_deadline;
+        Alcotest.test_case "attach: bound activation across guards" `Quick
+          test_attach_bound_activation;
+        Alcotest.test_case "optimal_cost option plumbing" `Quick
+          test_optimal_cost_options;
       ] );
     ( "core-guided",
       [

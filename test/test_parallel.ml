@@ -292,6 +292,27 @@ let prop_optimizer_jobs_agree =
       in
       seq = expected && par = expected)
 
+let test_cube_doubly_failed_probe () =
+  (* Probing the cube candidate v refutes BOTH polarities by unit
+     propagation (v forces a and ~a; ~v forces b and ~b): the splitter
+     must short-circuit to a sound (Unsat, []) — empty assumption core,
+     no 2^k cube fan-out over an already-refuted formula. *)
+  let clauses =
+    [
+      [ lit ~sign:false 0; lit 1 ];
+      [ lit ~sign:false 0; lit ~sign:false 1 ];
+      [ lit 0; lit 2 ];
+      [ lit 0; lit ~sign:false 2 ];
+    ]
+  in
+  let p = load_parallel ~jobs:2 3 clauses in
+  let result, core =
+    Sat.Cube.solve_with_core ~assumptions:[ lit 1 ] p ~candidates:[ 0 ]
+  in
+  Alcotest.check check_result "verdict" Sat.Solver.Unsat result;
+  Alcotest.(check int) "formula-level refutation: empty core" 0
+    (List.length core)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let () =
@@ -302,6 +323,8 @@ let () =
           qtest prop_portfolio_agrees_with_sequential;
           qtest prop_portfolio_assumptions_core;
           qtest prop_cubes_agree;
+          Alcotest.test_case "doubly-failed probe short-circuits" `Quick
+            test_cube_doubly_failed_probe;
         ] );
       ("determinism", [ qtest prop_one_job_bit_identical ]);
       ( "sharing",

@@ -336,6 +336,107 @@ let test_encoding_blocked_finals () =
   | _ -> Alcotest.fail "expected Unsatisfiable"
 
 (* ------------------------------------------------------------------ *)
+(* Encoding sessions: skeleton sharing across activations *)
+
+let session_optimum act =
+  match
+    Maxsat.Optimizer.resume
+      (Maxsat.Optimizer.attach
+         ~assumptions:act.Satmap.Encoding.Session.a_assumptions
+         ~bounds:act.Satmap.Encoding.Session.a_bounds
+         ~solver:act.Satmap.Encoding.Session.a_solver
+         ~relax:act.Satmap.Encoding.Session.a_relax ())
+  with
+  | Maxsat.Optimizer.Optimal o ->
+    (o.Maxsat.Optimizer.cost, Satmap.Encoding.decode act.a_enc o.model)
+  | _ -> Alcotest.fail "expected Optimal from session descent"
+
+let test_session_skeleton_sharing () =
+  (* Three same-shape activations over one session: the first builds the
+     skeleton solver, the retry (blocked final — the seam-backtracking
+     pattern) and the next slice (different gates) both reuse it.  Each
+     descent must still land on ITS circuit's optimum. *)
+  let device = line 3 in
+  let triangle =
+    Quantum.Circuit.create ~n_qubits:3 [ cx 0 1; cx 1 2; cx 0 2 ]
+  in
+  let easy = Quantum.Circuit.create ~n_qubits:3 [ cx 0 1; cx 1 2; cx 0 1 ] in
+  let spec = Satmap.Encoding.spec device in
+  Alcotest.(check bool) "count-swaps supported" true
+    (Satmap.Encoding.Session.supported spec);
+  let created () = Obs.Metrics.value (Obs.Metrics.counter "solver.created") in
+  let session = Satmap.Encoding.Session.create () in
+  let before = created () in
+  let act1 = Satmap.Encoding.Session.prepare session spec triangle in
+  Alcotest.(check bool) "first activation builds" false
+    act1.Satmap.Encoding.Session.a_reused;
+  let cost1, sol1 = session_optimum act1 in
+  Alcotest.(check int) "triangle needs one swap" 1 cost1;
+  (* Retry of the same slice with the found final blocked. *)
+  let act2 =
+    Satmap.Encoding.Session.prepare ~blocked_finals:[ sol1.final ] session
+      spec triangle
+  in
+  Alcotest.(check bool) "retry reuses the skeleton" true
+    act2.Satmap.Encoding.Session.a_reused;
+  let cost2, sol2 = session_optimum act2 in
+  Alcotest.(check bool) "retry avoids the blocked final" false
+    (sol2.final = sol1.final);
+  Alcotest.(check bool) "retry optimum still a swap count" true (cost2 >= 1);
+  (* Next slice: different gates, same shape. *)
+  let act3 = Satmap.Encoding.Session.prepare session spec easy in
+  Alcotest.(check bool) "next slice reuses the skeleton" true
+    act3.Satmap.Encoding.Session.a_reused;
+  let cost3, _ = session_optimum act3 in
+  Alcotest.(check int) "adjacent gates need no swap" 0 cost3;
+  Alcotest.(check int) "three activations, one solver" 1 (created () - before)
+
+let test_session_freeze_determinism () =
+  (* A frozen-then-thawed session must be indistinguishable from a cold
+     one: after a descent leaves learnt clauses and saved phases behind,
+     freeze + prepare replays the recipe into a fresh solver, so the
+     next descent lands on the same cost AND the same model a brand-new
+     session finds.  This is the serving tier's shard-count-invariance
+     contract at the session level (a warm engine must answer
+     byte-identically to a cold engine). *)
+  let device = line 3 in
+  let triangle =
+    Quantum.Circuit.create ~n_qubits:3 [ cx 0 1; cx 1 2; cx 0 2 ]
+  in
+  let spec = Satmap.Encoding.spec device in
+  (* Cold reference. *)
+  let cold = Satmap.Encoding.Session.create () in
+  let cost_cold, sol_cold =
+    session_optimum (Satmap.Encoding.Session.prepare cold spec triangle)
+  in
+  (* Warm path: dirty a session with a full descent, freeze, re-prepare. *)
+  let warm = Satmap.Encoding.Session.create () in
+  let _ = session_optimum (Satmap.Encoding.Session.prepare warm spec triangle) in
+  Satmap.Encoding.Session.freeze warm;
+  let act = Satmap.Encoding.Session.prepare warm spec triangle in
+  Alcotest.(check bool) "thaw is not live-solver reuse" false
+    act.Satmap.Encoding.Session.a_reused;
+  let cost_warm, sol_warm = session_optimum act in
+  Alcotest.(check int) "same cost as cold" cost_cold cost_warm;
+  Alcotest.(check bool) "same initial map as cold" true
+    (sol_warm.initial = sol_cold.initial);
+  Alcotest.(check bool) "same final map as cold" true
+    (sol_warm.final = sol_cold.final)
+
+let test_session_window_rebuild () =
+  (* Past the reuse window the skeleton is rebuilt: a window-1 session
+     builds a fresh solver on every prepare. *)
+  let device = line 3 in
+  let circuit = Quantum.Circuit.create ~n_qubits:3 [ cx 0 1; cx 1 2 ] in
+  let spec = Satmap.Encoding.spec device in
+  let session = Satmap.Encoding.Session.create ~window:1 () in
+  let a1 = Satmap.Encoding.Session.prepare session spec circuit in
+  let a2 = Satmap.Encoding.Session.prepare session spec circuit in
+  Alcotest.(check bool) "window exhausted: rebuilt" false
+    a2.Satmap.Encoding.Session.a_reused;
+  ignore a1
+
+(* ------------------------------------------------------------------ *)
 (* Router: correctness and optimality *)
 
 let get_routed = function
@@ -467,6 +568,56 @@ let test_router_certify_off_by_default () =
   in
   Alcotest.(check bool) "not certified" false s.certified;
   Alcotest.(check int) "no proof events" 0 s.proof_events
+
+let test_router_vacuous_certify () =
+  (* A cost-0 optimum proves no bound infeasible, so certification has
+     zero proofs to check — the route must NOT claim [certified] on that
+     empty evidence (the vacuous-certification regression). *)
+  let device = line 3 in
+  let circuit = Quantum.Circuit.create ~n_qubits:3 [ cx 0 1 ] in
+  let config =
+    { quick_config with Satmap.Router.certify = true; verify = true }
+  in
+  let r, s =
+    get_routed (Satmap.Router.route_monolithic ~config device circuit)
+  in
+  Alcotest.(check int) "zero swaps" 0 (Satmap.Routed.n_swaps r);
+  Alcotest.(check bool) "proved optimal" true s.proved_optimal;
+  Alcotest.(check int) "zero proofs checked" 0 s.proofs_checked;
+  Alcotest.(check bool) "not certified on vacuous evidence" false s.certified
+
+let test_router_incremental_matches_scratch () =
+  (* The incremental (session) path and the from-scratch path agree on
+     the monolithic optimum. *)
+  let device, circuit = running_example () in
+  let swaps incremental =
+    let config = { quick_config with Satmap.Router.incremental } in
+    let r, s =
+      get_routed (Satmap.Router.route_monolithic ~config device circuit)
+    in
+    Alcotest.(check bool) "proved optimal" true s.proved_optimal;
+    Satmap.Routed.n_swaps r
+  in
+  Alcotest.(check int) "incremental = from-scratch" (swaps false) (swaps true)
+
+let test_slice_budget () =
+  (* The per-slice deadline split: remaining budget divided evenly over
+     the blocks left, floored at 100ms, never past the deadline. *)
+  let budget = Satmap.Router.slice_budget in
+  let now = 1000.0 in
+  Alcotest.(check (float 1e-9)) "even split" 1002.0
+    (budget ~deadline:1010.0 ~now ~blocks_remaining:5);
+  Alcotest.(check (float 1e-9)) "last block gets the rest" 1010.0
+    (budget ~deadline:1010.0 ~now ~blocks_remaining:1);
+  Alcotest.(check (float 1e-9)) "floored at 100ms" 1000.1
+    (budget ~deadline:1010.0 ~now ~blocks_remaining:1000);
+  Alcotest.(check (float 1e-9)) "floor capped by the deadline" 1000.05
+    (budget ~deadline:1000.05 ~now ~blocks_remaining:1000);
+  Alcotest.(check (float 1e-9)) "expired budget never extends" 990.0
+    (budget ~deadline:990.0 ~now ~blocks_remaining:3);
+  Alcotest.check_raises "no blocks left"
+    (Invalid_argument "Router.slice_budget: blocks_remaining < 1") (fun () ->
+      ignore (budget ~deadline:1010.0 ~now ~blocks_remaining:0))
 
 let test_router_cyclic_body () =
   let device, body = running_example () in
@@ -676,6 +827,15 @@ let suite =
         Alcotest.test_case "blocked finals (Sec V)" `Quick
           test_encoding_blocked_finals;
       ] );
+    ( "session",
+      [
+        Alcotest.test_case "skeleton shared across activations" `Quick
+          test_session_skeleton_sharing;
+        Alcotest.test_case "freeze/thaw matches cold session" `Quick
+          test_session_freeze_determinism;
+        Alcotest.test_case "window exhaustion rebuilds" `Quick
+          test_session_window_rebuild;
+      ] );
     ( "router",
       [
         Alcotest.test_case "running example optimal" `Quick
@@ -690,6 +850,11 @@ let suite =
           test_router_certified_optimum;
         Alcotest.test_case "certify off by default" `Quick
           test_router_certify_off_by_default;
+        Alcotest.test_case "vacuous certification rejected" `Quick
+          test_router_vacuous_certify;
+        Alcotest.test_case "incremental = from-scratch" `Quick
+          test_router_incremental_matches_scratch;
+        Alcotest.test_case "slice budget split" `Quick test_slice_budget;
         Alcotest.test_case "seam backtracking" `Quick
           test_router_backtracking_seam;
         Alcotest.test_case "cyclic body" `Quick test_router_cyclic_body;

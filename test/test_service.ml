@@ -454,6 +454,65 @@ let test_cache_differential () =
   Satmap.Verifier.check_exn ~original (routed_of_payload tokyo cached);
   Service.Engine.shutdown engine
 
+let test_warm_pool () =
+  (* Pool mechanics: a miss mints, release parks, the next acquire with
+     the same key drains the pool, and distinct keys do not collide. *)
+  let pool = Service.Warm.create ~capacity:2 () in
+  let device = tokyo in
+  let config = Satmap.Router.default_config in
+  let k1 = Service.Warm.key ~device ~config ~n_swaps:1 in
+  let k2 = Service.Warm.key ~device ~config ~n_swaps:2 in
+  Alcotest.(check bool) "swap budget is part of the key" false (k1 = k2);
+  let misses () =
+    Obs.Metrics.value (Obs.Metrics.counter "service.warm_misses")
+  in
+  let hits () = Obs.Metrics.value (Obs.Metrics.counter "service.warm_hits") in
+  let m0 = misses () and h0 = hits () in
+  let s1 = Service.Warm.acquire pool ~key:k1 in
+  Alcotest.(check int) "cold acquire misses" 1 (misses () - m0);
+  Alcotest.(check int) "nothing parked while checked out" 0
+    (Service.Warm.parked pool);
+  Service.Warm.release pool ~key:k1 s1;
+  Alcotest.(check int) "released session parked" 1 (Service.Warm.parked pool);
+  let s1' = Service.Warm.acquire pool ~key:k1 in
+  Alcotest.(check int) "warm acquire hits" 1 (hits () - h0);
+  Alcotest.(check bool) "same session returned" true (s1 == s1');
+  Alcotest.(check int) "pool drained by the hit" 0 (Service.Warm.parked pool);
+  (* A different key never sees k1's sessions. *)
+  Service.Warm.release pool ~key:k1 s1';
+  let s2 = Service.Warm.acquire pool ~key:k2 in
+  Alcotest.(check bool) "keys are isolated" false (s1 == s2);
+  (* Capacity bounds parked sessions: releases beyond it are dropped. *)
+  Service.Warm.release pool ~key:k2 s2;
+  Service.Warm.release pool ~key:k2 (Satmap.Encoding.Session.create ());
+  Service.Warm.release pool ~key:k2 (Satmap.Encoding.Session.create ());
+  Alcotest.(check int) "capacity respected" 2 (Service.Warm.parked pool)
+
+let test_engine_warm_reuse () =
+  (* Two cache-distinct requests with the same device/shape fingerprint:
+     the second must route on the session the first parked (the skeleton
+     solver is reused, so no new solver is created for its first block). *)
+  let engine = Service.Engine.create ~workers:1 () in
+  let req id qasm =
+    {
+      Service.Protocol.default_request with
+      id;
+      qasm;
+      device = "tokyo";
+      timeout = 30.0;
+    }
+  in
+  let q1 = Quantum.Qasm.of_file "../examples/qasm/bell_pair.qasm" in
+  ignore (handle_ok engine (req "a" (Quantum.Qasm.to_string q1)));
+  let parked_after_first = Service.Warm.parked (Service.Engine.warm engine) in
+  let q2 = Quantum.Qasm.of_file "../examples/qasm/ghz4.qasm" in
+  let h0 = Obs.Metrics.value (Obs.Metrics.counter "service.warm_hits") in
+  ignore (handle_ok engine (req "b" (Quantum.Qasm.to_string q2)));
+  let h1 = Obs.Metrics.value (Obs.Metrics.counter "service.warm_hits") in
+  if parked_after_first > 0 then
+    Alcotest.(check bool) "second request hit the warm pool" true (h1 > h0);
+  Service.Engine.shutdown engine
+
 let test_unknown_device_and_bad_qasm () =
   let engine = Service.Engine.create ~workers:1 () in
   (match
@@ -515,6 +574,8 @@ let () =
           Alcotest.test_case "serve-loop error paths" `Quick
             test_serve_loop_error_paths;
         ] );
+      ( "warm",
+        [ Alcotest.test_case "pool mechanics" `Quick test_warm_pool ] );
       ( "engine",
         [
           Alcotest.test_case "examples route and verify" `Quick
@@ -522,5 +583,6 @@ let () =
           Alcotest.test_case "cache differential" `Quick test_cache_differential;
           Alcotest.test_case "error responses" `Quick
             test_unknown_device_and_bad_qasm;
+          Alcotest.test_case "warm session reuse" `Quick test_engine_warm_reuse;
         ] );
     ]
