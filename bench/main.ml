@@ -1074,6 +1074,71 @@ let serve_section () =
     (Obs.Json.to_string (Loadgen.result_to_json lg))
     clients burst_solves coalesced_replies shard_invariant
 
+(* Engine win-matrix for the snapshot: run the full engine catalogue
+   through the differential harness on one representative of each
+   circuit family — commuting (QAOA maxcut), sparse random, and a deep
+   arithmetic block — and record per-engine cost/depth/time plus who
+   won each family on swaps.  [Differential.run] verifies every output
+   and checks that a proved MaxSAT optimum lower-bounds every
+   order-preserving heuristic, so a non-empty violations list here is a
+   routing bug, not a tuning regression. *)
+let engines_section () =
+  let budget = Float.max 5.0 (timeout ()) in
+  let config = { Engines.Registry.default_config with timeout = budget } in
+  let families =
+    [
+      ( "qaoa-commuting",
+        Arch.Topologies.linear 8,
+        snd (Qaoa.Build.maxcut_3_regular ~seed:5 ~n:6 ~cycles:2) );
+      ( "sparse-random",
+        Arch.Topologies.grid ~rows:2 ~cols:3,
+        Workloads.Generators.local_random (Rng.create 17) ~n:6 ~gates:12
+          ~locality:0.85 );
+      ("deep-adder", Arch.Topologies.linear 8, Workloads.Generators.ripple_adder 2);
+    ]
+  in
+  let family_json (name, device, circuit) =
+    Printf.eprintf "[bench] engines: %s\n%!" name;
+    let report = Engines.Differential.run ~config device circuit in
+    let best =
+      List.fold_left
+        (fun acc (r : Engines.Differential.row) ->
+          match r.r_result with
+          | Ok (routed, _) -> min acc (Satmap.Routed.n_swaps routed)
+          | Error _ -> acc)
+        max_int report.rows
+    in
+    let row_json (r : Engines.Differential.row) =
+      match r.r_result with
+      | Ok (routed, meta) ->
+        Printf.sprintf
+          "{\"engine\": \"%s\", \"solved\": true, \"swaps\": %d, \
+           \"depth\": %d, \"seconds\": %s, \"optimal\": %b, \"won\": %b}"
+          (json_escape r.r_engine)
+          (Satmap.Routed.n_swaps routed)
+          (Satmap.Routed.depth routed)
+          (json_float meta.Engines.Registry.m_time)
+          meta.Engines.Registry.m_optimal
+          (Satmap.Routed.n_swaps routed = best)
+      | Error msg ->
+        Printf.sprintf
+          "{\"engine\": \"%s\", \"solved\": false, \"error\": \"%s\"}"
+          (json_escape r.r_engine) (json_escape msg)
+    in
+    Printf.sprintf
+      "{\"family\": \"%s\", \"device\": \"%s\", \"violations\": [%s],\n\
+      \     \"rows\": [%s]}"
+      (json_escape name)
+      (json_escape (Arch.Device.name device))
+      (String.concat ", "
+         (List.map
+            (fun v -> Printf.sprintf "\"%s\"" (json_escape v))
+            report.violations))
+      (String.concat ",\n       " (List.map row_json report.rows))
+  in
+  Printf.sprintf "[\n    %s\n  ]"
+    (String.concat ",\n    " (List.map family_json families))
+
 (* Race-layer probe for the snapshot: what do the sync shims cost?  The
    same shim-heavy workload — LRU churn plus a jobs = 2 portfolio solve
    — runs with the instrumentation off (the single-boolean-load
@@ -1265,6 +1330,7 @@ let write_json path =
     \  \"obs_totals\": %s,\n\
     \  \"serve\": %s,\n\
     \  \"race\": %s,\n\
+    \  \"engines\": %s,\n\
     \  \"benchmarks\": [\n%s\n  ]\n\
      }\n"
     (if !opt_smoke then "smoke" else if !opt_full then "full" else "quick")
@@ -1274,6 +1340,7 @@ let write_json path =
     (json_of_totals sum ~wall:total_wall)
     proof_totals cache_totals obs_totals (serve_section ())
     (race_section ())
+    (engines_section ())
     (String.concat ",\n" (List.map row_json rows));
   close_out oc;
   Printf.printf "\nwrote %s: %d benchmarks, %d solved, %.0f props/s\n" path

@@ -14,7 +14,10 @@
      1  routing failed (unsatisfiable, timeout, memory guard, or a
         routing-internal check failure — the Router.route_* entry points
         return Failed rather than raising)
-     2  the input circuit does not parse
+     2  argument error: the input circuit does not parse, or a value we
+        validate ourselves is invalid (unknown --engine or
+        --seed-placement; validated in-command so the engine list can go
+        to stderr instead of cmdliner's generic 124)
      3  a check failed outside the routing path: lint or race findings,
         or a broken invariant in a non-routing subcommand *)
 
@@ -63,6 +66,14 @@ let device =
 let qasm_file =
   Arg.(
     required
+    & pos 0 (some file) None
+    & info [] ~docv:"CIRCUIT.qasm" ~doc:"Input OpenQASM 2.0 circuit.")
+
+(* Optional variant for [route], which must also accept a bare
+   [--list-engines] with no circuit; absence is checked in-command. *)
+let route_qasm_file =
+  Arg.(
+    value
     & pos 0 (some file) None
     & info [] ~docv:"CIRCUIT.qasm" ~doc:"Input OpenQASM 2.0 circuit.")
 
@@ -176,6 +187,60 @@ let metrics_out =
 (* ------------------------------------------------------------------ *)
 (* route *)
 
+(* Engine selection is validated in-command (not via Arg.conv) so an
+   unknown name exits 2 with the engine list on stderr instead of
+   cmdliner's 124. *)
+let engine_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Route through a named engine from the registry (see \
+           --list-engines) instead of the default MaxSAT pipeline; \
+           --method is ignored when an engine is selected.")
+
+let list_engines =
+  Arg.(
+    value & flag
+    & info [ "list-engines" ]
+        ~doc:"List the available routing engines and exit.")
+
+let seed_placement =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "seed-placement" ] ~docv:"SEEDER"
+        ~doc:
+          "Seed the initial mapping externally before routing: 'qap' \
+           (quadratic-assignment placement with tabu search) or 'none'. \
+           Applies to the default MaxSAT pipeline (first slice pin) and \
+           to any --engine that accepts a seed.")
+
+let print_engine_list fmt () =
+  List.iter
+    (fun (e : Engines.Registry.t) ->
+      let caps = e.caps in
+      let tags =
+        List.filter_map Fun.id
+          [
+            (if caps.Engines.Registry.optimal then Some "optimal" else None);
+            (if caps.Engines.Registry.anytime then Some "anytime" else None);
+            (if caps.Engines.Registry.commuting_only then Some "commuting-only"
+             else None);
+            (if caps.Engines.Registry.reorders_commuting then
+               Some "reorders-commuting"
+             else None);
+            (if caps.Engines.Registry.accepts_seed then Some "accepts-seed"
+             else None);
+            (if caps.Engines.Registry.places then Some "places" else None);
+          ]
+      in
+      Format.fprintf fmt "%-14s %s%s@." e.Engines.Registry.name
+        e.Engines.Registry.description
+        (if tags = [] then "" else " [" ^ String.concat ", " tags ^ "]"))
+    (Engines.Catalog.all ())
+
 let print_mapping fmt mapping =
   Array.iteri
     (fun q p -> Format.fprintf fmt "  q%d -> p%d@." q p)
@@ -215,8 +280,39 @@ let lint_blocks =
            with exit code 3.")
 
 let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
-    parallel solver_jobs stats_flag certify lint_blocks trace metrics =
+    parallel solver_jobs stats_flag certify lint_blocks trace metrics engine
+    list_engines seed_placement =
  guarded @@ fun () ->
+  if list_engines then begin
+    Format.printf "%a" print_engine_list ();
+    exit 0
+  end;
+  let qasm =
+    match qasm with
+    | Some q -> q
+    | None ->
+      Format.eprintf "route: a CIRCUIT.qasm argument is required@.";
+      exit exit_parse_error
+  in
+  let engine =
+    match engine with
+    | None -> None
+    | Some name -> (
+      match Engines.Catalog.find name with
+      | Some e -> Some e
+      | None ->
+        Format.eprintf "unknown engine %S; available engines:@.%a" name
+          print_engine_list ();
+        exit exit_parse_error)
+  in
+  let seed_placement =
+    match seed_placement with
+    | None | Some "none" -> None
+    | Some "qap" -> Some `Qap
+    | Some other ->
+      Format.eprintf "unknown seed placement %S (try: qap, none)@." other;
+      exit exit_parse_error
+  in
   Sat.Solver.reset_totals ();
   Obs.Metrics.reset ();
   if trace <> None then Obs.Trace.enable ();
@@ -241,6 +337,49 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
       Satmap.Encoding.Fidelity (Arch.Calibration.synthetic device)
     else Satmap.Encoding.Count_swaps
   in
+  let seed_initial =
+    match seed_placement with
+    | Some `Qap -> Some (Engines.Qap.place device circuit)
+    | None -> None
+  in
+  match engine with
+  | Some e -> (
+    let ecfg =
+      {
+        Engines.Registry.default_config with
+        timeout;
+        n_swaps;
+        slice_size = Option.value slice_size ~default:25;
+        objective;
+        initial = seed_initial;
+      }
+    in
+    match Engines.Registry.run e device circuit ecfg with
+    | Error msg ->
+      Format.eprintf "routing failed: %s@." msg;
+      if stats_flag then print_solver_stats ();
+      finish_obs ();
+      exit exit_routing_failure
+    | Ok (routed, m) ->
+      Format.printf "engine:        %s@." m.Engines.Registry.m_engine;
+      Format.printf "device:        %s@." (Arch.Device.name device);
+      Format.printf "two-qubit:     %d@."
+        (Quantum.Circuit.count_two_qubit circuit);
+      Format.printf "swaps added:   %d@." (Satmap.Routed.n_swaps routed);
+      Format.printf "added CNOTs:   %d@." (Satmap.Routed.added_cnots routed);
+      Format.printf "solve time:    %.2fs@." m.Engines.Registry.m_time;
+      Format.printf "optimal:       %b@." m.Engines.Registry.m_optimal;
+      Format.printf "verified:      true@.";
+      Format.printf "initial map:@.%a" print_mapping
+        (Satmap.Routed.initial routed);
+      if stats_flag then print_solver_stats ();
+      finish_obs ();
+      Option.iter
+        (fun path ->
+          Quantum.Qasm.to_file path (Satmap.Routed.circuit routed);
+          Format.printf "routed circuit written to %s@." path)
+        output)
+  | None ->
   let config =
     {
       Satmap.Router.default_config with
@@ -250,6 +389,7 @@ let route_cmd_run device qasm timeout slice_size method_ noise output n_swaps
       solver_parallelism = max 1 solver_jobs;
       certify;
       lint_blocks;
+      initial_map = seed_initial;
     }
   in
   let span =
@@ -345,9 +485,10 @@ let route_cmd =
   Cmd.v
     (Cmd.info "route" ~doc:"Map and route a circuit onto a device via MaxSAT.")
     Term.(
-      const route_cmd_run $ device $ qasm_file $ timeout $ slice_size
+      const route_cmd_run $ device $ route_qasm_file $ timeout $ slice_size
       $ method_ $ noise $ output $ n_swaps $ parallel $ solver_jobs
-      $ solver_stats $ certify $ lint_blocks $ trace_out $ metrics_out)
+      $ solver_stats $ certify $ lint_blocks $ trace_out $ metrics_out
+      $ engine_opt $ list_engines $ seed_placement)
 
 (* ------------------------------------------------------------------ *)
 (* lint *)

@@ -81,6 +81,13 @@ type config = {
           already match this route's blocks, so even the first block
           skips skeleton emission.  [None] gives each route a private
           session. *)
+  initial_map : int array option;
+      (** externally supplied initial placement (log -> phys), e.g. from
+          the QAP seeder: pins the whole-circuit initial map under
+          [route_monolithic] and the first slice under [route_sliced].
+          The optimum found is then optimal {e given} the seed, not
+          globally.  Ignored by the cyclic relaxation, whose initial map
+          must stay free to close the loop. *)
 }
 
 (* Everything a block's solution depends on.  A cache keyed on any strict
@@ -127,6 +134,7 @@ let default_config =
     incremental = true;
     reuse_window = 16;
     warm_session = None;
+    initial_map = None;
   }
 
 let m_blocks = Obs.Metrics.counter "router.blocks"
@@ -577,7 +585,8 @@ let route_monolithic ?(config = default_config) device circuit =
   else begin
     let session = session_for config in
     let result, escalations, solver_calls =
-      solve_block_escalating ~config ~deadline ~device ?session circuit
+      solve_block_escalating ~config ~deadline ~device ?session
+        ?fixed_initial:config.initial_map circuit
     in
     match result with
     | Block_solved b ->
@@ -641,7 +650,7 @@ let route_sliced ?(config = default_config) ~slice_size device circuit =
     while !failure = None && !i < n do
       let st = slices.(!i) in
       let fixed_initial =
-        if !i = 0 then None
+        if !i = 0 then config.initial_map
         else
           match slices.(!i - 1).solution with
           | Some b -> Some b.sol.final

@@ -81,6 +81,16 @@ type config = {
           earlier request on the same device and shape.  [None] (default)
           gives each route a private session.  Not domain-safe: never
           share one session across concurrently running routes. *)
+  initial_map : int array option;
+      (** externally supplied initial placement (log -> phys), e.g. from
+          the QAP/tabu seeder ([Engines.Qap.place]): pins the
+          whole-circuit initial map under [route_monolithic] and the
+          first slice under [route_sliced] exactly like a seam pin, so
+          the block cache stays sound (the pin is part of the
+          {!block_query}).  The optimum found is optimal {e given} the
+          seed, not globally.  Ignored by the cyclic relaxation, whose
+          initial map must stay free to close the loop.  Default
+          [None]. *)
 }
 
 (** Everything a block's solution depends on — the contract a cache key

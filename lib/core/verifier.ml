@@ -10,6 +10,15 @@
    the *next pending* original gate on every qubit it touches.  This
    accepts commuting reorderings and rejects any dependency violation.
 
+   One deliberate relaxation on top of strict per-qubit order: gates that
+   are diagonal in the computational (Z) basis mutually commute, so a
+   routed Z-diagonal gate may consume a pending original gate that is not
+   at the head of its operand queues, provided every unconsumed entry
+   ahead of it on each operand queue is itself Z-diagonal.  This is what
+   lets the swap-strategy engine execute a commuting Rzz block in
+   adjacency order rather than program order, while a reordering of
+   non-commuting gates (say two CNOTs sharing a qubit) still fails.
+
    The verifier deliberately shares no code with the encodings or the
    routers: it works directly on the routed physical circuit. *)
 
@@ -78,11 +87,56 @@ let consume pend i =
   pend.consumed.(i) <- true;
   pend.n_consumed <- pend.n_consumed + 1
 
+(* Diagonal in the computational basis: any two such gates commute, even
+   when they share qubits. *)
+let z_diagonal = function
+  | Quantum.Gate.One { kind; _ } -> (
+    match kind with
+    | Quantum.Gate.Z | Quantum.Gate.S | Quantum.Gate.Sdg | Quantum.Gate.T
+    | Quantum.Gate.Tdg | Quantum.Gate.Id | Quantum.Gate.Rz _
+    | Quantum.Gate.P _ ->
+      true
+    | _ -> false)
+  | Quantum.Gate.Two { kind; _ } -> (
+    match kind with
+    | Quantum.Gate.Cz | Quantum.Gate.Rzz _ -> true
+    | _ -> false)
+  | _ -> false
+
+(* Commuting fallback: find the pending index matching [got] reachable on
+   every operand queue by skipping only unconsumed Z-diagonal gates.  The
+   scan takes the first match per queue; since each queue lists gates in
+   circuit order, duplicate equal gates resolve consistently. *)
+let find_commuting pend qs got =
+  let candidate q =
+    let rec scan = function
+      | [] -> None
+      | i :: rest ->
+        if pend.consumed.(i) then scan rest
+        else if Quantum.Gate.equal pend.gates.(i) got then Some i
+        else if z_diagonal pend.gates.(i) then scan rest
+        else None
+    in
+    scan pend.queues.(q)
+  in
+  match List.map candidate qs with
+  | [] -> None
+  | Some i :: rest ->
+    if List.for_all (fun c -> c = Some i) rest then Some i else None
+  | None :: _ -> None
+
 (* Match a logical gate against the pending structure. *)
 let match_pending pend index got fail =
   match Quantum.Gate.qubits got with
   | [] -> ()
   | qs -> (
+    let commuting_fallback orig_failure =
+      if z_diagonal got then
+        match find_commuting pend qs got with
+        | Some i -> consume pend i
+        | None -> fail orig_failure
+      else fail orig_failure
+    in
     let heads = List.map (head pend) qs in
     match heads with
     | [] -> ()
@@ -90,7 +144,7 @@ let match_pending pend index got fail =
       if List.exists (fun h -> h = None) heads then
         fail (Extra_gates { index })
       else if List.exists (fun h -> h <> first) rest then
-        fail
+        commuting_fallback
           (Wrong_gate
              {
                index;
@@ -103,7 +157,7 @@ let match_pending pend index got fail =
         | Some i ->
           if Quantum.Gate.equal pend.gates.(i) got then consume pend i
           else
-            fail
+            commuting_fallback
               (Wrong_gate
                  {
                    index;

@@ -7,7 +7,13 @@
     routed gate, pulled back to logical qubits, must be the next pending
     original gate on each qubit it touches (commuting reorderings pass,
     dependency violations fail) — and (3) the recorded final map matches
-    the traversal. *)
+    the traversal.
+
+    Dependency equivalence is relaxed for gates diagonal in the
+    computational basis (Z, S, Sdg, T, Tdg, Id, Rz, P, Cz, Rzz): such
+    gates mutually commute even on shared qubits, so a routed Z-diagonal
+    gate may match a pending gate behind other Z-diagonal gates on its
+    operand queues.  Reorderings of non-commuting gates still fail. *)
 
 type failure =
   | Disconnected_gate of { index : int; p1 : int; p2 : int }

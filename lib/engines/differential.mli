@@ -1,0 +1,37 @@
+(** Cross-engine differential harness: run k engines on one instance,
+    verify every output with {!Satmap.Verifier}, assert that a proved
+    MaxSAT optimum lower-bounds every order-preserving heuristic, and
+    report per-engine cost/depth/time.
+
+    The bound holds over routings that replay the source circuit's
+    exact total order — what the MaxSAT encoding minimises over.  Two
+    relaxations legitimately escape it and are exempt: engines with
+    [reorders_commuting] (commuting gates may execute out of program
+    order), and front-layer heuristics that interleave gates on
+    disjoint qubits (dependency-sound; detected by replaying the routed
+    circuit through its SWAP trajectory).  A cheaper routing in exact
+    program order is reported as a violation — it contradicts the
+    optimality proof.  Engine errors (e.g. [swap_strategy] on a
+    non-commuting circuit) are reported as rows but are not
+    violations. *)
+
+type row = {
+  r_engine : string;
+  r_result : (Satmap.Routed.t * Registry.meta, string) result;
+}
+
+type report = {
+  rows : row list;
+  violations : string list;  (** empty on a clean run *)
+}
+
+val run :
+  ?engines:string list ->
+  ?config:Registry.config ->
+  Arch.Device.t ->
+  Quantum.Circuit.t ->
+  report
+(** Forces [verify = true] and [initial = None] (a seeded maxsat row
+    would be a non-global optimum and bound nothing). *)
+
+val pp_report : Format.formatter -> report -> unit

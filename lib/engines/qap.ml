@@ -1,0 +1,191 @@
+(* Quadratic-assignment placement with tabu-search improvement (the 2QAN
+   recipe).  The objective is the classic QAP form
+
+     cost(sol) = sum over logical pairs (q, q')  flow(q, q') * dist(sol q, sol q')
+
+   where flow counts two-qubit interactions and dist is device shortest
+   path.  A greedy construction (highest-flow qubits first, each placed
+   where it is closest to its already-placed partners) is improved by
+   tabu search over pair swaps and relocations to free physical qubits,
+   with an aspiration criterion on the incumbent best.
+
+   The result is a placement, not a routing: it is used standalone in
+   front of SABRE (the [qap] engine) or as an initial-mapping seed for
+   any engine with [accepts_seed] (satmap's [initial_map], SABRE's
+   [route_from], A*'s and tket's [?initial]). *)
+
+let flow_matrix circuit =
+  let n = Quantum.Circuit.n_qubits circuit in
+  let flow = Array.make_matrix n n 0 in
+  List.iter
+    (fun (_, q, q') ->
+      flow.(q).(q') <- flow.(q).(q') + 1;
+      flow.(q').(q) <- flow.(q').(q) + 1)
+    (Quantum.Circuit.two_qubit_gates circuit);
+  flow
+
+let cost ~device ~flow sol =
+  let n = Array.length sol in
+  let total = ref 0 in
+  for q = 0 to n - 1 do
+    for q' = q + 1 to n - 1 do
+      if flow.(q).(q') > 0 then
+        total :=
+          !total + (flow.(q).(q') * Arch.Device.distance device sol.(q) sol.(q'))
+    done
+  done;
+  !total
+
+(* Cost change from assigning [q] to position [p] instead of [sol.(q)],
+   everything else fixed. *)
+let move_delta ~device ~flow sol q p =
+  let n = Array.length sol in
+  let d = ref 0 in
+  for q' = 0 to n - 1 do
+    if q' <> q && flow.(q).(q') > 0 then
+      d :=
+        !d
+        + flow.(q).(q')
+          * (Arch.Device.distance device p sol.(q')
+            - Arch.Device.distance device sol.(q) sol.(q'))
+  done;
+  !d
+
+let swap_delta ~device ~flow sol i j =
+  let pi = sol.(i) and pj = sol.(j) in
+  let n = Array.length sol in
+  let d = ref 0 in
+  for q = 0 to n - 1 do
+    if q <> i && q <> j then begin
+      if flow.(i).(q) > 0 then
+        d :=
+          !d
+          + flow.(i).(q)
+            * (Arch.Device.distance device pj sol.(q)
+              - Arch.Device.distance device pi sol.(q));
+      if flow.(j).(q) > 0 then
+        d :=
+          !d
+          + flow.(j).(q)
+            * (Arch.Device.distance device pi sol.(q)
+              - Arch.Device.distance device pj sol.(q))
+    end
+  done;
+  (* the (i, j) term itself is symmetric under the swap *)
+  !d
+
+let greedy device flow =
+  let n_log = Array.length flow in
+  let n_phys = Arch.Device.n_qubits device in
+  let total_flow q = Array.fold_left ( + ) 0 flow.(q) in
+  let order =
+    List.sort
+      (fun a b -> compare (total_flow b, a) (total_flow a, b))
+      (List.init n_log Fun.id)
+  in
+  let sol = Array.make n_log (-1) in
+  let taken = Array.make n_phys false in
+  List.iter
+    (fun q ->
+      let score p =
+        if taken.(p) then max_int
+        else begin
+          let placed = ref 0 in
+          for q' = 0 to n_log - 1 do
+            if sol.(q') >= 0 && flow.(q).(q') > 0 then
+              placed :=
+                !placed + (flow.(q).(q') * Arch.Device.distance device p sol.(q'))
+          done;
+          (* prefer central (high-degree) spots when no partner is placed *)
+          (!placed * n_phys) - Arch.Device.degree device p
+        end
+      in
+      let best = ref (-1) and best_s = ref max_int in
+      for p = 0 to n_phys - 1 do
+        let s = score p in
+        if s < !best_s then begin
+          best := p;
+          best_s := s
+        end
+      done;
+      sol.(q) <- !best;
+      taken.(!best) <- true)
+    order;
+  sol
+
+let place ?(seed = 1) ?(iterations = 250) device circuit =
+  if Quantum.Circuit.n_qubits circuit > Arch.Device.n_qubits device then
+    invalid_arg "Qap.place: circuit does not fit on the device";
+  let flow = flow_matrix circuit in
+  let n_log = Array.length flow in
+  let n_phys = Arch.Device.n_qubits device in
+  let rng = Rng.create seed in
+  let sol = greedy device flow in
+  let taken = Array.make n_phys false in
+  Array.iter (fun p -> taken.(p) <- true) sol;
+  let current = ref (cost ~device ~flow sol) in
+  let best = ref !current in
+  let best_sol = ref (Array.copy sol) in
+  let tenure = 7 in
+  (* tabu.(q).(p): iteration until which re-assigning q to p is tabu *)
+  let tabu = Array.make_matrix n_log n_phys 0 in
+  for iter = 1 to iterations do
+    (* Best admissible move this iteration: either swap two logical
+       qubits' positions or relocate one to a free physical qubit. *)
+    let best_move = ref None and best_delta = ref max_int in
+    let consider move delta forbidden =
+      let aspirated = !current + delta < !best in
+      if (not forbidden) || aspirated then
+        if
+          delta < !best_delta
+          || (delta = !best_delta && Rng.bool rng)
+        then begin
+          best_move := Some move;
+          best_delta := delta
+        end
+    in
+    for i = 0 to n_log - 1 do
+      for j = i + 1 to n_log - 1 do
+        let delta = swap_delta ~device ~flow sol i j in
+        let forbidden =
+          tabu.(i).(sol.(j)) > iter || tabu.(j).(sol.(i)) > iter
+        in
+        consider (`Swap (i, j)) delta forbidden
+      done;
+      for p = 0 to n_phys - 1 do
+        if not taken.(p) then begin
+          let delta = move_delta ~device ~flow sol i p in
+          consider (`Move (i, p)) delta (tabu.(i).(p) > iter)
+        end
+      done
+    done;
+    (match !best_move with
+    | None -> ()
+    | Some (`Swap (i, j)) ->
+      tabu.(i).(sol.(i)) <- iter + tenure;
+      tabu.(j).(sol.(j)) <- iter + tenure;
+      let t = sol.(i) in
+      sol.(i) <- sol.(j);
+      sol.(j) <- t;
+      current := !current + !best_delta
+    | Some (`Move (i, p)) ->
+      tabu.(i).(sol.(i)) <- iter + tenure;
+      taken.(sol.(i)) <- false;
+      taken.(p) <- true;
+      sol.(i) <- p;
+      current := !current + !best_delta);
+    if !current < !best then begin
+      best := !current;
+      best_sol := Array.copy sol
+    end
+  done;
+  !best_sol
+
+let route ?(seed = 1) ?sabre_config device circuit =
+  let initial = place ~seed device circuit in
+  let config =
+    match sabre_config with
+    | Some c -> c
+    | None -> { Heuristics.Sabre.default_config with seed }
+  in
+  Heuristics.Sabre.route_from ~config ~initial device circuit

@@ -1,0 +1,25 @@
+(** Quadratic-assignment placement (flow x distance objective) with
+    tabu-search improvement, in the style of 2QAN.  Usable standalone
+    (placement + SABRE routing) or as an initial-mapping seeder for any
+    engine that accepts one. *)
+
+val flow_matrix : Quantum.Circuit.t -> int array array
+(** Symmetric interaction-count matrix over logical qubits. *)
+
+val cost : device:Arch.Device.t -> flow:int array array -> int array -> int
+(** The QAP objective: sum of [flow(q, q') * dist(sol q, sol q')] over
+    unordered logical pairs. *)
+
+val place :
+  ?seed:int -> ?iterations:int -> Arch.Device.t -> Quantum.Circuit.t -> int array
+(** Greedy construction + tabu search (pair swaps and relocations to
+    free physical qubits, tenure 7, aspiration on the incumbent).
+    Returns an injective log -> phys array.  Deterministic per seed. *)
+
+val route :
+  ?seed:int ->
+  ?sabre_config:Heuristics.Sabre.config ->
+  Arch.Device.t ->
+  Quantum.Circuit.t ->
+  Satmap.Routed.t
+(** QAP placement followed by [Sabre.route_from] on it. *)

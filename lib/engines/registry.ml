@@ -1,0 +1,116 @@
+(* The engine contract: one uniform signature over every routing path in
+   the repo — the MaxSAT routers, the heuristic baselines, and the new
+   swap-strategy and QAP engines — so callers (CLI, serve tier, bench,
+   differential harness) select a router by name instead of hard-wiring a
+   module.
+
+   Engines are pure values; the mutable name table and the builtin
+   catalogue live in [Catalog].  [run] is the single entry point callers
+   should use: it wraps the engine's raw route in an Obs span, times it,
+   verifies the output against the original circuit when asked, and
+   converts escaped exceptions into [Error] so one misbehaving engine
+   cannot take down a differential run. *)
+
+type caps = {
+  optimal : bool;
+      (** can prove swap-count optimality (reported per-run in
+          {!meta.m_optimal}; sliced runs only prove local optimality) *)
+  anytime : bool;  (** improves under a deadline rather than all-or-nothing *)
+  commuting_only : bool;
+      (** requires every two-qubit gate to be Z-diagonal (Cz/Rzz) *)
+  reorders_commuting : bool;
+      (** may emit commuting gates out of program order: solves a
+          relaxation of the order-preserving problem, so the MaxSAT
+          optimum is not a lower bound for it (see [Differential]) *)
+  accepts_seed : bool;  (** honours {!config.initial} *)
+  places : bool;  (** exposes a standalone placement ({!t.place}) *)
+}
+
+type config = {
+  timeout : float;
+  n_swaps : int;  (** the paper's n: swap slots per gate (MaxSAT engines) *)
+  slice_size : int;
+  objective : Satmap.Encoding.objective;
+  seed : int;
+  initial : int array option;
+      (** external initial placement (log -> phys) for engines with
+          [accepts_seed] *)
+  verify : bool;  (** run [Verifier.check_exn] on every output *)
+}
+
+let default_config =
+  {
+    timeout = 30.0;
+    n_swaps = 1;
+    slice_size = 25;
+    objective = Satmap.Encoding.Count_swaps;
+    seed = 1;
+    initial = None;
+    verify = true;
+  }
+
+type meta = {
+  m_engine : string;
+  m_time : float;  (** wall-clock seconds inside the engine *)
+  m_optimal : bool;  (** the reported cost is a proved optimum *)
+}
+
+type outcome = (Satmap.Routed.t * meta, string) result
+
+type t = {
+  name : string;
+  description : string;
+  caps : caps;
+  route :
+    Arch.Device.t ->
+    Quantum.Circuit.t ->
+    config ->
+    (Satmap.Routed.t * bool, string) result;
+      (** raw route; the [bool] is the proved-optimal flag.  Call through
+          {!run}, which adds the span, timing, verification and exception
+          guard. *)
+  place : (Arch.Device.t -> Quantum.Circuit.t -> config -> int array) option;
+}
+
+let m_routes = Obs.Metrics.counter "engines.routes"
+let m_failures = Obs.Metrics.counter "engines.failures"
+
+let run engine device circuit config : outcome =
+  Obs.Trace.with_span "engines.route"
+    ~args:
+      [
+        ("engine", Obs.Trace.Str engine.name);
+        ("n_qubits", Obs.Trace.Int (Quantum.Circuit.n_qubits circuit));
+        ("n_gates", Obs.Trace.Int (Quantum.Circuit.length circuit));
+      ]
+  @@ fun () ->
+  Obs.Metrics.incr m_routes;
+  let start = Unix.gettimeofday () in
+  let result =
+    match engine.route device circuit config with
+    | result -> result
+    | exception Failure msg -> Error msg
+    | exception Invalid_argument msg -> Error msg
+  in
+  let elapsed = Unix.gettimeofday () -. start in
+  match result with
+  | Error msg ->
+    Obs.Metrics.incr m_failures;
+    Error (Printf.sprintf "%s: %s" engine.name msg)
+  | Ok (routed, optimal) -> (
+    let verified =
+      if not config.verify then Ok ()
+      else
+        match Satmap.Verifier.check ~original:circuit routed with
+        | [] -> Ok ()
+        | failures ->
+          Error
+            (String.concat "; "
+               (List.map Satmap.Verifier.failure_to_string failures))
+    in
+    match verified with
+    | Error msg ->
+      Obs.Metrics.incr m_failures;
+      Error (Printf.sprintf "%s: verifier rejected output: %s" engine.name msg)
+    | Ok () ->
+      Ok (routed, { m_engine = engine.name; m_time = elapsed; m_optimal = optimal }))

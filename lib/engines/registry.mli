@@ -1,0 +1,58 @@
+(** The engine contract: one uniform route signature over every routing
+    path in the repo, with capability flags and Obs spans.  Builtin
+    engines and the name table live in {!Catalog}. *)
+
+(** Capability flags, advertised per engine. *)
+type caps = {
+  optimal : bool;
+      (** can prove swap-count optimality (sliced runs prove only local
+          optimality; the per-run truth is {!meta.m_optimal}) *)
+  anytime : bool;
+      (** improves under a deadline rather than all-or-nothing *)
+  commuting_only : bool;
+      (** requires every two-qubit gate to be Z-diagonal (Cz/Rzz) *)
+  reorders_commuting : bool;
+      (** may emit commuting gates out of program order — solves a
+          relaxation, so the order-preserving MaxSAT optimum is not a
+          lower bound for it *)
+  accepts_seed : bool;  (** honours {!config.initial} *)
+  places : bool;  (** exposes a standalone placement ({!t.place}) *)
+}
+
+type config = {
+  timeout : float;
+  n_swaps : int;
+  slice_size : int;
+  objective : Satmap.Encoding.objective;
+  seed : int;
+  initial : int array option;
+  verify : bool;
+}
+
+val default_config : config
+
+type meta = {
+  m_engine : string;
+  m_time : float;
+  m_optimal : bool;
+}
+
+type outcome = (Satmap.Routed.t * meta, string) result
+
+type t = {
+  name : string;
+  description : string;
+  caps : caps;
+  route :
+    Arch.Device.t ->
+    Quantum.Circuit.t ->
+    config ->
+    (Satmap.Routed.t * bool, string) result;
+  place : (Arch.Device.t -> Quantum.Circuit.t -> config -> int array) option;
+}
+
+val run : t -> Arch.Device.t -> Quantum.Circuit.t -> config -> outcome
+(** The single entry point callers should use: wraps the engine's raw
+    [route] in an [engines.route] Obs span, times it, verifies the
+    output with {!Satmap.Verifier} when [config.verify], and converts
+    escaped [Failure]/[Invalid_argument] into [Error]. *)

@@ -138,7 +138,7 @@ let greedy_step ~device log_to_phys layer =
   in
   (src, next)
 
-let route ?(config = default_config) device circuit =
+let route ?(config = default_config) ?initial device circuit =
   if Quantum.Circuit.n_qubits circuit > Arch.Device.n_qubits device then
     invalid_arg "Astar_route.route: circuit does not fit on the device";
   let n_phys = Arch.Device.n_qubits device in
@@ -146,9 +146,17 @@ let route ?(config = default_config) device circuit =
   let layers =
     List.map (fun l -> List.map (Quantum.Dag.node dag) l) (Quantum.Dag.layers dag)
   in
-  (* Initial placement: the same interaction-aware greedy as the tket
-     baseline (MQTH's own placement is similar in spirit). *)
-  let initial = Tket_route.initial_placement ~device circuit in
+  (* Initial placement: a caller-supplied seed (e.g. QAP), else the same
+     interaction-aware greedy as the tket baseline (MQTH's own placement
+     is similar in spirit). *)
+  let initial =
+    match initial with
+    | Some a ->
+      if Array.length a <> Quantum.Circuit.n_qubits circuit then
+        invalid_arg "Astar_route.route: initial placement has wrong length";
+      Array.copy a
+    | None -> Tket_route.initial_placement ~device circuit
+  in
   let log_to_phys = Array.copy initial in
   let events = ref [] in
   let do_swap edge =

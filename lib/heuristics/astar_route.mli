@@ -10,4 +10,10 @@ type config = {
 val default_config : config
 
 val route :
-  ?config:config -> Arch.Device.t -> Quantum.Circuit.t -> Satmap.Routed.t
+  ?config:config ->
+  ?initial:int array ->
+  Arch.Device.t ->
+  Quantum.Circuit.t ->
+  Satmap.Routed.t
+(** [initial] seeds the placement (log -> phys, injective, one entry per
+    logical qubit) instead of the default interaction-aware greedy. *)

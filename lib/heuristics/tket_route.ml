@@ -84,7 +84,7 @@ let initial_placement ~device circuit =
   List.iter place order;
   log_to_phys
 
-let route ?(config = default_config) device circuit =
+let route ?(config = default_config) ?initial device circuit =
   if Quantum.Circuit.n_qubits circuit > Arch.Device.n_qubits device then
     invalid_arg "Tket_route.route: circuit does not fit on the device";
   let n_phys = Arch.Device.n_qubits device in
@@ -94,7 +94,14 @@ let route ?(config = default_config) device circuit =
       (fun l -> List.map (Quantum.Dag.node dag) l)
       (Quantum.Dag.layers dag)
   in
-  let initial = initial_placement ~device circuit in
+  let initial =
+    match initial with
+    | Some a ->
+      if Array.length a <> Quantum.Circuit.n_qubits circuit then
+        invalid_arg "Tket_route.route: initial placement has wrong length";
+      Array.copy a
+    | None -> initial_placement ~device circuit
+  in
   let log_to_phys = Array.copy initial in
   let phys_to_log = Array.make n_phys (-1) in
   Array.iteri (fun q p -> phys_to_log.(p) <- q) log_to_phys;

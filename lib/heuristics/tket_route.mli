@@ -12,4 +12,10 @@ val default_config : config
 val initial_placement : device:Arch.Device.t -> Quantum.Circuit.t -> int array
 
 val route :
-  ?config:config -> Arch.Device.t -> Quantum.Circuit.t -> Satmap.Routed.t
+  ?config:config ->
+  ?initial:int array ->
+  Arch.Device.t ->
+  Quantum.Circuit.t ->
+  Satmap.Routed.t
+(** [initial] seeds the placement (log -> phys, injective, one entry per
+    logical qubit) instead of the built-in greedy placement. *)

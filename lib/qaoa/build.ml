@@ -26,6 +26,27 @@ let circuit ?gamma ?beta ~cycles graph =
   let b = body ?gamma ?beta graph in
   Quantum.Circuit.repeat b cycles
 
+(* Greedy edge-coloring: partition the graph's edges into rounds of
+   vertex-disjoint pairs.  Every ZZ interaction of a QAOA body commutes
+   with every other, so each round can execute as one parallel layer;
+   the same decomposition yields the swap layers of a swap strategy when
+   applied to the device graph.  Greedy colouring uses at most
+   2*maxdeg - 1 rounds (Vizing gives maxdeg + 1; greedy is within 2x). *)
+let commuting_layers graph =
+  let layers = ref [] in
+  let place (a, b) =
+    let rec insert = function
+      | [] -> [ ((a, b) :: [], [ a; b ]) ]
+      | (layer, used) :: rest ->
+        if List.mem a used || List.mem b used then
+          (layer, used) :: insert rest
+        else ((a, b) :: layer, a :: b :: used) :: rest
+    in
+    layers := insert !layers
+  in
+  List.iter place (Graphs.edges graph);
+  List.map (fun (layer, _) -> List.rev layer) !layers
+
 (* The standard benchmark instance of the paper's Table IV: MaxCut QAOA on
    a random 3-regular graph with [n] qubits and [cycles] repetitions. *)
 let maxcut_3_regular ~seed ~n ~cycles =

@@ -5,5 +5,10 @@ val body : ?gamma:float -> ?beta:float -> Graphs.t -> Quantum.Circuit.t
 
 val circuit : ?gamma:float -> ?beta:float -> cycles:int -> Graphs.t -> Quantum.Circuit.t
 
+val commuting_layers : Graphs.t -> (int * int) list list
+(** Greedy edge-coloring: the graph's edges partitioned into rounds of
+    vertex-disjoint pairs.  Rounds of ZZ interactions all commute; on a
+    device graph the same decomposition yields swap-strategy layers. *)
+
 val maxcut_3_regular :
   seed:int -> n:int -> cycles:int -> Graphs.t * Quantum.Circuit.t

@@ -50,6 +50,60 @@ let random_regular rng ~n ~degree =
 
 let random_3_regular rng n = random_regular rng ~n ~degree:3
 
+let of_edges ~n edge_list =
+  let seen = Hashtbl.create (List.length edge_list) in
+  let edges =
+    List.filter_map
+      (fun (a, b) ->
+        if a < 0 || b < 0 || a >= n || b >= n then
+          invalid_arg "Graphs.of_edges: endpoint out of range"
+        else if a = b then invalid_arg "Graphs.of_edges: self-loop"
+        else begin
+          let e = canonical (a, b) in
+          if Hashtbl.mem seen e then None
+          else begin
+            Hashtbl.replace seen e ();
+            Some e
+          end
+        end)
+      edge_list
+  in
+  { n; edges }
+
+(* Erdős–Rényi G(n, p): each unordered pair independently with
+   probability [p].  Edges come out canonical and sorted, so equal seeds
+   give equal graphs. *)
+let random_er rng ~n ~p =
+  if n < 1 then invalid_arg "Graphs.random_er: n must be >= 1";
+  if p < 0.0 || p > 1.0 then invalid_arg "Graphs.random_er: p outside [0, 1]";
+  let edges = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if Rng.float rng < p then edges := (a, b) :: !edges
+    done
+  done;
+  { n; edges = List.rev !edges }
+
+let connected g =
+  if g.n = 0 then true
+  else begin
+    let adj = Array.make g.n [] in
+    List.iter
+      (fun (a, b) ->
+        adj.(a) <- b :: adj.(a);
+        adj.(b) <- a :: adj.(b))
+      g.edges;
+    let seen = Array.make g.n false in
+    let rec visit v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        List.iter visit adj.(v)
+      end
+    in
+    visit 0;
+    Array.for_all Fun.id seen
+  end
+
 let n_vertices g = g.n
 let edges g = g.edges
 let n_edges g = List.length g.edges

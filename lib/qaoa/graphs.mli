@@ -1,11 +1,27 @@
-(** Random regular graphs (configuration model with rejection). *)
+(** Random graphs for QAOA MaxCut instances: regular graphs via the
+    configuration model with rejection, and Erdős–Rényi G(n, p). *)
 
 type t
 
 val random_regular : Rng.t -> n:int -> degree:int -> t
 val random_3_regular : Rng.t -> int -> t
+
+val of_edges : n:int -> (int * int) list -> t
+(** Build a graph from an explicit edge list (canonicalised and
+    deduplicated); raises [Invalid_argument] on self-loops or
+    out-of-range endpoints.  Lets device connectivity graphs reuse the
+    QAOA layer machinery (e.g. {!Build.commuting_layers} as swap-strategy
+    rounds). *)
+
+val random_er : Rng.t -> n:int -> p:float -> t
+(** Each unordered pair independently with probability [p]; may be
+    disconnected — check with {!connected} when that matters. *)
+
 val n_vertices : t -> int
 val edges : t -> (int * int) list
 val n_edges : t -> int
 val degree : t -> int -> int
 val is_regular : t -> int -> bool
+
+val connected : t -> bool
+(** Whole-graph reachability from vertex 0 (isolated vertices count). *)

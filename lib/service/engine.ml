@@ -72,11 +72,16 @@ let err id code message = Protocol.Error_response { id; code; message }
    config digest covers the encoding knobs and the objective (which
    folds in the calibration under [noise]); timeout is included because
    request-level entries may hold non-optimal anytime results, whose
-   quality the budget does change. *)
+   quality the budget does change.  The engine name is part of the key —
+   different engines produce different routings for one circuit, so a
+   cached reply must never cross engines (the v1 -> v2 prefix bump
+   retires pre-engine persisted entries wholesale rather than risking a
+   collision with them). *)
 let request_key (req : Protocol.request) config device canon_circuit =
   Canon.digest_parts
     [
-      "satmap-serve/v1";
+      "satmap-serve/v2";
+      "engine:" ^ req.engine;
       Canon.device_digest device;
       Canon.config_digest config;
       Canon.circuit_digest canon_circuit;
@@ -111,6 +116,12 @@ let objective_of (req : Protocol.request) device =
   else Satmap.Encoding.Count_swaps
 
 let prepare (req : Protocol.request) =
+  if Engines.Catalog.find req.engine = None then
+    Error
+      (err req.id Protocol.Bad_request
+         (Printf.sprintf "unknown engine %S (available: %s)" req.engine
+            (String.concat ", " (Engines.Catalog.names ()))))
+  else
   match Arch.Topologies.by_name req.device with
   | None ->
     Error
@@ -203,6 +214,47 @@ let handle_prepared ?deadline ?on_progress t (p : prepared) =
     in
     match cached with
     | Some stored -> Ok (stored, true)
+    | None when req.engine <> Protocol.default_request.engine -> (
+      (* Non-default engines dispatch through the registry (which
+         verifies the output).  Warm sessions and the block cache are
+         MaxSAT internals, so they are skipped; the result still lands
+         in the request cache under the engine-tagged key. *)
+      let ecfg =
+        {
+          Engines.Registry.default_config with
+          timeout = budget;
+          n_swaps = req.n_swaps;
+          slice_size = Option.value req.slice_size ~default:25;
+          objective = objective_of req p.p_device;
+        }
+      in
+      match
+        Engines.Catalog.route ~engine:req.engine p.p_device p.p_canon ecfg
+      with
+      | Error msg -> Error (err req.id Protocol.Routing_failed msg)
+      | Ok (routed, meta) ->
+        let canonical_payload =
+          {
+            Protocol.ok_id = "";
+            ok_qasm = Quantum.Qasm.to_string (Satmap.Routed.circuit routed);
+            ok_initial = Satmap.Mapping.to_array (Satmap.Routed.initial routed);
+            ok_final = Satmap.Mapping.to_array (Satmap.Routed.final routed);
+            ok_swaps = Satmap.Routed.n_swaps routed;
+            ok_added_cnots = Satmap.Routed.added_cnots routed;
+            ok_depth = Satmap.Routed.depth routed;
+            ok_blocks = 1;
+            ok_backtracks = 0;
+            ok_proved_optimal = meta.Engines.Registry.m_optimal;
+            ok_maxsat_iterations = 0;
+            ok_solver_calls = 0;
+            ok_cache_hit = false;
+            ok_coalesced = false;
+            ok_time = 0.;
+          }
+        in
+        if req.use_cache then
+          Cache.add t.serve_cache p.p_key canonical_payload;
+        Ok (canonical_payload, false))
     | None -> (
       (* Warm the incremental session from the cross-request pool when
          this config would use one at all; the session is exclusively

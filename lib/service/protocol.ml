@@ -9,6 +9,12 @@ type request = {
   qasm : string;
   device : string;
   method_ : method_;
+  engine : string;
+      (* routing engine name from the Engines catalogue; "maxsat" (the
+         default) selects the classic method_-driven pipeline, anything
+         else dispatches through the registry and ignores method_.
+         Validation happens in Engine.prepare, where an unknown name
+         becomes a Bad_request carrying the engine list. *)
   slice_size : int option;
   n_swaps : int;
   timeout : float;
@@ -23,6 +29,7 @@ let default_request =
     qasm = "";
     device = "tokyo";
     method_ = Sliced;
+    engine = "maxsat";
     slice_size = None;
     n_swaps = 1;
     timeout = 30.0;
@@ -168,6 +175,8 @@ let parse_request ?(max_bytes = default_max_request_bytes) line =
             qasm;
             device = Option.value ~default:d.device (str_field json "device");
             method_;
+            (* tolerant of absence so pre-engine clients keep working *)
+            engine = Option.value ~default:d.engine (str_field json "engine");
             slice_size =
               Option.map int_of_float (num_field json "slice_size");
             n_swaps =
@@ -189,6 +198,10 @@ let request_to_string r =
           ("device", Obs.Json.Str r.device);
           ("method", Obs.Json.Str (method_name r.method_));
         ]
+       (* emitted only when non-default, keeping pre-engine round-trips
+          byte-identical *)
+       @ (if r.engine = default_request.engine then []
+          else [ ("engine", Obs.Json.Str r.engine) ])
        @ (match r.slice_size with
          | Some s -> [ ("slice_size", num s) ]
          | None -> [])

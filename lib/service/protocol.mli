@@ -8,8 +8,9 @@
     Request object (only [qasm] is required):
     {v
     {"id": "r1", "qasm": "OPENQASM 2.0; ...", "device": "tokyo",
-     "method": "sliced", "slice_size": 25, "n_swaps": 1,
-     "timeout": 30.0, "noise": false, "cache": true, "stream": false}
+     "method": "sliced", "engine": "maxsat", "slice_size": 25,
+     "n_swaps": 1, "timeout": 30.0, "noise": false, "cache": true,
+     "stream": false}
     v}
 
     Success response:
@@ -46,6 +47,15 @@ type request = {
   qasm : string;
   device : string;  (** resolved via {!Arch.Topologies.by_name} *)
   method_ : method_;
+  engine : string;
+      (** routing engine from the [Engines] catalogue; the default
+          ["maxsat"] keeps the classic [method_]-driven pipeline, any
+          other name dispatches through the registry (ignoring
+          [method_]).  Unknown names answer [Bad_request] with the
+          engine list.  Absent on the wire means ["maxsat"], and the
+          field is serialised only when non-default, so pre-engine
+          clients and persisted caches interoperate.  Part of the cache
+          key: replies never cross engines. *)
   slice_size : int option;  (** [Sliced] only; default 25 *)
   n_swaps : int;
   timeout : float;  (** seconds; the job's deadline starts at submission *)

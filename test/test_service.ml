@@ -210,6 +210,7 @@ let test_request_roundtrip () =
       qasm = "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];";
       device = "linear-4";
       method_ = Service.Protocol.Cyclic;
+      engine = "sabre";
       slice_size = Some 10;
       n_swaps = 2;
       timeout = 3.5;
